@@ -1,0 +1,44 @@
+// Reproduces paper Fig. 11: CDF of the number of UEs the gNB schedules per
+// second and per minute in the two commercial cells.  Paper: less than 60
+// UEs in most one-minute periods.
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "ue/churn.h"
+
+namespace nrs::bench {
+namespace {
+
+void run_cell(int cell_index, double arrival_rate) {
+  ChurnConfig cfg;
+  cfg.arrival_rate_per_s = arrival_rate;
+  cfg.duration_s = 600.0;
+  cfg.seed = 400 + cell_index;
+  const auto sessions = generate_churn(cfg);
+
+  for (const auto& [bin_s, label] :
+       {std::pair<double, const char*>{1.0, "1 Second"},
+        std::pair<double, const char*>{60.0, "1 Minute"}}) {
+    const auto counts = active_counts(sessions, cfg.duration_s, bin_s);
+    SampleSet set;
+    for (unsigned c : counts) {
+      set.add(static_cast<double>(c));
+    }
+    std::printf("\nCell %d, %s: mean %.1f active UEs, p95 %.1f\n",
+                cell_index, label, set.mean(), set.percentile(95));
+    print_cdf("Cell " + std::to_string(cell_index) + ", " + label, set,
+              "UE count", 10);
+  }
+}
+
+}  // namespace
+}  // namespace nrs::bench
+
+int main() {
+  nrs::bench::print_header("Fig. 11",
+                           "Active UEs per second / minute (10 min churn)");
+  nrs::bench::run_cell(1, 0.85);
+  nrs::bench::run_cell(2, 0.25);
+  std::printf("(paper: under 60 UEs for most one-minute periods)\n");
+  return 0;
+}

@@ -1,0 +1,87 @@
+// Reproduces paper Fig. 12: per-slot processing time vs. number of UEs,
+// with one or four DCI threads, on a 20 MHz cell (Amarisoft) and a 10 MHz
+// cell (T-Mobile).  Paper: linear growth with the UE count (O(n log n + m)),
+// with the four-thread configuration keeping up at 195/285 UEs.
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_util.h"
+
+namespace nrs::bench {
+namespace {
+
+struct Fixture {
+  std::unique_ptr<GnbSim> gnb;
+  std::unique_ptr<VirtualRadio> radio;
+  std::unique_ptr<NrScope> scope;
+  std::vector<IqBuffer> slots;
+
+  Fixture(const CellConfig& cell, unsigned n_ues, unsigned n_threads) {
+    GnbConfig gnb_cfg;
+    gnb_cfg.cell = cell;
+    gnb_cfg.seed = 5;
+    gnb = std::make_unique<GnbSim>(std::move(gnb_cfg));
+    VirtualRadioConfig radio_cfg;
+    radio_cfg.n_prb = cell.n_prb;
+    radio_cfg.channel.snr_db = 28.0;
+    radio = std::make_unique<VirtualRadio>(radio_cfg);
+    NrScopeConfig scope_cfg;
+    scope_cfg.n_prb = cell.n_prb;
+    scope_cfg.scs = cell.scs;
+    scope_cfg.n_dci_threads = n_threads;
+    scope_cfg.ue_inactivity_slots = 1u << 30;  // keep every UE
+    scope = std::make_unique<NrScope>(scope_cfg);
+
+    // A couple of live UEs generate real DCIs on the grid; the rest of the
+    // tracked-UE population is registered directly (their blind decodes
+    // cost the same whether or not the UE currently has traffic).
+    for (unsigned i = 0; i < std::min(n_ues, 4u); ++i) {
+      gnb->add_ue(make_ue(i + 1, 24.0, TrafficKind::kCbr, 2e6));
+    }
+    // Drive until the sniffer is tracking.
+    for (unsigned i = 0; i < 400 &&
+                         scope->state() != NrScope::State::kTracking;
+         ++i) {
+      (void)scope->process_slot(radio->capture(gnb->step()));
+    }
+    for (unsigned i = 0; i < n_ues; ++i) {
+      scope->add_ue(static_cast<Rnti>(0x5000 + i), RrcSetup{});
+    }
+    // Pre-capture slots so the benchmark loop measures only the sniffer.
+    for (unsigned i = 0; i < 20; ++i) {
+      slots.push_back(radio->capture(gnb->step()));
+    }
+  }
+};
+
+void bm_processing(benchmark::State& state, const CellConfig& cell) {
+  const auto n_ues = static_cast<unsigned>(state.range(0));
+  const auto n_threads = static_cast<unsigned>(state.range(1));
+  Fixture fixture(cell, n_ues, n_threads);
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        fixture.scope->process_slot(fixture.slots[i % fixture.slots.size()]));
+    ++i;
+  }
+  state.counters["ues"] = n_ues;
+  state.counters["threads"] = n_threads;
+}
+
+void amarisoft_20mhz(benchmark::State& state) {
+  bm_processing(state, amarisoft_cell());
+}
+void tmobile_10mhz(benchmark::State& state) {
+  bm_processing(state, tmobile_cell1());
+}
+
+}  // namespace
+}  // namespace nrs::bench
+
+BENCHMARK(nrs::bench::amarisoft_20mhz)
+    ->Unit(benchmark::kMicrosecond)
+    ->ArgsProduct({{1, 2, 4, 8, 16, 32, 64, 128}, {1, 4}});
+BENCHMARK(nrs::bench::tmobile_10mhz)
+    ->Unit(benchmark::kMicrosecond)
+    ->ArgsProduct({{64, 195, 285}, {1, 4}});
+
+BENCHMARK_MAIN();

@@ -1,0 +1,121 @@
+// Microbenchmarks of the PHY substrate hot paths: the per-slot FFT the
+// paper names as the dominant signal-processing cost, the polar SC decode
+// behind every PDCCH candidate, the Viterbi decode behind SIB1/MSG4, and a
+// full PDCCH candidate decode.
+#include <benchmark/benchmark.h>
+
+#include "common/crc.h"
+#include "common/rng.h"
+#include "nr/pdcch.h"
+#include "phy/conv_code.h"
+#include "phy/fft.h"
+#include "phy/ofdm.h"
+#include "phy/polar.h"
+
+namespace nrs {
+namespace {
+
+void bm_fft(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  Fft fft(n);
+  Rng rng(1);
+  std::vector<cf32> data(n);
+  for (auto& v : data) {
+    v = cf32(static_cast<float>(rng.gaussian()),
+             static_cast<float>(rng.gaussian()));
+  }
+  for (auto _ : state) {
+    fft.forward(data);
+    benchmark::DoNotOptimize(data.data());
+  }
+}
+BENCHMARK(bm_fft)->Arg(512)->Arg(1024)->Arg(2048);
+
+void bm_ofdm_slot(benchmark::State& state) {
+  const OfdmConfig cfg = make_ofdm_config(51);
+  OfdmModulator mod(cfg);
+  OfdmDemodulator demod(cfg);
+  ResourceGrid grid(51);
+  grid.at(3, 100) = cf32(1.0f, 0.0f);
+  const IqBuffer samples = mod.modulate(grid);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(demod.demodulate(samples));
+  }
+}
+BENCHMARK(bm_ofdm_slot)->Unit(benchmark::kMicrosecond);
+
+void bm_polar_decode(benchmark::State& state) {
+  const auto e = static_cast<unsigned>(state.range(0));
+  const PolarCode code(64, e);
+  Rng rng(2);
+  BitVector info(64);
+  for (auto& b : info) {
+    b = rng.chance(0.5);
+  }
+  const BitVector coded = code.encode(info);
+  std::vector<float> llrs(coded.size());
+  for (std::size_t i = 0; i < coded.size(); ++i) {
+    llrs[i] = coded[i] ? -4.0f : 4.0f;
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(code.decode(llrs));
+  }
+}
+BENCHMARK(bm_polar_decode)->Arg(108)->Arg(216)->Arg(432)->Arg(864);
+
+void bm_viterbi(benchmark::State& state) {
+  const auto bits = static_cast<std::size_t>(state.range(0));
+  Rng rng(3);
+  BitVector payload(bits);
+  for (auto& b : payload) {
+    b = rng.chance(0.5);
+  }
+  const BitVector coded = ConvolutionalCode::encode(payload);
+  std::vector<float> llrs(coded.size());
+  for (std::size_t i = 0; i < coded.size(); ++i) {
+    llrs[i] = coded[i] ? -3.0f : 3.0f;
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ConvolutionalCode::decode(llrs, bits));
+  }
+}
+BENCHMARK(bm_viterbi)->Arg(100)->Arg(500)->Arg(2000)
+    ->Unit(benchmark::kMicrosecond);
+
+void bm_pdcch_candidate(benchmark::State& state) {
+  const auto level = static_cast<unsigned>(state.range(0));
+  CoresetConfig coreset;
+  coreset.rb_start = 0;
+  coreset.n_prb = 48;
+  coreset.n_id = 7;
+  coreset.shift = 7;
+  const SlotPoint slot{Scs::kHz30, 0, 3};
+  ResourceGrid grid(51);
+  Dci dci;
+  dci.format = DciFormat::kDl1_1;
+  dci.freq_alloc_riv = riv_encode(0, 20, 51);
+  encode_pdcch(coreset, {0x4601, level, 0}, dci, 51, slot, grid);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(decode_pdcch_candidate(
+        coreset, level, 0, DciFormat::kDl1_1, 51, slot, grid, 0x4601));
+  }
+}
+BENCHMARK(bm_pdcch_candidate)->Arg(1)->Arg(2)->Arg(4)->Arg(8)
+    ->Unit(benchmark::kMicrosecond);
+
+void bm_crc24(benchmark::State& state) {
+  Rng rng(4);
+  BitVector bits(4000);
+  for (auto& b : bits) {
+    b = rng.chance(0.5);
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(kCrc24A.compute(bits));
+  }
+}
+BENCHMARK(bm_crc24);
+
+}  // namespace
+}  // namespace nrs
+
+BENCHMARK_MAIN();

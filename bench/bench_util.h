@@ -1,0 +1,87 @@
+// Shared experiment harness for the figure-reproduction benches: wires the
+// gNB simulator, the virtual radio (sniffer channel) and NR-Scope together
+// and runs compressed-time versions of the paper's experiments.  The paper
+// observes each configuration for ~10 minutes; these benches run seconds
+// of simulated air time, which is enough for the distribution shapes, and
+// EXPERIMENTS.md records the compression.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "analysis/matching.h"
+#include "gnb/gnb_sim.h"
+#include "gnb/presets.h"
+#include "nrscope/nrscope.h"
+#include "radio/virtual_radio.h"
+#include "ue/ue_sim.h"
+
+namespace nrs::bench {
+
+/// UE population presets.
+enum class TrafficKind {
+  kCbr,       ///< steady stream (phone watching video, paper section 5.2.2)
+  kVideo,     ///< bursty on/off video
+  kDownload,  ///< repeated file downloads
+  kPoisson,   ///< light background traffic (Amarisoft many-UE runs)
+  kFullBuffer,
+};
+
+UeConfig make_ue(unsigned seed, double snr_db, TrafficKind kind,
+                 double rate_bps = 2e6,
+                 ChannelProfile profile = ChannelProfile::kAwgn,
+                 double ul_fraction = 0.25);
+
+struct RunConfig {
+  CellConfig cell;
+  double sniffer_snr_db = 28.0;
+  ChannelProfile sniffer_profile = ChannelProfile::kAwgn;
+  unsigned n_slots = 1500;
+  unsigned warmup_slots = 300;  ///< slots before metrics start counting
+  NrScopeConfig scope;           ///< n_prb/scs filled in automatically
+  std::uint64_t seed = 7;
+};
+
+struct RunResult {
+  std::unique_ptr<GnbSim> gnb;
+  std::unique_ptr<NrScope> scope;
+  std::vector<DecodedDci> dcis;          ///< all sniffer decodes
+  std::vector<SlotResult> slot_results;  ///< per-slot (kept when requested)
+  std::vector<unsigned> ue_ids;          ///< gNB ids in add order
+  unsigned warmup_slots = 0;
+  unsigned n_slots = 0;
+
+  [[nodiscard]] MissRateReport miss_rate() const {
+    return compute_miss_rate(gnb->truth(), dcis, warmup_slots);
+  }
+  [[nodiscard]] SampleSet reg_errors() const {
+    return compute_reg_errors(gnb->truth(), dcis, warmup_slots, n_slots);
+  }
+};
+
+/// Run one experiment: UEs are attached at the start (they RACH in),
+/// `per_slot` (optional) observes each slot result.
+RunResult run_experiment(
+    RunConfig config, std::vector<UeConfig> ues,
+    const std::function<void(std::uint64_t, const SlotResult&)>& per_slot =
+        nullptr,
+    bool keep_slot_results = false);
+
+/// Windowed throughput-error series for one UE (paper Figs. 9/16):
+/// sliding-window rate from the sniffer's decoded new-data TBS vs. the
+/// same window over the UE's delivered-bytes trace (the tcpdump stand-in).
+/// Samples |estimate - truth| in bits/s every `stride` slots.
+SampleSet tput_error_series(const RunResult& result, Rnti rnti,
+                            unsigned ue_id, std::uint64_t window_slots,
+                            unsigned stride_slots, Scs scs);
+
+/// Pretty printing helpers shared by the bench binaries.
+void print_header(const std::string& figure, const std::string& title);
+void print_ccdf(const std::string& label, const SampleSet& samples,
+                const std::string& x_label, std::size_t points = 12);
+void print_cdf(const std::string& label, const SampleSet& samples,
+               const std::string& x_label, std::size_t points = 12);
+
+}  // namespace nrs::bench

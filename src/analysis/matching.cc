@@ -1,0 +1,102 @@
+#include "analysis/matching.h"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include "nr/rach.h"
+
+namespace nrs {
+namespace {
+
+using Key = std::tuple<std::uint64_t, Rnti, unsigned>;  // slot, rnti, cce
+
+bool counts_as_telemetry(const TruthDci& dci) {
+  return dci.kind == DciKind::kData || dci.kind == DciKind::kUplink;
+}
+
+}  // namespace
+
+MissRateReport compute_miss_rate(const GroundTruthLog& truth,
+                                 const std::vector<DecodedDci>& decoded,
+                                 std::uint64_t from_slot) {
+  std::set<Key> decoded_keys;
+  for (const auto& d : decoded) {
+    decoded_keys.insert(Key{d.slot, d.rnti, d.cce_start});
+  }
+
+  MissRateReport report;
+  std::set<Key> all_truth_keys;  // every kind, for false-positive checks
+  for (const auto& slot : truth.slots()) {
+    if (slot.slot < from_slot) {
+      continue;
+    }
+    for (const auto& t : slot.dcis) {
+      const Key key{slot.slot, t.rnti, t.cce_start};
+      all_truth_keys.insert(key);
+      if (!counts_as_telemetry(t)) {
+        continue;
+      }
+      const bool matched = decoded_keys.count(key) > 0;
+      if (is_downlink(t.dci.format)) {
+        ++report.dl_truth;
+        report.dl_matched += matched;
+      } else {
+        ++report.ul_truth;
+        report.ul_matched += matched;
+      }
+    }
+  }
+  for (const auto& d : decoded) {
+    if (d.slot >= from_slot &&
+        all_truth_keys.count(Key{d.slot, d.rnti, d.cce_start}) == 0) {
+      ++report.false_positives;
+    }
+  }
+  return report;
+}
+
+SampleSet compute_reg_errors(const GroundTruthLog& truth,
+                             const std::vector<DecodedDci>& decoded,
+                             std::uint64_t from_slot,
+                             std::uint64_t to_slot) {
+  // Decoded REGs per slot (downlink data grants of tracked UEs).
+  std::map<std::uint64_t, long> decoded_regs;
+  for (const auto& d : decoded) {
+    if (is_downlink(d.dci.format) && is_plausible_crnti(d.rnti)) {
+      decoded_regs[d.slot] += static_cast<long>(d.grant.n_regs());
+    }
+  }
+  SampleSet errors;
+  for (const auto& slot : truth.slots()) {
+    if (slot.slot < from_slot || slot.slot >= to_slot) {
+      continue;
+    }
+    long truth_regs = 0;
+    for (const auto& t : slot.dcis) {
+      // Data and MSG4 grants both address a UE's (TC-/C-)RNTI and both
+      // appear on the decoded side; SIB/RAR use reserved RNTIs and are
+      // excluded from both sides.
+      if ((t.kind == DciKind::kData || t.kind == DciKind::kMsg4) &&
+          is_downlink(t.dci.format)) {
+        truth_regs += static_cast<long>(t.grant.n_regs());
+      }
+    }
+    const auto it = decoded_regs.find(slot.slot);
+    const long est = it == decoded_regs.end() ? 0 : it->second;
+    errors.add(std::abs(static_cast<double>(truth_regs - est)));
+  }
+  return errors;
+}
+
+SampleSet throughput_errors(const std::vector<double>& truth_bps,
+                            const std::vector<double>& estimated_bps) {
+  SampleSet errors;
+  const std::size_t n = std::min(truth_bps.size(), estimated_bps.size());
+  for (std::size_t i = 0; i < n; ++i) {
+    errors.add(std::abs(truth_bps[i] - estimated_bps[i]));
+  }
+  return errors;
+}
+
+}  // namespace nrs

@@ -1,0 +1,57 @@
+// Evaluation machinery: match NR-Scope's decoded DCIs against the gNB's
+// ground-truth log "based on the timestamp and the TTI index" (paper
+// section 5.2.1) and compute the metrics of Figs. 7-9: DCI miss rates,
+// REG-count errors per TTI, and throughput estimation errors.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "common/stats.h"
+#include "gnb/ground_truth.h"
+#include "nrscope/telemetry.h"
+
+namespace nrs {
+
+/// Per-direction DCI miss-rate result (paper Fig. 7).
+struct MissRateReport {
+  std::uint64_t dl_truth = 0;
+  std::uint64_t dl_matched = 0;
+  std::uint64_t ul_truth = 0;
+  std::uint64_t ul_matched = 0;
+  std::uint64_t false_positives = 0;  ///< sniffer DCIs with no truth match
+
+  [[nodiscard]] double dl_miss_rate() const {
+    return dl_truth == 0 ? 0.0
+                         : 1.0 - static_cast<double>(dl_matched) /
+                                     static_cast<double>(dl_truth);
+  }
+  [[nodiscard]] double ul_miss_rate() const {
+    return ul_truth == 0 ? 0.0
+                         : 1.0 - static_cast<double>(ul_matched) /
+                                     static_cast<double>(ul_truth);
+  }
+};
+
+/// Match decoded DCIs to the truth log by (slot, rnti, cce).  Only data
+/// and uplink DCIs of connected UEs are counted (broadcast/RACH DCIs are
+/// bookkeeping, not telemetry).
+MissRateReport compute_miss_rate(const GroundTruthLog& truth,
+                                 const std::vector<DecodedDci>& decoded,
+                                 std::uint64_t from_slot = 0);
+
+/// Per-TTI REG-count error (paper Fig. 8): | truth REGs - decoded REGs |
+/// over every TTI in the observation window.
+SampleSet compute_reg_errors(const GroundTruthLog& truth,
+                             const std::vector<DecodedDci>& decoded,
+                             std::uint64_t from_slot, std::uint64_t to_slot);
+
+/// Windowed throughput comparison (paper Fig. 9): for each sample point,
+/// | sniffer-estimated rate - ground-truth rate | in bits/second.
+/// `truth_rates` / `estimated_rates` are parallel series sampled at the
+/// same instants.
+SampleSet throughput_errors(const std::vector<double>& truth_bps,
+                            const std::vector<double>& estimated_bps);
+
+}  // namespace nrs

@@ -1,0 +1,71 @@
+#include "common/bit_io.h"
+
+namespace nrs {
+
+void BitWriter::write(std::uint64_t value, unsigned width) {
+  if (width > 64) {
+    throw std::invalid_argument("BitWriter::write width > 64");
+  }
+  for (unsigned i = 0; i < width; ++i) {
+    bits_.push_back(static_cast<std::uint8_t>((value >> (width - 1 - i)) & 1));
+  }
+}
+
+void BitWriter::write_bits(std::span<const std::uint8_t> bits) {
+  bits_.insert(bits_.end(), bits.begin(), bits.end());
+}
+
+void BitWriter::align_to(unsigned align) {
+  if (align == 0) {
+    return;
+  }
+  while (bits_.size() % align != 0) {
+    bits_.push_back(0);
+  }
+}
+
+std::uint64_t BitReader::read(unsigned width) {
+  if (width > 64) {
+    throw std::invalid_argument("BitReader::read width > 64");
+  }
+  if (pos_ + width > bits_.size()) {
+    throw std::out_of_range("BitReader: read past end");
+  }
+  std::uint64_t value = 0;
+  for (unsigned i = 0; i < width; ++i) {
+    value = (value << 1) | (bits_[pos_++] & 1);
+  }
+  return value;
+}
+
+bool BitReader::read_bit() { return read(1) != 0; }
+
+void BitReader::skip(std::size_t count) {
+  if (pos_ + count > bits_.size()) {
+    throw std::out_of_range("BitReader: skip past end");
+  }
+  pos_ += count;
+}
+
+std::vector<std::uint8_t> pack_bits(std::span<const std::uint8_t> bits) {
+  std::vector<std::uint8_t> bytes((bits.size() + 7) / 8, 0);
+  for (std::size_t i = 0; i < bits.size(); ++i) {
+    if (bits[i] & 1) {
+      bytes[i / 8] |= static_cast<std::uint8_t>(0x80u >> (i % 8));
+    }
+  }
+  return bytes;
+}
+
+BitVector unpack_bits(std::span<const std::uint8_t> bytes, std::size_t nbits) {
+  if (nbits > bytes.size() * 8) {
+    throw std::out_of_range("unpack_bits: not enough bytes");
+  }
+  BitVector bits(nbits);
+  for (std::size_t i = 0; i < nbits; ++i) {
+    bits[i] = (bytes[i / 8] >> (7 - i % 8)) & 1;
+  }
+  return bits;
+}
+
+}  // namespace nrs

@@ -1,0 +1,68 @@
+// CRC generators from 3GPP TS 38.212 section 5.1.  All NR transport and
+// control channels attach one of these codes; NR-Scope additionally exploits
+// the CRC to recover C-RNTIs (the scrambled-CRC XOR trick, paper section
+// 3.1.2), so the implementation works directly on bit vectors.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "common/bit_io.h"
+
+namespace nrs {
+
+/// A cyclic code defined by its generator polynomial (without the leading
+/// x^L term) and length L.  Stateless; one instance per polynomial.
+class CrcGenerator {
+ public:
+  constexpr CrcGenerator(std::uint32_t poly, unsigned length)
+      : poly_(poly), length_(length) {}
+
+  /// Compute the CRC remainder of `bits`, returned in the low `length()`
+  /// bits of the result.
+  [[nodiscard]] std::uint32_t compute(std::span<const std::uint8_t> bits) const;
+
+  /// Append the CRC of `bits` to `bits` (MSB of the remainder first).
+  void attach(BitVector& bits) const;
+
+  /// True when `bits` = payload + CRC is a valid codeword.
+  [[nodiscard]] bool check(std::span<const std::uint8_t> bits) const;
+
+  /// Like check(), but the trailing min(16, L) CRC bits are first unmasked
+  /// with `rnti` (3GPP scrambles DCI CRCs with the RNTI; TS 38.212 7.3.2).
+  [[nodiscard]] bool check_masked(std::span<const std::uint8_t> bits,
+                                  std::uint16_t rnti) const;
+
+  /// XOR the trailing 16 CRC bits of `bits` with `rnti` in place.
+  void mask_rnti(BitVector& bits, std::uint16_t rnti) const;
+
+  /// Recover the mask: XOR of the computed CRC of the payload and the
+  /// received (masked) CRC, restricted to the trailing 16 bits.  This is the
+  /// paper's C-RNTI recovery primitive.
+  [[nodiscard]] std::uint16_t recover_mask(
+      std::span<const std::uint8_t> bits_with_crc) const;
+
+  [[nodiscard]] unsigned length() const { return length_; }
+
+ private:
+  std::uint32_t poly_;
+  unsigned length_;
+};
+
+// Generator polynomials from TS 38.212 5.1.
+// CRC24A: x^24 + x^23 + x^18 + x^17 + x^14 + x^11 + x^10 + x^7 + x^6 + x^5
+//         + x^4 + x^3 + x + 1
+inline constexpr CrcGenerator kCrc24A{0x864CFB, 24};
+// CRC24B: x^24 + x^23 + x^6 + x^5 + x + 1
+inline constexpr CrcGenerator kCrc24B{0x800063, 24};
+// CRC24C: x^24 + x^23 + x^21 + x^20 + x^17 + x^15 + x^13 + x^12 + x^8 + x^4
+//         + x^2 + x + 1  (used by PDCCH / PBCH polar chains)
+inline constexpr CrcGenerator kCrc24C{0xB2B117, 24};
+// CRC16: x^16 + x^12 + x^5 + 1
+inline constexpr CrcGenerator kCrc16{0x1021, 16};
+// CRC11: x^11 + x^10 + x^9 + x^5 + 1
+inline constexpr CrcGenerator kCrc11{0x621, 11};
+// CRC6: x^6 + x^5 + 1
+inline constexpr CrcGenerator kCrc6{0x21, 6};
+
+}  // namespace nrs

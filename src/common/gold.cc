@@ -1,0 +1,58 @@
+#include "common/gold.h"
+
+namespace nrs {
+namespace {
+constexpr std::size_t kNc = 1600;  // TS 38.211 5.2.1 fast-forward offset
+}
+
+GoldSequence::GoldSequence(std::uint32_t c_init)
+    : x1_(1), x2_(c_init & 0x7FFFFFFFu) {
+  advance(kNc);
+}
+
+std::uint8_t GoldSequence::step() {
+  const std::uint8_t out =
+      static_cast<std::uint8_t>((x1_ ^ x2_) & 1u);
+  // x1(n+31) = (x1(n+3) + x1(n)) mod 2
+  const std::uint32_t new1 = ((x1_ >> 3) ^ x1_) & 1u;
+  // x2(n+31) = (x2(n+3) + x2(n+2) + x2(n+1) + x2(n)) mod 2
+  const std::uint32_t new2 =
+      ((x2_ >> 3) ^ (x2_ >> 2) ^ (x2_ >> 1) ^ x2_) & 1u;
+  x1_ = (x1_ >> 1) | (new1 << 30);
+  x2_ = (x2_ >> 1) | (new2 << 30);
+  return out;
+}
+
+std::uint8_t GoldSequence::next() { return step(); }
+
+BitVector GoldSequence::generate(std::size_t count) {
+  BitVector out(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    out[i] = step();
+  }
+  return out;
+}
+
+void GoldSequence::advance(std::size_t count) {
+  for (std::size_t i = 0; i < count; ++i) {
+    (void)step();
+  }
+}
+
+void scramble(BitVector& bits, std::uint32_t c_init) {
+  GoldSequence gold(c_init);
+  for (auto& b : bits) {
+    b ^= gold.next();
+  }
+}
+
+std::uint32_t pdcch_scrambling_cinit(std::uint16_t n_rnti,
+                                     std::uint16_t n_id) {
+  return ((static_cast<std::uint32_t>(n_rnti) << 16) + n_id) & 0x7FFFFFFFu;
+}
+
+std::uint32_t pdsch_scrambling_cinit(std::uint16_t rnti, std::uint16_t n_id) {
+  return ((static_cast<std::uint32_t>(rnti) << 15) + n_id) & 0x7FFFFFFFu;
+}
+
+}  // namespace nrs

@@ -1,0 +1,47 @@
+// Length-31 Gold pseudo-random sequence from 3GPP TS 38.211 5.2.1, used to
+// scramble PDCCH/PDSCH payloads and to generate DMRS.  Both the gNB
+// simulator and the NR-Scope sniffer derive the same sequences from
+// identifiers that are broadcast in the clear (cell ID, scrambling IDs), so
+// the sniffer can descramble without operator cooperation.
+#pragma once
+
+#include <cstdint>
+
+#include "common/bit_io.h"
+
+namespace nrs {
+
+/// Generates c(n) = (x1(n+Nc) + x2(n+Nc)) mod 2, Nc = 1600,
+/// x1 seeded with 1, x2 seeded with c_init.
+class GoldSequence {
+ public:
+  explicit GoldSequence(std::uint32_t c_init);
+
+  /// Next scrambling bit.
+  std::uint8_t next();
+
+  /// Produce `count` bits starting at the current position.
+  BitVector generate(std::size_t count);
+
+  /// Advance without producing output.
+  void advance(std::size_t count);
+
+ private:
+  std::uint32_t x1_;
+  std::uint32_t x2_;
+
+  std::uint8_t step();
+};
+
+/// XOR `bits` in place with the Gold sequence seeded by `c_init`.
+void scramble(BitVector& bits, std::uint32_t c_init);
+
+/// c_init for PDCCH data scrambling (TS 38.211 7.3.2.3):
+/// (n_RNTI * 2^16 + n_ID) mod 2^31.  For common search spaces n_RNTI = 0.
+std::uint32_t pdcch_scrambling_cinit(std::uint16_t n_rnti, std::uint16_t n_id);
+
+/// c_init for PDSCH data scrambling (TS 38.211 7.3.1.1):
+/// n_RNTI * 2^15 + q * 2^14 + n_ID, q = 0 (single codeword).
+std::uint32_t pdsch_scrambling_cinit(std::uint16_t rnti, std::uint16_t n_id);
+
+}  // namespace nrs

@@ -1,0 +1,46 @@
+#include "common/log.h"
+
+namespace nrs {
+
+Logger& Logger::instance() {
+  static Logger logger;
+  return logger;
+}
+
+void Logger::log(LogLevel level, const std::string& message) {
+  if (static_cast<int>(level) > static_cast<int>(level_)) {
+    return;
+  }
+  const char* tag = "?";
+  switch (level) {
+    case LogLevel::kError:
+      tag = "E";
+      break;
+    case LogLevel::kWarning:
+      tag = "W";
+      break;
+    case LogLevel::kInfo:
+      tag = "I";
+      break;
+    case LogLevel::kDebug:
+      tag = "D";
+      break;
+  }
+  std::lock_guard lock(mutex_);
+  std::fprintf(stderr, "[%s] %s\n", tag, message.c_str());
+}
+
+void log_error(const std::string& message) {
+  Logger::instance().log(LogLevel::kError, message);
+}
+void log_warning(const std::string& message) {
+  Logger::instance().log(LogLevel::kWarning, message);
+}
+void log_info(const std::string& message) {
+  Logger::instance().log(LogLevel::kInfo, message);
+}
+void log_debug(const std::string& message) {
+  Logger::instance().log(LogLevel::kDebug, message);
+}
+
+}  // namespace nrs

@@ -1,0 +1,40 @@
+// Minimal leveled logger.  The sniffer pipeline writes decoded telemetry to
+// a log file (Fig. 4 "File System / Log File"); diagnostics go through this
+// interface so tests and benches can silence them.
+#pragma once
+
+#include <cstdio>
+#include <mutex>
+#include <string>
+
+namespace nrs {
+
+enum class LogLevel : int {
+  kError = 0,
+  kWarning = 1,
+  kInfo = 2,
+  kDebug = 3,
+};
+
+/// Process-wide log sink.  Thread-safe; defaults to warnings on stderr.
+class Logger {
+ public:
+  static Logger& instance();
+
+  void set_level(LogLevel level) { level_ = level; }
+  [[nodiscard]] LogLevel level() const { return level_; }
+
+  void log(LogLevel level, const std::string& message);
+
+ private:
+  Logger() = default;
+  LogLevel level_ = LogLevel::kWarning;
+  std::mutex mutex_;
+};
+
+void log_error(const std::string& message);
+void log_warning(const std::string& message);
+void log_info(const std::string& message);
+void log_debug(const std::string& message);
+
+}  // namespace nrs

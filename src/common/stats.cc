@@ -1,0 +1,152 @@
+#include "common/stats.h"
+
+#include <algorithm>
+#include <cmath>
+#include <iomanip>
+#include <sstream>
+#include <stdexcept>
+
+namespace nrs {
+
+void SampleSet::add_count(double value, std::size_t count) {
+  values_.insert(values_.end(), count, value);
+  sorted_ = false;
+}
+
+void SampleSet::sort() const {
+  if (!sorted_) {
+    std::sort(values_.begin(), values_.end());
+    sorted_ = true;
+  }
+}
+
+double SampleSet::mean() const {
+  if (values_.empty()) {
+    return 0.0;
+  }
+  double sum = 0.0;
+  for (double v : values_) {
+    sum += v;
+  }
+  return sum / static_cast<double>(values_.size());
+}
+
+double SampleSet::stddev() const {
+  if (values_.size() < 2) {
+    return 0.0;
+  }
+  const double m = mean();
+  double acc = 0.0;
+  for (double v : values_) {
+    acc += (v - m) * (v - m);
+  }
+  return std::sqrt(acc / static_cast<double>(values_.size() - 1));
+}
+
+double SampleSet::min() const {
+  sort();
+  return values_.empty() ? 0.0 : values_.front();
+}
+
+double SampleSet::max() const {
+  sort();
+  return values_.empty() ? 0.0 : values_.back();
+}
+
+double SampleSet::percentile(double p) const {
+  if (values_.empty()) {
+    return 0.0;
+  }
+  if (p < 0.0 || p > 100.0) {
+    throw std::invalid_argument("percentile out of range");
+  }
+  sort();
+  const double rank = p / 100.0 * static_cast<double>(values_.size() - 1);
+  const auto lo = static_cast<std::size_t>(rank);
+  const std::size_t hi = std::min(lo + 1, values_.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return values_[lo] * (1.0 - frac) + values_[hi] * frac;
+}
+
+double SampleSet::ccdf(double x) const {
+  if (values_.empty()) {
+    return 0.0;
+  }
+  sort();
+  const auto it = std::upper_bound(values_.begin(), values_.end(), x);
+  return static_cast<double>(values_.end() - it) /
+         static_cast<double>(values_.size());
+}
+
+double SampleSet::cdf(double x) const {
+  if (values_.empty()) {
+    return 0.0;
+  }
+  return 1.0 - ccdf(x);
+}
+
+namespace {
+std::vector<CurvePoint> curve_impl(const SampleSet& samples,
+                                   std::size_t points, bool complementary) {
+  std::vector<CurvePoint> curve;
+  if (samples.empty() || points < 2) {
+    return curve;
+  }
+  const double lo = samples.min();
+  const double hi = samples.max();
+  const double span = hi - lo;
+  curve.reserve(points);
+  for (std::size_t i = 0; i < points; ++i) {
+    const double x =
+        lo + span * static_cast<double>(i) / static_cast<double>(points - 1);
+    curve.push_back({x, complementary ? samples.ccdf(x) : samples.cdf(x)});
+  }
+  return curve;
+}
+}  // namespace
+
+std::vector<CurvePoint> ccdf_curve(const SampleSet& samples,
+                                   std::size_t points) {
+  return curve_impl(samples, points, /*complementary=*/true);
+}
+
+std::vector<CurvePoint> cdf_curve(const SampleSet& samples,
+                                  std::size_t points) {
+  return curve_impl(samples, points, /*complementary=*/false);
+}
+
+double r_squared(const std::vector<double>& truth,
+                 const std::vector<double>& estimate) {
+  if (truth.size() != estimate.size() || truth.empty()) {
+    throw std::invalid_argument("r_squared: size mismatch");
+  }
+  double mean = 0.0;
+  for (double v : truth) {
+    mean += v;
+  }
+  mean /= static_cast<double>(truth.size());
+  double ss_res = 0.0;
+  double ss_tot = 0.0;
+  for (std::size_t i = 0; i < truth.size(); ++i) {
+    ss_res += (truth[i] - estimate[i]) * (truth[i] - estimate[i]);
+    ss_tot += (truth[i] - mean) * (truth[i] - mean);
+  }
+  if (ss_tot == 0.0) {
+    return ss_res == 0.0 ? 1.0 : 0.0;
+  }
+  return 1.0 - ss_res / ss_tot;
+}
+
+std::string format_curve(const std::vector<CurvePoint>& curve,
+                         const std::string& x_label,
+                         const std::string& y_label) {
+  std::ostringstream os;
+  os << std::setw(16) << x_label << std::setw(14) << y_label << '\n';
+  for (const auto& p : curve) {
+    os << std::setw(16) << std::fixed << std::setprecision(3) << p.x
+       << std::setw(14) << std::setprecision(5) << p.y << '\n';
+  }
+  return os.str();
+}
+
+}  // namespace nrs

@@ -1,0 +1,66 @@
+// Descriptive statistics and distribution summaries used by the analysis
+// module and by every figure-reproduction bench (the paper reports CDFs,
+// CCDFs, medians and percentiles throughout section 5).
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace nrs {
+
+/// Accumulates scalar samples; all queries are over the samples so far.
+class SampleSet {
+ public:
+  void add(double value) { values_.push_back(value); }
+  void add_count(double value, std::size_t count);
+
+  [[nodiscard]] std::size_t size() const { return values_.size(); }
+  [[nodiscard]] bool empty() const { return values_.empty(); }
+  [[nodiscard]] double mean() const;
+  [[nodiscard]] double stddev() const;
+  [[nodiscard]] double min() const;
+  [[nodiscard]] double max() const;
+  /// p in [0, 100]; linear interpolation between order statistics.
+  [[nodiscard]] double percentile(double p) const;
+  [[nodiscard]] double median() const { return percentile(50.0); }
+
+  /// Empirical CCDF evaluated at `x`: P[X > x].
+  [[nodiscard]] double ccdf(double x) const;
+  /// Empirical CDF evaluated at `x`: P[X <= x].
+  [[nodiscard]] double cdf(double x) const;
+
+  [[nodiscard]] const std::vector<double>& values() const { return values_; }
+
+ private:
+  mutable std::vector<double> values_;
+  mutable bool sorted_ = false;
+  void sort() const;
+};
+
+/// One (x, y) point of a distribution curve.
+struct CurvePoint {
+  double x;
+  double y;
+};
+
+/// Sampled CCDF curve over `points` x-values spanning [min, max].
+std::vector<CurvePoint> ccdf_curve(const SampleSet& samples,
+                                   std::size_t points = 20);
+
+/// Sampled CDF curve.
+std::vector<CurvePoint> cdf_curve(const SampleSet& samples,
+                                  std::size_t points = 20);
+
+/// Coefficient of determination R^2 between two equally-sized series
+/// (the paper reports R^2 = 0.9970 / 0.9862 for MCS / retransmissions,
+/// section 5.4.2).
+double r_squared(const std::vector<double>& truth,
+                 const std::vector<double>& estimate);
+
+/// Render a curve as aligned text rows for bench output.
+std::string format_curve(const std::vector<CurvePoint>& curve,
+                         const std::string& x_label,
+                         const std::string& y_label);
+
+}  // namespace nrs

@@ -1,0 +1,35 @@
+#include "common/timing.h"
+
+namespace nrs {
+
+const char* to_string(Scs scs) {
+  switch (scs) {
+    case Scs::kHz15:
+      return "15kHz";
+    case Scs::kHz30:
+      return "30kHz";
+    case Scs::kHz60:
+      return "60kHz";
+  }
+  return "?";
+}
+
+bool SlotPoint::advance() {
+  if (++slot >= slots_per_frame(scs)) {
+    slot = 0;
+    sfn = (sfn + 1) & 0x3FF;
+    return sfn == 0;
+  }
+  return false;
+}
+
+std::string SlotPoint::to_string() const {
+  return "sfn=" + std::to_string(sfn) + " slot=" + std::to_string(slot);
+}
+
+void SlotClock::tick() {
+  point_.advance();
+  ++count_;
+}
+
+}  // namespace nrs

@@ -1,0 +1,36 @@
+// Fundamental scalar and vector types shared by every NR-Scope module.
+#pragma once
+
+#include <complex>
+#include <cstdint>
+#include <vector>
+
+namespace nrs {
+
+/// Complex baseband sample (32-bit float I/Q), the unit of all IQ paths.
+using cf32 = std::complex<float>;
+
+/// A buffer of IQ samples (one slot, one symbol, ... depending on context).
+using IqBuffer = std::vector<cf32>;
+
+/// Radio Network Temporary Identifier (16 bits on the air).
+using Rnti = std::uint16_t;
+
+/// Reserved RNTI values (3GPP TS 38.321 Table 7.1-1).
+inline constexpr Rnti kSiRnti = 0xFFFF;   ///< System information
+inline constexpr Rnti kPRnti = 0xFFFE;    ///< Paging
+inline constexpr Rnti kInvalidRnti = 0x0; ///< "no RNTI"
+
+/// Subcarriers per physical resource block (3GPP TS 38.211 4.4.4.1).
+inline constexpr unsigned kSubcarriersPerPrb = 12;
+
+/// OFDM symbols per slot with normal cyclic prefix.
+inline constexpr unsigned kSymbolsPerSlot = 14;
+
+/// Resource elements in one REG (1 PRB x 1 OFDM symbol).
+inline constexpr unsigned kResPerReg = 12;
+
+/// REGs per CCE (3GPP TS 38.211 7.3.2.2).
+inline constexpr unsigned kRegsPerCce = 6;
+
+}  // namespace nrs

@@ -1,0 +1,65 @@
+#include "common/worker_pool.h"
+
+#include <algorithm>
+
+namespace nrs {
+
+WorkerPool::WorkerPool(unsigned num_threads)
+    : num_threads_(std::max(1u, num_threads)), jobs_(1024) {
+  threads_.reserve(num_threads_);
+  for (unsigned i = 0; i < num_threads_; ++i) {
+    threads_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+WorkerPool::~WorkerPool() {
+  jobs_.close();
+  for (auto& t : threads_) {
+    t.join();
+  }
+}
+
+void WorkerPool::worker_loop() {
+  while (auto job = jobs_.pop()) {
+    job->fn();
+    job->done.set_value();
+  }
+}
+
+std::future<void> WorkerPool::submit(std::function<void()> task) {
+  Job job;
+  job.fn = std::move(task);
+  std::future<void> fut = job.done.get_future();
+  if (!jobs_.push(std::move(job))) {
+    // Pool already shut down (submit raced destruction): run inline so the
+    // caller still gets a satisfied future.
+    std::promise<void> p;
+    fut = p.get_future();
+    p.set_value();
+  }
+  return fut;
+}
+
+void WorkerPool::run_batch(std::size_t count,
+                           const std::function<void(std::size_t)>& task) {
+  if (count == 0) {
+    return;
+  }
+  if (num_threads_ == 1 || count == 1) {
+    for (std::size_t i = 0; i < count; ++i) {
+      task(i);
+    }
+    return;
+  }
+  std::vector<std::future<void>> futures;
+  futures.reserve(count - 1);
+  for (std::size_t i = 1; i < count; ++i) {
+    futures.push_back(submit([&task, i] { task(i); }));
+  }
+  task(0);  // run the first shard on the calling thread
+  for (auto& f : futures) {
+    f.wait();
+  }
+}
+
+}  // namespace nrs

@@ -1,0 +1,48 @@
+// Fixed-size thread pool.  NR-Scope's scheduler hands each slot to an idle
+// worker; inside a worker, DCI decoding for the known-UE list is sharded
+// across pool tasks (paper section 4, Fig. 4 and Fig. 12).
+#pragma once
+
+#include <atomic>
+#include <functional>
+#include <future>
+#include <thread>
+#include <vector>
+
+#include "common/queue.h"
+
+namespace nrs {
+
+class WorkerPool {
+ public:
+  explicit WorkerPool(unsigned num_threads);
+  ~WorkerPool();
+
+  WorkerPool(const WorkerPool&) = delete;
+  WorkerPool& operator=(const WorkerPool&) = delete;
+
+  /// Enqueue a task; returns a future for its completion.
+  std::future<void> submit(std::function<void()> task);
+
+  /// Run `count` tasks produced by `make_task(i)` and wait for all of them.
+  /// With a single-thread pool this degenerates to sequential execution,
+  /// which is the paper's "one thread" baseline in Fig. 12.
+  void run_batch(std::size_t count,
+                 const std::function<void(std::size_t)>& task);
+
+  [[nodiscard]] unsigned size() const { return num_threads_; }
+
+ private:
+  struct Job {
+    std::function<void()> fn;
+    std::promise<void> done;
+  };
+
+  void worker_loop();
+
+  unsigned num_threads_;
+  BoundedQueue<Job> jobs_;
+  std::vector<std::thread> threads_;
+};
+
+}  // namespace nrs

@@ -1,0 +1,105 @@
+#include "gnb/ground_truth.h"
+
+#include <stdexcept>
+
+namespace nrs {
+
+const char* to_string(DciKind kind) {
+  switch (kind) {
+    case DciKind::kSib:
+      return "sib";
+    case DciKind::kRar:
+      return "rar";
+    case DciKind::kMsg4:
+      return "msg4";
+    case DciKind::kData:
+      return "data";
+    case DciKind::kUplink:
+      return "uplink";
+  }
+  return "?";
+}
+
+void GroundTruthLog::begin_slot(std::uint64_t slot, bool has_ssb) {
+  if (!slots_.empty() && slots_.back().slot >= slot) {
+    throw std::logic_error("GroundTruthLog: slots must be monotone");
+  }
+  slots_.push_back(SlotTruth{slot, has_ssb, {}});
+}
+
+void GroundTruthLog::add_dci(TruthDci dci) {
+  if (slots_.empty() || slots_.back().slot != dci.slot) {
+    throw std::logic_error("GroundTruthLog: add_dci outside begin_slot");
+  }
+  slots_.back().dcis.push_back(std::move(dci));
+}
+
+std::vector<const TruthDci*> GroundTruthLog::dcis_for(
+    Rnti rnti, bool include_uplink) const {
+  std::vector<const TruthDci*> out;
+  for (const auto& slot : slots_) {
+    for (const auto& d : slot.dcis) {
+      if (d.rnti == rnti &&
+          (include_uplink || is_downlink(d.dci.format))) {
+        out.push_back(&d);
+      }
+    }
+  }
+  return out;
+}
+
+std::uint64_t GroundTruthLog::count(DciKind kind) const {
+  std::uint64_t n = 0;
+  for (const auto& slot : slots_) {
+    for (const auto& d : slot.dcis) {
+      n += d.kind == kind;
+    }
+  }
+  return n;
+}
+
+std::uint64_t GroundTruthLog::count_downlink_data() const {
+  return count(DciKind::kData);
+}
+
+std::uint64_t GroundTruthLog::count_uplink() const {
+  return count(DciKind::kUplink);
+}
+
+namespace {
+
+template <typename Pred>
+std::uint64_t sum_tbs(const std::vector<SlotTruth>& slots, Rnti rnti,
+                      std::uint64_t slot_begin, std::uint64_t slot_end,
+                      Pred pred) {
+  std::uint64_t bits = 0;
+  for (const auto& slot : slots) {
+    if (slot.slot < slot_begin || slot.slot >= slot_end) {
+      continue;
+    }
+    for (const auto& d : slot.dcis) {
+      if (d.rnti == rnti && d.kind == DciKind::kData && pred(d)) {
+        bits += d.grant.tbs;
+      }
+    }
+  }
+  return bits;
+}
+
+}  // namespace
+
+std::uint64_t GroundTruthLog::delivered_bits(Rnti rnti,
+                                             std::uint64_t slot_begin,
+                                             std::uint64_t slot_end) const {
+  return sum_tbs(slots_, rnti, slot_begin, slot_end,
+                 [](const TruthDci& d) { return d.acked && !d.is_retx; });
+}
+
+std::uint64_t GroundTruthLog::scheduled_bits(Rnti rnti,
+                                             std::uint64_t slot_begin,
+                                             std::uint64_t slot_end) const {
+  return sum_tbs(slots_, rnti, slot_begin, slot_end,
+                 [](const TruthDci& d) { return !d.is_retx; });
+}
+
+}  // namespace nrs

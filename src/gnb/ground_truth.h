@@ -1,0 +1,88 @@
+// Ground-truth logging: the role srsRAN's gNB log plays in the paper's
+// evaluation (section 5.2.1: "collect detailed physical layer ground truth
+// for all UEs from srsRAN's log, in terms of TTI index, DCI content and
+// downlink grants").  Every DCI the simulated gNB transmits is recorded
+// here; the analysis module matches NR-Scope's decodes against it.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.h"
+#include "nr/dci.h"
+#include "nr/grant.h"
+
+namespace nrs {
+
+enum class DciKind : std::uint8_t {
+  kSib,     ///< SI-RNTI scheduling of SIB1
+  kRar,     ///< RA-RNTI scheduling of MSG2
+  kMsg4,    ///< TC-RNTI scheduling of the RRC Setup
+  kData,    ///< C-RNTI downlink data
+  kUplink,  ///< C-RNTI uplink grant
+};
+
+const char* to_string(DciKind kind);
+
+struct TruthDci {
+  std::uint64_t slot = 0;
+  Rnti rnti = kInvalidRnti;
+  DciKind kind = DciKind::kData;
+  Dci dci;
+  Grant grant;
+  bool is_retx = false;
+  bool acked = true;      ///< UE decode outcome (DL data only)
+  unsigned agg_level = 1;
+  unsigned cce_start = 0;
+};
+
+struct SlotTruth {
+  std::uint64_t slot = 0;
+  bool has_ssb = false;
+  std::vector<TruthDci> dcis;
+
+  /// REGs (PRB x symbol) granted in this TTI, the paper's Fig. 8 unit.
+  [[nodiscard]] unsigned total_regs(bool downlink_only = true) const {
+    unsigned regs = 0;
+    for (const auto& d : dcis) {
+      if (!downlink_only || is_downlink(d.dci.format)) {
+        regs += d.grant.n_regs();
+      }
+    }
+    return regs;
+  }
+};
+
+class GroundTruthLog {
+ public:
+  void begin_slot(std::uint64_t slot, bool has_ssb);
+  void add_dci(TruthDci dci);
+
+  [[nodiscard]] const std::vector<SlotTruth>& slots() const { return slots_; }
+
+  /// All DCIs for one RNTI (downlink and/or uplink data).
+  [[nodiscard]] std::vector<const TruthDci*> dcis_for(
+      Rnti rnti, bool include_uplink = true) const;
+
+  /// Totals by kind / direction across the whole log.
+  [[nodiscard]] std::uint64_t count(DciKind kind) const;
+  [[nodiscard]] std::uint64_t count_downlink_data() const;
+  [[nodiscard]] std::uint64_t count_uplink() const;
+
+  /// Sum of delivered (ACKed, first-transmission) TBS bits for one RNTI in
+  /// [slot_begin, slot_end).
+  [[nodiscard]] std::uint64_t delivered_bits(Rnti rnti,
+                                             std::uint64_t slot_begin,
+                                             std::uint64_t slot_end) const;
+
+  /// Sum of scheduled first-transmission TBS bits (what a gNB log reports
+  /// regardless of HARQ outcome) — the paper's Amarisoft ground truth.
+  [[nodiscard]] std::uint64_t scheduled_bits(Rnti rnti,
+                                             std::uint64_t slot_begin,
+                                             std::uint64_t slot_end) const;
+
+ private:
+  std::vector<SlotTruth> slots_;
+};
+
+}  // namespace nrs

@@ -1,0 +1,54 @@
+// MAC downlink scheduler: splits the PDSCH PRBs of one TTI among the UEs
+// with pending data, picks each UE's MCS from link adaptation, and sizes
+// allocations to their backlog.  Round-robin and proportional-fair
+// policies are provided; the paper's lab gNBs (srsRAN, Amarisoft) default
+// to proportional fair with full-buffer iperf traffic behaving like the
+// round-robin equal split visible in its Fig. 14.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/types.h"
+#include "nr/mcs_tables.h"
+
+namespace nrs {
+
+enum class SchedulerPolicy : std::uint8_t {
+  kRoundRobin,
+  kProportionalFair,
+};
+
+const char* to_string(SchedulerPolicy policy);
+
+/// One UE's scheduling input for a TTI.
+struct SchedRequest {
+  Rnti rnti = kInvalidRnti;
+  std::size_t backlog_bytes = 0;
+  bool full_buffer = false;
+  double snr_db = 20.0;       ///< link-adaptation SNR (CQI + OLLA offset)
+  double avg_rate_bps = 1.0;  ///< long-term served rate (PF metric)
+};
+
+/// One UE's allocation decision.
+struct SchedDecision {
+  Rnti rnti = kInvalidRnti;
+  unsigned prb_start = 0;
+  unsigned prb_len = 0;
+  unsigned mcs = 0;
+};
+
+/// Allocate `n_prb` PRBs among `requests` for one TTI.
+/// Contiguous (type-1) allocations; UEs with empty backlog get nothing;
+/// allocations shrink to the backlog so small flows don't waste PRBs.
+/// `n_symbols`/`dmrs_re`/`overhead` size the per-PRB capacity estimate.
+std::vector<SchedDecision> schedule_tti(std::span<const SchedRequest> requests,
+                                        unsigned n_prb, McsTable table,
+                                        SchedulerPolicy policy,
+                                        std::uint64_t round_robin_cursor,
+                                        unsigned n_symbols = 12,
+                                        unsigned dmrs_re = 12,
+                                        unsigned overhead = 0);
+
+}  // namespace nrs

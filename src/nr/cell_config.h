@@ -1,0 +1,79 @@
+// Full configuration of one 5G SA cell, as both the gNB simulator and —
+// after decoding MIB/SIB1/RRC — the NR-Scope sniffer see it.  The paper's
+// evaluation cells (srsRAN n41, Mosolabs n48, Amarisoft n78, T-Mobile
+// n25/n71) are instances of this struct; presets for each live in
+// gnb/presets.h.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/timing.h"
+#include "common/types.h"
+#include "nr/coreset.h"
+#include "nr/mcs_tables.h"
+
+namespace nrs {
+
+/// TDD slot pattern: `period` slots of which the first `n_dl` are downlink
+/// (PDCCH+PDSCH), the last `n_ul` uplink, anything between is a special
+/// slot treated as downlink-control-only.  FDD is period 1 / n_dl 1.
+struct TddPattern {
+  unsigned period = 5;  ///< e.g. DDDSU
+  unsigned n_dl = 3;
+  unsigned n_ul = 1;
+
+  [[nodiscard]] bool is_downlink(std::uint64_t slot_index) const {
+    return (slot_index % period) < n_dl;
+  }
+  [[nodiscard]] bool is_uplink(std::uint64_t slot_index) const {
+    return (slot_index % period) >= period - n_ul;
+  }
+  /// Special slots carry PDCCH but no PDSCH data in this model.
+  [[nodiscard]] bool is_special(std::uint64_t slot_index) const {
+    return !is_downlink(slot_index) && !is_uplink(slot_index);
+  }
+  [[nodiscard]] bool operator==(const TddPattern&) const = default;
+};
+
+/// RACH opportunity configuration (from SIB1).
+struct RachConfig {
+  unsigned prach_period_slots = 40;  ///< one PRACH occasion per period
+  unsigned ra_response_window = 10;  ///< slots the gNB may take for MSG2
+  unsigned msg4_agg_level = 4;       ///< MSG2/MSG4 DCIs use this level
+  [[nodiscard]] bool operator==(const RachConfig&) const = default;
+};
+
+/// PDSCH parameters needed by the TBS calculation (from SIB1/RRC).
+struct PdschConfig {
+  unsigned dmrs_re_per_prb = 12;  ///< front-loaded full-symbol DMRS
+  unsigned xoverhead = 0;
+  McsTable mcs_table = McsTable::kQam64;
+  unsigned max_mimo_layers = 1;
+  [[nodiscard]] bool operator==(const PdschConfig&) const = default;
+};
+
+struct CellConfig {
+  std::string name = "cell";
+  std::uint16_t pci = 42;
+  Scs scs = Scs::kHz30;
+  unsigned n_prb = 51;            ///< BWP width (20 MHz @ 30 kHz -> 51)
+  double carrier_freq_hz = 2.5249e9;
+  unsigned ssb_prb_start = 0;     ///< SSB window location
+  unsigned ssb_period_frames = 1; ///< SSB every N frames (slot 0)
+  unsigned sib1_period_frames = 2;
+
+  CoresetConfig coreset;          ///< the cell's single CORESET
+  SearchSpaceConfig common_ss{
+      /*ue_specific=*/false, /*agg_levels=*/{4, 8}, /*candidates=*/2};
+  SearchSpaceConfig ue_ss{
+      /*ue_specific=*/true, /*agg_levels=*/{1, 2, 4}, /*candidates=*/2};
+
+  TddPattern tdd;
+  RachConfig rach;
+  PdschConfig pdsch;
+
+  [[nodiscard]] bool operator==(const CellConfig&) const = default;
+};
+
+}  // namespace nrs

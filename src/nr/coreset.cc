@@ -1,0 +1,99 @@
+#include "nr/coreset.h"
+
+#include <stdexcept>
+
+namespace nrs {
+namespace {
+
+/// REG-bundle interleaver f(x) (TS 38.211 7.3.2.2).
+unsigned interleave_bundle(const CoresetConfig& coreset, unsigned j) {
+  const unsigned n_bundle = coreset.n_reg() / coreset.reg_bundle_size;
+  if (!coreset.interleaved) {
+    return j;
+  }
+  const unsigned rows = coreset.interleaver_rows;
+  const unsigned cols = n_bundle / rows;
+  if (cols == 0) {
+    return j;
+  }
+  const unsigned c = j / rows;
+  const unsigned r = j % rows;
+  return (r * cols + c + coreset.shift) % n_bundle;
+}
+
+}  // namespace
+
+std::vector<RegLocation> cce_to_regs(const CoresetConfig& coreset,
+                                     unsigned cce_start, unsigned agg_level) {
+  if (coreset.n_prb % kRegsPerCce != 0) {
+    throw std::invalid_argument("CORESET width must be a multiple of 6");
+  }
+  if ((cce_start + agg_level) > coreset.n_cce()) {
+    throw std::invalid_argument("CCE range outside CORESET");
+  }
+  const unsigned bundle_size = coreset.reg_bundle_size;
+  const unsigned bundles_per_cce = kRegsPerCce / bundle_size;
+
+  std::vector<RegLocation> regs;
+  regs.reserve(static_cast<std::size_t>(agg_level) * kRegsPerCce);
+  for (unsigned cce = cce_start; cce < cce_start + agg_level; ++cce) {
+    for (unsigned b = 0; b < bundles_per_cce; ++b) {
+      const unsigned bundle =
+          interleave_bundle(coreset, cce * bundles_per_cce + b);
+      for (unsigned r = 0; r < bundle_size; ++r) {
+        // REG numbering is time-first within the CORESET (TS 38.211
+        // 7.3.2.2): REG x sits at symbol (x mod duration), PRB
+        // floor(x / duration).
+        const unsigned reg_index = bundle * bundle_size + r;
+        regs.push_back(RegLocation{
+            coreset.rb_start + reg_index / coreset.duration,
+            reg_index % coreset.duration,
+        });
+      }
+    }
+  }
+  return regs;
+}
+
+unsigned pdcch_hash_y(unsigned coreset_id, const SlotPoint& slot, Rnti rnti) {
+  // TS 38.213 10.1: Y_{p,-1} = n_RNTI, Y_{p,ns} = (A_p * Y_{p,ns-1}) mod D.
+  constexpr unsigned kD = 65537;
+  constexpr unsigned kA[3] = {39827, 39829, 39839};
+  const unsigned a = kA[coreset_id % 3];
+  std::uint64_t y = rnti == 0 ? 0 : rnti;
+  if (y == 0) {
+    return 0;  // common search space
+  }
+  for (unsigned ns = 0; ns <= slot.slot; ++ns) {
+    y = (a * y) % kD;
+  }
+  return static_cast<unsigned>(y);
+}
+
+std::vector<unsigned> pdcch_candidates(const CoresetConfig& coreset,
+                                       const SearchSpaceConfig& search_space,
+                                       unsigned agg_level,
+                                       const SlotPoint& slot, Rnti rnti) {
+  const unsigned n_cce = coreset.n_cce();
+  if (agg_level == 0 || agg_level > n_cce) {
+    return {};
+  }
+  const unsigned slots_at_level = n_cce / agg_level;
+  const unsigned m_max = std::min(search_space.candidates_per_level,
+                                  slots_at_level);
+  const unsigned y = search_space.ue_specific
+                         ? pdcch_hash_y(coreset.id, slot, rnti)
+                         : 0;
+  std::vector<unsigned> candidates;
+  candidates.reserve(m_max);
+  for (unsigned m = 0; m < m_max; ++m) {
+    // TS 38.213 10.1: L * ((Y + floor(m*Ncce/(L*M))) mod floor(Ncce/L)).
+    const unsigned index =
+        (y + (m * n_cce) / (agg_level * std::max(1u, m_max))) %
+        slots_at_level;
+    candidates.push_back(agg_level * index);
+  }
+  return candidates;
+}
+
+}  // namespace nrs

@@ -1,0 +1,24 @@
+#include "nr/harq.h"
+
+namespace nrs {
+
+bool HarqTracker::observe(const Dci& dci) {
+  auto& bank = is_downlink(dci.format) ? dl_ndi_ : ul_ndi_;
+  auto& slot = bank[dci.harq_id % kMaxHarqProcesses];
+  ++observed_;
+  const bool retx = slot.has_value() && *slot == dci.ndi;
+  if (retx) {
+    ++retx_;
+  }
+  slot = dci.ndi;
+  return retx;
+}
+
+void HarqTracker::reset() {
+  dl_ndi_.fill(std::nullopt);
+  ul_ndi_.fill(std::nullopt);
+  observed_ = 0;
+  retx_ = 0;
+}
+
+}  // namespace nrs

@@ -1,0 +1,45 @@
+// HARQ retransmission tracking from DCIs alone (paper section 3.2.2): the
+// gNB toggles the new-data indicator (NDI) of a HARQ process when it sends
+// new data, and repeats the NDI for a retransmission.  NR-Scope "maintains
+// an array for each UE to record the ndi from previous DCIs for each
+// harq_id to detect re-transmissions" — this class is that array.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <optional>
+
+#include "nr/dci.h"
+
+namespace nrs {
+
+inline constexpr unsigned kMaxHarqProcesses = 16;
+
+class HarqTracker {
+ public:
+  /// Feed one decoded DCI; returns true when it is a retransmission
+  /// (same harq_id, NDI not toggled).  Downlink and uplink HARQ processes
+  /// are tracked independently.
+  bool observe(const Dci& dci);
+
+  /// Total DCIs observed / retransmissions detected.
+  [[nodiscard]] std::uint64_t observed() const { return observed_; }
+  [[nodiscard]] std::uint64_t retransmissions() const { return retx_; }
+
+  /// Fraction of observed DCIs that were retransmissions (paper Fig. 15).
+  [[nodiscard]] double retransmission_ratio() const {
+    return observed_ == 0
+               ? 0.0
+               : static_cast<double>(retx_) / static_cast<double>(observed_);
+  }
+
+  void reset();
+
+ private:
+  std::array<std::optional<std::uint8_t>, kMaxHarqProcesses> dl_ndi_{};
+  std::array<std::optional<std::uint8_t>, kMaxHarqProcesses> ul_ndi_{};
+  std::uint64_t observed_ = 0;
+  std::uint64_t retx_ = 0;
+};
+
+}  // namespace nrs

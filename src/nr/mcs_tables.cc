@@ -1,0 +1,89 @@
+#include "nr/mcs_tables.h"
+
+#include <array>
+#include <cmath>
+#include <stdexcept>
+
+namespace nrs {
+namespace {
+
+// TS 38.214 Table 5.1.3.1-1 (MCS index table 1, up to 64QAM).
+constexpr std::array<McsEntry, 29> kTable1 = {{
+    {2, 120},  {2, 157},  {2, 193},  {2, 251},  {2, 308},  {2, 379},
+    {2, 449},  {2, 526},  {2, 602},  {2, 679},  {4, 340},  {4, 378},
+    {4, 434},  {4, 490},  {4, 553},  {4, 616},  {4, 658},  {6, 438},
+    {6, 466},  {6, 517},  {6, 567},  {6, 616},  {6, 666},  {6, 719},
+    {6, 772},  {6, 822},  {6, 873},  {6, 910},  {6, 948},
+}};
+
+// TS 38.214 Table 5.1.3.1-2 (MCS index table 2, up to 256QAM).
+constexpr std::array<McsEntry, 28> kTable2 = {{
+    {2, 120},   {2, 193},   {2, 308},   {2, 449},   {2, 602},  {4, 378},
+    {4, 434},   {4, 490},   {4, 553},   {4, 616},   {4, 658},  {6, 466},
+    {6, 517},   {6, 567},   {6, 616},   {6, 666},   {6, 719},  {6, 772},
+    {6, 822},   {6, 873},   {8, 682.5}, {8, 711},   {8, 754},  {8, 797},
+    {8, 841},   {8, 885},   {8, 916.5}, {8, 948},
+}};
+
+// TS 38.214 Table 5.1.3.1-3 (MCS index table 3, low spectral efficiency).
+constexpr std::array<McsEntry, 29> kTable3 = {{
+    {2, 30},   {2, 40},   {2, 50},   {2, 64},   {2, 78},   {2, 99},
+    {2, 120},  {2, 157},  {2, 193},  {2, 251},  {2, 308},  {2, 379},
+    {2, 449},  {2, 526},  {2, 602},  {4, 340},  {4, 378},  {4, 434},
+    {4, 490},  {4, 553},  {4, 616},  {6, 438},  {6, 466},  {6, 517},
+    {6, 567},  {6, 616},  {6, 666},  {6, 719},  {6, 772},
+}};
+
+}  // namespace
+
+const char* to_string(McsTable table) {
+  switch (table) {
+    case McsTable::kQam64:
+      return "qam64";
+    case McsTable::kQam256:
+      return "qam256";
+    case McsTable::kQam64LowSe:
+      return "qam64LowSE";
+  }
+  return "?";
+}
+
+unsigned mcs_table_size(McsTable table) {
+  switch (table) {
+    case McsTable::kQam64:
+      return kTable1.size();
+    case McsTable::kQam256:
+      return kTable2.size();
+    case McsTable::kQam64LowSe:
+      return kTable3.size();
+  }
+  throw std::invalid_argument("unknown MCS table");
+}
+
+McsEntry mcs_entry(McsTable table, unsigned mcs_index) {
+  switch (table) {
+    case McsTable::kQam64:
+      return kTable1.at(mcs_index);
+    case McsTable::kQam256:
+      return kTable2.at(mcs_index);
+    case McsTable::kQam64LowSe:
+      return kTable3.at(mcs_index);
+  }
+  throw std::invalid_argument("unknown MCS table");
+}
+
+unsigned select_mcs_for_snr(McsTable table, double snr_db, double gap_db) {
+  // Capacity with an implementation gap: C = log2(1 + SNR / gap).
+  const double snr = std::pow(10.0, (snr_db - gap_db) / 10.0);
+  const double capacity = std::log2(1.0 + snr);
+  const unsigned size = mcs_table_size(table);
+  unsigned best = 0;
+  for (unsigned i = 0; i < size; ++i) {
+    if (mcs_entry(table, i).efficiency() <= capacity) {
+      best = i;
+    }
+  }
+  return best;
+}
+
+}  // namespace nrs

@@ -1,0 +1,49 @@
+// PDSCH MCS tables (3GPP TS 38.214 Tables 5.1.3.1-1/2/3).  The DCI carries
+// a 5-bit MCS index; the UE — and NR-Scope — look up modulation order Qm
+// and code rate R here, feeding the TBS calculation (paper Appendix A:
+// "R is the code rate and Qm is the modulation order, which are delivered
+// through the DCI's MCS value and the UE checks the predefined tables").
+#pragma once
+
+#include <cstdint>
+
+#include "phy/modulation.h"
+
+namespace nrs {
+
+enum class McsTable : std::uint8_t {
+  kQam64 = 1,       ///< Table 5.1.3.1-1 (default, up to 64QAM)
+  kQam256 = 2,      ///< Table 5.1.3.1-2 (up to 256QAM)
+  kQam64LowSe = 3,  ///< Table 5.1.3.1-3 (low spectral efficiency / URLLC)
+};
+
+const char* to_string(McsTable table);
+
+struct McsEntry {
+  unsigned qm;            ///< modulation order (bits per symbol)
+  double rate_x1024;      ///< target code rate R * 1024
+  [[nodiscard]] double code_rate() const { return rate_x1024 / 1024.0; }
+  [[nodiscard]] Modulation modulation() const {
+    return static_cast<Modulation>(qm);
+  }
+  /// Spectral efficiency in bits per RE.
+  [[nodiscard]] double efficiency() const {
+    return static_cast<double>(qm) * code_rate();
+  }
+};
+
+/// Number of valid (non-reserved) MCS indices in a table.
+unsigned mcs_table_size(McsTable table);
+
+/// Look up one entry; throws std::out_of_range for reserved indices.
+McsEntry mcs_entry(McsTable table, unsigned mcs_index);
+
+/// Highest MCS index whose spectral efficiency is supported at `snr_db`
+/// (Shannon capacity minus `gap_db` implementation loss).  This is the
+/// link-adaptation primitive the gNB simulator uses; the paper observes
+/// its effect in Fig. 15 ("gNB tends to use higher MCS index ... in better
+/// channel conditions").
+unsigned select_mcs_for_snr(McsTable table, double snr_db,
+                            double gap_db = 3.0);
+
+}  // namespace nrs

@@ -1,0 +1,353 @@
+#include "nr/pdcch.h"
+
+#include <cmath>
+#include <map>
+#include <memory>
+#include <stdexcept>
+
+#include "common/gold.h"
+#include "phy/chest.h"
+#include "phy/modulation.h"
+#include "phy/polar.h"
+
+namespace nrs {
+namespace {
+
+constexpr float kInvSqrt2 = 0.70710678f;
+
+/// Gold c_init for the PDCCH DMRS of (slot, symbol) (TS 38.211 7.4.1.3.1).
+std::uint32_t pdcch_dmrs_cinit(std::uint16_t n_id, const SlotPoint& slot,
+                               unsigned symbol) {
+  const std::uint64_t v =
+      ((1ull << 17) *
+           (kSymbolsPerSlot * static_cast<std::uint64_t>(slot.slot) + symbol +
+            1) *
+           (2ull * n_id + 1) +
+       2ull * n_id);
+  return static_cast<std::uint32_t>(v & 0x7FFFFFFFull);
+}
+
+/// Per-(slot, symbol) DMRS sequence over the CORESET's PRB span, so
+/// repeated candidate decodes don't regenerate the Gold sequence.
+class DmrsTable {
+ public:
+  DmrsTable(const CoresetConfig& coreset, const SlotPoint& slot) {
+    const unsigned prb_end = coreset.rb_start + coreset.n_prb;
+    for (unsigned sym = 0; sym < coreset.duration; ++sym) {
+      GoldSequence gold(pdcch_dmrs_cinit(coreset.n_id, slot, sym));
+      auto& row = values_[sym];
+      row.resize(static_cast<std::size_t>(prb_end) * kPdcchDmrsPerReg);
+      for (std::size_t m = 0; m < row.size(); ++m) {
+        const float re = gold.next() ? -kInvSqrt2 : kInvSqrt2;
+        const float im = gold.next() ? -kInvSqrt2 : kInvSqrt2;
+        row[m] = cf32(re, im);
+      }
+    }
+  }
+
+  [[nodiscard]] cf32 at(unsigned symbol, unsigned prb,
+                        unsigned k_prime) const {
+    return values_[symbol][static_cast<std::size_t>(prb) * kPdcchDmrsPerReg +
+                           k_prime];
+  }
+
+ private:
+  std::vector<cf32> values_[2];
+};
+
+/// Per-thread memo of the last DMRS table: candidate decoding calls this
+/// for every (UE, level, candidate) of a slot, but the table only depends
+/// on (coreset identity/geometry, slot index).
+const DmrsTable& cached_dmrs(const CoresetConfig& coreset,
+                             const SlotPoint& slot) {
+  struct CacheEntry {
+    std::uint64_t key = ~0ull;
+    std::unique_ptr<DmrsTable> table;
+  };
+  thread_local CacheEntry cache;
+  const std::uint64_t key =
+      (static_cast<std::uint64_t>(coreset.n_id) << 40) ^
+      (static_cast<std::uint64_t>(slot.slot) << 24) ^
+      (static_cast<std::uint64_t>(coreset.rb_start) << 14) ^
+      (static_cast<std::uint64_t>(coreset.n_prb) << 3) ^
+      coreset.duration;
+  if (cache.key != key) {
+    cache.table = std::make_unique<DmrsTable>(coreset, slot);
+    cache.key = key;
+  }
+  return *cache.table;
+}
+
+/// The PDCCH scrambling sequence depends only on n_id (n_RNTI = 0 for the
+/// configurations we support), so memoize a prefix long enough for the
+/// largest aggregation level.
+std::span<const std::uint8_t> cached_scrambling(std::uint16_t n_id,
+                                                std::size_t min_len) {
+  struct CacheEntry {
+    std::uint32_t n_id = ~0u;
+    BitVector bits;
+  };
+  thread_local CacheEntry cache;
+  if (cache.n_id != n_id || cache.bits.size() < min_len) {
+    GoldSequence gold(pdcch_scrambling_cinit(0, n_id));
+    cache.bits = gold.generate(std::max<std::size_t>(min_len, 2048));
+    cache.n_id = n_id;
+  }
+  return {cache.bits.data(), cache.bits.size()};
+}
+
+/// DMRS subcarrier offsets within a REG (k = 4k' + 1).
+constexpr unsigned dmrs_sc(unsigned k_prime) { return 4 * k_prime + 1; }
+
+bool is_dmrs_sc(unsigned sc_in_prb) { return sc_in_prb % 4 == 1; }
+
+/// Extract soft bits for one candidate from the grid.  Returns E LLRs in
+/// coded-bit order plus a crude SNR estimate, or nullopt when the location
+/// falls outside the grid.
+std::optional<std::pair<std::vector<float>, float>> extract_candidate_llrs(
+    const CoresetConfig& coreset, unsigned agg_level, unsigned cce_start,
+    const SlotPoint& slot, const ResourceGrid& grid) {
+  if (cce_start + agg_level > coreset.n_cce() ||
+      coreset.rb_start + coreset.n_prb >
+          grid.n_subcarriers() / kSubcarriersPerPrb) {
+    return std::nullopt;
+  }
+  const DmrsTable& dmrs = cached_dmrs(coreset, slot);
+  const auto regs = cce_to_regs(coreset, cce_start, agg_level);
+
+  // Per-REG flat channel estimate from its three pilots, with a pooled
+  // noise-variance estimate across all REGs of the candidate.
+  std::vector<cf32> reg_h(regs.size());
+  float resid = 0.0f;
+  unsigned resid_count = 0;
+  for (std::size_t r = 0; r < regs.size(); ++r) {
+    const auto& reg = regs[r];
+    cf32 acc{};
+    cf32 ls[kPdcchDmrsPerReg];
+    for (unsigned k = 0; k < kPdcchDmrsPerReg; ++k) {
+      const cf32 rx =
+          grid.at(reg.symbol, reg.prb * kSubcarriersPerPrb + dmrs_sc(k));
+      const cf32 ref = dmrs.at(reg.symbol, reg.prb, k);
+      ls[k] = rx * std::conj(ref) / std::norm(ref);
+      acc += ls[k];
+    }
+    reg_h[r] = acc / static_cast<float>(kPdcchDmrsPerReg);
+    for (unsigned k = 0; k < kPdcchDmrsPerReg; ++k) {
+      resid += std::norm(ls[k] - reg_h[r]);
+      ++resid_count;
+    }
+  }
+  // The deviation of LS points around the REG mean carries ~2/3 of the
+  // noise power (3-point mean removes 1/3).
+  float noise_var = resid_count > 0
+                        ? 1.5f * resid / static_cast<float>(resid_count)
+                        : 1e-3f;
+  noise_var = std::max(noise_var, 1e-7f);
+
+  // Energy gate: with no transmission at this location every LLR would be
+  // ~0 and the SC decoder would emit the (valid) all-zero codeword.  A real
+  // receiver rejects candidates without pilot energy; so do we.
+  float pilot_power = 0.0f;
+  for (const auto& h : reg_h) {
+    pilot_power += std::norm(h);
+  }
+  if (pilot_power / static_cast<float>(reg_h.size()) < 16.0f * noise_var &&
+      pilot_power < 1e-4f * static_cast<float>(reg_h.size())) {
+    return std::nullopt;
+  }
+
+  float signal_power = 0.0f;
+  std::vector<float> llrs;
+  llrs.reserve(static_cast<std::size_t>(agg_level) * kBitsPerCce);
+  float re_llr[2];
+  for (std::size_t r = 0; r < regs.size(); ++r) {
+    const auto& reg = regs[r];
+    signal_power += std::norm(reg_h[r]);
+    for (unsigned sc = 0; sc < kSubcarriersPerPrb; ++sc) {
+      if (is_dmrs_sc(sc)) {
+        continue;
+      }
+      const cf32 rx =
+          grid.at(reg.symbol, reg.prb * kSubcarriersPerPrb + sc);
+      float eff_nv = 0.0f;
+      const cf32 eq = equalize_zf(rx, reg_h[r], noise_var, eff_nv);
+      demodulate_llr_re(eq, Modulation::kQpsk, eff_nv, re_llr);
+      llrs.push_back(re_llr[0]);
+      llrs.push_back(re_llr[1]);
+    }
+  }
+  const float snr = signal_power /
+                    (static_cast<float>(regs.size()) * noise_var);
+  return std::make_pair(std::move(llrs),
+                        10.0f * std::log10(std::max(snr, 1e-6f)));
+}
+
+/// Descramble LLRs in place (a scramble bit of 1 flips the LLR sign).
+void descramble_llrs(std::vector<float>& llrs, std::uint16_t n_id) {
+  const auto bits = cached_scrambling(n_id, llrs.size());
+  for (std::size_t i = 0; i < llrs.size(); ++i) {
+    if (bits[i]) {
+      llrs[i] = -llrs[i];
+    }
+  }
+}
+
+/// Polar code instances are immutable per (K, E); constructing one sorts
+/// the reliability sequence, which would dominate the per-candidate decode
+/// cost, so memoize them per thread.
+const PolarCode& cached_polar(unsigned k, unsigned e) {
+  thread_local std::map<std::pair<unsigned, unsigned>, PolarCode> cache;
+  const auto key = std::make_pair(k, e);
+  auto it = cache.find(key);
+  if (it == cache.end()) {
+    it = cache.emplace(key, PolarCode(k, e)).first;
+  }
+  return it->second;
+}
+
+/// Run the polar decode for one candidate; returns payload+CRC bits.
+std::optional<BitVector> decode_candidate_bits(
+    const CoresetConfig& coreset, unsigned agg_level, unsigned cce_start,
+    unsigned payload_bits, const SlotPoint& slot, const ResourceGrid& grid,
+    float* snr_out) {
+  auto extracted =
+      extract_candidate_llrs(coreset, agg_level, cce_start, slot, grid);
+  if (!extracted) {
+    return std::nullopt;
+  }
+  auto& [llrs, snr] = *extracted;
+  if (snr_out != nullptr) {
+    *snr_out = snr;
+  }
+  descramble_llrs(llrs, coreset.n_id);
+  const unsigned k = payload_bits + kCrc24C.length();
+  const unsigned e = static_cast<unsigned>(llrs.size());
+  if (k + 1 >= e) {
+    return std::nullopt;  // cannot carry this payload at this level
+  }
+  const PolarCode& polar = cached_polar(k, e);
+  return polar.decode(llrs);
+}
+
+}  // namespace
+
+cf32 pdcch_dmrs_symbol(std::uint16_t n_id, const SlotPoint& slot,
+                       unsigned symbol, unsigned prb, unsigned k_prime) {
+  GoldSequence gold(pdcch_dmrs_cinit(n_id, slot, symbol));
+  gold.advance(2ull * (static_cast<std::uint64_t>(prb) * kPdcchDmrsPerReg +
+                       k_prime));
+  const float re = gold.next() ? -kInvSqrt2 : kInvSqrt2;
+  const float im = gold.next() ? -kInvSqrt2 : kInvSqrt2;
+  return {re, im};
+}
+
+void encode_pdcch(const CoresetConfig& coreset, const PdcchAllocation& alloc,
+                  const Dci& dci, unsigned n_prb_bwp, const SlotPoint& slot,
+                  ResourceGrid& grid) {
+  const BitVector bits = dci.pack(n_prb_bwp);
+  encode_pdcch_payload(coreset, alloc, bits, slot, grid);
+}
+
+void encode_pdcch_payload(const CoresetConfig& coreset,
+                          const PdcchAllocation& alloc,
+                          std::span<const std::uint8_t> payload,
+                          const SlotPoint& slot, ResourceGrid& grid) {
+  // Payload -> CRC24C (masked with the RNTI) -> polar -> scramble -> QPSK.
+  BitVector bits(payload.begin(), payload.end());
+  kCrc24C.attach(bits);
+  kCrc24C.mask_rnti(bits, alloc.rnti);
+
+  const unsigned e = alloc.agg_level * kBitsPerCce;
+  const PolarCode& polar =
+      cached_polar(static_cast<unsigned>(bits.size()), e);
+  BitVector coded = polar.encode(bits);
+  scramble(coded, pdcch_scrambling_cinit(0, coreset.n_id));
+  const std::vector<cf32> symbols = modulate(coded, Modulation::kQpsk);
+
+  const DmrsTable& dmrs = cached_dmrs(coreset, slot);
+  const auto regs = cce_to_regs(coreset, alloc.cce_start, alloc.agg_level);
+  std::size_t sym_index = 0;
+  for (const auto& reg : regs) {
+    unsigned k_prime = 0;
+    for (unsigned sc = 0; sc < kSubcarriersPerPrb; ++sc) {
+      cf32& re = grid.at(reg.symbol, reg.prb * kSubcarriersPerPrb + sc);
+      if (is_dmrs_sc(sc)) {
+        re = dmrs.at(reg.symbol, reg.prb, k_prime++);
+      } else {
+        re = symbols.at(sym_index++);
+      }
+    }
+  }
+}
+
+std::optional<BitVector> decode_pdcch_payload(
+    const CoresetConfig& coreset, unsigned agg_level, unsigned cce_start,
+    unsigned payload_bits, const SlotPoint& slot, const ResourceGrid& grid,
+    Rnti rnti, float* snr_out) {
+  auto bits = decode_candidate_bits(coreset, agg_level, cce_start,
+                                    payload_bits, slot, grid, snr_out);
+  if (!bits || !kCrc24C.check_masked(*bits, rnti)) {
+    return std::nullopt;
+  }
+  return BitVector(bits->begin(), bits->begin() + payload_bits);
+}
+
+std::optional<BitVector> decode_pdcch_soft_bits(
+    const CoresetConfig& coreset, unsigned agg_level, unsigned cce_start,
+    unsigned payload_bits, const SlotPoint& slot, const ResourceGrid& grid) {
+  return decode_candidate_bits(coreset, agg_level, cce_start, payload_bits,
+                               slot, grid, nullptr);
+}
+
+bool check_pdcch_crc(std::span<const std::uint8_t> bits_with_crc,
+                     Rnti rnti) {
+  return kCrc24C.check_masked(bits_with_crc, rnti);
+}
+
+std::optional<PdcchDecodeResult> decode_pdcch_candidate(
+    const CoresetConfig& coreset, unsigned agg_level, unsigned cce_start,
+    DciFormat format_hint, unsigned n_prb_bwp, const SlotPoint& slot,
+    const ResourceGrid& grid, Rnti rnti) {
+  const unsigned payload_bits = dci_payload_size(format_hint, n_prb_bwp);
+  float snr = 0.0f;
+  auto bits = decode_pdcch_payload(coreset, agg_level, cce_start,
+                                   payload_bits, slot, grid, rnti, &snr);
+  if (!bits) {
+    return std::nullopt;
+  }
+  PdcchDecodeResult result;
+  result.rnti = rnti;
+  result.agg_level = agg_level;
+  result.cce_start = cce_start;
+  result.snr_estimate_db = snr;
+  result.dci = Dci::unpack(format_hint, n_prb_bwp,
+                           std::span(bits->data(), payload_bits));
+  return result;
+}
+
+std::optional<RntiRecoveryResult> recover_rnti_from_candidate(
+    const CoresetConfig& coreset, unsigned agg_level, unsigned cce_start,
+    DciFormat format_hint, unsigned n_prb_bwp, const SlotPoint& slot,
+    const ResourceGrid& grid) {
+  const unsigned payload_bits = dci_payload_size(format_hint, n_prb_bwp);
+  auto bits = decode_candidate_bits(coreset, agg_level, cce_start,
+                                    payload_bits, slot, grid, nullptr);
+  if (!bits) {
+    return std::nullopt;
+  }
+  const Rnti mask = kCrc24C.recover_mask(*bits);
+  // With the mask applied, the full 24-bit CRC must now check out; the
+  // upper 8 CRC bits are unmasked, so this rejects 255/256 noise decodes.
+  if (!kCrc24C.check_masked(*bits, mask)) {
+    return std::nullopt;
+  }
+  RntiRecoveryResult result;
+  result.recovered_rnti = mask;
+  result.agg_level = agg_level;
+  result.cce_start = cce_start;
+  result.dci = Dci::unpack(format_hint, n_prb_bwp,
+                           std::span(bits->data(), payload_bits));
+  return result;
+}
+
+}  // namespace nrs

@@ -1,0 +1,109 @@
+// PDCCH encoding and (blind) decoding: the full TS 38.212 7.3 chain —
+// CRC24C attachment with RNTI masking, polar coding, rate matching, Gold
+// scrambling, QPSK, DMRS insertion, CCE-to-REG mapping onto the slot grid.
+//
+// This is the channel NR-Scope lives on: the gNB simulator encodes every
+// grant here, and the sniffer runs candidate-by-candidate blind decodes
+// with CRC verification to extract each UE's DCIs (paper sections 3.1.2 and
+// 3.2.1).  Two deviations from the letter of TS 38.212, both documented in
+// DESIGN.md: the reliability sequence is PW-generated (see phy/polar.h) and
+// the 24 leading '1' filler bits before the CRC are omitted.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "common/crc.h"
+#include "common/types.h"
+#include "nr/coreset.h"
+#include "nr/dci.h"
+#include "phy/resource_grid.h"
+
+namespace nrs {
+
+/// Coded bits carried by one CCE: 6 REGs x 9 data REs x 2 (QPSK).
+inline constexpr unsigned kBitsPerCce = 108;
+
+/// DMRS occupies subcarriers 4k'+1 within each PDCCH REG (TS 38.211
+/// 7.4.1.3.2): 3 of 12 REs.
+inline constexpr unsigned kPdcchDmrsPerReg = 3;
+
+/// Everything needed to place one DCI on the grid.
+struct PdcchAllocation {
+  Rnti rnti = kInvalidRnti;
+  unsigned agg_level = 1;
+  unsigned cce_start = 0;
+};
+
+/// Encode `dci` for `alloc` into `grid` (data + DMRS).
+/// `n_prb_bwp` sizes the DCI payload; `slot` seeds the DMRS sequence.
+void encode_pdcch(const CoresetConfig& coreset, const PdcchAllocation& alloc,
+                  const Dci& dci, unsigned n_prb_bwp, const SlotPoint& slot,
+                  ResourceGrid& grid);
+
+/// Lower-level entry points carrying an arbitrary payload through the same
+/// CRC24C + polar + scramble + QPSK chain; the PBCH (MIB broadcast) rides
+/// on these with RNTI 0.
+void encode_pdcch_payload(const CoresetConfig& coreset,
+                          const PdcchAllocation& alloc,
+                          std::span<const std::uint8_t> payload,
+                          const SlotPoint& slot, ResourceGrid& grid);
+
+std::optional<BitVector> decode_pdcch_payload(
+    const CoresetConfig& coreset, unsigned agg_level, unsigned cce_start,
+    unsigned payload_bits, const SlotPoint& slot, const ResourceGrid& grid,
+    Rnti rnti, float* snr_out = nullptr);
+
+/// Channel decode only (no CRC verdict): returns the payload+CRC bits of
+/// one candidate location.  Because the polar decode is independent of the
+/// RNTI (only the CRC mask differs), a sniffer tracking many UEs can run
+/// this once per location and test each UE's RNTI against the result —
+/// the shared-candidate optimization benchmarked in
+/// bench_ablation_dedupe.
+std::optional<BitVector> decode_pdcch_soft_bits(
+    const CoresetConfig& coreset, unsigned agg_level, unsigned cce_start,
+    unsigned payload_bits, const SlotPoint& slot, const ResourceGrid& grid);
+
+/// CRC verdict for bits produced by decode_pdcch_soft_bits.
+bool check_pdcch_crc(std::span<const std::uint8_t> bits_with_crc, Rnti rnti);
+
+/// Result of a successful candidate decode.
+struct PdcchDecodeResult {
+  Dci dci;
+  Rnti rnti = kInvalidRnti;   ///< RNTI whose mask satisfied the CRC
+  unsigned agg_level = 1;
+  unsigned cce_start = 0;
+  float snr_estimate_db = 0.0f;
+};
+
+/// Blind-decode one candidate location against a specific RNTI.  Returns
+/// the DCI when the CRC (unmasked with `rnti`) passes.
+std::optional<PdcchDecodeResult> decode_pdcch_candidate(
+    const CoresetConfig& coreset, unsigned agg_level, unsigned cce_start,
+    DciFormat format_hint, unsigned n_prb_bwp, const SlotPoint& slot,
+    const ResourceGrid& grid, Rnti rnti);
+
+/// Decode a candidate *without* knowing the RNTI: run the polar decode,
+/// then recover the 16-bit mask as crc(payload) XOR received-crc — the
+/// paper's C-RNTI recovery trick (section 3.1.2).  Because a random noise
+/// burst also "recovers" a garbage RNTI, the caller must validate the
+/// result (e.g. TC-RNTI promotion rules, or decoding the scheduled PDSCH).
+/// `plausible` is a quick payload sanity check used to cut false positives.
+struct RntiRecoveryResult {
+  Dci dci;
+  Rnti recovered_rnti = kInvalidRnti;
+  unsigned agg_level = 1;
+  unsigned cce_start = 0;
+};
+
+std::optional<RntiRecoveryResult> recover_rnti_from_candidate(
+    const CoresetConfig& coreset, unsigned agg_level, unsigned cce_start,
+    DciFormat format_hint, unsigned n_prb_bwp, const SlotPoint& slot,
+    const ResourceGrid& grid);
+
+/// PDCCH DMRS reference symbol for (slot, symbol, absolute PRB, k') —
+/// shared by encoder and channel estimator.
+cf32 pdcch_dmrs_symbol(std::uint16_t n_id, const SlotPoint& slot,
+                       unsigned symbol, unsigned prb, unsigned k_prime);
+
+}  // namespace nrs

@@ -1,0 +1,130 @@
+#include "nr/pdsch.h"
+
+#include <stdexcept>
+
+#include "common/crc.h"
+#include "common/gold.h"
+#include "phy/chest.h"
+#include "phy/conv_code.h"
+
+namespace nrs {
+namespace {
+
+constexpr float kInvSqrt2 = 0.70710678f;
+
+std::uint32_t pdsch_dmrs_cinit(std::uint16_t n_id, const SlotPoint& slot,
+                               unsigned symbol) {
+  const std::uint64_t v =
+      ((1ull << 17) *
+           (kSymbolsPerSlot * static_cast<std::uint64_t>(slot.slot) + symbol +
+            1) *
+           (2ull * n_id + 1) +
+       2ull * n_id);
+  return static_cast<std::uint32_t>(v & 0x7FFFFFFFull);
+}
+
+/// DMRS values for the allocation's subcarrier span, indexed from
+/// prb_start so encoder and decoder agree without knowing the full BWP.
+std::vector<cf32> pdsch_dmrs(const PdschAllocation& alloc,
+                             const SlotPoint& slot) {
+  GoldSequence gold(pdsch_dmrs_cinit(alloc.n_id, slot, alloc.start_symbol));
+  gold.advance(2ull * alloc.prb_start * kSubcarriersPerPrb);
+  std::vector<cf32> out(alloc.prb_len * kSubcarriersPerPrb);
+  for (auto& v : out) {
+    const float re = gold.next() ? -kInvSqrt2 : kInvSqrt2;
+    const float im = gold.next() ? -kInvSqrt2 : kInvSqrt2;
+    v = cf32(re, im);
+  }
+  return out;
+}
+
+void validate(const PdschAllocation& alloc, const ResourceGrid& grid) {
+  if (alloc.prb_len == 0 || alloc.n_symbols < 2) {
+    throw std::invalid_argument("PDSCH allocation too small");
+  }
+  if ((alloc.prb_start + alloc.prb_len) * kSubcarriersPerPrb >
+          grid.n_subcarriers() ||
+      alloc.start_symbol + alloc.n_symbols > grid.n_symbols()) {
+    throw std::invalid_argument("PDSCH allocation outside grid");
+  }
+}
+
+}  // namespace
+
+void encode_pdsch(const PdschAllocation& alloc, const SlotPoint& slot,
+                  std::span<const std::uint8_t> payload, ResourceGrid& grid) {
+  validate(alloc, grid);
+  // Transport block CRC + FEC + rate matching to the allocation.
+  BitVector tb(payload.begin(), payload.end());
+  kCrc24A.attach(tb);
+  const BitVector coded = ConvolutionalCode::encode(tb);
+  BitVector matched = rate_match(coded, alloc.coded_bits());
+  scramble(matched, pdsch_scrambling_cinit(alloc.rnti, alloc.n_id));
+  const std::vector<cf32> symbols = modulate(matched, alloc.modulation);
+
+  // Front-loaded DMRS symbol.
+  const std::vector<cf32> dmrs = pdsch_dmrs(alloc, slot);
+  const unsigned sc0 = alloc.prb_start * kSubcarriersPerPrb;
+  for (unsigned i = 0; i < dmrs.size(); ++i) {
+    grid.at(alloc.start_symbol, sc0 + i) = dmrs[i];
+  }
+  // Data symbols.
+  std::size_t index = 0;
+  for (unsigned sym = alloc.start_symbol + 1;
+       sym < alloc.start_symbol + alloc.n_symbols; ++sym) {
+    for (unsigned i = 0; i < alloc.prb_len * kSubcarriersPerPrb; ++i) {
+      grid.at(sym, sc0 + i) = symbols.at(index++);
+    }
+  }
+}
+
+std::optional<BitVector> decode_pdsch(const PdschAllocation& alloc,
+                                      const SlotPoint& slot, unsigned tbs,
+                                      const ResourceGrid& grid) {
+  validate(alloc, grid);
+  const unsigned sc0 = alloc.prb_start * kSubcarriersPerPrb;
+  const unsigned n_sc = alloc.prb_len * kSubcarriersPerPrb;
+
+  // Channel estimate from the DMRS symbol.
+  const std::vector<cf32> dmrs = pdsch_dmrs(alloc, slot);
+  std::vector<Pilot> pilots(n_sc);
+  for (unsigned i = 0; i < n_sc; ++i) {
+    pilots[i] = Pilot{sc0 + i, grid.at(alloc.start_symbol, sc0 + i),
+                      dmrs[i]};
+  }
+  const ChannelEstimate est = estimate_channel(pilots, sc0, sc0 + n_sc);
+
+  // Equalize and soft-demap all data REs.
+  const unsigned qm = bits_per_symbol(alloc.modulation);
+  std::vector<float> llrs;
+  llrs.reserve(static_cast<std::size_t>(alloc.data_res()) * qm);
+  float re_llr[8];
+  for (unsigned sym = alloc.start_symbol + 1;
+       sym < alloc.start_symbol + alloc.n_symbols; ++sym) {
+    for (unsigned i = 0; i < n_sc; ++i) {
+      float eff_nv = 0.0f;
+      const cf32 eq = equalize_zf(grid.at(sym, sc0 + i), est.at(sc0 + i),
+                                  est.noise_var, eff_nv);
+      demodulate_llr_re(eq, alloc.modulation, eff_nv, re_llr);
+      llrs.insert(llrs.end(), re_llr, re_llr + qm);
+    }
+  }
+
+  // Descramble (sign flips), de-rate-match, Viterbi, CRC.
+  GoldSequence gold(pdsch_scrambling_cinit(alloc.rnti, alloc.n_id));
+  for (auto& l : llrs) {
+    if (gold.next()) {
+      l = -l;
+    }
+  }
+  const std::size_t tb_bits = tbs + kCrc24A.length();
+  const std::vector<float> dematched =
+      rate_dematch(llrs, ConvolutionalCode::coded_size(tb_bits));
+  const BitVector decoded = ConvolutionalCode::decode(dematched, tb_bits);
+  if (!kCrc24A.check(decoded)) {
+    return std::nullopt;
+  }
+  return BitVector(decoded.begin(), decoded.begin() + tbs);
+}
+
+}  // namespace nrs

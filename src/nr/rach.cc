@@ -1,0 +1,33 @@
+#include "nr/rach.h"
+
+namespace nrs {
+
+bool is_prach_occasion(const RachConfig& rach, std::uint64_t slot_index) {
+  return rach.prach_period_slots != 0 &&
+         slot_index % rach.prach_period_slots == 0;
+}
+
+Rnti ra_rnti_for_slot(const RachConfig& rach, std::uint64_t slot_index) {
+  // 1 + occasion index, kept clear of the C-RNTI range and reserved values.
+  const std::uint64_t occasion =
+      rach.prach_period_slots != 0 ? slot_index / rach.prach_period_slots : 0;
+  return static_cast<Rnti>(1 + (occasion % 0x0FFF));
+}
+
+const char* to_string(RachStage stage) {
+  switch (stage) {
+    case RachStage::kIdle:
+      return "idle";
+    case RachStage::kMsg1Sent:
+      return "msg1";
+    case RachStage::kMsg2Sent:
+      return "msg2";
+    case RachStage::kMsg3Received:
+      return "msg3";
+    case RachStage::kConnected:
+      return "connected";
+  }
+  return "?";
+}
+
+}  // namespace nrs

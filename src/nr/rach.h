@@ -1,0 +1,43 @@
+// Random Access Channel procedure glue (3GPP TS 38.321 5.1): RA-RNTI
+// computation and the MSG1-4 bookkeeping shared between the gNB simulator
+// (which runs the procedure) and NR-Scope's RACH tracker (which passively
+// reconstructs it to learn each UE's C-RNTI, paper section 3.1.2).
+#pragma once
+
+#include <cstdint>
+
+#include "common/timing.h"
+#include "common/types.h"
+#include "nr/cell_config.h"
+
+namespace nrs {
+
+/// RA-RNTI for the PRACH occasion in `slot` (simplified TS 38.321 5.1.3:
+/// one occasion per PRACH period, indexed by its position in the frame).
+Rnti ra_rnti_for_slot(const RachConfig& rach, std::uint64_t slot_index);
+
+/// True when `slot_index` hosts a PRACH occasion.
+bool is_prach_occasion(const RachConfig& rach, std::uint64_t slot_index);
+
+/// TC-RNTI allocation range used by the gNB simulator.  Values promoted to
+/// C-RNTI on MSG4 stay in this range, which the sniffer can use as a
+/// plausibility filter for XOR-recovered RNTIs.
+inline constexpr Rnti kFirstTcRnti = 0x4601;
+inline constexpr Rnti kLastTcRnti = 0xFFF0;
+
+[[nodiscard]] constexpr bool is_plausible_crnti(Rnti rnti) {
+  return rnti >= kFirstTcRnti && rnti <= kLastTcRnti;
+}
+
+/// The four-message handshake state for one associating UE.
+enum class RachStage : std::uint8_t {
+  kIdle,
+  kMsg1Sent,      ///< preamble transmitted on the PRACH occasion
+  kMsg2Sent,      ///< RAR (TC-RNTI + MSG3 grant) sent on PDSCH
+  kMsg3Received,  ///< RRC Setup Request received on PUSCH
+  kConnected,     ///< MSG4 (RRC Setup) sent; TC-RNTI promoted to C-RNTI
+};
+
+const char* to_string(RachStage stage);
+
+}  // namespace nrs

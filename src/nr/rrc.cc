@@ -1,0 +1,73 @@
+#include "nr/rrc.h"
+
+namespace nrs {
+
+BitVector Rar::pack() const {
+  BitWriter writer;
+  writer.write(tc_rnti, 16);
+  writer.write(timing_advance, 12);
+  writer.write(msg3_grant, 27);
+  writer.align_to(8);
+  return writer.take();
+}
+
+std::optional<Rar> Rar::unpack(std::span<const std::uint8_t> bits) {
+  try {
+    BitReader reader(bits);
+    Rar rar;
+    rar.tc_rnti = static_cast<Rnti>(reader.read(16));
+    rar.timing_advance = static_cast<unsigned>(reader.read(12));
+    rar.msg3_grant = static_cast<std::uint32_t>(reader.read(27));
+    return rar;
+  } catch (const std::out_of_range&) {
+    return std::nullopt;
+  }
+}
+
+unsigned rar_payload_bits() { return 56; }  // 55 field bits + pad
+
+BitVector RrcSetup::pack() const {
+  BitWriter writer;
+  writer.write(ue_ss.ue_specific ? 1 : 0, 1);
+  writer.write(ue_ss.agg_levels.size(), 3);
+  for (unsigned l : ue_ss.agg_levels) {
+    writer.write(l, 5);
+  }
+  writer.write(ue_ss.candidates_per_level, 4);
+  writer.write(dl_format == DciFormat::kDl1_1 ? 1 : 0, 1);
+  writer.write(static_cast<unsigned>(mcs_table), 2);
+  writer.write(max_mimo_layers, 3);
+  writer.write(n_harq_processes, 5);
+  writer.align_to(8);
+  return writer.take();
+}
+
+std::optional<RrcSetup> RrcSetup::unpack(std::span<const std::uint8_t> bits) {
+  try {
+    BitReader reader(bits);
+    RrcSetup setup;
+    setup.ue_ss.ue_specific = reader.read_bit();
+    const auto count = static_cast<std::size_t>(reader.read(3));
+    setup.ue_ss.agg_levels.clear();
+    for (std::size_t i = 0; i < count; ++i) {
+      setup.ue_ss.agg_levels.push_back(
+          static_cast<unsigned>(reader.read(5)));
+    }
+    setup.ue_ss.candidates_per_level =
+        static_cast<unsigned>(reader.read(4));
+    setup.dl_format =
+        reader.read_bit() ? DciFormat::kDl1_1 : DciFormat::kDl1_0;
+    setup.mcs_table = static_cast<McsTable>(reader.read(2));
+    setup.max_mimo_layers = static_cast<unsigned>(reader.read(3));
+    setup.n_harq_processes = static_cast<unsigned>(reader.read(5));
+    return setup;
+  } catch (const std::out_of_range&) {
+    return std::nullopt;
+  }
+}
+
+unsigned rrc_setup_payload_bits() {
+  return static_cast<unsigned>(RrcSetup{}.pack().size());
+}
+
+}  // namespace nrs

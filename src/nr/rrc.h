@@ -1,0 +1,47 @@
+// RRC messages a passive observer can read in the clear during connection
+// setup (3GPP TS 38.331): the Random Access Response (MAC RAR, MSG2) and
+// the RRC Setup (MSG4).  MSG4 carries "most of the UE-specific information
+// required ... for telemetry, namely the PDCCH for the UE" (paper section
+// 3.1.2): the UE's search space, DCI format, MCS table and MIMO layers.
+#pragma once
+
+#include <optional>
+
+#include "common/bit_io.h"
+#include "common/types.h"
+#include "nr/cell_config.h"
+#include "nr/dci.h"
+
+namespace nrs {
+
+/// MAC Random Access Response (MSG2 payload).
+struct Rar {
+  Rnti tc_rnti = kInvalidRnti;
+  unsigned timing_advance = 0;     ///< 12 bits
+  std::uint32_t msg3_grant = 0;    ///< opaque UL grant for MSG3
+
+  [[nodiscard]] BitVector pack() const;
+  static std::optional<Rar> unpack(std::span<const std::uint8_t> bits);
+  [[nodiscard]] bool operator==(const Rar&) const = default;
+};
+
+unsigned rar_payload_bits();
+
+/// RRC Setup (MSG4 payload): the dedicated configuration NR-Scope needs to
+/// follow this UE's DCIs from now on.
+struct RrcSetup {
+  SearchSpaceConfig ue_ss{
+      /*ue_specific=*/true, /*agg_levels=*/{1, 2, 4}, /*candidates=*/2};
+  DciFormat dl_format = DciFormat::kDl1_1;  ///< 1_0 or 1_1
+  McsTable mcs_table = McsTable::kQam64;
+  unsigned max_mimo_layers = 1;   ///< "pdsch-ServingCellConfig: maxMIMO-Layers"
+  unsigned n_harq_processes = 16;
+
+  [[nodiscard]] BitVector pack() const;
+  static std::optional<RrcSetup> unpack(std::span<const std::uint8_t> bits);
+  [[nodiscard]] bool operator==(const RrcSetup&) const = default;
+};
+
+unsigned rrc_setup_payload_bits();
+
+}  // namespace nrs

@@ -1,0 +1,120 @@
+#include "nr/sib1.h"
+
+namespace nrs {
+namespace {
+
+void pack_search_space(BitWriter& writer, const SearchSpaceConfig& ss) {
+  writer.write(ss.ue_specific ? 1 : 0, 1);
+  writer.write(ss.agg_levels.size(), 3);
+  for (unsigned l : ss.agg_levels) {
+    writer.write(l, 5);
+  }
+  writer.write(ss.candidates_per_level, 4);
+}
+
+SearchSpaceConfig unpack_search_space(BitReader& reader) {
+  SearchSpaceConfig ss;
+  ss.ue_specific = reader.read_bit();
+  const auto count = static_cast<std::size_t>(reader.read(3));
+  ss.agg_levels.clear();
+  for (std::size_t i = 0; i < count; ++i) {
+    ss.agg_levels.push_back(static_cast<unsigned>(reader.read(5)));
+  }
+  ss.candidates_per_level = static_cast<unsigned>(reader.read(4));
+  return ss;
+}
+
+}  // namespace
+
+BitVector Sib1::pack() const {
+  BitWriter writer;
+  writer.write(n_prb, 9);
+  writer.write(static_cast<unsigned>(scs), 2);
+  // CORESET.
+  writer.write(coreset.id, 4);
+  writer.write(coreset.rb_start, 9);
+  writer.write(coreset.n_prb, 9);
+  writer.write(coreset.duration, 2);
+  writer.write(coreset.interleaved ? 1 : 0, 1);
+  writer.write(coreset.reg_bundle_size, 3);
+  writer.write(coreset.interleaver_rows, 3);
+  writer.write(coreset.shift, 10);
+  writer.write(coreset.n_id, 10);
+  pack_search_space(writer, common_ss);
+  // TDD pattern.
+  writer.write(tdd.period, 4);
+  writer.write(tdd.n_dl, 4);
+  writer.write(tdd.n_ul, 4);
+  // RACH.
+  writer.write(rach.prach_period_slots, 8);
+  writer.write(rach.ra_response_window, 5);
+  writer.write(rach.msg4_agg_level, 5);
+  // PDSCH defaults.
+  writer.write(pdsch.dmrs_re_per_prb, 5);
+  writer.write(pdsch.xoverhead, 5);
+  writer.write(static_cast<unsigned>(pdsch.mcs_table), 2);
+  writer.write(pdsch.max_mimo_layers, 3);
+  writer.align_to(8);
+  return writer.take();
+}
+
+std::optional<Sib1> Sib1::unpack(std::span<const std::uint8_t> bits) {
+  try {
+    BitReader reader(bits);
+    Sib1 sib;
+    sib.n_prb = static_cast<unsigned>(reader.read(9));
+    sib.scs = static_cast<Scs>(reader.read(2));
+    sib.coreset.id = static_cast<unsigned>(reader.read(4));
+    sib.coreset.rb_start = static_cast<unsigned>(reader.read(9));
+    sib.coreset.n_prb = static_cast<unsigned>(reader.read(9));
+    sib.coreset.duration = static_cast<unsigned>(reader.read(2));
+    sib.coreset.interleaved = reader.read_bit();
+    sib.coreset.reg_bundle_size = static_cast<unsigned>(reader.read(3));
+    sib.coreset.interleaver_rows = static_cast<unsigned>(reader.read(3));
+    sib.coreset.shift = static_cast<unsigned>(reader.read(10));
+    sib.coreset.n_id = static_cast<std::uint16_t>(reader.read(10));
+    sib.common_ss = unpack_search_space(reader);
+    sib.tdd.period = static_cast<unsigned>(reader.read(4));
+    sib.tdd.n_dl = static_cast<unsigned>(reader.read(4));
+    sib.tdd.n_ul = static_cast<unsigned>(reader.read(4));
+    sib.rach.prach_period_slots = static_cast<unsigned>(reader.read(8));
+    sib.rach.ra_response_window = static_cast<unsigned>(reader.read(5));
+    sib.rach.msg4_agg_level = static_cast<unsigned>(reader.read(5));
+    sib.pdsch.dmrs_re_per_prb = static_cast<unsigned>(reader.read(5));
+    sib.pdsch.xoverhead = static_cast<unsigned>(reader.read(5));
+    sib.pdsch.mcs_table = static_cast<McsTable>(reader.read(2));
+    sib.pdsch.max_mimo_layers = static_cast<unsigned>(reader.read(3));
+    return sib;
+  } catch (const std::out_of_range&) {
+    return std::nullopt;
+  }
+}
+
+Sib1 Sib1::from_cell(const CellConfig& cell) {
+  Sib1 sib;
+  sib.n_prb = cell.n_prb;
+  sib.scs = cell.scs;
+  sib.coreset = cell.coreset;
+  sib.common_ss = cell.common_ss;
+  sib.tdd = cell.tdd;
+  sib.rach = cell.rach;
+  sib.pdsch = cell.pdsch;
+  return sib;
+}
+
+void Sib1::apply_to(CellConfig& cell) const {
+  cell.n_prb = n_prb;
+  cell.scs = scs;
+  cell.coreset = coreset;
+  cell.common_ss = common_ss;
+  cell.tdd = tdd;
+  cell.rach = rach;
+  cell.pdsch = pdsch;
+}
+
+unsigned sib1_payload_bits() {
+  const Sib1 sib = Sib1::from_cell(CellConfig{});
+  return static_cast<unsigned>(sib.pack().size());
+}
+
+}  // namespace nrs

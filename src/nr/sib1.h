@@ -1,0 +1,44 @@
+// System Information Block 1 (3GPP TS 38.331): the cell's Common
+// configuration, broadcast on the PDSCH and scheduled by an SI-RNTI DCI in
+// CORESET 0.  SIB1 hands a passive observer everything needed to watch the
+// RACH and the control channel — "obviating the blind searching" of LTE
+// tools (paper section 3.1.1).
+//
+// Substitution note (DESIGN.md): fields are packed with a compact
+// hand-rolled bit codec instead of ASN.1 UPER; NR-Scope consumes the same
+// information either way.
+#pragma once
+
+#include <optional>
+
+#include "common/bit_io.h"
+#include "nr/cell_config.h"
+
+namespace nrs {
+
+struct Sib1 {
+  // Serving cell common configuration.
+  unsigned n_prb = 51;
+  Scs scs = Scs::kHz30;
+  CoresetConfig coreset;
+  SearchSpaceConfig common_ss;
+  TddPattern tdd;
+  RachConfig rach;
+  PdschConfig pdsch;
+
+  [[nodiscard]] BitVector pack() const;
+  static std::optional<Sib1> unpack(std::span<const std::uint8_t> bits);
+
+  /// Build the SIB1 a cell would broadcast from its full configuration.
+  static Sib1 from_cell(const CellConfig& cell);
+
+  /// Fold this SIB1 back into a (partial) cell configuration.
+  void apply_to(CellConfig& cell) const;
+
+  [[nodiscard]] bool operator==(const Sib1&) const = default;
+};
+
+/// Payload size of a packed SIB1 in bits (fixed-width codec).
+unsigned sib1_payload_bits();
+
+}  // namespace nrs

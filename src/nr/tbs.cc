@@ -1,0 +1,84 @@
+#include "nr/tbs.h"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+#include <stdexcept>
+
+namespace nrs {
+namespace {
+
+// TS 38.214 Table 5.1.3.2-1: quantized TBS values for Ninfo <= 3824.
+constexpr std::array<unsigned, 93> kTbsTable = {
+    24,   32,   40,   48,   56,   64,   72,   80,   88,   96,   104,  112,
+    120,  128,  136,  144,  152,  160,  168,  176,  184,  192,  208,  224,
+    240,  256,  272,  288,  304,  320,  336,  352,  368,  384,  408,  432,
+    456,  480,  504,  528,  552,  576,  608,  640,  672,  704,  736,  768,
+    808,  848,  888,  928,  984,  1032, 1064, 1128, 1160, 1192, 1224, 1256,
+    1288, 1320, 1352, 1416, 1480, 1544, 1608, 1672, 1736, 1800, 1864, 1928,
+    2024, 2088, 2152, 2216, 2280, 2408, 2472, 2536, 2600, 2664, 2728, 2792,
+    2856, 2976, 3104, 3240, 3368, 3496, 3624, 3752, 3824};
+
+}  // namespace
+
+unsigned tbs_n_re(const TbsParams& params) {
+  const int per_prb = static_cast<int>(12u * params.n_symbols) -
+                      static_cast<int>(params.dmrs_re_per_prb) -
+                      static_cast<int>(params.overhead_re);
+  const int clamped = std::min(156, std::max(0, per_prb));
+  return static_cast<unsigned>(clamped) * params.n_prb;
+}
+
+unsigned tbs_table_lookup(unsigned n_info_prime) {
+  const auto it =
+      std::lower_bound(kTbsTable.begin(), kTbsTable.end(), n_info_prime);
+  return it == kTbsTable.end() ? kTbsTable.back() : *it;
+}
+
+unsigned calculate_tbs(const TbsParams& params) {
+  const unsigned n_re = tbs_n_re(params);
+  if (n_re == 0 || params.code_rate <= 0.0) {
+    return 0;
+  }
+  const double n_info = static_cast<double>(n_re) * params.code_rate *
+                        static_cast<double>(params.qm) *
+                        static_cast<double>(params.n_layers);
+  if (n_info <= 24.0) {
+    return kTbsTable.front();
+  }
+
+  if (n_info <= 3824.0) {
+    // Step 3: quantize and look up Table 5.1.3.2-1.
+    const int n =
+        std::max(3, static_cast<int>(std::floor(std::log2(n_info))) - 6);
+    const double pow2 = std::pow(2.0, n);
+    const double quantized =
+        std::max(24.0, pow2 * std::floor(n_info / pow2));
+    return tbs_table_lookup(static_cast<unsigned>(quantized));
+  }
+
+  // Step 4: Ninfo > 3824 — formula with code-block segmentation.
+  const int n =
+      static_cast<int>(std::floor(std::log2(n_info - 24.0))) - 5;
+  const double pow2 = std::pow(2.0, n);
+  const double quantized =
+      std::max(3840.0, pow2 * std::round((n_info - 24.0) / pow2));
+  const double np = quantized;  // N'info
+
+  auto segmented = [&](double c) {
+    return static_cast<unsigned>(
+        8.0 * c * std::ceil((np + 24.0) / (8.0 * c)) - 24.0);
+  };
+
+  if (params.code_rate <= 0.25) {
+    const double c = std::ceil((np + 24.0) / 3816.0);
+    return segmented(c);
+  }
+  if (np > 8424.0) {
+    const double c = std::ceil((np + 24.0) / 8424.0);
+    return segmented(c);
+  }
+  return static_cast<unsigned>(8.0 * std::ceil((np + 24.0) / 8.0) - 24.0);
+}
+
+}  // namespace nrs

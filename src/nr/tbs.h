@@ -1,0 +1,36 @@
+// Transport Block Size determination, 3GPP TS 38.214 section 5.1.3.2 —
+// the algorithm the paper restates in Appendix A.  The TBS is the exact
+// number of MAC-layer bits a grant delivers in one TTI; summing it per UE
+// is how NR-Scope turns decoded DCIs into throughput telemetry (section
+// 3.2.2).
+#pragma once
+
+#include <cstdint>
+
+namespace nrs {
+
+/// Inputs to the TBS computation, all recoverable from the DCI + RRC
+/// configuration by a passive observer.
+struct TbsParams {
+  unsigned n_prb = 0;          ///< frequency-domain allocation (f_alloc)
+  unsigned n_symbols = 0;      ///< time-domain allocation (t_alloc)
+  unsigned dmrs_re_per_prb = 12;  ///< N_dmrs per PRB (from RRC)
+  unsigned overhead_re = 0;    ///< xOverhead per PRB (from RRC)
+  double code_rate = 0.0;      ///< R from the MCS table
+  unsigned qm = 2;             ///< modulation order from the MCS table
+  unsigned n_layers = 1;       ///< v, from maxMIMO-Layers in RRC Setup
+};
+
+/// Effective data REs: N_RE = min(156, 12*Nsymb - Ndmrs - Noh) * nPRB
+/// (TS 38.214 eq. in 5.1.3.2 step 1 / paper Appendix A eqs. 1-2).
+unsigned tbs_n_re(const TbsParams& params);
+
+/// Full TBS in bits (steps 2-4 of TS 38.214 5.1.3.2, including the
+/// Ninfo <= 3824 quantized lookup and the large-TBS segmentation branch).
+unsigned calculate_tbs(const TbsParams& params);
+
+/// The quantized TBS table for Ninfo <= 3824 (TS 38.214 Table 5.1.3.2-1);
+/// returns the smallest entry >= n_info_prime.  Exposed for tests.
+unsigned tbs_table_lookup(unsigned n_info_prime);
+
+}  // namespace nrs

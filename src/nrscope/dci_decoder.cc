@@ -1,0 +1,40 @@
+#include "nrscope/dci_decoder.h"
+
+#include "nr/grant.h"
+
+namespace nrs {
+
+std::vector<DecodedDci> decode_ue_dcis(const ResourceGrid& grid,
+                                       const SlotPoint& slot,
+                                       std::uint64_t slot_index,
+                                       const CellConfig& cell,
+                                       const UeSearchContext& ue) {
+  std::vector<DecodedDci> out;
+  // The size-aligned pair hint: 1_1 resolves 0_1 too via the format bit.
+  const DciFormat hint = ue.config.dl_format == DciFormat::kDl1_1
+                             ? DciFormat::kDl1_1
+                             : DciFormat::kDl1_0;
+  for (unsigned level : ue.config.ue_ss.agg_levels) {
+    for (unsigned cce : pdcch_candidates(cell.coreset, ue.config.ue_ss,
+                                         level, slot, ue.rnti)) {
+      const auto result = decode_pdcch_candidate(
+          cell.coreset, level, cce, hint, cell.n_prb, slot, grid, ue.rnti);
+      if (!result) {
+        continue;
+      }
+      DecodedDci dci;
+      dci.slot = slot_index;
+      dci.rnti = ue.rnti;
+      dci.dci = result->dci;
+      dci.grant = translate_dci(result->dci, ue.rnti, cell.n_prb, cell.pdsch,
+                                ue.config.mcs_table,
+                                ue.config.max_mimo_layers);
+      dci.agg_level = level;
+      dci.cce_start = cce;
+      out.push_back(dci);
+    }
+  }
+  return out;
+}
+
+}  // namespace nrs

@@ -1,0 +1,33 @@
+// Per-UE blind DCI decoding (paper section 3.2.1): with a UE's C-RNTI and
+// RRC-learned search-space / format parameters, try every PDCCH candidate
+// it monitors and keep the ones whose RNTI-unmasked CRC passes.  This is
+// the per-TTI inner loop whose cost Fig. 12 profiles, and the unit NR-Scope
+// shards across DCI threads.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "nr/cell_config.h"
+#include "nr/pdcch.h"
+#include "nr/rrc.h"
+#include "nrscope/telemetry.h"
+#include "phy/resource_grid.h"
+
+namespace nrs {
+
+/// What the sniffer tracks per known UE.
+struct UeSearchContext {
+  Rnti rnti = kInvalidRnti;
+  RrcSetup config;
+};
+
+/// All DCIs for one UE in one slot.  Grants are translated with the UE's
+/// RRC parameters so the TBS matches what the UE itself computes.
+std::vector<DecodedDci> decode_ue_dcis(const ResourceGrid& grid,
+                                       const SlotPoint& slot,
+                                       std::uint64_t slot_index,
+                                       const CellConfig& cell,
+                                       const UeSearchContext& ue);
+
+}  // namespace nrs

@@ -1,0 +1,42 @@
+#include "nrscope/log_writer.h"
+
+#include <sstream>
+#include <stdexcept>
+
+namespace nrs {
+
+TelemetryLogWriter::TelemetryLogWriter(const std::string& path)
+    : out_(path) {
+  if (!out_) {
+    throw std::runtime_error("TelemetryLogWriter: cannot open " + path);
+  }
+  out_ << header() << '\n';
+}
+
+std::string TelemetryLogWriter::header() {
+  return "slot,rnti,format,prb_start,prb_len,start_symbol,n_symbols,mcs,"
+         "modulation,tbs,ndi,rv,harq_id,agg_level,cce_start,is_retx";
+}
+
+std::string TelemetryLogWriter::format_row(const DecodedDci& dci) {
+  std::ostringstream os;
+  os << dci.slot << ',' << dci.rnti << ',' << to_string(dci.dci.format)
+     << ',' << dci.grant.prb_start << ',' << dci.grant.prb_len << ','
+     << dci.grant.start_symbol << ',' << dci.grant.n_symbols << ','
+     << dci.grant.mcs << ',' << to_string(dci.grant.modulation) << ','
+     << dci.grant.tbs << ',' << static_cast<int>(dci.dci.ndi) << ','
+     << static_cast<int>(dci.dci.rv) << ','
+     << static_cast<int>(dci.dci.harq_id) << ',' << dci.agg_level << ','
+     << dci.cce_start << ',' << (dci.is_retx ? 1 : 0);
+  return os.str();
+}
+
+void TelemetryLogWriter::write(const SlotResult& result) {
+  for (const auto& dci : result.dcis) {
+    out_ << format_row(dci) << '\n';
+  }
+}
+
+void TelemetryLogWriter::flush() { out_.flush(); }
+
+}  // namespace nrs

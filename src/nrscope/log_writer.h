@@ -1,0 +1,30 @@
+// Telemetry log writer: the "Log File" sink of paper Fig. 4.  One CSV row
+// per decoded DCI, in the spirit of the paper's Appendix B dump, so
+// downstream tools (and the analysis module's offline mode) can consume
+// NR-Scope output without linking against it.
+#pragma once
+
+#include <fstream>
+#include <string>
+
+#include "nrscope/nrscope.h"
+
+namespace nrs {
+
+class TelemetryLogWriter {
+ public:
+  explicit TelemetryLogWriter(const std::string& path);
+
+  /// Append every DCI of one slot result.
+  void write(const SlotResult& result);
+
+  void flush();
+
+  static std::string header();
+  static std::string format_row(const DecodedDci& dci);
+
+ private:
+  std::ofstream out_;
+};
+
+}  // namespace nrs

@@ -1,0 +1,378 @@
+#include "nrscope/nrscope.h"
+
+#include <algorithm>
+#include <chrono>
+#include <map>
+#include <mutex>
+
+#include "nr/grant.h"
+#include "nr/pdsch.h"
+#include "nr/rach.h"
+#include "nr/sib1.h"
+#include "phy/pss.h"
+#include "phy/sss.h"
+
+namespace nrs {
+namespace {
+
+/// PSS/SSS sit `kSyncScOffset` subcarriers into the 12-PRB SSB window.
+constexpr unsigned kSyncScOffset =
+    (SsbLocation::kNPrb * kSubcarriersPerPrb - kPssLength) / 2;
+
+PdschAllocation alloc_from_grant(const Grant& grant, std::uint16_t pci) {
+  PdschAllocation alloc;
+  alloc.rnti = grant.rnti;
+  alloc.prb_start = grant.prb_start;
+  alloc.prb_len = grant.prb_len;
+  alloc.start_symbol = grant.start_symbol;
+  alloc.n_symbols = grant.n_symbols;
+  alloc.modulation = grant.modulation;
+  alloc.n_id = pci;
+  return alloc;
+}
+
+}  // namespace
+
+NrScope::NrScope(const NrScopeConfig& config)
+    : config_(config), demodulator_(make_ofdm_config(config.n_prb)),
+      rach_(config.rach), telemetry_(config.scs, config.rate_window_slots) {
+  cell_.n_prb = config_.n_prb;
+  cell_.scs = config_.scs;
+  if (config_.n_dci_threads > 1) {
+    dci_pool_ = std::make_unique<WorkerPool>(config_.n_dci_threads);
+  }
+}
+
+NrScope::~NrScope() = default;
+
+SlotPoint NrScope::slot_point() const {
+  const unsigned spf = slots_per_frame(cell_.scs);
+  SlotPoint point;
+  point.scs = cell_.scs;
+  if (!phase_locked_) {
+    point.sfn = 0;
+    point.slot = static_cast<std::uint32_t>(slot_index_ % spf);
+    return point;
+  }
+  const std::int64_t rel =
+      static_cast<std::int64_t>(slot_index_) - frame_phase_;
+  point.slot = static_cast<std::uint32_t>(((rel % spf) + spf) % spf);
+  point.sfn = static_cast<std::uint32_t>(
+      ((rel / spf) + (mib_ ? mib_->sfn : 0) + 1024) & 0x3FF);
+  return point;
+}
+
+unsigned NrScope::data_res_total() const {
+  // PDSCH capacity of a downlink TTI: full band over the 12 data symbols.
+  const std::uint64_t abs_slot = phase_locked_
+                                     ? static_cast<std::uint64_t>(
+                                           static_cast<std::int64_t>(
+                                               slot_index_) -
+                                           frame_phase_)
+                                     : slot_index_;
+  if (!cell_.tdd.is_downlink(abs_slot)) {
+    return 0;
+  }
+  return cell_.n_prb * kSubcarriersPerPrb * 12u;
+}
+
+std::vector<Rnti> NrScope::known_ues() const {
+  std::vector<Rnti> rntis;
+  rntis.reserve(ues_.size());
+  for (const auto& ue : ues_) {
+    rntis.push_back(ue.rnti);
+  }
+  return rntis;
+}
+
+void NrScope::add_ue(Rnti rnti, const RrcSetup& config) {
+  for (auto& ue : ues_) {
+    if (ue.rnti == rnti) {
+      ue.config = config;
+      return;
+    }
+  }
+  ues_.push_back(UeSearchContext{rnti, config});
+  ue_last_seen_.push_back(slot_index_);
+  telemetry_.add_ue(rnti, slot_index_);
+}
+
+void NrScope::cleanup_stale_ues() {
+  for (std::size_t i = 0; i < ues_.size();) {
+    if (slot_index_ - ue_last_seen_[i] > config_.ue_inactivity_slots) {
+      telemetry_.remove_ue(ues_[i].rnti);
+      ues_.erase(ues_.begin() + static_cast<std::ptrdiff_t>(i));
+      ue_last_seen_.erase(ue_last_seen_.begin() +
+                          static_cast<std::ptrdiff_t>(i));
+    } else {
+      ++i;
+    }
+  }
+}
+
+void NrScope::search(const ResourceGrid& grid, SlotResult& result) {
+  // PSS on some symbol-0 subcarrier offset?
+  const auto pss = detect_pss(grid.symbol(SsbLocation::kPssSymbol), 0.45f);
+  if (!pss || pss->sc_offset < kSyncScOffset) {
+    return;
+  }
+  const unsigned prb_start = (pss->sc_offset - kSyncScOffset) /
+                             kSubcarriersPerPrb;
+  // SSS confirms and completes the PCI.
+  const unsigned sss_sc =
+      prb_start * kSubcarriersPerPrb + kSyncScOffset;
+  if (sss_sc + kPssLength > grid.n_subcarriers()) {
+    return;
+  }
+  std::vector<cf32> sss_res(kPssLength);
+  for (unsigned n = 0; n < kPssLength; ++n) {
+    sss_res[n] = grid.at(SsbLocation::kSssSymbol, sss_sc + n);
+  }
+  const auto sss = detect_sss(sss_res, pss->nid2, 0.3f);
+  if (!sss) {
+    return;
+  }
+  const std::uint16_t pci =
+      static_cast<std::uint16_t>(3 * sss->nid1 + pss->nid2);
+
+  const SsbLocation ssb{prb_start};
+  const auto mib = decode_mib(pci, ssb, SlotPoint{cell_.scs, 0, 0}, grid);
+  if (!mib) {
+    return;
+  }
+  // Synchronized: SSBs are sent in slot 0 of a frame.
+  pci_ = pci;
+  mib_ = *mib;
+  config_.ssb = ssb;
+  frame_phase_ = static_cast<std::int64_t>(slot_index_);
+  phase_locked_ = true;
+  cell_.pci = pci;
+  cell_.coreset.rb_start = mib->coreset0_rb_start;
+  cell_.coreset.n_prb = mib->coreset0_n_prb6 * 6u;
+  cell_.coreset.duration = mib->coreset0_duration;
+  cell_.coreset.shift = pci;
+  cell_.coreset.n_id = pci;
+  cell_.scs = mib->scs_common;
+  result.mib = *mib;
+  state_ = State::kWaitSib1;
+}
+
+void NrScope::wait_sib1(const ResourceGrid& grid, SlotResult& result) {
+  const SlotPoint now = slot_point();
+  for (unsigned level : cell_.common_ss.agg_levels) {
+    for (unsigned cce :
+         pdcch_candidates(cell_.coreset, cell_.common_ss, level, now, 0)) {
+      const auto dci_result =
+          decode_pdcch_candidate(cell_.coreset, level, cce,
+                                 DciFormat::kDl1_0, cell_.n_prb, now, grid,
+                                 kSiRnti);
+      if (!dci_result) {
+        continue;
+      }
+      const Grant grant = translate_dci(dci_result->dci, kSiRnti, cell_);
+      const auto payload = decode_pdsch(alloc_from_grant(grant, pci_), now,
+                                        grant.tbs, grid);
+      if (!payload) {
+        continue;
+      }
+      const auto sib = Sib1::unpack(*payload);
+      if (!sib) {
+        continue;
+      }
+      // Learn the full cell configuration; the PCI-derived fields were
+      // already set from the MIB and must win over SIB defaults.
+      sib->apply_to(cell_);
+      rach_.set_cell(cell_);
+      result.sib1_decoded = true;
+      state_ = State::kTracking;
+      DecodedDci out;
+      out.slot = slot_index_;
+      out.rnti = kSiRnti;
+      out.dci = dci_result->dci;
+      out.grant = grant;
+      out.agg_level = level;
+      out.cce_start = cce;
+      result.dcis.push_back(out);
+      return;
+    }
+  }
+}
+
+void NrScope::track(const ResourceGrid& grid, SlotResult& result) {
+  const SlotPoint now = slot_point();
+
+  // RACH thread's work: new-UE discovery in the common search space.
+  result.new_ues = rach_.process_slot(grid, now, slot_index_, result.dcis);
+  for (const auto& ue : result.new_ues) {
+    add_ue(ue.c_rnti, ue.config);
+  }
+
+  // DCI threads: the UE list is sharded across the pool (paper section 4).
+  std::vector<std::vector<DecodedDci>> per_ue(ues_.size());
+  if (config_.dedupe_candidates) {
+    decode_dcis_deduped(grid, now, per_ue);
+  } else {
+    auto decode_one = [&](std::size_t i) {
+      per_ue[i] = decode_ue_dcis(grid, now, slot_index_, cell_, ues_[i]);
+    };
+    if (dci_pool_ && ues_.size() > 1) {
+      dci_pool_->run_batch(ues_.size(), decode_one);
+    } else {
+      for (std::size_t i = 0; i < ues_.size(); ++i) {
+        decode_one(i);
+      }
+    }
+  }
+  for (std::size_t i = 0; i < ues_.size(); ++i) {
+    if (!per_ue[i].empty()) {
+      ue_last_seen_[i] = slot_index_;
+    }
+    result.dcis.insert(result.dcis.end(), per_ue[i].begin(),
+                       per_ue[i].end());
+  }
+
+  // Deduplicate (a DCI can surface via both the RACH scan and a UE scan
+  // when search spaces overlap).
+  std::sort(result.dcis.begin(), result.dcis.end(),
+            [](const DecodedDci& a, const DecodedDci& b) {
+              return std::tie(a.rnti, a.cce_start, a.agg_level) <
+                     std::tie(b.rnti, b.cce_start, b.agg_level);
+            });
+  result.dcis.erase(
+      std::unique(result.dcis.begin(), result.dcis.end(),
+                  [](const DecodedDci& a, const DecodedDci& b) {
+                    return a.rnti == b.rnti && a.cce_start == b.cce_start &&
+                           a.agg_level == b.agg_level;
+                  }),
+      result.dcis.end());
+
+  // Telemetry update: per-UE counters for plausible C-RNTIs only (SI/RA
+  // broadcasts are not user telemetry).
+  std::vector<DecodedDci> user_dcis;
+  for (auto& dci : result.dcis) {
+    if (is_plausible_crnti(dci.rnti)) {
+      user_dcis.push_back(dci);
+    }
+  }
+  telemetry_.observe_slot(slot_index_, user_dcis, data_res_total(),
+                          config_.keep_capacity_history);
+  // Propagate the retransmission flags back to the result.
+  for (auto& dci : result.dcis) {
+    for (const auto& u : user_dcis) {
+      if (u.rnti == dci.rnti && u.cce_start == dci.cce_start &&
+          u.agg_level == dci.agg_level) {
+        dci.is_retx = u.is_retx;
+      }
+    }
+  }
+
+  cleanup_stale_ues();
+}
+
+void NrScope::decode_dcis_deduped(
+    const ResourceGrid& grid, const SlotPoint& now,
+    std::vector<std::vector<DecodedDci>>& per_ue) {
+  // Group candidate locations across UEs: the polar decode of a location
+  // is RNTI-independent, so one channel decode serves every UE that
+  // monitors it (only the CRC mask differs per UE).
+  struct Location {
+    unsigned level;
+    unsigned cce;
+    unsigned payload_bits;
+    std::vector<std::size_t> watchers;  // ue indices
+  };
+  std::map<std::tuple<unsigned, unsigned, unsigned>, Location> locations;
+  for (std::size_t i = 0; i < ues_.size(); ++i) {
+    const auto& ue = ues_[i];
+    const DciFormat hint = ue.config.dl_format == DciFormat::kDl1_1
+                               ? DciFormat::kDl1_1
+                               : DciFormat::kDl1_0;
+    const unsigned payload_bits = dci_payload_size(hint, cell_.n_prb);
+    for (unsigned level : ue.config.ue_ss.agg_levels) {
+      for (unsigned cce : pdcch_candidates(cell_.coreset, ue.config.ue_ss,
+                                           level, now, ue.rnti)) {
+        auto [it, inserted] = locations.try_emplace(
+            std::make_tuple(level, cce, payload_bits),
+            Location{level, cce, payload_bits, {}});
+        it->second.watchers.push_back(i);
+      }
+    }
+  }
+  std::vector<Location*> work;
+  work.reserve(locations.size());
+  for (auto& [key, loc] : locations) {
+    work.push_back(&loc);
+  }
+  std::mutex merge_mutex;
+  auto decode_location = [&](std::size_t w) {
+    Location& loc = *work[w];
+    const auto bits = decode_pdcch_soft_bits(
+        cell_.coreset, loc.level, loc.cce, loc.payload_bits, now, grid);
+    if (!bits) {
+      return;
+    }
+    for (std::size_t i : loc.watchers) {
+      const auto& ue = ues_[i];
+      if (!check_pdcch_crc(*bits, ue.rnti)) {
+        continue;
+      }
+      const DciFormat hint = ue.config.dl_format == DciFormat::kDl1_1
+                                 ? DciFormat::kDl1_1
+                                 : DciFormat::kDl1_0;
+      DecodedDci dci;
+      dci.slot = slot_index_;
+      dci.rnti = ue.rnti;
+      dci.dci = Dci::unpack(hint, cell_.n_prb,
+                            std::span(bits->data(), loc.payload_bits));
+      dci.grant = translate_dci(dci.dci, ue.rnti, cell_.n_prb, cell_.pdsch,
+                                ue.config.mcs_table,
+                                ue.config.max_mimo_layers);
+      dci.agg_level = loc.level;
+      dci.cce_start = loc.cce;
+      std::lock_guard lock(merge_mutex);
+      per_ue[i].push_back(dci);
+    }
+  };
+  if (dci_pool_ && work.size() > 1) {
+    dci_pool_->run_batch(work.size(), decode_location);
+  } else {
+    for (std::size_t w = 0; w < work.size(); ++w) {
+      decode_location(w);
+    }
+  }
+}
+
+SlotResult NrScope::process_grid(const ResourceGrid& grid) {
+  SlotResult result;
+  result.slot = slot_index_;
+  const auto start = std::chrono::steady_clock::now();
+  switch (state_) {
+    case State::kSearching:
+      search(grid, result);
+      break;
+    case State::kWaitSib1:
+      wait_sib1(grid, result);
+      // The SSB recurs while waiting; nothing else to decode yet.
+      break;
+    case State::kTracking:
+      track(grid, result);
+      break;
+  }
+  const auto end = std::chrono::steady_clock::now();
+  result.processing_time_us =
+      std::chrono::duration<double, std::micro>(end - start).count();
+  ++slot_index_;
+  return result;
+}
+
+SlotResult NrScope::process_slot(std::span<const cf32> samples) {
+  const auto start = std::chrono::steady_clock::now();
+  const ResourceGrid grid = demodulator_.demodulate(samples);
+  SlotResult result = process_grid(grid);
+  const auto end = std::chrono::steady_clock::now();
+  result.processing_time_us =
+      std::chrono::duration<double, std::micro>(end - start).count();
+  return result;
+}
+
+}  // namespace nrs

@@ -1,0 +1,101 @@
+#include "nrscope/pipeline.h"
+
+namespace nrs {
+
+NrScopePipeline::NrScopePipeline(const NrScopeConfig& config,
+                                 unsigned n_demod_workers,
+                                 std::size_t queue_depth)
+    : engine_(std::make_unique<NrScope>(config)),
+      ofdm_config_(make_ofdm_config(config.n_prb)), input_(queue_depth),
+      output_(queue_depth) {
+  active_demods_ = std::max(1u, n_demod_workers);
+  demod_workers_.reserve(active_demods_);
+  for (unsigned i = 0; i < active_demods_; ++i) {
+    demod_workers_.emplace_back([this] { demod_loop(); });
+  }
+  collector_ = std::thread([this] { collect_loop(); });
+}
+
+NrScopePipeline::~NrScopePipeline() {
+  finish();
+  for (auto& t : demod_workers_) {
+    if (t.joinable()) {
+      t.join();
+    }
+  }
+  if (collector_.joinable()) {
+    collector_.join();
+  }
+}
+
+bool NrScopePipeline::push_slot(IqBuffer samples) {
+  Job job;
+  job.index = next_input_index_.load();
+  job.samples = std::move(samples);
+  if (!input_.try_push(std::move(job))) {
+    ++dropped_;
+    return false;
+  }
+  ++next_input_index_;
+  return true;
+}
+
+void NrScopePipeline::finish() { input_.close(); }
+
+void NrScopePipeline::demod_loop() {
+  OfdmDemodulator demod(ofdm_config_);
+  while (auto job = input_.pop()) {
+    ResourceGrid grid = demod.demodulate(job->samples);
+    {
+      std::lock_guard lock(reorder_mutex_);
+      reorder_.emplace(job->index, std::move(grid));
+    }
+    reorder_cv_.notify_all();
+  }
+  {
+    std::lock_guard lock(reorder_mutex_);
+    if (--active_demods_ == 0) {
+      demod_done_ = true;
+    }
+  }
+  reorder_cv_.notify_all();
+}
+
+void NrScopePipeline::collect_loop() {
+  std::uint64_t expected = 0;
+  while (true) {
+    std::optional<ResourceGrid> grid;
+    {
+      std::unique_lock lock(reorder_mutex_);
+      reorder_cv_.wait(lock, [&] {
+        return reorder_.count(expected) > 0 || demod_done_;
+      });
+      const auto it = reorder_.find(expected);
+      if (it != reorder_.end()) {
+        grid = std::move(it->second);
+        reorder_.erase(it);
+      } else if (demod_done_ && reorder_.empty()) {
+        break;
+      } else if (demod_done_) {
+        // Shutdown with a gap (dropped mid-stream is impossible — indexes
+        // are only assigned on successful enqueue — so this means the
+        // remaining entries are after `expected`; skip forward).
+        expected = reorder_.begin()->first;
+        continue;
+      }
+    }
+    if (grid) {
+      SlotResult result = engine_->process_grid(*grid);
+      result.slot = expected;
+      output_.push(std::move(result));
+      ++expected;
+    }
+  }
+  output_.close();
+}
+
+std::optional<SlotResult> NrScopePipeline::poll_result() {
+  return output_.pop();
+}
+
+}  // namespace nrs

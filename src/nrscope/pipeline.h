@@ -1,0 +1,77 @@
+// The asynchronous processing pipeline of paper Fig. 4: radio samples
+// flow through a bounded queue to a pool of demodulation workers (the
+// per-slot FFT is the dominant signal-processing cost, section 5.3.2), an
+// in-order collector runs the tracking engine — which itself shards DCI
+// decoding across its own DCI threads — and results come out of a result
+// queue.  A full input queue drops slots, which is the paper's "on-demand
+// slot data processing" load-shedding behaviour.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <optional>
+#include <thread>
+
+#include "common/queue.h"
+#include "nrscope/nrscope.h"
+
+namespace nrs {
+
+class NrScopePipeline {
+ public:
+  NrScopePipeline(const NrScopeConfig& config, unsigned n_demod_workers,
+                  std::size_t queue_depth = 64);
+  ~NrScopePipeline();
+
+  NrScopePipeline(const NrScopePipeline&) = delete;
+  NrScopePipeline& operator=(const NrScopePipeline&) = delete;
+
+  /// Enqueue one slot of samples; returns false when the pipeline is
+  /// saturated and the slot was dropped.
+  bool push_slot(IqBuffer samples);
+
+  /// Next completed slot result, in slot order.  Blocks up to the queue;
+  /// returns nullopt once finish() has been called and everything drained.
+  std::optional<SlotResult> poll_result();
+
+  /// No more input; workers drain and exit.
+  void finish();
+
+  /// The tracking engine (valid to inspect after draining).
+  [[nodiscard]] const NrScope& engine() const { return *engine_; }
+
+  [[nodiscard]] std::uint64_t dropped_slots() const {
+    return dropped_.load();
+  }
+
+ private:
+  struct Job {
+    std::uint64_t index;
+    IqBuffer samples;
+  };
+
+  void demod_loop();
+  void collect_loop();
+
+  std::unique_ptr<NrScope> engine_;
+  OfdmConfig ofdm_config_;
+  BoundedQueue<Job> input_;
+  BoundedQueue<SlotResult> output_;
+  std::vector<std::thread> demod_workers_;
+  std::thread collector_;
+
+  // Reorder buffer between demod workers and the collector.
+  std::mutex reorder_mutex_;
+  std::condition_variable reorder_cv_;
+  std::map<std::uint64_t, ResourceGrid> reorder_;
+  bool demod_done_ = false;
+  unsigned active_demods_ = 0;
+
+  std::atomic<std::uint64_t> next_input_index_{0};
+  std::atomic<std::uint64_t> dropped_{0};
+};
+
+}  // namespace nrs

@@ -1,0 +1,205 @@
+#include "nrscope/rach_tracker.h"
+
+#include "nr/grant.h"
+#include "nr/pdsch.h"
+#include "nr/rach.h"
+
+namespace nrs {
+namespace {
+
+/// Build the PDSCH allocation a decoded DCI points at.
+PdschAllocation alloc_from_grant(const Grant& grant, std::uint16_t pci) {
+  PdschAllocation alloc;
+  alloc.rnti = grant.rnti;
+  alloc.prb_start = grant.prb_start;
+  alloc.prb_len = grant.prb_len;
+  alloc.start_symbol = grant.start_symbol;
+  alloc.n_symbols = grant.n_symbols;
+  alloc.modulation = grant.modulation;
+  alloc.n_id = pci;
+  return alloc;
+}
+
+}  // namespace
+
+std::optional<NewUe> RachTracker::handle_msg4(Rnti rnti, const Dci& dci,
+                                              const ResourceGrid& grid,
+                                              const SlotPoint& slot,
+                                              std::uint64_t slot_index) {
+  const Grant grant = translate_dci(dci, rnti, cell_);
+  NewUe ue;
+  ue.c_rnti = rnti;
+  ue.slot = slot_index;
+
+  // Decode the RRC Setup PDSCH when we still need its contents (no cached
+  // copy yet), when the ablation forces it, or — in XOR mode — when the
+  // configuration demands CRC verification of every recovery.
+  const bool need_decode =
+      !cached_rrc_.has_value() || config_.always_decode_msg4_pdsch ||
+      (config_.mode == RachTrackMode::kXorRecovery &&
+       config_.verify_msg4_pdsch);
+  if (need_decode) {
+    ++pdsch_decodes_;
+    const auto payload = decode_pdsch(alloc_from_grant(grant, cell_.pci),
+                                      slot, grant.tbs, grid);
+    if (payload) {
+      const auto setup = RrcSetup::unpack(*payload);
+      if (setup) {
+        cached_rrc_ = *setup;
+        ue.config = *setup;
+        ue.verified = true;
+        ++msg4_decoded_;
+        return ue;
+      }
+    }
+    // In XOR mode an unverifiable recovery is rejected (likely a false
+    // positive); in MSG2-assisted mode the TC-RNTI match already vouches
+    // for the DCI, so fall through to the cached/default configuration.
+    if (config_.mode == RachTrackMode::kXorRecovery) {
+      ++rejected_recoveries_;
+      return std::nullopt;
+    }
+  }
+  ++msg4_decoded_;
+  ue.config = cached_rrc_.value_or(RrcSetup{});
+  ue.verified = cached_rrc_.has_value();
+  return ue;
+}
+
+std::vector<NewUe> RachTracker::process_slot(const ResourceGrid& grid,
+                                             const SlotPoint& slot,
+                                             std::uint64_t slot_index,
+                                             std::vector<DecodedDci>& decoded) {
+  std::vector<NewUe> new_ues;
+  if (cell_.coreset.n_prb == 0) {
+    return new_ues;
+  }
+
+  // Prune TC-RNTIs whose MSG4 never showed up (failed RACHes); a stale
+  // entry costs one CRC test per candidate forever otherwise.
+  const std::uint64_t ttl = 4ull * std::max<std::uint64_t>(
+                                        cell_.rach.prach_period_slots, 40);
+  std::erase_if(pending_tc_, [&](const auto& entry) {
+    return slot_index > entry.second + ttl;
+  });
+
+  // RA-RNTIs that could legitimately appear now.  A loaded gNB may answer
+  // preambles well after the nominal response window (its MSG2s queue
+  // behind PDCCH capacity), so scan back a full PRACH period as well.
+  const std::uint64_t lookback = std::max<std::uint64_t>(
+      cell_.rach.ra_response_window, cell_.rach.prach_period_slots);
+  std::vector<Rnti> ra_rntis;
+  for (std::uint64_t back = 0; back <= lookback; ++back) {
+    if (slot_index < back) {
+      break;
+    }
+    const std::uint64_t occasion = slot_index - back;
+    if (is_prach_occasion(cell_.rach, occasion)) {
+      ra_rntis.push_back(ra_rnti_for_slot(cell_.rach, occasion));
+    }
+  }
+
+  for (unsigned level : cell_.common_ss.agg_levels) {
+    for (unsigned cce :
+         pdcch_candidates(cell_.coreset, cell_.common_ss, level, slot, 0)) {
+      // 1) MSG2: RA-RNTI-masked DCIs (computable without any secret).
+      bool matched = false;
+      for (Rnti ra : ra_rntis) {
+        const auto result = decode_pdcch_candidate(
+            cell_.coreset, level, cce, DciFormat::kDl1_0, cell_.n_prb, slot,
+            grid, ra);
+        if (!result) {
+          continue;
+        }
+        matched = true;
+        DecodedDci out;
+        out.slot = slot_index;
+        out.rnti = ra;
+        out.dci = result->dci;
+        out.grant = translate_dci(result->dci, ra, cell_);
+        out.agg_level = level;
+        out.cce_start = cce;
+        decoded.push_back(out);
+        if (config_.mode == RachTrackMode::kMsg2Assisted) {
+          // Decode the RAR to learn the TC-RNTI.
+          ++pdsch_decodes_;
+          const auto payload = decode_pdsch(
+              alloc_from_grant(out.grant, cell_.pci), slot, out.grant.tbs,
+              grid);
+          if (payload) {
+            const auto rar = Rar::unpack(*payload);
+            if (rar && is_plausible_crnti(rar->tc_rnti)) {
+              pending_tc_[rar->tc_rnti] = slot_index;
+              ++msg2_decoded_;
+            }
+          }
+        }
+        break;
+      }
+      if (matched) {
+        continue;
+      }
+
+      // 2) MSG4 via pending TC-RNTIs (MSG2-assisted mode).
+      if (config_.mode == RachTrackMode::kMsg2Assisted) {
+        for (auto it = pending_tc_.begin(); it != pending_tc_.end(); ++it) {
+          const auto result = decode_pdcch_candidate(
+              cell_.coreset, level, cce, DciFormat::kDl1_0, cell_.n_prb,
+              slot, grid, it->first);
+          if (!result) {
+            continue;
+          }
+          DecodedDci out;
+          out.slot = slot_index;
+          out.rnti = it->first;
+          out.dci = result->dci;
+          out.grant = translate_dci(result->dci, it->first, cell_);
+          out.agg_level = level;
+          out.cce_start = cce;
+          decoded.push_back(out);
+          if (auto ue = handle_msg4(it->first, result->dci, grid, slot,
+                                    slot_index)) {
+            new_ues.push_back(*ue);
+          }
+          pending_tc_.erase(it);
+          matched = true;
+          break;
+        }
+        if (matched) {
+          continue;
+        }
+      }
+
+      // 3) XOR recovery: decode blind, recover the mask, validate.
+      if (config_.mode == RachTrackMode::kXorRecovery) {
+        const auto rec = recover_rnti_from_candidate(
+            cell_.coreset, level, cce, DciFormat::kDl1_0, cell_.n_prb, slot,
+            grid);
+        if (!rec) {
+          continue;
+        }
+        if (!is_plausible_crnti(rec->recovered_rnti) ||
+            !is_downlink(rec->dci.format)) {
+          ++rejected_recoveries_;
+          continue;
+        }
+        if (auto ue = handle_msg4(rec->recovered_rnti, rec->dci, grid, slot,
+                                  slot_index)) {
+          DecodedDci out;
+          out.slot = slot_index;
+          out.rnti = rec->recovered_rnti;
+          out.dci = rec->dci;
+          out.grant =
+              translate_dci(rec->dci, rec->recovered_rnti, cell_);
+          out.agg_level = level;
+          out.cce_start = cce;
+          decoded.push_back(out);
+          new_ues.push_back(*ue);
+        }
+      }
+    }
+  }
+  return new_ues;
+}
+
+}  // namespace nrs

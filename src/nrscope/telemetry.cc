@@ -1,0 +1,123 @@
+#include "nrscope/telemetry.h"
+
+#include <algorithm>
+
+namespace nrs {
+
+void RateWindow::add(std::uint64_t slot, std::uint64_t bits) {
+  samples_.emplace_back(slot, bits);
+  total_bits_ += bits;
+}
+
+void RateWindow::evict(std::uint64_t now_slot) const {
+  const std::uint64_t begin =
+      now_slot >= window_slots_ ? now_slot - window_slots_ : 0;
+  while (!samples_.empty() && samples_.front().first < begin) {
+    samples_.pop_front();
+  }
+}
+
+double RateWindow::rate_bps(std::uint64_t now_slot,
+                            double slot_duration_s) const {
+  evict(now_slot);
+  std::uint64_t bits = 0;
+  for (const auto& [slot, b] : samples_) {
+    if (slot < now_slot) {
+      bits += b;
+    }
+  }
+  const std::uint64_t span = std::min(window_slots_, now_slot);
+  const double window_s = static_cast<double>(span) * slot_duration_s;
+  return window_s > 0.0 ? static_cast<double>(bits) / window_s : 0.0;
+}
+
+bool UeTelemetry::observe(DecodedDci& dci) {
+  last_slot_ = std::max(last_slot_, dci.slot);
+  const bool retx = harq_.observe(dci.dci);
+  dci.is_retx = retx;
+  if (is_downlink(dci.dci.format)) {
+    ++dl_dcis_;
+    ++mcs_histogram_[dci.dci.mcs % mcs_histogram_.size()];
+    last_efficiency_ =
+        dci.grant.code_rate *
+        static_cast<double>(bits_per_symbol(dci.grant.modulation));
+    if (!retx) {
+      dl_rate_.add(dci.slot, dci.grant.tbs);
+    }
+  } else {
+    ++ul_dcis_;
+    if (!retx) {
+      ul_rate_.add(dci.slot, dci.grant.tbs);
+    }
+  }
+  return retx;
+}
+
+void CellTelemetry::add_ue(Rnti rnti, std::uint64_t slot) {
+  ues_.try_emplace(rnti, rnti, slot, window_slots_);
+}
+
+void CellTelemetry::remove_ue(Rnti rnti) { ues_.erase(rnti); }
+
+UeTelemetry* CellTelemetry::find(Rnti rnti) {
+  const auto it = ues_.find(rnti);
+  return it == ues_.end() ? nullptr : &it->second;
+}
+
+const UeTelemetry* CellTelemetry::find(Rnti rnti) const {
+  const auto it = ues_.find(rnti);
+  return it == ues_.end() ? nullptr : &it->second;
+}
+
+void CellTelemetry::observe_slot(std::uint64_t slot,
+                                 std::vector<DecodedDci>& dcis,
+                                 unsigned data_res_total, bool keep_history) {
+  SlotCapacity cap;
+  cap.slot = slot;
+  cap.data_res_total = data_res_total;
+
+  for (auto& dci : dcis) {
+    auto [it, inserted] = ues_.try_emplace(dci.rnti, dci.rnti, slot,
+                                           window_slots_);
+    it->second.observe(dci);
+    if (is_downlink(dci.dci.format)) {
+      const unsigned res =
+          dci.grant.prb_len * kSubcarriersPerPrb * (dci.grant.n_symbols - 1);
+      cap.data_res_used += res;
+      cap.used_res[dci.rnti] += res;
+    }
+  }
+
+  // Fair-share spare capacity: unused REs split evenly across active UEs,
+  // converted with each UE's own spectral efficiency (section 5.4.1: "the
+  // calculated spare bit rates are different because two UEs have
+  // different modulation and coding rates in the same TTI").
+  last_spare_bps_.clear();
+  if (data_res_total > cap.data_res_used && !ues_.empty()) {
+    const double spare =
+        static_cast<double>(data_res_total - cap.data_res_used);
+    const double share = spare / static_cast<double>(ues_.size());
+    last_spare_res_per_ue_ = share;
+    const double slot_s = slot_duration_s(scs_);
+    for (const auto& [rnti, ue] : ues_) {
+      const double eff = ue.last_efficiency() > 0.0 ? ue.last_efficiency()
+                                                    : 2.0 * 0.3;
+      const double bps = share * eff / slot_s;
+      last_spare_bps_[rnti] = bps;
+      cap.spare_bps[rnti] = bps;
+    }
+  } else {
+    last_spare_res_per_ue_ = 0.0;
+  }
+
+  if (keep_history) {
+    history_.push_back(std::move(cap));
+  }
+}
+
+double CellTelemetry::spare_bps(Rnti rnti) const {
+  const auto it = last_spare_bps_.find(rnti);
+  return it == last_spare_bps_.end() ? 0.0 : it->second;
+}
+
+}  // namespace nrs

@@ -1,0 +1,160 @@
+// Per-UE and per-cell telemetry state (paper section 3.2): every decoded
+// DCI is translated to a grant, its TBS accumulated into a sliding-window
+// bit-rate estimate, its HARQ NDI fed to the retransmission tracker, and
+// its MCS recorded.  The cell-level tracker turns unused REs into the
+// fair-share spare-capacity estimate of section 5.4.1 / Fig. 14.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <vector>
+
+#include "common/timing.h"
+#include "common/types.h"
+#include "nr/grant.h"
+#include "nr/harq.h"
+
+namespace nrs {
+
+/// One decoded DCI as reported by the sniffer.
+struct DecodedDci {
+  std::uint64_t slot = 0;
+  Rnti rnti = kInvalidRnti;
+  Dci dci;
+  Grant grant;
+  unsigned agg_level = 0;
+  unsigned cce_start = 0;
+  bool is_retx = false;  ///< filled by the telemetry tracker (NDI rule)
+};
+
+/// Sliding-window throughput estimator over (slot, bits) samples.
+class RateWindow {
+ public:
+  explicit RateWindow(std::uint64_t window_slots = 1000)
+      : window_slots_(window_slots) {}
+
+  void add(std::uint64_t slot, std::uint64_t bits);
+
+  /// Bits per second over the trailing window ending at `now_slot`.
+  [[nodiscard]] double rate_bps(std::uint64_t now_slot,
+                                double slot_duration_s) const;
+
+  [[nodiscard]] std::uint64_t total_bits() const { return total_bits_; }
+
+ private:
+  std::uint64_t window_slots_;
+  mutable std::deque<std::pair<std::uint64_t, std::uint64_t>> samples_;
+  std::uint64_t total_bits_ = 0;
+
+  void evict(std::uint64_t now_slot) const;
+};
+
+/// Everything NR-Scope knows about one UE.
+class UeTelemetry {
+ public:
+  UeTelemetry(Rnti rnti, std::uint64_t first_slot,
+              std::uint64_t window_slots)
+      : rnti_(rnti), first_slot_(first_slot), last_slot_(first_slot),
+        dl_rate_(window_slots), ul_rate_(window_slots) {}
+
+  /// Feed one decoded DCI; returns true when it was a retransmission.
+  bool observe(DecodedDci& dci);
+
+  [[nodiscard]] Rnti rnti() const { return rnti_; }
+  [[nodiscard]] std::uint64_t first_slot() const { return first_slot_; }
+  [[nodiscard]] std::uint64_t last_slot() const { return last_slot_; }
+
+  [[nodiscard]] std::uint64_t dl_dcis() const { return dl_dcis_; }
+  [[nodiscard]] std::uint64_t ul_dcis() const { return ul_dcis_; }
+
+  /// New-data bits only (retransmissions excluded), which is what the
+  /// application-layer ground truth (tcpdump) sees.
+  [[nodiscard]] std::uint64_t dl_bits() const { return dl_rate_.total_bits(); }
+  [[nodiscard]] std::uint64_t ul_bits() const { return ul_rate_.total_bits(); }
+
+  [[nodiscard]] double dl_rate_bps(std::uint64_t now_slot,
+                                   double slot_s) const {
+    return dl_rate_.rate_bps(now_slot, slot_s);
+  }
+  [[nodiscard]] double ul_rate_bps(std::uint64_t now_slot,
+                                   double slot_s) const {
+    return ul_rate_.rate_bps(now_slot, slot_s);
+  }
+
+  [[nodiscard]] const HarqTracker& harq() const { return harq_; }
+  [[nodiscard]] double retransmission_ratio() const {
+    return harq_.retransmission_ratio();
+  }
+
+  /// Histogram of observed downlink MCS indices (paper Fig. 15).
+  [[nodiscard]] const std::vector<std::uint64_t>& mcs_histogram() const {
+    return mcs_histogram_;
+  }
+
+  /// Spectral efficiency (bits/RE) of the most recent downlink grant —
+  /// used to convert fair-share spare REs into a spare bit rate.
+  [[nodiscard]] double last_efficiency() const { return last_efficiency_; }
+
+ private:
+  Rnti rnti_;
+  std::uint64_t first_slot_;
+  std::uint64_t last_slot_;
+  std::uint64_t dl_dcis_ = 0;
+  std::uint64_t ul_dcis_ = 0;
+  RateWindow dl_rate_;
+  RateWindow ul_rate_;
+  HarqTracker harq_;
+  std::vector<std::uint64_t> mcs_histogram_ =
+      std::vector<std::uint64_t>(32, 0);
+  double last_efficiency_ = 0.0;
+};
+
+/// Cell-wide RE accounting per TTI for the spare-capacity use case.
+struct SlotCapacity {
+  std::uint64_t slot = 0;
+  unsigned data_res_total = 0;  ///< PDSCH REs the TTI offers
+  unsigned data_res_used = 0;   ///< REs granted to anyone
+  /// Per-UE used REs and spare-share bit rates (paper Fig. 14b).
+  std::map<Rnti, unsigned> used_res;
+  std::map<Rnti, double> spare_bps;
+};
+
+class CellTelemetry {
+ public:
+  explicit CellTelemetry(Scs scs, std::uint64_t window_slots = 1000)
+      : scs_(scs), window_slots_(window_slots) {}
+
+  /// Feed a slot's decoded DCIs; `data_res_total` is the PDSCH capacity of
+  /// the TTI (0 for non-DL slots).
+  void observe_slot(std::uint64_t slot, std::vector<DecodedDci>& dcis,
+                    unsigned data_res_total, bool keep_history);
+
+  [[nodiscard]] const std::map<Rnti, UeTelemetry>& ues() const {
+    return ues_;
+  }
+  [[nodiscard]] UeTelemetry* find(Rnti rnti);
+  [[nodiscard]] const UeTelemetry* find(Rnti rnti) const;
+
+  /// Register a UE discovered via the RACH (so it exists even before its
+  /// first data DCI).
+  void add_ue(Rnti rnti, std::uint64_t slot);
+  void remove_ue(Rnti rnti);
+
+  [[nodiscard]] const std::vector<SlotCapacity>& history() const {
+    return history_;
+  }
+
+  /// Fair-share spare bit rate for one UE right now (section 5.4.1).
+  [[nodiscard]] double spare_bps(Rnti rnti) const;
+
+ private:
+  Scs scs_;
+  std::uint64_t window_slots_;
+  std::map<Rnti, UeTelemetry> ues_;
+  std::vector<SlotCapacity> history_;
+  double last_spare_res_per_ue_ = 0.0;
+  std::map<Rnti, double> last_spare_bps_;
+};
+
+}  // namespace nrs

@@ -1,0 +1,28 @@
+#include "phy/agc.h"
+
+#include <cmath>
+
+namespace nrs {
+
+Agc::Agc(float target_power, float alpha)
+    : target_power_(target_power), alpha_(alpha) {}
+
+void Agc::process(IqBuffer& samples) {
+  if (samples.empty()) {
+    return;
+  }
+  float power = 0.0f;
+  for (const auto& s : samples) {
+    power += std::norm(s);
+  }
+  power /= static_cast<float>(samples.size());
+  if (power > 1e-12f) {
+    const float desired = std::sqrt(target_power_ / power);
+    gain_ += alpha_ * (desired - gain_);
+  }
+  for (auto& s : samples) {
+    s *= gain_;
+  }
+}
+
+}  // namespace nrs

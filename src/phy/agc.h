@@ -1,0 +1,26 @@
+// Automatic gain control: normalizes block power towards a target, with a
+// first-order loop so gain changes are smooth across slots (paper section
+// 4: "use automatic gain control (AGC) for better signal strength").
+#pragma once
+
+#include "common/types.h"
+
+namespace nrs {
+
+class Agc {
+ public:
+  /// `target_power` is the desired mean |sample|^2; `alpha` the loop gain.
+  explicit Agc(float target_power = 1.0f, float alpha = 0.5f);
+
+  /// Scale one block in place and update the loop.
+  void process(IqBuffer& samples);
+
+  [[nodiscard]] float gain() const { return gain_; }
+
+ private:
+  float target_power_;
+  float alpha_;
+  float gain_ = 1.0f;
+};
+
+}  // namespace nrs

@@ -1,0 +1,93 @@
+// Wireless channel models applied to time-domain IQ between the gNB and
+// the sniffer (or a UE).  The paper evaluates under real indoor/outdoor/
+// moving conditions and under Amarisoft's emulated AWGN / Pedestrian /
+// Vehicle / Urban channels (sections 5.2-5.4); these models reproduce that
+// set: AWGN plus tapped-delay-line Rayleigh fading with Doppler, optional
+// carrier frequency offset, and an SNR set-point.
+//
+// SNR convention: `snr_db` is the post-FFT per-resource-element SNR for a
+// unit-power constellation symbol, i.e. what the demapper sees after OFDM
+// demodulation with FFT size `fft_size`.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/types.h"
+
+namespace nrs {
+
+/// Named fading profiles (paper Fig. 15).
+enum class ChannelProfile : std::uint8_t {
+  kAwgn,        ///< single tap, no fading
+  kPedestrian,  ///< EPA-like taps, ~5 Hz Doppler
+  kVehicle,     ///< EVA-like taps, ~300 Hz Doppler
+  kUrban,       ///< ETU-like taps, ~70 Hz Doppler
+};
+
+const char* to_string(ChannelProfile profile);
+ChannelProfile channel_profile_from_string(const std::string& name);
+
+struct ChannelConfig {
+  ChannelProfile profile = ChannelProfile::kAwgn;
+  double snr_db = 30.0;       ///< post-FFT per-RE SNR set-point
+  double doppler_hz = 0.0;    ///< 0 = use the profile default
+  double cfo_hz = 0.0;        ///< residual carrier frequency offset
+  double sample_rate = 30.72e6;
+  unsigned fft_size = 1024;
+  std::uint64_t seed = 1;
+};
+
+/// Stateful channel: call apply() on consecutive slot buffers; fading
+/// evolves across calls.
+class ChannelModel {
+ public:
+  explicit ChannelModel(const ChannelConfig& config);
+
+  /// Apply fading + CFO + AWGN to one slot of samples, in place.
+  void apply(IqBuffer& samples);
+
+  /// Advance the fading state by one slot without touching samples.  UE
+  /// emulators use this: their link quality evolves even though we never
+  /// synthesize their IQ (only the sniffer's samples are materialized).
+  void step_slot();
+
+  /// Instantaneous average tap power (linear); < 1 means the slot is in a
+  /// fade.  UEs use this to derive CQI.
+  [[nodiscard]] double current_gain() const;
+
+  /// Effective per-RE SNR right now (set-point shifted by the fade), dB.
+  [[nodiscard]] double effective_snr_db() const;
+
+  /// Change the SNR set-point (e.g. UE movement, paper Fig. 9c/13).
+  void set_snr_db(double snr_db) { config_.snr_db = snr_db; }
+  [[nodiscard]] const ChannelConfig& config() const { return config_; }
+
+ private:
+  struct Tap {
+    unsigned delay_samples;
+    double power;   // linear, taps sum to 1
+    cf32 gain;      // current complex gain
+  };
+
+  void evolve_taps();
+
+  ChannelConfig config_;
+  Rng rng_;
+  std::vector<Tap> taps_;
+  double rho_ = 1.0;        // AR(1) fading coefficient per slot
+  double phase_ = 0.0;      // CFO phase accumulator
+  std::uint64_t slots_ = 0;
+};
+
+/// Sum of linear tap powers == 1 for every profile; exposed for tests.
+std::vector<std::pair<double, double>> profile_taps_ns_db(
+    ChannelProfile profile);
+
+/// Default Doppler per profile (Hz).
+double profile_default_doppler_hz(ChannelProfile profile);
+
+}  // namespace nrs

@@ -1,0 +1,86 @@
+#include "phy/chest.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace nrs {
+
+ChannelEstimate estimate_channel(std::span<const Pilot> pilots,
+                                 unsigned sc_begin, unsigned sc_end) {
+  if (pilots.empty() || sc_end <= sc_begin) {
+    throw std::invalid_argument("estimate_channel: no pilots / empty range");
+  }
+  // Raw LS estimates at pilot positions.
+  std::vector<Pilot> sorted(pilots.begin(), pilots.end());
+  std::sort(sorted.begin(), sorted.end(),
+            [](const Pilot& a, const Pilot& b) {
+              return a.subcarrier < b.subcarrier;
+            });
+  const std::size_t np = sorted.size();
+  std::vector<cf32> ls(np);
+  for (std::size_t i = 0; i < np; ++i) {
+    const float denom = std::max(std::norm(sorted[i].ref), 1e-12f);
+    ls[i] = sorted[i].rx * std::conj(sorted[i].ref) / denom;
+  }
+  // 3-tap smoothing reduces the noise on the estimate.
+  std::vector<cf32> smooth(np);
+  for (std::size_t i = 0; i < np; ++i) {
+    cf32 acc = ls[i] * 2.0f;
+    float w = 2.0f;
+    if (i > 0) {
+      acc += ls[i - 1];
+      w += 1.0f;
+    }
+    if (i + 1 < np) {
+      acc += ls[i + 1];
+      w += 1.0f;
+    }
+    smooth[i] = acc / w;
+  }
+  // Noise variance from the residual between raw and smoothed estimates.
+  // The smoothing leaves ~ (1 - 2/w) of the noise in the residual; a fixed
+  // 2x correction keeps the estimate in the right ballpark for the LLR
+  // scaling, which only needs relative accuracy.
+  float resid = 0.0f;
+  for (std::size_t i = 0; i < np; ++i) {
+    resid += std::norm(ls[i] - smooth[i]);
+  }
+  float noise_var = np > 1 ? 2.0f * resid / static_cast<float>(np) : 1e-3f;
+  noise_var = std::max(noise_var, 1e-7f);
+
+  // Linear interpolation to every subcarrier in range.
+  ChannelEstimate est;
+  est.sc_begin = sc_begin;
+  est.noise_var = noise_var;
+  est.h.resize(sc_end - sc_begin);
+  std::size_t left = 0;
+  for (unsigned sc = sc_begin; sc < sc_end; ++sc) {
+    while (left + 1 < np && sorted[left + 1].subcarrier <= sc) {
+      ++left;
+    }
+    const std::size_t right = std::min(left + 1, np - 1);
+    const unsigned sc_l = sorted[left].subcarrier;
+    const unsigned sc_r = sorted[right].subcarrier;
+    cf32 h;
+    if (sc <= sc_l || sc_l == sc_r) {
+      h = smooth[left];
+    } else if (sc >= sc_r) {
+      h = smooth[right];
+    } else {
+      const float frac = static_cast<float>(sc - sc_l) /
+                         static_cast<float>(sc_r - sc_l);
+      h = smooth[left] * (1.0f - frac) + smooth[right] * frac;
+    }
+    est.h[sc - sc_begin] = h;
+  }
+  return est;
+}
+
+cf32 equalize_zf(cf32 rx, cf32 h, float noise_var, float& eff_noise_var) {
+  const float h2 = std::max(std::norm(h), 1e-6f);
+  eff_noise_var = noise_var / h2;
+  return rx * std::conj(h) / h2;
+}
+
+}  // namespace nrs

@@ -1,0 +1,43 @@
+// Least-squares channel estimation from DMRS pilots plus zero-forcing
+// equalization.  This mirrors the srsRAN "wireless channel estimator /
+// demodulator" modules the paper reuses (section 4): the sniffer estimates
+// the gNB->sniffer channel from the demodulation reference signals embedded
+// in PDCCH and PDSCH, equalizes the data REs, and derives the noise
+// variance that scales the soft demapper LLRs.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "common/types.h"
+
+namespace nrs {
+
+/// One received pilot: where it is, what was received, what was sent.
+struct Pilot {
+  unsigned subcarrier;
+  cf32 rx;
+  cf32 ref;
+};
+
+/// Channel estimate over a contiguous subcarrier range.
+struct ChannelEstimate {
+  unsigned sc_begin = 0;
+  std::vector<cf32> h;  ///< per-subcarrier gain for [sc_begin, sc_begin+n)
+  float noise_var = 1e-3f;
+
+  [[nodiscard]] const cf32& at(unsigned subcarrier) const {
+    return h.at(subcarrier - sc_begin);
+  }
+};
+
+/// LS estimate at the pilots, 3-tap smoothing, linear interpolation to all
+/// subcarriers in [sc_begin, sc_end); noise variance from pilot residuals.
+ChannelEstimate estimate_channel(std::span<const Pilot> pilots,
+                                 unsigned sc_begin, unsigned sc_end);
+
+/// Zero-forcing equalization of one RE; returns the equalized symbol and
+/// writes the effective post-equalization noise variance.
+cf32 equalize_zf(cf32 rx, cf32 h, float noise_var, float& eff_noise_var);
+
+}  // namespace nrs

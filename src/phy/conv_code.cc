@@ -1,0 +1,138 @@
+#include "phy/conv_code.h"
+
+#include <algorithm>
+#include <bit>
+#include <limits>
+#include <stdexcept>
+#include <vector>
+
+namespace nrs {
+namespace {
+
+std::uint8_t parity7(unsigned v) {
+  return static_cast<std::uint8_t>(std::popcount(v & 0x7Fu) & 1);
+}
+
+/// Branch outputs for (previous state, input bit).
+struct Branch {
+  std::uint8_t out_a;
+  std::uint8_t out_b;
+};
+
+Branch branch_outputs(unsigned prev_state, unsigned bit) {
+  const unsigned reg = ((prev_state << 1) | bit) & 0x7Fu;
+  return {parity7(reg & ConvolutionalCode::kPolyA),
+          parity7(reg & ConvolutionalCode::kPolyB)};
+}
+
+}  // namespace
+
+BitVector ConvolutionalCode::encode(std::span<const std::uint8_t> bits) {
+  BitVector out;
+  out.reserve(coded_size(bits.size()));
+  unsigned state = 0;
+  auto push = [&](unsigned b) {
+    const Branch br = branch_outputs(state, b);
+    out.push_back(br.out_a);
+    out.push_back(br.out_b);
+    state = ((state << 1) | b) & (kNumStates - 1);
+  };
+  for (std::uint8_t b : bits) {
+    push(b & 1);
+  }
+  for (unsigned i = 0; i < kConstraintLength - 1; ++i) {
+    push(0);  // tail: return to the zero state
+  }
+  return out;
+}
+
+BitVector ConvolutionalCode::decode(std::span<const float> llrs,
+                                    std::size_t payload_bits) {
+  const std::size_t steps = payload_bits + kConstraintLength - 1;
+  if (llrs.size() != 2 * steps) {
+    throw std::invalid_argument("ConvolutionalCode::decode: LLR length");
+  }
+  constexpr float kNegInf = -std::numeric_limits<float>::infinity();
+  std::vector<float> metric(kNumStates, kNegInf);
+  std::vector<float> next(kNumStates);
+  metric[0] = 0.0f;  // trellis starts in the zero state
+  // survivors[t][state] = input bit taken to reach `state` at step t+1,
+  // plus the predecessor state packed in the upper bits.
+  std::vector<std::vector<std::uint16_t>> survivors(
+      steps, std::vector<std::uint16_t>(kNumStates, 0));
+
+  for (std::size_t t = 0; t < steps; ++t) {
+    std::fill(next.begin(), next.end(), kNegInf);
+    const float la = llrs[2 * t];
+    const float lb = llrs[2 * t + 1];
+    const unsigned max_bit = (t < payload_bits) ? 1u : 0u;  // tail forces 0
+    for (unsigned s = 0; s < kNumStates; ++s) {
+      if (metric[s] == kNegInf) {
+        continue;
+      }
+      for (unsigned b = 0; b <= max_bit; ++b) {
+        const Branch br = branch_outputs(s, b);
+        // Positive LLR favors bit 0: add +llr when output bit is 0.
+        const float m = metric[s] + (br.out_a ? -la : la) +
+                        (br.out_b ? -lb : lb);
+        const unsigned ns = ((s << 1) | b) & (kNumStates - 1);
+        if (m > next[ns]) {
+          next[ns] = m;
+          survivors[t][ns] = static_cast<std::uint16_t>((s << 1) | b);
+        }
+      }
+    }
+    metric.swap(next);
+  }
+
+  // Terminated trellis: trace back from the zero state.
+  BitVector decoded(payload_bits);
+  unsigned state = 0;
+  for (std::size_t t = steps; t-- > 0;) {
+    const std::uint16_t sv = survivors[t][state];
+    const unsigned bit = sv & 1u;
+    if (t < payload_bits) {
+      decoded[t] = static_cast<std::uint8_t>(bit);
+    }
+    state = sv >> 1;
+  }
+  return decoded;
+}
+
+BitVector rate_match(std::span<const std::uint8_t> coded, std::size_t e) {
+  if (coded.empty() || e == 0) {
+    throw std::invalid_argument("rate_match: empty input");
+  }
+  BitVector out(e);
+  if (e >= coded.size()) {
+    for (std::size_t i = 0; i < e; ++i) {
+      out[i] = coded[i % coded.size()];
+    }
+  } else {
+    // Uniform puncturing: keep bit floor(i * C / E).
+    for (std::size_t i = 0; i < e; ++i) {
+      out[i] = coded[i * coded.size() / e];
+    }
+  }
+  return out;
+}
+
+std::vector<float> rate_dematch(std::span<const float> llrs,
+                                std::size_t coded_size) {
+  if (llrs.empty() || coded_size == 0) {
+    throw std::invalid_argument("rate_dematch: empty input");
+  }
+  std::vector<float> out(coded_size, 0.0f);
+  if (llrs.size() >= coded_size) {
+    for (std::size_t i = 0; i < llrs.size(); ++i) {
+      out[i % coded_size] += llrs[i];  // chase-combine repetitions
+    }
+  } else {
+    for (std::size_t i = 0; i < llrs.size(); ++i) {
+      out[i * coded_size / llrs.size()] = llrs[i];  // punctured: erasures
+    }
+  }
+  return out;
+}
+
+}  // namespace nrs

@@ -1,0 +1,77 @@
+#include "phy/fft.h"
+
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+namespace nrs {
+
+Fft::Fft(std::size_t size) : size_(size) {
+  if (!is_pow2(size)) {
+    throw std::invalid_argument("Fft size must be a power of two");
+  }
+  log2_size_ = 0;
+  while ((std::size_t{1} << log2_size_) < size_) {
+    ++log2_size_;
+  }
+  // Bit-reversal permutation table.
+  bit_reverse_.resize(size_);
+  for (std::size_t i = 0; i < size_; ++i) {
+    std::size_t rev = 0;
+    for (std::size_t b = 0; b < log2_size_; ++b) {
+      rev |= ((i >> b) & 1) << (log2_size_ - 1 - b);
+    }
+    bit_reverse_[i] = rev;
+  }
+  // Twiddle factors W_N^k = exp(-2*pi*i*k/N) for k in [0, N/2).
+  twiddles_.resize(size_ / 2);
+  for (std::size_t k = 0; k < size_ / 2; ++k) {
+    const double angle =
+        -2.0 * std::numbers::pi * static_cast<double>(k) /
+        static_cast<double>(size_);
+    twiddles_[k] = cf32(static_cast<float>(std::cos(angle)),
+                        static_cast<float>(std::sin(angle)));
+  }
+}
+
+void Fft::transform(std::span<cf32> data, bool inverse) const {
+  if (data.size() != size_) {
+    throw std::invalid_argument("Fft: buffer size mismatch");
+  }
+  // Bit-reverse reorder.
+  for (std::size_t i = 0; i < size_; ++i) {
+    const std::size_t j = bit_reverse_[i];
+    if (i < j) {
+      std::swap(data[i], data[j]);
+    }
+  }
+  // Danielson-Lanczos butterflies.
+  for (std::size_t len = 2; len <= size_; len <<= 1) {
+    const std::size_t half = len >> 1;
+    const std::size_t stride = size_ / len;
+    for (std::size_t start = 0; start < size_; start += len) {
+      for (std::size_t k = 0; k < half; ++k) {
+        cf32 w = twiddles_[k * stride];
+        if (inverse) {
+          w = std::conj(w);
+        }
+        const cf32 even = data[start + k];
+        const cf32 odd = data[start + k + half] * w;
+        data[start + k] = even + odd;
+        data[start + k + half] = even - odd;
+      }
+    }
+  }
+  if (inverse) {
+    const float norm = 1.0f / static_cast<float>(size_);
+    for (auto& v : data) {
+      v *= norm;
+    }
+  }
+}
+
+void Fft::forward(std::span<cf32> data) const { transform(data, false); }
+
+void Fft::inverse(std::span<cf32> data) const { transform(data, true); }
+
+}  // namespace nrs

@@ -1,0 +1,41 @@
+// Iterative radix-2 complex FFT.  This is the per-slot workhorse the paper
+// identifies as the main computational cost (section 4: "The major
+// computational cost comes from the FFT of each slot...").  Sizes are powers
+// of two; OFDM symbol sizes in this codebase are 512/1024/2048.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "common/types.h"
+
+namespace nrs {
+
+/// Plans twiddle factors for a fixed power-of-two size; then executes
+/// forward/inverse transforms in place or out of place.
+class Fft {
+ public:
+  explicit Fft(std::size_t size);
+
+  /// Forward DFT in place.  No normalization.
+  void forward(std::span<cf32> data) const;
+
+  /// Inverse DFT in place, normalized by 1/N.
+  void inverse(std::span<cf32> data) const;
+
+  [[nodiscard]] std::size_t size() const { return size_; }
+
+ private:
+  void transform(std::span<cf32> data, bool inverse) const;
+
+  std::size_t size_;
+  std::size_t log2_size_;
+  std::vector<std::size_t> bit_reverse_;
+  std::vector<cf32> twiddles_;          // forward twiddles per stage, packed
+};
+
+/// True when `n` is a power of two (and nonzero).
+constexpr bool is_pow2(std::size_t n) { return n != 0 && (n & (n - 1)) == 0; }
+
+}  // namespace nrs

@@ -1,0 +1,151 @@
+#include "phy/modulation.h"
+
+#include <array>
+#include <cmath>
+#include <stdexcept>
+
+namespace nrs {
+namespace {
+
+// Per-axis amplitude scale for unit average power (TS 38.211 5.1.3-5.1.6).
+float axis_scale(Modulation m) {
+  switch (m) {
+    case Modulation::kBpsk:
+    case Modulation::kQpsk:
+      return 1.0f / std::sqrt(2.0f);
+    case Modulation::kQam16:
+      return 1.0f / std::sqrt(10.0f);
+    case Modulation::kQam64:
+      return 1.0f / std::sqrt(42.0f);
+    case Modulation::kQam256:
+      return 1.0f / std::sqrt(170.0f);
+  }
+  throw std::invalid_argument("unknown modulation");
+}
+
+// Gray-mapped PAM amplitude from the per-axis bits, following the nested
+// 3GPP formulas, e.g. 64QAM I = (1-2b0)(4-(1-2b2)(2-(1-2b4))).
+float pam_amplitude(std::span<const std::uint8_t> axis_bits) {
+  // axis_bits[0] is the sign bit; the rest refine the magnitude.
+  float magnitude = 1.0f;
+  for (std::size_t k = axis_bits.size(); k-- > 1;) {
+    const float s = axis_bits[k] ? -1.0f : 1.0f;
+    const float level = static_cast<float>(1u << (axis_bits.size() - k));
+    magnitude = level - s * magnitude;
+  }
+  const float sign = axis_bits[0] ? -1.0f : 1.0f;
+  return sign * magnitude;
+}
+
+}  // namespace
+
+const char* to_string(Modulation m) {
+  switch (m) {
+    case Modulation::kBpsk:
+      return "BPSK";
+    case Modulation::kQpsk:
+      return "QPSK";
+    case Modulation::kQam16:
+      return "16QAM";
+    case Modulation::kQam64:
+      return "64QAM";
+    case Modulation::kQam256:
+      return "256QAM";
+  }
+  return "?";
+}
+
+std::vector<cf32> modulate(std::span<const std::uint8_t> bits, Modulation m) {
+  const unsigned qm = bits_per_symbol(m);
+  if (bits.size() % qm != 0) {
+    throw std::invalid_argument("modulate: bits not a multiple of Qm");
+  }
+  const float a = axis_scale(m);
+  std::vector<cf32> symbols(bits.size() / qm);
+
+  if (m == Modulation::kBpsk) {
+    for (std::size_t i = 0; i < symbols.size(); ++i) {
+      const float v = bits[i] ? -a : a;
+      symbols[i] = cf32(v, v);
+    }
+    return symbols;
+  }
+
+  const unsigned per_axis = qm / 2;
+  std::array<std::uint8_t, 4> ibits{};
+  std::array<std::uint8_t, 4> qbits{};
+  for (std::size_t s = 0; s < symbols.size(); ++s) {
+    const std::size_t base = s * qm;
+    for (unsigned k = 0; k < per_axis; ++k) {
+      ibits[k] = bits[base + 2 * k];      // even bits -> I axis
+      qbits[k] = bits[base + 2 * k + 1];  // odd bits  -> Q axis
+    }
+    symbols[s] =
+        cf32(a * pam_amplitude({ibits.data(), per_axis}),
+             a * pam_amplitude({qbits.data(), per_axis}));
+  }
+  return symbols;
+}
+
+std::vector<float> demodulate_llr(std::span<const cf32> symbols, Modulation m,
+                                  float noise_var) {
+  const unsigned qm = bits_per_symbol(m);
+  const float a = axis_scale(m);
+  const float nv = std::max(noise_var, 1e-9f);
+  const float scale = 4.0f * a / nv;
+  std::vector<float> llrs(symbols.size() * qm);
+
+  if (m == Modulation::kBpsk) {
+    for (std::size_t i = 0; i < symbols.size(); ++i) {
+      llrs[i] = scale * (symbols[i].real() + symbols[i].imag()) * 0.5f;
+    }
+    return llrs;
+  }
+
+  const unsigned per_axis = qm / 2;
+  for (std::size_t s = 0; s < symbols.size(); ++s) {
+    // Max-log LLR recursion for Gray-mapped PAM: the metric for magnitude
+    // bit k is (2^{m-k} * a) minus the absolute value of the previous
+    // metric; positive LLR means bit 0 throughout this codebase.
+    for (unsigned axis = 0; axis < 2; ++axis) {
+      float metric = axis == 0 ? symbols[s].real() : symbols[s].imag();
+      for (unsigned k = 0; k < per_axis; ++k) {
+        llrs[s * qm + 2 * k + axis] = scale * metric;
+        const float level = a * static_cast<float>(1u << (per_axis - 1 - k));
+        metric = level - std::abs(metric);
+      }
+    }
+  }
+  return llrs;
+}
+
+void demodulate_llr_re(cf32 symbol, Modulation m, float noise_var,
+                       float* out) {
+  const unsigned qm = bits_per_symbol(m);
+  const float a = axis_scale(m);
+  const float nv = std::max(noise_var, 1e-9f);
+  const float scale = 4.0f * a / nv;
+  if (m == Modulation::kBpsk) {
+    out[0] = scale * (symbol.real() + symbol.imag()) * 0.5f;
+    return;
+  }
+  const unsigned per_axis = qm / 2;
+  for (unsigned axis = 0; axis < 2; ++axis) {
+    float metric = axis == 0 ? symbol.real() : symbol.imag();
+    for (unsigned k = 0; k < per_axis; ++k) {
+      out[2 * k + axis] = scale * metric;
+      const float level = a * static_cast<float>(1u << (per_axis - 1 - k));
+      metric = level - std::abs(metric);
+    }
+  }
+}
+
+BitVector hard_decide(std::span<const float> llrs) {
+  BitVector bits(llrs.size());
+  for (std::size_t i = 0; i < llrs.size(); ++i) {
+    bits[i] = llrs[i] < 0.0f ? 1 : 0;
+  }
+  return bits;
+}
+
+}  // namespace nrs

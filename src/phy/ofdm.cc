@@ -1,0 +1,95 @@
+#include "phy/ofdm.h"
+
+#include <stdexcept>
+
+namespace nrs {
+
+OfdmConfig make_ofdm_config(unsigned n_prb) {
+  OfdmConfig cfg;
+  cfg.n_prb = n_prb;
+  unsigned fft = 128;
+  while (fft < n_prb * 12 + 2) {
+    fft <<= 1;
+  }
+  cfg.fft_size = fft;
+  cfg.cp_len = fft / 16 + fft / 64;  // ~7% normal-CP overhead
+  return cfg;
+}
+
+namespace {
+// Map subcarrier index (0..N_sc-1) to FFT bin: subcarriers are centered on
+// DC, negative frequencies wrap to the top half of the FFT.
+unsigned bin_for_subcarrier(const OfdmConfig& cfg, unsigned sc) {
+  const int offset =
+      static_cast<int>(sc) - static_cast<int>(cfg.n_subcarriers() / 2);
+  const int bin = offset >= 0
+                      ? offset
+                      : static_cast<int>(cfg.fft_size) + offset;
+  return static_cast<unsigned>(bin);
+}
+}  // namespace
+
+OfdmModulator::OfdmModulator(OfdmConfig config)
+    : config_(config), fft_(config.fft_size) {
+  if (config_.n_subcarriers() + 2 > config_.fft_size) {
+    throw std::invalid_argument("OfdmModulator: FFT too small for PRBs");
+  }
+}
+
+IqBuffer OfdmModulator::modulate(const ResourceGrid& grid) const {
+  if (grid.n_prb() != config_.n_prb) {
+    throw std::invalid_argument("OfdmModulator: grid PRB mismatch");
+  }
+  IqBuffer out(config_.samples_per_slot());
+  std::vector<cf32> freq(config_.fft_size);
+  for (unsigned sym = 0; sym < grid.n_symbols(); ++sym) {
+    std::fill(freq.begin(), freq.end(), cf32{});
+    const auto row = grid.symbol(sym);
+    for (unsigned sc = 0; sc < config_.n_subcarriers(); ++sc) {
+      freq[bin_for_subcarrier(config_, sc)] = row[sc];
+    }
+    fft_.inverse(freq);
+    cf32* dst = out.data() +
+                static_cast<std::size_t>(sym) * config_.samples_per_symbol();
+    // Cyclic prefix: last cp_len time samples, then the symbol body.
+    for (unsigned i = 0; i < config_.cp_len; ++i) {
+      dst[i] = freq[config_.fft_size - config_.cp_len + i];
+    }
+    for (unsigned i = 0; i < config_.fft_size; ++i) {
+      dst[config_.cp_len + i] = freq[i];
+    }
+  }
+  return out;
+}
+
+OfdmDemodulator::OfdmDemodulator(OfdmConfig config)
+    : config_(config), fft_(config.fft_size) {
+  if (config_.n_subcarriers() + 2 > config_.fft_size) {
+    throw std::invalid_argument("OfdmDemodulator: FFT too small for PRBs");
+  }
+}
+
+ResourceGrid OfdmDemodulator::demodulate(std::span<const cf32> samples) const {
+  if (samples.size() < config_.samples_per_slot()) {
+    throw std::invalid_argument("OfdmDemodulator: short slot buffer");
+  }
+  ResourceGrid grid(config_.n_prb);
+  std::vector<cf32> freq(config_.fft_size);
+  for (unsigned sym = 0; sym < kSymbolsPerSlot; ++sym) {
+    const cf32* src =
+        samples.data() +
+        static_cast<std::size_t>(sym) * config_.samples_per_symbol() +
+        config_.cp_len;
+    std::copy(src, src + config_.fft_size, freq.begin());
+    fft_.forward(freq);
+    // IFFT/FFT round trip leaves a factor of 1 (inverse normalizes); copy
+    // the occupied bins back out.
+    auto row = grid.symbol(sym);
+    for (unsigned sc = 0; sc < config_.n_subcarriers(); ++sc) {
+      row[sc] = freq[bin_for_subcarrier(config_, sc)];
+    }
+  }
+  return grid;
+}
+
+}  // namespace nrs

@@ -1,0 +1,65 @@
+// CP-OFDM modulation of a slot resource grid to time-domain IQ samples and
+// back.  The virtual radio path (gNB IFFT -> channel -> sniffer FFT) runs
+// through these two classes, so sniffer decode errors originate from real
+// sample-domain impairments rather than injected bit flips.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/types.h"
+#include "phy/fft.h"
+#include "phy/resource_grid.h"
+
+namespace nrs {
+
+/// Dimensioning for the OFDM transforms of one carrier.
+struct OfdmConfig {
+  unsigned n_prb = 51;       ///< carrier bandwidth in PRBs
+  unsigned fft_size = 1024;  ///< must exceed n_prb * 12
+  unsigned cp_len = 72;      ///< cyclic prefix in samples (normal CP approx.)
+
+  [[nodiscard]] unsigned n_subcarriers() const { return n_prb * 12; }
+  [[nodiscard]] unsigned samples_per_symbol() const {
+    return fft_size + cp_len;
+  }
+  [[nodiscard]] unsigned samples_per_slot() const {
+    return samples_per_symbol() * kSymbolsPerSlot;
+  }
+};
+
+/// Pick a sensible FFT size/CP for a PRB count (next pow2 above 12*nprb).
+OfdmConfig make_ofdm_config(unsigned n_prb);
+
+/// Grid -> time samples: subcarriers are centered around DC, IFFT per
+/// symbol, cyclic prefix prepended.
+class OfdmModulator {
+ public:
+  explicit OfdmModulator(OfdmConfig config);
+
+  /// Modulate a full slot; output has config().samples_per_slot() samples.
+  [[nodiscard]] IqBuffer modulate(const ResourceGrid& grid) const;
+
+  [[nodiscard]] const OfdmConfig& config() const { return config_; }
+
+ private:
+  OfdmConfig config_;
+  Fft fft_;
+};
+
+/// Time samples -> grid: CP removal and forward FFT per symbol.
+class OfdmDemodulator {
+ public:
+  explicit OfdmDemodulator(OfdmConfig config);
+
+  /// Demodulate one slot of samples into a grid.
+  [[nodiscard]] ResourceGrid demodulate(std::span<const cf32> samples) const;
+
+  [[nodiscard]] const OfdmConfig& config() const { return config_; }
+
+ private:
+  OfdmConfig config_;
+  Fft fft_;
+};
+
+}  // namespace nrs

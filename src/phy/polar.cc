@@ -1,0 +1,219 @@
+#include "phy/polar.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+namespace nrs {
+namespace {
+
+/// LLR value representing a bit known to be zero (shortened positions).
+constexpr float kKnownZeroLlr = 1e9f;
+
+float f_minsum(float a, float b) {
+  const float sign = ((a < 0.0f) != (b < 0.0f)) ? -1.0f : 1.0f;
+  return sign * std::min(std::abs(a), std::abs(b));
+}
+
+}  // namespace
+
+std::vector<unsigned> PolarCode::reliability_order(unsigned n) {
+  if (!((n & (n - 1)) == 0) || n == 0) {
+    throw std::invalid_argument("reliability_order: n must be a power of 2");
+  }
+  // Beta-expansion (Polarization Weight): w(i) = sum_j b_j(i) * beta^j with
+  // beta = 2^(1/4).  Larger weight = more reliable input position.
+  const double beta = std::pow(2.0, 0.25);
+  std::vector<double> weight(n, 0.0);
+  for (unsigned i = 0; i < n; ++i) {
+    double w = 0.0;
+    double pw = 1.0;
+    for (unsigned j = 0; (1u << j) < n; ++j, pw *= beta) {
+      if (i & (1u << j)) {
+        w += pw;
+      }
+    }
+    weight[i] = w;
+  }
+  std::vector<unsigned> order(n);
+  std::iota(order.begin(), order.end(), 0u);
+  std::stable_sort(order.begin(), order.end(), [&](unsigned a, unsigned b) {
+    return weight[a] < weight[b];
+  });
+  return order;  // ascending reliability
+}
+
+PolarCode::PolarCode(unsigned k, unsigned e) : k_(k), e_(e) {
+  if (k == 0 || e == 0) {
+    throw std::invalid_argument("PolarCode: zero K or E");
+  }
+  // Mother code: smallest power of two >= E, capped at kMaxN (then
+  // repetition covers the excess).
+  n_ = 32;
+  while (n_ < e_ && n_ < kMaxN) {
+    n_ <<= 1;
+  }
+  const unsigned shortened = e_ < n_ ? n_ - e_ : 0;
+  if (k_ + shortened > n_) {
+    throw std::invalid_argument("PolarCode: K too large for E");
+  }
+  // Choose the K most reliable inputs, excluding the shortened tail
+  // [n - shortened, n) whose inputs must stay frozen (known zero).
+  const std::vector<unsigned> order = reliability_order(n_);
+  info_set_.reserve(k_);
+  for (auto it = order.rbegin(); it != order.rend() && info_set_.size() < k_;
+       ++it) {
+    if (*it < n_ - shortened) {
+      info_set_.push_back(*it);
+    }
+  }
+  if (info_set_.size() < k_) {
+    throw std::invalid_argument("PolarCode: cannot place info bits");
+  }
+  std::sort(info_set_.begin(), info_set_.end());
+  is_info_.assign(n_, 0);
+  for (unsigned idx : info_set_) {
+    is_info_[idx] = 1;
+  }
+}
+
+BitVector PolarCode::polar_transform(std::span<const std::uint8_t> u) const {
+  BitVector x(u.begin(), u.end());
+  for (unsigned len = 1; len < n_; len <<= 1) {
+    for (unsigned i = 0; i < n_; i += 2 * len) {
+      for (unsigned j = 0; j < len; ++j) {
+        x[i + j] = static_cast<std::uint8_t>(x[i + j] ^ x[i + j + len]);
+      }
+    }
+  }
+  return x;
+}
+
+BitVector PolarCode::encode(std::span<const std::uint8_t> info) const {
+  if (info.size() != k_) {
+    throw std::invalid_argument("PolarCode::encode: wrong info length");
+  }
+  BitVector u(n_, 0);
+  for (unsigned i = 0; i < k_; ++i) {
+    u[info_set_[i]] = info[i] & 1;
+  }
+  const BitVector x = polar_transform(u);
+  BitVector out(e_);
+  if (e_ >= n_) {
+    for (unsigned i = 0; i < e_; ++i) {
+      out[i] = x[i % n_];  // repetition
+    }
+  } else {
+    std::copy(x.begin(), x.begin() + e_, out.begin());  // shortening
+  }
+  return out;
+}
+
+namespace {
+
+/// Allocation-free successive-cancellation decoder workspace: level l of
+/// the decode tree uses a slice of size N >> l; slices for all levels fit
+/// in 2N entries.  Hot path — one decode per PDCCH candidate per UE per
+/// TTI (paper Fig. 12 profiles exactly this loop).
+struct ScWorkspace {
+  std::vector<float> llr;      // 2N floats, sliced per level
+  std::vector<std::uint8_t> x; // 2N partial-sum bits, sliced per level
+  std::vector<std::size_t> offset;
+
+  void resize(std::size_t n) {
+    llr.assign(2 * n, 0.0f);
+    x.assign(2 * n, 0);
+    offset.clear();
+    std::size_t off = 0;
+    for (std::size_t len = n; len >= 1; len >>= 1) {
+      offset.push_back(off);
+      off += len;
+    }
+  }
+};
+
+thread_local ScWorkspace t_workspace;
+
+/// Recursive SC over the flat workspace.  `level`'s LLR slice is already
+/// filled; decided codeword bits land in `level`'s x slice, input bits in
+/// `u` (indexed from `base`).
+void sc_decode(ScWorkspace& ws, std::size_t n, std::size_t level,
+               std::size_t base, std::span<std::uint8_t> u,
+               const std::vector<std::uint8_t>& is_info) {
+  float* llr = ws.llr.data() + ws.offset[level];
+  std::uint8_t* x = ws.x.data() + ws.offset[level];
+  if (n == 1) {
+    const std::uint8_t bit =
+        is_info[base] ? static_cast<std::uint8_t>(llr[0] < 0.0f) : 0;
+    u[base] = bit;
+    x[0] = bit;
+    return;
+  }
+  const std::size_t half = n / 2;
+  float* child_llr = ws.llr.data() + ws.offset[level + 1];
+  std::uint8_t* child_x = ws.x.data() + ws.offset[level + 1];
+  // Left child: LLRs of x_first XOR x_second.
+  for (std::size_t i = 0; i < half; ++i) {
+    child_llr[i] = f_minsum(llr[i], llr[i + half]);
+  }
+  sc_decode(ws, half, level + 1, base, u, is_info);
+  // Stash the left codeword in the left half of this level's x slice
+  // before the right child overwrites the shared child slice.
+  for (std::size_t i = 0; i < half; ++i) {
+    x[i] = child_x[i];
+  }
+  // Right child: combine with the left decision.
+  for (std::size_t i = 0; i < half; ++i) {
+    child_llr[i] = llr[i + half] + (x[i] ? -llr[i] : llr[i]);
+  }
+  sc_decode(ws, half, level + 1, base + half, u, is_info);
+  for (std::size_t i = 0; i < half; ++i) {
+    x[i + half] = child_x[i];
+    x[i] = static_cast<std::uint8_t>(x[i] ^ child_x[i]);
+  }
+}
+
+}  // namespace
+
+BitVector PolarCode::decode(std::span<const float> llrs) const {
+  if (llrs.size() != e_) {
+    throw std::invalid_argument("PolarCode::decode: wrong LLR length");
+  }
+  // Rate dematching into mother-code LLRs.
+  std::vector<float> mother(n_, 0.0f);
+  if (e_ >= n_) {
+    for (unsigned i = 0; i < e_; ++i) {
+      mother[i % n_] += llrs[i];  // combine repetitions
+    }
+  } else {
+    for (unsigned i = 0; i < e_; ++i) {
+      mother[i] = llrs[i];
+    }
+    for (unsigned i = e_; i < n_; ++i) {
+      mother[i] = kKnownZeroLlr;  // shortened bits are known zero
+    }
+  }
+  ScWorkspace& ws = t_workspace;
+  if (ws.llr.size() < 2 * n_) {
+    ws.resize(n_);
+  } else {
+    // Reuse the buffers; only the offsets depend on n.
+    ws.offset.clear();
+    std::size_t off = 0;
+    for (std::size_t len = n_; len >= 1; len >>= 1) {
+      ws.offset.push_back(off);
+      off += len;
+    }
+  }
+  std::copy(mother.begin(), mother.end(), ws.llr.begin());
+  std::vector<std::uint8_t> u(n_);
+  sc_decode(ws, n_, 0, 0, u, is_info_);
+  BitVector info(k_);
+  for (unsigned i = 0; i < k_; ++i) {
+    info[i] = u[info_set_[i]];
+  }
+  return info;
+}
+
+}  // namespace nrs

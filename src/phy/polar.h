@@ -1,0 +1,61 @@
+// Polar coding for the PDCCH / PBCH chains (3GPP TS 38.212 5.3.1).
+//
+// Substitution note (see DESIGN.md): the information-set reliability order
+// is generated with the beta-expansion (Polarization Weight) construction —
+// the same method 3GPP used to design Table 5.3.1.2-1 — instead of copying
+// the table.  Encoder and decoder share the construction, so the chain's
+// behaviour (rate matching, SC decoding, CRC-aided detection, BLER-vs-SNR
+// shape) is preserved.
+//
+// Rate matching: repetition when E >= N; shortening when E < N (the last
+// N - E coded bits are not transmitted and the corresponding tail input
+// bits are frozen, so the decoder knows them to be zero).  DCI code rates
+// are above 7/16, where 3GPP also shortens.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "common/bit_io.h"
+
+namespace nrs {
+
+/// A (K, E) polar code instance: K information bits (payload + CRC already
+/// attached by the caller) carried over E transmitted bits.
+class PolarCode {
+ public:
+  /// Maximum mother-code size used by NR DCI (TS 38.212: n_max = 9).
+  static constexpr unsigned kMaxN = 512;
+
+  PolarCode(unsigned k, unsigned e);
+
+  /// Encode `info` (size K) into E transmitted bits.
+  [[nodiscard]] BitVector encode(std::span<const std::uint8_t> info) const;
+
+  /// Successive-cancellation decode from E channel LLRs
+  /// (positive = bit 0).  Always returns K bits; the caller validates them
+  /// with the attached CRC — a failed CRC is a "DCI miss" upstream.
+  [[nodiscard]] BitVector decode(std::span<const float> llrs) const;
+
+  [[nodiscard]] unsigned k() const { return k_; }
+  [[nodiscard]] unsigned e() const { return e_; }
+  [[nodiscard]] unsigned n() const { return n_; }
+
+  /// The beta-expansion reliability order for a mother code of size n
+  /// (ascending reliability: least reliable first).  Exposed for tests.
+  static std::vector<unsigned> reliability_order(unsigned n);
+
+ private:
+  unsigned k_;
+  unsigned e_;
+  unsigned n_;                       // mother code size (power of two)
+  std::vector<unsigned> info_set_;   // input indices carrying info bits
+  std::vector<std::uint8_t> is_info_;
+
+  [[nodiscard]] BitVector polar_transform(
+      std::span<const std::uint8_t> u) const;
+};
+
+}  // namespace nrs

@@ -1,0 +1,95 @@
+#include "phy/pss.h"
+
+#include <cmath>
+
+namespace nrs {
+
+std::array<float, kPssLength> pss_sequence(unsigned nid2) {
+  // m-sequence x(i+7) = (x(i+4) + x(i)) mod 2 with the TS 38.211 seed
+  // [x(6)..x(0)] = [1,1,1,0,1,1,0].
+  std::array<std::uint8_t, kPssLength> x{};
+  x[0] = 0;
+  x[1] = 1;
+  x[2] = 1;
+  x[3] = 0;
+  x[4] = 1;
+  x[5] = 1;
+  x[6] = 1;
+  for (unsigned i = 0; i + 7 < kPssLength; ++i) {
+    x[i + 7] = static_cast<std::uint8_t>((x[i + 4] + x[i]) % 2);
+  }
+  std::array<float, kPssLength> d{};
+  for (unsigned n = 0; n < kPssLength; ++n) {
+    const unsigned m = (n + 43 * nid2) % kPssLength;
+    d[n] = 1.0f - 2.0f * static_cast<float>(x[m]);
+  }
+  return d;
+}
+
+float partial_correlation(std::span<const cf32> res,
+                          std::span<const float> seq) {
+  // Frequency-selective channels rotate the phase across the band, which
+  // would cancel a single full-length correlation.  Correlate in segments
+  // short enough to sit within the channel's coherence bandwidth and
+  // combine non-coherently: metric = mean over segments of
+  // |corr_seg|^2 / (energy_seg * len_seg), 1.0 for a perfect match and
+  // ~1/len_seg for noise.
+  constexpr unsigned kSegments = 8;
+  const unsigned len = static_cast<unsigned>(seq.size());
+  float metric = 0.0f;
+  unsigned used = 0;
+  for (unsigned s = 0; s < kSegments; ++s) {
+    const unsigned begin = s * len / kSegments;
+    const unsigned end = (s + 1) * len / kSegments;
+    cf32 corr{};
+    float energy = 0.0f;
+    for (unsigned n = begin; n < end; ++n) {
+      corr += res[n] * seq[n];
+      energy += std::norm(res[n]);
+    }
+    if (energy > 1e-12f) {
+      metric += std::norm(corr) /
+                (energy * static_cast<float>(end - begin));
+      ++used;
+    }
+  }
+  return used > 0 ? metric / static_cast<float>(used) : 0.0f;
+}
+
+std::optional<PssDetection> detect_pss(std::span<const cf32> res,
+                                       float threshold) {
+  if (res.size() < kPssLength) {
+    return std::nullopt;
+  }
+  std::array<std::array<float, kPssLength>, 3> seqs = {
+      pss_sequence(0), pss_sequence(1), pss_sequence(2)};
+
+  PssDetection best;
+  float best_metric = 0.0f;
+  for (unsigned offset = 0; offset + kPssLength <= res.size(); ++offset) {
+    // Quick energy gate so empty offsets are skipped cheaply.
+    float energy = 0.0f;
+    for (unsigned n = 0; n < kPssLength; ++n) {
+      energy += std::norm(res[offset + n]);
+    }
+    if (energy < 1e-9f) {
+      continue;
+    }
+    for (unsigned nid2 = 0; nid2 < 3; ++nid2) {
+      const float metric = partial_correlation(
+          res.subspan(offset, kPssLength), seqs[nid2]);
+      if (metric > best_metric) {
+        best_metric = metric;
+        best.nid2 = nid2;
+        best.sc_offset = offset;
+        best.correlation = metric;
+      }
+    }
+  }
+  if (best_metric < threshold) {
+    return std::nullopt;
+  }
+  return best;
+}
+
+}  // namespace nrs

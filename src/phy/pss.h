@@ -1,0 +1,40 @@
+// NR Primary Synchronization Signal (3GPP TS 38.211 7.4.2.2): a length-127
+// BPSK m-sequence, one of three shifts selecting NID2.  NR-Scope's cell
+// search (paper section 3.1.1) starts by detecting the PSS to find the cell
+// and its timing before decoding the MIB.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <optional>
+#include <span>
+
+#include "common/types.h"
+
+namespace nrs {
+
+inline constexpr unsigned kPssLength = 127;
+
+/// PSS sequence d(n) = 1 - 2*x((n + 43*nid2) mod 127) as BPSK (+1/-1 real).
+std::array<float, kPssLength> pss_sequence(unsigned nid2);
+
+/// Result of a PSS search over one OFDM symbol's subcarriers.
+struct PssDetection {
+  unsigned nid2 = 0;
+  unsigned sc_offset = 0;     ///< first subcarrier of the detected PSS
+  float correlation = 0.0f;   ///< normalized peak metric in [0, 1]
+};
+
+/// Correlate `res` (the REs of one OFDM symbol) against all three PSS
+/// shifts at every possible subcarrier offset.  Returns the best detection
+/// when the normalized correlation exceeds `threshold`.
+std::optional<PssDetection> detect_pss(std::span<const cf32> res,
+                                       float threshold = 0.5f);
+
+/// Segmented non-coherent correlation metric in [0, 1]: robust to the
+/// phase rotation a frequency-selective channel puts across the band.
+/// Shared by the PSS and SSS detectors.
+float partial_correlation(std::span<const cf32> res,
+                          std::span<const float> seq);
+
+}  // namespace nrs

@@ -1,0 +1,58 @@
+#include "phy/resampler.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace nrs {
+
+Resampler::Resampler(double ratio) : ratio_(ratio) {
+  if (!(ratio > 0.0)) {
+    throw std::invalid_argument("Resampler: ratio must be positive");
+  }
+}
+
+void Resampler::reset() {
+  position_ = 0.0;
+  have_last_ = false;
+}
+
+IqBuffer Resampler::process(const IqBuffer& input) {
+  IqBuffer out;
+  if (input.empty()) {
+    return out;
+  }
+  out.reserve(static_cast<std::size_t>(
+                  std::ceil(static_cast<double>(input.size()) * ratio_)) +
+              2);
+  const double step = 1.0 / ratio_;
+  // Virtual index -1 is the carried-over last sample of the previous block.
+  double pos = position_;
+  while (true) {
+    const double idx = pos;
+    const auto i0 = static_cast<std::ptrdiff_t>(std::floor(idx));
+    const double frac = idx - std::floor(idx);
+    if (i0 + 1 >= static_cast<std::ptrdiff_t>(input.size())) {
+      break;
+    }
+    cf32 s0;
+    if (i0 < 0) {
+      if (!have_last_) {
+        pos += step;
+        continue;
+      }
+      s0 = last_;
+    } else {
+      s0 = input[static_cast<std::size_t>(i0)];
+    }
+    const cf32 s1 = input[static_cast<std::size_t>(i0 + 1)];
+    out.push_back(s0 + (s1 - s0) * static_cast<float>(frac));
+    pos += step;
+  }
+  // Carry stream position into the next block's coordinates.
+  position_ = pos - static_cast<double>(input.size());
+  last_ = input.back();
+  have_last_ = true;
+  return out;
+}
+
+}  // namespace nrs

@@ -1,0 +1,35 @@
+// Rational sample-rate conversion.  The paper's front end "may need to
+// resample the samples to fit the FFT bins onto the subcarriers" (section 4,
+// needed with the TwinRX daughterboard); the virtual radio exercises the
+// same path when its capture rate differs from the OFDM rate.
+#pragma once
+
+#include <cstddef>
+
+#include "common/types.h"
+
+namespace nrs {
+
+/// Linear-interpolating arbitrary-ratio resampler.  Stateful across calls
+/// so a continuous stream can be resampled slot by slot.
+class Resampler {
+ public:
+  /// `ratio` = output_rate / input_rate.
+  explicit Resampler(double ratio);
+
+  /// Resample `input`, appending to the internal stream position.
+  [[nodiscard]] IqBuffer process(const IqBuffer& input);
+
+  [[nodiscard]] double ratio() const { return ratio_; }
+
+  /// Reset stream state (e.g. on retune).
+  void reset();
+
+ private:
+  double ratio_;
+  double position_ = 0.0;  // fractional read index into the input stream
+  cf32 last_{};            // last sample of the previous block
+  bool have_last_ = false;
+};
+
+}  // namespace nrs

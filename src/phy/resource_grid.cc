@@ -1,0 +1,71 @@
+#include "phy/resource_grid.h"
+
+#include <stdexcept>
+
+namespace nrs {
+
+ResourceGrid::ResourceGrid(unsigned n_prb, unsigned n_symbols)
+    : n_prb_(n_prb), n_symbols_(n_symbols),
+      data_(static_cast<std::size_t>(n_prb) * kSubcarriersPerPrb * n_symbols) {
+  if (n_prb == 0 || n_symbols == 0) {
+    throw std::invalid_argument("ResourceGrid: empty dimensions");
+  }
+}
+
+cf32& ResourceGrid::at(unsigned symbol, unsigned subcarrier) {
+  if (symbol >= n_symbols_ || subcarrier >= n_subcarriers()) {
+    throw std::out_of_range("ResourceGrid::at");
+  }
+  return data_[static_cast<std::size_t>(symbol) * n_subcarriers() +
+               subcarrier];
+}
+
+const cf32& ResourceGrid::at(unsigned symbol, unsigned subcarrier) const {
+  if (symbol >= n_symbols_ || subcarrier >= n_subcarriers()) {
+    throw std::out_of_range("ResourceGrid::at");
+  }
+  return data_[static_cast<std::size_t>(symbol) * n_subcarriers() +
+               subcarrier];
+}
+
+std::span<cf32> ResourceGrid::symbol(unsigned symbol) {
+  if (symbol >= n_symbols_) {
+    throw std::out_of_range("ResourceGrid::symbol");
+  }
+  return {data_.data() + static_cast<std::size_t>(symbol) * n_subcarriers(),
+          n_subcarriers()};
+}
+
+std::span<const cf32> ResourceGrid::symbol(unsigned symbol) const {
+  if (symbol >= n_symbols_) {
+    throw std::out_of_range("ResourceGrid::symbol");
+  }
+  return {data_.data() + static_cast<std::size_t>(symbol) * n_subcarriers(),
+          n_subcarriers()};
+}
+
+void ResourceGrid::clear() {
+  std::fill(data_.begin(), data_.end(), cf32{});
+}
+
+float ResourceGrid::energy() const {
+  float e = 0.0f;
+  for (const auto& v : data_) {
+    e += std::norm(v);
+  }
+  return e;
+}
+
+unsigned ResourceGrid::count_occupied(unsigned symbol, unsigned prb_start,
+                                      unsigned prb_len) const {
+  unsigned count = 0;
+  for (unsigned sc = prb_start * kSubcarriersPerPrb;
+       sc < (prb_start + prb_len) * kSubcarriersPerPrb; ++sc) {
+    if (std::norm(at(symbol, sc)) > 1e-9f) {
+      ++count;
+    }
+  }
+  return count;
+}
+
+}  // namespace nrs

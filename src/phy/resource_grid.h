@@ -1,0 +1,51 @@
+// The slot resource grid: kSymbolsPerSlot OFDM symbols x (n_prb * 12)
+// subcarriers of complex symbols.  The gNB simulator writes channels into a
+// grid; the OFDM modulator turns it into IQ samples; the sniffer's
+// demodulator recovers a (noisy) grid to decode from.  Fig. 1/3 of the paper
+// visualize exactly this structure (PRBs x OFDM symbols, REGs, TTIs).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/types.h"
+
+namespace nrs {
+
+class ResourceGrid {
+ public:
+  ResourceGrid(unsigned n_prb, unsigned n_symbols = kSymbolsPerSlot);
+
+  [[nodiscard]] unsigned n_prb() const { return n_prb_; }
+  [[nodiscard]] unsigned n_subcarriers() const {
+    return n_prb_ * kSubcarriersPerPrb;
+  }
+  [[nodiscard]] unsigned n_symbols() const { return n_symbols_; }
+
+  /// Element access by (OFDM symbol, subcarrier).
+  [[nodiscard]] cf32& at(unsigned symbol, unsigned subcarrier);
+  [[nodiscard]] const cf32& at(unsigned symbol, unsigned subcarrier) const;
+
+  /// One whole OFDM symbol (all subcarriers).
+  [[nodiscard]] std::span<cf32> symbol(unsigned symbol);
+  [[nodiscard]] std::span<const cf32> symbol(unsigned symbol) const;
+
+  /// Zero the whole grid.
+  void clear();
+
+  /// Total transmitted energy (for AGC and debug).
+  [[nodiscard]] float energy() const;
+
+  /// Count of resource elements with non-negligible energy in the PRB range
+  /// [prb_start, prb_start+prb_len) of `symbol` — used by tests.
+  [[nodiscard]] unsigned count_occupied(unsigned symbol, unsigned prb_start,
+                                        unsigned prb_len) const;
+
+ private:
+  unsigned n_prb_;
+  unsigned n_symbols_;
+  std::vector<cf32> data_;  // symbol-major
+};
+
+}  // namespace nrs

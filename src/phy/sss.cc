@@ -1,0 +1,75 @@
+#include "phy/sss.h"
+
+#include <cmath>
+
+namespace nrs {
+namespace {
+
+struct MSequences {
+  std::array<std::uint8_t, kPssLength> x0;
+  std::array<std::uint8_t, kPssLength> x1;
+};
+
+const MSequences& base_sequences() {
+  static const MSequences seqs = [] {
+    MSequences s{};
+    // TS 38.211 7.4.2.3.1 seeds: x0(0)=1, x1(0)=1, all other taps zero.
+    s.x0[0] = 1;
+    s.x1[0] = 1;
+    for (unsigned i = 0; i + 7 < kPssLength; ++i) {
+      s.x0[i + 7] = static_cast<std::uint8_t>((s.x0[i + 4] + s.x0[i]) % 2);
+      s.x1[i + 7] = static_cast<std::uint8_t>((s.x1[i + 1] + s.x1[i]) % 2);
+    }
+    return s;
+  }();
+  return seqs;
+}
+
+}  // namespace
+
+std::array<float, kPssLength> sss_sequence(unsigned nid1, unsigned nid2) {
+  const auto& base = base_sequences();
+  const unsigned m0 = 15 * (nid1 / 112) + 5 * nid2;
+  const unsigned m1 = nid1 % 112;
+  std::array<float, kPssLength> d{};
+  for (unsigned n = 0; n < kPssLength; ++n) {
+    const float a =
+        1.0f - 2.0f * static_cast<float>(base.x0[(n + m0) % kPssLength]);
+    const float b =
+        1.0f - 2.0f * static_cast<float>(base.x1[(n + m1) % kPssLength]);
+    d[n] = a * b;
+  }
+  return d;
+}
+
+std::optional<SssDetection> detect_sss(std::span<const cf32> res,
+                                       unsigned nid2, float threshold) {
+  if (res.size() < kPssLength) {
+    return std::nullopt;
+  }
+  float energy = 0.0f;
+  for (unsigned n = 0; n < kPssLength; ++n) {
+    energy += std::norm(res[n]);
+  }
+  if (energy < 1e-9f) {
+    return std::nullopt;
+  }
+  SssDetection best;
+  float best_metric = 0.0f;
+  for (unsigned nid1 = 0; nid1 < 336; ++nid1) {
+    const auto seq = sss_sequence(nid1, nid2);
+    const float metric =
+        partial_correlation(res.first(kPssLength), seq);
+    if (metric > best_metric) {
+      best_metric = metric;
+      best.nid1 = nid1;
+      best.correlation = metric;
+    }
+  }
+  if (best_metric < threshold) {
+    return std::nullopt;
+  }
+  return best;
+}
+
+}  // namespace nrs

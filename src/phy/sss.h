@@ -1,0 +1,31 @@
+// NR Secondary Synchronization Signal (3GPP TS 38.211 7.4.2.3): length-127
+// product of two m-sequences encoding NID1 (0..335).  Together with the PSS
+// (NID2), it yields the physical cell identity PCI = 3*NID1 + NID2 that
+// seeds every scrambling sequence the sniffer needs.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <optional>
+#include <span>
+
+#include "common/types.h"
+#include "phy/pss.h"
+
+namespace nrs {
+
+/// SSS sequence for (nid1, nid2) as BPSK (+1/-1 real).
+std::array<float, kPssLength> sss_sequence(unsigned nid1, unsigned nid2);
+
+struct SssDetection {
+  unsigned nid1 = 0;
+  float correlation = 0.0f;
+};
+
+/// Correlate `res` (127 REs at the known SSS position) against all 336
+/// NID1 hypotheses for a fixed NID2 from the PSS stage.
+std::optional<SssDetection> detect_sss(std::span<const cf32> res,
+                                       unsigned nid2,
+                                       float threshold = 0.5f);
+
+}  // namespace nrs

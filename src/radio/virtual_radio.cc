@@ -1,0 +1,40 @@
+#include "radio/virtual_radio.h"
+
+namespace nrs {
+
+VirtualRadio::VirtualRadio(const VirtualRadioConfig& config)
+    : config_(config), modulator_(make_ofdm_config(config.n_prb)),
+      channel_([&] {
+        ChannelConfig ch = config.channel;
+        ch.fft_size = make_ofdm_config(config.n_prb).fft_size;
+        return ch;
+      }()),
+      agc_(1.0f, 0.25f) {
+  if (config_.capture_rate_ratio != 1.0) {
+    upsampler_.emplace(config_.capture_rate_ratio);
+    downsampler_.emplace(1.0 / config_.capture_rate_ratio);
+  }
+}
+
+IqBuffer VirtualRadio::capture(const ResourceGrid& tx_grid) {
+  IqBuffer samples = modulator_.modulate(tx_grid);
+  channel_.apply(samples);
+  if (upsampler_) {
+    // Capture at the off-nominal rate, then resample back like the paper's
+    // TwinRX path (section 4, footnote 5).
+    samples = downsampler_->process(upsampler_->process(samples));
+    // Pad the resampler's group-delay shortfall with trailing zeros so a
+    // slot stays a slot.
+    samples.resize(modulator_.config().samples_per_slot(), cf32{});
+  }
+  if (config_.enable_agc) {
+    agc_.process(samples);
+  }
+  return samples;
+}
+
+void IqRecorder::record(const IqBuffer& slot_samples) {
+  slots_.push_back(slot_samples);
+}
+
+}  // namespace nrs

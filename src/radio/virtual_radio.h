@@ -1,0 +1,66 @@
+// The virtual radio: replaces the paper's USRP front end.  It takes the
+// gNB's transmitted slot grid, OFDM-modulates it to time-domain IQ,
+// applies the sniffer's wireless channel (the gNB->sniffer link — distinct
+// from every UE's own link), and optionally resamples and AGCs the result,
+// reproducing the "USRP -> Resample and AGC -> NR-Scope" front of Fig. 4.
+// IQ capture/replay supports offline processing like a real SDR recording.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "phy/agc.h"
+#include "phy/channel.h"
+#include "phy/ofdm.h"
+#include "phy/resampler.h"
+#include "phy/resource_grid.h"
+
+namespace nrs {
+
+struct VirtualRadioConfig {
+  unsigned n_prb = 51;
+  ChannelConfig channel;        ///< gNB -> sniffer link
+  bool enable_agc = true;
+  /// When != 1.0, samples are produced at ratio * nominal rate and the
+  /// radio resamples back — exercising the TwinRX-style resampling path.
+  double capture_rate_ratio = 1.0;
+};
+
+class VirtualRadio {
+ public:
+  explicit VirtualRadio(const VirtualRadioConfig& config);
+
+  /// One slot: grid -> IQ -> channel -> (resample) -> (AGC).
+  IqBuffer capture(const ResourceGrid& tx_grid);
+
+  /// Current sniffer-side channel (for SNR sweeps in the coverage bench).
+  [[nodiscard]] ChannelModel& channel() { return channel_; }
+  [[nodiscard]] const OfdmConfig& ofdm_config() const {
+    return modulator_.config();
+  }
+
+ private:
+  VirtualRadioConfig config_;
+  OfdmModulator modulator_;
+  ChannelModel channel_;
+  std::optional<Resampler> upsampler_;    ///< to the capture rate
+  std::optional<Resampler> downsampler_;  ///< back to the nominal rate
+  Agc agc_;
+};
+
+/// Simple IQ recorder: keeps captured slots for replay (the "file
+/// system" sink of Fig. 4 on the raw-sample side).
+class IqRecorder {
+ public:
+  void record(const IqBuffer& slot_samples);
+  [[nodiscard]] std::size_t n_slots() const { return slots_.size(); }
+  [[nodiscard]] const IqBuffer& slot(std::size_t index) const {
+    return slots_.at(index);
+  }
+
+ private:
+  std::vector<IqBuffer> slots_;
+};
+
+}  // namespace nrs

@@ -1,0 +1,42 @@
+#include "ue/churn.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace nrs {
+
+std::vector<ChurnSession> generate_churn(const ChurnConfig& config) {
+  Rng rng(config.seed);
+  std::vector<ChurnSession> sessions;
+  double t = 0.0;
+  while (true) {
+    t += rng.exponential(1.0 / config.arrival_rate_per_s);
+    if (t >= config.duration_s) {
+      break;
+    }
+    const bool long_session = rng.chance(config.long_fraction);
+    const double dwell = rng.exponential(
+        long_session ? config.long_dwell_mean_s : config.short_dwell_mean_s);
+    sessions.push_back(
+        ChurnSession{t, std::min(t + std::max(0.2, dwell),
+                                 config.duration_s)});
+  }
+  return sessions;
+}
+
+std::vector<unsigned> active_counts(const std::vector<ChurnSession>& sessions,
+                                    double duration_s, double bin_s) {
+  const auto n_bins = static_cast<std::size_t>(std::ceil(duration_s / bin_s));
+  std::vector<unsigned> counts(n_bins, 0);
+  for (const auto& s : sessions) {
+    const auto first = static_cast<std::size_t>(s.arrival_s / bin_s);
+    const auto last = std::min(
+        n_bins - 1, static_cast<std::size_t>(s.departure_s / bin_s));
+    for (std::size_t b = first; b <= last && b < n_bins; ++b) {
+      ++counts[b];
+    }
+  }
+  return counts;
+}
+
+}  // namespace nrs

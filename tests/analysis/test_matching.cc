@@ -1,0 +1,120 @@
+#include "analysis/matching.h"
+
+#include <gtest/gtest.h>
+
+namespace nrs {
+namespace {
+
+TruthDci truth_dci(std::uint64_t slot, Rnti rnti, DciKind kind,
+                   unsigned cce = 0, bool downlink = true,
+                   unsigned prb_len = 10, unsigned n_symbols = 12) {
+  TruthDci t;
+  t.slot = slot;
+  t.rnti = rnti;
+  t.kind = kind;
+  t.cce_start = cce;
+  t.dci.format = downlink ? DciFormat::kDl1_1 : DciFormat::kUl0_1;
+  t.grant.prb_len = prb_len;
+  t.grant.n_symbols = n_symbols;
+  return t;
+}
+
+DecodedDci decoded_dci(std::uint64_t slot, Rnti rnti, unsigned cce = 0,
+                       bool downlink = true, unsigned prb_len = 10,
+                       unsigned n_symbols = 12) {
+  DecodedDci d;
+  d.slot = slot;
+  d.rnti = rnti;
+  d.cce_start = cce;
+  d.dci.format = downlink ? DciFormat::kDl1_1 : DciFormat::kUl0_1;
+  d.grant.prb_len = prb_len;
+  d.grant.n_symbols = n_symbols;
+  return d;
+}
+
+GroundTruthLog two_slot_log() {
+  GroundTruthLog log;
+  log.begin_slot(0, false);
+  log.add_dci(truth_dci(0, 0x4601, DciKind::kData, 0));
+  log.add_dci(truth_dci(0, 0x4601, DciKind::kUplink, 4, false));
+  log.begin_slot(1, false);
+  log.add_dci(truth_dci(1, 0x4602, DciKind::kData, 0));
+  log.add_dci(truth_dci(1, kSiRnti, DciKind::kSib, 8));
+  return log;
+}
+
+TEST(Matching, PerfectDecodeHasZeroMiss) {
+  const GroundTruthLog log = two_slot_log();
+  const std::vector<DecodedDci> decoded = {
+      decoded_dci(0, 0x4601, 0), decoded_dci(0, 0x4601, 4, false),
+      decoded_dci(1, 0x4602, 0)};
+  const MissRateReport report = compute_miss_rate(log, decoded);
+  EXPECT_EQ(report.dl_truth, 2u);
+  EXPECT_EQ(report.ul_truth, 1u);
+  EXPECT_DOUBLE_EQ(report.dl_miss_rate(), 0.0);
+  EXPECT_DOUBLE_EQ(report.ul_miss_rate(), 0.0);
+  EXPECT_EQ(report.false_positives, 0u);
+}
+
+TEST(Matching, MissedDciCounted) {
+  const GroundTruthLog log = two_slot_log();
+  const std::vector<DecodedDci> decoded = {decoded_dci(0, 0x4601, 0)};
+  const MissRateReport report = compute_miss_rate(log, decoded);
+  EXPECT_DOUBLE_EQ(report.dl_miss_rate(), 0.5);
+  EXPECT_DOUBLE_EQ(report.ul_miss_rate(), 1.0);
+}
+
+TEST(Matching, SibNotCountedAsTelemetry) {
+  const GroundTruthLog log = two_slot_log();
+  // Decoding the SIB DCI neither helps nor hurts the miss rate.
+  const std::vector<DecodedDci> decoded = {decoded_dci(1, kSiRnti, 8)};
+  const MissRateReport report = compute_miss_rate(log, decoded);
+  EXPECT_EQ(report.dl_truth, 2u);
+  EXPECT_EQ(report.dl_matched, 0u);
+  EXPECT_EQ(report.false_positives, 0u);
+}
+
+TEST(Matching, FalsePositiveDetected) {
+  const GroundTruthLog log = two_slot_log();
+  const std::vector<DecodedDci> decoded = {decoded_dci(0, 0x9999, 12)};
+  const MissRateReport report = compute_miss_rate(log, decoded);
+  EXPECT_EQ(report.false_positives, 1u);
+}
+
+TEST(Matching, FromSlotWindowing) {
+  const GroundTruthLog log = two_slot_log();
+  const std::vector<DecodedDci> decoded = {decoded_dci(1, 0x4602, 0)};
+  const MissRateReport report = compute_miss_rate(log, decoded, 1);
+  EXPECT_EQ(report.dl_truth, 1u);  // slot 0 excluded
+  EXPECT_DOUBLE_EQ(report.dl_miss_rate(), 0.0);
+}
+
+TEST(Matching, RegErrorsZeroOnPerfectDecode) {
+  const GroundTruthLog log = two_slot_log();
+  const std::vector<DecodedDci> decoded = {
+      decoded_dci(0, 0x4601, 0), decoded_dci(1, 0x4602, 0)};
+  const SampleSet errors = compute_reg_errors(log, decoded, 0, 2);
+  ASSERT_EQ(errors.size(), 2u);
+  EXPECT_DOUBLE_EQ(errors.max(), 0.0);
+}
+
+TEST(Matching, RegErrorEqualsMissedGrantSize) {
+  const GroundTruthLog log = two_slot_log();
+  const std::vector<DecodedDci> decoded = {decoded_dci(0, 0x4601, 0)};
+  const SampleSet errors = compute_reg_errors(log, decoded, 0, 2);
+  ASSERT_EQ(errors.size(), 2u);
+  // Slot 1's data grant (10 PRB x 12 symbols = 120 REGs) was missed.
+  EXPECT_DOUBLE_EQ(errors.max(), 120.0);
+}
+
+TEST(Matching, ThroughputErrorSeries) {
+  const std::vector<double> truth = {1e6, 2e6, 3e6};
+  const std::vector<double> est = {1.1e6, 2e6, 2.5e6};
+  const SampleSet errors = throughput_errors(truth, est);
+  ASSERT_EQ(errors.size(), 3u);
+  EXPECT_DOUBLE_EQ(errors.max(), 5e5);
+  EXPECT_DOUBLE_EQ(errors.min(), 0.0);
+}
+
+}  // namespace
+}  // namespace nrs

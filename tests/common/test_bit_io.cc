@@ -1,0 +1,116 @@
+#include "common/bit_io.h"
+
+#include <gtest/gtest.h>
+
+namespace nrs {
+namespace {
+
+TEST(BitIo, WriteReadRoundTrip) {
+  BitWriter writer;
+  writer.write(0x2A, 6);
+  writer.write(0x1, 1);
+  writer.write(0xBEEF, 16);
+  writer.write(0, 3);
+
+  BitReader reader(writer.bits());
+  EXPECT_EQ(reader.read(6), 0x2Au);
+  EXPECT_EQ(reader.read(1), 0x1u);
+  EXPECT_EQ(reader.read(16), 0xBEEFu);
+  EXPECT_EQ(reader.read(3), 0u);
+  EXPECT_EQ(reader.remaining(), 0u);
+}
+
+TEST(BitIo, MsbFirstOrder) {
+  BitWriter writer;
+  writer.write(0b101, 3);
+  const BitVector& bits = writer.bits();
+  ASSERT_EQ(bits.size(), 3u);
+  EXPECT_EQ(bits[0], 1);
+  EXPECT_EQ(bits[1], 0);
+  EXPECT_EQ(bits[2], 1);
+}
+
+TEST(BitIo, WriteBit) {
+  BitWriter writer;
+  writer.write_bit(true);
+  writer.write_bit(false);
+  BitReader reader(writer.bits());
+  EXPECT_TRUE(reader.read_bit());
+  EXPECT_FALSE(reader.read_bit());
+}
+
+TEST(BitIo, AlignPadsWithZeros) {
+  BitWriter writer;
+  writer.write(0x7, 3);
+  writer.align_to(8);
+  EXPECT_EQ(writer.size(), 8u);
+  BitReader reader(writer.bits());
+  EXPECT_EQ(reader.read(3), 0x7u);
+  EXPECT_EQ(reader.read(5), 0u);
+}
+
+TEST(BitIo, AlignNoopWhenAligned) {
+  BitWriter writer;
+  writer.write(0xFF, 8);
+  writer.align_to(8);
+  EXPECT_EQ(writer.size(), 8u);
+}
+
+TEST(BitIo, ReadPastEndThrows) {
+  const BitVector bits(4, 1);
+  BitReader reader(bits);
+  reader.skip(2);
+  EXPECT_THROW(reader.read(3), std::out_of_range);
+}
+
+TEST(BitIo, SkipPastEndThrows) {
+  const BitVector bits(4, 1);
+  BitReader reader(bits);
+  EXPECT_THROW(reader.skip(5), std::out_of_range);
+}
+
+TEST(BitIo, WidthOver64Throws) {
+  BitWriter writer;
+  EXPECT_THROW(writer.write(0, 65), std::invalid_argument);
+}
+
+TEST(BitIo, PackUnpackBits) {
+  BitVector bits = {1, 0, 1, 1, 0, 0, 1, 0, 1, 1};
+  const auto bytes = pack_bits(bits);
+  ASSERT_EQ(bytes.size(), 2u);
+  EXPECT_EQ(bytes[0], 0xB2);
+  EXPECT_EQ(bytes[1], 0xC0);
+  EXPECT_EQ(unpack_bits(bytes, bits.size()), bits);
+}
+
+TEST(BitIo, UnpackTooManyBitsThrows) {
+  const std::vector<std::uint8_t> bytes = {0xFF};
+  EXPECT_THROW(unpack_bits(bytes, 9), std::out_of_range);
+}
+
+TEST(BitIo, WriteBitsVerbatim) {
+  BitWriter writer;
+  const BitVector src = {1, 1, 0, 1};
+  writer.write_bits(src);
+  EXPECT_EQ(writer.bits(), src);
+}
+
+class BitIoWidthTest : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(BitIoWidthTest, RoundTripAllWidths) {
+  const unsigned width = GetParam();
+  const std::uint64_t value =
+      width == 64 ? 0xDEADBEEFCAFEF00Dull
+                  : (0xDEADBEEFCAFEF00Dull & ((1ull << width) - 1));
+  BitWriter writer;
+  writer.write(value, width);
+  BitReader reader(writer.bits());
+  EXPECT_EQ(reader.read(width), value);
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, BitIoWidthTest,
+                         ::testing::Values(1, 2, 5, 8, 13, 16, 27, 32, 48,
+                                           64));
+
+}  // namespace
+}  // namespace nrs

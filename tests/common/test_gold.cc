@@ -1,0 +1,78 @@
+#include "common/gold.h"
+
+#include <gtest/gtest.h>
+
+namespace nrs {
+namespace {
+
+TEST(Gold, DeterministicForSameSeed) {
+  GoldSequence a(12345);
+  GoldSequence b(12345);
+  for (int i = 0; i < 256; ++i) {
+    EXPECT_EQ(a.next(), b.next());
+  }
+}
+
+TEST(Gold, DifferentSeedsDiffer) {
+  GoldSequence a(1);
+  GoldSequence b(2);
+  int diff = 0;
+  for (int i = 0; i < 256; ++i) {
+    diff += a.next() != b.next();
+  }
+  // Gold sequences with different seeds differ in roughly half the bits.
+  EXPECT_GT(diff, 80);
+  EXPECT_LT(diff, 176);
+}
+
+TEST(Gold, AdvanceMatchesGenerate) {
+  GoldSequence a(777);
+  GoldSequence b(777);
+  a.advance(100);
+  (void)b.generate(100);
+  for (int i = 0; i < 64; ++i) {
+    EXPECT_EQ(a.next(), b.next());
+  }
+}
+
+TEST(Gold, BalancedOutput) {
+  GoldSequence g(0x5A5A5);
+  int ones = 0;
+  constexpr int kN = 4096;
+  for (int i = 0; i < kN; ++i) {
+    ones += g.next();
+  }
+  EXPECT_NEAR(static_cast<double>(ones) / kN, 0.5, 0.05);
+}
+
+TEST(Gold, ScrambleIsInvolution) {
+  BitVector bits = {1, 0, 1, 1, 0, 1, 0, 0, 1, 1, 1, 0};
+  const BitVector original = bits;
+  scramble(bits, 999);
+  EXPECT_NE(bits, original);
+  scramble(bits, 999);
+  EXPECT_EQ(bits, original);
+}
+
+TEST(Gold, PdcchCinitFormula) {
+  EXPECT_EQ(pdcch_scrambling_cinit(0, 42), 42u);
+  EXPECT_EQ(pdcch_scrambling_cinit(1, 0), 1u << 16);
+  // Result stays within 31 bits.
+  EXPECT_LE(pdcch_scrambling_cinit(0xFFFF, 0x3FF), 0x7FFFFFFFu);
+}
+
+TEST(Gold, PdschCinitFormula) {
+  EXPECT_EQ(pdsch_scrambling_cinit(0, 42), 42u);
+  EXPECT_EQ(pdsch_scrambling_cinit(1, 0), 1u << 15);
+}
+
+TEST(Gold, SeedIsTruncatedTo31Bits) {
+  GoldSequence a(0x80000001u);  // bit 31 ignored
+  GoldSequence b(0x00000001u);
+  for (int i = 0; i < 64; ++i) {
+    EXPECT_EQ(a.next(), b.next());
+  }
+}
+
+}  // namespace
+}  // namespace nrs

@@ -1,0 +1,82 @@
+#include "common/queue.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+namespace nrs {
+namespace {
+
+TEST(Queue, FifoOrder) {
+  BoundedQueue<int> q(8);
+  q.push(1);
+  q.push(2);
+  q.push(3);
+  EXPECT_EQ(q.pop(), 1);
+  EXPECT_EQ(q.pop(), 2);
+  EXPECT_EQ(q.pop(), 3);
+}
+
+TEST(Queue, TryPushFailsWhenFull) {
+  BoundedQueue<int> q(2);
+  EXPECT_TRUE(q.try_push(1));
+  EXPECT_TRUE(q.try_push(2));
+  EXPECT_FALSE(q.try_push(3));  // load shedding path
+  EXPECT_EQ(q.size(), 2u);
+}
+
+TEST(Queue, TryPopEmptyReturnsNullopt) {
+  BoundedQueue<int> q(2);
+  EXPECT_FALSE(q.try_pop().has_value());
+}
+
+TEST(Queue, CloseDrainsThenFails) {
+  BoundedQueue<int> q(4);
+  q.push(42);
+  q.close();
+  EXPECT_FALSE(q.push(43));
+  EXPECT_EQ(q.pop(), 42);          // drains pending item
+  EXPECT_FALSE(q.pop().has_value());  // then reports closed
+}
+
+TEST(Queue, CloseUnblocksWaitingConsumer) {
+  BoundedQueue<int> q(4);
+  std::thread consumer([&q] {
+    const auto item = q.pop();
+    EXPECT_FALSE(item.has_value());
+  });
+  q.close();
+  consumer.join();
+}
+
+TEST(Queue, ProducerConsumerStress) {
+  constexpr int kItems = 10000;
+  BoundedQueue<int> q(16);
+  std::vector<int> received;
+  std::thread consumer([&] {
+    while (auto item = q.pop()) {
+      received.push_back(*item);
+    }
+  });
+  for (int i = 0; i < kItems; ++i) {
+    ASSERT_TRUE(q.push(i));
+  }
+  q.close();
+  consumer.join();
+  ASSERT_EQ(received.size(), static_cast<std::size_t>(kItems));
+  for (int i = 0; i < kItems; ++i) {
+    EXPECT_EQ(received[i], i);
+  }
+}
+
+TEST(Queue, MoveOnlyPayload) {
+  BoundedQueue<std::unique_ptr<int>> q(2);
+  q.push(std::make_unique<int>(7));
+  auto item = q.pop();
+  ASSERT_TRUE(item.has_value());
+  EXPECT_EQ(**item, 7);
+}
+
+}  // namespace
+}  // namespace nrs

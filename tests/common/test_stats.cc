@@ -1,0 +1,114 @@
+#include "common/stats.h"
+
+#include <gtest/gtest.h>
+
+namespace nrs {
+namespace {
+
+SampleSet make_set(std::initializer_list<double> values) {
+  SampleSet s;
+  for (double v : values) {
+    s.add(v);
+  }
+  return s;
+}
+
+TEST(Stats, MeanStddev) {
+  const SampleSet s = make_set({1, 2, 3, 4, 5});
+  EXPECT_DOUBLE_EQ(s.mean(), 3.0);
+  EXPECT_NEAR(s.stddev(), 1.5811, 1e-3);
+}
+
+TEST(Stats, MinMaxMedian) {
+  const SampleSet s = make_set({5, 1, 9, 3, 7});
+  EXPECT_DOUBLE_EQ(s.min(), 1.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+  EXPECT_DOUBLE_EQ(s.median(), 5.0);
+}
+
+TEST(Stats, PercentileInterpolates) {
+  const SampleSet s = make_set({0, 10});
+  EXPECT_DOUBLE_EQ(s.percentile(25), 2.5);
+  EXPECT_DOUBLE_EQ(s.percentile(75), 7.5);
+}
+
+TEST(Stats, PercentileBounds) {
+  const SampleSet s = make_set({3, 1, 2});
+  EXPECT_DOUBLE_EQ(s.percentile(0), 1.0);
+  EXPECT_DOUBLE_EQ(s.percentile(100), 3.0);
+  EXPECT_THROW(s.percentile(101), std::invalid_argument);
+}
+
+TEST(Stats, EmptySetIsSafe) {
+  const SampleSet s;
+  EXPECT_TRUE(s.empty());
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(s.percentile(50), 0.0);
+  EXPECT_DOUBLE_EQ(s.ccdf(0.0), 0.0);
+}
+
+TEST(Stats, CcdfCdfComplement) {
+  const SampleSet s = make_set({1, 2, 3, 4});
+  EXPECT_DOUBLE_EQ(s.ccdf(2.0), 0.5);   // {3,4} above
+  EXPECT_DOUBLE_EQ(s.cdf(2.0), 0.5);    // {1,2} at or below
+  EXPECT_DOUBLE_EQ(s.ccdf(0.5), 1.0);
+  EXPECT_DOUBLE_EQ(s.ccdf(4.0), 0.0);
+}
+
+TEST(Stats, AddCount) {
+  SampleSet s;
+  s.add_count(7.0, 3);
+  EXPECT_EQ(s.size(), 3u);
+  EXPECT_DOUBLE_EQ(s.mean(), 7.0);
+}
+
+TEST(Stats, CcdfCurveMonotoneNonIncreasing) {
+  SampleSet s;
+  for (int i = 0; i < 100; ++i) {
+    s.add(i * 0.37);
+  }
+  const auto curve = ccdf_curve(s, 15);
+  ASSERT_EQ(curve.size(), 15u);
+  for (std::size_t i = 1; i < curve.size(); ++i) {
+    EXPECT_LE(curve[i].y, curve[i - 1].y);
+    EXPECT_GT(curve[i].x, curve[i - 1].x);
+  }
+}
+
+TEST(Stats, CdfCurveMonotoneNonDecreasing) {
+  SampleSet s;
+  for (int i = 0; i < 50; ++i) {
+    s.add(i);
+  }
+  const auto curve = cdf_curve(s, 10);
+  for (std::size_t i = 1; i < curve.size(); ++i) {
+    EXPECT_GE(curve[i].y, curve[i - 1].y);
+  }
+}
+
+TEST(Stats, RSquaredPerfectFit) {
+  const std::vector<double> t = {1, 2, 3, 4};
+  EXPECT_DOUBLE_EQ(r_squared(t, t), 1.0);
+}
+
+TEST(Stats, RSquaredDegrades) {
+  const std::vector<double> truth = {1, 2, 3, 4, 5};
+  const std::vector<double> est = {1.1, 2.1, 2.9, 4.2, 4.8};
+  const double r2 = r_squared(truth, est);
+  EXPECT_GT(r2, 0.95);
+  EXPECT_LT(r2, 1.0);
+}
+
+TEST(Stats, RSquaredSizeMismatchThrows) {
+  EXPECT_THROW(r_squared({1, 2}, {1}), std::invalid_argument);
+}
+
+TEST(Stats, FormatCurveContainsLabels) {
+  const SampleSet s = make_set({1, 2, 3});
+  const auto text = format_curve(ccdf_curve(s, 3), "err", "ccdf");
+  EXPECT_NE(text.find("err"), std::string::npos);
+  EXPECT_NE(text.find("ccdf"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace nrs

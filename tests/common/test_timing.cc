@@ -1,0 +1,68 @@
+#include "common/timing.h"
+
+#include <gtest/gtest.h>
+
+namespace nrs {
+namespace {
+
+TEST(Timing, ScsValues) {
+  EXPECT_DOUBLE_EQ(scs_hz(Scs::kHz15), 15000.0);
+  EXPECT_DOUBLE_EQ(scs_hz(Scs::kHz30), 30000.0);
+  EXPECT_DOUBLE_EQ(scs_hz(Scs::kHz60), 60000.0);
+}
+
+TEST(Timing, SlotsPerFrame) {
+  EXPECT_EQ(slots_per_frame(Scs::kHz15), 10u);
+  EXPECT_EQ(slots_per_frame(Scs::kHz30), 20u);
+  EXPECT_EQ(slots_per_frame(Scs::kHz60), 40u);
+}
+
+TEST(Timing, TtiDurationsMatchPaper) {
+  // Paper section 3: TTIs of 1, 0.5, 0.25 ms for 15/30/60 kHz.
+  EXPECT_DOUBLE_EQ(slot_duration_s(Scs::kHz15), 1e-3);
+  EXPECT_DOUBLE_EQ(slot_duration_s(Scs::kHz30), 0.5e-3);
+  EXPECT_DOUBLE_EQ(slot_duration_s(Scs::kHz60), 0.25e-3);
+}
+
+TEST(Timing, SlotPointAdvanceWrapsFrame) {
+  SlotPoint p{Scs::kHz30, 0, 18};
+  EXPECT_FALSE(p.advance());
+  EXPECT_EQ(p.slot, 19u);
+  EXPECT_FALSE(p.advance());
+  EXPECT_EQ(p.slot, 0u);
+  EXPECT_EQ(p.sfn, 1u);
+}
+
+TEST(Timing, SfnWrapsAt1024) {
+  SlotPoint p{Scs::kHz30, 1023, 19};
+  EXPECT_TRUE(p.advance());
+  EXPECT_EQ(p.sfn, 0u);
+  EXPECT_EQ(p.slot, 0u);
+}
+
+TEST(Timing, FlatSlotCount) {
+  const SlotPoint p{Scs::kHz30, 2, 3};
+  EXPECT_EQ(p.flat(), 2u * 20u + 3u);
+  EXPECT_EQ(p.flat(1), (1024u + 2u) * 20u + 3u);
+}
+
+TEST(Timing, ClockElapsedTime) {
+  SlotClock clock(Scs::kHz30);
+  for (int i = 0; i < 2000; ++i) {
+    clock.tick();
+  }
+  EXPECT_EQ(clock.count(), 2000u);
+  EXPECT_NEAR(clock.elapsed_s(), 1.0, 1e-9);  // 2000 * 0.5 ms
+}
+
+TEST(Timing, ClockTracksSlotPoint) {
+  SlotClock clock(Scs::kHz15);
+  for (int i = 0; i < 25; ++i) {
+    clock.tick();
+  }
+  EXPECT_EQ(clock.now().sfn, 2u);
+  EXPECT_EQ(clock.now().slot, 5u);
+}
+
+}  // namespace
+}  // namespace nrs

@@ -1,0 +1,96 @@
+#include "gnb/ground_truth.h"
+
+#include <gtest/gtest.h>
+
+namespace nrs {
+namespace {
+
+TruthDci make_dci(std::uint64_t slot, Rnti rnti, DciKind kind,
+                  bool downlink = true, unsigned tbs = 1000,
+                  bool retx = false, bool acked = true) {
+  TruthDci t;
+  t.slot = slot;
+  t.rnti = rnti;
+  t.kind = kind;
+  t.dci.format = downlink ? DciFormat::kDl1_1 : DciFormat::kUl0_1;
+  t.grant.prb_len = 10;
+  t.grant.n_symbols = 12;
+  t.grant.tbs = tbs;
+  t.is_retx = retx;
+  t.acked = acked;
+  return t;
+}
+
+TEST(GroundTruth, SlotsMustBeMonotone) {
+  GroundTruthLog log;
+  log.begin_slot(0, false);
+  log.begin_slot(1, false);
+  EXPECT_THROW(log.begin_slot(1, false), std::logic_error);
+}
+
+TEST(GroundTruth, AddRequiresMatchingSlot) {
+  GroundTruthLog log;
+  log.begin_slot(5, false);
+  EXPECT_THROW(log.add_dci(make_dci(4, 1, DciKind::kData)),
+               std::logic_error);
+  log.add_dci(make_dci(5, 1, DciKind::kData));
+  EXPECT_EQ(log.slots().back().dcis.size(), 1u);
+}
+
+TEST(GroundTruth, CountsByKind) {
+  GroundTruthLog log;
+  log.begin_slot(0, true);
+  log.add_dci(make_dci(0, kSiRnti, DciKind::kSib));
+  log.add_dci(make_dci(0, 0x4601, DciKind::kData));
+  log.add_dci(make_dci(0, 0x4601, DciKind::kUplink, false));
+  log.begin_slot(1, false);
+  log.add_dci(make_dci(1, 0x4602, DciKind::kData));
+  EXPECT_EQ(log.count(DciKind::kSib), 1u);
+  EXPECT_EQ(log.count_downlink_data(), 2u);
+  EXPECT_EQ(log.count_uplink(), 1u);
+}
+
+TEST(GroundTruth, DcisForFiltersByRnti) {
+  GroundTruthLog log;
+  log.begin_slot(0, false);
+  log.add_dci(make_dci(0, 0x4601, DciKind::kData));
+  log.add_dci(make_dci(0, 0x4602, DciKind::kData));
+  log.add_dci(make_dci(0, 0x4601, DciKind::kUplink, false));
+  EXPECT_EQ(log.dcis_for(0x4601).size(), 2u);
+  EXPECT_EQ(log.dcis_for(0x4601, /*include_uplink=*/false).size(), 1u);
+}
+
+TEST(GroundTruth, DeliveredBitsExcludesRetxAndNack) {
+  GroundTruthLog log;
+  log.begin_slot(0, false);
+  log.add_dci(make_dci(0, 0x4601, DciKind::kData, true, 1000));
+  log.begin_slot(1, false);
+  log.add_dci(make_dci(1, 0x4601, DciKind::kData, true, 2000,
+                       /*retx=*/true));
+  log.begin_slot(2, false);
+  log.add_dci(make_dci(2, 0x4601, DciKind::kData, true, 4000,
+                       /*retx=*/false, /*acked=*/false));
+  log.begin_slot(3, false);
+  log.add_dci(make_dci(3, 0x4601, DciKind::kData, true, 8000));
+  EXPECT_EQ(log.delivered_bits(0x4601, 0, 10), 9000u);
+  EXPECT_EQ(log.delivered_bits(0x4601, 1, 3), 0u);  // window excludes both
+}
+
+TEST(GroundTruth, SlotRegTotals) {
+  GroundTruthLog log;
+  log.begin_slot(0, false);
+  log.add_dci(make_dci(0, 0x4601, DciKind::kData));            // 120 REGs
+  log.add_dci(make_dci(0, 0x4602, DciKind::kUplink, false));   // UL
+  const SlotTruth& slot = log.slots().back();
+  EXPECT_EQ(slot.total_regs(/*downlink_only=*/true), 120u);
+  EXPECT_EQ(slot.total_regs(/*downlink_only=*/false), 240u);
+}
+
+TEST(GroundTruth, KindNames) {
+  EXPECT_STREQ(to_string(DciKind::kSib), "sib");
+  EXPECT_STREQ(to_string(DciKind::kMsg4), "msg4");
+  EXPECT_STREQ(to_string(DciKind::kUplink), "uplink");
+}
+
+}  // namespace
+}  // namespace nrs

@@ -1,0 +1,79 @@
+// The five evaluation-cell presets (paper section 5.1).
+#include "gnb/presets.h"
+
+#include <gtest/gtest.h>
+
+namespace nrs {
+namespace {
+
+TEST(Presets, MatchPaperSection51) {
+  const CellConfig srs = srsran_cell();
+  EXPECT_EQ(srs.scs, Scs::kHz30);
+  EXPECT_EQ(srs.n_prb, 51u);  // 20 MHz at 30 kHz SCS
+  EXPECT_NEAR(srs.carrier_freq_hz, 2524.95e6, 1.0);
+  EXPECT_EQ(srs.tdd.period, 5u);  // TDD DDDSU
+
+  const CellConfig moso = mosolab_cell();
+  EXPECT_NEAR(moso.carrier_freq_hz, 3561.6e6, 1.0);  // CBRS n48
+  EXPECT_EQ(moso.scs, Scs::kHz30);
+
+  const CellConfig amari = amarisoft_cell();
+  EXPECT_NEAR(amari.carrier_freq_hz, 3489.42e6, 1.0);  // n78
+  EXPECT_EQ(amari.pdsch.mcs_table, McsTable::kQam256);
+
+  const CellConfig tmo1 = tmobile_cell1();
+  EXPECT_EQ(tmo1.scs, Scs::kHz15);  // FDD 15 kHz
+  EXPECT_NEAR(tmo1.carrier_freq_hz, 1989.85e6, 1.0);  // n25
+  EXPECT_EQ(tmo1.tdd.period, 1u);  // FDD: all slots downlink
+  EXPECT_TRUE(tmo1.tdd.is_downlink(123));
+
+  const CellConfig tmo2 = tmobile_cell2();
+  EXPECT_NEAR(tmo2.carrier_freq_hz, 622.85e6, 1.0);  // n71 low band
+  EXPECT_EQ(tmo2.n_prb, 79u);  // 15 MHz at 15 kHz
+}
+
+TEST(Presets, CoresetsAreWellFormed) {
+  for (const CellConfig& cell :
+       {srsran_cell(), mosolab_cell(), amarisoft_cell(), tmobile_cell1(),
+        tmobile_cell2()}) {
+    EXPECT_EQ(cell.coreset.n_prb % 6, 0u) << cell.name;
+    EXPECT_LE(cell.coreset.rb_start + cell.coreset.n_prb, cell.n_prb)
+        << cell.name;
+    EXPECT_GE(cell.coreset.n_cce(), 8u) << cell.name;
+    EXPECT_EQ(cell.coreset.n_id, cell.pci) << cell.name;
+    EXPECT_EQ(cell.coreset.shift, cell.pci) << cell.name;
+  }
+}
+
+TEST(Presets, DistinctPcis) {
+  EXPECT_NE(srsran_cell().pci, mosolab_cell().pci);
+  EXPECT_NE(mosolab_cell().pci, amarisoft_cell().pci);
+  EXPECT_NE(tmobile_cell1().pci, tmobile_cell2().pci);
+}
+
+TEST(Presets, SsbWindowFitsEveryCell) {
+  for (const CellConfig& cell :
+       {srsran_cell(), mosolab_cell(), amarisoft_cell(), tmobile_cell1(),
+        tmobile_cell2()}) {
+    EXPECT_LE(cell.ssb_prb_start + 12u, cell.n_prb) << cell.name;
+  }
+}
+
+TEST(Presets, TddPatternPartitionsSlots) {
+  const TddPattern tdd = srsran_cell().tdd;
+  unsigned dl = 0;
+  unsigned ul = 0;
+  unsigned special = 0;
+  for (std::uint64_t s = 0; s < tdd.period; ++s) {
+    dl += tdd.is_downlink(s);
+    ul += tdd.is_uplink(s);
+    special += tdd.is_special(s);
+  }
+  EXPECT_EQ(dl + ul + special, tdd.period);
+  EXPECT_EQ(dl, 3u);
+  EXPECT_EQ(ul, 1u);
+  EXPECT_EQ(special, 1u);
+}
+
+}  // namespace
+}  // namespace nrs

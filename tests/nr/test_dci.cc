@@ -1,0 +1,176 @@
+#include "nr/dci.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "nr/grant.h"
+
+namespace nrs {
+namespace {
+
+TEST(Riv, EncodeDecodeRoundTrip) {
+  constexpr unsigned kNPrb = 51;
+  for (unsigned start = 0; start < kNPrb; start += 7) {
+    for (unsigned len = 1; start + len <= kNPrb; len += 5) {
+      const std::uint32_t riv = riv_encode(start, len, kNPrb);
+      unsigned s = 0;
+      unsigned l = 0;
+      riv_decode(riv, kNPrb, s, l);
+      EXPECT_EQ(s, start);
+      EXPECT_EQ(l, len);
+    }
+  }
+}
+
+TEST(Riv, FullBandAllocation) {
+  const std::uint32_t riv = riv_encode(0, 51, 51);
+  unsigned s = 0;
+  unsigned l = 0;
+  riv_decode(riv, 51, s, l);
+  EXPECT_EQ(s, 0u);
+  EXPECT_EQ(l, 51u);
+}
+
+TEST(Riv, OutOfRangeThrows) {
+  EXPECT_THROW(riv_encode(50, 2, 51), std::invalid_argument);
+  EXPECT_THROW(riv_encode(0, 0, 51), std::invalid_argument);
+}
+
+TEST(Riv, BitWidth) {
+  // 51 PRB -> 51*52/2 = 1326 combinations -> 11 bits.
+  EXPECT_EQ(riv_bits(51), 11u);
+  EXPECT_EQ(riv_bits(24), 9u);
+  EXPECT_EQ(riv_bits(106), 13u);
+}
+
+TEST(Dci, PayloadSizesInPaperRange) {
+  // Paper section 3.2.1: "30-80 bits of DCI data".
+  for (unsigned n_prb : {24u, 51u, 106u}) {
+    for (auto f : {DciFormat::kUl0_0, DciFormat::kUl0_1, DciFormat::kDl1_0,
+                   DciFormat::kDl1_1}) {
+      const unsigned size = dci_payload_size(f, n_prb);
+      EXPECT_GE(size, 20u);
+      EXPECT_LE(size, 80u);
+    }
+  }
+}
+
+TEST(Dci, FallbackPairSizeAligned) {
+  EXPECT_EQ(dci_payload_size(DciFormat::kUl0_0, 51),
+            dci_payload_size(DciFormat::kDl1_0, 51));
+  EXPECT_EQ(dci_payload_size(DciFormat::kUl0_1, 51),
+            dci_payload_size(DciFormat::kDl1_1, 51));
+}
+
+Dci sample_dci(DciFormat format) {
+  Dci dci;
+  dci.format = format;
+  dci.freq_alloc_riv = riv_encode(3, 17, 51);
+  dci.time_alloc = 2;
+  dci.mcs = 27;
+  dci.ndi = 1;
+  dci.rv = 0;
+  dci.harq_id = 11;
+  dci.dai = 2;
+  dci.tpc = 1;
+  dci.pucch_resource = 5;
+  dci.harq_feedback = 2;
+  dci.ports = 7;
+  dci.srs_request = 0;
+  dci.dmrs_id = 0;
+  return dci;
+}
+
+class DciFormatTest : public ::testing::TestWithParam<DciFormat> {};
+
+TEST_P(DciFormatTest, PackUnpackRoundTrip) {
+  const DciFormat format = GetParam();
+  Dci dci = sample_dci(format);
+  // Zero fields the format does not carry so equality holds after unpack.
+  if (format == DciFormat::kUl0_0) {
+    dci.dai = dci.pucch_resource = dci.harq_feedback = 0;
+    dci.ports = dci.srs_request = dci.dmrs_id = 0;
+  } else if (format == DciFormat::kUl0_1) {
+    dci.dai = dci.pucch_resource = dci.harq_feedback = 0;
+  } else if (format == DciFormat::kDl1_0) {
+    dci.ports = dci.srs_request = dci.dmrs_id = 0;
+  }
+  const BitVector bits = dci.pack(51);
+  EXPECT_EQ(bits.size(), dci_payload_size(format, 51));
+  const Dci decoded = Dci::unpack(format, 51, bits);
+  EXPECT_EQ(decoded, dci);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllFormats, DciFormatTest,
+                         ::testing::Values(DciFormat::kUl0_0,
+                                           DciFormat::kUl0_1,
+                                           DciFormat::kDl1_0,
+                                           DciFormat::kDl1_1));
+
+TEST(Dci, FormatIdentifierDisambiguatesPair) {
+  // A DL 1_0 payload decoded with the 0_0 hint must resolve to 1_0.
+  const Dci dl = sample_dci(DciFormat::kDl1_0);
+  const BitVector bits = dl.pack(51);
+  const Dci decoded = Dci::unpack(DciFormat::kUl0_0, 51, bits);
+  EXPECT_EQ(decoded.format, DciFormat::kDl1_0);
+}
+
+TEST(Dci, UnpackWrongSizeThrows) {
+  const BitVector bits(10, 0);
+  EXPECT_THROW(Dci::unpack(DciFormat::kDl1_1, 51, bits),
+               std::invalid_argument);
+}
+
+TEST(Dci, ToStringMentionsKeyFields) {
+  const std::string s = sample_dci(DciFormat::kDl1_1).to_string();
+  EXPECT_NE(s.find("dci=1_1"), std::string::npos);
+  EXPECT_NE(s.find("mcs=27"), std::string::npos);
+  EXPECT_NE(s.find("harq_id=11"), std::string::npos);
+}
+
+TEST(Tdra, EntriesFitInSlot) {
+  for (unsigned i = 0; i < tdra_table_size(); ++i) {
+    const TdraEntry e = tdra_entry(static_cast<std::uint8_t>(i));
+    EXPECT_LE(e.start_symbol + e.n_symbols, kSymbolsPerSlot);
+    EXPECT_GE(e.n_symbols, 2u);  // >= 1 DMRS + 1 data symbol
+  }
+}
+
+TEST(Grant, TranslationMatchesAppendixBShape) {
+  CellConfig cell;
+  cell.pdsch.mcs_table = McsTable::kQam256;
+  Dci dci = sample_dci(DciFormat::kDl1_1);
+  const Grant grant = translate_dci(dci, 0x4296, cell);
+  EXPECT_EQ(grant.rnti, 0x4296);
+  EXPECT_EQ(grant.prb_start, 3u);
+  EXPECT_EQ(grant.prb_len, 17u);
+  EXPECT_EQ(grant.start_symbol, 2u);
+  EXPECT_EQ(grant.n_symbols, 7u);
+  EXPECT_EQ(grant.modulation, Modulation::kQam256);  // mcs 27, table 2
+  EXPECT_GT(grant.tbs, 0u);
+  EXPECT_EQ(grant.n_regs(), 17u * 7u);
+}
+
+TEST(Grant, FallbackFormatForcesBaseTable) {
+  CellConfig cell;
+  cell.pdsch.mcs_table = McsTable::kQam256;
+  Dci dci = sample_dci(DciFormat::kDl1_0);
+  const Grant grant = translate_dci(dci, 0x4601, cell);
+  // MCS 27 in table 1 is 64QAM, not 256QAM.
+  EXPECT_EQ(grant.modulation, Modulation::kQam64);
+}
+
+TEST(Grant, TbsGrowsWithMcs) {
+  CellConfig cell;
+  Dci dci = sample_dci(DciFormat::kDl1_1);
+  unsigned prev = 0;
+  for (unsigned mcs = 0; mcs < mcs_table_size(McsTable::kQam64); ++mcs) {
+    dci.mcs = static_cast<std::uint8_t>(mcs);
+    const Grant g = translate_dci(dci, 0x4601, cell);
+    EXPECT_GE(g.tbs, prev);
+    prev = g.tbs;
+  }
+}
+
+}  // namespace
+}  // namespace nrs

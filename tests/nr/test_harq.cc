@@ -1,0 +1,98 @@
+#include "nr/harq.h"
+
+#include <gtest/gtest.h>
+
+namespace nrs {
+namespace {
+
+Dci dl_dci(std::uint8_t harq_id, std::uint8_t ndi) {
+  Dci dci;
+  dci.format = DciFormat::kDl1_1;
+  dci.harq_id = harq_id;
+  dci.ndi = ndi;
+  return dci;
+}
+
+Dci ul_dci(std::uint8_t harq_id, std::uint8_t ndi) {
+  Dci dci;
+  dci.format = DciFormat::kUl0_1;
+  dci.harq_id = harq_id;
+  dci.ndi = ndi;
+  return dci;
+}
+
+TEST(Harq, FirstTransmissionIsNew) {
+  HarqTracker tracker;
+  EXPECT_FALSE(tracker.observe(dl_dci(0, 0)));
+  EXPECT_EQ(tracker.retransmissions(), 0u);
+}
+
+TEST(Harq, ToggledNdiIsNewData) {
+  HarqTracker tracker;
+  tracker.observe(dl_dci(3, 0));
+  EXPECT_FALSE(tracker.observe(dl_dci(3, 1)));
+  EXPECT_FALSE(tracker.observe(dl_dci(3, 0)));
+  EXPECT_EQ(tracker.retransmissions(), 0u);
+}
+
+TEST(Harq, RepeatedNdiIsRetransmission) {
+  // Paper section 3.2.2: "If the UE NACKs, the gNB uses the same ndi for
+  // the re-transmission."
+  HarqTracker tracker;
+  tracker.observe(dl_dci(5, 1));
+  EXPECT_TRUE(tracker.observe(dl_dci(5, 1)));
+  EXPECT_TRUE(tracker.observe(dl_dci(5, 1)));
+  EXPECT_EQ(tracker.retransmissions(), 2u);
+  EXPECT_EQ(tracker.observed(), 3u);
+}
+
+TEST(Harq, ProcessesIndependent) {
+  HarqTracker tracker;
+  tracker.observe(dl_dci(0, 1));
+  EXPECT_FALSE(tracker.observe(dl_dci(1, 1)));  // different process
+  EXPECT_TRUE(tracker.observe(dl_dci(0, 1)));
+}
+
+TEST(Harq, DownlinkAndUplinkIndependent) {
+  HarqTracker tracker;
+  tracker.observe(dl_dci(2, 1));
+  EXPECT_FALSE(tracker.observe(ul_dci(2, 1)));  // UL bank is separate
+  EXPECT_TRUE(tracker.observe(ul_dci(2, 1)));
+}
+
+TEST(Harq, SixteenProcesses) {
+  HarqTracker tracker;
+  for (unsigned id = 0; id < kMaxHarqProcesses; ++id) {
+    EXPECT_FALSE(tracker.observe(dl_dci(static_cast<std::uint8_t>(id), 0)));
+  }
+  for (unsigned id = 0; id < kMaxHarqProcesses; ++id) {
+    EXPECT_TRUE(tracker.observe(dl_dci(static_cast<std::uint8_t>(id), 0)));
+  }
+}
+
+TEST(Harq, RatioComputation) {
+  HarqTracker tracker;
+  tracker.observe(dl_dci(0, 0));
+  tracker.observe(dl_dci(0, 0));  // retx
+  tracker.observe(dl_dci(0, 1));
+  tracker.observe(dl_dci(0, 0));
+  EXPECT_DOUBLE_EQ(tracker.retransmission_ratio(), 0.25);
+}
+
+TEST(Harq, EmptyRatioIsZero) {
+  const HarqTracker tracker;
+  EXPECT_DOUBLE_EQ(tracker.retransmission_ratio(), 0.0);
+}
+
+TEST(Harq, ResetClearsState) {
+  HarqTracker tracker;
+  tracker.observe(dl_dci(0, 1));
+  tracker.observe(dl_dci(0, 1));
+  tracker.reset();
+  EXPECT_EQ(tracker.observed(), 0u);
+  EXPECT_EQ(tracker.retransmissions(), 0u);
+  EXPECT_FALSE(tracker.observe(dl_dci(0, 1)));  // history gone
+}
+
+}  // namespace
+}  // namespace nrs

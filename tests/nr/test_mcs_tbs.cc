@@ -1,0 +1,180 @@
+#include <gtest/gtest.h>
+
+#include "nr/mcs_tables.h"
+#include "nr/tbs.h"
+
+namespace nrs {
+namespace {
+
+TEST(McsTables, TableSizes) {
+  EXPECT_EQ(mcs_table_size(McsTable::kQam64), 29u);
+  EXPECT_EQ(mcs_table_size(McsTable::kQam256), 28u);
+  EXPECT_EQ(mcs_table_size(McsTable::kQam64LowSe), 29u);
+}
+
+TEST(McsTables, KnownEntries) {
+  // Spot checks against TS 38.214.
+  EXPECT_EQ(mcs_entry(McsTable::kQam64, 0).qm, 2u);
+  EXPECT_DOUBLE_EQ(mcs_entry(McsTable::kQam64, 0).rate_x1024, 120.0);
+  EXPECT_EQ(mcs_entry(McsTable::kQam64, 28).qm, 6u);
+  EXPECT_DOUBLE_EQ(mcs_entry(McsTable::kQam64, 28).rate_x1024, 948.0);
+  EXPECT_EQ(mcs_entry(McsTable::kQam256, 27).qm, 8u);
+  EXPECT_DOUBLE_EQ(mcs_entry(McsTable::kQam256, 27).rate_x1024, 948.0);
+  EXPECT_DOUBLE_EQ(mcs_entry(McsTable::kQam64LowSe, 0).rate_x1024, 30.0);
+}
+
+TEST(McsTables, PaperAppendixBEntry) {
+  // Appendix B: mcs=27 with the 256QAM table -> 256QAM, R=0.926.
+  const McsEntry e = mcs_entry(McsTable::kQam256, 27);
+  EXPECT_EQ(e.modulation(), Modulation::kQam256);
+  EXPECT_NEAR(e.code_rate(), 0.926, 0.001);
+}
+
+TEST(McsTables, EfficiencyNearlyMonotone) {
+  // The real 3GPP tables have one tiny dip at each modulation-order
+  // boundary (e.g. table 1: MCS 16 at 2.5703 vs MCS 17 at 2.5664 bits/RE),
+  // so assert monotonicity with a small tolerance.
+  for (auto table :
+       {McsTable::kQam64, McsTable::kQam256, McsTable::kQam64LowSe}) {
+    double prev = 0.0;
+    for (unsigned i = 0; i < mcs_table_size(table); ++i) {
+      const double eff = mcs_entry(table, i).efficiency();
+      EXPECT_GE(eff, prev - 0.01) << to_string(table) << " index " << i;
+      prev = eff;
+    }
+  }
+}
+
+TEST(McsTables, ReservedIndexThrows) {
+  EXPECT_THROW(mcs_entry(McsTable::kQam64, 29), std::out_of_range);
+  EXPECT_THROW(mcs_entry(McsTable::kQam256, 28), std::out_of_range);
+}
+
+TEST(McsTables, SnrSelectionMonotone) {
+  unsigned prev = 0;
+  for (double snr = -5.0; snr <= 35.0; snr += 2.5) {
+    const unsigned mcs = select_mcs_for_snr(McsTable::kQam256, snr);
+    EXPECT_GE(mcs, prev);
+    prev = mcs;
+  }
+  EXPECT_EQ(select_mcs_for_snr(McsTable::kQam256, -10.0), 0u);
+  EXPECT_EQ(select_mcs_for_snr(McsTable::kQam256, 40.0),
+            mcs_table_size(McsTable::kQam256) - 1);
+}
+
+TEST(Tbs, NreFormula) {
+  // Paper Appendix A: N'RE = 12*Nsymb - Ndmrs - Noh, capped at 156 / PRB.
+  TbsParams p;
+  p.n_prb = 10;
+  p.n_symbols = 12;
+  p.dmrs_re_per_prb = 12;
+  p.overhead_re = 0;
+  EXPECT_EQ(tbs_n_re(p), 10u * 132u);
+  p.n_symbols = 14;
+  EXPECT_EQ(tbs_n_re(p), 10u * 156u);  // 168-12 = 156, at the cap
+  p.overhead_re = 6;
+  EXPECT_EQ(tbs_n_re(p), 10u * 150u);
+}
+
+TEST(Tbs, ZeroAllocationYieldsZero) {
+  TbsParams p;
+  p.n_prb = 0;
+  p.n_symbols = 12;
+  p.code_rate = 0.5;
+  p.qm = 2;
+  EXPECT_EQ(calculate_tbs(p), 0u);
+}
+
+TEST(Tbs, TableLookupRoundsUp) {
+  EXPECT_EQ(tbs_table_lookup(24), 24u);
+  EXPECT_EQ(tbs_table_lookup(25), 32u);
+  EXPECT_EQ(tbs_table_lookup(3753), 3824u);
+  EXPECT_EQ(tbs_table_lookup(3824), 3824u);
+}
+
+TEST(Tbs, SmallAllocationUsesTable) {
+  // 1 PRB, 12 symbols, QPSK R=120/1024: Ninfo = 132*0.117*2 = 30.9 -> 32.
+  TbsParams p;
+  p.n_prb = 1;
+  p.n_symbols = 12;
+  p.dmrs_re_per_prb = 12;
+  p.code_rate = 120.0 / 1024.0;
+  p.qm = 2;
+  const unsigned tbs = calculate_tbs(p);
+  EXPECT_GE(tbs, 24u);
+  EXPECT_LE(tbs, 40u);
+  EXPECT_EQ(tbs % 8, 0u);
+}
+
+TEST(Tbs, LargeAllocationUsesFormula) {
+  // 51 PRB, 12 symbols, 64QAM R=0.925: deep in the Ninfo > 3824 branch.
+  TbsParams p;
+  p.n_prb = 51;
+  p.n_symbols = 12;
+  p.dmrs_re_per_prb = 12;
+  p.code_rate = 948.0 / 1024.0;
+  p.qm = 6;
+  const unsigned tbs = calculate_tbs(p);
+  const double n_info = 51.0 * 132.0 * (948.0 / 1024.0) * 6.0;
+  EXPECT_GT(tbs, 3824u);
+  // TBS must be within quantization distance of Ninfo.
+  EXPECT_NEAR(static_cast<double>(tbs), n_info, n_info * 0.05);
+  EXPECT_EQ((tbs + 24) % 8, 0u);  // byte-aligned after CRC
+}
+
+TEST(Tbs, LayersMultiply) {
+  TbsParams p;
+  p.n_prb = 20;
+  p.n_symbols = 12;
+  p.dmrs_re_per_prb = 12;
+  p.code_rate = 0.5;
+  p.qm = 4;
+  p.n_layers = 1;
+  const unsigned tbs1 = calculate_tbs(p);
+  p.n_layers = 2;
+  const unsigned tbs2 = calculate_tbs(p);
+  EXPECT_NEAR(static_cast<double>(tbs2) / tbs1, 2.0, 0.1);
+}
+
+TEST(Tbs, MonotoneInPrbs) {
+  TbsParams p;
+  p.n_symbols = 12;
+  p.dmrs_re_per_prb = 12;
+  p.code_rate = 0.37;
+  p.qm = 4;
+  unsigned prev = 0;
+  for (unsigned n = 1; n <= 51; ++n) {
+    p.n_prb = n;
+    const unsigned tbs = calculate_tbs(p);
+    EXPECT_GE(tbs, prev);
+    prev = tbs;
+  }
+}
+
+class TbsSweepTest
+    : public ::testing::TestWithParam<std::tuple<unsigned, unsigned>> {};
+
+TEST_P(TbsSweepTest, TbsMatchesSpectralEfficiencyEnvelope) {
+  const auto [n_prb, mcs] = GetParam();
+  const McsEntry entry = mcs_entry(McsTable::kQam64, mcs);
+  TbsParams p;
+  p.n_prb = n_prb;
+  p.n_symbols = 12;
+  p.dmrs_re_per_prb = 12;
+  p.code_rate = entry.code_rate();
+  p.qm = entry.qm;
+  const unsigned tbs = calculate_tbs(p);
+  const double n_info = tbs_n_re(p) * entry.efficiency();
+  if (n_info > 100) {
+    EXPECT_NEAR(static_cast<double>(tbs), n_info, n_info * 0.12 + 32)
+        << "nprb=" << n_prb << " mcs=" << mcs;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, TbsSweepTest,
+    ::testing::Combine(::testing::Values(1u, 4u, 13u, 26u, 51u, 106u),
+                       ::testing::Values(0u, 5u, 10u, 16u, 22u, 28u)));
+
+}  // namespace
+}  // namespace nrs

@@ -1,0 +1,174 @@
+#include "nr/pdsch.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace nrs {
+namespace {
+
+BitVector random_bits(Rng& rng, std::size_t n) {
+  BitVector bits(n);
+  for (auto& b : bits) {
+    b = rng.chance(0.5) ? 1 : 0;
+  }
+  return bits;
+}
+
+PdschAllocation make_alloc(Modulation mod = Modulation::kQpsk) {
+  PdschAllocation alloc;
+  alloc.rnti = 0x4601;
+  alloc.prb_start = 5;
+  alloc.prb_len = 10;
+  alloc.start_symbol = 2;
+  alloc.n_symbols = 12;
+  alloc.modulation = mod;
+  alloc.n_id = 42;
+  return alloc;
+}
+
+void add_noise(ResourceGrid& grid, float nv, Rng& rng) {
+  const float s = std::sqrt(nv / 2.0f);
+  for (unsigned sym = 0; sym < grid.n_symbols(); ++sym) {
+    for (unsigned sc = 0; sc < grid.n_subcarriers(); ++sc) {
+      grid.at(sym, sc) += cf32(static_cast<float>(rng.gaussian(0, s)),
+                               static_cast<float>(rng.gaussian(0, s)));
+    }
+  }
+}
+
+class PdschModTest : public ::testing::TestWithParam<Modulation> {};
+
+TEST_P(PdschModTest, CleanRoundTrip) {
+  const PdschAllocation alloc = make_alloc(GetParam());
+  const SlotPoint slot{Scs::kHz30, 1, 3};
+  Rng rng(61);
+  const unsigned tbs = 1000;
+  const BitVector payload = random_bits(rng, tbs);
+  ResourceGrid grid(51);
+  encode_pdsch(alloc, slot, payload, grid);
+  const auto decoded = decode_pdsch(alloc, slot, tbs, grid);
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(*decoded, payload);
+}
+
+INSTANTIATE_TEST_SUITE_P(Mods, PdschModTest,
+                         ::testing::Values(Modulation::kQpsk,
+                                           Modulation::kQam16,
+                                           Modulation::kQam64,
+                                           Modulation::kQam256));
+
+TEST(Pdsch, DecodesUnderNoiseAtLowRate) {
+  const PdschAllocation alloc = make_alloc(Modulation::kQpsk);
+  Rng rng(62);
+  int ok = 0;
+  constexpr int kTrials = 20;
+  for (int t = 0; t < kTrials; ++t) {
+    const SlotPoint slot{Scs::kHz30, 0, static_cast<std::uint32_t>(t % 20)};
+    // TBS sized to code rate ~0.15 after the rate-1/2 mother code.
+    const unsigned tbs = 400;
+    const BitVector payload = random_bits(rng, tbs);
+    ResourceGrid grid(51);
+    encode_pdsch(alloc, slot, payload, grid);
+    add_noise(grid, 0.2f, rng);  // ~7 dB
+    const auto decoded = decode_pdsch(alloc, slot, tbs, grid);
+    ok += decoded.has_value() && *decoded == payload;
+  }
+  EXPECT_GE(ok, kTrials - 1);
+}
+
+TEST(Pdsch, FailsCleanlyAtVeryLowSnr) {
+  const PdschAllocation alloc = make_alloc(Modulation::kQam64);
+  Rng rng(63);
+  int false_accepts = 0;
+  int decodes = 0;
+  constexpr int kTrials = 20;
+  for (int t = 0; t < kTrials; ++t) {
+    const SlotPoint slot{Scs::kHz30, 2, static_cast<std::uint32_t>(t % 20)};
+    const unsigned tbs = 4000;
+    const BitVector payload = random_bits(rng, tbs);
+    ResourceGrid grid(51);
+    encode_pdsch(alloc, slot, payload, grid);
+    add_noise(grid, 3.0f, rng);  // ~ -5 dB
+    const auto decoded = decode_pdsch(alloc, slot, tbs, grid);
+    if (decoded.has_value()) {
+      ++decodes;
+      false_accepts += *decoded != payload;
+    }
+  }
+  EXPECT_EQ(false_accepts, 0) << "CRC24A must catch corrupted TBs";
+  EXPECT_LE(decodes, 2);
+}
+
+TEST(Pdsch, WrongRntiScramblingBreaksDecode) {
+  PdschAllocation alloc = make_alloc();
+  const SlotPoint slot{Scs::kHz30, 0, 0};
+  Rng rng(64);
+  const BitVector payload = random_bits(rng, 500);
+  ResourceGrid grid(51);
+  encode_pdsch(alloc, slot, payload, grid);
+  alloc.rnti = 0x4602;  // descramble with the wrong sequence
+  EXPECT_FALSE(decode_pdsch(alloc, slot, 500, grid).has_value());
+}
+
+TEST(Pdsch, AllocationValidation) {
+  ResourceGrid grid(51);
+  const SlotPoint slot{Scs::kHz30, 0, 0};
+  PdschAllocation bad = make_alloc();
+  bad.prb_len = 0;
+  EXPECT_THROW(encode_pdsch(bad, slot, BitVector(8, 0), grid),
+               std::invalid_argument);
+  bad = make_alloc();
+  bad.prb_start = 50;
+  bad.prb_len = 5;
+  EXPECT_THROW(encode_pdsch(bad, slot, BitVector(8, 0), grid),
+               std::invalid_argument);
+  bad = make_alloc();
+  bad.start_symbol = 10;
+  bad.n_symbols = 8;
+  EXPECT_THROW(encode_pdsch(bad, slot, BitVector(8, 0), grid),
+               std::invalid_argument);
+}
+
+TEST(Pdsch, OccupiesExactlyTheAllocation) {
+  const PdschAllocation alloc = make_alloc();
+  const SlotPoint slot{Scs::kHz30, 0, 7};
+  Rng rng(65);
+  ResourceGrid grid(51);
+  encode_pdsch(alloc, slot, random_bits(rng, 600), grid);
+  // DMRS symbol + data symbols are fully occupied within the allocation.
+  for (unsigned sym = alloc.start_symbol;
+       sym < alloc.start_symbol + alloc.n_symbols; ++sym) {
+    EXPECT_EQ(grid.count_occupied(sym, alloc.prb_start, alloc.prb_len),
+              alloc.prb_len * kSubcarriersPerPrb);
+  }
+  // Nothing outside.
+  EXPECT_EQ(grid.count_occupied(0, 0, 51), 0u);
+  EXPECT_EQ(grid.count_occupied(alloc.start_symbol, 0, alloc.prb_start), 0u);
+}
+
+TEST(Pdsch, FadedChannelStillDecodes) {
+  // A static frequency tilt across the band tests the channel estimator's
+  // interpolation path end to end.
+  const PdschAllocation alloc = make_alloc();
+  const SlotPoint slot{Scs::kHz30, 0, 9};
+  Rng rng(66);
+  const BitVector payload = random_bits(rng, 800);
+  ResourceGrid grid(51);
+  encode_pdsch(alloc, slot, payload, grid);
+  for (unsigned sym = 0; sym < grid.n_symbols(); ++sym) {
+    for (unsigned sc = 0; sc < grid.n_subcarriers(); ++sc) {
+      const float mag = 0.5f + 0.5f * static_cast<float>(sc) /
+                                   static_cast<float>(grid.n_subcarriers());
+      const float phase = 0.002f * static_cast<float>(sc);
+      grid.at(sym, sc) *= std::polar(mag, phase);
+    }
+  }
+  add_noise(grid, 0.01f, rng);
+  const auto decoded = decode_pdsch(alloc, slot, 800, grid);
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(*decoded, payload);
+}
+
+}  // namespace
+}  // namespace nrs

@@ -1,0 +1,67 @@
+// The shared-candidate decode optimization must produce exactly the same
+// DCIs as the paper's per-UE loop.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "gnb/gnb_sim.h"
+#include "gnb/presets.h"
+#include "nrscope/nrscope.h"
+#include "radio/virtual_radio.h"
+
+namespace nrs {
+namespace {
+
+using DciKey = std::tuple<std::uint64_t, Rnti, unsigned, unsigned>;
+
+std::set<DciKey> run_scope(bool dedupe, unsigned n_dci_threads) {
+  GnbConfig gnb_cfg;
+  gnb_cfg.cell = srsran_cell();
+  gnb_cfg.seed = 77;
+  GnbSim gnb(std::move(gnb_cfg));
+  for (unsigned i = 0; i < 4; ++i) {
+    UeConfig ue;
+    ue.channel.snr_db = 22.0 + i;
+    ue.dl_traffic = std::make_unique<CbrSource>(1e6);
+    ue.ul_traffic = std::make_unique<CbrSource>(3e5);
+    ue.seed = i + 1;
+    gnb.add_ue(std::move(ue));
+  }
+  VirtualRadioConfig radio_cfg;
+  radio_cfg.n_prb = gnb.cell().n_prb;
+  radio_cfg.channel.snr_db = 25.0;
+  radio_cfg.channel.seed = 9;
+  VirtualRadio radio(radio_cfg);
+  NrScopeConfig scope_cfg;
+  scope_cfg.n_prb = gnb.cell().n_prb;
+  scope_cfg.scs = gnb.cell().scs;
+  scope_cfg.dedupe_candidates = dedupe;
+  scope_cfg.n_dci_threads = n_dci_threads;
+  NrScope scope(scope_cfg);
+
+  std::set<DciKey> keys;
+  for (unsigned slot = 0; slot < 600; ++slot) {
+    const SlotResult result =
+        scope.process_slot(radio.capture(gnb.step()));
+    for (const auto& d : result.dcis) {
+      keys.insert(DciKey{d.slot, d.rnti, d.agg_level, d.cce_start});
+    }
+  }
+  return keys;
+}
+
+TEST(Dedupe, MatchesPerUeDecoding) {
+  const auto reference = run_scope(false, 1);
+  const auto deduped = run_scope(true, 1);
+  EXPECT_EQ(deduped, reference);
+  EXPECT_GT(reference.size(), 100u);
+}
+
+TEST(Dedupe, ThreadedMatchesToo) {
+  const auto reference = run_scope(false, 1);
+  const auto threaded = run_scope(true, 2);
+  EXPECT_EQ(threaded, reference);
+}
+
+}  // namespace
+}  // namespace nrs

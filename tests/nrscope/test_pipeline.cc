@@ -1,0 +1,160 @@
+// Tests of the Fig.-4 asynchronous pipeline and the log writer.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <thread>
+
+#include "gnb/gnb_sim.h"
+#include "gnb/presets.h"
+#include "nrscope/log_writer.h"
+#include "nrscope/pipeline.h"
+#include "radio/virtual_radio.h"
+
+namespace nrs {
+namespace {
+
+struct CapturedRun {
+  std::vector<IqBuffer> slots;
+  CellConfig cell;
+};
+
+/// Capture a short run once; shared across the pipeline tests.
+const CapturedRun& captured_run() {
+  static const CapturedRun run = [] {
+    CapturedRun r;
+    r.cell = srsran_cell();
+    GnbConfig cfg;
+    cfg.cell = r.cell;
+    cfg.seed = 31;
+    GnbSim gnb(std::move(cfg));
+    UeConfig ue;
+    ue.channel.snr_db = 24.0;
+    ue.dl_traffic = std::make_unique<CbrSource>(2e6);
+    ue.seed = 1;
+    gnb.add_ue(std::move(ue));
+    VirtualRadioConfig radio_cfg;
+    radio_cfg.n_prb = r.cell.n_prb;
+    radio_cfg.channel.snr_db = 26.0;
+    VirtualRadio radio(radio_cfg);
+    for (int i = 0; i < 400; ++i) {
+      r.slots.push_back(radio.capture(gnb.step()));
+    }
+    return r;
+  }();
+  return run;
+}
+
+NrScopeConfig scope_config(const CellConfig& cell) {
+  NrScopeConfig cfg;
+  cfg.n_prb = cell.n_prb;
+  cfg.scs = cell.scs;
+  return cfg;
+}
+
+TEST(Pipeline, ProcessesAllSlotsInOrder) {
+  const CapturedRun& run = captured_run();
+  NrScopePipeline pipeline(scope_config(run.cell), 2);
+  std::thread feeder([&] {
+    for (const auto& slot : run.slots) {
+      while (!pipeline.push_slot(slot)) {
+        std::this_thread::yield();
+      }
+    }
+    pipeline.finish();
+  });
+  std::uint64_t expected = 0;
+  while (auto result = pipeline.poll_result()) {
+    EXPECT_EQ(result->slot, expected);
+    ++expected;
+  }
+  feeder.join();
+  EXPECT_EQ(expected, run.slots.size());
+}
+
+TEST(Pipeline, MatchesSynchronousEngine) {
+  const CapturedRun& run = captured_run();
+  // Synchronous reference.
+  NrScope reference(scope_config(run.cell));
+  std::size_t ref_dcis = 0;
+  for (const auto& slot : run.slots) {
+    ref_dcis += reference.process_slot(slot).dcis.size();
+  }
+  // Pipelined.
+  NrScopePipeline pipeline(scope_config(run.cell), 3);
+  std::thread feeder([&] {
+    for (const auto& slot : run.slots) {
+      while (!pipeline.push_slot(slot)) {
+        std::this_thread::yield();
+      }
+    }
+    pipeline.finish();
+  });
+  std::size_t pipe_dcis = 0;
+  while (auto result = pipeline.poll_result()) {
+    pipe_dcis += result->dcis.size();
+  }
+  feeder.join();
+  EXPECT_EQ(pipe_dcis, ref_dcis);
+  EXPECT_EQ(pipeline.engine().known_ues().size(),
+            reference.known_ues().size());
+}
+
+TEST(Pipeline, SaturationDropsInsteadOfBlocking) {
+  const CapturedRun& run = captured_run();
+  NrScopePipeline pipeline(scope_config(run.cell), 1, /*queue_depth=*/2);
+  unsigned accepted = 0;
+  for (const auto& slot : run.slots) {
+    accepted += pipeline.push_slot(slot);
+  }
+  pipeline.finish();
+  std::uint64_t results = 0;
+  while (pipeline.poll_result()) {
+    ++results;
+  }
+  EXPECT_EQ(results, accepted);
+  EXPECT_EQ(pipeline.dropped_slots() + accepted, run.slots.size());
+  EXPECT_GT(pipeline.dropped_slots(), 0u) << "burst must shed load";
+}
+
+TEST(Pipeline, FinishWithoutInputTerminates) {
+  const CapturedRun& run = captured_run();
+  NrScopePipeline pipeline(scope_config(run.cell), 2);
+  pipeline.finish();
+  EXPECT_FALSE(pipeline.poll_result().has_value());
+}
+
+TEST(LogWriter, WritesHeaderAndRows) {
+  const std::string path = "/tmp/nrs_test_log.csv";
+  {
+    TelemetryLogWriter writer(path);
+    SlotResult result;
+    DecodedDci dci;
+    dci.slot = 42;
+    dci.rnti = 0x4601;
+    dci.dci.format = DciFormat::kDl1_1;
+    dci.grant.tbs = 3240;
+    dci.grant.prb_len = 17;
+    result.dcis.push_back(dci);
+    writer.write(result);
+    writer.flush();
+  }
+  std::ifstream in(path);
+  std::string header;
+  std::string row;
+  ASSERT_TRUE(std::getline(in, header));
+  ASSERT_TRUE(std::getline(in, row));
+  EXPECT_NE(header.find("tbs"), std::string::npos);
+  EXPECT_NE(row.find("42,"), std::string::npos);
+  EXPECT_NE(row.find("3240"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(LogWriter, UnwritablePathThrows) {
+  EXPECT_THROW(TelemetryLogWriter("/nonexistent/dir/x.csv"),
+               std::runtime_error);
+}
+
+}  // namespace
+}  // namespace nrs

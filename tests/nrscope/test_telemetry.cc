@@ -1,0 +1,154 @@
+#include "nrscope/telemetry.h"
+
+#include <gtest/gtest.h>
+
+namespace nrs {
+namespace {
+
+DecodedDci dl_dci(std::uint64_t slot, Rnti rnti, unsigned tbs,
+                  std::uint8_t harq_id = 0, std::uint8_t ndi = 0,
+                  std::uint8_t mcs = 10) {
+  DecodedDci d;
+  d.slot = slot;
+  d.rnti = rnti;
+  d.dci.format = DciFormat::kDl1_1;
+  d.dci.harq_id = harq_id;
+  d.dci.ndi = ndi;
+  d.dci.mcs = mcs;
+  d.grant.tbs = tbs;
+  d.grant.prb_len = 10;
+  d.grant.n_symbols = 12;
+  d.grant.modulation = Modulation::kQam16;
+  d.grant.code_rate = 0.5;
+  return d;
+}
+
+TEST(RateWindow, BasicRate) {
+  RateWindow window(100);
+  for (std::uint64_t s = 0; s < 100; ++s) {
+    window.add(s, 500);
+  }
+  // 50000 bits over 100 slots x 0.5 ms = 1 Mbit/s.
+  EXPECT_NEAR(window.rate_bps(100, 0.0005), 1e6, 1e3);
+}
+
+TEST(RateWindow, OldSamplesEvicted) {
+  RateWindow window(100);
+  window.add(0, 100000);
+  EXPECT_GT(window.rate_bps(50, 0.0005), 0.0);
+  EXPECT_DOUBLE_EQ(window.rate_bps(300, 0.0005), 0.0);
+  EXPECT_EQ(window.total_bits(), 100000u);  // totals keep everything
+}
+
+TEST(RateWindow, PartialWindowAtStart) {
+  RateWindow window(1000);
+  window.add(10, 5000);
+  // Only 20 slots elapsed: the denominator is the elapsed span.
+  const double rate = window.rate_bps(20, 0.0005);
+  EXPECT_NEAR(rate, 5000.0 / (20 * 0.0005), 1.0);
+}
+
+TEST(UeTelemetry, CountsAndBits) {
+  UeTelemetry ue(0x4601, 0, 1000);
+  auto a = dl_dci(1, 0x4601, 1000, 0, 0);
+  auto b = dl_dci(2, 0x4601, 2000, 0, 1);
+  ue.observe(a);
+  ue.observe(b);
+  EXPECT_EQ(ue.dl_dcis(), 2u);
+  EXPECT_EQ(ue.dl_bits(), 3000u);
+  EXPECT_EQ(ue.last_slot(), 2u);
+}
+
+TEST(UeTelemetry, RetxExcludedFromRate) {
+  UeTelemetry ue(0x4601, 0, 1000);
+  auto first = dl_dci(1, 0x4601, 1000, 3, 1);
+  auto retx = dl_dci(2, 0x4601, 1000, 3, 1);  // same NDI -> retx
+  EXPECT_FALSE(ue.observe(first));
+  EXPECT_TRUE(ue.observe(retx));
+  EXPECT_TRUE(retx.is_retx);
+  EXPECT_EQ(ue.dl_bits(), 1000u) << "retx TBS must not double-count";
+  EXPECT_DOUBLE_EQ(ue.retransmission_ratio(), 0.5);
+}
+
+TEST(UeTelemetry, McsHistogram) {
+  UeTelemetry ue(0x4601, 0, 1000);
+  for (int i = 0; i < 5; ++i) {
+    auto d = dl_dci(i, 0x4601, 100, 0, i % 2, 17);
+    ue.observe(d);
+  }
+  auto d = dl_dci(9, 0x4601, 100, 1, 0, 3);
+  ue.observe(d);
+  EXPECT_EQ(ue.mcs_histogram()[17], 5u);
+  EXPECT_EQ(ue.mcs_histogram()[3], 1u);
+}
+
+TEST(UeTelemetry, EfficiencyTracksLastGrant) {
+  UeTelemetry ue(0x4601, 0, 1000);
+  auto d = dl_dci(1, 0x4601, 100);
+  ue.observe(d);
+  EXPECT_NEAR(ue.last_efficiency(), 4.0 * 0.5, 1e-9);
+}
+
+TEST(CellTelemetry, CreatesUesOnObservation) {
+  CellTelemetry cell(Scs::kHz30);
+  std::vector<DecodedDci> dcis = {dl_dci(0, 0x4601, 1000),
+                                  dl_dci(0, 0x4602, 500)};
+  cell.observe_slot(0, dcis, 7344, false);
+  EXPECT_EQ(cell.ues().size(), 2u);
+  EXPECT_NE(cell.find(0x4601), nullptr);
+  EXPECT_EQ(cell.find(0x9999), nullptr);
+}
+
+TEST(CellTelemetry, SpareCapacityFairShare) {
+  CellTelemetry cell(Scs::kHz30);
+  // Two UEs with different spectral efficiency.
+  auto a = dl_dci(0, 0x4601, 1000);
+  a.grant.modulation = Modulation::kQam64;
+  a.grant.code_rate = 0.9;  // 5.4 b/RE
+  auto b = dl_dci(0, 0x4602, 1000);
+  b.grant.modulation = Modulation::kQpsk;
+  b.grant.code_rate = 0.3;  // 0.6 b/RE
+  std::vector<DecodedDci> dcis = {a, b};
+  cell.observe_slot(0, dcis, 7344, true);
+
+  const double spare_a = cell.spare_bps(0x4601);
+  const double spare_b = cell.spare_bps(0x4602);
+  EXPECT_GT(spare_a, 0.0);
+  EXPECT_GT(spare_b, 0.0);
+  // Same spare REs, different MCS -> different spare bit rates (the
+  // paper's Fig. 14 observation).
+  EXPECT_NEAR(spare_a / spare_b, (6.0 * 0.9) / (2.0 * 0.3), 0.01);
+  ASSERT_EQ(cell.history().size(), 1u);
+  const SlotCapacity& cap = cell.history()[0];
+  EXPECT_EQ(cap.data_res_used,
+            2u * 10u * kSubcarriersPerPrb * 11u);  // 11 data symbols each
+  EXPECT_EQ(cap.used_res.at(0x4601), cap.used_res.at(0x4602));
+}
+
+TEST(CellTelemetry, NoSpareWhenSaturated) {
+  CellTelemetry cell(Scs::kHz30);
+  auto a = dl_dci(0, 0x4601, 1000);
+  std::vector<DecodedDci> dcis = {a};
+  cell.observe_slot(0, dcis, /*data_res_total=*/100, false);
+  EXPECT_DOUBLE_EQ(cell.spare_bps(0x4601), 0.0);
+}
+
+TEST(CellTelemetry, RemoveUe) {
+  CellTelemetry cell(Scs::kHz30);
+  cell.add_ue(0x4601, 0);
+  EXPECT_NE(cell.find(0x4601), nullptr);
+  cell.remove_ue(0x4601);
+  EXPECT_EQ(cell.find(0x4601), nullptr);
+}
+
+TEST(CellTelemetry, HistoryOnlyWhenRequested) {
+  CellTelemetry cell(Scs::kHz30);
+  std::vector<DecodedDci> dcis = {dl_dci(0, 0x4601, 100)};
+  cell.observe_slot(0, dcis, 7344, false);
+  EXPECT_TRUE(cell.history().empty());
+  cell.observe_slot(1, dcis, 7344, true);
+  EXPECT_EQ(cell.history().size(), 1u);
+}
+
+}  // namespace
+}  // namespace nrs

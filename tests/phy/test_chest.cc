@@ -1,0 +1,86 @@
+#include "phy/chest.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.h"
+
+namespace nrs {
+namespace {
+
+TEST(Chest, FlatChannelEstimatedExactly) {
+  const cf32 h(0.8f, -0.3f);
+  std::vector<Pilot> pilots;
+  for (unsigned sc = 0; sc < 24; sc += 4) {
+    const cf32 ref(1.0f, 0.0f);
+    pilots.push_back({sc, h * ref, ref});
+  }
+  const ChannelEstimate est = estimate_channel(pilots, 0, 24);
+  ASSERT_EQ(est.h.size(), 24u);
+  for (unsigned sc = 0; sc < 24; ++sc) {
+    EXPECT_NEAR(est.at(sc).real(), h.real(), 1e-4f);
+    EXPECT_NEAR(est.at(sc).imag(), h.imag(), 1e-4f);
+  }
+}
+
+TEST(Chest, LinearRampInterpolated) {
+  // H(sc) = sc/100 (real): interpolation should track between pilots.
+  std::vector<Pilot> pilots;
+  for (unsigned sc = 0; sc < 48; sc += 6) {
+    const cf32 h(static_cast<float>(sc) / 100.0f, 0.0f);
+    pilots.push_back({sc, h, cf32(1.0f, 0.0f)});
+  }
+  const ChannelEstimate est = estimate_channel(pilots, 0, 48);
+  // Away from the edges the estimate should be within smoothing error.
+  for (unsigned sc = 6; sc < 40; ++sc) {
+    EXPECT_NEAR(est.at(sc).real(), static_cast<float>(sc) / 100.0f, 0.03f);
+  }
+}
+
+TEST(Chest, NoiseVarianceTracksActualNoise) {
+  Rng rng(21);
+  const cf32 h(1.0f, 0.0f);
+  const float nv_true = 0.02f;
+  std::vector<Pilot> pilots;
+  for (unsigned sc = 0; sc < 120; ++sc) {
+    const cf32 noise(static_cast<float>(rng.gaussian(0, std::sqrt(nv_true / 2))),
+                     static_cast<float>(rng.gaussian(0, std::sqrt(nv_true / 2))));
+    pilots.push_back({sc, h + noise, cf32(1.0f, 0.0f)});
+  }
+  const ChannelEstimate est = estimate_channel(pilots, 0, 120);
+  EXPECT_GT(est.noise_var, nv_true * 0.3f);
+  EXPECT_LT(est.noise_var, nv_true * 3.0f);
+}
+
+TEST(Chest, EmptyPilotsThrow) {
+  EXPECT_THROW(estimate_channel({}, 0, 12), std::invalid_argument);
+}
+
+TEST(Chest, EmptyRangeThrows) {
+  std::vector<Pilot> pilots = {{0, cf32(1, 0), cf32(1, 0)}};
+  EXPECT_THROW(estimate_channel(pilots, 5, 5), std::invalid_argument);
+}
+
+TEST(Chest, ZfEqualizationInvertsChannel) {
+  const cf32 h(0.5f, 0.5f);
+  const cf32 x(0.7071f, -0.7071f);
+  float eff_nv = 0.0f;
+  const cf32 eq = equalize_zf(h * x, h, 0.01f, eff_nv);
+  EXPECT_NEAR(eq.real(), x.real(), 1e-4f);
+  EXPECT_NEAR(eq.imag(), x.imag(), 1e-4f);
+  // |h|^2 = 0.5 -> effective noise doubles.
+  EXPECT_NEAR(eff_nv, 0.02f, 1e-5f);
+}
+
+TEST(Chest, ZfClampsTinyChannel) {
+  float eff_nv = 0.0f;
+  const cf32 eq = equalize_zf(cf32(1.0f, 0.0f), cf32(1e-9f, 0.0f), 0.01f,
+                              eff_nv);
+  EXPECT_TRUE(std::isfinite(eq.real()));
+  EXPECT_TRUE(std::isfinite(eff_nv));
+  EXPECT_GT(eff_nv, 100.0f);  // deep fade -> near-erasure LLRs
+}
+
+}  // namespace
+}  // namespace nrs

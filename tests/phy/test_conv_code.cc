@@ -1,0 +1,147 @@
+#include "phy/conv_code.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/crc.h"
+#include "common/rng.h"
+
+namespace nrs {
+namespace {
+
+BitVector random_bits(Rng& rng, std::size_t n) {
+  BitVector bits(n);
+  for (auto& b : bits) {
+    b = rng.chance(0.5) ? 1 : 0;
+  }
+  return bits;
+}
+
+std::vector<float> to_noisy_llrs(const BitVector& coded, double snr_db,
+                                 Rng& rng) {
+  const double snr = std::pow(10.0, snr_db / 10.0);
+  const double sigma = std::sqrt(1.0 / (2.0 * snr));
+  std::vector<float> llrs(coded.size());
+  for (std::size_t i = 0; i < coded.size(); ++i) {
+    const double tx = coded[i] ? -1.0 : 1.0;
+    llrs[i] = static_cast<float>(2.0 * snr * (tx + rng.gaussian(0, sigma)));
+  }
+  return llrs;
+}
+
+TEST(ConvCode, CodedSizeFormula) {
+  EXPECT_EQ(ConvolutionalCode::coded_size(100), 2u * 106u);
+  EXPECT_EQ(ConvolutionalCode::coded_size(0), 12u);
+}
+
+TEST(ConvCode, NoiselessRoundTrip) {
+  Rng rng(11);
+  for (std::size_t len : {8u, 40u, 100u, 500u}) {
+    const BitVector payload = random_bits(rng, len);
+    const BitVector coded = ConvolutionalCode::encode(payload);
+    ASSERT_EQ(coded.size(), ConvolutionalCode::coded_size(len));
+    std::vector<float> llrs(coded.size());
+    for (std::size_t i = 0; i < coded.size(); ++i) {
+      llrs[i] = coded[i] ? -5.0f : 5.0f;
+    }
+    EXPECT_EQ(ConvolutionalCode::decode(llrs, len), payload);
+  }
+}
+
+TEST(ConvCode, CorrectsModerateNoise) {
+  Rng rng(12);
+  int failures = 0;
+  for (int t = 0; t < 30; ++t) {
+    const BitVector payload = random_bits(rng, 200);
+    const BitVector coded = ConvolutionalCode::encode(payload);
+    const auto llrs = to_noisy_llrs(coded, 3.0, rng);
+    failures += ConvolutionalCode::decode(llrs, 200) != payload;
+  }
+  EXPECT_LE(failures, 1);
+}
+
+TEST(ConvCode, BreaksAtVeryLowSnrButCrcDetects) {
+  Rng rng(13);
+  int wrong = 0;
+  int undetected = 0;
+  for (int t = 0; t < 50; ++t) {
+    BitVector payload = random_bits(rng, 120);
+    kCrc24A.attach(payload);
+    const BitVector coded = ConvolutionalCode::encode(payload);
+    const auto llrs = to_noisy_llrs(coded, -7.0, rng);
+    const BitVector decoded =
+        ConvolutionalCode::decode(llrs, payload.size());
+    if (decoded != payload) {
+      ++wrong;
+      undetected += kCrc24A.check(decoded);
+    }
+  }
+  EXPECT_GT(wrong, 25);
+  EXPECT_LE(undetected, 1);
+}
+
+TEST(ConvCode, WrongLlrLengthThrows) {
+  std::vector<float> llrs(10, 1.0f);
+  EXPECT_THROW(ConvolutionalCode::decode(llrs, 100), std::invalid_argument);
+}
+
+TEST(RateMatch, RepetitionRoundTrip) {
+  Rng rng(14);
+  const BitVector coded = random_bits(rng, 100);
+  const BitVector matched = rate_match(coded, 350);
+  ASSERT_EQ(matched.size(), 350u);
+  // Repetitions must be exact copies.
+  for (std::size_t i = 0; i < matched.size(); ++i) {
+    EXPECT_EQ(matched[i], coded[i % 100]);
+  }
+  std::vector<float> llrs(matched.size());
+  for (std::size_t i = 0; i < matched.size(); ++i) {
+    llrs[i] = matched[i] ? -1.0f : 1.0f;
+  }
+  const auto dematched = rate_dematch(llrs, 100);
+  ASSERT_EQ(dematched.size(), 100u);
+  for (std::size_t i = 0; i < 100; ++i) {
+    EXPECT_EQ(dematched[i] < 0, coded[i] == 1);
+    // Bits repeated 4x accumulate more confidence than those repeated 3x.
+    EXPECT_GE(std::abs(dematched[i]), 3.0f);
+  }
+}
+
+TEST(RateMatch, PuncturingKeepsSubset) {
+  Rng rng(15);
+  const BitVector coded = random_bits(rng, 100);
+  const BitVector matched = rate_match(coded, 60);
+  ASSERT_EQ(matched.size(), 60u);
+  std::vector<float> llrs(60);
+  for (std::size_t i = 0; i < 60; ++i) {
+    llrs[i] = matched[i] ? -1.0f : 1.0f;
+  }
+  const auto dematched = rate_dematch(llrs, 100);
+  int erased = 0;
+  for (float v : dematched) {
+    erased += v == 0.0f;
+  }
+  EXPECT_EQ(erased, 40);
+}
+
+TEST(RateMatch, PuncturedViterbiStillDecodes) {
+  // Light puncturing (rate 1/2 -> 2/3) should still decode cleanly at
+  // moderate SNR.
+  Rng rng(16);
+  const BitVector payload = random_bits(rng, 150);
+  const BitVector coded = ConvolutionalCode::encode(payload);
+  const std::size_t e = coded.size() * 3 / 4;
+  const BitVector matched = rate_match(coded, e);
+  auto llrs = to_noisy_llrs(matched, 8.0, rng);
+  const auto dematched = rate_dematch(llrs, coded.size());
+  EXPECT_EQ(ConvolutionalCode::decode(dematched, 150), payload);
+}
+
+TEST(RateMatch, EmptyInputThrows) {
+  EXPECT_THROW(rate_match({}, 10), std::invalid_argument);
+  EXPECT_THROW(rate_dematch({}, 10), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace nrs

@@ -1,0 +1,98 @@
+#include "phy/fft.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+
+#include "common/rng.h"
+
+namespace nrs {
+namespace {
+
+TEST(Fft, RejectsNonPowerOfTwo) {
+  EXPECT_THROW(Fft(100), std::invalid_argument);
+  EXPECT_THROW(Fft(0), std::invalid_argument);
+}
+
+TEST(Fft, ImpulseTransformsToFlat) {
+  Fft fft(64);
+  std::vector<cf32> data(64, cf32{});
+  data[0] = cf32(1.0f, 0.0f);
+  fft.forward(data);
+  for (const auto& v : data) {
+    EXPECT_NEAR(v.real(), 1.0f, 1e-5f);
+    EXPECT_NEAR(v.imag(), 0.0f, 1e-5f);
+  }
+}
+
+TEST(Fft, SingleToneLandsInOneBin) {
+  constexpr std::size_t kN = 128;
+  constexpr std::size_t kBin = 5;
+  Fft fft(kN);
+  std::vector<cf32> data(kN);
+  for (std::size_t n = 0; n < kN; ++n) {
+    const double angle = 2.0 * std::numbers::pi * kBin * n / kN;
+    data[n] = cf32(static_cast<float>(std::cos(angle)),
+                   static_cast<float>(std::sin(angle)));
+  }
+  fft.forward(data);
+  for (std::size_t k = 0; k < kN; ++k) {
+    if (k == kBin) {
+      EXPECT_NEAR(std::abs(data[k]), static_cast<float>(kN), 1e-2f);
+    } else {
+      EXPECT_NEAR(std::abs(data[k]), 0.0f, 1e-2f);
+    }
+  }
+}
+
+TEST(Fft, BufferSizeMismatchThrows) {
+  Fft fft(64);
+  std::vector<cf32> data(32);
+  EXPECT_THROW(fft.forward(data), std::invalid_argument);
+}
+
+class FftRoundTripTest : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(FftRoundTripTest, ForwardInverseIsIdentity) {
+  const std::size_t n = GetParam();
+  Fft fft(n);
+  Rng rng(n);
+  std::vector<cf32> data(n);
+  for (auto& v : data) {
+    v = cf32(static_cast<float>(rng.gaussian()),
+             static_cast<float>(rng.gaussian()));
+  }
+  const auto original = data;
+  fft.forward(data);
+  fft.inverse(data);
+  for (std::size_t i = 0; i < n; ++i) {
+    EXPECT_NEAR(data[i].real(), original[i].real(), 1e-3f);
+    EXPECT_NEAR(data[i].imag(), original[i].imag(), 1e-3f);
+  }
+}
+
+TEST_P(FftRoundTripTest, ParsevalEnergyConserved) {
+  const std::size_t n = GetParam();
+  Fft fft(n);
+  Rng rng(n + 1);
+  std::vector<cf32> data(n);
+  double time_energy = 0.0;
+  for (auto& v : data) {
+    v = cf32(static_cast<float>(rng.gaussian()),
+             static_cast<float>(rng.gaussian()));
+    time_energy += std::norm(v);
+  }
+  fft.forward(data);
+  double freq_energy = 0.0;
+  for (const auto& v : data) {
+    freq_energy += std::norm(v);
+  }
+  EXPECT_NEAR(freq_energy / static_cast<double>(n) / time_energy, 1.0, 1e-3);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, FftRoundTripTest,
+                         ::testing::Values(16, 64, 256, 512, 1024, 2048));
+
+}  // namespace
+}  // namespace nrs

@@ -1,0 +1,105 @@
+#include "phy/ofdm.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace nrs {
+namespace {
+
+ResourceGrid random_grid(unsigned n_prb, Rng& rng) {
+  ResourceGrid grid(n_prb);
+  for (unsigned sym = 0; sym < grid.n_symbols(); ++sym) {
+    for (unsigned sc = 0; sc < grid.n_subcarriers(); ++sc) {
+      grid.at(sym, sc) = cf32(static_cast<float>(rng.gaussian()),
+                              static_cast<float>(rng.gaussian()));
+    }
+  }
+  return grid;
+}
+
+TEST(Ofdm, ConfigSelectsSufficientFft) {
+  for (unsigned n_prb : {24u, 51u, 106u}) {
+    const OfdmConfig cfg = make_ofdm_config(n_prb);
+    EXPECT_GE(cfg.fft_size, n_prb * 12 + 2);
+    EXPECT_EQ(cfg.fft_size & (cfg.fft_size - 1), 0u) << "power of two";
+  }
+}
+
+TEST(Ofdm, TwentyMhzAt30KhzUsesFft1024) {
+  // The paper's lab cells: 51 PRB (20 MHz, 30 kHz SCS).
+  const OfdmConfig cfg = make_ofdm_config(51);
+  EXPECT_EQ(cfg.fft_size, 1024u);
+}
+
+TEST(Ofdm, SamplesPerSlot) {
+  const OfdmConfig cfg = make_ofdm_config(51);
+  EXPECT_EQ(cfg.samples_per_slot(),
+            (cfg.fft_size + cfg.cp_len) * kSymbolsPerSlot);
+}
+
+TEST(Ofdm, ModulatorRejectsMismatchedGrid) {
+  const OfdmConfig cfg = make_ofdm_config(51);
+  OfdmModulator mod(cfg);
+  ResourceGrid grid(24);
+  EXPECT_THROW(mod.modulate(grid), std::invalid_argument);
+}
+
+TEST(Ofdm, DemodulatorRejectsShortBuffer) {
+  const OfdmConfig cfg = make_ofdm_config(24);
+  OfdmDemodulator demod(cfg);
+  IqBuffer samples(100);
+  EXPECT_THROW(demod.demodulate(samples), std::invalid_argument);
+}
+
+class OfdmRoundTrip : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(OfdmRoundTrip, ModulateDemodulateIsTransparent) {
+  const unsigned n_prb = GetParam();
+  const OfdmConfig cfg = make_ofdm_config(n_prb);
+  OfdmModulator mod(cfg);
+  OfdmDemodulator demod(cfg);
+  Rng rng(n_prb);
+  const ResourceGrid tx = random_grid(n_prb, rng);
+  const IqBuffer samples = mod.modulate(tx);
+  EXPECT_EQ(samples.size(), cfg.samples_per_slot());
+  const ResourceGrid rx = demod.demodulate(samples);
+  for (unsigned sym = 0; sym < tx.n_symbols(); ++sym) {
+    for (unsigned sc = 0; sc < tx.n_subcarriers(); ++sc) {
+      EXPECT_NEAR(rx.at(sym, sc).real(), tx.at(sym, sc).real(), 1e-2f);
+      EXPECT_NEAR(rx.at(sym, sc).imag(), tx.at(sym, sc).imag(), 1e-2f);
+    }
+  }
+}
+
+// 10 MHz @ 15 kHz (T-Mobile cell 1), 20 MHz @ 30 kHz (lab cells), wideband.
+INSTANTIATE_TEST_SUITE_P(Bandwidths, OfdmRoundTrip,
+                         ::testing::Values(24, 51, 52, 106));
+
+TEST(Ofdm, EmptyGridYieldsSilence) {
+  const OfdmConfig cfg = make_ofdm_config(24);
+  OfdmModulator mod(cfg);
+  ResourceGrid grid(24);
+  const IqBuffer samples = mod.modulate(grid);
+  float energy = 0.0f;
+  for (const auto& s : samples) {
+    energy += std::norm(s);
+  }
+  EXPECT_NEAR(energy, 0.0f, 1e-9f);
+}
+
+TEST(Ofdm, CyclicPrefixIsCopyOfTail) {
+  const OfdmConfig cfg = make_ofdm_config(24);
+  OfdmModulator mod(cfg);
+  Rng rng(3);
+  const ResourceGrid grid = random_grid(24, rng);
+  const IqBuffer samples = mod.modulate(grid);
+  // First symbol: CP [0, cp) must equal [fft_size, fft_size + cp).
+  for (unsigned i = 0; i < cfg.cp_len; ++i) {
+    EXPECT_NEAR(samples[i].real(), samples[cfg.fft_size + i].real(), 1e-5f);
+    EXPECT_NEAR(samples[i].imag(), samples[cfg.fft_size + i].imag(), 1e-5f);
+  }
+}
+
+}  // namespace
+}  // namespace nrs

@@ -1,0 +1,125 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+
+#include "phy/agc.h"
+#include "phy/resampler.h"
+
+namespace nrs {
+namespace {
+
+IqBuffer tone(std::size_t n, double freq_norm, float amplitude = 1.0f,
+              std::size_t offset = 0) {
+  IqBuffer out(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double phase =
+        2.0 * std::numbers::pi * freq_norm * static_cast<double>(i + offset);
+    out[i] = amplitude * cf32(static_cast<float>(std::cos(phase)),
+                              static_cast<float>(std::sin(phase)));
+  }
+  return out;
+}
+
+TEST(Resampler, UnityRatioIsTransparent) {
+  Resampler rs(1.0);
+  const IqBuffer in = tone(256, 0.01);
+  const IqBuffer out = rs.process(in);
+  ASSERT_EQ(out.size(), 255u);  // one sample of history lag
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    EXPECT_NEAR(out[i].real(), in[i].real(), 1e-4f);
+    EXPECT_NEAR(out[i].imag(), in[i].imag(), 1e-4f);
+  }
+}
+
+TEST(Resampler, UpsamplingDoublesSampleCount) {
+  Resampler rs(2.0);
+  const IqBuffer in = tone(500, 0.005);
+  const IqBuffer out = rs.process(in);
+  EXPECT_NEAR(static_cast<double>(out.size()), 1000.0, 4.0);
+}
+
+TEST(Resampler, DownsamplingPreservesToneShape) {
+  Resampler rs(0.5);
+  const IqBuffer in = tone(1000, 0.002);
+  const IqBuffer out = rs.process(in);
+  ASSERT_GT(out.size(), 400u);
+  // Output sample i sits at input position 2i of the original tone.
+  for (std::size_t i = 1; i + 1 < out.size(); ++i) {
+    const float expected_re =
+        std::cos(2.0f * static_cast<float>(std::numbers::pi) * 0.002f *
+                 static_cast<float>(2 * i));
+    EXPECT_NEAR(out[i].real(), expected_re, 0.02f);
+  }
+}
+
+TEST(Resampler, StreamingMatchesOneShot) {
+  Resampler whole(1.25);
+  Resampler chunked(1.25);
+  const IqBuffer in = tone(600, 0.003);
+  const IqBuffer out_whole = whole.process(in);
+  IqBuffer out_chunked;
+  for (std::size_t start = 0; start < in.size(); start += 200) {
+    const IqBuffer chunk(in.begin() + start, in.begin() + start + 200);
+    const IqBuffer part = chunked.process(chunk);
+    out_chunked.insert(out_chunked.end(), part.begin(), part.end());
+  }
+  ASSERT_NEAR(static_cast<double>(out_chunked.size()),
+              static_cast<double>(out_whole.size()), 3.0);
+  const std::size_t n = std::min(out_whole.size(), out_chunked.size());
+  for (std::size_t i = 0; i < n; ++i) {
+    EXPECT_NEAR(out_chunked[i].real(), out_whole[i].real(), 1e-3f);
+  }
+}
+
+TEST(Resampler, InvalidRatioThrows) {
+  EXPECT_THROW(Resampler(0.0), std::invalid_argument);
+  EXPECT_THROW(Resampler(-1.0), std::invalid_argument);
+}
+
+TEST(Resampler, ResetClearsHistory) {
+  Resampler rs(1.0);
+  (void)rs.process(tone(100, 0.01));
+  rs.reset();
+  const IqBuffer out = rs.process(tone(100, 0.01));
+  EXPECT_EQ(out.size(), 99u);  // same as a fresh resampler
+}
+
+TEST(Agc, ConvergesToTargetPower) {
+  Agc agc(1.0f, 0.5f);
+  for (int i = 0; i < 20; ++i) {
+    IqBuffer weak = tone(256, 0.01, 0.05f);
+    agc.process(weak);
+    if (i == 19) {
+      float power = 0.0f;
+      for (const auto& s : weak) {
+        power += std::norm(s);
+      }
+      EXPECT_NEAR(power / 256.0f, 1.0f, 0.1f);
+    }
+  }
+}
+
+TEST(Agc, AttenuatesStrongSignal) {
+  Agc agc(1.0f, 1.0f);
+  IqBuffer strong = tone(128, 0.01, 10.0f);
+  agc.process(strong);
+  EXPECT_LT(agc.gain(), 1.0f);
+}
+
+TEST(Agc, EmptyBlockIsSafe) {
+  Agc agc;
+  IqBuffer empty;
+  agc.process(empty);
+  EXPECT_FLOAT_EQ(agc.gain(), 1.0f);
+}
+
+TEST(Agc, SilenceDoesNotBlowUpGain) {
+  Agc agc(1.0f, 0.5f);
+  IqBuffer silence(128, cf32{});
+  agc.process(silence);
+  EXPECT_FLOAT_EQ(agc.gain(), 1.0f);  // no update on zero power
+}
+
+}  // namespace
+}  // namespace nrs

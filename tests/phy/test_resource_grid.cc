@@ -1,0 +1,59 @@
+#include "phy/resource_grid.h"
+
+#include <gtest/gtest.h>
+
+namespace nrs {
+namespace {
+
+TEST(ResourceGrid, Dimensions) {
+  const ResourceGrid grid(51);
+  EXPECT_EQ(grid.n_prb(), 51u);
+  EXPECT_EQ(grid.n_subcarriers(), 612u);
+  EXPECT_EQ(grid.n_symbols(), kSymbolsPerSlot);
+}
+
+TEST(ResourceGrid, RejectsEmpty) {
+  EXPECT_THROW(ResourceGrid(0), std::invalid_argument);
+}
+
+TEST(ResourceGrid, OutOfRangeThrows) {
+  ResourceGrid grid(10);
+  EXPECT_THROW(grid.at(14, 0), std::out_of_range);
+  EXPECT_THROW(grid.at(0, 120), std::out_of_range);
+  EXPECT_THROW(grid.symbol(14), std::out_of_range);
+}
+
+TEST(ResourceGrid, WriteReadRoundTrip) {
+  ResourceGrid grid(10);
+  grid.at(3, 55) = cf32(1.5f, -2.5f);
+  EXPECT_EQ(grid.at(3, 55), cf32(1.5f, -2.5f));
+  EXPECT_EQ(grid.symbol(3)[55], cf32(1.5f, -2.5f));
+}
+
+TEST(ResourceGrid, ClearZeroes) {
+  ResourceGrid grid(4);
+  grid.at(0, 0) = cf32(1.0f, 1.0f);
+  grid.clear();
+  EXPECT_NEAR(grid.energy(), 0.0f, 1e-12f);
+}
+
+TEST(ResourceGrid, EnergySumsSquares) {
+  ResourceGrid grid(4);
+  grid.at(0, 0) = cf32(3.0f, 4.0f);  // |.|^2 = 25
+  grid.at(5, 7) = cf32(1.0f, 0.0f);  // |.|^2 = 1
+  EXPECT_NEAR(grid.energy(), 26.0f, 1e-5f);
+}
+
+TEST(ResourceGrid, CountOccupied) {
+  ResourceGrid grid(4);
+  for (unsigned sc = 12; sc < 24; ++sc) {
+    grid.at(2, sc) = cf32(1.0f, 0.0f);
+  }
+  EXPECT_EQ(grid.count_occupied(2, 1, 1), 12u);
+  EXPECT_EQ(grid.count_occupied(2, 0, 1), 0u);
+  EXPECT_EQ(grid.count_occupied(2, 0, 4), 12u);
+  EXPECT_EQ(grid.count_occupied(3, 0, 4), 0u);
+}
+
+}  // namespace
+}  // namespace nrs

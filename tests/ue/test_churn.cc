@@ -1,0 +1,87 @@
+#include "ue/churn.h"
+
+#include <gtest/gtest.h>
+
+#include "common/stats.h"
+
+namespace nrs {
+namespace {
+
+TEST(Churn, ArrivalCountMatchesRate) {
+  ChurnConfig cfg;
+  cfg.arrival_rate_per_s = 0.8;
+  cfg.duration_s = 600.0;
+  cfg.seed = 1;
+  const auto sessions = generate_churn(cfg);
+  // Poisson(480): expect within ~4 sigma.
+  EXPECT_GT(sessions.size(), 380u);
+  EXPECT_LT(sessions.size(), 580u);
+}
+
+TEST(Churn, PaperDwellShape) {
+  // Paper section 5.3.1: "90 percent of UEs stay in the RAN for less than
+  // 35 seconds".
+  ChurnConfig cfg;
+  cfg.seed = 2;
+  const auto sessions = generate_churn(cfg);
+  SampleSet dwell;
+  for (const auto& s : sessions) {
+    dwell.add(s.dwell_s());
+  }
+  EXPECT_LT(dwell.percentile(90), 60.0);
+  EXPECT_GT(dwell.percentile(90), 10.0);
+  EXPECT_GT(dwell.max(), dwell.percentile(90) * 2)
+      << "heavy tail of long sessions";
+}
+
+TEST(Churn, SessionsStayInWindow) {
+  ChurnConfig cfg;
+  cfg.seed = 3;
+  const auto sessions = generate_churn(cfg);
+  for (const auto& s : sessions) {
+    EXPECT_GE(s.arrival_s, 0.0);
+    EXPECT_LE(s.departure_s, cfg.duration_s);
+    EXPECT_GT(s.dwell_s(), 0.0);
+  }
+}
+
+TEST(Churn, DeterministicPerSeed) {
+  ChurnConfig cfg;
+  cfg.seed = 9;
+  const auto a = generate_churn(cfg);
+  const auto b = generate_churn(cfg);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a[i].arrival_s, b[i].arrival_s);
+  }
+}
+
+TEST(Churn, ActiveCountsConsistent) {
+  ChurnConfig cfg;
+  cfg.seed = 4;
+  cfg.duration_s = 100.0;
+  const auto sessions = generate_churn(cfg);
+  const auto per_second = active_counts(sessions, cfg.duration_s, 1.0);
+  const auto per_minute = active_counts(sessions, cfg.duration_s, 60.0);
+  ASSERT_EQ(per_second.size(), 100u);
+  ASSERT_EQ(per_minute.size(), 2u);
+  // A minute bin sees at least as many distinct-active UEs as any of its
+  // second bins.
+  unsigned max_second = 0;
+  for (std::size_t i = 0; i < 60; ++i) {
+    max_second = std::max(max_second, per_second[i]);
+  }
+  EXPECT_GE(per_minute[0], max_second);
+}
+
+TEST(Churn, ActiveCountCoversSession) {
+  std::vector<ChurnSession> sessions = {{5.0, 8.0}};
+  const auto counts = active_counts(sessions, 10.0, 1.0);
+  for (std::size_t bin = 0; bin < counts.size(); ++bin) {
+    const bool active = bin >= 5 && bin <= 8;
+    EXPECT_EQ(counts[bin], active ? 1u : 0u) << "bin " << bin;
+  }
+}
+
+}  // namespace
+}  // namespace nrs

@@ -1,0 +1,86 @@
+#include "ue/traffic.h"
+
+#include <gtest/gtest.h>
+
+namespace nrs {
+namespace {
+
+TEST(Traffic, FullBufferNeverEmpties) {
+  FullBufferSource source;
+  source.advance(1.0);
+  EXPECT_TRUE(source.is_full_buffer());
+  EXPECT_GT(source.backlog_bytes(), 1u << 20);
+  (void)source.drain(500000);
+  source.advance(2.0);
+  EXPECT_GT(source.backlog_bytes(), 1u << 20);
+}
+
+TEST(Traffic, CbrRateIsAccurate) {
+  CbrSource source(8e6);  // 1 MB/s
+  source.advance(2.0);
+  EXPECT_NEAR(static_cast<double>(source.backlog_bytes()), 2e6, 2e4);
+}
+
+TEST(Traffic, CbrPacketization) {
+  CbrSource source(8e6, 1000);
+  source.advance(0.01);  // 10 KB -> 10 packets
+  const DrainResult r = source.drain(100000);
+  EXPECT_EQ(r.packets_completed, 10u);
+  EXPECT_EQ(r.bytes, 10000u);
+}
+
+TEST(Traffic, DrainPartialPacket) {
+  CbrSource source(8e6, 1000);
+  source.advance(0.001);  // one packet
+  DrainResult r = source.drain(400);
+  EXPECT_EQ(r.bytes, 400u);
+  EXPECT_EQ(r.packets_completed, 0u);  // 600 bytes still pending
+  r = source.drain(10000);
+  EXPECT_EQ(r.bytes, 600u);
+  EXPECT_EQ(r.packets_completed, 1u);
+}
+
+TEST(Traffic, AdvanceIsMonotone) {
+  CbrSource source(8e6);
+  source.advance(1.0);
+  const std::size_t backlog = source.backlog_bytes();
+  source.advance(0.5);  // going backwards must be a no-op
+  EXPECT_EQ(source.backlog_bytes(), backlog);
+}
+
+TEST(Traffic, VideoOnOffPattern) {
+  VideoSource source(4e6, 1, 30.0, /*on_s=*/1.0, /*off_s=*/1.0);
+  source.advance(1.0);  // the "on" second
+  const std::size_t after_on = source.backlog_bytes();
+  EXPECT_GT(after_on, 300000u);  // ~ 500 KB at 4 Mbit/s
+  source.advance(2.0);  // the "off" second adds nothing
+  EXPECT_EQ(source.backlog_bytes(), after_on);
+  source.advance(2.5);  // back on
+  EXPECT_GT(source.backlog_bytes(), after_on);
+}
+
+TEST(Traffic, DownloadBurstsThenIdles) {
+  FileDownloadSource source(100000, 10.0, 3);
+  source.advance(0.01);
+  EXPECT_GE(source.backlog_bytes(), 100000u);
+  const std::size_t first = source.backlog_bytes();
+  source.advance(1.0);  // within think time
+  EXPECT_EQ(source.backlog_bytes(), first);
+}
+
+TEST(Traffic, PoissonMeanRate) {
+  PoissonSource source(100.0, 1000, 7);  // ~100 KB/s
+  source.advance(10.0);
+  EXPECT_NEAR(static_cast<double>(source.backlog_bytes()), 1e6, 3e5);
+}
+
+TEST(Traffic, PoissonDeterministicPerSeed) {
+  PoissonSource a(50.0, 800, 42);
+  PoissonSource b(50.0, 800, 42);
+  a.advance(1.0);
+  b.advance(1.0);
+  EXPECT_EQ(a.backlog_bytes(), b.backlog_bytes());
+}
+
+}  // namespace
+}  // namespace nrs

@@ -1,0 +1,116 @@
+#include "ue/ue_sim.h"
+
+#include <gtest/gtest.h>
+
+namespace nrs {
+namespace {
+
+Grant grant_with(Modulation mod, double code_rate, unsigned tbs = 8000) {
+  Grant grant;
+  grant.modulation = mod;
+  grant.code_rate = code_rate;
+  grant.tbs = tbs;
+  return grant;
+}
+
+UeConfig base_config(double snr_db) {
+  UeConfig cfg;
+  cfg.channel.snr_db = snr_db;
+  cfg.channel.profile = ChannelProfile::kAwgn;
+  cfg.seed = 5;
+  return cfg;
+}
+
+TEST(Bler, MonotoneInSnr) {
+  double prev = 1.0;
+  for (double snr = -5.0; snr <= 30.0; snr += 2.0) {
+    const double bler = block_error_probability(snr, 2.0);
+    EXPECT_LE(bler, prev);
+    prev = bler;
+  }
+}
+
+TEST(Bler, MonotoneInEfficiency) {
+  double prev = 0.0;
+  for (double eff = 0.2; eff < 7.0; eff += 0.5) {
+    const double bler = block_error_probability(15.0, eff);
+    EXPECT_GE(bler, prev - 1e-12);
+    prev = bler;
+  }
+}
+
+TEST(Bler, ExtremesAreClamped) {
+  EXPECT_GT(block_error_probability(100.0, 1.0), 0.0);
+  EXPECT_LT(block_error_probability(-100.0, 6.0), 1.0);
+}
+
+TEST(UeSim, GoodLinkMostlyAcks) {
+  UeEmulator ue(base_config(30.0));
+  int acks = 0;
+  for (int i = 0; i < 200; ++i) {
+    acks += ue.decide_ack(grant_with(Modulation::kQpsk, 0.3));
+  }
+  EXPECT_GT(acks, 195);
+}
+
+TEST(UeSim, BadLinkMostlyNacks) {
+  UeEmulator ue(base_config(-5.0));
+  int acks = 0;
+  for (int i = 0; i < 200; ++i) {
+    acks += ue.decide_ack(grant_with(Modulation::kQam256, 0.92));
+  }
+  EXPECT_LT(acks, 10);
+}
+
+TEST(UeSim, TraceAccumulates) {
+  UeEmulator ue(base_config(20.0));
+  ue.deliver(10, 1500, 1);
+  ue.deliver(11, 3000, 2);
+  EXPECT_EQ(ue.trace().total_bytes(), 4500u);
+  ASSERT_EQ(ue.trace().entries().size(), 2u);
+  EXPECT_EQ(ue.trace().entries()[1].packets, 2u);
+}
+
+TEST(UeSim, TraceWindowedRate) {
+  PacketTrace trace;
+  // 1000 bytes per slot for slots 0..99.
+  for (std::uint64_t s = 0; s < 100; ++s) {
+    trace.record(s, 1000, 1);
+  }
+  // Window of 100 slots at 0.5 ms: 100 KB over 50 ms = 16 Mbit/s.
+  EXPECT_NEAR(trace.rate_bps(100, 100, 0.0005), 16e6, 1e3);
+  // Empty window after the traffic stopped.
+  EXPECT_NEAR(trace.rate_bps(300, 100, 0.0005), 0.0, 1e-9);
+}
+
+TEST(UeSim, CqiQuantization) {
+  UeConfig cfg = base_config(20.3);
+  UeEmulator ue(std::move(cfg));
+  const double reported = ue.reported_snr_db();
+  EXPECT_NEAR(reported, 20.5, 0.26);  // 0.5 dB step
+  EXPECT_DOUBLE_EQ(reported * 2.0, std::round(reported * 2.0));
+}
+
+TEST(UeSim, StepAdvancesTraffic) {
+  UeConfig cfg = base_config(20.0);
+  cfg.dl_traffic = std::make_unique<CbrSource>(8e6);
+  UeEmulator ue(std::move(cfg));
+  ue.step(0, 1.0);
+  EXPECT_GT(ue.dl_traffic()->backlog_bytes(), 900000u);
+}
+
+TEST(UeSim, FadingChannelChangesSnr) {
+  UeConfig cfg = base_config(20.0);
+  cfg.channel.profile = ChannelProfile::kVehicle;
+  UeEmulator ue(std::move(cfg));
+  const double first = ue.snr_db();
+  double max_dev = 0.0;
+  for (int i = 0; i < 50; ++i) {
+    ue.step(i, i * 0.0005);
+    max_dev = std::max(max_dev, std::abs(ue.snr_db() - first));
+  }
+  EXPECT_GT(max_dev, 1.0) << "vehicular fading should move the SNR";
+}
+
+}  // namespace
+}  // namespace nrs
