@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_dedupe.dir/bench_ablation_dedupe.cc.o"
+  "CMakeFiles/bench_ablation_dedupe.dir/bench_ablation_dedupe.cc.o.d"
+  "bench_ablation_dedupe"
+  "bench_ablation_dedupe.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_dedupe.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

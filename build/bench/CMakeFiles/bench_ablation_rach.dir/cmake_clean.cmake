@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_rach.dir/bench_ablation_rach.cc.o"
+  "CMakeFiles/bench_ablation_rach.dir/bench_ablation_rach.cc.o.d"
+  "bench_ablation_rach"
+  "bench_ablation_rach.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_rach.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_window.dir/bench_ablation_window.cc.o"
+  "CMakeFiles/bench_ablation_window.dir/bench_ablation_window.cc.o.d"
+  "bench_ablation_window"
+  "bench_ablation_window.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_window.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

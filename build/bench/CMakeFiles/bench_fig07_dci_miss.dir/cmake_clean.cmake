@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig07_dci_miss.dir/bench_fig07_dci_miss.cc.o"
+  "CMakeFiles/bench_fig07_dci_miss.dir/bench_fig07_dci_miss.cc.o.d"
+  "bench_fig07_dci_miss"
+  "bench_fig07_dci_miss.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig07_dci_miss.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

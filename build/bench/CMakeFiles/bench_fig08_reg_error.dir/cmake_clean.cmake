@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig08_reg_error.dir/bench_fig08_reg_error.cc.o"
+  "CMakeFiles/bench_fig08_reg_error.dir/bench_fig08_reg_error.cc.o.d"
+  "bench_fig08_reg_error"
+  "bench_fig08_reg_error.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig08_reg_error.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

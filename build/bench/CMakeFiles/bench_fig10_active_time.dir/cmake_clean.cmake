@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig10_active_time.dir/bench_fig10_active_time.cc.o"
+  "CMakeFiles/bench_fig10_active_time.dir/bench_fig10_active_time.cc.o.d"
+  "bench_fig10_active_time"
+  "bench_fig10_active_time.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10_active_time.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

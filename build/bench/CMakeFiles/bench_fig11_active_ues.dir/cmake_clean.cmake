@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig11_active_ues.dir/bench_fig11_active_ues.cc.o"
+  "CMakeFiles/bench_fig11_active_ues.dir/bench_fig11_active_ues.cc.o.d"
+  "bench_fig11_active_ues"
+  "bench_fig11_active_ues.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig11_active_ues.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

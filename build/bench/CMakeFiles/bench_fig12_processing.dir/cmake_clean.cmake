@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig12_processing.dir/bench_fig12_processing.cc.o"
+  "CMakeFiles/bench_fig12_processing.dir/bench_fig12_processing.cc.o.d"
+  "bench_fig12_processing"
+  "bench_fig12_processing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig12_processing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

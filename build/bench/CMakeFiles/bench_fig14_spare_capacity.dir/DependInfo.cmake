@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_fig14_spare_capacity.cc" "bench/CMakeFiles/bench_fig14_spare_capacity.dir/bench_fig14_spare_capacity.cc.o" "gcc" "bench/CMakeFiles/bench_fig14_spare_capacity.dir/bench_fig14_spare_capacity.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/bench/CMakeFiles/nrs_bench_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/radio/CMakeFiles/nrs_radio.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/nrs_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/gnb/CMakeFiles/nrs_gnb.dir/DependInfo.cmake"
+  "/root/repo/build/src/ue/CMakeFiles/nrs_ue.dir/DependInfo.cmake"
+  "/root/repo/build/src/nrscope/CMakeFiles/nrs_nrscope.dir/DependInfo.cmake"
+  "/root/repo/build/src/nr/CMakeFiles/nrs_nr.dir/DependInfo.cmake"
+  "/root/repo/build/src/phy/CMakeFiles/nrs_phy.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/nrs_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

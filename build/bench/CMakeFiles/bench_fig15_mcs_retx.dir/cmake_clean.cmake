@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig15_mcs_retx.dir/bench_fig15_mcs_retx.cc.o"
+  "CMakeFiles/bench_fig15_mcs_retx.dir/bench_fig15_mcs_retx.cc.o.d"
+  "bench_fig15_mcs_retx"
+  "bench_fig15_mcs_retx.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig15_mcs_retx.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

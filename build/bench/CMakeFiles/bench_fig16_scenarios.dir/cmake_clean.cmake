@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig16_scenarios.dir/bench_fig16_scenarios.cc.o"
+  "CMakeFiles/bench_fig16_scenarios.dir/bench_fig16_scenarios.cc.o.d"
+  "bench_fig16_scenarios"
+  "bench_fig16_scenarios.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig16_scenarios.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

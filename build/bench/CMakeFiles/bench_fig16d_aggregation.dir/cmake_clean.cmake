@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig16d_aggregation.dir/bench_fig16d_aggregation.cc.o"
+  "CMakeFiles/bench_fig16d_aggregation.dir/bench_fig16d_aggregation.cc.o.d"
+  "bench_fig16d_aggregation"
+  "bench_fig16d_aggregation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig16d_aggregation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_micro_phy.dir/bench_micro_phy.cc.o"
+  "CMakeFiles/bench_micro_phy.dir/bench_micro_phy.cc.o.d"
+  "bench_micro_phy"
+  "bench_micro_phy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_micro_phy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../lib/libnrs_bench_util.a"
+  "../lib/libnrs_bench_util.pdb"
+  "CMakeFiles/nrs_bench_util.dir/bench_util.cc.o"
+  "CMakeFiles/nrs_bench_util.dir/bench_util.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nrs_bench_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

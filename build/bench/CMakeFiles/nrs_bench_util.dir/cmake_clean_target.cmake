@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "../lib/libnrs_bench_util.a"
+)

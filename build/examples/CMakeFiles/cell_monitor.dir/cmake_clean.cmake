@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cell_monitor.dir/cell_monitor.cpp.o"
+  "CMakeFiles/cell_monitor.dir/cell_monitor.cpp.o.d"
+  "cell_monitor"
+  "cell_monitor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cell_monitor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/congestion_feedback.dir/congestion_feedback.cpp.o"
+  "CMakeFiles/congestion_feedback.dir/congestion_feedback.cpp.o.d"
+  "congestion_feedback"
+  "congestion_feedback.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/congestion_feedback.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/offline_replay.cpp" "examples/CMakeFiles/offline_replay.dir/offline_replay.cpp.o" "gcc" "examples/CMakeFiles/offline_replay.dir/offline_replay.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/nrs_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/phy/CMakeFiles/nrs_phy.dir/DependInfo.cmake"
+  "/root/repo/build/src/nr/CMakeFiles/nrs_nr.dir/DependInfo.cmake"
+  "/root/repo/build/src/gnb/CMakeFiles/nrs_gnb.dir/DependInfo.cmake"
+  "/root/repo/build/src/ue/CMakeFiles/nrs_ue.dir/DependInfo.cmake"
+  "/root/repo/build/src/radio/CMakeFiles/nrs_radio.dir/DependInfo.cmake"
+  "/root/repo/build/src/nrscope/CMakeFiles/nrs_nrscope.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

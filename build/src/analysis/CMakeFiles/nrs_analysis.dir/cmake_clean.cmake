@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nrs_analysis.dir/matching.cc.o"
+  "CMakeFiles/nrs_analysis.dir/matching.cc.o.d"
+  "libnrs_analysis.a"
+  "libnrs_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nrs_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/common/bit_io.cc" "src/common/CMakeFiles/nrs_common.dir/bit_io.cc.o" "gcc" "src/common/CMakeFiles/nrs_common.dir/bit_io.cc.o.d"
+  "/root/repo/src/common/crc.cc" "src/common/CMakeFiles/nrs_common.dir/crc.cc.o" "gcc" "src/common/CMakeFiles/nrs_common.dir/crc.cc.o.d"
+  "/root/repo/src/common/gold.cc" "src/common/CMakeFiles/nrs_common.dir/gold.cc.o" "gcc" "src/common/CMakeFiles/nrs_common.dir/gold.cc.o.d"
+  "/root/repo/src/common/log.cc" "src/common/CMakeFiles/nrs_common.dir/log.cc.o" "gcc" "src/common/CMakeFiles/nrs_common.dir/log.cc.o.d"
+  "/root/repo/src/common/stats.cc" "src/common/CMakeFiles/nrs_common.dir/stats.cc.o" "gcc" "src/common/CMakeFiles/nrs_common.dir/stats.cc.o.d"
+  "/root/repo/src/common/timing.cc" "src/common/CMakeFiles/nrs_common.dir/timing.cc.o" "gcc" "src/common/CMakeFiles/nrs_common.dir/timing.cc.o.d"
+  "/root/repo/src/common/worker_pool.cc" "src/common/CMakeFiles/nrs_common.dir/worker_pool.cc.o" "gcc" "src/common/CMakeFiles/nrs_common.dir/worker_pool.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nrs_common.dir/bit_io.cc.o"
+  "CMakeFiles/nrs_common.dir/bit_io.cc.o.d"
+  "CMakeFiles/nrs_common.dir/crc.cc.o"
+  "CMakeFiles/nrs_common.dir/crc.cc.o.d"
+  "CMakeFiles/nrs_common.dir/gold.cc.o"
+  "CMakeFiles/nrs_common.dir/gold.cc.o.d"
+  "CMakeFiles/nrs_common.dir/log.cc.o"
+  "CMakeFiles/nrs_common.dir/log.cc.o.d"
+  "CMakeFiles/nrs_common.dir/stats.cc.o"
+  "CMakeFiles/nrs_common.dir/stats.cc.o.d"
+  "CMakeFiles/nrs_common.dir/timing.cc.o"
+  "CMakeFiles/nrs_common.dir/timing.cc.o.d"
+  "CMakeFiles/nrs_common.dir/worker_pool.cc.o"
+  "CMakeFiles/nrs_common.dir/worker_pool.cc.o.d"
+  "libnrs_common.a"
+  "libnrs_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nrs_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

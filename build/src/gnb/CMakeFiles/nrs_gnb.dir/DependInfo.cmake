@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/gnb/gnb_sim.cc" "src/gnb/CMakeFiles/nrs_gnb.dir/gnb_sim.cc.o" "gcc" "src/gnb/CMakeFiles/nrs_gnb.dir/gnb_sim.cc.o.d"
+  "/root/repo/src/gnb/ground_truth.cc" "src/gnb/CMakeFiles/nrs_gnb.dir/ground_truth.cc.o" "gcc" "src/gnb/CMakeFiles/nrs_gnb.dir/ground_truth.cc.o.d"
+  "/root/repo/src/gnb/presets.cc" "src/gnb/CMakeFiles/nrs_gnb.dir/presets.cc.o" "gcc" "src/gnb/CMakeFiles/nrs_gnb.dir/presets.cc.o.d"
+  "/root/repo/src/gnb/scheduler.cc" "src/gnb/CMakeFiles/nrs_gnb.dir/scheduler.cc.o" "gcc" "src/gnb/CMakeFiles/nrs_gnb.dir/scheduler.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/nrs_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/phy/CMakeFiles/nrs_phy.dir/DependInfo.cmake"
+  "/root/repo/build/src/nr/CMakeFiles/nrs_nr.dir/DependInfo.cmake"
+  "/root/repo/build/src/ue/CMakeFiles/nrs_ue.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nrs_gnb.dir/gnb_sim.cc.o"
+  "CMakeFiles/nrs_gnb.dir/gnb_sim.cc.o.d"
+  "CMakeFiles/nrs_gnb.dir/ground_truth.cc.o"
+  "CMakeFiles/nrs_gnb.dir/ground_truth.cc.o.d"
+  "CMakeFiles/nrs_gnb.dir/presets.cc.o"
+  "CMakeFiles/nrs_gnb.dir/presets.cc.o.d"
+  "CMakeFiles/nrs_gnb.dir/scheduler.cc.o"
+  "CMakeFiles/nrs_gnb.dir/scheduler.cc.o.d"
+  "libnrs_gnb.a"
+  "libnrs_gnb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nrs_gnb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/nr/coreset.cc" "src/nr/CMakeFiles/nrs_nr.dir/coreset.cc.o" "gcc" "src/nr/CMakeFiles/nrs_nr.dir/coreset.cc.o.d"
+  "/root/repo/src/nr/dci.cc" "src/nr/CMakeFiles/nrs_nr.dir/dci.cc.o" "gcc" "src/nr/CMakeFiles/nrs_nr.dir/dci.cc.o.d"
+  "/root/repo/src/nr/grant.cc" "src/nr/CMakeFiles/nrs_nr.dir/grant.cc.o" "gcc" "src/nr/CMakeFiles/nrs_nr.dir/grant.cc.o.d"
+  "/root/repo/src/nr/harq.cc" "src/nr/CMakeFiles/nrs_nr.dir/harq.cc.o" "gcc" "src/nr/CMakeFiles/nrs_nr.dir/harq.cc.o.d"
+  "/root/repo/src/nr/mcs_tables.cc" "src/nr/CMakeFiles/nrs_nr.dir/mcs_tables.cc.o" "gcc" "src/nr/CMakeFiles/nrs_nr.dir/mcs_tables.cc.o.d"
+  "/root/repo/src/nr/mib.cc" "src/nr/CMakeFiles/nrs_nr.dir/mib.cc.o" "gcc" "src/nr/CMakeFiles/nrs_nr.dir/mib.cc.o.d"
+  "/root/repo/src/nr/pdcch.cc" "src/nr/CMakeFiles/nrs_nr.dir/pdcch.cc.o" "gcc" "src/nr/CMakeFiles/nrs_nr.dir/pdcch.cc.o.d"
+  "/root/repo/src/nr/pdsch.cc" "src/nr/CMakeFiles/nrs_nr.dir/pdsch.cc.o" "gcc" "src/nr/CMakeFiles/nrs_nr.dir/pdsch.cc.o.d"
+  "/root/repo/src/nr/rach.cc" "src/nr/CMakeFiles/nrs_nr.dir/rach.cc.o" "gcc" "src/nr/CMakeFiles/nrs_nr.dir/rach.cc.o.d"
+  "/root/repo/src/nr/rrc.cc" "src/nr/CMakeFiles/nrs_nr.dir/rrc.cc.o" "gcc" "src/nr/CMakeFiles/nrs_nr.dir/rrc.cc.o.d"
+  "/root/repo/src/nr/sib1.cc" "src/nr/CMakeFiles/nrs_nr.dir/sib1.cc.o" "gcc" "src/nr/CMakeFiles/nrs_nr.dir/sib1.cc.o.d"
+  "/root/repo/src/nr/tbs.cc" "src/nr/CMakeFiles/nrs_nr.dir/tbs.cc.o" "gcc" "src/nr/CMakeFiles/nrs_nr.dir/tbs.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/nrs_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/phy/CMakeFiles/nrs_phy.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

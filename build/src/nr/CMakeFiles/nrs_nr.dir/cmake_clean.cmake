@@ -1,0 +1,33 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nrs_nr.dir/coreset.cc.o"
+  "CMakeFiles/nrs_nr.dir/coreset.cc.o.d"
+  "CMakeFiles/nrs_nr.dir/dci.cc.o"
+  "CMakeFiles/nrs_nr.dir/dci.cc.o.d"
+  "CMakeFiles/nrs_nr.dir/grant.cc.o"
+  "CMakeFiles/nrs_nr.dir/grant.cc.o.d"
+  "CMakeFiles/nrs_nr.dir/harq.cc.o"
+  "CMakeFiles/nrs_nr.dir/harq.cc.o.d"
+  "CMakeFiles/nrs_nr.dir/mcs_tables.cc.o"
+  "CMakeFiles/nrs_nr.dir/mcs_tables.cc.o.d"
+  "CMakeFiles/nrs_nr.dir/mib.cc.o"
+  "CMakeFiles/nrs_nr.dir/mib.cc.o.d"
+  "CMakeFiles/nrs_nr.dir/pdcch.cc.o"
+  "CMakeFiles/nrs_nr.dir/pdcch.cc.o.d"
+  "CMakeFiles/nrs_nr.dir/pdsch.cc.o"
+  "CMakeFiles/nrs_nr.dir/pdsch.cc.o.d"
+  "CMakeFiles/nrs_nr.dir/rach.cc.o"
+  "CMakeFiles/nrs_nr.dir/rach.cc.o.d"
+  "CMakeFiles/nrs_nr.dir/rrc.cc.o"
+  "CMakeFiles/nrs_nr.dir/rrc.cc.o.d"
+  "CMakeFiles/nrs_nr.dir/sib1.cc.o"
+  "CMakeFiles/nrs_nr.dir/sib1.cc.o.d"
+  "CMakeFiles/nrs_nr.dir/tbs.cc.o"
+  "CMakeFiles/nrs_nr.dir/tbs.cc.o.d"
+  "libnrs_nr.a"
+  "libnrs_nr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nrs_nr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for nrs_nr.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/nrscope/dci_decoder.cc" "src/nrscope/CMakeFiles/nrs_nrscope.dir/dci_decoder.cc.o" "gcc" "src/nrscope/CMakeFiles/nrs_nrscope.dir/dci_decoder.cc.o.d"
+  "/root/repo/src/nrscope/log_writer.cc" "src/nrscope/CMakeFiles/nrs_nrscope.dir/log_writer.cc.o" "gcc" "src/nrscope/CMakeFiles/nrs_nrscope.dir/log_writer.cc.o.d"
+  "/root/repo/src/nrscope/nrscope.cc" "src/nrscope/CMakeFiles/nrs_nrscope.dir/nrscope.cc.o" "gcc" "src/nrscope/CMakeFiles/nrs_nrscope.dir/nrscope.cc.o.d"
+  "/root/repo/src/nrscope/pipeline.cc" "src/nrscope/CMakeFiles/nrs_nrscope.dir/pipeline.cc.o" "gcc" "src/nrscope/CMakeFiles/nrs_nrscope.dir/pipeline.cc.o.d"
+  "/root/repo/src/nrscope/rach_tracker.cc" "src/nrscope/CMakeFiles/nrs_nrscope.dir/rach_tracker.cc.o" "gcc" "src/nrscope/CMakeFiles/nrs_nrscope.dir/rach_tracker.cc.o.d"
+  "/root/repo/src/nrscope/telemetry.cc" "src/nrscope/CMakeFiles/nrs_nrscope.dir/telemetry.cc.o" "gcc" "src/nrscope/CMakeFiles/nrs_nrscope.dir/telemetry.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/nrs_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/phy/CMakeFiles/nrs_phy.dir/DependInfo.cmake"
+  "/root/repo/build/src/nr/CMakeFiles/nrs_nr.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nrs_nrscope.dir/dci_decoder.cc.o"
+  "CMakeFiles/nrs_nrscope.dir/dci_decoder.cc.o.d"
+  "CMakeFiles/nrs_nrscope.dir/log_writer.cc.o"
+  "CMakeFiles/nrs_nrscope.dir/log_writer.cc.o.d"
+  "CMakeFiles/nrs_nrscope.dir/nrscope.cc.o"
+  "CMakeFiles/nrs_nrscope.dir/nrscope.cc.o.d"
+  "CMakeFiles/nrs_nrscope.dir/pipeline.cc.o"
+  "CMakeFiles/nrs_nrscope.dir/pipeline.cc.o.d"
+  "CMakeFiles/nrs_nrscope.dir/rach_tracker.cc.o"
+  "CMakeFiles/nrs_nrscope.dir/rach_tracker.cc.o.d"
+  "CMakeFiles/nrs_nrscope.dir/telemetry.cc.o"
+  "CMakeFiles/nrs_nrscope.dir/telemetry.cc.o.d"
+  "libnrs_nrscope.a"
+  "libnrs_nrscope.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nrs_nrscope.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/phy/agc.cc" "src/phy/CMakeFiles/nrs_phy.dir/agc.cc.o" "gcc" "src/phy/CMakeFiles/nrs_phy.dir/agc.cc.o.d"
+  "/root/repo/src/phy/channel.cc" "src/phy/CMakeFiles/nrs_phy.dir/channel.cc.o" "gcc" "src/phy/CMakeFiles/nrs_phy.dir/channel.cc.o.d"
+  "/root/repo/src/phy/chest.cc" "src/phy/CMakeFiles/nrs_phy.dir/chest.cc.o" "gcc" "src/phy/CMakeFiles/nrs_phy.dir/chest.cc.o.d"
+  "/root/repo/src/phy/conv_code.cc" "src/phy/CMakeFiles/nrs_phy.dir/conv_code.cc.o" "gcc" "src/phy/CMakeFiles/nrs_phy.dir/conv_code.cc.o.d"
+  "/root/repo/src/phy/fft.cc" "src/phy/CMakeFiles/nrs_phy.dir/fft.cc.o" "gcc" "src/phy/CMakeFiles/nrs_phy.dir/fft.cc.o.d"
+  "/root/repo/src/phy/modulation.cc" "src/phy/CMakeFiles/nrs_phy.dir/modulation.cc.o" "gcc" "src/phy/CMakeFiles/nrs_phy.dir/modulation.cc.o.d"
+  "/root/repo/src/phy/ofdm.cc" "src/phy/CMakeFiles/nrs_phy.dir/ofdm.cc.o" "gcc" "src/phy/CMakeFiles/nrs_phy.dir/ofdm.cc.o.d"
+  "/root/repo/src/phy/polar.cc" "src/phy/CMakeFiles/nrs_phy.dir/polar.cc.o" "gcc" "src/phy/CMakeFiles/nrs_phy.dir/polar.cc.o.d"
+  "/root/repo/src/phy/pss.cc" "src/phy/CMakeFiles/nrs_phy.dir/pss.cc.o" "gcc" "src/phy/CMakeFiles/nrs_phy.dir/pss.cc.o.d"
+  "/root/repo/src/phy/resampler.cc" "src/phy/CMakeFiles/nrs_phy.dir/resampler.cc.o" "gcc" "src/phy/CMakeFiles/nrs_phy.dir/resampler.cc.o.d"
+  "/root/repo/src/phy/resource_grid.cc" "src/phy/CMakeFiles/nrs_phy.dir/resource_grid.cc.o" "gcc" "src/phy/CMakeFiles/nrs_phy.dir/resource_grid.cc.o.d"
+  "/root/repo/src/phy/sss.cc" "src/phy/CMakeFiles/nrs_phy.dir/sss.cc.o" "gcc" "src/phy/CMakeFiles/nrs_phy.dir/sss.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/nrs_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,33 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nrs_phy.dir/agc.cc.o"
+  "CMakeFiles/nrs_phy.dir/agc.cc.o.d"
+  "CMakeFiles/nrs_phy.dir/channel.cc.o"
+  "CMakeFiles/nrs_phy.dir/channel.cc.o.d"
+  "CMakeFiles/nrs_phy.dir/chest.cc.o"
+  "CMakeFiles/nrs_phy.dir/chest.cc.o.d"
+  "CMakeFiles/nrs_phy.dir/conv_code.cc.o"
+  "CMakeFiles/nrs_phy.dir/conv_code.cc.o.d"
+  "CMakeFiles/nrs_phy.dir/fft.cc.o"
+  "CMakeFiles/nrs_phy.dir/fft.cc.o.d"
+  "CMakeFiles/nrs_phy.dir/modulation.cc.o"
+  "CMakeFiles/nrs_phy.dir/modulation.cc.o.d"
+  "CMakeFiles/nrs_phy.dir/ofdm.cc.o"
+  "CMakeFiles/nrs_phy.dir/ofdm.cc.o.d"
+  "CMakeFiles/nrs_phy.dir/polar.cc.o"
+  "CMakeFiles/nrs_phy.dir/polar.cc.o.d"
+  "CMakeFiles/nrs_phy.dir/pss.cc.o"
+  "CMakeFiles/nrs_phy.dir/pss.cc.o.d"
+  "CMakeFiles/nrs_phy.dir/resampler.cc.o"
+  "CMakeFiles/nrs_phy.dir/resampler.cc.o.d"
+  "CMakeFiles/nrs_phy.dir/resource_grid.cc.o"
+  "CMakeFiles/nrs_phy.dir/resource_grid.cc.o.d"
+  "CMakeFiles/nrs_phy.dir/sss.cc.o"
+  "CMakeFiles/nrs_phy.dir/sss.cc.o.d"
+  "libnrs_phy.a"
+  "libnrs_phy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nrs_phy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nrs_radio.dir/virtual_radio.cc.o"
+  "CMakeFiles/nrs_radio.dir/virtual_radio.cc.o.d"
+  "libnrs_radio.a"
+  "libnrs_radio.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nrs_radio.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

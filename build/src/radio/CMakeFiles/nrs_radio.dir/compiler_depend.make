@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for nrs_radio.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ue/churn.cc" "src/ue/CMakeFiles/nrs_ue.dir/churn.cc.o" "gcc" "src/ue/CMakeFiles/nrs_ue.dir/churn.cc.o.d"
+  "/root/repo/src/ue/traffic.cc" "src/ue/CMakeFiles/nrs_ue.dir/traffic.cc.o" "gcc" "src/ue/CMakeFiles/nrs_ue.dir/traffic.cc.o.d"
+  "/root/repo/src/ue/ue_sim.cc" "src/ue/CMakeFiles/nrs_ue.dir/ue_sim.cc.o" "gcc" "src/ue/CMakeFiles/nrs_ue.dir/ue_sim.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/nrs_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/phy/CMakeFiles/nrs_phy.dir/DependInfo.cmake"
+  "/root/repo/build/src/nr/CMakeFiles/nrs_nr.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nrs_ue.dir/churn.cc.o"
+  "CMakeFiles/nrs_ue.dir/churn.cc.o.d"
+  "CMakeFiles/nrs_ue.dir/traffic.cc.o"
+  "CMakeFiles/nrs_ue.dir/traffic.cc.o.d"
+  "CMakeFiles/nrs_ue.dir/ue_sim.cc.o"
+  "CMakeFiles/nrs_ue.dir/ue_sim.cc.o.d"
+  "libnrs_ue.a"
+  "libnrs_ue.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nrs_ue.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

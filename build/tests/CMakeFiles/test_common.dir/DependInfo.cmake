@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/common/test_bit_io.cc" "tests/CMakeFiles/test_common.dir/common/test_bit_io.cc.o" "gcc" "tests/CMakeFiles/test_common.dir/common/test_bit_io.cc.o.d"
+  "/root/repo/tests/common/test_crc.cc" "tests/CMakeFiles/test_common.dir/common/test_crc.cc.o" "gcc" "tests/CMakeFiles/test_common.dir/common/test_crc.cc.o.d"
+  "/root/repo/tests/common/test_gold.cc" "tests/CMakeFiles/test_common.dir/common/test_gold.cc.o" "gcc" "tests/CMakeFiles/test_common.dir/common/test_gold.cc.o.d"
+  "/root/repo/tests/common/test_queue.cc" "tests/CMakeFiles/test_common.dir/common/test_queue.cc.o" "gcc" "tests/CMakeFiles/test_common.dir/common/test_queue.cc.o.d"
+  "/root/repo/tests/common/test_stats.cc" "tests/CMakeFiles/test_common.dir/common/test_stats.cc.o" "gcc" "tests/CMakeFiles/test_common.dir/common/test_stats.cc.o.d"
+  "/root/repo/tests/common/test_timing.cc" "tests/CMakeFiles/test_common.dir/common/test_timing.cc.o" "gcc" "tests/CMakeFiles/test_common.dir/common/test_timing.cc.o.d"
+  "/root/repo/tests/common/test_worker_pool.cc" "tests/CMakeFiles/test_common.dir/common/test_worker_pool.cc.o" "gcc" "tests/CMakeFiles/test_common.dir/common/test_worker_pool.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/nrs_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/phy/CMakeFiles/nrs_phy.dir/DependInfo.cmake"
+  "/root/repo/build/src/nr/CMakeFiles/nrs_nr.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,24 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_common.dir/common/test_bit_io.cc.o"
+  "CMakeFiles/test_common.dir/common/test_bit_io.cc.o.d"
+  "CMakeFiles/test_common.dir/common/test_crc.cc.o"
+  "CMakeFiles/test_common.dir/common/test_crc.cc.o.d"
+  "CMakeFiles/test_common.dir/common/test_gold.cc.o"
+  "CMakeFiles/test_common.dir/common/test_gold.cc.o.d"
+  "CMakeFiles/test_common.dir/common/test_queue.cc.o"
+  "CMakeFiles/test_common.dir/common/test_queue.cc.o.d"
+  "CMakeFiles/test_common.dir/common/test_stats.cc.o"
+  "CMakeFiles/test_common.dir/common/test_stats.cc.o.d"
+  "CMakeFiles/test_common.dir/common/test_timing.cc.o"
+  "CMakeFiles/test_common.dir/common/test_timing.cc.o.d"
+  "CMakeFiles/test_common.dir/common/test_worker_pool.cc.o"
+  "CMakeFiles/test_common.dir/common/test_worker_pool.cc.o.d"
+  "test_common"
+  "test_common.pdb"
+  "test_common[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_gnb.dir/gnb/test_gnb_sim.cc.o"
+  "CMakeFiles/test_gnb.dir/gnb/test_gnb_sim.cc.o.d"
+  "CMakeFiles/test_gnb.dir/gnb/test_ground_truth.cc.o"
+  "CMakeFiles/test_gnb.dir/gnb/test_ground_truth.cc.o.d"
+  "CMakeFiles/test_gnb.dir/gnb/test_presets.cc.o"
+  "CMakeFiles/test_gnb.dir/gnb/test_presets.cc.o.d"
+  "CMakeFiles/test_gnb.dir/gnb/test_scheduler.cc.o"
+  "CMakeFiles/test_gnb.dir/gnb/test_scheduler.cc.o.d"
+  "test_gnb"
+  "test_gnb.pdb"
+  "test_gnb[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_gnb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/nr/test_coreset.cc" "tests/CMakeFiles/test_nr.dir/nr/test_coreset.cc.o" "gcc" "tests/CMakeFiles/test_nr.dir/nr/test_coreset.cc.o.d"
+  "/root/repo/tests/nr/test_dci.cc" "tests/CMakeFiles/test_nr.dir/nr/test_dci.cc.o" "gcc" "tests/CMakeFiles/test_nr.dir/nr/test_dci.cc.o.d"
+  "/root/repo/tests/nr/test_harq.cc" "tests/CMakeFiles/test_nr.dir/nr/test_harq.cc.o" "gcc" "tests/CMakeFiles/test_nr.dir/nr/test_harq.cc.o.d"
+  "/root/repo/tests/nr/test_mcs_tbs.cc" "tests/CMakeFiles/test_nr.dir/nr/test_mcs_tbs.cc.o" "gcc" "tests/CMakeFiles/test_nr.dir/nr/test_mcs_tbs.cc.o.d"
+  "/root/repo/tests/nr/test_messages.cc" "tests/CMakeFiles/test_nr.dir/nr/test_messages.cc.o" "gcc" "tests/CMakeFiles/test_nr.dir/nr/test_messages.cc.o.d"
+  "/root/repo/tests/nr/test_pdcch.cc" "tests/CMakeFiles/test_nr.dir/nr/test_pdcch.cc.o" "gcc" "tests/CMakeFiles/test_nr.dir/nr/test_pdcch.cc.o.d"
+  "/root/repo/tests/nr/test_pdcch_properties.cc" "tests/CMakeFiles/test_nr.dir/nr/test_pdcch_properties.cc.o" "gcc" "tests/CMakeFiles/test_nr.dir/nr/test_pdcch_properties.cc.o.d"
+  "/root/repo/tests/nr/test_pdsch.cc" "tests/CMakeFiles/test_nr.dir/nr/test_pdsch.cc.o" "gcc" "tests/CMakeFiles/test_nr.dir/nr/test_pdsch.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/nrs_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/phy/CMakeFiles/nrs_phy.dir/DependInfo.cmake"
+  "/root/repo/build/src/nr/CMakeFiles/nrs_nr.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

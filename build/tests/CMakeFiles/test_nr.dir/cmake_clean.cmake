@@ -1,0 +1,26 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_nr.dir/nr/test_coreset.cc.o"
+  "CMakeFiles/test_nr.dir/nr/test_coreset.cc.o.d"
+  "CMakeFiles/test_nr.dir/nr/test_dci.cc.o"
+  "CMakeFiles/test_nr.dir/nr/test_dci.cc.o.d"
+  "CMakeFiles/test_nr.dir/nr/test_harq.cc.o"
+  "CMakeFiles/test_nr.dir/nr/test_harq.cc.o.d"
+  "CMakeFiles/test_nr.dir/nr/test_mcs_tbs.cc.o"
+  "CMakeFiles/test_nr.dir/nr/test_mcs_tbs.cc.o.d"
+  "CMakeFiles/test_nr.dir/nr/test_messages.cc.o"
+  "CMakeFiles/test_nr.dir/nr/test_messages.cc.o.d"
+  "CMakeFiles/test_nr.dir/nr/test_pdcch.cc.o"
+  "CMakeFiles/test_nr.dir/nr/test_pdcch.cc.o.d"
+  "CMakeFiles/test_nr.dir/nr/test_pdcch_properties.cc.o"
+  "CMakeFiles/test_nr.dir/nr/test_pdcch_properties.cc.o.d"
+  "CMakeFiles/test_nr.dir/nr/test_pdsch.cc.o"
+  "CMakeFiles/test_nr.dir/nr/test_pdsch.cc.o.d"
+  "test_nr"
+  "test_nr.pdb"
+  "test_nr[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_nr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

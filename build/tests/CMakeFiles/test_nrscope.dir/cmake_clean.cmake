@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_nrscope.dir/nrscope/test_dedupe.cc.o"
+  "CMakeFiles/test_nrscope.dir/nrscope/test_dedupe.cc.o.d"
+  "CMakeFiles/test_nrscope.dir/nrscope/test_pipeline.cc.o"
+  "CMakeFiles/test_nrscope.dir/nrscope/test_pipeline.cc.o.d"
+  "CMakeFiles/test_nrscope.dir/nrscope/test_rach_tracker_unit.cc.o"
+  "CMakeFiles/test_nrscope.dir/nrscope/test_rach_tracker_unit.cc.o.d"
+  "CMakeFiles/test_nrscope.dir/nrscope/test_telemetry.cc.o"
+  "CMakeFiles/test_nrscope.dir/nrscope/test_telemetry.cc.o.d"
+  "test_nrscope"
+  "test_nrscope.pdb"
+  "test_nrscope[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_nrscope.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

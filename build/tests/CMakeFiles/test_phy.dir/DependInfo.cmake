@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/phy/test_channel.cc" "tests/CMakeFiles/test_phy.dir/phy/test_channel.cc.o" "gcc" "tests/CMakeFiles/test_phy.dir/phy/test_channel.cc.o.d"
+  "/root/repo/tests/phy/test_chest.cc" "tests/CMakeFiles/test_phy.dir/phy/test_chest.cc.o" "gcc" "tests/CMakeFiles/test_phy.dir/phy/test_chest.cc.o.d"
+  "/root/repo/tests/phy/test_conv_code.cc" "tests/CMakeFiles/test_phy.dir/phy/test_conv_code.cc.o" "gcc" "tests/CMakeFiles/test_phy.dir/phy/test_conv_code.cc.o.d"
+  "/root/repo/tests/phy/test_fft.cc" "tests/CMakeFiles/test_phy.dir/phy/test_fft.cc.o" "gcc" "tests/CMakeFiles/test_phy.dir/phy/test_fft.cc.o.d"
+  "/root/repo/tests/phy/test_modulation.cc" "tests/CMakeFiles/test_phy.dir/phy/test_modulation.cc.o" "gcc" "tests/CMakeFiles/test_phy.dir/phy/test_modulation.cc.o.d"
+  "/root/repo/tests/phy/test_ofdm.cc" "tests/CMakeFiles/test_phy.dir/phy/test_ofdm.cc.o" "gcc" "tests/CMakeFiles/test_phy.dir/phy/test_ofdm.cc.o.d"
+  "/root/repo/tests/phy/test_polar.cc" "tests/CMakeFiles/test_phy.dir/phy/test_polar.cc.o" "gcc" "tests/CMakeFiles/test_phy.dir/phy/test_polar.cc.o.d"
+  "/root/repo/tests/phy/test_polar_properties.cc" "tests/CMakeFiles/test_phy.dir/phy/test_polar_properties.cc.o" "gcc" "tests/CMakeFiles/test_phy.dir/phy/test_polar_properties.cc.o.d"
+  "/root/repo/tests/phy/test_resampler_agc.cc" "tests/CMakeFiles/test_phy.dir/phy/test_resampler_agc.cc.o" "gcc" "tests/CMakeFiles/test_phy.dir/phy/test_resampler_agc.cc.o.d"
+  "/root/repo/tests/phy/test_resource_grid.cc" "tests/CMakeFiles/test_phy.dir/phy/test_resource_grid.cc.o" "gcc" "tests/CMakeFiles/test_phy.dir/phy/test_resource_grid.cc.o.d"
+  "/root/repo/tests/phy/test_sync.cc" "tests/CMakeFiles/test_phy.dir/phy/test_sync.cc.o" "gcc" "tests/CMakeFiles/test_phy.dir/phy/test_sync.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/nrs_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/phy/CMakeFiles/nrs_phy.dir/DependInfo.cmake"
+  "/root/repo/build/src/nr/CMakeFiles/nrs_nr.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

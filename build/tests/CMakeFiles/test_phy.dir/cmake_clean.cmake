@@ -1,0 +1,32 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_phy.dir/phy/test_channel.cc.o"
+  "CMakeFiles/test_phy.dir/phy/test_channel.cc.o.d"
+  "CMakeFiles/test_phy.dir/phy/test_chest.cc.o"
+  "CMakeFiles/test_phy.dir/phy/test_chest.cc.o.d"
+  "CMakeFiles/test_phy.dir/phy/test_conv_code.cc.o"
+  "CMakeFiles/test_phy.dir/phy/test_conv_code.cc.o.d"
+  "CMakeFiles/test_phy.dir/phy/test_fft.cc.o"
+  "CMakeFiles/test_phy.dir/phy/test_fft.cc.o.d"
+  "CMakeFiles/test_phy.dir/phy/test_modulation.cc.o"
+  "CMakeFiles/test_phy.dir/phy/test_modulation.cc.o.d"
+  "CMakeFiles/test_phy.dir/phy/test_ofdm.cc.o"
+  "CMakeFiles/test_phy.dir/phy/test_ofdm.cc.o.d"
+  "CMakeFiles/test_phy.dir/phy/test_polar.cc.o"
+  "CMakeFiles/test_phy.dir/phy/test_polar.cc.o.d"
+  "CMakeFiles/test_phy.dir/phy/test_polar_properties.cc.o"
+  "CMakeFiles/test_phy.dir/phy/test_polar_properties.cc.o.d"
+  "CMakeFiles/test_phy.dir/phy/test_resampler_agc.cc.o"
+  "CMakeFiles/test_phy.dir/phy/test_resampler_agc.cc.o.d"
+  "CMakeFiles/test_phy.dir/phy/test_resource_grid.cc.o"
+  "CMakeFiles/test_phy.dir/phy/test_resource_grid.cc.o.d"
+  "CMakeFiles/test_phy.dir/phy/test_sync.cc.o"
+  "CMakeFiles/test_phy.dir/phy/test_sync.cc.o.d"
+  "test_phy"
+  "test_phy.pdb"
+  "test_phy[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_phy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/radio/test_virtual_radio.cc" "tests/CMakeFiles/test_radio.dir/radio/test_virtual_radio.cc.o" "gcc" "tests/CMakeFiles/test_radio.dir/radio/test_virtual_radio.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/nrs_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/phy/CMakeFiles/nrs_phy.dir/DependInfo.cmake"
+  "/root/repo/build/src/nr/CMakeFiles/nrs_nr.dir/DependInfo.cmake"
+  "/root/repo/build/src/radio/CMakeFiles/nrs_radio.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

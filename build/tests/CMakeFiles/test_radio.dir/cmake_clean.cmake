@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_radio.dir/radio/test_virtual_radio.cc.o"
+  "CMakeFiles/test_radio.dir/radio/test_virtual_radio.cc.o.d"
+  "test_radio"
+  "test_radio.pdb"
+  "test_radio[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_radio.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

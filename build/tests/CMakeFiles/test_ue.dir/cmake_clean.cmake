@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ue.dir/ue/test_churn.cc.o"
+  "CMakeFiles/test_ue.dir/ue/test_churn.cc.o.d"
+  "CMakeFiles/test_ue.dir/ue/test_traffic.cc.o"
+  "CMakeFiles/test_ue.dir/ue/test_traffic.cc.o.d"
+  "CMakeFiles/test_ue.dir/ue/test_ue_sim.cc.o"
+  "CMakeFiles/test_ue.dir/ue/test_ue_sim.cc.o.d"
+  "test_ue"
+  "test_ue.pdb"
+  "test_ue[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ue.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
