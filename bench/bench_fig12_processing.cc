@@ -5,6 +5,7 @@
 #include <benchmark/benchmark.h>
 
 #include "bench/bench_util.h"
+#include "nrscope/pipeline.h"
 
 namespace nrs::bench {
 namespace {
@@ -65,6 +66,66 @@ void bm_processing(benchmark::State& state, const CellConfig& cell) {
   }
   state.counters["ues"] = n_ues;
   state.counters["threads"] = n_threads;
+  // Per-stage breakdown from the metrics subsystem: where the slot budget
+  // goes (FFT demodulation vs. PDCCH blind decoding), paper section 5.3.2.
+  const MetricsSnapshot snap = fixture.scope->metrics();
+  if (const auto* demod = snap.find_histogram("nrscope.demod_us")) {
+    state.counters["demod_us_p50"] = demod->p50();
+  }
+  if (const auto* blind = snap.find_histogram("nrscope.blind_decode_us")) {
+    state.counters["blind_us_p50"] = blind->p50();
+    state.counters["blind_us_p95"] = blind->p95();
+  }
+}
+
+/// The full Fig.-4 asynchronous pipeline in steady state: push one slot,
+/// wait for its result.  Reports the demod / blind-decode / collector
+/// split from the pipeline.* stage metrics.
+void bm_pipeline_breakdown(benchmark::State& state, const CellConfig& cell) {
+  const auto n_ues = static_cast<unsigned>(state.range(0));
+  const auto n_workers = static_cast<unsigned>(state.range(1));
+  Fixture fixture(cell, n_ues, /*n_threads=*/1);
+  NrScopeConfig cfg;
+  cfg.n_prb = cell.n_prb;
+  cfg.scs = cell.scs;
+  cfg.ue_inactivity_slots = 1u << 30;
+  NrScopePipeline pipeline(cfg, n_workers);
+  // Warm up on live slots until the pipeline's engine is tracking, so the
+  // steady-state loop exercises the blind-decode stage too.
+  for (unsigned w = 0; w < 400 && pipeline.engine().state() !=
+                                      NrScope::State::kTracking;
+       ++w) {
+    while (!pipeline.push_slot(fixture.radio->capture(fixture.gnb->step()))) {
+    }
+    (void)pipeline.poll_result();
+  }
+  std::size_t i = 0;
+  for (auto _ : state) {
+    while (!pipeline.push_slot(fixture.slots[i % fixture.slots.size()])) {
+    }
+    benchmark::DoNotOptimize(pipeline.poll_result());
+    ++i;
+  }
+  pipeline.finish();
+  while (pipeline.poll_result()) {
+  }
+  state.counters["ues"] = n_ues;
+  state.counters["workers"] = n_workers;
+  const MetricsSnapshot snap = pipeline.metrics();
+  if (const auto* demod = snap.find_histogram("pipeline.demod_us")) {
+    state.counters["demod_us_p50"] = demod->p50();
+  }
+  if (const auto* blind = snap.find_histogram("nrscope.blind_decode_us")) {
+    state.counters["blind_us_p50"] = blind->p50();
+  }
+  if (const auto* collect = snap.find_histogram("pipeline.collect_us")) {
+    state.counters["collect_us_p50"] = collect->p50();
+  }
+  if (const auto* wait = snap.find_histogram("pipeline.collector_wait_us")) {
+    state.counters["collector_wait_us_p50"] = wait->p50();
+  }
+  state.counters["dropped"] =
+      static_cast<double>(pipeline.dropped_slots());
 }
 
 void amarisoft_20mhz(benchmark::State& state) {
@@ -72,6 +133,9 @@ void amarisoft_20mhz(benchmark::State& state) {
 }
 void tmobile_10mhz(benchmark::State& state) {
   bm_processing(state, tmobile_cell1());
+}
+void amarisoft_20mhz_pipeline(benchmark::State& state) {
+  bm_pipeline_breakdown(state, amarisoft_cell());
 }
 
 }  // namespace
@@ -83,5 +147,8 @@ BENCHMARK(nrs::bench::amarisoft_20mhz)
 BENCHMARK(nrs::bench::tmobile_10mhz)
     ->Unit(benchmark::kMicrosecond)
     ->ArgsProduct({{64, 195, 285}, {1, 4}});
+BENCHMARK(nrs::bench::amarisoft_20mhz_pipeline)
+    ->Unit(benchmark::kMicrosecond)
+    ->ArgsProduct({{4}, {1, 2, 4}});
 
 BENCHMARK_MAIN();

@@ -251,9 +251,12 @@ bench/CMakeFiles/bench_fig12_processing.dir/bench_fig12_processing.cc.o: \
  /root/repo/src/nr/coreset.h /root/repo/src/nr/tbs.h \
  /root/repo/src/nrscope/telemetry.h /usr/include/c++/12/deque \
  /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
- /root/repo/src/nr/harq.h /root/repo/src/gnb/gnb_sim.h \
- /root/repo/src/common/rng.h /usr/include/c++/12/random \
- /usr/include/c++/12/bits/random.h \
+ /root/repo/src/common/metrics.h /usr/include/c++/12/chrono \
+ /usr/include/c++/12/bits/chrono.h /usr/include/c++/12/ratio \
+ /usr/include/c++/12/ctime /usr/include/c++/12/bits/parse_numbers.h \
+ /usr/include/c++/12/shared_mutex /root/repo/src/nr/harq.h \
+ /root/repo/src/gnb/gnb_sim.h /root/repo/src/common/rng.h \
+ /usr/include/c++/12/random /usr/include/c++/12/bits/random.h \
  /usr/include/x86_64-linux-gnu/c++/12/bits/opt_random.h \
  /usr/include/c++/12/bits/random.tcc /usr/include/c++/12/numeric \
  /usr/include/c++/12/bits/stl_numeric.h \
@@ -264,8 +267,6 @@ bench/CMakeFiles/bench_fig12_processing.dir/bench_fig12_processing.cc.o: \
  /root/repo/src/ue/traffic.h /root/repo/src/gnb/presets.h \
  /root/repo/src/nrscope/nrscope.h /root/repo/src/common/worker_pool.h \
  /usr/include/c++/12/future /usr/include/c++/12/mutex \
- /usr/include/c++/12/bits/chrono.h /usr/include/c++/12/ratio \
- /usr/include/c++/12/ctime /usr/include/c++/12/bits/parse_numbers.h \
  /usr/include/c++/12/bits/unique_lock.h \
  /usr/include/c++/12/condition_variable /usr/include/c++/12/stop_token \
  /usr/include/c++/12/bits/std_thread.h /usr/include/c++/12/semaphore \
@@ -280,4 +281,9 @@ bench/CMakeFiles/bench_fig12_processing.dir/bench_fig12_processing.cc.o: \
  /root/repo/src/common/crc.h /root/repo/src/nrscope/rach_tracker.h \
  /root/repo/src/phy/ofdm.h /root/repo/src/phy/fft.h \
  /root/repo/src/radio/virtual_radio.h /root/repo/src/phy/agc.h \
- /root/repo/src/phy/resampler.h
+ /root/repo/src/phy/resampler.h /root/repo/src/nrscope/pipeline.h \
+ /root/repo/src/nrscope/slot_sink.h /usr/include/c++/12/fstream \
+ /usr/include/c++/12/bits/codecvt.h \
+ /usr/include/x86_64-linux-gnu/c++/12/bits/basic_file.h \
+ /usr/include/x86_64-linux-gnu/c++/12/bits/c++io.h \
+ /usr/include/c++/12/bits/fstream.tcc

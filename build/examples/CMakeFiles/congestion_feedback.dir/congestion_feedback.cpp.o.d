@@ -248,18 +248,21 @@ examples/CMakeFiles/congestion_feedback.dir/congestion_feedback.cpp.o: \
  /root/repo/src/nr/rrc.h /root/repo/src/phy/resource_grid.h \
  /root/repo/src/ue/ue_sim.h /root/repo/src/phy/channel.h \
  /root/repo/src/ue/traffic.h /root/repo/src/gnb/presets.h \
- /root/repo/src/nrscope/nrscope.h /root/repo/src/common/worker_pool.h \
- /usr/include/c++/12/atomic /usr/include/c++/12/functional \
+ /root/repo/src/nrscope/nrscope.h /root/repo/src/common/metrics.h \
+ /usr/include/c++/12/atomic /usr/include/c++/12/chrono \
+ /usr/include/c++/12/bits/chrono.h /usr/include/c++/12/ratio \
+ /usr/include/c++/12/ctime /usr/include/c++/12/bits/parse_numbers.h \
+ /usr/include/c++/12/map /usr/include/c++/12/bits/stl_tree.h \
+ /usr/include/c++/12/bits/node_handle.h \
+ /usr/include/c++/12/bits/stl_map.h \
+ /usr/include/c++/12/bits/stl_multimap.h \
+ /usr/include/c++/12/bits/erase_if.h /usr/include/c++/12/shared_mutex \
+ /root/repo/src/common/worker_pool.h /usr/include/c++/12/functional \
  /usr/include/c++/12/bits/std_function.h \
  /usr/include/c++/12/unordered_map /usr/include/c++/12/bits/hashtable.h \
  /usr/include/c++/12/bits/hashtable_policy.h \
- /usr/include/c++/12/bits/node_handle.h \
- /usr/include/c++/12/bits/unordered_map.h \
- /usr/include/c++/12/bits/erase_if.h /usr/include/c++/12/future \
- /usr/include/c++/12/mutex /usr/include/c++/12/bits/chrono.h \
- /usr/include/c++/12/ratio /usr/include/c++/12/ctime \
- /usr/include/c++/12/bits/parse_numbers.h \
- /usr/include/c++/12/bits/unique_lock.h \
+ /usr/include/c++/12/bits/unordered_map.h /usr/include/c++/12/future \
+ /usr/include/c++/12/mutex /usr/include/c++/12/bits/unique_lock.h \
  /usr/include/c++/12/condition_variable /usr/include/c++/12/stop_token \
  /usr/include/c++/12/bits/std_thread.h /usr/include/c++/12/semaphore \
  /usr/include/c++/12/bits/semaphore_base.h \
@@ -272,9 +275,6 @@ examples/CMakeFiles/congestion_feedback.dir/congestion_feedback.cpp.o: \
  /usr/include/c++/12/bits/stl_relops.h /root/repo/src/nr/mib.h \
  /root/repo/src/nrscope/dci_decoder.h /root/repo/src/nr/pdcch.h \
  /root/repo/src/common/crc.h /root/repo/src/nrscope/telemetry.h \
- /usr/include/c++/12/map /usr/include/c++/12/bits/stl_tree.h \
- /usr/include/c++/12/bits/stl_map.h \
- /usr/include/c++/12/bits/stl_multimap.h \
  /root/repo/src/nrscope/rach_tracker.h /root/repo/src/phy/ofdm.h \
  /root/repo/src/phy/fft.h /root/repo/src/radio/virtual_radio.h \
  /root/repo/src/phy/agc.h /root/repo/src/phy/resampler.h

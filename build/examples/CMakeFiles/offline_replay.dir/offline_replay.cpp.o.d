@@ -259,6 +259,7 @@ examples/CMakeFiles/offline_replay.dir/offline_replay.cpp.o: \
  /usr/include/c++/12/bits/stl_map.h \
  /usr/include/c++/12/bits/stl_multimap.h \
  /usr/include/c++/12/bits/erase_if.h /usr/include/c++/12/thread \
+ /root/repo/src/common/metrics.h /usr/include/c++/12/shared_mutex \
  /root/repo/src/common/queue.h /usr/include/c++/12/mutex \
  /usr/include/c++/12/utility /usr/include/c++/12/bits/stl_relops.h \
  /root/repo/src/nrscope/nrscope.h /root/repo/src/common/worker_pool.h \
@@ -273,5 +274,10 @@ examples/CMakeFiles/offline_replay.dir/offline_replay.cpp.o: \
  /root/repo/src/nrscope/dci_decoder.h /root/repo/src/nr/pdcch.h \
  /root/repo/src/common/crc.h /root/repo/src/nrscope/telemetry.h \
  /root/repo/src/nrscope/rach_tracker.h /root/repo/src/phy/ofdm.h \
- /root/repo/src/phy/fft.h /root/repo/src/radio/virtual_radio.h \
- /root/repo/src/phy/agc.h /root/repo/src/phy/resampler.h
+ /root/repo/src/phy/fft.h /root/repo/src/nrscope/slot_sink.h \
+ /usr/include/c++/12/fstream /usr/include/c++/12/bits/codecvt.h \
+ /usr/include/x86_64-linux-gnu/c++/12/bits/basic_file.h \
+ /usr/include/x86_64-linux-gnu/c++/12/bits/c++io.h \
+ /usr/include/c++/12/bits/fstream.tcc \
+ /root/repo/src/radio/virtual_radio.h /root/repo/src/phy/agc.h \
+ /root/repo/src/phy/resampler.h

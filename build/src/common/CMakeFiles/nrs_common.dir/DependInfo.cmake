@@ -12,6 +12,7 @@ set(CMAKE_DEPENDS_DEPENDENCY_FILES
   "/root/repo/src/common/crc.cc" "src/common/CMakeFiles/nrs_common.dir/crc.cc.o" "gcc" "src/common/CMakeFiles/nrs_common.dir/crc.cc.o.d"
   "/root/repo/src/common/gold.cc" "src/common/CMakeFiles/nrs_common.dir/gold.cc.o" "gcc" "src/common/CMakeFiles/nrs_common.dir/gold.cc.o.d"
   "/root/repo/src/common/log.cc" "src/common/CMakeFiles/nrs_common.dir/log.cc.o" "gcc" "src/common/CMakeFiles/nrs_common.dir/log.cc.o.d"
+  "/root/repo/src/common/metrics.cc" "src/common/CMakeFiles/nrs_common.dir/metrics.cc.o" "gcc" "src/common/CMakeFiles/nrs_common.dir/metrics.cc.o.d"
   "/root/repo/src/common/stats.cc" "src/common/CMakeFiles/nrs_common.dir/stats.cc.o" "gcc" "src/common/CMakeFiles/nrs_common.dir/stats.cc.o.d"
   "/root/repo/src/common/timing.cc" "src/common/CMakeFiles/nrs_common.dir/timing.cc.o" "gcc" "src/common/CMakeFiles/nrs_common.dir/timing.cc.o.d"
   "/root/repo/src/common/worker_pool.cc" "src/common/CMakeFiles/nrs_common.dir/worker_pool.cc.o" "gcc" "src/common/CMakeFiles/nrs_common.dir/worker_pool.cc.o.d"

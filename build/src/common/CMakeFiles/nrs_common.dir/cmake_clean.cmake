@@ -7,6 +7,8 @@ file(REMOVE_RECURSE
   "CMakeFiles/nrs_common.dir/gold.cc.o.d"
   "CMakeFiles/nrs_common.dir/log.cc.o"
   "CMakeFiles/nrs_common.dir/log.cc.o.d"
+  "CMakeFiles/nrs_common.dir/metrics.cc.o"
+  "CMakeFiles/nrs_common.dir/metrics.cc.o.d"
   "CMakeFiles/nrs_common.dir/stats.cc.o"
   "CMakeFiles/nrs_common.dir/stats.cc.o.d"
   "CMakeFiles/nrs_common.dir/timing.cc.o"

@@ -13,6 +13,7 @@ set(CMAKE_DEPENDS_DEPENDENCY_FILES
   "/root/repo/src/nrscope/nrscope.cc" "src/nrscope/CMakeFiles/nrs_nrscope.dir/nrscope.cc.o" "gcc" "src/nrscope/CMakeFiles/nrs_nrscope.dir/nrscope.cc.o.d"
   "/root/repo/src/nrscope/pipeline.cc" "src/nrscope/CMakeFiles/nrs_nrscope.dir/pipeline.cc.o" "gcc" "src/nrscope/CMakeFiles/nrs_nrscope.dir/pipeline.cc.o.d"
   "/root/repo/src/nrscope/rach_tracker.cc" "src/nrscope/CMakeFiles/nrs_nrscope.dir/rach_tracker.cc.o" "gcc" "src/nrscope/CMakeFiles/nrs_nrscope.dir/rach_tracker.cc.o.d"
+  "/root/repo/src/nrscope/slot_sink.cc" "src/nrscope/CMakeFiles/nrs_nrscope.dir/slot_sink.cc.o" "gcc" "src/nrscope/CMakeFiles/nrs_nrscope.dir/slot_sink.cc.o.d"
   "/root/repo/src/nrscope/telemetry.cc" "src/nrscope/CMakeFiles/nrs_nrscope.dir/telemetry.cc.o" "gcc" "src/nrscope/CMakeFiles/nrs_nrscope.dir/telemetry.cc.o.d"
   )
 

@@ -9,6 +9,8 @@ file(REMOVE_RECURSE
   "CMakeFiles/nrs_nrscope.dir/pipeline.cc.o.d"
   "CMakeFiles/nrs_nrscope.dir/rach_tracker.cc.o"
   "CMakeFiles/nrs_nrscope.dir/rach_tracker.cc.o.d"
+  "CMakeFiles/nrs_nrscope.dir/slot_sink.cc.o"
+  "CMakeFiles/nrs_nrscope.dir/slot_sink.cc.o.d"
   "CMakeFiles/nrs_nrscope.dir/telemetry.cc.o"
   "CMakeFiles/nrs_nrscope.dir/telemetry.cc.o.d"
   "libnrs_nrscope.a"

@@ -210,14 +210,18 @@ src/nrscope/CMakeFiles/nrs_nrscope.dir/pipeline.cc.o: \
  /usr/include/c++/12/pstl/glue_memory_defs.h \
  /usr/include/c++/12/pstl/execution_defs.h /usr/include/c++/12/optional \
  /usr/include/c++/12/bits/enable_special_members.h \
- /usr/include/c++/12/thread /root/repo/src/common/queue.h \
- /usr/include/c++/12/cstddef /usr/include/c++/12/deque \
- /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
- /usr/include/c++/12/mutex /usr/include/c++/12/utility \
- /usr/include/c++/12/bits/stl_relops.h /root/repo/src/nrscope/nrscope.h \
- /usr/include/c++/12/vector /usr/include/c++/12/bits/stl_vector.h \
+ /usr/include/c++/12/thread /usr/include/c++/12/vector \
+ /usr/include/c++/12/bits/stl_vector.h \
  /usr/include/c++/12/bits/stl_bvector.h \
- /usr/include/c++/12/bits/vector.tcc /root/repo/src/common/timing.h \
+ /usr/include/c++/12/bits/vector.tcc /root/repo/src/common/metrics.h \
+ /usr/include/c++/12/chrono /usr/include/c++/12/sstream \
+ /usr/include/c++/12/istream /usr/include/c++/12/bits/istream.tcc \
+ /usr/include/c++/12/bits/sstream.tcc /usr/include/c++/12/shared_mutex \
+ /root/repo/src/common/queue.h /usr/include/c++/12/cstddef \
+ /usr/include/c++/12/deque /usr/include/c++/12/bits/stl_deque.h \
+ /usr/include/c++/12/bits/deque.tcc /usr/include/c++/12/mutex \
+ /usr/include/c++/12/utility /usr/include/c++/12/bits/stl_relops.h \
+ /root/repo/src/nrscope/nrscope.h /root/repo/src/common/timing.h \
  /root/repo/src/common/types.h /usr/include/c++/12/complex \
  /usr/include/c++/12/cmath /usr/include/math.h \
  /usr/include/x86_64-linux-gnu/bits/math-vector.h \
@@ -240,10 +244,9 @@ src/nrscope/CMakeFiles/nrs_nrscope.dir/pipeline.cc.o: \
  /usr/include/c++/12/tr1/modified_bessel_func.tcc \
  /usr/include/c++/12/tr1/poly_hermite.tcc \
  /usr/include/c++/12/tr1/poly_laguerre.tcc \
- /usr/include/c++/12/tr1/riemann_zeta.tcc /usr/include/c++/12/sstream \
- /usr/include/c++/12/istream /usr/include/c++/12/bits/istream.tcc \
- /usr/include/c++/12/bits/sstream.tcc /root/repo/src/common/worker_pool.h \
- /usr/include/c++/12/functional /usr/include/c++/12/bits/std_function.h \
+ /usr/include/c++/12/tr1/riemann_zeta.tcc \
+ /root/repo/src/common/worker_pool.h /usr/include/c++/12/functional \
+ /usr/include/c++/12/bits/std_function.h \
  /usr/include/c++/12/unordered_map /usr/include/c++/12/bits/hashtable.h \
  /usr/include/c++/12/bits/hashtable_policy.h \
  /usr/include/c++/12/bits/unordered_map.h /usr/include/c++/12/array \
@@ -261,4 +264,8 @@ src/nrscope/CMakeFiles/nrs_nrscope.dir/pipeline.cc.o: \
  /root/repo/src/nrscope/telemetry.h /root/repo/src/nr/grant.h \
  /root/repo/src/nr/tbs.h /root/repo/src/nr/harq.h \
  /root/repo/src/nrscope/rach_tracker.h /root/repo/src/phy/ofdm.h \
- /root/repo/src/phy/fft.h
+ /root/repo/src/phy/fft.h /root/repo/src/nrscope/slot_sink.h \
+ /usr/include/c++/12/fstream /usr/include/c++/12/bits/codecvt.h \
+ /usr/include/x86_64-linux-gnu/c++/12/bits/basic_file.h \
+ /usr/include/x86_64-linux-gnu/c++/12/bits/c++io.h \
+ /usr/include/c++/12/bits/fstream.tcc

@@ -11,6 +11,7 @@ set(CMAKE_DEPENDS_DEPENDENCY_FILES
   "/root/repo/tests/common/test_bit_io.cc" "tests/CMakeFiles/test_common.dir/common/test_bit_io.cc.o" "gcc" "tests/CMakeFiles/test_common.dir/common/test_bit_io.cc.o.d"
   "/root/repo/tests/common/test_crc.cc" "tests/CMakeFiles/test_common.dir/common/test_crc.cc.o" "gcc" "tests/CMakeFiles/test_common.dir/common/test_crc.cc.o.d"
   "/root/repo/tests/common/test_gold.cc" "tests/CMakeFiles/test_common.dir/common/test_gold.cc.o" "gcc" "tests/CMakeFiles/test_common.dir/common/test_gold.cc.o.d"
+  "/root/repo/tests/common/test_metrics.cc" "tests/CMakeFiles/test_common.dir/common/test_metrics.cc.o" "gcc" "tests/CMakeFiles/test_common.dir/common/test_metrics.cc.o.d"
   "/root/repo/tests/common/test_queue.cc" "tests/CMakeFiles/test_common.dir/common/test_queue.cc.o" "gcc" "tests/CMakeFiles/test_common.dir/common/test_queue.cc.o.d"
   "/root/repo/tests/common/test_stats.cc" "tests/CMakeFiles/test_common.dir/common/test_stats.cc.o" "gcc" "tests/CMakeFiles/test_common.dir/common/test_stats.cc.o.d"
   "/root/repo/tests/common/test_timing.cc" "tests/CMakeFiles/test_common.dir/common/test_timing.cc.o" "gcc" "tests/CMakeFiles/test_common.dir/common/test_timing.cc.o.d"

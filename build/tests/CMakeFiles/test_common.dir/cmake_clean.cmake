@@ -5,6 +5,8 @@ file(REMOVE_RECURSE
   "CMakeFiles/test_common.dir/common/test_crc.cc.o.d"
   "CMakeFiles/test_common.dir/common/test_gold.cc.o"
   "CMakeFiles/test_common.dir/common/test_gold.cc.o.d"
+  "CMakeFiles/test_common.dir/common/test_metrics.cc.o"
+  "CMakeFiles/test_common.dir/common/test_metrics.cc.o.d"
   "CMakeFiles/test_common.dir/common/test_queue.cc.o"
   "CMakeFiles/test_common.dir/common/test_queue.cc.o.d"
   "CMakeFiles/test_common.dir/common/test_stats.cc.o"

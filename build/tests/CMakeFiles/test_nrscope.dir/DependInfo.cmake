@@ -8,6 +8,7 @@ set(CMAKE_DEPENDS_LANGUAGES
 
 # The set of dependency files which are needed:
 set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/nrscope/test_config_validate.cc" "tests/CMakeFiles/test_nrscope.dir/nrscope/test_config_validate.cc.o" "gcc" "tests/CMakeFiles/test_nrscope.dir/nrscope/test_config_validate.cc.o.d"
   "/root/repo/tests/nrscope/test_dedupe.cc" "tests/CMakeFiles/test_nrscope.dir/nrscope/test_dedupe.cc.o" "gcc" "tests/CMakeFiles/test_nrscope.dir/nrscope/test_dedupe.cc.o.d"
   "/root/repo/tests/nrscope/test_pipeline.cc" "tests/CMakeFiles/test_nrscope.dir/nrscope/test_pipeline.cc.o" "gcc" "tests/CMakeFiles/test_nrscope.dir/nrscope/test_pipeline.cc.o.d"
   "/root/repo/tests/nrscope/test_rach_tracker_unit.cc" "tests/CMakeFiles/test_nrscope.dir/nrscope/test_rach_tracker_unit.cc.o" "gcc" "tests/CMakeFiles/test_nrscope.dir/nrscope/test_rach_tracker_unit.cc.o.d"

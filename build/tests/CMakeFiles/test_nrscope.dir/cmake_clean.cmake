@@ -1,4 +1,6 @@
 file(REMOVE_RECURSE
+  "CMakeFiles/test_nrscope.dir/nrscope/test_config_validate.cc.o"
+  "CMakeFiles/test_nrscope.dir/nrscope/test_config_validate.cc.o.d"
   "CMakeFiles/test_nrscope.dir/nrscope/test_dedupe.cc.o"
   "CMakeFiles/test_nrscope.dir/nrscope/test_dedupe.cc.o.d"
   "CMakeFiles/test_nrscope.dir/nrscope/test_pipeline.cc.o"

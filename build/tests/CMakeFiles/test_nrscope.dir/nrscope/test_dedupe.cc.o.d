@@ -334,10 +334,11 @@ tests/CMakeFiles/test_nrscope.dir/nrscope/test_dedupe.cc.o: \
  /root/repo/src/nr/rrc.h /root/repo/src/phy/resource_grid.h \
  /root/repo/src/ue/ue_sim.h /root/repo/src/phy/channel.h \
  /root/repo/src/ue/traffic.h /root/repo/src/gnb/presets.h \
- /root/repo/src/nrscope/nrscope.h /root/repo/src/common/worker_pool.h \
- /usr/include/c++/12/future /usr/include/c++/12/mutex \
- /usr/include/c++/12/bits/chrono.h /usr/include/c++/12/ratio \
- /usr/include/c++/12/bits/unique_lock.h \
+ /root/repo/src/nrscope/nrscope.h /root/repo/src/common/metrics.h \
+ /usr/include/c++/12/chrono /usr/include/c++/12/bits/chrono.h \
+ /usr/include/c++/12/ratio /usr/include/c++/12/shared_mutex \
+ /root/repo/src/common/worker_pool.h /usr/include/c++/12/future \
+ /usr/include/c++/12/mutex /usr/include/c++/12/bits/unique_lock.h \
  /usr/include/c++/12/condition_variable /usr/include/c++/12/stop_token \
  /usr/include/c++/12/bits/std_thread.h /usr/include/c++/12/semaphore \
  /usr/include/c++/12/bits/semaphore_base.h \

@@ -346,13 +346,16 @@ tests/CMakeFiles/test_nrscope.dir/nrscope/test_pipeline.cc.o: \
  /root/repo/src/ue/ue_sim.h /root/repo/src/phy/channel.h \
  /root/repo/src/ue/traffic.h /root/repo/src/gnb/presets.h \
  /root/repo/src/nrscope/log_writer.h /root/repo/src/nrscope/nrscope.h \
- /root/repo/src/common/worker_pool.h /usr/include/c++/12/future \
- /usr/include/c++/12/mutex /usr/include/c++/12/bits/unique_lock.h \
+ /root/repo/src/common/metrics.h /usr/include/c++/12/chrono \
+ /usr/include/c++/12/shared_mutex /root/repo/src/common/worker_pool.h \
+ /usr/include/c++/12/future /usr/include/c++/12/mutex \
+ /usr/include/c++/12/bits/unique_lock.h \
  /usr/include/c++/12/condition_variable \
  /usr/include/c++/12/bits/atomic_futex.h /root/repo/src/common/queue.h \
  /root/repo/src/nr/mib.h /root/repo/src/nrscope/dci_decoder.h \
  /root/repo/src/nr/pdcch.h /root/repo/src/common/crc.h \
  /root/repo/src/nrscope/telemetry.h /root/repo/src/nrscope/rach_tracker.h \
  /root/repo/src/phy/ofdm.h /root/repo/src/phy/fft.h \
- /root/repo/src/nrscope/pipeline.h /root/repo/src/radio/virtual_radio.h \
- /root/repo/src/phy/agc.h /root/repo/src/phy/resampler.h
+ /root/repo/src/nrscope/slot_sink.h /root/repo/src/nrscope/pipeline.h \
+ /root/repo/src/radio/virtual_radio.h /root/repo/src/phy/agc.h \
+ /root/repo/src/phy/resampler.h

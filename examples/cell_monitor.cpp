@@ -3,19 +3,89 @@
 // pattern of Fig. 10/11 — and print a periodic cell-load report: distinct
 // UEs seen, active UEs, aggregate throughput and retransmission health.
 //
+// The monitor runs the full asynchronous pipeline (demod workers + in-order
+// collector) in push mode: a reporting SlotSink prints the load report plus
+// a MetricsSnapshot line (queue depth, drops, blind-decode p95) every few
+// seconds, and a MetricsCsvSink leaves a per-stage timing record in
+// cell_monitor_metrics.csv.
+//
 // Run:  ./build/examples/cell_monitor
 #include <cstdio>
+#include <memory>
 #include <set>
 
 #include "gnb/gnb_sim.h"
 #include "gnb/presets.h"
-#include "nrscope/nrscope.h"
+#include "nrscope/pipeline.h"
+#include "nrscope/slot_sink.h"
 #include "radio/virtual_radio.h"
 #include "ue/churn.h"
 
-int main() {
-  using namespace nrs;
+namespace {
 
+using namespace nrs;
+
+/// Push-mode consumer: runs on the collector thread (the only thread that
+/// mutates the engine), so reading the engine's telemetry here is safe.
+class MonitorSink : public SlotSink {
+ public:
+  MonitorSink(const NrScopePipeline& pipeline, double slot_s,
+              unsigned report_every_slots)
+      : pipeline_(&pipeline), slot_s_(slot_s),
+        report_every_(report_every_slots) {}
+
+  void on_slot(const SlotResult& result) override {
+    if (result.slot == 0 || result.slot % report_every_ != 0) {
+      return;
+    }
+    const CellTelemetry& telemetry = pipeline_->engine().telemetry();
+    double cell_bps = 0.0;
+    std::uint64_t dcis = 0;
+    std::uint64_t retx_count = 0;
+    for (const auto& [rnti, telem] : telemetry.ues()) {
+      distinct_.insert(rnti);
+      cell_bps += telem.dl_rate_bps(result.slot, slot_s_);
+      dcis += telem.harq().observed();
+      retx_count += telem.harq().retransmissions();
+    }
+    const double retx = dcis ? 100.0 * static_cast<double>(retx_count) /
+                                   static_cast<double>(dcis)
+                             : 0.0;
+    std::printf("%8.1f %9zu %9zu %12.2f %10.2f\n", result.slot * slot_s_,
+                distinct_.size(), telemetry.ues().size(), cell_bps / 1e6,
+                retx);
+
+    const MetricsSnapshot snap = pipeline_->metrics();
+    const auto* depth = snap.find_gauge("pipeline.input_queue_depth");
+    const auto* blind = snap.find_histogram("nrscope.blind_decode_us");
+    std::printf("         [metrics] queue_depth=%ld dropped=%llu "
+                "(full=%llu finished=%llu) blind_decode_p95=%.1f us "
+                "evictions=%llu\n",
+                depth != nullptr ? static_cast<long>(depth->value) : 0L,
+                static_cast<unsigned long long>(
+                    snap.counter_value("pipeline.slots_dropped.queue_full") +
+                    snap.counter_value("pipeline.slots_dropped.finished")),
+                static_cast<unsigned long long>(
+                    snap.counter_value("pipeline.slots_dropped.queue_full")),
+                static_cast<unsigned long long>(
+                    snap.counter_value("pipeline.slots_dropped.finished")),
+                blind != nullptr ? blind->p95() : 0.0,
+                static_cast<unsigned long long>(
+                    snap.counter_value("nrscope.stale_ue_evictions")));
+  }
+
+  [[nodiscard]] std::size_t distinct_ues() const { return distinct_.size(); }
+
+ private:
+  const NrScopePipeline* pipeline_;
+  double slot_s_;
+  unsigned report_every_;
+  std::set<Rnti> distinct_;
+};
+
+}  // namespace
+
+int main() {
   GnbConfig gnb_config;
   gnb_config.cell = tmobile_cell1();
   gnb_config.seed = 9;
@@ -32,7 +102,15 @@ int main() {
   scope_config.scs = gnb.cell().scs;
   scope_config.n_dci_threads = 2;
   scope_config.ue_inactivity_slots = 1500;  // 1.5 s idle -> departed
-  NrScope scope(scope_config);
+  NrScopePipeline pipeline(scope_config, /*n_demod_workers=*/2);
+
+  const double slot_s = slot_duration_s(gnb.cell().scs);
+  auto monitor = std::make_shared<MonitorSink>(pipeline, slot_s,
+                                               /*report_every_slots=*/3000);
+  pipeline.add_sink(monitor);
+  pipeline.add_sink(std::make_shared<MetricsCsvSink>(
+      "cell_monitor_metrics.csv", pipeline.metrics_registry(),
+      /*period_slots=*/3000));
 
   // 30 s of compressed-time churn (the paper observes 10 min windows).
   ChurnConfig churn;
@@ -43,12 +121,9 @@ int main() {
   churn.seed = 17;
   const auto sessions = generate_churn(churn);
 
-  const double slot_s = slot_duration_s(gnb.cell().scs);
-  const auto n_slots =
-      static_cast<unsigned>(churn.duration_s / slot_s);
+  const auto n_slots = static_cast<unsigned>(churn.duration_s / slot_s);
   std::size_t next_arrival = 0;
   std::vector<std::pair<double, unsigned>> departures;
-  std::set<Rnti> distinct;
 
   std::printf("monitoring %s for %.0f s (compressed churn)\n",
               gnb.cell().name.c_str(), churn.duration_s);
@@ -77,27 +152,17 @@ int main() {
     }
 
     const ResourceGrid& grid = gnb.step();
-    (void)scope.process_slot(radio.capture(grid));
-
-    if (slot % 3000 == 0 && slot > 0) {
-      double cell_bps = 0.0;
-      double retx = 0.0;
-      std::uint64_t dcis = 0;
-      std::uint64_t retx_count = 0;
-      for (const auto& [rnti, telem] : scope.telemetry().ues()) {
-        distinct.insert(rnti);
-        cell_bps += telem.dl_rate_bps(slot, slot_s);
-        dcis += telem.harq().observed();
-        retx_count += telem.harq().retransmissions();
-      }
-      retx = dcis ? 100.0 * static_cast<double>(retx_count) /
-                        static_cast<double>(dcis)
-                  : 0.0;
-      std::printf("%8.1f %9zu %9zu %12.2f %10.2f\n", now, distinct.size(),
-                  scope.telemetry().ues().size(), cell_bps / 1e6, retx);
-    }
+    // Feed the pipeline at the radio's pace; a saturated queue sheds the
+    // slot, and the reason lands in the pipeline.slots_dropped.* metrics.
+    (void)pipeline.push_slot(radio.capture(grid));
   }
+  pipeline.finish();
+  // Sinks consume the results, so this returns once the run has drained.
+  while (pipeline.poll_result()) {
+  }
+
   std::printf("saw %zu distinct UEs; churn truth started %zu sessions\n",
-              distinct.size(), next_arrival);
+              monitor->distinct_ues(), next_arrival);
+  std::printf("wrote per-stage metrics to cell_monitor_metrics.csv\n");
   return 0;
 }

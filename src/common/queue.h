@@ -12,6 +12,13 @@
 
 namespace nrs {
 
+/// Why a non-blocking push did not enqueue (or that it did).
+enum class QueuePushResult : std::uint8_t {
+  kOk,
+  kFull,    ///< at capacity; the caller may shed the item
+  kClosed,  ///< the queue was closed; no more input is accepted
+};
+
 template <typename T>
 class BoundedQueue {
  public:
@@ -36,13 +43,22 @@ class BoundedQueue {
   /// Non-blocking push; returns false when full or closed (the caller may
   /// drop the slot, which is how a real sniffer sheds load).
   bool try_push(T item) {
+    return try_push_result(std::move(item)) == QueuePushResult::kOk;
+  }
+
+  /// Non-blocking push that reports *why* the item was not enqueued, so
+  /// callers can distinguish load shedding from shutdown.
+  QueuePushResult try_push_result(T item) {
     std::lock_guard lock(mutex_);
-    if (closed_ || items_.size() >= capacity_) {
-      return false;
+    if (closed_) {
+      return QueuePushResult::kClosed;
+    }
+    if (items_.size() >= capacity_) {
+      return QueuePushResult::kFull;
     }
     items_.push_back(std::move(item));
     not_empty_.notify_one();
-    return true;
+    return QueuePushResult::kOk;
   }
 
   /// Blocking pop; empty optional means the queue was closed and drained.

@@ -462,8 +462,6 @@ void GnbSim::schedule_downlink() {
     const std::uint8_t tdra =
         choose_tdra(traffic->is_full_buffer() ? 1u << 20
                                               : traffic->backlog_bytes());
-    const TdraEntry tdra_e = tdra_entry(tdra);
-
     Dci probe;
     probe.format = config_.rrc_setup.dl_format;
     probe.freq_alloc_riv =

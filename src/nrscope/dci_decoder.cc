@@ -1,5 +1,7 @@
 #include "nrscope/dci_decoder.h"
 
+#include <optional>
+
 #include "nr/grant.h"
 
 namespace nrs {
@@ -8,13 +10,19 @@ std::vector<DecodedDci> decode_ue_dcis(const ResourceGrid& grid,
                                        const SlotPoint& slot,
                                        std::uint64_t slot_index,
                                        const CellConfig& cell,
-                                       const UeSearchContext& ue) {
+                                       const UeSearchContext& ue,
+                                       const AggLevelHistograms* level_us) {
   std::vector<DecodedDci> out;
   // The size-aligned pair hint: 1_1 resolves 0_1 too via the format bit.
   const DciFormat hint = ue.config.dl_format == DciFormat::kDl1_1
                              ? DciFormat::kDl1_1
                              : DciFormat::kDl1_0;
   for (unsigned level : ue.config.ue_ss.agg_levels) {
+    std::optional<ScopedTimer> timer;
+    if (level_us != nullptr &&
+        (*level_us)[agg_level_index(level)] != nullptr) {
+      timer.emplace(*(*level_us)[agg_level_index(level)]);
+    }
     for (unsigned cce : pdcch_candidates(cell.coreset, ue.config.ue_ss,
                                          level, slot, ue.rnti)) {
       const auto result = decode_pdcch_candidate(

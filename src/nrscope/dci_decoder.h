@@ -5,9 +5,12 @@
 // shards across DCI threads.
 #pragma once
 
+#include <array>
+#include <bit>
 #include <cstdint>
 #include <vector>
 
+#include "common/metrics.h"
 #include "nr/cell_config.h"
 #include "nr/pdcch.h"
 #include "nr/rrc.h"
@@ -22,12 +25,28 @@ struct UeSearchContext {
   RrcSetup config;
 };
 
+/// Optional blind-decode latency histograms, one per PDCCH aggregation
+/// level, indexed by log2 of the level (1/2/4/8/16 -> 0..4).  Null entries
+/// are skipped.
+using AggLevelHistograms = std::array<Histogram*, 5>;
+
+/// Histogram slot for an aggregation level (levels are powers of two).
+constexpr std::size_t agg_level_index(unsigned level) {
+  const auto idx = static_cast<std::size_t>(
+      std::countr_zero(level == 0 ? 1u : level));
+  return idx < 5 ? idx : 4;
+}
+
 /// All DCIs for one UE in one slot.  Grants are translated with the UE's
-/// RRC parameters so the TBS matches what the UE itself computes.
+/// RRC parameters so the TBS matches what the UE itself computes.  When
+/// `level_us` is given, the candidate sweep of each aggregation level is
+/// timed into the matching histogram.
 std::vector<DecodedDci> decode_ue_dcis(const ResourceGrid& grid,
                                        const SlotPoint& slot,
                                        std::uint64_t slot_index,
                                        const CellConfig& cell,
-                                       const UeSearchContext& ue);
+                                       const UeSearchContext& ue,
+                                       const AggLevelHistograms* level_us =
+                                           nullptr);
 
 }  // namespace nrs

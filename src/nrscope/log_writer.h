@@ -1,17 +1,19 @@
 // Telemetry log writer: the "Log File" sink of paper Fig. 4.  One CSV row
 // per decoded DCI, in the spirit of the paper's Appendix B dump, so
 // downstream tools (and the analysis module's offline mode) can consume
-// NR-Scope output without linking against it.
+// NR-Scope output without linking against it.  Implements SlotSink, so it
+// can be attached directly to an NrScopePipeline.
 #pragma once
 
 #include <fstream>
 #include <string>
 
 #include "nrscope/nrscope.h"
+#include "nrscope/slot_sink.h"
 
 namespace nrs {
 
-class TelemetryLogWriter {
+class TelemetryLogWriter : public SlotSink {
  public:
   explicit TelemetryLogWriter(const std::string& path);
 
@@ -19,6 +21,10 @@ class TelemetryLogWriter {
   void write(const SlotResult& result);
 
   void flush();
+
+  // SlotSink: stream each completed slot, flush at end of run.
+  void on_slot(const SlotResult& result) override { write(result); }
+  void on_finish() override { flush(); }
 
   static std::string header();
   static std::string format_row(const DecodedDci& dci);

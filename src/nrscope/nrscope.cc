@@ -4,6 +4,7 @@
 #include <chrono>
 #include <map>
 #include <mutex>
+#include <stdexcept>
 
 #include "nr/grant.h"
 #include "nr/pdsch.h"
@@ -31,15 +32,64 @@ PdschAllocation alloc_from_grant(const Grant& grant, std::uint16_t pci) {
   return alloc;
 }
 
+/// Throw-on-invalid wrapper so the config is checked before any other
+/// member (the demodulator in particular) is built from it.
+const NrScopeConfig& validated(const NrScopeConfig& config) {
+  if (auto error = config.validate()) {
+    throw std::invalid_argument("NrScopeConfig: " + *error);
+  }
+  return config;
+}
+
 }  // namespace
 
+std::optional<std::string> NrScopeConfig::validate() const {
+  if (n_prb < SsbLocation::kNPrb || n_prb > 275) {
+    return "n_prb must be in [12, 275], got " + std::to_string(n_prb);
+  }
+  if (ssb.prb_start + SsbLocation::kNPrb > n_prb) {
+    return "ssb.prb_start " + std::to_string(ssb.prb_start) +
+           " leaves no room for the 12-PRB SSB window in " +
+           std::to_string(n_prb) + " PRBs";
+  }
+  if (n_dci_threads < 1) {
+    return "n_dci_threads must be >= 1, got " +
+           std::to_string(n_dci_threads);
+  }
+  if (rate_window_slots == 0) {
+    return "rate_window_slots must be > 0";
+  }
+  if (ue_inactivity_slots == 0) {
+    return "ue_inactivity_slots must be > 0";
+  }
+  return std::nullopt;
+}
+
 NrScope::NrScope(const NrScopeConfig& config)
-    : config_(config), demodulator_(make_ofdm_config(config.n_prb)),
-      rach_(config.rach), telemetry_(config.scs, config.rate_window_slots) {
+    : config_(validated(config)),
+      demodulator_(make_ofdm_config(config.n_prb)), rach_(config.rach),
+      telemetry_(config.scs, config.rate_window_slots, &metrics_registry_) {
   cell_.n_prb = config_.n_prb;
   cell_.scs = config_.scs;
   if (config_.n_dci_threads > 1) {
     dci_pool_ = std::make_unique<WorkerPool>(config_.n_dci_threads);
+  }
+  rach_.bind_metrics(metrics_registry_);
+  m_slots_searching_ = &metrics_registry_.counter("nrscope.slots_searching");
+  m_slots_wait_sib1_ = &metrics_registry_.counter("nrscope.slots_wait_sib1");
+  m_slots_tracking_ = &metrics_registry_.counter("nrscope.slots_tracking");
+  m_stale_evictions_ =
+      &metrics_registry_.counter("nrscope.stale_ue_evictions");
+  m_dedupe_candidates_ =
+      &metrics_registry_.counter("nrscope.dedupe_candidates");
+  m_dedupe_locations_ =
+      &metrics_registry_.counter("nrscope.dedupe_locations");
+  m_demod_us_ = &metrics_registry_.histogram("nrscope.demod_us");
+  m_blind_decode_us_ =
+      &metrics_registry_.histogram("nrscope.blind_decode_us");
+  for (unsigned level : {1u, 2u, 4u, 8u, 16u}) {
+    m_agg_level_us_[agg_level_index(level)] = &metrics_registry_.histogram(
+        "nrscope.blind_decode_us.al" + std::to_string(level));
   }
 }
 
@@ -101,6 +151,7 @@ void NrScope::cleanup_stale_ues() {
   for (std::size_t i = 0; i < ues_.size();) {
     if (slot_index_ - ue_last_seen_[i] > config_.ue_inactivity_slots) {
       telemetry_.remove_ue(ues_[i].rnti);
+      m_stale_evictions_->inc();
       ues_.erase(ues_.begin() + static_cast<std::ptrdiff_t>(i));
       ue_last_seen_.erase(ue_last_seen_.begin() +
                           static_cast<std::ptrdiff_t>(i));
@@ -209,17 +260,21 @@ void NrScope::track(const ResourceGrid& grid, SlotResult& result) {
 
   // DCI threads: the UE list is sharded across the pool (paper section 4).
   std::vector<std::vector<DecodedDci>> per_ue(ues_.size());
-  if (config_.dedupe_candidates) {
-    decode_dcis_deduped(grid, now, per_ue);
-  } else {
-    auto decode_one = [&](std::size_t i) {
-      per_ue[i] = decode_ue_dcis(grid, now, slot_index_, cell_, ues_[i]);
-    };
-    if (dci_pool_ && ues_.size() > 1) {
-      dci_pool_->run_batch(ues_.size(), decode_one);
+  {
+    ScopedTimer blind_timer(*m_blind_decode_us_);
+    if (config_.dedupe_candidates) {
+      decode_dcis_deduped(grid, now, per_ue);
     } else {
-      for (std::size_t i = 0; i < ues_.size(); ++i) {
-        decode_one(i);
+      auto decode_one = [&](std::size_t i) {
+        per_ue[i] = decode_ue_dcis(grid, now, slot_index_, cell_, ues_[i],
+                                   &m_agg_level_us_);
+      };
+      if (dci_pool_ && ues_.size() > 1) {
+        dci_pool_->run_batch(ues_.size(), decode_one);
+      } else {
+        for (std::size_t i = 0; i < ues_.size(); ++i) {
+          decode_one(i);
+        }
       }
     }
   }
@@ -300,12 +355,22 @@ void NrScope::decode_dcis_deduped(
   }
   std::vector<Location*> work;
   work.reserve(locations.size());
+  std::uint64_t candidates = 0;
   for (auto& [key, loc] : locations) {
     work.push_back(&loc);
+    candidates += loc.watchers.size();
   }
+  // Hit rate of the shared-location optimization: 1 - locations/candidates
+  // (every watcher beyond the first reuses an already-decoded location).
+  m_dedupe_candidates_->inc(candidates);
+  m_dedupe_locations_->inc(work.size());
   std::mutex merge_mutex;
   auto decode_location = [&](std::size_t w) {
     Location& loc = *work[w];
+    std::optional<ScopedTimer> timer;
+    if (Histogram* hist = m_agg_level_us_[agg_level_index(loc.level)]) {
+      timer.emplace(*hist);
+    }
     const auto bits = decode_pdcch_soft_bits(
         cell_.coreset, loc.level, loc.cce, loc.payload_bits, now, grid);
     if (!bits) {
@@ -348,13 +413,16 @@ SlotResult NrScope::process_grid(const ResourceGrid& grid) {
   const auto start = std::chrono::steady_clock::now();
   switch (state_) {
     case State::kSearching:
+      m_slots_searching_->inc();
       search(grid, result);
       break;
     case State::kWaitSib1:
+      m_slots_wait_sib1_->inc();
       wait_sib1(grid, result);
       // The SSB recurs while waiting; nothing else to decode yet.
       break;
     case State::kTracking:
+      m_slots_tracking_->inc();
       track(grid, result);
       break;
   }
@@ -367,8 +435,12 @@ SlotResult NrScope::process_grid(const ResourceGrid& grid) {
 
 SlotResult NrScope::process_slot(std::span<const cf32> samples) {
   const auto start = std::chrono::steady_clock::now();
-  const ResourceGrid grid = demodulator_.demodulate(samples);
-  SlotResult result = process_grid(grid);
+  std::optional<ResourceGrid> grid;
+  {
+    ScopedTimer demod_timer(*m_demod_us_);
+    grid.emplace(demodulator_.demodulate(samples));
+  }
+  SlotResult result = process_grid(*grid);
   const auto end = std::chrono::steady_clock::now();
   result.processing_time_us =
       std::chrono::duration<double, std::micro>(end - start).count();

@@ -9,8 +9,10 @@
 #include <cstdint>
 #include <memory>
 #include <optional>
+#include <string>
 #include <vector>
 
+#include "common/metrics.h"
 #include "common/timing.h"
 #include "common/types.h"
 #include "common/worker_pool.h"
@@ -38,6 +40,12 @@ struct NrScopeConfig {
   std::uint64_t rate_window_slots = 1000;
   bool keep_capacity_history = false;  ///< per-slot RE accounting (Fig. 14)
   SsbLocation ssb{0};
+
+  /// Sanity-check the configuration; returns a descriptive error for the
+  /// first violated constraint, or nullopt when everything is usable.  The
+  /// NrScope / NrScopePipeline constructors call this and throw
+  /// std::invalid_argument instead of silently accepting nonsense values.
+  [[nodiscard]] std::optional<std::string> validate() const;
 };
 
 /// Outcome of processing one slot.
@@ -79,8 +87,21 @@ class NrScope {
 
   /// UEs currently tracked.
   [[nodiscard]] std::vector<Rnti> known_ues() const;
+  /// Read-only telemetry view.  Registration of externally-known UEs — the
+  /// one legitimate mutation — goes through the named add_ue() method.
   [[nodiscard]] const CellTelemetry& telemetry() const { return telemetry_; }
-  [[nodiscard]] CellTelemetry& telemetry() { return telemetry_; }
+
+  /// Point-in-time view of every nrscope.* / rach.* / telemetry.* metric.
+  [[nodiscard]] MetricsSnapshot metrics() const {
+    return metrics_registry_.snapshot();
+  }
+  /// The live registry (the pipeline and sinks register into it too).
+  [[nodiscard]] MetricsRegistry& metrics_registry() {
+    return metrics_registry_;
+  }
+  [[nodiscard]] const MetricsRegistry& metrics_registry() const {
+    return metrics_registry_;
+  }
 
   /// Manually register a UE (e.g. replaying a capture that starts after
   /// the UE's RACH) — mirrors the paper's note that NSA cells need manual
@@ -104,6 +125,7 @@ class NrScope {
   [[nodiscard]] unsigned data_res_total() const;
 
   NrScopeConfig config_;
+  MetricsRegistry metrics_registry_;  ///< before the members that cache into it
   OfdmDemodulator demodulator_;
   std::unique_ptr<WorkerPool> dci_pool_;
   State state_ = State::kSearching;
@@ -112,6 +134,16 @@ class NrScope {
   std::uint16_t pci_ = 0;
   RachTracker rach_;
   CellTelemetry telemetry_;
+  // Hot-path metric handles, resolved once at construction.
+  Counter* m_slots_searching_ = nullptr;
+  Counter* m_slots_wait_sib1_ = nullptr;
+  Counter* m_slots_tracking_ = nullptr;
+  Counter* m_stale_evictions_ = nullptr;
+  Counter* m_dedupe_candidates_ = nullptr;
+  Counter* m_dedupe_locations_ = nullptr;
+  Histogram* m_demod_us_ = nullptr;
+  Histogram* m_blind_decode_us_ = nullptr;
+  AggLevelHistograms m_agg_level_us_{};
   std::vector<UeSearchContext> ues_;
   std::vector<std::uint64_t> ue_last_seen_;
   std::uint64_t slot_index_ = 0;

@@ -1,5 +1,7 @@
 #include "nrscope/pipeline.h"
 
+#include <stdexcept>
+
 namespace nrs {
 
 NrScopePipeline::NrScopePipeline(const NrScopeConfig& config,
@@ -8,10 +10,30 @@ NrScopePipeline::NrScopePipeline(const NrScopeConfig& config,
     : engine_(std::make_unique<NrScope>(config)),
       ofdm_config_(make_ofdm_config(config.n_prb)), input_(queue_depth),
       output_(queue_depth) {
+  if (queue_depth == 0) {
+    throw std::invalid_argument("NrScopePipeline: queue_depth must be > 0");
+  }
+  MetricsRegistry& registry = engine_->metrics_registry();
+  m_slots_pushed_ = &registry.counter("pipeline.slots_pushed");
+  m_drop_queue_full_ =
+      &registry.counter("pipeline.slots_dropped.queue_full");
+  m_drop_finished_ = &registry.counter("pipeline.slots_dropped.finished");
+  m_queue_depth_ = &registry.gauge("pipeline.input_queue_depth");
+  m_reorder_depth_ = &registry.gauge("pipeline.reorder_occupancy");
+  m_demod_us_ = &registry.histogram("pipeline.demod_us");
+  m_collector_wait_us_ = &registry.histogram("pipeline.collector_wait_us");
+  m_collect_us_ = &registry.histogram("pipeline.collect_us");
+  m_output_wait_us_ = &registry.histogram("pipeline.output_wait_us");
+
   active_demods_ = std::max(1u, n_demod_workers);
   demod_workers_.reserve(active_demods_);
+  m_worker_demod_us_.reserve(active_demods_);
   for (unsigned i = 0; i < active_demods_; ++i) {
-    demod_workers_.emplace_back([this] { demod_loop(); });
+    m_worker_demod_us_.push_back(&registry.histogram(
+        "pipeline.demod_us.worker" + std::to_string(i)));
+  }
+  for (unsigned i = 0; i < active_demods_; ++i) {
+    demod_workers_.emplace_back([this, i] { demod_loop(i); });
   }
   collector_ = std::thread([this] { collect_loop(); });
 }
@@ -28,27 +50,53 @@ NrScopePipeline::~NrScopePipeline() {
   }
 }
 
+void NrScopePipeline::add_sink(std::shared_ptr<SlotSink> sink) {
+  if (!sink) {
+    return;
+  }
+  std::lock_guard lock(sink_mutex_);
+  sinks_.push_back(std::move(sink));
+}
+
 bool NrScopePipeline::push_slot(IqBuffer samples) {
   Job job;
   job.index = next_input_index_.load();
   job.samples = std::move(samples);
-  if (!input_.try_push(std::move(job))) {
-    ++dropped_;
-    return false;
+  switch (input_.try_push_result(std::move(job))) {
+    case QueuePushResult::kOk:
+      break;
+    case QueuePushResult::kFull:
+      ++dropped_;
+      m_drop_queue_full_->inc();
+      return false;
+    case QueuePushResult::kClosed:
+      ++dropped_;
+      m_drop_finished_->inc();
+      return false;
   }
   ++next_input_index_;
+  m_slots_pushed_->inc();
+  m_queue_depth_->set(static_cast<std::int64_t>(input_.size()));
   return true;
 }
 
 void NrScopePipeline::finish() { input_.close(); }
 
-void NrScopePipeline::demod_loop() {
+void NrScopePipeline::demod_loop(unsigned worker_index) {
   OfdmDemodulator demod(ofdm_config_);
+  Histogram& worker_us = *m_worker_demod_us_[worker_index];
   while (auto job = input_.pop()) {
-    ResourceGrid grid = demod.demodulate(job->samples);
+    m_queue_depth_->set(static_cast<std::int64_t>(input_.size()));
+    std::optional<ResourceGrid> grid;
+    {
+      ScopedTimer shared_timer(*m_demod_us_);
+      ScopedTimer worker_timer(worker_us);
+      grid.emplace(demod.demodulate(job->samples));
+    }
     {
       std::lock_guard lock(reorder_mutex_);
-      reorder_.emplace(job->index, std::move(grid));
+      reorder_.emplace(job->index, std::move(*grid));
+      m_reorder_depth_->set(static_cast<std::int64_t>(reorder_.size()));
     }
     reorder_cv_.notify_all();
   }
@@ -61,19 +109,36 @@ void NrScopePipeline::demod_loop() {
   reorder_cv_.notify_all();
 }
 
+void NrScopePipeline::deliver(SlotResult result) {
+  std::unique_lock lock(sink_mutex_);
+  if (sinks_.empty()) {
+    lock.unlock();
+    ScopedTimer wait_timer(*m_output_wait_us_);
+    output_.push(std::move(result));
+    return;
+  }
+  for (const auto& sink : sinks_) {
+    sink->on_slot(result);
+  }
+}
+
 void NrScopePipeline::collect_loop() {
   std::uint64_t expected = 0;
   while (true) {
     std::optional<ResourceGrid> grid;
     {
       std::unique_lock lock(reorder_mutex_);
-      reorder_cv_.wait(lock, [&] {
-        return reorder_.count(expected) > 0 || demod_done_;
-      });
+      {
+        ScopedTimer wait_timer(*m_collector_wait_us_);
+        reorder_cv_.wait(lock, [&] {
+          return reorder_.count(expected) > 0 || demod_done_;
+        });
+      }
       const auto it = reorder_.find(expected);
       if (it != reorder_.end()) {
         grid = std::move(it->second);
         reorder_.erase(it);
+        m_reorder_depth_->set(static_cast<std::int64_t>(reorder_.size()));
       } else if (demod_done_ && reorder_.empty()) {
         break;
       } else if (demod_done_) {
@@ -85,10 +150,20 @@ void NrScopePipeline::collect_loop() {
       }
     }
     if (grid) {
-      SlotResult result = engine_->process_grid(*grid);
+      SlotResult result;
+      {
+        ScopedTimer collect_timer(*m_collect_us_);
+        result = engine_->process_grid(*grid);
+      }
       result.slot = expected;
-      output_.push(std::move(result));
+      deliver(std::move(result));
       ++expected;
+    }
+  }
+  {
+    std::lock_guard lock(sink_mutex_);
+    for (const auto& sink : sinks_) {
+      sink->on_finish();
     }
   }
   output_.close();

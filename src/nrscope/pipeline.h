@@ -5,6 +5,15 @@
 // decoding across its own DCI threads — and results come out of a result
 // queue.  A full input queue drops slots, which is the paper's "on-demand
 // slot data processing" load-shedding behaviour.
+//
+// Two output modes:
+//  - pull: poll_result() pops in-order SlotResults (the original API);
+//  - push: attach SlotSinks before feeding input and the collector thread
+//    delivers each result to every sink instead of the result queue,
+//    calling on_finish() once after the last slot.
+// Every stage reports into a shared MetricsRegistry (the engine's):
+// queue depth/drop reasons, per-worker FFT time, reorder-buffer occupancy,
+// collector wait and back-pressure; metrics() snapshots all of it.
 #pragma once
 
 #include <atomic>
@@ -14,9 +23,12 @@
 #include <memory>
 #include <optional>
 #include <thread>
+#include <vector>
 
+#include "common/metrics.h"
 #include "common/queue.h"
 #include "nrscope/nrscope.h"
+#include "nrscope/slot_sink.h"
 
 namespace nrs {
 
@@ -29,12 +41,20 @@ class NrScopePipeline {
   NrScopePipeline(const NrScopePipeline&) = delete;
   NrScopePipeline& operator=(const NrScopePipeline&) = delete;
 
+  /// Attach a push-mode result consumer.  Attach sinks before the first
+  /// push_slot(): once any sink is attached, completed slots go to the
+  /// sinks (in slot order, on the collector thread) instead of the
+  /// poll_result() queue.
+  void add_sink(std::shared_ptr<SlotSink> sink);
+
   /// Enqueue one slot of samples; returns false when the pipeline is
-  /// saturated and the slot was dropped.
+  /// saturated (or already finished) and the slot was dropped.  The drop
+  /// reason is recorded in pipeline.slots_dropped.{queue_full,finished}.
   bool push_slot(IqBuffer samples);
 
   /// Next completed slot result, in slot order.  Blocks up to the queue;
-  /// returns nullopt once finish() has been called and everything drained.
+  /// returns nullopt once finish() has been called and everything drained
+  /// (immediately so when sinks consume the results instead).
   std::optional<SlotResult> poll_result();
 
   /// No more input; workers drain and exit.
@@ -42,6 +62,12 @@ class NrScopePipeline {
 
   /// The tracking engine (valid to inspect after draining).
   [[nodiscard]] const NrScope& engine() const { return *engine_; }
+
+  /// Snapshot of every pipeline.* stage metric plus the engine's own.
+  [[nodiscard]] MetricsSnapshot metrics() const { return engine_->metrics(); }
+  [[nodiscard]] MetricsRegistry& metrics_registry() {
+    return engine_->metrics_registry();
+  }
 
   [[nodiscard]] std::uint64_t dropped_slots() const {
     return dropped_.load();
@@ -53,8 +79,9 @@ class NrScopePipeline {
     IqBuffer samples;
   };
 
-  void demod_loop();
+  void demod_loop(unsigned worker_index);
   void collect_loop();
+  void deliver(SlotResult result);
 
   std::unique_ptr<NrScope> engine_;
   OfdmConfig ofdm_config_;
@@ -62,6 +89,9 @@ class NrScopePipeline {
   BoundedQueue<SlotResult> output_;
   std::vector<std::thread> demod_workers_;
   std::thread collector_;
+
+  std::mutex sink_mutex_;
+  std::vector<std::shared_ptr<SlotSink>> sinks_;
 
   // Reorder buffer between demod workers and the collector.
   std::mutex reorder_mutex_;
@@ -72,6 +102,18 @@ class NrScopePipeline {
 
   std::atomic<std::uint64_t> next_input_index_{0};
   std::atomic<std::uint64_t> dropped_{0};
+
+  // Stage metrics (handles into the engine's registry).
+  Counter* m_slots_pushed_ = nullptr;
+  Counter* m_drop_queue_full_ = nullptr;
+  Counter* m_drop_finished_ = nullptr;
+  Gauge* m_queue_depth_ = nullptr;
+  Gauge* m_reorder_depth_ = nullptr;
+  Histogram* m_demod_us_ = nullptr;
+  std::vector<Histogram*> m_worker_demod_us_;
+  Histogram* m_collector_wait_us_ = nullptr;
+  Histogram* m_collect_us_ = nullptr;
+  Histogram* m_output_wait_us_ = nullptr;
 };
 
 }  // namespace nrs

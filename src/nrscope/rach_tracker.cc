@@ -22,6 +22,14 @@ PdschAllocation alloc_from_grant(const Grant& grant, std::uint16_t pci) {
 
 }  // namespace
 
+void RachTracker::bind_metrics(MetricsRegistry& registry) {
+  metric_msg2_ = &registry.counter("rach.msg2_matches");
+  metric_msg4_ = &registry.counter("rach.msg4_matches");
+  metric_crnti_ = &registry.counter("rach.crnti_discoveries");
+  metric_pdsch_ = &registry.counter("rach.pdsch_decodes");
+  metric_rejected_ = &registry.counter("rach.rejected_recoveries");
+}
+
 std::optional<NewUe> RachTracker::handle_msg4(Rnti rnti, const Dci& dci,
                                               const ResourceGrid& grid,
                                               const SlotPoint& slot,
@@ -40,6 +48,7 @@ std::optional<NewUe> RachTracker::handle_msg4(Rnti rnti, const Dci& dci,
        config_.verify_msg4_pdsch);
   if (need_decode) {
     ++pdsch_decodes_;
+    count(metric_pdsch_);
     const auto payload = decode_pdsch(alloc_from_grant(grant, cell_.pci),
                                       slot, grant.tbs, grid);
     if (payload) {
@@ -49,6 +58,7 @@ std::optional<NewUe> RachTracker::handle_msg4(Rnti rnti, const Dci& dci,
         ue.config = *setup;
         ue.verified = true;
         ++msg4_decoded_;
+        count(metric_msg4_);
         return ue;
       }
     }
@@ -57,10 +67,12 @@ std::optional<NewUe> RachTracker::handle_msg4(Rnti rnti, const Dci& dci,
     // for the DCI, so fall through to the cached/default configuration.
     if (config_.mode == RachTrackMode::kXorRecovery) {
       ++rejected_recoveries_;
+      count(metric_rejected_);
       return std::nullopt;
     }
   }
   ++msg4_decoded_;
+  count(metric_msg4_);
   ue.config = cached_rrc_.value_or(RrcSetup{});
   ue.verified = cached_rrc_.has_value();
   return ue;
@@ -123,6 +135,7 @@ std::vector<NewUe> RachTracker::process_slot(const ResourceGrid& grid,
         if (config_.mode == RachTrackMode::kMsg2Assisted) {
           // Decode the RAR to learn the TC-RNTI.
           ++pdsch_decodes_;
+          count(metric_pdsch_);
           const auto payload = decode_pdsch(
               alloc_from_grant(out.grant, cell_.pci), slot, out.grant.tbs,
               grid);
@@ -131,6 +144,7 @@ std::vector<NewUe> RachTracker::process_slot(const ResourceGrid& grid,
             if (rar && is_plausible_crnti(rar->tc_rnti)) {
               pending_tc_[rar->tc_rnti] = slot_index;
               ++msg2_decoded_;
+              count(metric_msg2_);
             }
           }
         }
@@ -181,6 +195,7 @@ std::vector<NewUe> RachTracker::process_slot(const ResourceGrid& grid,
         if (!is_plausible_crnti(rec->recovered_rnti) ||
             !is_downlink(rec->dci.format)) {
           ++rejected_recoveries_;
+          count(metric_rejected_);
           continue;
         }
         if (auto ue = handle_msg4(rec->recovered_rnti, rec->dci, grid, slot,
@@ -198,6 +213,9 @@ std::vector<NewUe> RachTracker::process_slot(const ResourceGrid& grid,
         }
       }
     }
+  }
+  if (metric_crnti_ != nullptr && !new_ues.empty()) {
+    metric_crnti_->inc(new_ues.size());
   }
   return new_ues;
 }

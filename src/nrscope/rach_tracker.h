@@ -20,6 +20,7 @@
 #include <optional>
 #include <vector>
 
+#include "common/metrics.h"
 #include "nr/cell_config.h"
 #include "nr/pdcch.h"
 #include "nr/rrc.h"
@@ -57,6 +58,10 @@ class RachTracker {
   /// Called once SIB1 is decoded.
   void set_cell(const CellConfig& cell) { cell_ = cell; }
 
+  /// Mirror the tracker's statistics into rach.* counters of `registry`
+  /// (msg2/msg4 matches, C-RNTI discoveries, PDSCH decodes, rejections).
+  void bind_metrics(MetricsRegistry& registry);
+
   /// Scan one slot's common search space.  Decoded MSG2/MSG4 DCIs are
   /// appended to `decoded`; returns the UEs that completed association.
   std::vector<NewUe> process_slot(const ResourceGrid& grid,
@@ -82,6 +87,12 @@ class RachTracker {
                                    const SlotPoint& slot,
                                    std::uint64_t slot_index);
 
+  void count(Counter* counter) {
+    if (counter != nullptr) {
+      counter->inc();
+    }
+  }
+
   RachTrackerConfig config_;
   CellConfig cell_;
   std::map<Rnti, std::uint64_t> pending_tc_;  ///< TC-RNTI -> MSG2 slot
@@ -90,6 +101,11 @@ class RachTracker {
   std::uint64_t msg4_decoded_ = 0;
   std::uint64_t pdsch_decodes_ = 0;
   std::uint64_t rejected_recoveries_ = 0;
+  Counter* metric_msg2_ = nullptr;
+  Counter* metric_msg4_ = nullptr;
+  Counter* metric_crnti_ = nullptr;
+  Counter* metric_pdsch_ = nullptr;
+  Counter* metric_rejected_ = nullptr;
 };
 
 }  // namespace nrs

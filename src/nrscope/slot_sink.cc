@@ -1,0 +1,41 @@
+#include "nrscope/slot_sink.h"
+
+#include <sstream>
+#include <stdexcept>
+
+namespace nrs {
+
+MetricsCsvSink::MetricsCsvSink(const std::string& path,
+                               const MetricsRegistry& registry,
+                               std::uint64_t period_slots)
+    : out_(path), registry_(&registry),
+      period_slots_(period_slots > 0 ? period_slots : 1) {
+  if (!out_) {
+    throw std::runtime_error("MetricsCsvSink: cannot open " + path);
+  }
+  out_ << "slot," << MetricsSnapshot::csv_header() << '\n';
+}
+
+void MetricsCsvSink::on_slot(const SlotResult& result) {
+  last_slot_ = result.slot;
+  if (++seen_ % period_slots_ == 0) {
+    dump();
+  }
+}
+
+void MetricsCsvSink::on_finish() {
+  dump();
+  out_.flush();
+}
+
+void MetricsCsvSink::dump() {
+  const MetricsSnapshot snap = registry_->snapshot();
+  // Prefix every row of the snapshot's CSV with the slot column.
+  std::istringstream rows(snap.to_csv());
+  std::string row;
+  while (std::getline(rows, row)) {
+    out_ << last_slot_ << ',' << row << '\n';
+  }
+}
+
+}  // namespace nrs

@@ -1,0 +1,51 @@
+// Push-mode output API for the sniffer pipeline.  Instead of pulling
+// results through NrScopePipeline::poll_result(), callers can attach any
+// number of SlotSinks; the collector thread then delivers each in-order
+// SlotResult to every sink and calls on_finish() once after the last slot.
+// TelemetryLogWriter (the paper's "Log File" sink) implements this
+// interface, and MetricsCsvSink periodically dumps the MetricsRegistry so a
+// run leaves a machine-readable per-stage timing record behind.
+#pragma once
+
+#include <cstdint>
+#include <fstream>
+#include <string>
+
+#include "common/metrics.h"
+#include "nrscope/nrscope.h"
+
+namespace nrs {
+
+class SlotSink {
+ public:
+  virtual ~SlotSink() = default;
+
+  /// One completed slot, called in slot order on the collector thread.
+  virtual void on_slot(const SlotResult& result) = 0;
+
+  /// Called exactly once after the final slot, before pipeline shutdown.
+  virtual void on_finish() {}
+};
+
+/// Appends a MetricsSnapshot to a CSV file every `period_slots` slots (and
+/// once more at the end of the run).  Rows are
+/// `slot,metric,kind,value,count,sum,min,max,p50,p95,p99`.
+class MetricsCsvSink : public SlotSink {
+ public:
+  MetricsCsvSink(const std::string& path, const MetricsRegistry& registry,
+                 std::uint64_t period_slots = 1000);
+
+  void on_slot(const SlotResult& result) override;
+  void on_finish() override;
+
+ private:
+  void dump();
+
+  std::ofstream out_;
+  const MetricsRegistry* registry_;
+  std::uint64_t period_slots_;
+  std::uint64_t seen_ = 0;
+  std::uint64_t last_slot_ = 0;
+};
+
+}  // namespace nrs

@@ -5,24 +5,27 @@
 namespace nrs {
 
 void RateWindow::add(std::uint64_t slot, std::uint64_t bits) {
+  // Evict relative to the newest sample so the const queries never have to
+  // mutate; the deque is bounded by the window regardless of query pattern.
+  const std::uint64_t begin =
+      slot >= window_slots_ ? slot - window_slots_ : 0;
+  while (!samples_.empty() && samples_.front().first < begin) {
+    samples_.pop_front();
+    if (evictions_ != nullptr) {
+      evictions_->inc();
+    }
+  }
   samples_.emplace_back(slot, bits);
   total_bits_ += bits;
 }
 
-void RateWindow::evict(std::uint64_t now_slot) const {
-  const std::uint64_t begin =
-      now_slot >= window_slots_ ? now_slot - window_slots_ : 0;
-  while (!samples_.empty() && samples_.front().first < begin) {
-    samples_.pop_front();
-  }
-}
-
 double RateWindow::rate_bps(std::uint64_t now_slot,
                             double slot_duration_s) const {
-  evict(now_slot);
+  const std::uint64_t begin =
+      now_slot >= window_slots_ ? now_slot - window_slots_ : 0;
   std::uint64_t bits = 0;
   for (const auto& [slot, b] : samples_) {
-    if (slot < now_slot) {
+    if (slot >= begin && slot < now_slot) {
       bits += b;
     }
   }
@@ -53,11 +56,34 @@ bool UeTelemetry::observe(DecodedDci& dci) {
   return retx;
 }
 
-void CellTelemetry::add_ue(Rnti rnti, std::uint64_t slot) {
-  ues_.try_emplace(rnti, rnti, slot, window_slots_);
+CellTelemetry::CellTelemetry(Scs scs, std::uint64_t window_slots,
+                             MetricsRegistry* registry)
+    : scs_(scs), window_slots_(window_slots) {
+  if (registry != nullptr) {
+    ue_added_ = &registry->counter("telemetry.ue_added");
+    ue_removed_ = &registry->counter("telemetry.ue_removed");
+    window_evictions_ = &registry->counter("telemetry.window_evictions");
+  }
 }
 
-void CellTelemetry::remove_ue(Rnti rnti) { ues_.erase(rnti); }
+UeTelemetry& CellTelemetry::ensure_ue(Rnti rnti, std::uint64_t slot) {
+  auto [it, inserted] =
+      ues_.try_emplace(rnti, rnti, slot, window_slots_, window_evictions_);
+  if (inserted && ue_added_ != nullptr) {
+    ue_added_->inc();
+  }
+  return it->second;
+}
+
+void CellTelemetry::add_ue(Rnti rnti, std::uint64_t slot) {
+  ensure_ue(rnti, slot);
+}
+
+void CellTelemetry::remove_ue(Rnti rnti) {
+  if (ues_.erase(rnti) > 0 && ue_removed_ != nullptr) {
+    ue_removed_->inc();
+  }
+}
 
 UeTelemetry* CellTelemetry::find(Rnti rnti) {
   const auto it = ues_.find(rnti);
@@ -77,9 +103,7 @@ void CellTelemetry::observe_slot(std::uint64_t slot,
   cap.data_res_total = data_res_total;
 
   for (auto& dci : dcis) {
-    auto [it, inserted] = ues_.try_emplace(dci.rnti, dci.rnti, slot,
-                                           window_slots_);
-    it->second.observe(dci);
+    ensure_ue(dci.rnti, slot).observe(dci);
     if (is_downlink(dci.dci.format)) {
       const unsigned res =
           dci.grant.prb_len * kSubcarriersPerPrb * (dci.grant.n_symbols - 1);

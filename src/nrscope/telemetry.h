@@ -10,6 +10,7 @@
 #include <map>
 #include <vector>
 
+#include "common/metrics.h"
 #include "common/timing.h"
 #include "common/types.h"
 #include "nr/grant.h"
@@ -29,10 +30,13 @@ struct DecodedDci {
 };
 
 /// Sliding-window throughput estimator over (slot, bits) samples.
+/// Eviction happens on `add` (relative to the newest sample), so all the
+/// const queries are genuinely read-only.
 class RateWindow {
  public:
-  explicit RateWindow(std::uint64_t window_slots = 1000)
-      : window_slots_(window_slots) {}
+  explicit RateWindow(std::uint64_t window_slots = 1000,
+                      Counter* evictions = nullptr)
+      : window_slots_(window_slots), evictions_(evictions) {}
 
   void add(std::uint64_t slot, std::uint64_t bits);
 
@@ -44,19 +48,20 @@ class RateWindow {
 
  private:
   std::uint64_t window_slots_;
-  mutable std::deque<std::pair<std::uint64_t, std::uint64_t>> samples_;
+  std::deque<std::pair<std::uint64_t, std::uint64_t>> samples_;
   std::uint64_t total_bits_ = 0;
-
-  void evict(std::uint64_t now_slot) const;
+  Counter* evictions_;  ///< optional telemetry.window_evictions hookup
 };
 
 /// Everything NR-Scope knows about one UE.
 class UeTelemetry {
  public:
   UeTelemetry(Rnti rnti, std::uint64_t first_slot,
-              std::uint64_t window_slots)
+              std::uint64_t window_slots,
+              Counter* window_evictions = nullptr)
       : rnti_(rnti), first_slot_(first_slot), last_slot_(first_slot),
-        dl_rate_(window_slots), ul_rate_(window_slots) {}
+        dl_rate_(window_slots, window_evictions),
+        ul_rate_(window_slots, window_evictions) {}
 
   /// Feed one decoded DCI; returns true when it was a retransmission.
   bool observe(DecodedDci& dci);
@@ -122,8 +127,10 @@ struct SlotCapacity {
 
 class CellTelemetry {
  public:
-  explicit CellTelemetry(Scs scs, std::uint64_t window_slots = 1000)
-      : scs_(scs), window_slots_(window_slots) {}
+  /// `registry`, when given, receives telemetry.ue_added /
+  /// telemetry.ue_removed / telemetry.window_evictions counters.
+  explicit CellTelemetry(Scs scs, std::uint64_t window_slots = 1000,
+                         MetricsRegistry* registry = nullptr);
 
   /// Feed a slot's decoded DCIs; `data_res_total` is the PDSCH capacity of
   /// the TTI (0 for non-DL slots).
@@ -149,12 +156,18 @@ class CellTelemetry {
   [[nodiscard]] double spare_bps(Rnti rnti) const;
 
  private:
+  /// Insert-if-absent with the metrics hookups threaded through.
+  UeTelemetry& ensure_ue(Rnti rnti, std::uint64_t slot);
+
   Scs scs_;
   std::uint64_t window_slots_;
   std::map<Rnti, UeTelemetry> ues_;
   std::vector<SlotCapacity> history_;
   double last_spare_res_per_ue_ = 0.0;
   std::map<Rnti, double> last_spare_bps_;
+  Counter* ue_added_ = nullptr;
+  Counter* ue_removed_ = nullptr;
+  Counter* window_evictions_ = nullptr;
 };
 
 }  // namespace nrs

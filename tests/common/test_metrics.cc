@@ -1,0 +1,214 @@
+// Tests of the lock-cheap metrics subsystem: counter/gauge/histogram
+// semantics, percentile estimation, concurrent updates from N threads, and
+// snapshot consistency / serialization.
+#include "common/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+namespace nrs {
+namespace {
+
+TEST(Counter, StartsAtZeroAndAccumulates) {
+  Counter c;
+  EXPECT_EQ(c.value(), 0u);
+  c.inc();
+  c.inc(41);
+  EXPECT_EQ(c.value(), 42u);
+}
+
+TEST(Gauge, SetAndAdd) {
+  Gauge g;
+  g.set(10);
+  g.add(-3);
+  EXPECT_EQ(g.value(), 7);
+  g.set(-5);
+  EXPECT_EQ(g.value(), -5);
+}
+
+TEST(Histogram, CountSumMinMax) {
+  Histogram h({10.0, 100.0});
+  h.observe(5.0);
+  h.observe(50.0);
+  h.observe(500.0);
+  EXPECT_EQ(h.count(), 3u);
+  EXPECT_DOUBLE_EQ(h.sum(), 555.0);
+  EXPECT_DOUBLE_EQ(h.min(), 5.0);
+  EXPECT_DOUBLE_EQ(h.max(), 500.0);
+  EXPECT_EQ(h.bucket_count(0), 1u);
+  EXPECT_EQ(h.bucket_count(1), 1u);
+  EXPECT_EQ(h.bucket_count(2), 1u);  // overflow bucket
+}
+
+MetricsSnapshot snapshot_of(MetricsRegistry& reg) { return reg.snapshot(); }
+
+TEST(Histogram, PercentilesFromLinearBuckets) {
+  MetricsRegistry reg;
+  Histogram& h = reg.histogram(
+      "lat", {10, 20, 30, 40, 50, 60, 70, 80, 90, 100});
+  for (int v = 1; v <= 100; ++v) {
+    h.observe(static_cast<double>(v));
+  }
+  const auto snap = snapshot_of(reg);
+  const auto* hs = snap.find_histogram("lat");
+  ASSERT_NE(hs, nullptr);
+  EXPECT_NEAR(hs->p50(), 50.0, 10.0);
+  EXPECT_NEAR(hs->p95(), 95.0, 10.0);
+  EXPECT_NEAR(hs->p99(), 99.0, 10.0);
+  EXPECT_NEAR(hs->mean(), 50.5, 1e-9);
+  // Percentiles never leave the observed range.
+  EXPECT_GE(hs->percentile(0.0), 1.0);
+  EXPECT_LE(hs->percentile(100.0), 100.0);
+}
+
+TEST(Histogram, EmptyPercentileIsZero) {
+  MetricsRegistry reg;
+  reg.histogram("empty");
+  const auto snap = reg.snapshot();
+  const auto* hs = snap.find_histogram("empty");
+  ASSERT_NE(hs, nullptr);
+  EXPECT_DOUBLE_EQ(hs->p50(), 0.0);
+  EXPECT_DOUBLE_EQ(hs->mean(), 0.0);
+}
+
+TEST(MetricsRegistry, SameNameReturnsSameMetric) {
+  MetricsRegistry reg;
+  Counter& a = reg.counter("x");
+  Counter& b = reg.counter("x");
+  EXPECT_EQ(&a, &b);
+  a.inc();
+  EXPECT_EQ(b.value(), 1u);
+  EXPECT_EQ(&reg.histogram("h"), &reg.histogram("h"));
+  EXPECT_EQ(&reg.gauge("g"), &reg.gauge("g"));
+}
+
+TEST(MetricsRegistry, ConcurrentCounterUpdatesAreExact) {
+  MetricsRegistry reg;
+  Counter& c = reg.counter("hits");
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 20000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < kPerThread; ++i) {
+        c.inc();
+      }
+    });
+  }
+  for (auto& t : threads) {
+    t.join();
+  }
+  EXPECT_EQ(c.value(), static_cast<std::uint64_t>(kThreads) * kPerThread);
+}
+
+TEST(MetricsRegistry, ConcurrentHistogramUpdatesAreExact) {
+  MetricsRegistry reg;
+  Histogram& h = reg.histogram("lat", {1.0, 10.0, 100.0});
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 5000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        h.observe(7.0 + t);  // values spread across two buckets
+      }
+    });
+  }
+  for (auto& t : threads) {
+    t.join();
+  }
+  const std::uint64_t total =
+      static_cast<std::uint64_t>(kThreads) * kPerThread;
+  EXPECT_EQ(h.count(), total);
+  double expected_sum = 0.0;
+  for (int t = 0; t < kThreads; ++t) {
+    expected_sum += (7.0 + t) * kPerThread;
+  }
+  EXPECT_DOUBLE_EQ(h.sum(), expected_sum);
+  EXPECT_DOUBLE_EQ(h.min(), 7.0);
+  EXPECT_DOUBLE_EQ(h.max(), 7.0 + kThreads - 1);
+}
+
+TEST(MetricsRegistry, SnapshotsWhileWritersRun) {
+  MetricsRegistry reg;
+  Counter& c = reg.counter("events");
+  Histogram& h = reg.histogram("lat");
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> writers;
+  for (int t = 0; t < 4; ++t) {
+    writers.emplace_back([&] {
+      while (!stop.load()) {
+        c.inc();
+        h.observe(3.0);
+      }
+    });
+  }
+  // Snapshots taken mid-flight must be internally sane: monotone counter,
+  // histogram count never exceeding the live value read afterwards.
+  std::uint64_t last = 0;
+  for (int i = 0; i < 200; ++i) {
+    const auto snap = reg.snapshot();
+    const std::uint64_t now = snap.counter_value("events");
+    EXPECT_GE(now, last);
+    last = now;
+    const auto* hs = snap.find_histogram("lat");
+    ASSERT_NE(hs, nullptr);
+    std::uint64_t bucket_total = 0;
+    for (const auto b : hs->counts) {
+      bucket_total += b;
+    }
+    EXPECT_LE(hs->count, h.count());
+    EXPECT_LE(bucket_total, h.count());
+  }
+  stop.store(true);
+  for (auto& t : writers) {
+    t.join();
+  }
+  const auto final_snap = reg.snapshot();
+  EXPECT_EQ(final_snap.counter_value("events"), c.value());
+  EXPECT_EQ(final_snap.find_histogram("lat")->count, h.count());
+}
+
+TEST(ScopedTimer, RecordsOneSample) {
+  MetricsRegistry reg;
+  Histogram& h = reg.histogram("scope_us");
+  {
+    ScopedTimer timer(h);
+  }
+  EXPECT_EQ(h.count(), 1u);
+  EXPECT_GE(h.max(), 0.0);
+}
+
+TEST(MetricsSnapshot, JsonAndCsvContainEveryMetric) {
+  MetricsRegistry reg;
+  reg.counter("c.hits").inc(3);
+  reg.gauge("g.depth").set(-2);
+  reg.histogram("h.lat", {1.0, 2.0}).observe(1.5);
+  const auto snap = reg.snapshot();
+
+  const std::string json = snap.to_json();
+  EXPECT_NE(json.find("\"c.hits\":3"), std::string::npos);
+  EXPECT_NE(json.find("\"g.depth\":-2"), std::string::npos);
+  EXPECT_NE(json.find("\"h.lat\""), std::string::npos);
+  EXPECT_NE(json.find("\"count\":1"), std::string::npos);
+
+  const std::string csv = snap.to_csv();
+  EXPECT_NE(csv.find("c.hits,counter,3"), std::string::npos);
+  EXPECT_NE(csv.find("g.depth,gauge,-2"), std::string::npos);
+  EXPECT_NE(csv.find("h.lat,histogram"), std::string::npos);
+  EXPECT_NE(MetricsSnapshot::csv_header().find("p95"), std::string::npos);
+}
+
+TEST(MetricsSnapshot, FindMissingReturnsNull) {
+  MetricsRegistry reg;
+  const auto snap = reg.snapshot();
+  EXPECT_EQ(snap.find_counter("nope"), nullptr);
+  EXPECT_EQ(snap.find_gauge("nope"), nullptr);
+  EXPECT_EQ(snap.find_histogram("nope"), nullptr);
+  EXPECT_EQ(snap.counter_value("nope"), 0u);
+}
+
+}  // namespace
+}  // namespace nrs

@@ -18,9 +18,9 @@ TEST(ResourceGrid, RejectsEmpty) {
 
 TEST(ResourceGrid, OutOfRangeThrows) {
   ResourceGrid grid(10);
-  EXPECT_THROW(grid.at(14, 0), std::out_of_range);
-  EXPECT_THROW(grid.at(0, 120), std::out_of_range);
-  EXPECT_THROW(grid.symbol(14), std::out_of_range);
+  EXPECT_THROW((void)grid.at(14, 0), std::out_of_range);
+  EXPECT_THROW((void)grid.at(0, 120), std::out_of_range);
+  EXPECT_THROW((void)grid.symbol(14), std::out_of_range);
 }
 
 TEST(ResourceGrid, WriteReadRoundTrip) {
