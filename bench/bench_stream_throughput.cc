@@ -1,0 +1,209 @@
+// Streaming-sink overhead bench: how fast can the collector thread push
+// slot results through the TelemetryStreamServer, and what does a slow
+// consumer cost under each backpressure policy?
+//
+// Two questions, two tables:
+//   1. slots/sec vs. number of (fast, draining) loopback clients — the
+//      fan-out cost of serializing once and enqueueing per client.
+//   2. a deliberately stuck client (connects, never reads) under each
+//      BackpressurePolicy — the feed rate must stay within noise of the
+//      no-server baseline, with the configured policy shedding frames
+//      (drops show up in the net.* metrics, never as collector stalls).
+//
+// Run:  ./build/bench/bench_stream_throughput
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "bench_util.h"
+#include "net/stream_client.h"
+#include "net/stream_server.h"
+
+namespace {
+
+using namespace nrs;
+using Clock = std::chrono::steady_clock;
+
+constexpr unsigned kSlots = 20000;
+constexpr unsigned kDcisPerSlot = 8;
+
+SlotResult make_slot(std::uint64_t index) {
+  SlotResult result;
+  result.slot = index;
+  result.processing_time_us = 150.0;
+  for (unsigned i = 0; i < kDcisPerSlot; ++i) {
+    DecodedDci dci;
+    dci.slot = index;
+    dci.rnti = static_cast<Rnti>(0x4601 + i);
+    dci.grant.rnti = dci.rnti;
+    dci.grant.prb_start = i;
+    dci.grant.prb_len = 12;
+    dci.grant.n_symbols = 12;
+    dci.grant.mcs = 17;
+    dci.grant.tbs = 8192;
+    dci.agg_level = 2;
+    dci.cce_start = 4 * i;
+    result.dcis.push_back(dci);
+  }
+  return result;
+}
+
+/// A TCP client that subscribes and then never reads: the worst consumer
+/// the paper's live-streaming mode has to survive.
+class StuckClient {
+ public:
+  explicit StuckClient(std::uint16_t port) {
+    fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(port);
+    ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+    if (::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) !=
+        0) {
+      ::close(fd_);
+      fd_ = -1;
+    }
+  }
+  ~StuckClient() {
+    if (fd_ >= 0) {
+      ::close(fd_);
+    }
+  }
+  [[nodiscard]] bool ok() const { return fd_ >= 0; }
+
+ private:
+  int fd_ = -1;
+};
+
+struct BenchResult {
+  double wall_s = 0.0;
+  double mean_on_slot_ns = 0.0;
+  MetricsSnapshot snapshot;
+  std::uint64_t frames_received = 0;  ///< across all fast clients
+};
+
+/// Feed kSlots pre-built results into a server sink with `n_fast` draining
+/// clients and optionally one stuck client; time only the on_slot calls.
+BenchResult run_case(unsigned n_fast, BackpressurePolicy policy,
+                     bool with_stuck,
+                     const std::vector<SlotResult>& pool) {
+  BenchResult out;
+  MetricsRegistry registry;
+  StreamServerConfig server_cfg;
+  server_cfg.policy = policy;
+  server_cfg.client_queue_frames = 256;
+  auto server =
+      std::make_unique<TelemetryStreamServer>(server_cfg, &registry);
+
+  std::atomic<std::uint64_t> received{0};
+  std::vector<std::unique_ptr<TelemetryStreamClient>> clients;
+  StreamClientHandlers handlers;
+  handlers.on_slot = [&](const SlotResult&) {
+    received.fetch_add(1, std::memory_order_relaxed);
+  };
+  StreamClientConfig client_cfg;
+  client_cfg.port = server->port();
+  for (unsigned c = 0; c < n_fast; ++c) {
+    clients.push_back(
+        std::make_unique<TelemetryStreamClient>(client_cfg, handlers));
+  }
+  std::unique_ptr<StuckClient> stuck;
+  if (with_stuck) {
+    stuck = std::make_unique<StuckClient>(server->port());
+  }
+  const unsigned expected = n_fast + (with_stuck ? 1u : 0u);
+  while (server->client_count() < expected) {
+  }
+
+  const auto start = Clock::now();
+  for (unsigned i = 0; i < kSlots; ++i) {
+    server->on_slot(pool[i % pool.size()]);
+  }
+  const auto end = Clock::now();
+  server->on_finish();
+  for (auto& client : clients) {
+    client->wait_end_of_stream(10.0);
+  }
+  clients.clear();
+  server.reset();
+
+  out.wall_s = std::chrono::duration<double>(end - start).count();
+  out.mean_on_slot_ns = out.wall_s * 1e9 / kSlots;
+  out.snapshot = registry.snapshot();
+  out.frames_received = received.load();
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  nrs::bench::print_header(
+      "stream", "telemetry streaming overhead (loopback, " +
+                    std::to_string(kSlots) + " slots x " +
+                    std::to_string(kDcisPerSlot) + " DCIs)");
+
+  std::vector<SlotResult> pool;
+  pool.reserve(64);
+  for (std::uint64_t i = 0; i < 64; ++i) {
+    pool.push_back(make_slot(i));
+  }
+
+  // Baseline: the same loop with no server sink at all (pure iteration),
+  // so the tables below can be read as overhead-above-nothing.
+  double baseline_ns = 0.0;
+  {
+    const auto start = Clock::now();
+    std::uint64_t sum = 0;
+    for (unsigned i = 0; i < kSlots; ++i) {
+      sum += pool[i % pool.size()].dcis.size();
+    }
+    const auto end = Clock::now();
+    baseline_ns =
+        std::chrono::duration<double>(end - start).count() * 1e9 / kSlots;
+    std::printf("no-server baseline: %.0f ns/slot (checksum %llu)\n\n",
+                baseline_ns, static_cast<unsigned long long>(sum));
+  }
+
+  std::printf("-- fan-out: slots/sec vs. draining client count --\n");
+  std::printf("%8s %12s %14s %14s %14s\n", "clients", "slots/s",
+              "on_slot ns", "frames rx", "MB sent");
+  for (const unsigned n : {0u, 1u, 2u, 4u}) {
+    const BenchResult r =
+        run_case(n, BackpressurePolicy::kDropOldest, false, pool);
+    std::printf("%8u %12.0f %14.0f %14llu %14.2f\n", n, kSlots / r.wall_s,
+                r.mean_on_slot_ns,
+                static_cast<unsigned long long>(r.frames_received),
+                static_cast<double>(
+                    r.snapshot.counter_value("net.bytes_sent")) /
+                    1e6);
+  }
+
+  std::printf("\n-- one stuck consumer (never reads) per policy --\n");
+  std::printf("%-18s %12s %12s %12s %12s %12s\n", "policy", "slots/s",
+              "on_slot ns", "dropped", "coalesced", "kicked");
+  for (const BackpressurePolicy policy :
+       {BackpressurePolicy::kDropOldest, BackpressurePolicy::kCoalesceLatest,
+        BackpressurePolicy::kDisconnectSlow}) {
+    const BenchResult r = run_case(0, policy, true, pool);
+    std::printf("%-18s %12.0f %12.0f %12llu %12llu %12llu\n",
+                to_string(policy), kSlots / r.wall_s, r.mean_on_slot_ns,
+                static_cast<unsigned long long>(r.snapshot.counter_value(
+                    "net.frames_dropped.drop_oldest")),
+                static_cast<unsigned long long>(
+                    r.snapshot.counter_value("net.frames_dropped.coalesced")),
+                static_cast<unsigned long long>(r.snapshot.counter_value(
+                    "net.clients_disconnected_slow")));
+  }
+  std::printf("\nreading the table: a stuck client must never stall the\n"
+              "collector -- on_slot ns stays near the 1-fast-client row\n"
+              "(microseconds, i.e. noise next to the ~100 us slot pipeline),\n"
+              "and the shed frames appear in the policy's drop counter.\n");
+  return 0;
+}

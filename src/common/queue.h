@@ -3,6 +3,7 @@
 // through instances of this queue.
 #pragma once
 
+#include <chrono>
 #include <condition_variable>
 #include <cstddef>
 #include <deque>
@@ -65,6 +66,23 @@ class BoundedQueue {
   std::optional<T> pop() {
     std::unique_lock lock(mutex_);
     not_empty_.wait(lock, [this] { return closed_ || !items_.empty(); });
+    if (items_.empty()) {
+      return std::nullopt;
+    }
+    T item = std::move(items_.front());
+    items_.pop_front();
+    not_full_.notify_one();
+    return item;
+  }
+
+  /// Blocking pop with a deadline: waits up to `timeout` for an item.
+  /// Empty optional means either timeout or closed-and-drained; callers
+  /// that need to distinguish check closed() (a closed queue stays closed).
+  template <typename Rep, typename Period>
+  std::optional<T> pop_for(std::chrono::duration<Rep, Period> timeout) {
+    std::unique_lock lock(mutex_);
+    not_empty_.wait_for(lock, timeout,
+                        [this] { return closed_ || !items_.empty(); });
     if (items_.empty()) {
       return std::nullopt;
     }

@@ -1,0 +1,219 @@
+#include "net/stream_client.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+
+namespace nrs {
+
+namespace {
+using Clock = std::chrono::steady_clock;
+}  // namespace
+
+TelemetryStreamClient::TelemetryStreamClient(
+    const StreamClientConfig& config, StreamClientHandlers handlers,
+    MetricsRegistry* registry)
+    : config_(config), handlers_(std::move(handlers)) {
+  if (registry == nullptr) {
+    own_registry_ = std::make_unique<MetricsRegistry>();
+    registry = own_registry_.get();
+  }
+  m_connects_ = &registry->counter("net.client.connects");
+  m_reconnect_attempts_ =
+      &registry->counter("net.client.reconnect_attempts");
+  m_disconnects_ = &registry->counter("net.client.disconnects");
+  m_frames_rx_ = &registry->counter("net.client.frames_received");
+  m_bytes_rx_ = &registry->counter("net.client.bytes_received");
+  m_decode_errors_ = &registry->counter("net.client.decode_errors");
+  reader_ = std::thread([this] { run(); });
+}
+
+TelemetryStreamClient::~TelemetryStreamClient() { stop(); }
+
+void TelemetryStreamClient::stop() {
+  stopping_.store(true);
+  const int fd = live_fd_.load();
+  if (fd >= 0) {
+    ::shutdown(fd, SHUT_RDWR);  // wake a blocked poll()/recv()
+  }
+  note_state_change();
+  if (reader_.joinable()) {
+    reader_.join();
+  }
+}
+
+void TelemetryStreamClient::note_state_change() {
+  std::lock_guard lock(state_mutex_);
+  state_cv_.notify_all();
+}
+
+bool TelemetryStreamClient::wait_end_of_stream(double timeout_s) {
+  std::unique_lock lock(state_mutex_);
+  state_cv_.wait_for(lock, std::chrono::duration<double>(timeout_s), [this] {
+    return saw_end_.load() || finished_.load();
+  });
+  return saw_end_.load();
+}
+
+bool TelemetryStreamClient::wait_connected(double timeout_s) {
+  std::unique_lock lock(state_mutex_);
+  state_cv_.wait_for(lock, std::chrono::duration<double>(timeout_s), [this] {
+    return connected_.load() || finished_.load();
+  });
+  return connected_.load();
+}
+
+int TelemetryStreamClient::connect_once() const {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    return -1;
+  }
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(config_.port);
+  if (::inet_pton(AF_INET, config_.host.c_str(), &addr.sin_addr) != 1 ||
+      ::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                sizeof(addr)) != 0) {
+    ::close(fd);
+    return -1;
+  }
+  const int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  return fd;
+}
+
+void TelemetryStreamClient::run() {
+  double backoff_s = config_.backoff_initial_s;
+  int failed_attempts = 0;
+  bool first_attempt = true;
+  while (!stopping_.load()) {
+    const int fd = connect_once();
+    if (fd < 0) {
+      ++failed_attempts;
+      if (!first_attempt) {
+        m_reconnect_attempts_->inc();
+      }
+      first_attempt = false;
+      if (config_.max_reconnect_attempts >= 0 &&
+          failed_attempts > config_.max_reconnect_attempts) {
+        break;
+      }
+      // Exponential backoff, sliced so stop() stays responsive.
+      const auto deadline =
+          Clock::now() + std::chrono::duration_cast<Clock::duration>(
+                             std::chrono::duration<double>(backoff_s));
+      while (!stopping_.load() && Clock::now() < deadline) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(10));
+      }
+      backoff_s = std::min(backoff_s * 2.0, config_.backoff_max_s);
+      continue;
+    }
+    failed_attempts = 0;
+    first_attempt = false;
+    backoff_s = config_.backoff_initial_s;
+    live_fd_.store(fd);
+    connected_.store(true);
+    m_connects_->inc();
+    note_state_change();
+
+    const bool done = serve_connection(fd);
+
+    connected_.store(false);
+    live_fd_.store(-1);
+    ::close(fd);
+    m_disconnects_->inc();
+    if (handlers_.on_disconnected && !stopping_.load() && !done) {
+      handlers_.on_disconnected();
+    }
+    note_state_change();
+    if (done) {
+      break;
+    }
+  }
+  finished_.store(true);
+  note_state_change();
+}
+
+bool TelemetryStreamClient::serve_connection(int fd) {
+  FrameParser parser;
+  std::uint8_t buf[16384];
+  auto last_frame = Clock::now();
+  const auto timeout = std::chrono::duration<double>(config_.read_timeout_s);
+  while (!stopping_.load()) {
+    pollfd pfd{fd, POLLIN, 0};
+    const int ready = ::poll(&pfd, 1, /*timeout_ms=*/50);
+    if (ready < 0 && errno != EINTR) {
+      return false;
+    }
+    if (ready > 0) {
+      const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+      if (n <= 0) {
+        return false;  // peer closed or hard error
+      }
+      m_bytes_rx_->inc(static_cast<std::uint64_t>(n));
+      parser.feed(std::span<const std::uint8_t>(buf, static_cast<std::size_t>(n)));
+      while (auto frame = parser.next()) {
+        last_frame = Clock::now();
+        m_frames_rx_->inc();
+        switch (frame->type) {
+          case FrameType::kHello:
+            if (auto hello = decode_hello(frame->payload)) {
+              if (handlers_.on_connected) {
+                handlers_.on_connected(*hello);
+              }
+            } else {
+              m_decode_errors_->inc();
+            }
+            break;
+          case FrameType::kSlot:
+            if (auto slot = decode_slot(frame->payload)) {
+              if (handlers_.on_slot) {
+                handlers_.on_slot(*slot);
+              }
+            } else {
+              m_decode_errors_->inc();
+            }
+            break;
+          case FrameType::kMetrics:
+            if (auto metrics = decode_metrics(frame->payload)) {
+              if (handlers_.on_metrics) {
+                handlers_.on_metrics(*metrics);
+              }
+            } else {
+              m_decode_errors_->inc();
+            }
+            break;
+          case FrameType::kHeartbeat:
+            break;  // liveness only
+          case FrameType::kEnd:
+            saw_end_.store(true);
+            note_state_change();
+            if (handlers_.on_end_of_stream) {
+              handlers_.on_end_of_stream();
+            }
+            if (config_.stop_on_end_of_stream) {
+              return true;
+            }
+            break;
+        }
+      }
+      if (parser.error()) {
+        m_decode_errors_->inc();
+        return false;  // protocol mismatch: drop and reconnect
+      }
+    }
+    if (Clock::now() - last_frame > timeout) {
+      return false;  // silent peer: heartbeats stopped, declare it dead
+    }
+  }
+  return true;
+}
+
+}  // namespace nrs

@@ -1,0 +1,109 @@
+// Reconnecting consumer of the telemetry wire protocol.  Owns one reader
+// thread: it connects to a TelemetryStreamServer, parses frames, and hands
+// decoded SlotResults / MetricsSnapshots to user callbacks.  Liveness is
+// watched with a read timeout (the server heartbeats when idle, so a quiet
+// socket means a dead peer, not a quiet cell); a lost connection is retried
+// forever (or up to a configured attempt budget) with exponential backoff,
+// which makes the client survive mid-stream server restarts: it simply
+// resubscribes and resumes with the server's hello frame.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+
+#include "common/metrics.h"
+#include "net/wire.h"
+
+namespace nrs {
+
+struct StreamClientConfig {
+  std::string host = "127.0.0.1";
+  std::uint16_t port = 0;
+  /// No frame (not even a heartbeat) for this long -> the connection is
+  /// declared dead and the reconnect loop takes over.  Must be comfortably
+  /// larger than the server's heartbeat_period_s.
+  double read_timeout_s = 2.0;
+  double backoff_initial_s = 0.05;  ///< first reconnect delay
+  double backoff_max_s = 1.0;       ///< exponential backoff ceiling
+  /// Give up after this many consecutive failed connects (-1 = never).
+  int max_reconnect_attempts = -1;
+  /// Stop the reader thread once an end-of-stream frame arrives (a
+  /// finished run); switch off to keep listening across runs.
+  bool stop_on_end_of_stream = true;
+};
+
+/// Decoded-frame callbacks, all invoked on the client's reader thread.
+/// Unset members are simply skipped.
+struct StreamClientHandlers {
+  std::function<void(const HelloInfo&)> on_connected;
+  std::function<void(const SlotResult&)> on_slot;
+  std::function<void(const MetricsSnapshot&)> on_metrics;
+  std::function<void()> on_disconnected;
+  std::function<void()> on_end_of_stream;
+};
+
+class TelemetryStreamClient {
+ public:
+  /// Starts the reader thread immediately.  `registry` (optional) receives
+  /// the net.client.* metrics: connects, reconnect attempts, frames/bytes
+  /// received, disconnects.
+  TelemetryStreamClient(const StreamClientConfig& config,
+                        StreamClientHandlers handlers,
+                        MetricsRegistry* registry = nullptr);
+  ~TelemetryStreamClient();
+
+  TelemetryStreamClient(const TelemetryStreamClient&) = delete;
+  TelemetryStreamClient& operator=(const TelemetryStreamClient&) = delete;
+
+  /// Ask the reader thread to exit and join it.  Idempotent.
+  void stop();
+
+  [[nodiscard]] bool connected() const { return connected_.load(); }
+  /// True once an end-of-stream frame has been received.
+  [[nodiscard]] bool end_of_stream() const { return saw_end_.load(); }
+  /// True when the reader thread has exited (end of stream, stop(), or
+  /// the reconnect budget ran out).
+  [[nodiscard]] bool finished() const { return finished_.load(); }
+
+  /// Block until end_of_stream() (or the thread exits); false on timeout.
+  bool wait_end_of_stream(double timeout_s);
+  /// Block until connected() is true; false on timeout.
+  bool wait_connected(double timeout_s);
+
+ private:
+  void run();
+  /// One connection lifetime; returns true when the client should stop.
+  bool serve_connection(int fd);
+  [[nodiscard]] int connect_once() const;
+  void note_state_change();
+
+  StreamClientConfig config_;
+  StreamClientHandlers handlers_;
+  std::unique_ptr<MetricsRegistry> own_registry_;
+
+  std::atomic<bool> stopping_{false};
+  std::atomic<bool> connected_{false};
+  std::atomic<bool> saw_end_{false};
+  std::atomic<bool> finished_{false};
+  std::atomic<int> live_fd_{-1};  ///< shutdown() target for stop()
+
+  std::mutex state_mutex_;
+  std::condition_variable state_cv_;
+
+  std::thread reader_;
+
+  Counter* m_connects_ = nullptr;
+  Counter* m_reconnect_attempts_ = nullptr;
+  Counter* m_disconnects_ = nullptr;
+  Counter* m_frames_rx_ = nullptr;
+  Counter* m_bytes_rx_ = nullptr;
+  Counter* m_decode_errors_ = nullptr;
+};
+
+}  // namespace nrs

@@ -1,0 +1,306 @@
+#include "net/stream_server.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <stdexcept>
+
+namespace nrs {
+
+namespace {
+
+/// write() the whole buffer, riding out EINTR and partial sends.  Uses
+/// MSG_NOSIGNAL so a vanished client surfaces as EPIPE, not SIGPIPE.
+bool send_all(int fd, const std::uint8_t* data, std::size_t size) {
+  std::size_t sent = 0;
+  while (sent < size) {
+    const ssize_t n = ::send(fd, data + sent, size - sent, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) {
+        continue;
+      }
+      return false;
+    }
+    sent += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+}  // namespace
+
+const char* to_string(BackpressurePolicy policy) {
+  switch (policy) {
+    case BackpressurePolicy::kDropOldest: return "drop-oldest";
+    case BackpressurePolicy::kCoalesceLatest: return "coalesce-latest";
+    case BackpressurePolicy::kDisconnectSlow: return "disconnect-slow";
+  }
+  return "unknown";
+}
+
+TelemetryStreamServer::TelemetryStreamServer(
+    const StreamServerConfig& config, MetricsRegistry* registry)
+    : config_(config) {
+  if (config_.client_queue_frames == 0) {
+    throw std::invalid_argument(
+        "TelemetryStreamServer: client_queue_frames must be > 0");
+  }
+  if (registry != nullptr) {
+    registry_ = registry;
+    send_metrics_frames_ = config_.metrics_period_slots > 0;
+  } else {
+    own_registry_ = std::make_unique<MetricsRegistry>();
+    registry_ = own_registry_.get();
+  }
+  m_bytes_sent_ = &registry_->counter("net.bytes_sent");
+  m_frames_sent_ = &registry_->counter("net.frames_sent");
+  m_heartbeats_sent_ = &registry_->counter("net.heartbeats_sent");
+  m_drop_oldest_ = &registry_->counter("net.frames_dropped.drop_oldest");
+  m_drop_coalesced_ = &registry_->counter("net.frames_dropped.coalesced");
+  m_disconnect_slow_ =
+      &registry_->counter("net.clients_disconnected_slow");
+  m_connects_ = &registry_->counter("net.client_connects");
+  m_disconnects_ = &registry_->counter("net.client_disconnects");
+  m_send_errors_ = &registry_->counter("net.send_errors");
+  m_clients_ = &registry_->gauge("net.clients");
+
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) {
+    throw std::runtime_error("TelemetryStreamServer: socket() failed");
+  }
+  const int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(config_.port);
+  if (::inet_pton(AF_INET, config_.bind_address.c_str(), &addr.sin_addr) !=
+      1) {
+    ::close(listen_fd_);
+    throw std::runtime_error("TelemetryStreamServer: bad bind address " +
+                             config_.bind_address);
+  }
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr),
+             sizeof(addr)) != 0 ||
+      ::listen(listen_fd_, 16) != 0) {
+    ::close(listen_fd_);
+    throw std::runtime_error("TelemetryStreamServer: cannot listen on " +
+                             config_.bind_address + ":" +
+                             std::to_string(config_.port));
+  }
+  sockaddr_in bound{};
+  socklen_t len = sizeof(bound);
+  ::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound), &len);
+  port_ = ntohs(bound.sin_port);
+
+  acceptor_ = std::thread([this] { accept_loop(); });
+}
+
+TelemetryStreamServer::~TelemetryStreamServer() { stop(); }
+
+void TelemetryStreamServer::stop() {
+  if (stopping_.exchange(true)) {
+    if (acceptor_.joinable()) {
+      acceptor_.join();
+    }
+    return;
+  }
+  if (acceptor_.joinable()) {
+    acceptor_.join();
+  }
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+  std::lock_guard lock(clients_mutex_);
+  for (const auto& client : clients_) {
+    client->queue.close();
+    ::shutdown(client->fd, SHUT_RDWR);
+  }
+  for (const auto& client : clients_) {
+    if (client->sender.joinable()) {
+      client->sender.join();
+    }
+    ::close(client->fd);
+    m_disconnects_->inc();
+  }
+  clients_.clear();
+  m_clients_->set(0);
+}
+
+std::size_t TelemetryStreamServer::client_count() const {
+  std::lock_guard lock(clients_mutex_);
+  std::size_t alive = 0;
+  for (const auto& client : clients_) {
+    alive += client->dead.load() ? 0 : 1;
+  }
+  return alive;
+}
+
+void TelemetryStreamServer::kick_all_clients() {
+  std::lock_guard lock(clients_mutex_);
+  for (const auto& client : clients_) {
+    client->dead.store(true);
+    client->queue.close();
+    ::shutdown(client->fd, SHUT_RDWR);
+  }
+}
+
+void TelemetryStreamServer::accept_loop() {
+  while (!stopping_.load()) {
+    pollfd pfd{listen_fd_, POLLIN, 0};
+    const int ready = ::poll(&pfd, 1, /*timeout_ms=*/50);
+    {
+      std::lock_guard lock(clients_mutex_);
+      reap_dead_clients_locked();
+    }
+    if (ready <= 0) {
+      continue;
+    }
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      continue;
+    }
+    const int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+
+    std::lock_guard lock(clients_mutex_);
+    if (clients_.size() >= config_.max_clients || stopping_.load()) {
+      ::close(fd);
+      continue;
+    }
+    auto client = std::make_unique<Client>(config_.client_queue_frames);
+    client->fd = fd;
+    // Greeting first, before the client is visible to broadcast(), so the
+    // hello frame is always the first thing on the wire.
+    HelloInfo hello;
+    hello.next_slot = next_slot_.load();
+    client->queue.try_push(
+        std::make_shared<const std::vector<std::uint8_t>>(
+            hello_frame(hello)));
+    Client& ref = *client;
+    client->sender = std::thread([this, &ref] { sender_loop(ref); });
+    clients_.push_back(std::move(client));
+    m_connects_->inc();
+    m_clients_->set(static_cast<std::int64_t>(clients_.size()));
+  }
+}
+
+void TelemetryStreamServer::reap_dead_clients_locked() {
+  for (auto it = clients_.begin(); it != clients_.end();) {
+    Client& client = **it;
+    if (!client.dead.load()) {
+      ++it;
+      continue;
+    }
+    client.queue.close();
+    ::shutdown(client.fd, SHUT_RDWR);
+    if (client.sender.joinable()) {
+      client.sender.join();
+    }
+    ::close(client.fd);
+    it = clients_.erase(it);
+    m_disconnects_->inc();
+  }
+  m_clients_->set(static_cast<std::int64_t>(clients_.size()));
+}
+
+void TelemetryStreamServer::sender_loop(Client& client) {
+  const auto heartbeat_after = std::chrono::duration<double>(
+      config_.heartbeat_period_s > 0 ? config_.heartbeat_period_s : 3600.0);
+  while (!client.dead.load()) {
+    std::optional<FramePtr> frame = client.queue.pop_for(heartbeat_after);
+    if (!frame) {
+      if (client.queue.closed()) {
+        break;
+      }
+      // Idle: keep the connection observably alive.
+      const std::vector<std::uint8_t> beat = heartbeat_frame();
+      if (!send_all(client.fd, beat.data(), beat.size())) {
+        m_send_errors_->inc();
+        break;
+      }
+      m_heartbeats_sent_->inc();
+      m_bytes_sent_->inc(beat.size());
+      continue;
+    }
+    if (!send_all(client.fd, (*frame)->data(), (*frame)->size())) {
+      m_send_errors_->inc();
+      break;
+    }
+    m_frames_sent_->inc();
+    m_bytes_sent_->inc((*frame)->size());
+  }
+  client.dead.store(true);  // the accept loop reaps and closes the fd
+}
+
+void TelemetryStreamServer::enqueue(Client& client, const FramePtr& frame) {
+  while (true) {
+    switch (client.queue.try_push_result(frame)) {
+      case QueuePushResult::kOk:
+      case QueuePushResult::kClosed:
+        return;
+      case QueuePushResult::kFull:
+        break;
+    }
+    switch (config_.policy) {
+      case BackpressurePolicy::kDropOldest:
+        if (client.queue.try_pop()) {
+          m_drop_oldest_->inc();
+        }
+        break;
+      case BackpressurePolicy::kCoalesceLatest:
+        while (client.queue.try_pop()) {
+          m_drop_coalesced_->inc();
+        }
+        break;
+      case BackpressurePolicy::kDisconnectSlow:
+        m_disconnect_slow_->inc();
+        client.dead.store(true);
+        client.queue.close();
+        ::shutdown(client.fd, SHUT_RDWR);
+        return;
+    }
+  }
+}
+
+void TelemetryStreamServer::broadcast(const FramePtr& frame) {
+  std::lock_guard lock(clients_mutex_);
+  for (const auto& client : clients_) {
+    if (!client->dead.load()) {
+      enqueue(*client, frame);
+    }
+  }
+}
+
+void TelemetryStreamServer::on_slot(const SlotResult& result) {
+  next_slot_.store(result.slot + 1);
+  ++slots_seen_;
+  const bool metrics_due =
+      send_metrics_frames_ &&
+      slots_seen_ % config_.metrics_period_slots == 0;
+  {
+    std::lock_guard lock(clients_mutex_);
+    if (clients_.empty()) {
+      return;  // nothing to serialize for
+    }
+  }
+  broadcast(std::make_shared<const std::vector<std::uint8_t>>(
+      slot_frame(result)));
+  if (metrics_due) {
+    broadcast(std::make_shared<const std::vector<std::uint8_t>>(
+        metrics_frame(registry_->snapshot())));
+  }
+}
+
+void TelemetryStreamServer::on_finish() {
+  broadcast(std::make_shared<const std::vector<std::uint8_t>>(end_frame()));
+}
+
+}  // namespace nrs

@@ -1,0 +1,127 @@
+// Multi-client live telemetry streaming server: a SlotSink that serializes
+// each SlotResult once and fans the frame out to every connected TCP
+// client.  The collector thread (the pipeline hot loop) only ever touches
+// per-client bounded queues — a slow or dead consumer can never block the
+// sniffer; what happens when a client falls behind is the configured
+// BackpressurePolicy, and every shed frame is counted in the metrics
+// registry (net.frames_dropped.*).
+//
+// Threads: one accept/housekeeping thread (also reaps dead clients and
+// schedules idle heartbeats) plus one sender thread per client, all owned
+// by this object and joined in stop()/the destructor.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/metrics.h"
+#include "common/queue.h"
+#include "net/wire.h"
+#include "nrscope/slot_sink.h"
+
+namespace nrs {
+
+/// What to do with a client whose send queue is full when a new frame
+/// arrives (i.e. the consumer is slower than the cell).
+enum class BackpressurePolicy : std::uint8_t {
+  kDropOldest,       ///< shed the oldest queued frame, keep the stream fresh
+  kCoalesceLatest,   ///< drop everything queued; deliver only the newest
+  kDisconnectSlow,   ///< drop the client instead of any frame
+};
+
+const char* to_string(BackpressurePolicy policy);
+
+struct StreamServerConfig {
+  std::string bind_address = "127.0.0.1";
+  std::uint16_t port = 0;  ///< 0 = pick an ephemeral port (see port())
+  BackpressurePolicy policy = BackpressurePolicy::kDropOldest;
+  std::size_t client_queue_frames = 256;  ///< per-client send queue bound
+  /// Send a MetricsSnapshot frame every N slots (0 disables).  Requires a
+  /// registry to snapshot (the one passed to the constructor).
+  std::uint64_t metrics_period_slots = 0;
+  /// Idle keep-alive: a heartbeat frame when nothing was queued for this
+  /// long, so clients can tell "quiet cell" from "dead server".
+  double heartbeat_period_s = 0.5;
+  std::size_t max_clients = 64;
+};
+
+class TelemetryStreamServer : public SlotSink {
+ public:
+  /// Binds and starts listening immediately (throws std::runtime_error if
+  /// the socket cannot be bound).  `registry` receives the net.* metrics
+  /// and is the source of periodic metrics frames; when null, an internal
+  /// registry is used and no metrics frames are sent.
+  explicit TelemetryStreamServer(const StreamServerConfig& config,
+                                 MetricsRegistry* registry = nullptr);
+  ~TelemetryStreamServer() override;
+
+  TelemetryStreamServer(const TelemetryStreamServer&) = delete;
+  TelemetryStreamServer& operator=(const TelemetryStreamServer&) = delete;
+
+  // SlotSink: runs on the pipeline collector thread; never blocks.
+  void on_slot(const SlotResult& result) override;
+  void on_finish() override;
+
+  /// The actual listening port (resolves config.port == 0).
+  [[nodiscard]] std::uint16_t port() const { return port_; }
+  [[nodiscard]] std::size_t client_count() const;
+
+  /// Force-close every current connection (clients are expected to
+  /// reconnect).  Admin/test hook for exercising reconnect paths.
+  void kick_all_clients();
+
+  /// Stop accepting, close every connection, join all threads.
+  /// Idempotent; the destructor calls it.
+  void stop();
+
+ private:
+  using FramePtr = std::shared_ptr<const std::vector<std::uint8_t>>;
+
+  struct Client {
+    explicit Client(std::size_t queue_frames) : queue(queue_frames) {}
+    int fd = -1;
+    BoundedQueue<FramePtr> queue;
+    std::thread sender;
+    std::atomic<bool> dead{false};
+  };
+
+  void accept_loop();
+  void sender_loop(Client& client);
+  void enqueue(Client& client, const FramePtr& frame);
+  void broadcast(const FramePtr& frame);
+  void reap_dead_clients_locked();
+
+  StreamServerConfig config_;
+  std::unique_ptr<MetricsRegistry> own_registry_;
+  MetricsRegistry* registry_ = nullptr;
+  bool send_metrics_frames_ = false;
+
+  int listen_fd_ = -1;
+  std::uint16_t port_ = 0;
+  std::atomic<bool> stopping_{false};
+  std::thread acceptor_;
+
+  mutable std::mutex clients_mutex_;
+  std::vector<std::unique_ptr<Client>> clients_;
+
+  std::atomic<std::uint64_t> next_slot_{0};  ///< for HelloInfo on accept
+  std::uint64_t slots_seen_ = 0;             ///< collector thread only
+
+  Counter* m_bytes_sent_ = nullptr;
+  Counter* m_frames_sent_ = nullptr;
+  Counter* m_heartbeats_sent_ = nullptr;
+  Counter* m_drop_oldest_ = nullptr;
+  Counter* m_drop_coalesced_ = nullptr;
+  Counter* m_disconnect_slow_ = nullptr;
+  Counter* m_connects_ = nullptr;
+  Counter* m_disconnects_ = nullptr;
+  Counter* m_send_errors_ = nullptr;
+  Gauge* m_clients_ = nullptr;
+};
+
+}  // namespace nrs

@@ -1,0 +1,537 @@
+#include "net/wire.h"
+
+#include <bit>
+#include <cstring>
+
+namespace nrs {
+
+const char* to_string(FrameType type) {
+  switch (type) {
+    case FrameType::kHello: return "hello";
+    case FrameType::kSlot: return "slot";
+    case FrameType::kMetrics: return "metrics";
+    case FrameType::kHeartbeat: return "heartbeat";
+    case FrameType::kEnd: return "end";
+  }
+  return "unknown";
+}
+
+// ---- WireWriter ------------------------------------------------------
+
+void WireWriter::u16(std::uint16_t v) {
+  out_.push_back(static_cast<std::uint8_t>(v));
+  out_.push_back(static_cast<std::uint8_t>(v >> 8));
+}
+
+void WireWriter::u32(std::uint32_t v) {
+  for (int shift = 0; shift < 32; shift += 8) {
+    out_.push_back(static_cast<std::uint8_t>(v >> shift));
+  }
+}
+
+void WireWriter::u64(std::uint64_t v) {
+  for (int shift = 0; shift < 64; shift += 8) {
+    out_.push_back(static_cast<std::uint8_t>(v >> shift));
+  }
+}
+
+void WireWriter::f64(double v) { u64(std::bit_cast<std::uint64_t>(v)); }
+
+void WireWriter::str(const std::string& s) {
+  u16(static_cast<std::uint16_t>(s.size()));
+  out_.insert(out_.end(), s.begin(), s.end());
+}
+
+void WireWriter::bytes(std::span<const std::uint8_t> data) {
+  out_.insert(out_.end(), data.begin(), data.end());
+}
+
+// ---- WireReader ------------------------------------------------------
+
+std::uint8_t WireReader::u8() {
+  if (pos_ + 1 > data_.size()) {
+    ok_ = false;
+    return 0;
+  }
+  return data_[pos_++];
+}
+
+std::uint16_t WireReader::u16() {
+  if (pos_ + 2 > data_.size()) {
+    ok_ = false;
+    pos_ = data_.size();
+    return 0;
+  }
+  const auto v = static_cast<std::uint16_t>(
+      data_[pos_] | (static_cast<std::uint16_t>(data_[pos_ + 1]) << 8));
+  pos_ += 2;
+  return v;
+}
+
+std::uint32_t WireReader::u32() {
+  if (pos_ + 4 > data_.size()) {
+    ok_ = false;
+    pos_ = data_.size();
+    return 0;
+  }
+  std::uint32_t v = 0;
+  for (int i = 3; i >= 0; --i) {
+    v = (v << 8) | data_[pos_ + static_cast<std::size_t>(i)];
+  }
+  pos_ += 4;
+  return v;
+}
+
+std::uint64_t WireReader::u64() {
+  if (pos_ + 8 > data_.size()) {
+    ok_ = false;
+    pos_ = data_.size();
+    return 0;
+  }
+  std::uint64_t v = 0;
+  for (int i = 7; i >= 0; --i) {
+    v = (v << 8) | data_[pos_ + static_cast<std::size_t>(i)];
+  }
+  pos_ += 8;
+  return v;
+}
+
+double WireReader::f64() { return std::bit_cast<double>(u64()); }
+
+std::string WireReader::str() {
+  const std::uint16_t len = u16();
+  if (!ok_ || pos_ + len > data_.size()) {
+    ok_ = false;
+    pos_ = data_.size();
+    return {};
+  }
+  std::string s(reinterpret_cast<const char*>(data_.data() + pos_), len);
+  pos_ += len;
+  return s;
+}
+
+// ---- Framing ---------------------------------------------------------
+
+std::vector<std::uint8_t> encode_frame(
+    FrameType type, std::span<const std::uint8_t> payload) {
+  WireWriter w;
+  w.u32(kWireMagic);
+  w.u16(kWireVersion);
+  w.u16(static_cast<std::uint16_t>(type));
+  w.u32(static_cast<std::uint32_t>(payload.size()));
+  w.bytes(payload);
+  return w.take();
+}
+
+void FrameParser::feed(std::span<const std::uint8_t> data) {
+  if (!error_.empty()) {
+    return;
+  }
+  // Compact lazily: drop consumed bytes once they dominate the buffer.
+  if (consumed_ > 4096 && consumed_ * 2 > buffer_.size()) {
+    buffer_.erase(buffer_.begin(),
+                  buffer_.begin() + static_cast<std::ptrdiff_t>(consumed_));
+    consumed_ = 0;
+  }
+  buffer_.insert(buffer_.end(), data.begin(), data.end());
+}
+
+std::optional<Frame> FrameParser::next() {
+  if (!error_.empty()) {
+    return std::nullopt;
+  }
+  const std::size_t avail = buffer_.size() - consumed_;
+  if (avail < kWireHeaderSize) {
+    return std::nullopt;
+  }
+  WireReader header(std::span<const std::uint8_t>(
+      buffer_.data() + consumed_, kWireHeaderSize));
+  const std::uint32_t magic = header.u32();
+  const std::uint16_t version = header.u16();
+  const std::uint16_t type = header.u16();
+  const std::uint32_t len = header.u32();
+  if (magic != kWireMagic) {
+    error_ = "bad magic";
+    return std::nullopt;
+  }
+  if (version != kWireVersion) {
+    error_ = "unsupported protocol version " + std::to_string(version);
+    return std::nullopt;
+  }
+  if (len > kWireMaxPayload) {
+    error_ = "payload length " + std::to_string(len) + " exceeds limit";
+    return std::nullopt;
+  }
+  if (avail < kWireHeaderSize + len) {
+    return std::nullopt;  // wait for more bytes
+  }
+  Frame frame;
+  frame.type = static_cast<FrameType>(type);
+  const auto* begin = buffer_.data() + consumed_ + kWireHeaderSize;
+  frame.payload.assign(begin, begin + len);
+  consumed_ += kWireHeaderSize + len;
+  return frame;
+}
+
+// ---- Payload codecs --------------------------------------------------
+
+void encode_hello(const HelloInfo& hello, WireWriter& w) {
+  w.u16(hello.version);
+  w.u64(hello.next_slot);
+}
+
+std::optional<HelloInfo> decode_hello(
+    std::span<const std::uint8_t> payload) {
+  WireReader r(payload);
+  HelloInfo hello;
+  hello.version = r.u16();
+  hello.next_slot = r.u64();
+  if (!r.done()) {
+    return std::nullopt;
+  }
+  return hello;
+}
+
+namespace {
+
+void encode_dci_fields(const Dci& dci, WireWriter& w) {
+  w.u8(static_cast<std::uint8_t>(dci.format));
+  w.u32(dci.freq_alloc_riv);
+  w.u8(dci.time_alloc);
+  w.u8(dci.mcs);
+  w.u8(dci.ndi);
+  w.u8(dci.rv);
+  w.u8(dci.harq_id);
+  w.u8(dci.dai);
+  w.u8(dci.tpc);
+  w.u8(dci.pucch_resource);
+  w.u8(dci.harq_feedback);
+  w.u8(dci.ports);
+  w.u8(dci.srs_request);
+  w.u8(dci.dmrs_id);
+}
+
+bool decode_dci_fields(WireReader& r, Dci& dci) {
+  const std::uint8_t format = r.u8();
+  if (format > static_cast<std::uint8_t>(DciFormat::kDl1_1)) {
+    return false;
+  }
+  dci.format = static_cast<DciFormat>(format);
+  dci.freq_alloc_riv = r.u32();
+  dci.time_alloc = r.u8();
+  dci.mcs = r.u8();
+  dci.ndi = r.u8();
+  dci.rv = r.u8();
+  dci.harq_id = r.u8();
+  dci.dai = r.u8();
+  dci.tpc = r.u8();
+  dci.pucch_resource = r.u8();
+  dci.harq_feedback = r.u8();
+  dci.ports = r.u8();
+  dci.srs_request = r.u8();
+  dci.dmrs_id = r.u8();
+  return r.ok();
+}
+
+bool valid_modulation(std::uint8_t m) {
+  switch (static_cast<Modulation>(m)) {
+    case Modulation::kBpsk:
+    case Modulation::kQpsk:
+    case Modulation::kQam16:
+    case Modulation::kQam64:
+    case Modulation::kQam256:
+      return true;
+  }
+  return false;
+}
+
+void encode_grant_fields(const Grant& grant, WireWriter& w) {
+  w.u16(grant.rnti);
+  w.u8(static_cast<std::uint8_t>(grant.format));
+  w.u16(static_cast<std::uint16_t>(grant.prb_start));
+  w.u16(static_cast<std::uint16_t>(grant.prb_len));
+  w.u8(static_cast<std::uint8_t>(grant.start_symbol));
+  w.u8(static_cast<std::uint8_t>(grant.n_symbols));
+  w.u8(static_cast<std::uint8_t>(grant.mcs));
+  w.u8(static_cast<std::uint8_t>(grant.modulation));
+  w.f64(grant.code_rate);
+  w.u8(static_cast<std::uint8_t>(grant.n_layers));
+  w.u32(grant.tbs);
+  w.u8(grant.ndi);
+  w.u8(grant.rv);
+  w.u8(grant.harq_id);
+}
+
+bool decode_grant_fields(WireReader& r, Grant& grant) {
+  grant.rnti = r.u16();
+  const std::uint8_t format = r.u8();
+  if (format > static_cast<std::uint8_t>(DciFormat::kDl1_1)) {
+    return false;
+  }
+  grant.format = static_cast<DciFormat>(format);
+  grant.prb_start = r.u16();
+  grant.prb_len = r.u16();
+  grant.start_symbol = r.u8();
+  grant.n_symbols = r.u8();
+  grant.mcs = r.u8();
+  const std::uint8_t modulation = r.u8();
+  if (!r.ok() || !valid_modulation(modulation)) {
+    return false;
+  }
+  grant.modulation = static_cast<Modulation>(modulation);
+  grant.code_rate = r.f64();
+  grant.n_layers = r.u8();
+  grant.tbs = r.u32();
+  grant.ndi = r.u8();
+  grant.rv = r.u8();
+  grant.harq_id = r.u8();
+  return r.ok();
+}
+
+void encode_rrc_setup(const RrcSetup& rrc, WireWriter& w) {
+  w.u8(rrc.ue_ss.ue_specific ? 1 : 0);
+  w.u8(static_cast<std::uint8_t>(rrc.ue_ss.agg_levels.size()));
+  for (const unsigned level : rrc.ue_ss.agg_levels) {
+    w.u16(static_cast<std::uint16_t>(level));
+  }
+  w.u16(static_cast<std::uint16_t>(rrc.ue_ss.candidates_per_level));
+  w.u8(static_cast<std::uint8_t>(rrc.dl_format));
+  w.u8(static_cast<std::uint8_t>(rrc.mcs_table));
+  w.u8(static_cast<std::uint8_t>(rrc.max_mimo_layers));
+  w.u8(static_cast<std::uint8_t>(rrc.n_harq_processes));
+}
+
+bool decode_rrc_setup(WireReader& r, RrcSetup& rrc) {
+  rrc.ue_ss.ue_specific = r.u8() != 0;
+  const std::uint8_t n_levels = r.u8();
+  rrc.ue_ss.agg_levels.clear();
+  for (std::uint8_t i = 0; r.ok() && i < n_levels; ++i) {
+    rrc.ue_ss.agg_levels.push_back(r.u16());
+  }
+  rrc.ue_ss.candidates_per_level = r.u16();
+  const std::uint8_t format = r.u8();
+  const std::uint8_t table = r.u8();
+  if (!r.ok() || format > static_cast<std::uint8_t>(DciFormat::kDl1_1) ||
+      table < static_cast<std::uint8_t>(McsTable::kQam64) ||
+      table > static_cast<std::uint8_t>(McsTable::kQam64LowSe)) {
+    return false;
+  }
+  rrc.dl_format = static_cast<DciFormat>(format);
+  rrc.mcs_table = static_cast<McsTable>(table);
+  rrc.max_mimo_layers = r.u8();
+  rrc.n_harq_processes = r.u8();
+  return r.ok();
+}
+
+}  // namespace
+
+void encode_slot(const SlotResult& result, WireWriter& w) {
+  w.u64(result.slot);
+  w.f64(result.processing_time_us);
+  std::uint8_t flags = 0;
+  flags |= result.mib.has_value() ? 0x1 : 0;
+  flags |= result.sib1_decoded ? 0x2 : 0;
+  w.u8(flags);
+  if (result.mib) {
+    w.u16(result.mib->sfn);
+    w.u8(static_cast<std::uint8_t>(result.mib->scs_common));
+    w.u8(result.mib->coreset0_rb_start);
+    w.u8(result.mib->coreset0_n_prb6);
+    w.u8(result.mib->coreset0_duration);
+    w.u8(result.mib->searchspace0);
+    w.u8(result.mib->cell_barred ? 1 : 0);
+  }
+  w.u32(static_cast<std::uint32_t>(result.dcis.size()));
+  for (const DecodedDci& dci : result.dcis) {
+    w.u64(dci.slot);
+    w.u16(dci.rnti);
+    encode_dci_fields(dci.dci, w);
+    encode_grant_fields(dci.grant, w);
+    w.u16(static_cast<std::uint16_t>(dci.agg_level));
+    w.u16(static_cast<std::uint16_t>(dci.cce_start));
+    w.u8(dci.is_retx ? 1 : 0);
+  }
+  w.u32(static_cast<std::uint32_t>(result.new_ues.size()));
+  for (const NewUe& ue : result.new_ues) {
+    w.u16(ue.c_rnti);
+    w.u64(ue.slot);
+    w.u8(ue.verified ? 1 : 0);
+    encode_rrc_setup(ue.config, w);
+  }
+}
+
+std::optional<SlotResult> decode_slot(
+    std::span<const std::uint8_t> payload) {
+  WireReader r(payload);
+  SlotResult result;
+  result.slot = r.u64();
+  result.processing_time_us = r.f64();
+  const std::uint8_t flags = r.u8();
+  result.sib1_decoded = (flags & 0x2) != 0;
+  if ((flags & 0x1) != 0) {
+    Mib mib;
+    mib.sfn = r.u16();
+    const std::uint8_t scs = r.u8();
+    if (!r.ok() || scs > static_cast<std::uint8_t>(Scs::kHz60)) {
+      return std::nullopt;
+    }
+    mib.scs_common = static_cast<Scs>(scs);
+    mib.coreset0_rb_start = r.u8();
+    mib.coreset0_n_prb6 = r.u8();
+    mib.coreset0_duration = r.u8();
+    mib.searchspace0 = r.u8();
+    mib.cell_barred = r.u8() != 0;
+    result.mib = mib;
+  }
+  const std::uint32_t n_dcis = r.u32();
+  if (!r.ok() || n_dcis > r.remaining()) {  // every DCI is > 1 byte
+    return std::nullopt;
+  }
+  result.dcis.reserve(n_dcis);
+  for (std::uint32_t i = 0; i < n_dcis; ++i) {
+    DecodedDci dci;
+    dci.slot = r.u64();
+    dci.rnti = r.u16();
+    if (!decode_dci_fields(r, dci.dci) ||
+        !decode_grant_fields(r, dci.grant)) {
+      return std::nullopt;
+    }
+    dci.agg_level = r.u16();
+    dci.cce_start = r.u16();
+    dci.is_retx = r.u8() != 0;
+    result.dcis.push_back(dci);
+  }
+  const std::uint32_t n_ues = r.u32();
+  if (!r.ok() || n_ues > r.remaining()) {
+    return std::nullopt;
+  }
+  result.new_ues.reserve(n_ues);
+  for (std::uint32_t i = 0; i < n_ues; ++i) {
+    NewUe ue;
+    ue.c_rnti = r.u16();
+    ue.slot = r.u64();
+    ue.verified = r.u8() != 0;
+    if (!decode_rrc_setup(r, ue.config)) {
+      return std::nullopt;
+    }
+    result.new_ues.push_back(std::move(ue));
+  }
+  if (!r.done()) {
+    return std::nullopt;
+  }
+  return result;
+}
+
+void encode_metrics(const MetricsSnapshot& snapshot, WireWriter& w) {
+  w.u32(static_cast<std::uint32_t>(snapshot.counters.size()));
+  for (const CounterSnapshot& c : snapshot.counters) {
+    w.str(c.name);
+    w.u64(c.value);
+  }
+  w.u32(static_cast<std::uint32_t>(snapshot.gauges.size()));
+  for (const GaugeSnapshot& g : snapshot.gauges) {
+    w.str(g.name);
+    w.i64(g.value);
+  }
+  w.u32(static_cast<std::uint32_t>(snapshot.histograms.size()));
+  for (const HistogramSnapshot& h : snapshot.histograms) {
+    w.str(h.name);
+    w.u64(h.count);
+    w.f64(h.sum);
+    w.f64(h.min);
+    w.f64(h.max);
+    w.u32(static_cast<std::uint32_t>(h.bounds.size()));
+    for (const double b : h.bounds) {
+      w.f64(b);
+    }
+    for (const std::uint64_t c : h.counts) {
+      w.u64(c);
+    }
+  }
+}
+
+std::optional<MetricsSnapshot> decode_metrics(
+    std::span<const std::uint8_t> payload) {
+  WireReader r(payload);
+  MetricsSnapshot snapshot;
+  const std::uint32_t n_counters = r.u32();
+  if (!r.ok() || n_counters > r.remaining()) {
+    return std::nullopt;
+  }
+  snapshot.counters.reserve(n_counters);
+  for (std::uint32_t i = 0; i < n_counters; ++i) {
+    CounterSnapshot c;
+    c.name = r.str();
+    c.value = r.u64();
+    snapshot.counters.push_back(std::move(c));
+  }
+  const std::uint32_t n_gauges = r.u32();
+  if (!r.ok() || n_gauges > r.remaining()) {
+    return std::nullopt;
+  }
+  snapshot.gauges.reserve(n_gauges);
+  for (std::uint32_t i = 0; i < n_gauges; ++i) {
+    GaugeSnapshot g;
+    g.name = r.str();
+    g.value = r.i64();
+    snapshot.gauges.push_back(std::move(g));
+  }
+  const std::uint32_t n_hists = r.u32();
+  if (!r.ok() || n_hists > r.remaining()) {
+    return std::nullopt;
+  }
+  snapshot.histograms.reserve(n_hists);
+  for (std::uint32_t i = 0; i < n_hists; ++i) {
+    HistogramSnapshot h;
+    h.name = r.str();
+    h.count = r.u64();
+    h.sum = r.f64();
+    h.min = r.f64();
+    h.max = r.f64();
+    const std::uint32_t n_bounds = r.u32();
+    if (!r.ok() || n_bounds > r.remaining()) {
+      return std::nullopt;
+    }
+    h.bounds.reserve(n_bounds);
+    for (std::uint32_t b = 0; b < n_bounds; ++b) {
+      h.bounds.push_back(r.f64());
+    }
+    h.counts.reserve(n_bounds + 1);
+    for (std::uint32_t b = 0; b < n_bounds + 1; ++b) {
+      h.counts.push_back(r.u64());
+    }
+    snapshot.histograms.push_back(std::move(h));
+  }
+  if (!r.done()) {
+    return std::nullopt;
+  }
+  return snapshot;
+}
+
+std::vector<std::uint8_t> hello_frame(const HelloInfo& hello) {
+  WireWriter w;
+  encode_hello(hello, w);
+  return encode_frame(FrameType::kHello, w.data());
+}
+
+std::vector<std::uint8_t> slot_frame(const SlotResult& result) {
+  WireWriter w;
+  encode_slot(result, w);
+  return encode_frame(FrameType::kSlot, w.data());
+}
+
+std::vector<std::uint8_t> metrics_frame(const MetricsSnapshot& snapshot) {
+  WireWriter w;
+  encode_metrics(snapshot, w);
+  return encode_frame(FrameType::kMetrics, w.data());
+}
+
+std::vector<std::uint8_t> heartbeat_frame() {
+  return encode_frame(FrameType::kHeartbeat, {});
+}
+
+std::vector<std::uint8_t> end_frame() {
+  return encode_frame(FrameType::kEnd, {});
+}
+
+}  // namespace nrs

@@ -1,0 +1,158 @@
+// Versioned, length-prefixed binary wire protocol for live telemetry
+// streaming.  A TelemetryStreamServer serializes each SlotResult (and
+// periodic MetricsSnapshots) into self-delimiting frames; any remote
+// consumer that speaks this protocol — TelemetryStreamClient here, or a
+// foreign-language tool — can reconstruct the per-TTI feed the paper's
+// downstream applications (e.g. the cloud-gaming work) consume.
+//
+// Frame layout (all integers little-endian, assembled byte by byte so the
+// encoding is identical on any host):
+//
+//   | magic u32 | version u16 | type u16 | payload_len u32 | payload ... |
+//
+// Decoding never throws and never reads past the buffer: truncated or
+// corrupt input yields std::nullopt (WireReader carries a sticky error
+// flag), which is what the round-trip/truncation fuzz tests in
+// tests/net/test_wire.cc lock down.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/metrics.h"
+#include "nrscope/nrscope.h"
+
+namespace nrs {
+
+inline constexpr std::uint32_t kWireMagic = 0x4E525357;  // "NRSW"
+inline constexpr std::uint16_t kWireVersion = 1;
+/// Upper bound on a sane payload; a bigger announced length means the
+/// stream is corrupt (or hostile) and the connection should be dropped.
+inline constexpr std::uint32_t kWireMaxPayload = 64u * 1024u * 1024u;
+/// Bytes before the payload: magic + version + type + payload_len.
+inline constexpr std::size_t kWireHeaderSize = 12;
+
+enum class FrameType : std::uint16_t {
+  kHello = 1,      ///< server -> client greeting right after accept
+  kSlot = 2,       ///< one serialized SlotResult
+  kMetrics = 3,    ///< one serialized MetricsSnapshot
+  kHeartbeat = 4,  ///< keep-alive when the stream is idle (empty payload)
+  kEnd = 5,        ///< end of stream: the run finished (empty payload)
+};
+
+const char* to_string(FrameType type);
+
+/// Greeting payload: lets a (re)connecting client learn where the live
+/// stream currently stands.
+struct HelloInfo {
+  std::uint16_t version = kWireVersion;
+  std::uint64_t next_slot = 0;  ///< next slot index the server will send
+  [[nodiscard]] bool operator==(const HelloInfo&) const = default;
+};
+
+// ---- Byte-level primitives -------------------------------------------
+
+/// Appends little-endian fields to a byte buffer.
+class WireWriter {
+ public:
+  void u8(std::uint8_t v) { out_.push_back(v); }
+  void u16(std::uint16_t v);
+  void u32(std::uint32_t v);
+  void u64(std::uint64_t v);
+  void i64(std::int64_t v) { u64(static_cast<std::uint64_t>(v)); }
+  void f64(double v);
+  /// u16 length prefix + raw bytes.
+  void str(const std::string& s);
+  void bytes(std::span<const std::uint8_t> data);
+
+  [[nodiscard]] const std::vector<std::uint8_t>& data() const {
+    return out_;
+  }
+  [[nodiscard]] std::vector<std::uint8_t> take() { return std::move(out_); }
+
+ private:
+  std::vector<std::uint8_t> out_;
+};
+
+/// Reads little-endian fields from a byte buffer.  Reading past the end
+/// sets a sticky error flag and returns zeros; callers check ok() once at
+/// the end instead of guarding every field.
+class WireReader {
+ public:
+  explicit WireReader(std::span<const std::uint8_t> data) : data_(data) {}
+
+  std::uint8_t u8();
+  std::uint16_t u16();
+  std::uint32_t u32();
+  std::uint64_t u64();
+  std::int64_t i64() { return static_cast<std::int64_t>(u64()); }
+  double f64();
+  std::string str();
+
+  [[nodiscard]] bool ok() const { return ok_; }
+  [[nodiscard]] std::size_t remaining() const { return data_.size() - pos_; }
+  /// True when the whole buffer was consumed without error (a decode that
+  /// leaves trailing bytes saw a different layout than the encoder wrote).
+  [[nodiscard]] bool done() const { return ok_ && remaining() == 0; }
+
+ private:
+  std::span<const std::uint8_t> data_;
+  std::size_t pos_ = 0;
+  bool ok_ = true;
+};
+
+// ---- Frames ----------------------------------------------------------
+
+/// One parsed frame; `payload` is a copy, safe to keep after the parser
+/// buffer changes.
+struct Frame {
+  FrameType type = FrameType::kHeartbeat;
+  std::vector<std::uint8_t> payload;
+};
+
+/// Wrap a payload in a framed header.
+std::vector<std::uint8_t> encode_frame(FrameType type,
+                                       std::span<const std::uint8_t> payload);
+
+/// Incremental frame parser for a TCP byte stream: feed() arbitrary chunks,
+/// pop complete frames with next().  A malformed header (bad magic, wrong
+/// version, oversized payload) puts the parser in a sticky error state —
+/// on a reliable transport that means protocol mismatch, and the right
+/// response is to drop the connection.
+class FrameParser {
+ public:
+  void feed(std::span<const std::uint8_t> data);
+  std::optional<Frame> next();
+
+  [[nodiscard]] bool error() const { return !error_.empty(); }
+  [[nodiscard]] const std::string& error_message() const { return error_; }
+
+ private:
+  std::vector<std::uint8_t> buffer_;
+  std::size_t consumed_ = 0;
+  std::string error_;
+};
+
+// ---- Payload codecs --------------------------------------------------
+
+void encode_hello(const HelloInfo& hello, WireWriter& w);
+std::optional<HelloInfo> decode_hello(std::span<const std::uint8_t> payload);
+
+void encode_slot(const SlotResult& result, WireWriter& w);
+std::optional<SlotResult> decode_slot(std::span<const std::uint8_t> payload);
+
+void encode_metrics(const MetricsSnapshot& snapshot, WireWriter& w);
+std::optional<MetricsSnapshot> decode_metrics(
+    std::span<const std::uint8_t> payload);
+
+/// Convenience: payload codec + framing in one call.
+std::vector<std::uint8_t> hello_frame(const HelloInfo& hello);
+std::vector<std::uint8_t> slot_frame(const SlotResult& result);
+std::vector<std::uint8_t> metrics_frame(const MetricsSnapshot& snapshot);
+std::vector<std::uint8_t> heartbeat_frame();
+std::vector<std::uint8_t> end_frame();
+
+}  // namespace nrs

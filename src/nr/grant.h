@@ -39,6 +39,8 @@ struct Grant {
 
   /// Appendix-B style rendering.
   [[nodiscard]] std::string to_string() const;
+
+  [[nodiscard]] bool operator==(const Grant&) const = default;
 };
 
 /// Translate `dci` for a UE whose MCS table / MIMO layers are known from

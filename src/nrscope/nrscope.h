@@ -56,6 +56,8 @@ struct SlotResult {
   std::optional<Mib> mib;
   bool sib1_decoded = false;
   double processing_time_us = 0.0;  ///< signal processing + DCI decoding
+
+  [[nodiscard]] bool operator==(const SlotResult&) const = default;
 };
 
 class NrScope {

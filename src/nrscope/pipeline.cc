@@ -24,6 +24,7 @@ NrScopePipeline::NrScopePipeline(const NrScopeConfig& config,
   m_collector_wait_us_ = &registry.histogram("pipeline.collector_wait_us");
   m_collect_us_ = &registry.histogram("pipeline.collect_us");
   m_output_wait_us_ = &registry.histogram("pipeline.output_wait_us");
+  m_sink_errors_ = &registry.counter("pipeline.sink_errors");
 
   active_demods_ = std::max(1u, n_demod_workers);
   demod_workers_.reserve(active_demods_);
@@ -117,8 +118,16 @@ void NrScopePipeline::deliver(SlotResult result) {
     output_.push(std::move(result));
     return;
   }
-  for (const auto& sink : sinks_) {
-    sink->on_slot(result);
+  // A sink that throws is counted and detached; the pipeline (and the
+  // other sinks) keep running.  erase-by-index so the loop stays valid.
+  for (std::size_t i = 0; i < sinks_.size();) {
+    try {
+      sinks_[i]->on_slot(result);
+      ++i;
+    } catch (...) {
+      m_sink_errors_->inc();
+      sinks_.erase(sinks_.begin() + static_cast<std::ptrdiff_t>(i));
+    }
   }
 }
 
@@ -162,8 +171,14 @@ void NrScopePipeline::collect_loop() {
   }
   {
     std::lock_guard lock(sink_mutex_);
-    for (const auto& sink : sinks_) {
-      sink->on_finish();
+    for (std::size_t i = 0; i < sinks_.size();) {
+      try {
+        sinks_[i]->on_finish();
+        ++i;
+      } catch (...) {
+        m_sink_errors_->inc();
+        sinks_.erase(sinks_.begin() + static_cast<std::ptrdiff_t>(i));
+      }
     }
   }
   output_.close();

@@ -44,8 +44,15 @@ class NrScopePipeline {
   /// Attach a push-mode result consumer.  Attach sinks before the first
   /// push_slot(): once any sink is attached, completed slots go to the
   /// sinks (in slot order, on the collector thread) instead of the
-  /// poll_result() queue.
+  /// poll_result() queue.  A sink whose on_slot()/on_finish() throws is
+  /// detached (counted in pipeline.sink_errors) and the run continues.
   void add_sink(std::shared_ptr<SlotSink> sink);
+
+  /// Currently attached sinks (faulty sinks shrink this).
+  [[nodiscard]] std::size_t sink_count() const {
+    std::lock_guard lock(sink_mutex_);
+    return sinks_.size();
+  }
 
   /// Enqueue one slot of samples; returns false when the pipeline is
   /// saturated (or already finished) and the slot was dropped.  The drop
@@ -90,7 +97,7 @@ class NrScopePipeline {
   std::vector<std::thread> demod_workers_;
   std::thread collector_;
 
-  std::mutex sink_mutex_;
+  mutable std::mutex sink_mutex_;
   std::vector<std::shared_ptr<SlotSink>> sinks_;
 
   // Reorder buffer between demod workers and the collector.
@@ -114,6 +121,7 @@ class NrScopePipeline {
   Histogram* m_collector_wait_us_ = nullptr;
   Histogram* m_collect_us_ = nullptr;
   Histogram* m_output_wait_us_ = nullptr;
+  Counter* m_sink_errors_ = nullptr;
 };
 
 }  // namespace nrs

@@ -49,6 +49,8 @@ struct NewUe {
   std::uint64_t slot = 0;
   RrcSetup config;
   bool verified = false;  ///< RRC Setup PDSCH CRC checked
+
+  [[nodiscard]] bool operator==(const NewUe&) const = default;
 };
 
 class RachTracker {

@@ -27,6 +27,8 @@ struct DecodedDci {
   unsigned agg_level = 0;
   unsigned cce_start = 0;
   bool is_retx = false;  ///< filled by the telemetry tracker (NDI rule)
+
+  [[nodiscard]] bool operator==(const DecodedDci&) const = default;
 };
 
 /// Sliding-window throughput estimator over (slot, bits) samples.

@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <atomic>
+#include <chrono>
 #include <thread>
 #include <vector>
 
@@ -68,6 +71,119 @@ TEST(Queue, ProducerConsumerStress) {
   for (int i = 0; i < kItems; ++i) {
     EXPECT_EQ(received[i], i);
   }
+}
+
+TEST(Queue, PopForTimesOutThenDelivers) {
+  BoundedQueue<int> q(2);
+  // Empty + open: times out with nothing.
+  EXPECT_FALSE(q.pop_for(std::chrono::milliseconds(10)).has_value());
+  EXPECT_FALSE(q.closed());
+  q.push(5);
+  EXPECT_EQ(q.pop_for(std::chrono::milliseconds(10)), 5);
+  // Closed queues drain remaining items, then report empty immediately.
+  q.push(6);
+  q.close();
+  EXPECT_EQ(q.pop_for(std::chrono::hours(1)), 6);
+  EXPECT_FALSE(q.pop_for(std::chrono::milliseconds(1)).has_value());
+  EXPECT_TRUE(q.closed());
+}
+
+// close() racing a swarm of try_push_result() producers: every push must
+// report either kOk (and the item comes out exactly once) or kClosed /
+// kFull (and the item never appears) — no losses, no duplicates.
+TEST(Queue, CloseDuringConcurrentTryPushNeverLosesOrDuplicates) {
+  constexpr int kProducers = 4;
+  constexpr int kPerProducer = 5000;
+  for (int round = 0; round < 5; ++round) {
+    BoundedQueue<int> q(32);
+    std::atomic<bool> start{false};
+    std::vector<std::vector<int>> accepted(kProducers);
+    std::vector<std::thread> producers;
+    producers.reserve(kProducers);
+    for (int p = 0; p < kProducers; ++p) {
+      producers.emplace_back([&, p] {
+        while (!start.load()) {
+          std::this_thread::yield();
+        }
+        for (int i = 0; i < kPerProducer; ++i) {
+          const int item = p * kPerProducer + i;
+          switch (q.try_push_result(item)) {
+            case QueuePushResult::kOk:
+              accepted[static_cast<std::size_t>(p)].push_back(item);
+              break;
+            case QueuePushResult::kFull:
+              break;  // shed; may retry the next item
+            case QueuePushResult::kClosed:
+              return;  // no more input is ever accepted
+          }
+        }
+      });
+    }
+    std::vector<int> received;
+    std::thread consumer([&] {
+      while (auto item = q.pop()) {
+        received.push_back(*item);
+      }
+    });
+    start.store(true);
+    // Close somewhere in the middle of the barrage.
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    q.close();
+    for (auto& t : producers) {
+      t.join();
+    }
+    consumer.join();
+    // After close, a late push must still see kClosed.
+    EXPECT_EQ(q.try_push_result(-1), QueuePushResult::kClosed);
+
+    std::vector<int> expected;
+    for (const auto& items : accepted) {
+      expected.insert(expected.end(), items.begin(), items.end());
+    }
+    std::sort(expected.begin(), expected.end());
+    std::sort(received.begin(), received.end());
+    ASSERT_EQ(received, expected) << "round " << round
+        << ": every kOk item exactly once, nothing else";
+  }
+}
+
+// Producers blocked in push() (queue full) must wake when the consumer
+// side closes, and report the failure instead of hanging.
+TEST(Queue, CloseWakesBlockedPushers) {
+  BoundedQueue<int> q(1);
+  ASSERT_TRUE(q.push(0));  // now full
+  std::atomic<int> rejected{0};
+  std::vector<std::thread> pushers;
+  for (int p = 0; p < 3; ++p) {
+    pushers.emplace_back([&] {
+      if (!q.push(99)) {
+        rejected.fetch_add(1);
+      }
+    });
+  }
+  // Give the pushers time to block on the full queue, then close.
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  q.close();
+  for (auto& t : pushers) {
+    t.join();
+  }
+  EXPECT_EQ(rejected.load(), 3) << "all blocked pushers must wake and fail";
+  EXPECT_EQ(q.pop(), 0) << "the pre-close item drains";
+  EXPECT_FALSE(q.pop().has_value());
+}
+
+// pop_for() blocked on an empty queue must wake promptly on close().
+TEST(Queue, CloseWakesBlockedTimedPop) {
+  BoundedQueue<int> q(1);
+  std::atomic<bool> woke{false};
+  std::thread consumer([&] {
+    EXPECT_FALSE(q.pop_for(std::chrono::seconds(30)).has_value());
+    woke.store(true);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  q.close();
+  consumer.join();
+  EXPECT_TRUE(woke.load());
 }
 
 TEST(Queue, MoveOnlyPayload) {

@@ -1,0 +1,373 @@
+// Wire-protocol unit tests: exact round-trips for every payload type, a
+// fuzz-style randomized round-trip sweep, truncation/corruption robustness
+// (decode must return nullopt, never crash or over-read), and incremental
+// frame parsing across arbitrary chunk boundaries.
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <vector>
+
+#include "common/rng.h"
+#include "net/wire.h"
+
+namespace nrs {
+namespace {
+
+// ---- Generators for randomized round-trips ---------------------------
+
+Dci random_dci(Rng& rng) {
+  Dci dci;
+  dci.format = static_cast<DciFormat>(rng.uniform_int(0, 3));
+  dci.freq_alloc_riv = static_cast<std::uint32_t>(
+      rng.uniform_int(0, 0xFFFFFFFFLL));
+  dci.time_alloc = static_cast<std::uint8_t>(rng.uniform_int(0, 255));
+  dci.mcs = static_cast<std::uint8_t>(rng.uniform_int(0, 31));
+  dci.ndi = static_cast<std::uint8_t>(rng.uniform_int(0, 1));
+  dci.rv = static_cast<std::uint8_t>(rng.uniform_int(0, 3));
+  dci.harq_id = static_cast<std::uint8_t>(rng.uniform_int(0, 15));
+  dci.dai = static_cast<std::uint8_t>(rng.uniform_int(0, 3));
+  dci.tpc = static_cast<std::uint8_t>(rng.uniform_int(0, 3));
+  dci.pucch_resource = static_cast<std::uint8_t>(rng.uniform_int(0, 7));
+  dci.harq_feedback = static_cast<std::uint8_t>(rng.uniform_int(0, 7));
+  dci.ports = static_cast<std::uint8_t>(rng.uniform_int(0, 3));
+  dci.srs_request = static_cast<std::uint8_t>(rng.uniform_int(0, 3));
+  dci.dmrs_id = static_cast<std::uint8_t>(rng.uniform_int(0, 1));
+  return dci;
+}
+
+Grant random_grant(Rng& rng) {
+  static constexpr Modulation kMods[] = {
+      Modulation::kBpsk, Modulation::kQpsk, Modulation::kQam16,
+      Modulation::kQam64, Modulation::kQam256};
+  Grant grant;
+  grant.rnti = static_cast<Rnti>(rng.uniform_int(1, 0xFFFF));
+  grant.format = static_cast<DciFormat>(rng.uniform_int(0, 3));
+  grant.prb_start = static_cast<unsigned>(rng.uniform_int(0, 270));
+  grant.prb_len = static_cast<unsigned>(rng.uniform_int(1, 270));
+  grant.start_symbol = static_cast<unsigned>(rng.uniform_int(0, 13));
+  grant.n_symbols = static_cast<unsigned>(rng.uniform_int(1, 14));
+  grant.mcs = static_cast<unsigned>(rng.uniform_int(0, 31));
+  grant.modulation = kMods[rng.uniform_int(0, 4)];
+  grant.code_rate = rng.uniform();
+  grant.n_layers = static_cast<unsigned>(rng.uniform_int(1, 4));
+  grant.tbs = static_cast<unsigned>(rng.uniform_int(0, 1 << 20));
+  grant.ndi = static_cast<std::uint8_t>(rng.uniform_int(0, 1));
+  grant.rv = static_cast<std::uint8_t>(rng.uniform_int(0, 3));
+  grant.harq_id = static_cast<std::uint8_t>(rng.uniform_int(0, 15));
+  return grant;
+}
+
+SlotResult random_slot_result(Rng& rng) {
+  SlotResult result;
+  result.slot = static_cast<std::uint64_t>(rng.uniform_int(0, 1 << 30));
+  result.processing_time_us = rng.uniform(0.0, 50000.0);
+  result.sib1_decoded = rng.chance(0.5);
+  if (rng.chance(0.3)) {
+    Mib mib;
+    mib.sfn = static_cast<std::uint16_t>(rng.uniform_int(0, 1023));
+    mib.scs_common = static_cast<Scs>(rng.uniform_int(0, 2));
+    mib.coreset0_rb_start =
+        static_cast<std::uint8_t>(rng.uniform_int(0, 255));
+    mib.coreset0_n_prb6 = static_cast<std::uint8_t>(rng.uniform_int(1, 16));
+    mib.coreset0_duration =
+        static_cast<std::uint8_t>(rng.uniform_int(1, 3));
+    mib.searchspace0 = static_cast<std::uint8_t>(rng.uniform_int(0, 15));
+    mib.cell_barred = rng.chance(0.1);
+    result.mib = mib;
+  }
+  const auto n_dcis = static_cast<std::size_t>(rng.uniform_int(0, 8));
+  for (std::size_t i = 0; i < n_dcis; ++i) {
+    DecodedDci dci;
+    dci.slot = result.slot;
+    dci.rnti = static_cast<Rnti>(rng.uniform_int(1, 0xFFFF));
+    dci.dci = random_dci(rng);
+    dci.grant = random_grant(rng);
+    dci.agg_level = 1u << rng.uniform_int(0, 4);
+    dci.cce_start = static_cast<unsigned>(rng.uniform_int(0, 100));
+    dci.is_retx = rng.chance(0.2);
+    result.dcis.push_back(dci);
+  }
+  const auto n_ues = static_cast<std::size_t>(rng.uniform_int(0, 3));
+  for (std::size_t i = 0; i < n_ues; ++i) {
+    NewUe ue;
+    ue.c_rnti = static_cast<Rnti>(rng.uniform_int(1, 0xFFFF));
+    ue.slot = result.slot;
+    ue.verified = rng.chance(0.8);
+    ue.config.ue_ss.ue_specific = true;
+    ue.config.ue_ss.agg_levels.clear();
+    for (std::int64_t l = 0, n = rng.uniform_int(1, 4); l < n; ++l) {
+      ue.config.ue_ss.agg_levels.push_back(
+          1u << static_cast<unsigned>(rng.uniform_int(0, 4)));
+    }
+    ue.config.ue_ss.candidates_per_level =
+        static_cast<unsigned>(rng.uniform_int(1, 8));
+    ue.config.dl_format =
+        rng.chance(0.5) ? DciFormat::kDl1_0 : DciFormat::kDl1_1;
+    ue.config.mcs_table = static_cast<McsTable>(rng.uniform_int(1, 3));
+    ue.config.max_mimo_layers =
+        static_cast<unsigned>(rng.uniform_int(1, 4));
+    ue.config.n_harq_processes =
+        static_cast<unsigned>(rng.uniform_int(1, 16));
+    result.new_ues.push_back(ue);
+  }
+  return result;
+}
+
+MetricsSnapshot sample_metrics_snapshot() {
+  MetricsRegistry registry;
+  registry.counter("net.frames_sent").inc(123);
+  registry.counter("pipeline.slots_pushed").inc(456789);
+  registry.gauge("net.clients").set(-3);
+  Histogram& hist = registry.histogram("pipeline.demod_us");
+  hist.observe(12.5);
+  hist.observe(900.0);
+  hist.observe(1e6);  // overflow bucket
+  return registry.snapshot();
+}
+
+// ---- Primitives ------------------------------------------------------
+
+TEST(Wire, PrimitivesRoundTripLittleEndian) {
+  WireWriter w;
+  w.u8(0xAB);
+  w.u16(0x1234);
+  w.u32(0xDEADBEEF);
+  w.u64(0x0123456789ABCDEFull);
+  w.f64(-1234.5e-7);
+  w.str("nrscope");
+  const std::vector<std::uint8_t>& data = w.data();
+  // Spot-check the byte order of the u16: LSB first.
+  EXPECT_EQ(data[1], 0x34);
+  EXPECT_EQ(data[2], 0x12);
+
+  WireReader r(data);
+  EXPECT_EQ(r.u8(), 0xAB);
+  EXPECT_EQ(r.u16(), 0x1234);
+  EXPECT_EQ(r.u32(), 0xDEADBEEFu);
+  EXPECT_EQ(r.u64(), 0x0123456789ABCDEFull);
+  EXPECT_DOUBLE_EQ(r.f64(), -1234.5e-7);
+  EXPECT_EQ(r.str(), "nrscope");
+  EXPECT_TRUE(r.done());
+}
+
+TEST(Wire, ReaderPastEndSetsStickyError) {
+  const std::vector<std::uint8_t> data = {0x01, 0x02};
+  WireReader r(data);
+  EXPECT_EQ(r.u32(), 0u);  // only 2 bytes available
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.u64(), 0u);  // stays failed
+  EXPECT_FALSE(r.done());
+}
+
+// ---- Payload round-trips ---------------------------------------------
+
+TEST(Wire, HelloRoundTrip) {
+  HelloInfo hello;
+  hello.next_slot = 987654321;
+  WireWriter w;
+  encode_hello(hello, w);
+  const auto decoded = decode_hello(w.data());
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(*decoded, hello);
+}
+
+TEST(Wire, SlotResultRoundTripExhaustiveFields) {
+  Rng rng(7);
+  SlotResult result = random_slot_result(rng);
+  while (result.dcis.empty() || result.new_ues.empty() || !result.mib) {
+    result = random_slot_result(rng);
+  }
+  WireWriter w;
+  encode_slot(result, w);
+  const auto decoded = decode_slot(w.data());
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(*decoded, result);
+}
+
+TEST(Wire, SlotResultFuzzRoundTrip) {
+  Rng rng(42);
+  for (int i = 0; i < 200; ++i) {
+    const SlotResult result = random_slot_result(rng);
+    WireWriter w;
+    encode_slot(result, w);
+    const auto decoded = decode_slot(w.data());
+    ASSERT_TRUE(decoded.has_value()) << "iteration " << i;
+    EXPECT_EQ(*decoded, result) << "iteration " << i;
+  }
+}
+
+TEST(Wire, SlotResultEveryTruncationFailsCleanly) {
+  Rng rng(3);
+  SlotResult result = random_slot_result(rng);
+  while (result.dcis.size() < 2 || result.new_ues.empty()) {
+    result = random_slot_result(rng);
+  }
+  WireWriter w;
+  encode_slot(result, w);
+  const std::vector<std::uint8_t> full = w.take();
+  for (std::size_t len = 0; len < full.size(); ++len) {
+    const auto decoded =
+        decode_slot(std::span<const std::uint8_t>(full.data(), len));
+    EXPECT_FALSE(decoded.has_value()) << "prefix length " << len;
+  }
+}
+
+TEST(Wire, SlotResultRejectsCorruptEnums) {
+  SlotResult result;
+  result.slot = 5;
+  DecodedDci dci;
+  dci.rnti = 0x4601;
+  result.dcis.push_back(dci);
+  WireWriter w;
+  encode_slot(result, w);
+  std::vector<std::uint8_t> bytes = w.take();
+  // The DCI format byte sits right after slot(8) + time(8) + flags(1) +
+  // n_dcis(4) + dci.slot(8) + rnti(2) = offset 31.  Make it nonsense.
+  bytes[31] = 0x77;
+  EXPECT_FALSE(decode_slot(bytes).has_value());
+}
+
+TEST(Wire, SlotResultRejectsTrailingGarbage) {
+  SlotResult result;
+  result.slot = 1;
+  WireWriter w;
+  encode_slot(result, w);
+  std::vector<std::uint8_t> bytes = w.take();
+  bytes.push_back(0x00);
+  EXPECT_FALSE(decode_slot(bytes).has_value());
+}
+
+TEST(Wire, MetricsSnapshotRoundTrip) {
+  const MetricsSnapshot snapshot = sample_metrics_snapshot();
+  WireWriter w;
+  encode_metrics(snapshot, w);
+  const auto decoded = decode_metrics(w.data());
+  ASSERT_TRUE(decoded.has_value());
+  ASSERT_EQ(decoded->counters.size(), snapshot.counters.size());
+  EXPECT_EQ(decoded->counter_value("net.frames_sent"), 123u);
+  EXPECT_EQ(decoded->counter_value("pipeline.slots_pushed"), 456789u);
+  const auto* gauge = decoded->find_gauge("net.clients");
+  ASSERT_NE(gauge, nullptr);
+  EXPECT_EQ(gauge->value, -3);
+  const auto* hist = decoded->find_histogram("pipeline.demod_us");
+  ASSERT_NE(hist, nullptr);
+  EXPECT_EQ(hist->count, 3u);
+  EXPECT_DOUBLE_EQ(hist->sum, 12.5 + 900.0 + 1e6);
+  EXPECT_EQ(hist->counts.size(), hist->bounds.size() + 1);
+  // Percentiles survive the trip (they are computed from bucket data).
+  const auto* original = snapshot.find_histogram("pipeline.demod_us");
+  EXPECT_DOUBLE_EQ(hist->p95(), original->p95());
+}
+
+TEST(Wire, MetricsSnapshotTruncationFailsCleanly) {
+  const MetricsSnapshot snapshot = sample_metrics_snapshot();
+  WireWriter w;
+  encode_metrics(snapshot, w);
+  const std::vector<std::uint8_t> full = w.take();
+  for (std::size_t len = 0; len < full.size(); ++len) {
+    EXPECT_FALSE(
+        decode_metrics(std::span<const std::uint8_t>(full.data(), len)).has_value())
+        << "prefix length " << len;
+  }
+}
+
+// ---- Framing ---------------------------------------------------------
+
+TEST(Wire, FrameParserReassemblesAcrossArbitraryChunks) {
+  Rng rng(11);
+  std::vector<SlotResult> sent;
+  std::vector<std::uint8_t> stream;
+  for (int i = 0; i < 20; ++i) {
+    sent.push_back(random_slot_result(rng));
+    const auto frame = slot_frame(sent.back());
+    stream.insert(stream.end(), frame.begin(), frame.end());
+  }
+  const auto beat = heartbeat_frame();
+  stream.insert(stream.end(), beat.begin(), beat.end());
+  const auto end = end_frame();
+  stream.insert(stream.end(), end.begin(), end.end());
+
+  FrameParser parser;
+  std::vector<SlotResult> received;
+  bool saw_heartbeat = false;
+  bool saw_end = false;
+  std::size_t pos = 0;
+  while (pos < stream.size()) {
+    const auto chunk = static_cast<std::size_t>(rng.uniform_int(1, 97));
+    const std::size_t n = std::min(chunk, stream.size() - pos);
+    parser.feed(std::span<const std::uint8_t>(stream.data() + pos, n));
+    pos += n;
+    while (auto frame = parser.next()) {
+      switch (frame->type) {
+        case FrameType::kSlot: {
+          const auto slot = decode_slot(frame->payload);
+          ASSERT_TRUE(slot.has_value());
+          received.push_back(*slot);
+          break;
+        }
+        case FrameType::kHeartbeat:
+          saw_heartbeat = true;
+          EXPECT_TRUE(frame->payload.empty());
+          break;
+        case FrameType::kEnd:
+          saw_end = true;
+          break;
+        default:
+          FAIL() << "unexpected frame type";
+      }
+    }
+  }
+  EXPECT_FALSE(parser.error());
+  ASSERT_EQ(received.size(), sent.size());
+  for (std::size_t i = 0; i < sent.size(); ++i) {
+    EXPECT_EQ(received[i], sent[i]) << "frame " << i;
+  }
+  EXPECT_TRUE(saw_heartbeat);
+  EXPECT_TRUE(saw_end);
+}
+
+TEST(Wire, FrameParserRejectsBadMagic) {
+  auto frame = heartbeat_frame();
+  frame[0] ^= 0xFF;
+  FrameParser parser;
+  parser.feed(frame);
+  EXPECT_FALSE(parser.next().has_value());
+  EXPECT_TRUE(parser.error());
+  EXPECT_EQ(parser.error_message(), "bad magic");
+}
+
+TEST(Wire, FrameParserRejectsWrongVersion) {
+  auto frame = heartbeat_frame();
+  frame[4] = static_cast<std::uint8_t>(kWireVersion + 1);
+  FrameParser parser;
+  parser.feed(frame);
+  EXPECT_FALSE(parser.next().has_value());
+  EXPECT_TRUE(parser.error());
+}
+
+TEST(Wire, FrameParserRejectsOversizedPayload) {
+  WireWriter w;
+  w.u32(kWireMagic);
+  w.u16(kWireVersion);
+  w.u16(static_cast<std::uint16_t>(FrameType::kSlot));
+  w.u32(kWireMaxPayload + 1);
+  FrameParser parser;
+  parser.feed(w.data());
+  EXPECT_FALSE(parser.next().has_value());
+  EXPECT_TRUE(parser.error());
+}
+
+TEST(Wire, FrameParserWaitsForPartialHeader) {
+  const auto frame = heartbeat_frame();
+  FrameParser parser;
+  parser.feed(std::span<const std::uint8_t>(frame.data(), kWireHeaderSize - 1));
+  EXPECT_FALSE(parser.next().has_value());
+  EXPECT_FALSE(parser.error());
+  parser.feed(std::span<const std::uint8_t>(frame.data() + kWireHeaderSize - 1, 1));
+  const auto parsed = parser.next();
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->type, FrameType::kHeartbeat);
+}
+
+}  // namespace
+}  // namespace nrs

@@ -6,6 +6,7 @@
 #include <fstream>
 #include <memory>
 #include <sstream>
+#include <stdexcept>
 #include <thread>
 
 #include "gnb/gnb_sim.h"
@@ -226,6 +227,67 @@ TEST(Pipeline, LogWriterWorksAsSink) {
   EXPECT_EQ(rows, dcis) << "one CSV row per decoded DCI";
   EXPECT_GT(rows, 0u);
   std::remove(path.c_str());
+}
+
+/// A sink that throws after a configurable number of slots (0 = throw on
+/// the first slot), and always throws from on_finish.
+class ThrowingSink : public SlotSink {
+ public:
+  explicit ThrowingSink(std::uint64_t throw_after = 0)
+      : throw_after_(throw_after) {}
+  void on_slot(const SlotResult&) override {
+    if (seen_++ >= throw_after_) {
+      throw std::runtime_error("sink failure");
+    }
+  }
+  void on_finish() override { throw std::runtime_error("finish failure"); }
+
+ private:
+  std::uint64_t throw_after_;
+  std::uint64_t seen_ = 0;
+};
+
+TEST(Pipeline, ThrowingSinkIsDetachedAndRunContinues) {
+  const CapturedRun& run = captured_run();
+  NrScopePipeline pipeline(scope_config(run.cell), 2);
+  auto healthy = std::make_shared<CountingSink>();
+  pipeline.add_sink(std::make_shared<ThrowingSink>(/*throw_after=*/3));
+  pipeline.add_sink(healthy);
+  EXPECT_EQ(pipeline.sink_count(), 2u);
+  for (const auto& slot : run.slots) {
+    while (!pipeline.push_slot(slot)) {
+      std::this_thread::yield();
+    }
+  }
+  pipeline.finish();
+  while (pipeline.poll_result()) {
+  }
+  // The faulty sink is gone, the healthy one saw the whole run in order.
+  EXPECT_EQ(pipeline.sink_count(), 1u);
+  EXPECT_EQ(healthy->slots_, run.slots.size());
+  EXPECT_TRUE(healthy->in_order_);
+  EXPECT_EQ(healthy->finished_, 1);
+  EXPECT_EQ(pipeline.metrics().counter_value("pipeline.sink_errors"), 1u);
+}
+
+TEST(Pipeline, SinkThrowingInOnFinishIsCountedAndOthersStillFinish) {
+  const CapturedRun& run = captured_run();
+  auto healthy = std::make_shared<CountingSink>();
+  NrScopePipeline pipeline(scope_config(run.cell), 1);
+  // Throws only from on_finish (throw_after_ larger than the run).
+  pipeline.add_sink(std::make_shared<ThrowingSink>(run.slots.size() + 1));
+  pipeline.add_sink(healthy);
+  for (int i = 0; i < 10; ++i) {
+    while (!pipeline.push_slot(run.slots[static_cast<std::size_t>(i)])) {
+      std::this_thread::yield();
+    }
+  }
+  pipeline.finish();
+  while (pipeline.poll_result()) {
+  }
+  EXPECT_EQ(healthy->finished_, 1);
+  EXPECT_EQ(pipeline.sink_count(), 1u);
+  EXPECT_EQ(pipeline.metrics().counter_value("pipeline.sink_errors"), 1u);
 }
 
 TEST(Pipeline, MetricsSnapshotCoversEveryStage) {
