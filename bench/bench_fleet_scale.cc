@@ -1,0 +1,94 @@
+// Fleet scale bench: how does the shared-pool fleet orchestrator scale
+// with the number of concurrently monitored cells at a fixed pool size?
+// For 1/2/4/8 cells each cell feeds the same per-cell slot budget; the
+// table reports aggregate processed slots/sec (all cells combined), the
+// per-cell feed rate relative to real time (1x = keeping up with the air
+// interface), and the push-to-delivery slot latency p50/p99 from the
+// fleet.slot_latency_us histogram.
+#include <chrono>
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "fleet/fleet.h"
+#include "gnb/presets.h"
+
+namespace {
+
+using namespace nrs;
+
+struct ScalePoint {
+  unsigned cells = 0;
+  double wall_s = 0.0;
+  std::uint64_t slots_total = 0;
+  double latency_p50_us = 0.0;
+  double latency_p99_us = 0.0;
+  std::uint64_t restarts = 0;
+};
+
+ScalePoint run_point(unsigned n_cells, std::uint64_t slots_per_cell,
+                     unsigned pool_threads) {
+  MetricsRegistry registry;
+  FleetConfig config;
+  config.seed = 7;
+  config.pool_threads = pool_threads;
+  for (unsigned i = 0; i < n_cells; ++i) {
+    FleetCellSpec spec;
+    spec.cell = srsran_cell();
+    spec.cell.name = "cell" + std::to_string(i);
+    spec.n_ues = 2;
+    config.cells.push_back(std::move(spec));
+  }
+  FleetOrchestrator fleet(std::move(config), registry);
+
+  const auto start = std::chrono::steady_clock::now();
+  fleet.run_until(slots_per_cell);
+  fleet.stop();
+  const auto end = std::chrono::steady_clock::now();
+
+  ScalePoint point;
+  point.cells = n_cells;
+  point.wall_s = std::chrono::duration<double>(end - start).count();
+  for (unsigned i = 0; i < n_cells; ++i) {
+    point.slots_total += fleet.cell_slots(i);
+  }
+  const MetricsSnapshot snap = registry.snapshot();
+  if (const auto* latency = snap.find_histogram("fleet.slot_latency_us")) {
+    point.latency_p50_us = latency->p50();
+    point.latency_p99_us = latency->p99();
+  }
+  point.restarts = snap.counter_value("fleet.cell.restarts");
+  return point;
+}
+
+}  // namespace
+
+int main() {
+  constexpr std::uint64_t kSlotsPerCell = 800;
+  constexpr unsigned kPoolThreads = 4;
+  const double slot_s = slot_duration_s(srsran_cell().scs);
+
+  bench::print_header("fleet-scale",
+                      "slots/sec and slot latency vs cell count "
+                      "(fixed pool of " +
+                          std::to_string(kPoolThreads) + " threads)");
+  std::printf("%6s %10s %12s %12s %14s %14s %9s\n", "cells", "wall s",
+              "slots total", "slots/sec", "feed rate/cell",
+              "latency p50 us", "p99 us");
+  for (const unsigned cells : {1u, 2u, 4u, 8u}) {
+    const ScalePoint p = run_point(cells, kSlotsPerCell, kPoolThreads);
+    const double slots_per_sec =
+        p.wall_s > 0.0 ? static_cast<double>(p.slots_total) / p.wall_s : 0.0;
+    // 1.0x = each cell processes slots as fast as they occur on the air.
+    const double feed_rate =
+        slots_per_sec / static_cast<double>(p.cells) * slot_s;
+    std::printf("%6u %10.2f %12llu %12.0f %13.2fx %14.0f %9.0f\n", p.cells,
+                p.wall_s, static_cast<unsigned long long>(p.slots_total),
+                slots_per_sec, feed_rate, p.latency_p50_us,
+                p.latency_p99_us);
+    if (p.restarts != 0) {
+      std::printf("       (unexpected restarts: %llu)\n",
+                  static_cast<unsigned long long>(p.restarts));
+    }
+  }
+  return 0;
+}

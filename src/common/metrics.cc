@@ -127,6 +127,26 @@ std::uint64_t MetricsSnapshot::counter_value(std::string_view name) const {
   return c != nullptr ? c->value : 0;
 }
 
+MetricsSnapshot MetricsSnapshot::filter(std::string_view prefix) const {
+  MetricsSnapshot out;
+  for (const auto& c : counters) {
+    if (c.name.starts_with(prefix)) {
+      out.counters.push_back(c);
+    }
+  }
+  for (const auto& g : gauges) {
+    if (g.name.starts_with(prefix)) {
+      out.gauges.push_back(g);
+    }
+  }
+  for (const auto& h : histograms) {
+    if (h.name.starts_with(prefix)) {
+      out.histograms.push_back(h);
+    }
+  }
+  return out;
+}
+
 std::string MetricsSnapshot::to_json() const {
   std::ostringstream os;
   os << "{\"counters\":{";

@@ -160,7 +160,13 @@ struct MetricsSnapshot {
   /// One row per metric: metric,kind,value,count,sum,min,max,p50,p95,p99.
   static std::string csv_header();
   [[nodiscard]] std::string to_csv() const;
+
+  /// Sub-snapshot of the metrics whose name starts with `prefix` — e.g.
+  /// filter("fleet.cell3.") is one cell's slice of a fleet registry.
+  [[nodiscard]] MetricsSnapshot filter(std::string_view prefix) const;
 };
+
+class MetricsNamespace;
 
 /// Name -> metric registry.  Registration takes a lock; returned references
 /// stay valid for the registry's lifetime, so hot paths resolve their
@@ -177,6 +183,10 @@ class MetricsRegistry {
                        std::vector<double> bounds =
                            Histogram::latency_buckets_us());
 
+  /// A MetricsNamespace over this registry (see below): all metrics made
+  /// through it get `prefix` prepended to their names.
+  [[nodiscard]] MetricsNamespace with_prefix(std::string prefix);
+
   [[nodiscard]] MetricsSnapshot snapshot() const;
 
  private:
@@ -185,5 +195,45 @@ class MetricsRegistry {
   std::map<std::string, std::unique_ptr<Gauge>> gauges_;
   std::map<std::string, std::unique_ptr<Histogram>> histograms_;
 };
+
+/// Prefix view over a registry for per-entity metric families: metrics
+/// created through the namespace share one prefix ("fleet.cell3."), so
+/// call sites register "slots" instead of hand-concatenating the entity
+/// name at every site.  Copyable and as cheap as the string it holds; the
+/// returned metric references have the registry's lifetime as usual.
+class MetricsNamespace {
+ public:
+  MetricsNamespace(MetricsRegistry& registry, std::string prefix)
+      : registry_(&registry), prefix_(std::move(prefix)) {}
+
+  Counter& counter(const std::string& name) {
+    return registry_->counter(prefix_ + name);
+  }
+  Gauge& gauge(const std::string& name) {
+    return registry_->gauge(prefix_ + name);
+  }
+  Histogram& histogram(const std::string& name,
+                       std::vector<double> bounds =
+                           Histogram::latency_buckets_us()) {
+    return registry_->histogram(prefix_ + name, std::move(bounds));
+  }
+
+  /// One level deeper: with_prefix("fleet.").nested("cell3.") ==
+  /// with_prefix("fleet.cell3.").
+  [[nodiscard]] MetricsNamespace nested(const std::string& suffix) const {
+    return {*registry_, prefix_ + suffix};
+  }
+
+  [[nodiscard]] const std::string& prefix() const { return prefix_; }
+  [[nodiscard]] MetricsRegistry& registry() const { return *registry_; }
+
+ private:
+  MetricsRegistry* registry_;
+  std::string prefix_;
+};
+
+inline MetricsNamespace MetricsRegistry::with_prefix(std::string prefix) {
+  return {*this, std::move(prefix)};
+}
 
 }  // namespace nrs

@@ -21,8 +21,12 @@ WorkerPool::~WorkerPool() {
 
 void WorkerPool::worker_loop() {
   while (auto job = jobs_.pop()) {
-    job->fn();
-    job->done.set_value();
+    try {
+      job->fn();
+      job->done.set_value();
+    } catch (...) {
+      job->done.set_exception(std::current_exception());
+    }
   }
 }
 
@@ -45,20 +49,42 @@ void WorkerPool::run_batch(std::size_t count,
   if (count == 0) {
     return;
   }
+  std::exception_ptr first_error;
   if (num_threads_ == 1 || count == 1) {
+    // Sequential fallback keeps the parallel path's contract: every shard
+    // is attempted, the first failure is rethrown after the batch.
     for (std::size_t i = 0; i < count; ++i) {
-      task(i);
+      try {
+        task(i);
+      } catch (...) {
+        if (!first_error) {
+          first_error = std::current_exception();
+        }
+      }
     }
-    return;
+  } else {
+    std::vector<std::future<void>> futures;
+    futures.reserve(count - 1);
+    for (std::size_t i = 1; i < count; ++i) {
+      futures.push_back(submit([&task, i] { task(i); }));
+    }
+    try {
+      task(0);  // run the first shard on the calling thread
+    } catch (...) {
+      first_error = std::current_exception();
+    }
+    for (auto& f : futures) {
+      try {
+        f.get();
+      } catch (...) {
+        if (!first_error) {
+          first_error = std::current_exception();
+        }
+      }
+    }
   }
-  std::vector<std::future<void>> futures;
-  futures.reserve(count - 1);
-  for (std::size_t i = 1; i < count; ++i) {
-    futures.push_back(submit([&task, i] { task(i); }));
-  }
-  task(0);  // run the first shard on the calling thread
-  for (auto& f : futures) {
-    f.wait();
+  if (first_error) {
+    std::rethrow_exception(first_error);
   }
 }
 

@@ -21,12 +21,16 @@ class WorkerPool {
   WorkerPool(const WorkerPool&) = delete;
   WorkerPool& operator=(const WorkerPool&) = delete;
 
-  /// Enqueue a task; returns a future for its completion.
+  /// Enqueue a task; returns a future for its completion.  A task that
+  /// throws has the exception stored in the future — future.get() rethrows
+  /// it on the caller's thread instead of losing it on the worker.
   std::future<void> submit(std::function<void()> task);
 
   /// Run `count` tasks produced by `make_task(i)` and wait for all of them.
   /// With a single-thread pool this degenerates to sequential execution,
-  /// which is the paper's "one thread" baseline in Fig. 12.
+  /// which is the paper's "one thread" baseline in Fig. 12.  Every shard
+  /// is attempted even when one throws; after the batch has drained the
+  /// first captured exception is rethrown to the caller.
   void run_batch(std::size_t count,
                  const std::function<void(std::size_t)>& task);
 

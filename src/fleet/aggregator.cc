@@ -1,0 +1,181 @@
+#include "fleet/aggregator.h"
+
+#include <algorithm>
+#include <numeric>
+#include <stdexcept>
+
+#include "common/timing.h"
+#include "nr/dci.h"
+
+namespace nrs {
+
+FleetAggregator::FleetAggregator(MetricsRegistry& registry,
+                                 std::uint64_t rate_window_slots)
+    : registry_(&registry), rate_window_slots_(rate_window_slots),
+      m_slots_total_(&registry.counter("fleet.slots")),
+      m_dcis_total_(&registry.counter("fleet.dcis")),
+      m_restarts_total_(&registry.counter("fleet.cell.restarts")) {}
+
+void FleetAggregator::add_cell(std::uint32_t cell_index,
+                               const CellConfig& cell) {
+  std::lock_guard lock(mutex_);
+  if (cells_.size() <= cell_index) {
+    cells_.resize(cell_index + 1);
+  }
+  if (cells_[cell_index] != nullptr) {
+    throw std::invalid_argument("FleetAggregator: cell " +
+                                std::to_string(cell_index) +
+                                " registered twice");
+  }
+  auto agg = std::make_unique<CellAgg>(cell, rate_window_slots_);
+  MetricsNamespace ns =
+      registry_->with_prefix("fleet.cell" + std::to_string(cell_index) + ".");
+  agg->m_slots = &ns.counter("slots");
+  agg->m_dcis = &ns.counter("dcis");
+  agg->m_retx = &ns.counter("retx_dcis");
+  agg->m_restarts = &ns.counter("restarts");
+  agg->m_active_ues = &ns.gauge("active_ues");
+  cells_[cell_index] = std::move(agg);
+}
+
+void FleetAggregator::on_cell_slot(std::uint32_t cell_index,
+                                   const SlotResult& result) {
+  std::lock_guard lock(mutex_);
+  CellAgg& agg = *cells_.at(cell_index);
+  ++agg.lifetime_slots;
+  const TddPattern& tdd = agg.cell.tdd;
+  agg.offered_prb_slots += static_cast<double>(agg.cell.n_prb) *
+                           static_cast<double>(tdd.n_dl) /
+                           static_cast<double>(tdd.period);
+
+  std::uint64_t slot_retx = 0;
+  for (const DecodedDci& dci : result.dcis) {
+    ++agg.dcis;
+    FleetUeTotals& ue = agg.ues[dci.rnti];
+    ++ue.dcis;
+    ue.last_seen_slot = agg.lifetime_slots;
+    if (dci.is_retx) {
+      ++slot_retx;
+      ++ue.retx_dcis;
+    }
+    if (is_downlink(dci.dci.format)) {
+      agg.used_prb_slots += static_cast<double>(dci.grant.prb_len);
+      if (!dci.is_retx) {
+        agg.dl_rate.add(agg.lifetime_slots, dci.grant.tbs);
+        ue.dl_bits += dci.grant.tbs;
+      }
+    } else if (!dci.is_retx) {
+      agg.ul_rate.add(agg.lifetime_slots, dci.grant.tbs);
+      ue.ul_bits += dci.grant.tbs;
+    }
+  }
+  agg.retx_dcis += slot_retx;
+
+  agg.m_slots->inc();
+  m_slots_total_->inc();
+  if (!result.dcis.empty()) {
+    agg.m_dcis->inc(result.dcis.size());
+    m_dcis_total_->inc(result.dcis.size());
+  }
+  if (slot_retx > 0) {
+    agg.m_retx->inc(slot_retx);
+  }
+}
+
+void FleetAggregator::on_cell_restart(std::uint32_t cell_index) {
+  std::lock_guard lock(mutex_);
+  CellAgg& agg = *cells_.at(cell_index);
+  ++agg.restarts;
+  agg.m_restarts->inc();
+  m_restarts_total_->inc();
+}
+
+std::uint64_t FleetAggregator::cell_slots(std::uint32_t cell_index) const {
+  std::lock_guard lock(mutex_);
+  return cells_.at(cell_index)->lifetime_slots;
+}
+
+std::uint32_t FleetAggregator::active_ues_locked(const CellAgg& agg) const {
+  std::uint32_t active = 0;
+  for (const auto& [rnti, ue] : agg.ues) {
+    if (agg.lifetime_slots - ue.last_seen_slot < rate_window_slots_) {
+      ++active;
+    }
+  }
+  return active;
+}
+
+FleetRollup FleetAggregator::rollup() const {
+  std::lock_guard lock(mutex_);
+  FleetRollup roll;
+  std::uint64_t retx_total = 0;
+  for (std::uint32_t i = 0; i < cells_.size(); ++i) {
+    if (cells_[i] == nullptr) {
+      continue;
+    }
+    const CellAgg& agg = *cells_[i];
+    CellRollup c;
+    c.cell_index = i;
+    c.name = agg.cell.name;
+    c.slots = agg.lifetime_slots;
+    c.dcis = agg.dcis;
+    c.restarts = agg.restarts;
+    c.active_ues = active_ues_locked(agg);
+    agg.m_active_ues->set(c.active_ues);
+    const double slot_s = slot_duration_s(agg.cell.scs);
+    c.dl_mbps = agg.dl_rate.rate_bps(agg.lifetime_slots, slot_s) / 1e6;
+    c.ul_mbps = agg.ul_rate.rate_bps(agg.lifetime_slots, slot_s) / 1e6;
+    c.retx_rate = agg.dcis > 0 ? static_cast<double>(agg.retx_dcis) /
+                                     static_cast<double>(agg.dcis)
+                               : 0.0;
+    c.utilization =
+        agg.offered_prb_slots > 0.0
+            ? std::min(1.0, agg.used_prb_slots / agg.offered_prb_slots)
+            : 0.0;
+    const double dl_fraction = static_cast<double>(agg.cell.tdd.n_dl) /
+                               static_cast<double>(agg.cell.tdd.period);
+    c.spare_prb_rate =
+        (1.0 - c.utilization) * static_cast<double>(agg.cell.n_prb) *
+        dl_fraction;
+
+    roll.slot = std::max(roll.slot, c.slots);
+    roll.dcis_total += c.dcis;
+    roll.restarts_total += c.restarts;
+    roll.dl_mbps_total += c.dl_mbps;
+    roll.ul_mbps_total += c.ul_mbps;
+    retx_total += agg.retx_dcis;
+    roll.cells.push_back(std::move(c));
+  }
+  roll.retx_rate = roll.dcis_total > 0
+                       ? static_cast<double>(retx_total) /
+                             static_cast<double>(roll.dcis_total)
+                       : 0.0;
+  roll.spare_ranking.resize(roll.cells.size());
+  std::iota(roll.spare_ranking.begin(), roll.spare_ranking.end(), 0u);
+  std::stable_sort(roll.spare_ranking.begin(), roll.spare_ranking.end(),
+                   [&roll](std::uint32_t a, std::uint32_t b) {
+                     return roll.cells[a].spare_prb_rate >
+                            roll.cells[b].spare_prb_rate;
+                   });
+  // Rank entries name cell indices, not positions in roll.cells.
+  for (std::uint32_t& r : roll.spare_ranking) {
+    r = roll.cells[r].cell_index;
+  }
+  return roll;
+}
+
+std::map<FleetUeKey, FleetUeTotals> FleetAggregator::ue_totals() const {
+  std::lock_guard lock(mutex_);
+  std::map<FleetUeKey, FleetUeTotals> totals;
+  for (std::uint32_t i = 0; i < cells_.size(); ++i) {
+    if (cells_[i] == nullptr) {
+      continue;
+    }
+    for (const auto& [rnti, ue] : cells_[i]->ues) {
+      totals[FleetUeKey{i, rnti}] = ue;
+    }
+  }
+  return totals;
+}
+
+}  // namespace nrs

@@ -1,0 +1,380 @@
+#include "fleet/fleet.h"
+
+#include <algorithm>
+#include <atomic>
+#include <future>
+#include <thread>
+#include <utility>
+
+#include "nrscope/slot_sink.h"
+#include "ue/traffic.h"
+
+namespace nrs {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+std::int64_t steady_now_us() {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             Clock::now().time_since_epoch())
+      .count();
+}
+
+/// SplitMix64 finalizer: cheap, well-mixed seed derivation.
+std::uint64_t splitmix64(std::uint64_t x) {
+  x += 0x9E3779B97F4A7C15ull;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
+  return x ^ (x >> 31);
+}
+
+/// Deterministic per-(cell, incarnation) seed: every restart draws a fresh
+/// but reproducible stream, and no two cells ever share one.
+std::uint64_t cell_seed(std::uint64_t fleet_seed, std::uint32_t cell_index,
+                        unsigned incarnation) {
+  return splitmix64(fleet_seed ^
+                    splitmix64((static_cast<std::uint64_t>(cell_index) << 32) |
+                               incarnation));
+}
+
+std::uint64_t derive_seed(std::uint64_t base, std::uint64_t stream) {
+  return splitmix64(base ^ splitmix64(stream));
+}
+
+}  // namespace
+
+const char* to_string(FleetCellState state) {
+  switch (state) {
+    case FleetCellState::kRunning: return "running";
+    case FleetCellState::kBackoff: return "backoff";
+    case FleetCellState::kFailed: return "failed";
+  }
+  return "unknown";
+}
+
+/// Shared between one cell's advance task and its pipeline sink.  The ring
+/// records the push wall-clock of each accepted slot, indexed by the
+/// pipeline's slot number modulo the ring size; the sink subtracts it on
+/// delivery for the push-to-delivery latency histogram.  The ring is 4x the
+/// pipeline queue so an in-flight slot's entry cannot be overwritten.
+struct FleetFeedState {
+  explicit FleetFeedState(std::size_t ring)
+      : ring_size(ring),
+        push_us(std::make_unique<std::atomic<std::int64_t>[]>(ring)) {
+    for (std::size_t i = 0; i < ring_size; ++i) {
+      push_us[i].store(0, std::memory_order_relaxed);
+    }
+  }
+
+  std::atomic<std::uint64_t> slots_delivered{0};
+  std::atomic<std::int64_t> last_progress_us{0};
+  std::size_t ring_size;
+  std::unique_ptr<std::atomic<std::int64_t>[]> push_us;
+};
+
+namespace {
+
+/// Per-cell pipeline sink: runs on that cell's collector thread.  Feeds
+/// the aggregator, stamps the heartbeat, and records slot latency.
+class FleetCellSink : public SlotSink {
+ public:
+  FleetCellSink(std::uint32_t cell_index, std::shared_ptr<FleetFeedState> feed,
+                FleetAggregator* aggregator, Histogram* fleet_latency,
+                Histogram* cell_latency)
+      : cell_index_(cell_index), feed_(std::move(feed)),
+        aggregator_(aggregator), fleet_latency_(fleet_latency),
+        cell_latency_(cell_latency) {}
+
+  void on_slot(const SlotResult& result) override {
+    const std::int64_t now = steady_now_us();
+    const std::int64_t pushed =
+        feed_->push_us[result.slot % feed_->ring_size].load(
+            std::memory_order_acquire);
+    if (pushed > 0 && now >= pushed) {
+      const auto latency = static_cast<double>(now - pushed);
+      fleet_latency_->observe(latency);
+      cell_latency_->observe(latency);
+    }
+    aggregator_->on_cell_slot(cell_index_, result);
+    feed_->slots_delivered.fetch_add(1, std::memory_order_release);
+    feed_->last_progress_us.store(now, std::memory_order_release);
+  }
+
+ private:
+  std::uint32_t cell_index_;
+  std::shared_ptr<FleetFeedState> feed_;
+  FleetAggregator* aggregator_;
+  Histogram* fleet_latency_;
+  Histogram* cell_latency_;
+};
+
+}  // namespace
+
+FleetOrchestrator::FleetOrchestrator(FleetConfig config,
+                                     MetricsRegistry& registry)
+    : config_(std::move(config)), registry_(&registry),
+      aggregator_(registry, config_.rate_window_slots),
+      pool_(config_.pool_threads),
+      m_latency_(&registry.histogram("fleet.slot_latency_us")),
+      m_crashes_(&registry.counter("fleet.crashes")),
+      m_stalls_(&registry.counter("fleet.stalls")) {
+  cells_.reserve(config_.cells.size());
+  for (std::uint32_t i = 0; i < config_.cells.size(); ++i) {
+    auto runner = std::make_unique<CellRunner>();
+    runner->spec = std::move(config_.cells[i]);
+    runner->index = i;
+    aggregator_.add_cell(i, runner->spec.cell);
+    MetricsNamespace ns =
+        registry.with_prefix("fleet.cell" + std::to_string(i) + ".");
+    runner->m_latency = &ns.histogram("slot_latency_us");
+    runner->m_state = &ns.gauge("state");
+    cells_.push_back(std::move(runner));
+  }
+  config_.cells.clear();
+  for (auto& runner : cells_) {
+    start_cell(*runner);
+  }
+}
+
+FleetOrchestrator::~FleetOrchestrator() { stop(); }
+
+void FleetOrchestrator::set_state(CellRunner& runner, FleetCellState state) {
+  runner.state = state;
+  runner.m_state->set(static_cast<std::int64_t>(state));
+}
+
+void FleetOrchestrator::start_cell(CellRunner& runner) {
+  const std::uint64_t seed =
+      cell_seed(config_.seed, runner.index, runner.incarnation);
+
+  GnbConfig gnb_config;
+  gnb_config.cell = runner.spec.cell;
+  gnb_config.seed = seed;
+  runner.gnb = std::make_unique<GnbSim>(std::move(gnb_config));
+  for (unsigned u = 0; u < runner.spec.n_ues; ++u) {
+    UeConfig ue;
+    ue.id = u;
+    ue.channel.snr_db = runner.spec.ue_snr_db;
+    ue.channel.seed = derive_seed(seed, 1000 + u);
+    ue.dl_traffic = std::make_unique<CbrSource>(runner.spec.ue_rate_bps);
+    ue.ul_traffic =
+        std::make_unique<CbrSource>(runner.spec.ue_rate_bps * 0.25);
+    ue.seed = derive_seed(seed, 2000 + u);
+    runner.gnb->add_ue(std::move(ue));
+  }
+
+  VirtualRadioConfig radio_config;
+  radio_config.n_prb = runner.spec.cell.n_prb;
+  radio_config.channel.snr_db = runner.spec.sniffer_snr_db;
+  radio_config.channel.seed = derive_seed(seed, 3000);
+  runner.radio = std::make_unique<VirtualRadio>(radio_config);
+
+  NrScopeConfig scope;
+  scope.n_prb = runner.spec.cell.n_prb;
+  scope.scs = runner.spec.cell.scs;
+  scope.n_dci_threads = runner.spec.n_dci_threads;
+  runner.pipeline = std::make_unique<NrScopePipeline>(
+      scope, runner.spec.n_demod_workers, runner.spec.queue_depth);
+
+  const std::size_t ring =
+      std::max<std::size_t>(4 * runner.spec.queue_depth, 256);
+  runner.feed = std::make_shared<FleetFeedState>(ring);
+  runner.feed->last_progress_us.store(steady_now_us(),
+                                      std::memory_order_release);
+  runner.pipeline->add_sink(std::make_shared<FleetCellSink>(
+      runner.index, runner.feed, &aggregator_, m_latency_,
+      runner.m_latency));
+
+  runner.feed_slot = 0;
+  runner.accepted_pushes = 0;
+  runner.slots_at_start = aggregator_.cell_slots(runner.index);
+  set_state(runner, FleetCellState::kRunning);
+}
+
+void FleetOrchestrator::advance_cell(CellRunner& runner) {
+  for (std::uint64_t k = 0; k < config_.slots_per_tick; ++k) {
+    const ResourceGrid& grid = runner.gnb->step();
+    FaultAction action = FaultAction::kNone;
+    if (runner.spec.fault_hook) {
+      // May throw: that is the crash-injection path, and it surfaces to
+      // tick() through the pool task's future.
+      action = runner.spec.fault_hook(runner.feed_slot, runner.incarnation);
+    }
+    ++runner.feed_slot;
+    if (action == FaultAction::kMute) {
+      continue;  // dark radio: the gNB ran, the sniffer saw nothing
+    }
+    IqBuffer samples = runner.radio->capture(grid);
+    // Stamp before the push: the accepted slot's pipeline index is exactly
+    // accepted_pushes, and the sink may consume it immediately.  A rejected
+    // push leaves a stale stamp that the next accept simply overwrites.
+    runner.feed->push_us[runner.accepted_pushes % runner.feed->ring_size]
+        .store(steady_now_us(), std::memory_order_release);
+    if (runner.pipeline->push_slot(std::move(samples))) {
+      ++runner.accepted_pushes;
+      ++runner.pushed_lifetime;
+    }
+  }
+}
+
+void FleetOrchestrator::fail_cell(CellRunner& runner, bool crashed) {
+  (crashed ? m_crashes_ : m_stalls_)->inc();
+  if (runner.pipeline != nullptr) {
+    runner.pipeline->stop();  // drains accepted slots into the aggregator
+  }
+  runner.pipeline.reset();
+  runner.radio.reset();
+  runner.gnb.reset();
+  runner.feed.reset();
+  ++runner.restarts;
+  ++runner.incarnation;
+  aggregator_.on_cell_restart(runner.index);
+  if (config_.max_restarts >= 0 &&
+      runner.restarts > static_cast<unsigned>(config_.max_restarts)) {
+    set_state(runner, FleetCellState::kFailed);
+    return;
+  }
+  runner.backoff_s =
+      runner.backoff_s <= 0.0
+          ? config_.backoff_initial_s
+          : std::min(config_.backoff_max_s,
+                     runner.backoff_s * config_.backoff_factor);
+  runner.restart_at =
+      Clock::now() + std::chrono::duration_cast<Clock::duration>(
+                         std::chrono::duration<double>(runner.backoff_s));
+  set_state(runner, FleetCellState::kBackoff);
+}
+
+void FleetOrchestrator::tick() {
+  const auto now = Clock::now();
+  for (auto& cp : cells_) {
+    if (cp->state == FleetCellState::kBackoff && now >= cp->restart_at) {
+      start_cell(*cp);
+    }
+  }
+
+  std::vector<std::pair<CellRunner*, std::future<void>>> inflight;
+  inflight.reserve(cells_.size());
+  for (auto& cp : cells_) {
+    if (cp->state != FleetCellState::kRunning) {
+      continue;
+    }
+    CellRunner* runner = cp.get();
+    inflight.emplace_back(
+        runner, pool_.submit([this, runner] { advance_cell(*runner); }));
+  }
+  for (auto& [runner, fut] : inflight) {
+    try {
+      fut.get();
+    } catch (...) {
+      fail_cell(*runner, /*crashed=*/true);
+    }
+  }
+
+  const std::int64_t now_us = steady_now_us();
+  const auto stall_us =
+      static_cast<std::int64_t>(config_.stall_timeout_s * 1e6);
+  for (auto& cp : cells_) {
+    CellRunner& runner = *cp;
+    if (runner.state != FleetCellState::kRunning) {
+      continue;
+    }
+    if (aggregator_.cell_slots(runner.index) - runner.slots_at_start >=
+        config_.healthy_slots) {
+      runner.backoff_s = 0.0;  // healthy again: backoff restarts from initial
+    }
+    if (now_us - runner.feed->last_progress_us.load(
+                     std::memory_order_acquire) >
+        stall_us) {
+      fail_cell(runner, /*crashed=*/false);
+    }
+  }
+
+  if (inflight.empty()) {
+    // Every cell is in backoff (or failed): don't spin while waiting for
+    // a restart deadline.
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+
+  ++tick_count_;
+  if (config_.stream != nullptr && config_.aggregate_period_ticks > 0 &&
+      tick_count_ % config_.aggregate_period_ticks == 0) {
+    config_.stream->broadcast_frame(fleet_frame(summary()));
+  }
+}
+
+void FleetOrchestrator::run_until(std::uint64_t target_slots) {
+  while (true) {
+    bool any_live = false;
+    bool all_done = true;
+    for (const auto& cp : cells_) {
+      if (cp->state == FleetCellState::kFailed) {
+        continue;
+      }
+      any_live = true;
+      if (cp->pushed_lifetime < target_slots) {
+        all_done = false;
+      }
+    }
+    if (!any_live || all_done) {
+      return;
+    }
+    tick();
+  }
+}
+
+void FleetOrchestrator::stop() {
+  if (stopped_) {
+    return;
+  }
+  stopped_ = true;
+  for (auto& cp : cells_) {
+    if (cp->pipeline != nullptr) {
+      cp->pipeline->stop();
+    }
+  }
+}
+
+FleetCellState FleetOrchestrator::cell_state(std::uint32_t cell_index) const {
+  return cells_.at(cell_index)->state;
+}
+
+unsigned FleetOrchestrator::cell_restarts(std::uint32_t cell_index) const {
+  return cells_.at(cell_index)->restarts;
+}
+
+std::uint64_t FleetOrchestrator::cell_slots(std::uint32_t cell_index) const {
+  return aggregator_.cell_slots(cell_index);
+}
+
+FleetSummary FleetOrchestrator::summary() const {
+  const FleetRollup roll = aggregator_.rollup();
+  FleetSummary s;
+  s.slot = roll.slot;
+  s.dcis_total = roll.dcis_total;
+  s.restarts_total = roll.restarts_total;
+  s.dl_mbps_total = roll.dl_mbps_total;
+  s.ul_mbps_total = roll.ul_mbps_total;
+  s.retx_rate = roll.retx_rate;
+  s.spare_ranking = roll.spare_ranking;
+  s.cells.reserve(roll.cells.size());
+  for (const CellRollup& c : roll.cells) {
+    CellSummary cs;
+    cs.cell_index = c.cell_index;
+    cs.name = c.name;
+    cs.state = static_cast<std::uint8_t>(cells_.at(c.cell_index)->state);
+    cs.slots = c.slots;
+    cs.dcis = c.dcis;
+    cs.restarts = c.restarts;
+    cs.active_ues = c.active_ues;
+    cs.dl_mbps = c.dl_mbps;
+    cs.ul_mbps = c.ul_mbps;
+    cs.retx_rate = c.retx_rate;
+    cs.utilization = c.utilization;
+    s.cells.push_back(std::move(cs));
+  }
+  return s;
+}
+
+}  // namespace nrs

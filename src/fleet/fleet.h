@@ -1,0 +1,185 @@
+// Fleet orchestration: N supervised (cell config, gNB sim, NrScopePipeline)
+// triples running concurrently over one shared WorkerPool — the multi-cell
+// deployment the paper gestures at when a single sniffer host watches
+// several carriers.  Each tick the orchestrator hands every running cell a
+// "advance slots_per_tick slots" task (gNB step -> virtual radio capture ->
+// pipeline push); the cell's own pipeline threads demodulate and decode,
+// and a per-cell sink fans the results into the FleetAggregator.
+//
+// Supervision: every cell carries a heartbeat (slots delivered, wall-clock
+// of last progress).  A cell whose advance task throws has crashed; a cell
+// whose heartbeat goes quiet for stall_timeout_s has stalled (dark radio,
+// wedged pipeline).  Either way the supervisor tears the triple down
+// (pipeline.stop() drains what was accepted), waits out a bounded
+// exponential backoff, and rebuilds the triple from scratch with a fresh
+// deterministic seed derived from (fleet seed, cell index, incarnation) —
+// so the restarted sniffer re-syncs and re-acquires C-RNTIs through the
+// RACH exactly like a restarted real deployment.  A cell that exceeds
+// max_restarts is declared failed and the rest of the fleet carries on.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "common/metrics.h"
+#include "common/worker_pool.h"
+#include "fleet/aggregator.h"
+#include "gnb/gnb_sim.h"
+#include "net/stream_server.h"
+#include "net/wire.h"
+#include "nr/cell_config.h"
+#include "nrscope/pipeline.h"
+#include "radio/virtual_radio.h"
+
+namespace nrs {
+
+enum class FleetCellState : std::uint8_t {
+  kRunning = 0,
+  kBackoff = 1,  ///< torn down, waiting for the restart deadline
+  kFailed = 2,   ///< exceeded max_restarts; permanently down
+};
+
+const char* to_string(FleetCellState state);
+
+/// Fault-injection verdict for one feed slot (tests and demos).
+enum class FaultAction : std::uint8_t {
+  kNone,  ///< feed the slot normally
+  kMute,  ///< drop it before the radio: the sniffer sees a dark cell and
+          ///< the supervisor's stall detector eventually fires
+};
+
+/// Called once per gNB slot on the advance task's pool thread with the
+/// feed slot index *within the current incarnation* and the incarnation
+/// number.  Throwing models a crash of the cell monitor.
+using FleetFaultHook =
+    std::function<FaultAction(std::uint64_t slot, unsigned incarnation)>;
+
+struct FleetCellSpec {
+  CellConfig cell;
+  unsigned n_ues = 2;
+  double ue_rate_bps = 2e6;
+  double ue_snr_db = 18.0;
+  double sniffer_snr_db = 28.0;
+  unsigned n_demod_workers = 1;  ///< pipeline demod threads for this cell
+  unsigned n_dci_threads = 1;
+  std::size_t queue_depth = 64;  ///< pipeline input queue bound
+  FleetFaultHook fault_hook;     ///< optional injection (tests/demos)
+};
+
+struct FleetConfig {
+  std::vector<FleetCellSpec> cells;
+  unsigned pool_threads = 4;  ///< shared advance pool (the scale knob)
+  std::uint64_t seed = 1;     ///< fleet seed; per-cell seeds derive from it
+  std::uint64_t slots_per_tick = 20;
+
+  // Supervision policy.  The stall timeout must absorb benign scheduling
+  // delay: when cells outnumber pool threads a healthy cell can sit a few
+  // tick rounds without delivering, and a false stall verdict costs a full
+  // teardown + re-sync.
+  double stall_timeout_s = 1.0;  ///< heartbeat silence -> stall
+  double backoff_initial_s = 0.02;
+  double backoff_max_s = 0.5;
+  double backoff_factor = 2.0;
+  /// Give up on a cell after this many restarts (-1 = never).
+  int max_restarts = 8;
+  /// A cell that delivers this many slots in one incarnation is healthy
+  /// again: its backoff resets to the initial value.
+  std::uint64_t healthy_slots = 200;
+
+  std::uint64_t rate_window_slots = 2000;
+
+  /// Optional: broadcast a kFleet aggregate frame on this stream server
+  /// every `aggregate_period_ticks` ticks (the fan-in counterpart of the
+  /// per-cell slot streams).  Not owned; must outlive the orchestrator.
+  TelemetryStreamServer* stream = nullptr;
+  std::uint64_t aggregate_period_ticks = 1;
+};
+
+/// Heartbeat + push-timestamp ring shared between a cell's advance task
+/// (producer side) and its pipeline sink (collector thread).  Defined in
+/// fleet.cc.
+struct FleetFeedState;
+
+class FleetOrchestrator {
+ public:
+  /// Builds and starts every cell (they begin RACHing / syncing on the
+  /// first tick).  `registry` receives the fleet.* metrics: per-cell
+  /// namespaces, restart counters, and the fleet.slot_latency_us
+  /// push-to-delivery histogram.
+  FleetOrchestrator(FleetConfig config, MetricsRegistry& registry);
+  ~FleetOrchestrator();
+
+  FleetOrchestrator(const FleetOrchestrator&) = delete;
+  FleetOrchestrator& operator=(const FleetOrchestrator&) = delete;
+
+  /// One supervision round: restart cells whose backoff expired, advance
+  /// every running cell by slots_per_tick slots on the shared pool, then
+  /// check heartbeats and emit the periodic aggregate frame.
+  void tick();
+
+  /// Tick until every non-failed cell has fed at least `target_slots`
+  /// lifetime slots (restarts included), or every cell has failed.
+  void run_until(std::uint64_t target_slots);
+
+  /// Tear down every cell: pipelines drain their accepted slots into the
+  /// aggregator and all threads join.  Idempotent; the destructor calls it.
+  void stop();
+
+  [[nodiscard]] std::size_t n_cells() const { return cells_.size(); }
+  [[nodiscard]] FleetCellState cell_state(std::uint32_t cell_index) const;
+  [[nodiscard]] unsigned cell_restarts(std::uint32_t cell_index) const;
+  /// Lifetime slots delivered by the cell's pipelines (across restarts).
+  [[nodiscard]] std::uint64_t cell_slots(std::uint32_t cell_index) const;
+
+  [[nodiscard]] const FleetAggregator& aggregator() const {
+    return aggregator_;
+  }
+  [[nodiscard]] FleetRollup rollup() const { return aggregator_.rollup(); }
+  /// Wire-ready aggregate: rollup() plus each cell's supervision state.
+  [[nodiscard]] FleetSummary summary() const;
+
+ private:
+  struct CellRunner {
+    FleetCellSpec spec;
+    std::uint32_t index = 0;
+    FleetCellState state = FleetCellState::kBackoff;
+    unsigned incarnation = 0;
+    unsigned restarts = 0;
+    double backoff_s = 0.0;  ///< 0 = healthy (next failure starts initial)
+    std::chrono::steady_clock::time_point restart_at{};
+    std::uint64_t feed_slot = 0;        ///< gNB slots this incarnation
+    std::uint64_t accepted_pushes = 0;  ///< pipeline accepts, incarnation
+    std::uint64_t pushed_lifetime = 0;  ///< accepts across incarnations
+    std::uint64_t slots_at_start = 0;   ///< aggregator slots at (re)start
+    std::unique_ptr<GnbSim> gnb;
+    std::unique_ptr<VirtualRadio> radio;
+    std::unique_ptr<NrScopePipeline> pipeline;
+    std::shared_ptr<FleetFeedState> feed;
+    Histogram* m_latency = nullptr;  ///< fleet.cell<N>.slot_latency_us
+    Gauge* m_state = nullptr;        ///< fleet.cell<N>.state
+  };
+
+  void start_cell(CellRunner& runner);
+  /// The per-tick pool task: step the gNB, consult the fault hook, capture
+  /// and push slots_per_tick slots.  Exceptions propagate to tick().
+  void advance_cell(CellRunner& runner);
+  void fail_cell(CellRunner& runner, bool crashed);
+  void set_state(CellRunner& runner, FleetCellState state);
+
+  FleetConfig config_;
+  MetricsRegistry* registry_;
+  FleetAggregator aggregator_;
+  WorkerPool pool_;
+  std::vector<std::unique_ptr<CellRunner>> cells_;
+  std::uint64_t tick_count_ = 0;
+  bool stopped_ = false;
+
+  Histogram* m_latency_;  ///< fleet.slot_latency_us (push -> delivery)
+  Counter* m_crashes_;
+  Counter* m_stalls_;
+};
+
+}  // namespace nrs

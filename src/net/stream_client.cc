@@ -190,6 +190,15 @@ bool TelemetryStreamClient::serve_connection(int fd) {
               m_decode_errors_->inc();
             }
             break;
+          case FrameType::kFleet:
+            if (auto fleet = decode_fleet(frame->payload)) {
+              if (handlers_.on_fleet) {
+                handlers_.on_fleet(*fleet);
+              }
+            } else {
+              m_decode_errors_->inc();
+            }
+            break;
           case FrameType::kHeartbeat:
             break;  // liveness only
           case FrameType::kEnd:

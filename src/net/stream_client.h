@@ -44,6 +44,7 @@ struct StreamClientHandlers {
   std::function<void(const HelloInfo&)> on_connected;
   std::function<void(const SlotResult&)> on_slot;
   std::function<void(const MetricsSnapshot&)> on_metrics;
+  std::function<void(const FleetSummary&)> on_fleet;
   std::function<void()> on_disconnected;
   std::function<void()> on_end_of_stream;
 };

@@ -279,6 +279,11 @@ void TelemetryStreamServer::broadcast(const FramePtr& frame) {
   }
 }
 
+void TelemetryStreamServer::broadcast_frame(std::vector<std::uint8_t> frame) {
+  broadcast(
+      std::make_shared<const std::vector<std::uint8_t>>(std::move(frame)));
+}
+
 void TelemetryStreamServer::on_slot(const SlotResult& result) {
   next_slot_.store(result.slot + 1);
   ++slots_seen_;

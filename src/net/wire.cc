@@ -12,6 +12,7 @@ const char* to_string(FrameType type) {
     case FrameType::kMetrics: return "metrics";
     case FrameType::kHeartbeat: return "heartbeat";
     case FrameType::kEnd: return "end";
+    case FrameType::kFleet: return "fleet";
   }
   return "unknown";
 }
@@ -524,6 +525,83 @@ std::vector<std::uint8_t> metrics_frame(const MetricsSnapshot& snapshot) {
   WireWriter w;
   encode_metrics(snapshot, w);
   return encode_frame(FrameType::kMetrics, w.data());
+}
+
+void encode_fleet(const FleetSummary& summary, WireWriter& w) {
+  w.u64(summary.slot);
+  w.u64(summary.dcis_total);
+  w.u64(summary.restarts_total);
+  w.f64(summary.dl_mbps_total);
+  w.f64(summary.ul_mbps_total);
+  w.f64(summary.retx_rate);
+  w.u32(static_cast<std::uint32_t>(summary.spare_ranking.size()));
+  for (const std::uint32_t index : summary.spare_ranking) {
+    w.u32(index);
+  }
+  w.u32(static_cast<std::uint32_t>(summary.cells.size()));
+  for (const CellSummary& cell : summary.cells) {
+    w.u32(cell.cell_index);
+    w.str(cell.name);
+    w.u8(cell.state);
+    w.u64(cell.slots);
+    w.u64(cell.dcis);
+    w.u64(cell.restarts);
+    w.u32(cell.active_ues);
+    w.f64(cell.dl_mbps);
+    w.f64(cell.ul_mbps);
+    w.f64(cell.retx_rate);
+    w.f64(cell.utilization);
+  }
+}
+
+std::optional<FleetSummary> decode_fleet(
+    std::span<const std::uint8_t> payload) {
+  WireReader r(payload);
+  FleetSummary summary;
+  summary.slot = r.u64();
+  summary.dcis_total = r.u64();
+  summary.restarts_total = r.u64();
+  summary.dl_mbps_total = r.f64();
+  summary.ul_mbps_total = r.f64();
+  summary.retx_rate = r.f64();
+  const std::uint32_t n_ranked = r.u32();
+  if (!r.ok() || n_ranked > r.remaining()) {
+    return std::nullopt;
+  }
+  summary.spare_ranking.reserve(n_ranked);
+  for (std::uint32_t i = 0; i < n_ranked; ++i) {
+    summary.spare_ranking.push_back(r.u32());
+  }
+  const std::uint32_t n_cells = r.u32();
+  if (!r.ok() || n_cells > r.remaining()) {
+    return std::nullopt;
+  }
+  summary.cells.reserve(n_cells);
+  for (std::uint32_t i = 0; i < n_cells; ++i) {
+    CellSummary cell;
+    cell.cell_index = r.u32();
+    cell.name = r.str();
+    cell.state = r.u8();
+    cell.slots = r.u64();
+    cell.dcis = r.u64();
+    cell.restarts = r.u64();
+    cell.active_ues = r.u32();
+    cell.dl_mbps = r.f64();
+    cell.ul_mbps = r.f64();
+    cell.retx_rate = r.f64();
+    cell.utilization = r.f64();
+    summary.cells.push_back(std::move(cell));
+  }
+  if (!r.done()) {
+    return std::nullopt;
+  }
+  return summary;
+}
+
+std::vector<std::uint8_t> fleet_frame(const FleetSummary& summary) {
+  WireWriter w;
+  encode_fleet(summary, w);
+  return encode_frame(FrameType::kFleet, w.data());
 }
 
 std::vector<std::uint8_t> heartbeat_frame() {

@@ -41,6 +41,7 @@ enum class FrameType : std::uint16_t {
   kMetrics = 3,    ///< one serialized MetricsSnapshot
   kHeartbeat = 4,  ///< keep-alive when the stream is idle (empty payload)
   kEnd = 5,        ///< end of stream: the run finished (empty payload)
+  kFleet = 6,      ///< one serialized FleetSummary (cross-cell rollup)
 };
 
 const char* to_string(FrameType type);
@@ -51,6 +52,40 @@ struct HelloInfo {
   std::uint16_t version = kWireVersion;
   std::uint64_t next_slot = 0;  ///< next slot index the server will send
   [[nodiscard]] bool operator==(const HelloInfo&) const = default;
+};
+
+/// One cell's entry in the fleet aggregate frame (FrameType::kFleet).
+/// `state` is the fleet-layer FleetCellState as a raw byte — the wire
+/// layer does not depend on src/fleet; consumers that care cast it back.
+struct CellSummary {
+  std::uint32_t cell_index = 0;
+  std::string name;
+  std::uint8_t state = 0;
+  std::uint64_t slots = 0;  ///< slots processed (lifetime, across restarts)
+  std::uint64_t dcis = 0;
+  std::uint64_t restarts = 0;
+  std::uint32_t active_ues = 0;
+  double dl_mbps = 0.0;       ///< trailing-window downlink throughput
+  double ul_mbps = 0.0;
+  double retx_rate = 0.0;     ///< retransmitted / observed DCIs
+  double utilization = 0.0;   ///< granted PRB-slots / downlink capacity
+  [[nodiscard]] bool operator==(const CellSummary&) const = default;
+};
+
+/// Cross-cell rollup the fleet orchestrator broadcasts periodically: fleet
+/// totals, one CellSummary per cell, and the spare-capacity ranking (cell
+/// indices, most spare capacity first — the section 5.4.1 use case lifted
+/// from one cell to the fleet).
+struct FleetSummary {
+  std::uint64_t slot = 0;  ///< fleet slots processed when this was emitted
+  std::uint64_t dcis_total = 0;
+  std::uint64_t restarts_total = 0;
+  double dl_mbps_total = 0.0;
+  double ul_mbps_total = 0.0;
+  double retx_rate = 0.0;
+  std::vector<std::uint32_t> spare_ranking;
+  std::vector<CellSummary> cells;
+  [[nodiscard]] bool operator==(const FleetSummary&) const = default;
 };
 
 // ---- Byte-level primitives -------------------------------------------
@@ -148,10 +183,15 @@ void encode_metrics(const MetricsSnapshot& snapshot, WireWriter& w);
 std::optional<MetricsSnapshot> decode_metrics(
     std::span<const std::uint8_t> payload);
 
+void encode_fleet(const FleetSummary& summary, WireWriter& w);
+std::optional<FleetSummary> decode_fleet(
+    std::span<const std::uint8_t> payload);
+
 /// Convenience: payload codec + framing in one call.
 std::vector<std::uint8_t> hello_frame(const HelloInfo& hello);
 std::vector<std::uint8_t> slot_frame(const SlotResult& result);
 std::vector<std::uint8_t> metrics_frame(const MetricsSnapshot& snapshot);
+std::vector<std::uint8_t> fleet_frame(const FleetSummary& summary);
 std::vector<std::uint8_t> heartbeat_frame();
 std::vector<std::uint8_t> end_frame();
 

@@ -39,8 +39,13 @@ NrScopePipeline::NrScopePipeline(const NrScopeConfig& config,
   collector_ = std::thread([this] { collect_loop(); });
 }
 
-NrScopePipeline::~NrScopePipeline() {
-  finish();
+NrScopePipeline::~NrScopePipeline() { stop(); }
+
+void NrScopePipeline::stop() {
+  input_.close();
+  // Unblock a collector stuck delivering into a full, unpolled result
+  // queue; deliver() then drops the remaining pull-mode results.
+  output_.close();
   for (auto& t : demod_workers_) {
     if (t.joinable()) {
       t.join();

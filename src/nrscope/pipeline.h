@@ -67,6 +67,16 @@ class NrScopePipeline {
   /// No more input; workers drain and exit.
   void finish();
 
+  /// Full teardown: close the input, unblock an unpolled result queue
+  /// (undelivered pull-mode results are discarded), and join every worker
+  /// thread.  Queued slots still drain through the engine and the sinks'
+  /// on_finish() fires, so stop() is a prompt-but-graceful shutdown.  After
+  /// stop() returns, no pipeline thread is running and the engine is safe
+  /// to inspect from any thread; a fresh pipeline can then be started on
+  /// the same feed (the fleet supervisor's restart path).  Idempotent, but
+  /// not safe to call concurrently from two threads.
+  void stop();
+
   /// The tracking engine (valid to inspect after draining).
   [[nodiscard]] const NrScope& engine() const { return *engine_; }
 

@@ -210,5 +210,49 @@ TEST(MetricsSnapshot, FindMissingReturnsNull) {
   EXPECT_EQ(snap.counter_value("nope"), 0u);
 }
 
+TEST(MetricsNamespace, PrefixesEveryMetricKind) {
+  MetricsRegistry reg;
+  MetricsNamespace cell = reg.with_prefix("fleet.cell3.");
+  cell.counter("slots").inc(7);
+  cell.gauge("depth").set(4);
+  cell.histogram("latency_us").observe(12.0);
+  const auto snap = reg.snapshot();
+  EXPECT_EQ(snap.counter_value("fleet.cell3.slots"), 7u);
+  ASSERT_NE(snap.find_gauge("fleet.cell3.depth"), nullptr);
+  EXPECT_EQ(snap.find_gauge("fleet.cell3.depth")->value, 4);
+  EXPECT_NE(snap.find_histogram("fleet.cell3.latency_us"), nullptr);
+  // The namespaced handle aliases the registry's metric, not a copy.
+  EXPECT_EQ(&cell.counter("slots"), &reg.counter("fleet.cell3.slots"));
+}
+
+TEST(MetricsNamespace, NestedComposesPrefixes) {
+  MetricsRegistry reg;
+  MetricsNamespace fleet = reg.with_prefix("fleet.");
+  MetricsNamespace cell = fleet.nested("cell0.");
+  cell.counter("restarts").inc();
+  EXPECT_EQ(reg.snapshot().counter_value("fleet.cell0.restarts"), 1u);
+  EXPECT_EQ(cell.prefix(), "fleet.cell0.");
+}
+
+TEST(MetricsSnapshot, FilterKeepsOnlyPrefixedMetrics) {
+  MetricsRegistry reg;
+  reg.counter("fleet.cell0.slots").inc(5);
+  reg.counter("fleet.cell1.slots").inc(9);
+  reg.gauge("fleet.cell0.depth").set(2);
+  reg.histogram("fleet.cell1.latency_us").observe(3.0);
+  reg.counter("pipeline.slots_pushed").inc(11);
+
+  const MetricsSnapshot cell0 = reg.snapshot().filter("fleet.cell0.");
+  EXPECT_EQ(cell0.counters.size(), 1u);
+  EXPECT_EQ(cell0.counter_value("fleet.cell0.slots"), 5u);
+  EXPECT_EQ(cell0.gauges.size(), 1u);
+  EXPECT_TRUE(cell0.histograms.empty());
+
+  const MetricsSnapshot fleet = reg.snapshot().filter("fleet.");
+  EXPECT_EQ(fleet.counters.size(), 2u);
+  EXPECT_EQ(fleet.histograms.size(), 1u);
+  EXPECT_EQ(fleet.counter_value("pipeline.slots_pushed"), 0u);
+}
+
 }  // namespace
 }  // namespace nrs

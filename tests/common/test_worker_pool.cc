@@ -4,6 +4,7 @@
 
 #include <atomic>
 #include <numeric>
+#include <stdexcept>
 
 namespace nrs {
 namespace {
@@ -66,6 +67,57 @@ TEST(WorkerPool, ParallelBatchUsesMultipleThreads) {
     --concurrent;
   });
   EXPECT_GT(peak.load(), 1);
+}
+
+TEST(WorkerPool, SubmitPropagatesTaskException) {
+  WorkerPool pool(2);
+  auto fut = pool.submit([] { throw std::runtime_error("task boom"); });
+  try {
+    fut.get();
+    FAIL() << "the stored exception must rethrow on get()";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "task boom");
+  }
+  // The worker that ran the throwing task is still alive.
+  std::atomic<int> counter{0};
+  pool.submit([&counter] { ++counter; }).get();
+  EXPECT_EQ(counter.load(), 1);
+}
+
+TEST(WorkerPool, RunBatchPropagatesExceptionAfterAllShardsRan) {
+  WorkerPool pool(4);
+  std::vector<std::atomic<int>> hits(16);
+  EXPECT_THROW(pool.run_batch(16,
+                              [&hits](std::size_t i) {
+                                ++hits[i];
+                                if (i == 5) {
+                                  throw std::runtime_error("shard 5 boom");
+                                }
+                              }),
+               std::runtime_error);
+  for (const auto& h : hits) {
+    EXPECT_EQ(h.load(), 1) << "every shard is attempted despite the throw";
+  }
+  // The pool stays usable after a failed batch.
+  std::atomic<int> counter{0};
+  pool.run_batch(8, [&counter](std::size_t) { ++counter; });
+  EXPECT_EQ(counter.load(), 8);
+}
+
+TEST(WorkerPool, SequentialBatchMatchesParallelExceptionContract) {
+  WorkerPool pool(1);
+  std::vector<std::atomic<int>> hits(8);
+  EXPECT_THROW(pool.run_batch(8,
+                              [&hits](std::size_t i) {
+                                ++hits[i];
+                                if (i == 2) {
+                                  throw std::runtime_error("boom");
+                                }
+                              }),
+               std::runtime_error);
+  for (const auto& h : hits) {
+    EXPECT_EQ(h.load(), 1);
+  }
 }
 
 TEST(WorkerPool, DestructorJoinsCleanly) {

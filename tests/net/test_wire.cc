@@ -271,6 +271,76 @@ TEST(Wire, MetricsSnapshotTruncationFailsCleanly) {
   }
 }
 
+FleetSummary sample_fleet_summary() {
+  FleetSummary summary;
+  summary.slot = 48000;
+  summary.dcis_total = 9123;
+  summary.restarts_total = 3;
+  summary.dl_mbps_total = 87.25;
+  summary.ul_mbps_total = 12.5;
+  summary.retx_rate = 0.04;
+  summary.spare_ranking = {2, 0, 1};
+  for (std::uint32_t i = 0; i < 3; ++i) {
+    CellSummary cell;
+    cell.cell_index = i;
+    cell.name = "cell" + std::to_string(i);
+    cell.state = static_cast<std::uint8_t>(i == 2 ? 2 : 1);
+    cell.slots = 16000 + 100 * i;
+    cell.dcis = 3000 + i;
+    cell.restarts = i;
+    cell.active_ues = 4 - i;
+    cell.dl_mbps = 30.0 - i;
+    cell.ul_mbps = 4.0 + i;
+    cell.retx_rate = 0.01 * i;
+    cell.utilization = 0.25 * (i + 1);
+    summary.cells.push_back(std::move(cell));
+  }
+  return summary;
+}
+
+TEST(Wire, FleetSummaryRoundTrip) {
+  const FleetSummary summary = sample_fleet_summary();
+  WireWriter w;
+  encode_fleet(summary, w);
+  const auto decoded = decode_fleet(w.data());
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(*decoded, summary);
+}
+
+TEST(Wire, FleetFrameRoundTripsThroughParser) {
+  const FleetSummary summary = sample_fleet_summary();
+  const auto frame_bytes = fleet_frame(summary);
+  FrameParser parser;
+  parser.feed(frame_bytes);
+  const auto frame = parser.next();
+  ASSERT_TRUE(frame.has_value());
+  EXPECT_EQ(frame->type, FrameType::kFleet);
+  const auto decoded = decode_fleet(frame->payload);
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(*decoded, summary);
+}
+
+TEST(Wire, FleetSummaryTruncationFailsCleanly) {
+  const FleetSummary summary = sample_fleet_summary();
+  WireWriter w;
+  encode_fleet(summary, w);
+  const std::vector<std::uint8_t> full = w.take();
+  for (std::size_t len = 0; len < full.size(); ++len) {
+    EXPECT_FALSE(
+        decode_fleet(std::span<const std::uint8_t>(full.data(), len))
+            .has_value())
+        << "prefix length " << len;
+  }
+}
+
+TEST(Wire, FleetSummaryRejectsTrailingGarbage) {
+  WireWriter w;
+  encode_fleet(sample_fleet_summary(), w);
+  auto bytes = w.take();
+  bytes.push_back(0xAB);
+  EXPECT_FALSE(decode_fleet(bytes).has_value());
+}
+
 // ---- Framing ---------------------------------------------------------
 
 TEST(Wire, FrameParserReassemblesAcrossArbitraryChunks) {

@@ -2,6 +2,7 @@
 // API, the stage metrics, and the log writer.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cstdio>
 #include <fstream>
 #include <memory>
@@ -336,6 +337,89 @@ TEST(Pipeline, MetricsSnapshotCoversEveryStage) {
   EXPECT_NE(snap.to_json().find("pipeline.demod_us"), std::string::npos);
   EXPECT_NE(snap.to_csv().find("nrscope.blind_decode_us"),
             std::string::npos);
+}
+
+/// Feed `n` live slots from a running sim into a pipeline, yielding when
+/// the input queue is momentarily full (no slot may be shed here: the
+/// stop/restart assertions below count every slot).
+void feed_live(GnbSim& gnb, VirtualRadio& radio, NrScopePipeline& pipeline,
+               unsigned n) {
+  for (unsigned i = 0; i < n; ++i) {
+    const IqBuffer samples = radio.capture(gnb.step());
+    while (!pipeline.push_slot(samples)) {
+      std::this_thread::yield();
+    }
+  }
+}
+
+TEST(Pipeline, StopThenRestartOnSameSimReacquiresCleanly) {
+  // A live cell with one UE; the monitor (pipeline) is stopped mid-stream
+  // and a fresh one attached to the same still-running cell — the fleet
+  // supervisor's restart path.
+  GnbConfig gnb_cfg;
+  gnb_cfg.cell = srsran_cell();
+  gnb_cfg.seed = 77;
+  GnbSim gnb(std::move(gnb_cfg));
+  UeConfig ue1;
+  ue1.channel.snr_db = 24.0;
+  ue1.dl_traffic = std::make_unique<CbrSource>(2e6);
+  ue1.seed = 1;
+  gnb.add_ue(std::move(ue1));
+  VirtualRadioConfig radio_cfg;
+  radio_cfg.n_prb = gnb.cell().n_prb;
+  radio_cfg.channel.snr_db = 26.0;
+  VirtualRadio radio(radio_cfg);
+
+  NrScopeConfig cfg = scope_config(gnb.cell());
+  auto first = std::make_unique<NrScopePipeline>(cfg, 2);
+  feed_live(gnb, radio, *first, 400);
+  first->stop();
+  // stop() drains what was queued: every fed slot was processed, the
+  // first monitor tracked the UE, and its engine stays inspectable.
+  EXPECT_EQ(first->engine().slots_processed(), 400u);
+  ASSERT_EQ(first->engine().known_ues().size(), 1u);
+  const Rnti rnti1 = first->engine().known_ues()[0];
+  const UeTelemetry* t1 = first->engine().telemetry().find(rnti1);
+  ASSERT_NE(t1, nullptr);
+  const std::uint64_t first_bits = t1->dl_bits();
+  EXPECT_GT(first_bits, 0u);
+  EXPECT_TRUE(first->push_slot(radio.capture(gnb.step())) == false)
+      << "a stopped pipeline accepts no more input";
+
+  // Second incarnation on the same sim: it must re-synchronize mid-stream
+  // (SSB/SIB1 are periodic) and re-acquire C-RNTIs from the RACH onward.
+  auto second = std::make_unique<NrScopePipeline>(cfg, 2);
+  feed_live(gnb, radio, *second, 300);  // re-sync window, no new UE yet
+  UeConfig ue2;
+  ue2.channel.snr_db = 24.0;
+  ue2.dl_traffic = std::make_unique<CbrSource>(2e6);
+  ue2.seed = 2;
+  const unsigned ue2_id = gnb.add_ue(std::move(ue2));
+  feed_live(gnb, radio, *second, 600);  // RACH + tracking for the new UE
+  second->stop();
+
+  // Fresh run, fresh totals: no cross-run leakage from the first monitor.
+  EXPECT_EQ(second->engine().slots_processed(), 900u);
+  const Rnti rnti2 = gnb.ue_rnti(ue2_id);
+  ASSERT_NE(rnti2, kInvalidRnti);
+  const auto known = second->engine().known_ues();
+  EXPECT_NE(std::find(known.begin(), known.end(), rnti2), known.end())
+      << "the restarted monitor re-acquires C-RNTIs via the RACH";
+  // UE 1 RACHed before the restart, so the fresh engine cannot know it —
+  // the strongest form of "telemetry totals reset cleanly".
+  EXPECT_EQ(std::find(known.begin(), known.end(), rnti1), known.end());
+  EXPECT_EQ(second->engine().telemetry().find(rnti1), nullptr);
+  const UeTelemetry* t2 = second->engine().telemetry().find(rnti2);
+  ASSERT_NE(t2, nullptr);
+  EXPECT_GT(t2->dl_bits(), 0u);
+  // Per-engine metrics restarted from zero as well.
+  EXPECT_EQ(second->metrics().counter_value("pipeline.slots_pushed"), 900u);
+  // The first engine's view is frozen, not clobbered, by the second run.
+  EXPECT_EQ(first->engine().slots_processed(), 400u);
+  EXPECT_EQ(first->engine().telemetry().find(rnti1)->dl_bits(), first_bits);
+  // stop() is idempotent.
+  first->stop();
+  second->stop();
 }
 
 TEST(Pipeline, FinishWithoutInputTerminates) {
