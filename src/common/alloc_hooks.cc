@@ -1,0 +1,46 @@
+#include "common/alloc_hooks.h"
+
+#include <atomic>
+
+namespace nrs::alloc {
+namespace {
+
+// Plain globals, relaxed ordering: the counters are diagnostics, not a
+// synchronization mechanism, and record_alloc() sits under every single
+// operator new in shimmed binaries.
+std::atomic<std::uint64_t> g_allocs{0};
+std::atomic<std::uint64_t> g_frees{0};
+std::atomic<std::uint64_t> g_bytes{0};
+std::atomic<bool> g_active{false};
+
+}  // namespace
+
+void record_alloc(std::size_t bytes) noexcept {
+  g_allocs.fetch_add(1, std::memory_order_relaxed);
+  g_bytes.fetch_add(bytes, std::memory_order_relaxed);
+  g_active.store(true, std::memory_order_relaxed);
+}
+
+void record_free() noexcept {
+  g_frees.fetch_add(1, std::memory_order_relaxed);
+}
+
+bool hooks_active() noexcept {
+  return g_active.load(std::memory_order_relaxed);
+}
+
+Totals totals() noexcept {
+  Totals t;
+  t.allocs = g_allocs.load(std::memory_order_relaxed);
+  t.frees = g_frees.load(std::memory_order_relaxed);
+  t.bytes = g_bytes.load(std::memory_order_relaxed);
+  return t;
+}
+
+void reset() noexcept {
+  g_allocs.store(0, std::memory_order_relaxed);
+  g_frees.store(0, std::memory_order_relaxed);
+  g_bytes.store(0, std::memory_order_relaxed);
+}
+
+}  // namespace nrs::alloc

@@ -1,0 +1,105 @@
+// Counting operator new/delete replacements.  Include this header in
+// EXACTLY ONE translation unit of a test or bench binary to make
+// nrs::alloc::totals() track every heap allocation in the process; the
+// library itself never includes it.  The replacements forward to malloc /
+// free, so they compose with sanitizers' interceptors being absent (the
+// asan preset simply does not build the shimmed targets' assertions —
+// counting allocations under asan would count the sanitizer's own noise).
+//
+// All eight replaceable forms are provided so that sized and aligned
+// deallocations do not bypass the counters.
+#pragma once
+
+#include <cstdlib>
+#include <new>
+
+#include "common/alloc_hooks.h"
+
+namespace nrs::alloc::detail {
+
+inline void* counted_alloc(std::size_t size) {
+  record_alloc(size);
+  if (void* p = std::malloc(size == 0 ? 1 : size)) {
+    return p;
+  }
+  throw std::bad_alloc();
+}
+
+inline void* counted_alloc_aligned(std::size_t size, std::size_t align) {
+  record_alloc(size);
+  void* p = nullptr;
+  if (align < sizeof(void*)) {
+    align = sizeof(void*);
+  }
+  if (posix_memalign(&p, align, size == 0 ? 1 : size) != 0) {
+    throw std::bad_alloc();
+  }
+  return p;
+}
+
+inline void counted_free(void* p) noexcept {
+  if (p != nullptr) {
+    record_free();
+    std::free(p);
+  }
+}
+
+}  // namespace nrs::alloc::detail
+
+void* operator new(std::size_t size) {
+  return nrs::alloc::detail::counted_alloc(size);
+}
+void* operator new[](std::size_t size) {
+  return nrs::alloc::detail::counted_alloc(size);
+}
+void* operator new(std::size_t size, std::align_val_t align) {
+  return nrs::alloc::detail::counted_alloc_aligned(
+      size, static_cast<std::size_t>(align));
+}
+void* operator new[](std::size_t size, std::align_val_t align) {
+  return nrs::alloc::detail::counted_alloc_aligned(
+      size, static_cast<std::size_t>(align));
+}
+void* operator new(std::size_t size, const std::nothrow_t&) noexcept {
+  try {
+    return nrs::alloc::detail::counted_alloc(size);
+  } catch (...) {
+    return nullptr;
+  }
+}
+void* operator new[](std::size_t size, const std::nothrow_t&) noexcept {
+  try {
+    return nrs::alloc::detail::counted_alloc(size);
+  } catch (...) {
+    return nullptr;
+  }
+}
+
+void operator delete(void* p) noexcept { nrs::alloc::detail::counted_free(p); }
+void operator delete[](void* p) noexcept {
+  nrs::alloc::detail::counted_free(p);
+}
+void operator delete(void* p, std::size_t) noexcept {
+  nrs::alloc::detail::counted_free(p);
+}
+void operator delete[](void* p, std::size_t) noexcept {
+  nrs::alloc::detail::counted_free(p);
+}
+void operator delete(void* p, std::align_val_t) noexcept {
+  nrs::alloc::detail::counted_free(p);
+}
+void operator delete[](void* p, std::align_val_t) noexcept {
+  nrs::alloc::detail::counted_free(p);
+}
+void operator delete(void* p, std::size_t, std::align_val_t) noexcept {
+  nrs::alloc::detail::counted_free(p);
+}
+void operator delete[](void* p, std::size_t, std::align_val_t) noexcept {
+  nrs::alloc::detail::counted_free(p);
+}
+void operator delete(void* p, const std::nothrow_t&) noexcept {
+  nrs::alloc::detail::counted_free(p);
+}
+void operator delete[](void* p, const std::nothrow_t&) noexcept {
+  nrs::alloc::detail::counted_free(p);
+}

@@ -52,9 +52,31 @@ bool CrcGenerator::check_masked(std::span<const std::uint8_t> bits,
   if (bits.size() < length_) {
     return false;
   }
-  BitVector copy(bits.begin(), bits.end());
-  mask_rnti(copy, rnti);
-  return check(copy);
+  if (length_ < 16) {
+    // Mask overlaps the payload: unmask a copy and divide the whole thing.
+    BitVector copy(bits.begin(), bits.end());
+    mask_rnti(copy, rnti);
+    return check(copy);
+  }
+  // The 16-bit mask sits entirely inside the CRC field, so the payload CRC
+  // can be computed directly and compared bit-for-bit against the received
+  // CRC with the mask XORed back in — no temporary codeword copy.  This is
+  // the per-candidate hot path of blind PDCCH decoding.
+  const std::size_t payload_len = bits.size() - length_;
+  const std::uint32_t computed = compute(bits.first(payload_len));
+  const std::size_t mask_start = bits.size() - 16;
+  for (unsigned i = 0; i < length_; ++i) {
+    const std::size_t pos = payload_len + i;
+    std::uint8_t expect =
+        static_cast<std::uint8_t>((computed >> (length_ - 1 - i)) & 1);
+    if (pos >= mask_start) {
+      expect ^= static_cast<std::uint8_t>((rnti >> (15 - (pos - mask_start))) & 1);
+    }
+    if ((bits[pos] & 1) != expect) {
+      return false;
+    }
+  }
+  return true;
 }
 
 std::uint16_t CrcGenerator::recover_mask(

@@ -1,15 +1,20 @@
 // Bounded multi-producer / multi-consumer queue.  The Fig. 4 pipeline moves
 // slot buffers from the radio to workers and results back to the scheduler
 // through instances of this queue.
+//
+// Storage is a fixed ring allocated once at construction (hot-path memory
+// discipline, DESIGN.md): push/pop move elements in and out of preallocated
+// slots instead of growing a deque chunk-by-chunk, so a steady-state
+// producer/consumer pair causes zero heap traffic.
 #pragma once
 
 #include <chrono>
 #include <condition_variable>
 #include <cstddef>
-#include <deque>
 #include <mutex>
 #include <optional>
 #include <utility>
+#include <vector>
 
 namespace nrs {
 
@@ -23,7 +28,9 @@ enum class QueuePushResult : std::uint8_t {
 template <typename T>
 class BoundedQueue {
  public:
-  explicit BoundedQueue(std::size_t capacity) : capacity_(capacity) {}
+  explicit BoundedQueue(std::size_t capacity)
+      : capacity_(capacity == 0 ? 1 : capacity),
+        ring_(capacity == 0 ? 1 : capacity) {}
 
   BoundedQueue(const BoundedQueue&) = delete;
   BoundedQueue& operator=(const BoundedQueue&) = delete;
@@ -31,12 +38,11 @@ class BoundedQueue {
   /// Blocking push; returns false if the queue was closed.
   bool push(T item) {
     std::unique_lock lock(mutex_);
-    not_full_.wait(lock,
-                   [this] { return closed_ || items_.size() < capacity_; });
+    not_full_.wait(lock, [this] { return closed_ || size_ < capacity_; });
     if (closed_) {
       return false;
     }
-    items_.push_back(std::move(item));
+    enqueue(std::move(item));
     not_empty_.notify_one();
     return true;
   }
@@ -54,10 +60,10 @@ class BoundedQueue {
     if (closed_) {
       return QueuePushResult::kClosed;
     }
-    if (items_.size() >= capacity_) {
+    if (size_ >= capacity_) {
       return QueuePushResult::kFull;
     }
-    items_.push_back(std::move(item));
+    enqueue(std::move(item));
     not_empty_.notify_one();
     return QueuePushResult::kOk;
   }
@@ -65,12 +71,11 @@ class BoundedQueue {
   /// Blocking pop; empty optional means the queue was closed and drained.
   std::optional<T> pop() {
     std::unique_lock lock(mutex_);
-    not_empty_.wait(lock, [this] { return closed_ || !items_.empty(); });
-    if (items_.empty()) {
+    not_empty_.wait(lock, [this] { return closed_ || size_ > 0; });
+    if (size_ == 0) {
       return std::nullopt;
     }
-    T item = std::move(items_.front());
-    items_.pop_front();
+    std::optional<T> item(dequeue());
     not_full_.notify_one();
     return item;
   }
@@ -82,12 +87,11 @@ class BoundedQueue {
   std::optional<T> pop_for(std::chrono::duration<Rep, Period> timeout) {
     std::unique_lock lock(mutex_);
     not_empty_.wait_for(lock, timeout,
-                        [this] { return closed_ || !items_.empty(); });
-    if (items_.empty()) {
+                        [this] { return closed_ || size_ > 0; });
+    if (size_ == 0) {
       return std::nullopt;
     }
-    T item = std::move(items_.front());
-    items_.pop_front();
+    std::optional<T> item(dequeue());
     not_full_.notify_one();
     return item;
   }
@@ -95,11 +99,10 @@ class BoundedQueue {
   /// Non-blocking pop.
   std::optional<T> try_pop() {
     std::lock_guard lock(mutex_);
-    if (items_.empty()) {
+    if (size_ == 0) {
       return std::nullopt;
     }
-    T item = std::move(items_.front());
-    items_.pop_front();
+    std::optional<T> item(dequeue());
     not_full_.notify_one();
     return item;
   }
@@ -114,7 +117,7 @@ class BoundedQueue {
 
   [[nodiscard]] std::size_t size() const {
     std::lock_guard lock(mutex_);
-    return items_.size();
+    return size_;
   }
 
   [[nodiscard]] bool closed() const {
@@ -123,11 +126,30 @@ class BoundedQueue {
   }
 
  private:
+  void enqueue(T item) {
+    ring_[tail_] = std::move(item);
+    tail_ = (tail_ + 1) % capacity_;
+    ++size_;
+  }
+
+  T dequeue() {
+    T item = std::move(ring_[head_]);
+    // Leave a default T behind so popped slots don't pin resources (e.g. a
+    // popped pooled-buffer handle must not keep the buffer checked out).
+    ring_[head_] = T{};
+    head_ = (head_ + 1) % capacity_;
+    --size_;
+    return item;
+  }
+
   const std::size_t capacity_;
   mutable std::mutex mutex_;
   std::condition_variable not_empty_;
   std::condition_variable not_full_;
-  std::deque<T> items_;
+  std::vector<T> ring_;
+  std::size_t head_ = 0;  ///< next slot to pop
+  std::size_t tail_ = 0;  ///< next slot to fill
+  std::size_t size_ = 0;
   bool closed_ = false;
 };
 

@@ -205,7 +205,11 @@ void FleetOrchestrator::advance_cell(CellRunner& runner) {
     if (action == FaultAction::kMute) {
       continue;  // dark radio: the gNB ran, the sniffer saw nothing
     }
-    IqBuffer samples = runner.radio->capture(grid);
+    // Pooled feed path (hot-path memory discipline): borrow a recycled
+    // sample buffer from the pipeline, capture into it, and hand it back —
+    // no per-slot buffer allocation once the pool is warm.
+    auto samples = runner.pipeline->acquire_samples();
+    runner.radio->capture_into(grid, *samples);
     // Stamp before the push: the accepted slot's pipeline index is exactly
     // accepted_pushes, and the sink may consume it immediately.  A rejected
     // push leaves a stale stamp that the next accept simply overwrites.

@@ -215,9 +215,9 @@ void GnbSim::run_rach(bool allow_tx) {
         alloc.n_symbols = grant.n_symbols;
         alloc.modulation = grant.modulation;
         alloc.n_id = cell.pci;
-        BitVector padded = payload;
-        padded.resize(grant.tbs, 0);
-        encode_pdsch(alloc, now, padded, grid_);
+        payload_scratch_.assign(payload.begin(), payload.end());
+        payload_scratch_.resize(grant.tbs, 0);
+        encode_pdsch(alloc, now, payload_scratch_, grid_);
         truth_.add_dci(TruthDci{slot, ra_rnti, DciKind::kRar, dci, grant,
                                 false, true, cell.rach.msg4_agg_level, cce});
         ctx.stage = RachStage::kMsg2Sent;
@@ -264,9 +264,9 @@ void GnbSim::run_rach(bool allow_tx) {
         alloc.n_symbols = grant.n_symbols;
         alloc.modulation = grant.modulation;
         alloc.n_id = cell.pci;
-        BitVector padded = payload;
-        padded.resize(grant.tbs, 0);
-        encode_pdsch(alloc, now, padded, grid_);
+        payload_scratch_.assign(payload.begin(), payload.end());
+        payload_scratch_.resize(grant.tbs, 0);
+        encode_pdsch(alloc, now, payload_scratch_, grid_);
         truth_.add_dci(TruthDci{slot, ctx.rnti, DciKind::kMsg4, dci, grant,
                                 false, true, cell.rach.msg4_agg_level, cce});
         ctx.stage = RachStage::kConnected;
@@ -327,7 +327,8 @@ void GnbSim::transmit_dl_grant(UeContext& ue_ctx, DlProcess& process,
   alloc.n_symbols = process.grant.n_symbols;
   alloc.modulation = process.grant.modulation;
   alloc.n_id = cell.pci;
-  encode_pdsch(alloc, now, BitVector(process.grant.tbs, 0), grid_);
+  payload_scratch_.assign(process.grant.tbs, 0);
+  encode_pdsch(alloc, now, payload_scratch_, grid_);
 
   const bool is_retx = process.tx_count > 0;
   const bool acked = ue_ctx.emulator->decide_ack(process.grant);
@@ -395,8 +396,10 @@ void GnbSim::schedule_downlink() {
   }
 
   // 2) New transmissions via the scheduler policy.
-  std::vector<SchedRequest> requests;
-  std::vector<UeContext*> request_ctx;
+  std::vector<SchedRequest>& requests = sched_requests_;
+  std::vector<UeContext*>& request_ctx = sched_ctx_;
+  requests.clear();
+  request_ctx.clear();
   for (auto& ctx : ues_) {
     if (ctx.stage != RachStage::kConnected || !ctx.emulator->dl_traffic()) {
       continue;
@@ -430,10 +433,10 @@ void GnbSim::schedule_downlink() {
   }
 
   const unsigned data_prbs = n_prb - prb_cursor_;
-  const auto decisions =
-      schedule_tti(requests, data_prbs, cell.pdsch.mcs_table, config_.policy,
-                   rr_cursor_++, n_data_symbols(), cell.pdsch.dmrs_re_per_prb,
-                   cell.pdsch.xoverhead);
+  schedule_tti(requests, data_prbs, cell.pdsch.mcs_table, config_.policy,
+               rr_cursor_++, n_data_symbols(), cell.pdsch.dmrs_re_per_prb,
+               cell.pdsch.xoverhead, sched_scratch_, sched_decisions_);
+  const std::vector<SchedDecision>& decisions = sched_decisions_;
 
   for (const auto& d : decisions) {
     // Find the context back (decisions reference RNTIs).
@@ -505,7 +508,8 @@ void GnbSim::schedule_uplink() {
   const SlotPoint& now = clock_.now();
 
   // Grant PUSCH resources for the next UL slot, round-robin full-band.
-  std::vector<UeContext*> uplinkers;
+  std::vector<UeContext*>& uplinkers = uplinkers_;
+  uplinkers.clear();
   for (auto& ctx : ues_) {
     if (ctx.stage == RachStage::kConnected && ctx.emulator->ul_traffic() &&
         (ctx.emulator->ul_traffic()->is_full_buffer() ||
@@ -594,7 +598,10 @@ const ResourceGrid& GnbSim::step() {
       unsigned cce = 0;
       if (allocate_pdcch(kSiRnti, cell.common_ss, cell.rach.msg4_agg_level,
                          cce)) {
-        const BitVector payload = Sib1::from_cell(cell).pack();
+        if (sib1_payload_.empty()) {
+          sib1_payload_ = Sib1::from_cell(cell).pack();
+        }
+        const BitVector& payload = sib1_payload_;
         Dci dci;
         dci.format = DciFormat::kDl1_0;
         dci.time_alloc = 2;
@@ -617,9 +624,9 @@ const ResourceGrid& GnbSim::step() {
         alloc.n_symbols = grant.n_symbols;
         alloc.modulation = grant.modulation;
         alloc.n_id = cell.pci;
-        BitVector padded = payload;
-        padded.resize(grant.tbs, 0);
-        encode_pdsch(alloc, now, padded, grid_);
+        payload_scratch_.assign(payload.begin(), payload.end());
+        payload_scratch_.resize(grant.tbs, 0);
+        encode_pdsch(alloc, now, payload_scratch_, grid_);
         truth_.add_dci(TruthDci{slot, kSiRnti, DciKind::kSib, dci, grant,
                                 false, true, cell.rach.msg4_agg_level, cce});
       }

@@ -13,6 +13,7 @@
 #include <optional>
 #include <vector>
 
+#include "common/bit_io.h"
 #include "common/rng.h"
 #include "common/timing.h"
 #include "gnb/ground_truth.h"
@@ -115,6 +116,18 @@ class GnbSim {
   std::vector<bool> used_cce_;  ///< per-slot CCE occupancy
   unsigned prb_cursor_ = 0;     ///< per-slot PDSCH PRB allocation cursor
   std::uint64_t pdcch_blocked_ = 0;
+
+  // Per-slot scratch reused across TTIs (hot-path memory discipline,
+  // DESIGN.md): payload/padding bits plus the scheduler's inputs and
+  // outputs keep their capacity, so a warm steady-state slot build
+  // allocates nothing beyond the ground-truth log.
+  BitVector payload_scratch_;
+  BitVector sib1_payload_;  ///< packed once; the cell config is immutable
+  std::vector<SchedRequest> sched_requests_;
+  std::vector<UeContext*> sched_ctx_;
+  std::vector<SchedDecision> sched_decisions_;
+  SchedScratch sched_scratch_;
+  std::vector<UeContext*> uplinkers_;
 };
 
 }  // namespace nrs

@@ -47,15 +47,29 @@ std::vector<SchedDecision> schedule_tti(std::span<const SchedRequest> requests,
                                         std::uint64_t round_robin_cursor,
                                         unsigned n_symbols, unsigned dmrs_re,
                                         unsigned overhead) {
+  SchedScratch scratch;
+  std::vector<SchedDecision> decisions;
+  schedule_tti(requests, n_prb, table, policy, round_robin_cursor, n_symbols,
+               dmrs_re, overhead, scratch, decisions);
+  return decisions;
+}
+
+void schedule_tti(std::span<const SchedRequest> requests, unsigned n_prb,
+                  McsTable table, SchedulerPolicy policy,
+                  std::uint64_t round_robin_cursor, unsigned n_symbols,
+                  unsigned dmrs_re, unsigned overhead, SchedScratch& scratch,
+                  std::vector<SchedDecision>& out) {
+  out.clear();
   // Candidates: anyone with data.
-  std::vector<std::size_t> order;
+  std::vector<std::size_t>& order = scratch.order;
+  order.clear();
   for (std::size_t i = 0; i < requests.size(); ++i) {
     if (requests[i].full_buffer || requests[i].backlog_bytes > 0) {
       order.push_back(i);
     }
   }
   if (order.empty() || n_prb == 0) {
-    return {};
+    return;
   }
 
   if (policy == SchedulerPolicy::kRoundRobin) {
@@ -76,7 +90,6 @@ std::vector<SchedDecision> schedule_tti(std::span<const SchedRequest> requests,
     });
   }
 
-  std::vector<SchedDecision> decisions;
   unsigned next_prb = 0;
   // Equal-share baseline so full-buffer UEs split the band, like the
   // paper's Fig. 14 two-UE experiment.
@@ -98,10 +111,9 @@ std::vector<SchedDecision> schedule_tti(std::span<const SchedRequest> requests,
     if (len == 0) {
       continue;
     }
-    decisions.push_back(SchedDecision{req.rnti, next_prb, len, mcs});
+    out.push_back(SchedDecision{req.rnti, next_prb, len, mcs});
     next_prb += len;
   }
-  return decisions;
 }
 
 }  // namespace nrs

@@ -39,6 +39,13 @@ struct SchedDecision {
   unsigned mcs = 0;
 };
 
+/// Workspace for the allocation-free schedule_tti overload (hot-path
+/// memory discipline, DESIGN.md): keeps the candidate ordering's capacity
+/// across TTIs.
+struct SchedScratch {
+  std::vector<std::size_t> order;
+};
+
 /// Allocate `n_prb` PRBs among `requests` for one TTI.
 /// Contiguous (type-1) allocations; UEs with empty backlog get nothing;
 /// allocations shrink to the backlog so small flows don't waste PRBs.
@@ -50,5 +57,13 @@ std::vector<SchedDecision> schedule_tti(std::span<const SchedRequest> requests,
                                         unsigned n_symbols = 12,
                                         unsigned dmrs_re = 12,
                                         unsigned overhead = 0);
+
+/// Same, clearing and filling caller-owned `out` (capacity reused across
+/// TTIs; allocation-free once warm).
+void schedule_tti(std::span<const SchedRequest> requests, unsigned n_prb,
+                  McsTable table, SchedulerPolicy policy,
+                  std::uint64_t round_robin_cursor, unsigned n_symbols,
+                  unsigned dmrs_re, unsigned overhead, SchedScratch& scratch,
+                  std::vector<SchedDecision>& out);
 
 }  // namespace nrs

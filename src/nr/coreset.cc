@@ -23,8 +23,8 @@ unsigned interleave_bundle(const CoresetConfig& coreset, unsigned j) {
 
 }  // namespace
 
-std::vector<RegLocation> cce_to_regs(const CoresetConfig& coreset,
-                                     unsigned cce_start, unsigned agg_level) {
+void cce_to_regs(const CoresetConfig& coreset, unsigned cce_start,
+                 unsigned agg_level, std::vector<RegLocation>& out) {
   if (coreset.n_prb % kRegsPerCce != 0) {
     throw std::invalid_argument("CORESET width must be a multiple of 6");
   }
@@ -34,8 +34,8 @@ std::vector<RegLocation> cce_to_regs(const CoresetConfig& coreset,
   const unsigned bundle_size = coreset.reg_bundle_size;
   const unsigned bundles_per_cce = kRegsPerCce / bundle_size;
 
-  std::vector<RegLocation> regs;
-  regs.reserve(static_cast<std::size_t>(agg_level) * kRegsPerCce);
+  out.clear();
+  out.reserve(static_cast<std::size_t>(agg_level) * kRegsPerCce);
   for (unsigned cce = cce_start; cce < cce_start + agg_level; ++cce) {
     for (unsigned b = 0; b < bundles_per_cce; ++b) {
       const unsigned bundle =
@@ -45,13 +45,19 @@ std::vector<RegLocation> cce_to_regs(const CoresetConfig& coreset,
         // 7.3.2.2): REG x sits at symbol (x mod duration), PRB
         // floor(x / duration).
         const unsigned reg_index = bundle * bundle_size + r;
-        regs.push_back(RegLocation{
+        out.push_back(RegLocation{
             coreset.rb_start + reg_index / coreset.duration,
             reg_index % coreset.duration,
         });
       }
     }
   }
+}
+
+std::vector<RegLocation> cce_to_regs(const CoresetConfig& coreset,
+                                     unsigned cce_start, unsigned agg_level) {
+  std::vector<RegLocation> regs;
+  cce_to_regs(coreset, cce_start, agg_level, regs);
   return regs;
 }
 
@@ -70,13 +76,14 @@ unsigned pdcch_hash_y(unsigned coreset_id, const SlotPoint& slot, Rnti rnti) {
   return static_cast<unsigned>(y);
 }
 
-std::vector<unsigned> pdcch_candidates(const CoresetConfig& coreset,
-                                       const SearchSpaceConfig& search_space,
-                                       unsigned agg_level,
-                                       const SlotPoint& slot, Rnti rnti) {
+void pdcch_candidates(const CoresetConfig& coreset,
+                      const SearchSpaceConfig& search_space,
+                      unsigned agg_level, const SlotPoint& slot, Rnti rnti,
+                      std::vector<unsigned>& out) {
+  out.clear();
   const unsigned n_cce = coreset.n_cce();
   if (agg_level == 0 || agg_level > n_cce) {
-    return {};
+    return;
   }
   const unsigned slots_at_level = n_cce / agg_level;
   const unsigned m_max = std::min(search_space.candidates_per_level,
@@ -84,15 +91,22 @@ std::vector<unsigned> pdcch_candidates(const CoresetConfig& coreset,
   const unsigned y = search_space.ue_specific
                          ? pdcch_hash_y(coreset.id, slot, rnti)
                          : 0;
-  std::vector<unsigned> candidates;
-  candidates.reserve(m_max);
+  out.reserve(m_max);
   for (unsigned m = 0; m < m_max; ++m) {
     // TS 38.213 10.1: L * ((Y + floor(m*Ncce/(L*M))) mod floor(Ncce/L)).
     const unsigned index =
         (y + (m * n_cce) / (agg_level * std::max(1u, m_max))) %
         slots_at_level;
-    candidates.push_back(agg_level * index);
+    out.push_back(agg_level * index);
   }
+}
+
+std::vector<unsigned> pdcch_candidates(const CoresetConfig& coreset,
+                                       const SearchSpaceConfig& search_space,
+                                       unsigned agg_level,
+                                       const SlotPoint& slot, Rnti rnti) {
+  std::vector<unsigned> candidates;
+  pdcch_candidates(coreset, search_space, agg_level, slot, rnti, candidates);
   return candidates;
 }
 

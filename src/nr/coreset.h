@@ -42,6 +42,11 @@ struct RegLocation {
 std::vector<RegLocation> cce_to_regs(const CoresetConfig& coreset,
                                      unsigned cce_start, unsigned agg_level);
 
+/// Allocation-free variant: clears `out` and fills it with the same REGs
+/// (capacity is reused across calls once it has grown to 6 * agg_level).
+void cce_to_regs(const CoresetConfig& coreset, unsigned cce_start,
+                 unsigned agg_level, std::vector<RegLocation>& out);
+
 /// PDCCH search space: the candidate set a UE (and the sniffer) monitors.
 struct SearchSpaceConfig {
   bool ue_specific = true;
@@ -57,6 +62,13 @@ std::vector<unsigned> pdcch_candidates(const CoresetConfig& coreset,
                                        const SearchSpaceConfig& search_space,
                                        unsigned agg_level,
                                        const SlotPoint& slot, Rnti rnti);
+
+/// Allocation-free variant: clears `out` and fills it with the candidate
+/// starting CCEs (at most candidates_per_level entries).
+void pdcch_candidates(const CoresetConfig& coreset,
+                      const SearchSpaceConfig& search_space,
+                      unsigned agg_level, const SlotPoint& slot, Rnti rnti,
+                      std::vector<unsigned>& out);
 
 /// The TS 38.213 10.1 hashing value Y_{p,ns} for a UE-specific search
 /// space.  Exposed for tests.

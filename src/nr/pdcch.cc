@@ -27,73 +27,58 @@ std::uint32_t pdcch_dmrs_cinit(std::uint16_t n_id, const SlotPoint& slot,
   return static_cast<std::uint32_t>(v & 0x7FFFFFFFull);
 }
 
-/// Per-(slot, symbol) DMRS sequence over the CORESET's PRB span, so
-/// repeated candidate decodes don't regenerate the Gold sequence.
-class DmrsTable {
- public:
-  DmrsTable(const CoresetConfig& coreset, const SlotPoint& slot) {
-    const unsigned prb_end = coreset.rb_start + coreset.n_prb;
-    for (unsigned sym = 0; sym < coreset.duration; ++sym) {
-      GoldSequence gold(pdcch_dmrs_cinit(coreset.n_id, slot, sym));
-      auto& row = values_[sym];
-      row.resize(static_cast<std::size_t>(prb_end) * kPdcchDmrsPerReg);
-      for (std::size_t m = 0; m < row.size(); ++m) {
-        const float re = gold.next() ? -kInvSqrt2 : kInvSqrt2;
-        const float im = gold.next() ? -kInvSqrt2 : kInvSqrt2;
-        row[m] = cf32(re, im);
-      }
-    }
-  }
-
-  [[nodiscard]] cf32 at(unsigned symbol, unsigned prb,
-                        unsigned k_prime) const {
-    return values_[symbol][static_cast<std::size_t>(prb) * kPdcchDmrsPerReg +
-                           k_prime];
-  }
-
- private:
-  std::vector<cf32> values_[2];
-};
-
-/// Per-thread memo of the last DMRS table: candidate decoding calls this
-/// for every (UE, level, candidate) of a slot, but the table only depends
-/// on (coreset identity/geometry, slot index).
-const DmrsTable& cached_dmrs(const CoresetConfig& coreset,
-                             const SlotPoint& slot) {
-  struct CacheEntry {
-    std::uint64_t key = ~0ull;
-    std::unique_ptr<DmrsTable> table;
-  };
-  thread_local CacheEntry cache;
+/// Refresh the scratch's memoized DMRS sequence for (coreset, slot): the
+/// candidate loop calls this for every (UE, level, candidate) of a slot,
+/// but the table only depends on (coreset identity/geometry, slot index),
+/// so in steady state this is a key compare and nothing else.
+void ensure_dmrs(PdcchScratch& scratch, const CoresetConfig& coreset,
+                 const SlotPoint& slot) {
   const std::uint64_t key =
       (static_cast<std::uint64_t>(coreset.n_id) << 40) ^
       (static_cast<std::uint64_t>(slot.slot) << 24) ^
       (static_cast<std::uint64_t>(coreset.rb_start) << 14) ^
       (static_cast<std::uint64_t>(coreset.n_prb) << 3) ^
       coreset.duration;
-  if (cache.key != key) {
-    cache.table = std::make_unique<DmrsTable>(coreset, slot);
-    cache.key = key;
+  if (scratch.dmrs_key == key) {
+    return;
   }
-  return *cache.table;
+  const unsigned prb_end = coreset.rb_start + coreset.n_prb;
+  for (unsigned sym = 0; sym < coreset.duration; ++sym) {
+    GoldSequence gold(pdcch_dmrs_cinit(coreset.n_id, slot, sym));
+    auto& row = scratch.dmrs[sym];
+    row.resize(static_cast<std::size_t>(prb_end) * kPdcchDmrsPerReg);
+    for (std::size_t m = 0; m < row.size(); ++m) {
+      const float re = gold.next() ? -kInvSqrt2 : kInvSqrt2;
+      const float im = gold.next() ? -kInvSqrt2 : kInvSqrt2;
+      row[m] = cf32(re, im);
+    }
+  }
+  scratch.dmrs_key = key;
+}
+
+cf32 dmrs_at(const PdcchScratch& scratch, unsigned symbol, unsigned prb,
+             unsigned k_prime) {
+  return scratch.dmrs[symbol][static_cast<std::size_t>(prb) *
+                                  kPdcchDmrsPerReg +
+                              k_prime];
 }
 
 /// The PDCCH scrambling sequence depends only on n_id (n_RNTI = 0 for the
 /// configurations we support), so memoize a prefix long enough for the
 /// largest aggregation level.
-std::span<const std::uint8_t> cached_scrambling(std::uint16_t n_id,
+std::span<const std::uint8_t> ensure_scrambling(PdcchScratch& scratch,
+                                                std::uint16_t n_id,
                                                 std::size_t min_len) {
-  struct CacheEntry {
-    std::uint32_t n_id = ~0u;
-    BitVector bits;
-  };
-  thread_local CacheEntry cache;
-  if (cache.n_id != n_id || cache.bits.size() < min_len) {
+  if (scratch.scramble_n_id != n_id ||
+      scratch.scramble_bits.size() < min_len) {
     GoldSequence gold(pdcch_scrambling_cinit(0, n_id));
-    cache.bits = gold.generate(std::max<std::size_t>(min_len, 2048));
-    cache.n_id = n_id;
+    scratch.scramble_bits.resize(std::max<std::size_t>(min_len, 2048));
+    for (auto& bit : scratch.scramble_bits) {
+      bit = gold.next();
+    }
+    scratch.scramble_n_id = n_id;
   }
-  return {cache.bits.data(), cache.bits.size()};
+  return {scratch.scramble_bits.data(), scratch.scramble_bits.size()};
 }
 
 /// DMRS subcarrier offsets within a REG (k = 4k' + 1).
@@ -101,23 +86,26 @@ constexpr unsigned dmrs_sc(unsigned k_prime) { return 4 * k_prime + 1; }
 
 bool is_dmrs_sc(unsigned sc_in_prb) { return sc_in_prb % 4 == 1; }
 
-/// Extract soft bits for one candidate from the grid.  Returns E LLRs in
-/// coded-bit order plus a crude SNR estimate, or nullopt when the location
-/// falls outside the grid.
-std::optional<std::pair<std::vector<float>, float>> extract_candidate_llrs(
-    const CoresetConfig& coreset, unsigned agg_level, unsigned cce_start,
-    const SlotPoint& slot, const ResourceGrid& grid) {
+/// Extract soft bits for one candidate from the grid into `scratch.llrs`
+/// (E LLRs in coded-bit order) and report a crude SNR estimate.  Returns
+/// false when the location falls outside the grid or carries no energy.
+bool extract_candidate_llrs(const CoresetConfig& coreset, unsigned agg_level,
+                            unsigned cce_start, const SlotPoint& slot,
+                            const ResourceGrid& grid, PdcchScratch& scratch,
+                            float& snr_out) {
   if (cce_start + agg_level > coreset.n_cce() ||
       coreset.rb_start + coreset.n_prb >
           grid.n_subcarriers() / kSubcarriersPerPrb) {
-    return std::nullopt;
+    return false;
   }
-  const DmrsTable& dmrs = cached_dmrs(coreset, slot);
-  const auto regs = cce_to_regs(coreset, cce_start, agg_level);
+  ensure_dmrs(scratch, coreset, slot);
+  cce_to_regs(coreset, cce_start, agg_level, scratch.regs);
+  const auto& regs = scratch.regs;
 
   // Per-REG flat channel estimate from its three pilots, with a pooled
   // noise-variance estimate across all REGs of the candidate.
-  std::vector<cf32> reg_h(regs.size());
+  auto& reg_h = scratch.reg_h;
+  reg_h.resize(regs.size());
   float resid = 0.0f;
   unsigned resid_count = 0;
   for (std::size_t r = 0; r < regs.size(); ++r) {
@@ -127,7 +115,7 @@ std::optional<std::pair<std::vector<float>, float>> extract_candidate_llrs(
     for (unsigned k = 0; k < kPdcchDmrsPerReg; ++k) {
       const cf32 rx =
           grid.at(reg.symbol, reg.prb * kSubcarriersPerPrb + dmrs_sc(k));
-      const cf32 ref = dmrs.at(reg.symbol, reg.prb, k);
+      const cf32 ref = dmrs_at(scratch, reg.symbol, reg.prb, k);
       ls[k] = rx * std::conj(ref) / std::norm(ref);
       acc += ls[k];
     }
@@ -153,11 +141,12 @@ std::optional<std::pair<std::vector<float>, float>> extract_candidate_llrs(
   }
   if (pilot_power / static_cast<float>(reg_h.size()) < 16.0f * noise_var &&
       pilot_power < 1e-4f * static_cast<float>(reg_h.size())) {
-    return std::nullopt;
+    return false;
   }
 
   float signal_power = 0.0f;
-  std::vector<float> llrs;
+  auto& llrs = scratch.llrs;
+  llrs.clear();
   llrs.reserve(static_cast<std::size_t>(agg_level) * kBitsPerCce);
   float re_llr[2];
   for (std::size_t r = 0; r < regs.size(); ++r) {
@@ -178,13 +167,14 @@ std::optional<std::pair<std::vector<float>, float>> extract_candidate_llrs(
   }
   const float snr = signal_power /
                     (static_cast<float>(regs.size()) * noise_var);
-  return std::make_pair(std::move(llrs),
-                        10.0f * std::log10(std::max(snr, 1e-6f)));
+  snr_out = 10.0f * std::log10(std::max(snr, 1e-6f));
+  return true;
 }
 
 /// Descramble LLRs in place (a scramble bit of 1 flips the LLR sign).
-void descramble_llrs(std::vector<float>& llrs, std::uint16_t n_id) {
-  const auto bits = cached_scrambling(n_id, llrs.size());
+void descramble_llrs(PdcchScratch& scratch, std::uint16_t n_id) {
+  auto& llrs = scratch.llrs;
+  const auto bits = ensure_scrambling(scratch, n_id, llrs.size());
   for (std::size_t i = 0; i < llrs.size(); ++i) {
     if (bits[i]) {
       llrs[i] = -llrs[i];
@@ -194,9 +184,9 @@ void descramble_llrs(std::vector<float>& llrs, std::uint16_t n_id) {
 
 /// Polar code instances are immutable per (K, E); constructing one sorts
 /// the reliability sequence, which would dominate the per-candidate decode
-/// cost, so memoize them per thread.
-const PolarCode& cached_polar(unsigned k, unsigned e) {
-  thread_local std::map<std::pair<unsigned, unsigned>, PolarCode> cache;
+/// cost, so memoize them in the scratch.
+const PolarCode& cached_polar(PdcchScratch& scratch, unsigned k, unsigned e) {
+  auto& cache = scratch.polar_codes;
   const auto key = std::make_pair(k, e);
   auto it = cache.find(key);
   if (it == cache.end()) {
@@ -205,28 +195,37 @@ const PolarCode& cached_polar(unsigned k, unsigned e) {
   return it->second;
 }
 
-/// Run the polar decode for one candidate; returns payload+CRC bits.
-std::optional<BitVector> decode_candidate_bits(
-    const CoresetConfig& coreset, unsigned agg_level, unsigned cce_start,
-    unsigned payload_bits, const SlotPoint& slot, const ResourceGrid& grid,
-    float* snr_out) {
-  auto extracted =
-      extract_candidate_llrs(coreset, agg_level, cce_start, slot, grid);
-  if (!extracted) {
-    return std::nullopt;
+/// Run the polar decode for one candidate; payload+CRC bits land in
+/// `scratch.bits`.
+bool decode_candidate_bits(const CoresetConfig& coreset, unsigned agg_level,
+                           unsigned cce_start, unsigned payload_bits,
+                           const SlotPoint& slot, const ResourceGrid& grid,
+                           PdcchScratch& scratch, float* snr_out) {
+  float snr = 0.0f;
+  if (!extract_candidate_llrs(coreset, agg_level, cce_start, slot, grid,
+                              scratch, snr)) {
+    return false;
   }
-  auto& [llrs, snr] = *extracted;
   if (snr_out != nullptr) {
     *snr_out = snr;
   }
-  descramble_llrs(llrs, coreset.n_id);
+  descramble_llrs(scratch, coreset.n_id);
   const unsigned k = payload_bits + kCrc24C.length();
-  const unsigned e = static_cast<unsigned>(llrs.size());
+  const unsigned e = static_cast<unsigned>(scratch.llrs.size());
   if (k + 1 >= e) {
-    return std::nullopt;  // cannot carry this payload at this level
+    return false;  // cannot carry this payload at this level
   }
-  const PolarCode& polar = cached_polar(k, e);
-  return polar.decode(llrs);
+  const PolarCode& polar = cached_polar(scratch, k, e);
+  scratch.bits.resize(k);
+  polar.decode(scratch.llrs, scratch.polar,
+               std::span(scratch.bits.data(), scratch.bits.size()));
+  return true;
+}
+
+/// Scratch for the legacy (allocating) entry points and the encoder.
+PdcchScratch& thread_scratch() {
+  thread_local PdcchScratch t_scratch;
+  return t_scratch;
 }
 
 }  // namespace
@@ -253,18 +252,19 @@ void encode_pdcch_payload(const CoresetConfig& coreset,
                           std::span<const std::uint8_t> payload,
                           const SlotPoint& slot, ResourceGrid& grid) {
   // Payload -> CRC24C (masked with the RNTI) -> polar -> scramble -> QPSK.
+  PdcchScratch& scratch = thread_scratch();
   BitVector bits(payload.begin(), payload.end());
   kCrc24C.attach(bits);
   kCrc24C.mask_rnti(bits, alloc.rnti);
 
   const unsigned e = alloc.agg_level * kBitsPerCce;
   const PolarCode& polar =
-      cached_polar(static_cast<unsigned>(bits.size()), e);
+      cached_polar(scratch, static_cast<unsigned>(bits.size()), e);
   BitVector coded = polar.encode(bits);
   scramble(coded, pdcch_scrambling_cinit(0, coreset.n_id));
   const std::vector<cf32> symbols = modulate(coded, Modulation::kQpsk);
 
-  const DmrsTable& dmrs = cached_dmrs(coreset, slot);
+  ensure_dmrs(scratch, coreset, slot);
   const auto regs = cce_to_regs(coreset, alloc.cce_start, alloc.agg_level);
   std::size_t sym_index = 0;
   for (const auto& reg : regs) {
@@ -272,7 +272,7 @@ void encode_pdcch_payload(const CoresetConfig& coreset,
     for (unsigned sc = 0; sc < kSubcarriersPerPrb; ++sc) {
       cf32& re = grid.at(reg.symbol, reg.prb * kSubcarriersPerPrb + sc);
       if (is_dmrs_sc(sc)) {
-        re = dmrs.at(reg.symbol, reg.prb, k_prime++);
+        re = dmrs_at(scratch, reg.symbol, reg.prb, k_prime++);
       } else {
         re = symbols.at(sym_index++);
       }
@@ -284,19 +284,33 @@ std::optional<BitVector> decode_pdcch_payload(
     const CoresetConfig& coreset, unsigned agg_level, unsigned cce_start,
     unsigned payload_bits, const SlotPoint& slot, const ResourceGrid& grid,
     Rnti rnti, float* snr_out) {
-  auto bits = decode_candidate_bits(coreset, agg_level, cce_start,
-                                    payload_bits, slot, grid, snr_out);
-  if (!bits || !kCrc24C.check_masked(*bits, rnti)) {
+  PdcchScratch& scratch = thread_scratch();
+  if (!decode_candidate_bits(coreset, agg_level, cce_start, payload_bits,
+                             slot, grid, scratch, snr_out) ||
+      !kCrc24C.check_masked(scratch.bits, rnti)) {
     return std::nullopt;
   }
-  return BitVector(bits->begin(), bits->begin() + payload_bits);
+  return BitVector(scratch.bits.begin(),
+                   scratch.bits.begin() + payload_bits);
+}
+
+bool decode_pdcch_soft_bits(const CoresetConfig& coreset, unsigned agg_level,
+                            unsigned cce_start, unsigned payload_bits,
+                            const SlotPoint& slot, const ResourceGrid& grid,
+                            PdcchScratch& scratch) {
+  return decode_candidate_bits(coreset, agg_level, cce_start, payload_bits,
+                               slot, grid, scratch, nullptr);
 }
 
 std::optional<BitVector> decode_pdcch_soft_bits(
     const CoresetConfig& coreset, unsigned agg_level, unsigned cce_start,
     unsigned payload_bits, const SlotPoint& slot, const ResourceGrid& grid) {
-  return decode_candidate_bits(coreset, agg_level, cce_start, payload_bits,
-                               slot, grid, nullptr);
+  PdcchScratch& scratch = thread_scratch();
+  if (!decode_pdcch_soft_bits(coreset, agg_level, cce_start, payload_bits,
+                              slot, grid, scratch)) {
+    return std::nullopt;
+  }
+  return scratch.bits;
 }
 
 bool check_pdcch_crc(std::span<const std::uint8_t> bits_with_crc,
@@ -307,12 +321,12 @@ bool check_pdcch_crc(std::span<const std::uint8_t> bits_with_crc,
 std::optional<PdcchDecodeResult> decode_pdcch_candidate(
     const CoresetConfig& coreset, unsigned agg_level, unsigned cce_start,
     DciFormat format_hint, unsigned n_prb_bwp, const SlotPoint& slot,
-    const ResourceGrid& grid, Rnti rnti) {
+    const ResourceGrid& grid, Rnti rnti, PdcchScratch& scratch) {
   const unsigned payload_bits = dci_payload_size(format_hint, n_prb_bwp);
   float snr = 0.0f;
-  auto bits = decode_pdcch_payload(coreset, agg_level, cce_start,
-                                   payload_bits, slot, grid, rnti, &snr);
-  if (!bits) {
+  if (!decode_candidate_bits(coreset, agg_level, cce_start, payload_bits,
+                             slot, grid, scratch, &snr) ||
+      !kCrc24C.check_masked(scratch.bits, rnti)) {
     return std::nullopt;
   }
   PdcchDecodeResult result;
@@ -321,24 +335,32 @@ std::optional<PdcchDecodeResult> decode_pdcch_candidate(
   result.cce_start = cce_start;
   result.snr_estimate_db = snr;
   result.dci = Dci::unpack(format_hint, n_prb_bwp,
-                           std::span(bits->data(), payload_bits));
+                           std::span(scratch.bits.data(), payload_bits));
   return result;
+}
+
+std::optional<PdcchDecodeResult> decode_pdcch_candidate(
+    const CoresetConfig& coreset, unsigned agg_level, unsigned cce_start,
+    DciFormat format_hint, unsigned n_prb_bwp, const SlotPoint& slot,
+    const ResourceGrid& grid, Rnti rnti) {
+  return decode_pdcch_candidate(coreset, agg_level, cce_start, format_hint,
+                                n_prb_bwp, slot, grid, rnti,
+                                thread_scratch());
 }
 
 std::optional<RntiRecoveryResult> recover_rnti_from_candidate(
     const CoresetConfig& coreset, unsigned agg_level, unsigned cce_start,
     DciFormat format_hint, unsigned n_prb_bwp, const SlotPoint& slot,
-    const ResourceGrid& grid) {
+    const ResourceGrid& grid, PdcchScratch& scratch) {
   const unsigned payload_bits = dci_payload_size(format_hint, n_prb_bwp);
-  auto bits = decode_candidate_bits(coreset, agg_level, cce_start,
-                                    payload_bits, slot, grid, nullptr);
-  if (!bits) {
+  if (!decode_candidate_bits(coreset, agg_level, cce_start, payload_bits,
+                             slot, grid, scratch, nullptr)) {
     return std::nullopt;
   }
-  const Rnti mask = kCrc24C.recover_mask(*bits);
+  const Rnti mask = kCrc24C.recover_mask(scratch.bits);
   // With the mask applied, the full 24-bit CRC must now check out; the
   // upper 8 CRC bits are unmasked, so this rejects 255/256 noise decodes.
-  if (!kCrc24C.check_masked(*bits, mask)) {
+  if (!kCrc24C.check_masked(scratch.bits, mask)) {
     return std::nullopt;
   }
   RntiRecoveryResult result;
@@ -346,8 +368,17 @@ std::optional<RntiRecoveryResult> recover_rnti_from_candidate(
   result.agg_level = agg_level;
   result.cce_start = cce_start;
   result.dci = Dci::unpack(format_hint, n_prb_bwp,
-                           std::span(bits->data(), payload_bits));
+                           std::span(scratch.bits.data(), payload_bits));
   return result;
+}
+
+std::optional<RntiRecoveryResult> recover_rnti_from_candidate(
+    const CoresetConfig& coreset, unsigned agg_level, unsigned cce_start,
+    DciFormat format_hint, unsigned n_prb_bwp, const SlotPoint& slot,
+    const ResourceGrid& grid) {
+  return recover_rnti_from_candidate(coreset, agg_level, cce_start,
+                                     format_hint, n_prb_bwp, slot, grid,
+                                     thread_scratch());
 }
 
 }  // namespace nrs

@@ -10,13 +10,17 @@
 // the 24 leading '1' filler bits before the CRC are omitted.
 #pragma once
 
+#include <cstdint>
+#include <map>
 #include <optional>
+#include <utility>
 #include <vector>
 
 #include "common/crc.h"
 #include "common/types.h"
 #include "nr/coreset.h"
 #include "nr/dci.h"
+#include "phy/polar.h"
 #include "phy/resource_grid.h"
 
 namespace nrs {
@@ -27,6 +31,42 @@ inline constexpr unsigned kBitsPerCce = 108;
 /// DMRS occupies subcarriers 4k'+1 within each PDCCH REG (TS 38.211
 /// 7.4.1.3.2): 3 of 12 REs.
 inline constexpr unsigned kPdcchDmrsPerReg = 3;
+
+/// Per-thread working state for PDCCH blind decoding (hot-path memory
+/// discipline, DESIGN.md).  A candidate decode touches DMRS generation,
+/// REG mapping, LLR extraction, descrambling and the polar decode; this
+/// struct owns every intermediate buffer so the steady-state slot loop
+/// performs zero heap allocations.  The memo members (DMRS table,
+/// scrambling prefix, polar-code instances) warm up on first use and are
+/// reused keyed by their inputs.  A scratch belongs to one thread at a
+/// time; callers that fan candidates out across a worker pool keep one
+/// scratch per worker.
+struct PdcchScratch {
+  // Memo: DMRS sequence per CORESET symbol over the CORESET's PRB span,
+  // keyed on (n_id, slot, CORESET geometry).
+  std::uint64_t dmrs_key = ~0ull;
+  std::vector<cf32> dmrs[2];
+
+  // Memo: scrambling-sequence prefix, keyed on n_id.
+  std::uint32_t scramble_n_id = ~0u;
+  BitVector scramble_bits;
+
+  // Per-candidate working buffers (cleared/overwritten every decode).
+  std::vector<RegLocation> regs;
+  std::vector<cf32> reg_h;
+  std::vector<float> llrs;
+  BitVector bits;  ///< last decode's payload+CRC bits
+
+  // Candidate-CCE list for the caller's search-space sweep (see
+  // pdcch_candidates' allocation-free overload in nr/coreset.h).
+  std::vector<unsigned> cand_cces;
+
+  PolarScratch polar;
+
+  // Memo: polar-code instances per (K, E); populated during warm-up,
+  // find-only in steady state.
+  std::map<std::pair<unsigned, unsigned>, PolarCode> polar_codes;
+};
 
 /// Everything needed to place one DCI on the grid.
 struct PdcchAllocation {
@@ -64,6 +104,13 @@ std::optional<BitVector> decode_pdcch_soft_bits(
     const CoresetConfig& coreset, unsigned agg_level, unsigned cce_start,
     unsigned payload_bits, const SlotPoint& slot, const ResourceGrid& grid);
 
+/// Allocation-free variant: on success the payload+CRC bits are left in
+/// `scratch.bits` (valid until the next decode through the same scratch).
+bool decode_pdcch_soft_bits(const CoresetConfig& coreset, unsigned agg_level,
+                            unsigned cce_start, unsigned payload_bits,
+                            const SlotPoint& slot, const ResourceGrid& grid,
+                            PdcchScratch& scratch);
+
 /// CRC verdict for bits produced by decode_pdcch_soft_bits.
 bool check_pdcch_crc(std::span<const std::uint8_t> bits_with_crc, Rnti rnti);
 
@@ -83,6 +130,12 @@ std::optional<PdcchDecodeResult> decode_pdcch_candidate(
     DciFormat format_hint, unsigned n_prb_bwp, const SlotPoint& slot,
     const ResourceGrid& grid, Rnti rnti);
 
+/// Allocation-free variant using the caller's scratch.
+std::optional<PdcchDecodeResult> decode_pdcch_candidate(
+    const CoresetConfig& coreset, unsigned agg_level, unsigned cce_start,
+    DciFormat format_hint, unsigned n_prb_bwp, const SlotPoint& slot,
+    const ResourceGrid& grid, Rnti rnti, PdcchScratch& scratch);
+
 /// Decode a candidate *without* knowing the RNTI: run the polar decode,
 /// then recover the 16-bit mask as crc(payload) XOR received-crc — the
 /// paper's C-RNTI recovery trick (section 3.1.2).  Because a random noise
@@ -100,6 +153,12 @@ std::optional<RntiRecoveryResult> recover_rnti_from_candidate(
     const CoresetConfig& coreset, unsigned agg_level, unsigned cce_start,
     DciFormat format_hint, unsigned n_prb_bwp, const SlotPoint& slot,
     const ResourceGrid& grid);
+
+/// Allocation-free variant using the caller's scratch.
+std::optional<RntiRecoveryResult> recover_rnti_from_candidate(
+    const CoresetConfig& coreset, unsigned agg_level, unsigned cce_start,
+    DciFormat format_hint, unsigned n_prb_bwp, const SlotPoint& slot,
+    const ResourceGrid& grid, PdcchScratch& scratch);
 
 /// PDCCH DMRS reference symbol for (slot, symbol, absolute PRB, k') —
 /// shared by encoder and channel estimator.

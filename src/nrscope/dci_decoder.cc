@@ -6,13 +6,11 @@
 
 namespace nrs {
 
-std::vector<DecodedDci> decode_ue_dcis(const ResourceGrid& grid,
-                                       const SlotPoint& slot,
-                                       std::uint64_t slot_index,
-                                       const CellConfig& cell,
-                                       const UeSearchContext& ue,
-                                       const AggLevelHistograms* level_us) {
-  std::vector<DecodedDci> out;
+void decode_ue_dcis(const ResourceGrid& grid, const SlotPoint& slot,
+                    std::uint64_t slot_index, const CellConfig& cell,
+                    const UeSearchContext& ue, PdcchScratch& scratch,
+                    std::vector<DecodedDci>& out,
+                    const AggLevelHistograms* level_us) {
   // The size-aligned pair hint: 1_1 resolves 0_1 too via the format bit.
   const DciFormat hint = ue.config.dl_format == DciFormat::kDl1_1
                              ? DciFormat::kDl1_1
@@ -23,10 +21,12 @@ std::vector<DecodedDci> decode_ue_dcis(const ResourceGrid& grid,
         (*level_us)[agg_level_index(level)] != nullptr) {
       timer.emplace(*(*level_us)[agg_level_index(level)]);
     }
-    for (unsigned cce : pdcch_candidates(cell.coreset, ue.config.ue_ss,
-                                         level, slot, ue.rnti)) {
-      const auto result = decode_pdcch_candidate(
-          cell.coreset, level, cce, hint, cell.n_prb, slot, grid, ue.rnti);
+    pdcch_candidates(cell.coreset, ue.config.ue_ss, level, slot, ue.rnti,
+                     scratch.cand_cces);
+    for (unsigned cce : scratch.cand_cces) {
+      const auto result =
+          decode_pdcch_candidate(cell.coreset, level, cce, hint, cell.n_prb,
+                                 slot, grid, ue.rnti, scratch);
       if (!result) {
         continue;
       }
@@ -42,6 +42,17 @@ std::vector<DecodedDci> decode_ue_dcis(const ResourceGrid& grid,
       out.push_back(dci);
     }
   }
+}
+
+std::vector<DecodedDci> decode_ue_dcis(const ResourceGrid& grid,
+                                       const SlotPoint& slot,
+                                       std::uint64_t slot_index,
+                                       const CellConfig& cell,
+                                       const UeSearchContext& ue,
+                                       const AggLevelHistograms* level_us) {
+  thread_local PdcchScratch t_scratch;
+  std::vector<DecodedDci> out;
+  decode_ue_dcis(grid, slot, slot_index, cell, ue, t_scratch, out, level_us);
   return out;
 }
 

@@ -49,4 +49,13 @@ std::vector<DecodedDci> decode_ue_dcis(const ResourceGrid& grid,
                                        const AggLevelHistograms* level_us =
                                            nullptr);
 
+/// Allocation-free variant: decoded DCIs are appended to `out` (which is
+/// NOT cleared — callers batch several UEs into one vector) and all
+/// intermediate buffers live in the caller's `scratch`.
+void decode_ue_dcis(const ResourceGrid& grid, const SlotPoint& slot,
+                    std::uint64_t slot_index, const CellConfig& cell,
+                    const UeSearchContext& ue, PdcchScratch& scratch,
+                    std::vector<DecodedDci>& out,
+                    const AggLevelHistograms* level_us = nullptr);
+
 }  // namespace nrs

@@ -2,8 +2,6 @@
 
 #include <algorithm>
 #include <chrono>
-#include <map>
-#include <mutex>
 #include <stdexcept>
 
 #include "nr/grant.h"
@@ -68,12 +66,20 @@ std::optional<std::string> NrScopeConfig::validate() const {
 NrScope::NrScope(const NrScopeConfig& config)
     : config_(validated(config)),
       demodulator_(make_ofdm_config(config.n_prb)), rach_(config.rach),
-      telemetry_(config.scs, config.rate_window_slots, &metrics_registry_) {
+      telemetry_(config.scs, config.rate_window_slots, &metrics_registry_),
+      rx_grid_(config.n_prb) {
   cell_.n_prb = config_.n_prb;
   cell_.scs = config_.scs;
   if (config_.n_dci_threads > 1) {
     dci_pool_ = std::make_unique<WorkerPool>(config_.n_dci_threads);
   }
+  // One PDCCH scratch per possible batch participant: the calling thread
+  // plus every DCI worker (see worker_scratch()).
+  pdcch_scratch_.resize(1 + (dci_pool_ ? dci_pool_->size() : 0));
+  // Capture-only-`this` trampolines: small enough for std::function's
+  // inline storage, built once so the per-slot batches never allocate.
+  decode_ue_fn_ = [this](std::size_t i) { decode_ue_shard(i); };
+  decode_location_fn_ = [this](std::size_t w) { decode_location_shard(w); };
   rach_.bind_metrics(metrics_registry_);
   m_slots_searching_ = &metrics_registry_.counter("nrscope.slots_searching");
   m_slots_wait_sib1_ = &metrics_registry_.counter("nrscope.slots_wait_sib1");
@@ -249,35 +255,44 @@ void NrScope::wait_sib1(const ResourceGrid& grid, SlotResult& result) {
   }
 }
 
+void NrScope::decode_ue_shard(std::size_t i) {
+  decode_ue_dcis(*batch_grid_, batch_now_, slot_index_, cell_, ues_[i],
+                 worker_scratch(), scratch_.per_ue[i], &m_agg_level_us_);
+}
+
 void NrScope::track(const ResourceGrid& grid, SlotResult& result) {
   const SlotPoint now = slot_point();
 
   // RACH thread's work: new-UE discovery in the common search space.
-  result.new_ues = rach_.process_slot(grid, now, slot_index_, result.dcis);
+  rach_.process_slot(grid, now, slot_index_, pdcch_scratch_[0], result.dcis,
+                     result.new_ues);
   for (const auto& ue : result.new_ues) {
     add_ue(ue.c_rnti, ue.config);
   }
 
   // DCI threads: the UE list is sharded across the pool (paper section 4).
-  std::vector<std::vector<DecodedDci>> per_ue(ues_.size());
+  auto& per_ue = scratch_.per_ue;
+  if (per_ue.size() < ues_.size()) {
+    per_ue.resize(ues_.size());  // grow-only: keeps per-UE capacities
+  }
+  for (std::size_t i = 0; i < ues_.size(); ++i) {
+    per_ue[i].clear();
+  }
+  batch_grid_ = &grid;
+  batch_now_ = now;
   {
     ScopedTimer blind_timer(*m_blind_decode_us_);
     if (config_.dedupe_candidates) {
-      decode_dcis_deduped(grid, now, per_ue);
+      decode_dcis_deduped(grid, now);
+    } else if (dci_pool_ && ues_.size() > 1) {
+      dci_pool_->run_batch(ues_.size(), decode_ue_fn_);
     } else {
-      auto decode_one = [&](std::size_t i) {
-        per_ue[i] = decode_ue_dcis(grid, now, slot_index_, cell_, ues_[i],
-                                   &m_agg_level_us_);
-      };
-      if (dci_pool_ && ues_.size() > 1) {
-        dci_pool_->run_batch(ues_.size(), decode_one);
-      } else {
-        for (std::size_t i = 0; i < ues_.size(); ++i) {
-          decode_one(i);
-        }
+      for (std::size_t i = 0; i < ues_.size(); ++i) {
+        decode_ue_shard(i);
       }
     }
   }
+  batch_grid_ = nullptr;
   for (std::size_t i = 0; i < ues_.size(); ++i) {
     if (!per_ue[i].empty()) {
       ue_last_seen_[i] = slot_index_;
@@ -302,41 +317,78 @@ void NrScope::track(const ResourceGrid& grid, SlotResult& result) {
       result.dcis.end());
 
   // Telemetry update: per-UE counters for plausible C-RNTIs only (SI/RA
-  // broadcasts are not user telemetry).
-  std::vector<DecodedDci> user_dcis;
-  for (auto& dci : result.dcis) {
-    if (is_plausible_crnti(dci.rnti)) {
-      user_dcis.push_back(dci);
+  // broadcasts are not user telemetry).  Carrying the source index of
+  // every user DCI makes the retransmission-flag write-back below O(n)
+  // instead of the old all-pairs rescan.
+  auto& user_dcis = scratch_.user_dcis;
+  auto& user_dci_index = scratch_.user_dci_index;
+  user_dcis.clear();
+  user_dci_index.clear();
+  for (std::size_t j = 0; j < result.dcis.size(); ++j) {
+    if (is_plausible_crnti(result.dcis[j].rnti)) {
+      user_dcis.push_back(result.dcis[j]);
+      user_dci_index.push_back(j);
     }
   }
   telemetry_.observe_slot(slot_index_, user_dcis, data_res_total(),
                           config_.keep_capacity_history);
   // Propagate the retransmission flags back to the result.
-  for (auto& dci : result.dcis) {
-    for (const auto& u : user_dcis) {
-      if (u.rnti == dci.rnti && u.cce_start == dci.cce_start &&
-          u.agg_level == dci.agg_level) {
-        dci.is_retx = u.is_retx;
-      }
-    }
+  for (std::size_t j = 0; j < user_dcis.size(); ++j) {
+    result.dcis[user_dci_index[j]].is_retx = user_dcis[j].is_retx;
   }
 
   cleanup_stale_ues();
 }
 
-void NrScope::decode_dcis_deduped(
-    const ResourceGrid& grid, const SlotPoint& now,
-    std::vector<std::vector<DecodedDci>>& per_ue) {
+void NrScope::decode_location_shard(std::size_t w) {
+  // Each shard owns its LocationSlot outright (results/result_ue are
+  // location-local), so no merge lock is needed; track() folds the slots
+  // into per_ue serially after the batch.
+  SlotScratch::LocationSlot& loc = scratch_.locations[w];
+  std::optional<ScopedTimer> timer;
+  if (Histogram* hist = m_agg_level_us_[agg_level_index(loc.level)]) {
+    timer.emplace(*hist);
+  }
+  PdcchScratch& ps = worker_scratch();
+  if (!decode_pdcch_soft_bits(cell_.coreset, loc.level, loc.cce,
+                              loc.payload_bits, batch_now_, *batch_grid_,
+                              ps)) {
+    return;
+  }
+  for (std::size_t c = loc.first; c < loc.first + loc.count; ++c) {
+    const std::size_t i = scratch_.cands[c].ue_index;
+    const auto& ue = ues_[i];
+    if (!check_pdcch_crc(ps.bits, ue.rnti)) {
+      continue;
+    }
+    const DciFormat hint = ue.config.dl_format == DciFormat::kDl1_1
+                               ? DciFormat::kDl1_1
+                               : DciFormat::kDl1_0;
+    DecodedDci dci;
+    dci.slot = slot_index_;
+    dci.rnti = ue.rnti;
+    dci.dci = Dci::unpack(hint, cell_.n_prb,
+                          std::span(ps.bits.data(), loc.payload_bits));
+    dci.grant = translate_dci(dci.dci, ue.rnti, cell_.n_prb, cell_.pdsch,
+                              ue.config.mcs_table,
+                              ue.config.max_mimo_layers);
+    dci.agg_level = loc.level;
+    dci.cce_start = loc.cce;
+    loc.results.push_back(dci);
+    loc.result_ue.push_back(i);
+  }
+}
+
+void NrScope::decode_dcis_deduped(const ResourceGrid& grid,
+                                  const SlotPoint& now) {
   // Group candidate locations across UEs: the polar decode of a location
   // is RNTI-independent, so one channel decode serves every UE that
-  // monitors it (only the CRC mask differs per UE).
-  struct Location {
-    unsigned level;
-    unsigned cce;
-    unsigned payload_bits;
-    std::vector<std::size_t> watchers;  // ue indices
-  };
-  std::map<std::tuple<unsigned, unsigned, unsigned>, Location> locations;
+  // monitors it (only the CRC mask differs per UE).  The grouping runs
+  // over a flat sorted candidate list instead of a node-based map so the
+  // per-slot setup reuses the scratch buffers allocation-free.
+  auto& cands = scratch_.cands;
+  cands.clear();
+  PdcchScratch& ps = pdcch_scratch_[0];
   for (std::size_t i = 0; i < ues_.size(); ++i) {
     const auto& ue = ues_[i];
     const DciFormat hint = ue.config.dl_format == DciFormat::kDl1_1
@@ -344,72 +396,79 @@ void NrScope::decode_dcis_deduped(
                                : DciFormat::kDl1_0;
     const unsigned payload_bits = dci_payload_size(hint, cell_.n_prb);
     for (unsigned level : ue.config.ue_ss.agg_levels) {
-      for (unsigned cce : pdcch_candidates(cell_.coreset, ue.config.ue_ss,
-                                           level, now, ue.rnti)) {
-        auto [it, inserted] = locations.try_emplace(
-            std::make_tuple(level, cce, payload_bits),
-            Location{level, cce, payload_bits, {}});
-        it->second.watchers.push_back(i);
+      pdcch_candidates(cell_.coreset, ue.config.ue_ss, level, now, ue.rnti,
+                       ps.cand_cces);
+      for (unsigned cce : ps.cand_cces) {
+        cands.push_back(
+            SlotScratch::CandidateRef{level, cce, payload_bits, i});
       }
     }
   }
-  std::vector<Location*> work;
-  work.reserve(locations.size());
-  std::uint64_t candidates = 0;
-  for (auto& [key, loc] : locations) {
-    work.push_back(&loc);
-    candidates += loc.watchers.size();
+  std::sort(cands.begin(), cands.end(),
+            [](const SlotScratch::CandidateRef& a,
+               const SlotScratch::CandidateRef& b) {
+              return std::tie(a.level, a.cce, a.payload_bits, a.ue_index) <
+                     std::tie(b.level, b.cce, b.payload_bits, b.ue_index);
+            });
+
+  // Carve the sorted list into per-location watcher ranges.  `locations`
+  // is grow-only: entries past n_locs keep their buffers for later slots.
+  auto& locations = scratch_.locations;
+  std::size_t n_locs = 0;
+  for (std::size_t c = 0; c < cands.size(); ++c) {
+    const auto& cand = cands[c];
+    const bool new_loc =
+        c == 0 || cand.level != cands[c - 1].level ||
+        cand.cce != cands[c - 1].cce ||
+        cand.payload_bits != cands[c - 1].payload_bits;
+    if (new_loc) {
+      if (locations.size() < n_locs + 1) {
+        locations.resize(n_locs + 1);
+      }
+      auto& loc = locations[n_locs++];
+      loc.level = cand.level;
+      loc.cce = cand.cce;
+      loc.payload_bits = cand.payload_bits;
+      loc.first = c;
+      loc.count = 1;
+      loc.results.clear();
+      loc.result_ue.clear();
+    } else {
+      ++locations[n_locs - 1].count;
+    }
   }
+
   // Hit rate of the shared-location optimization: 1 - locations/candidates
   // (every watcher beyond the first reuses an already-decoded location).
-  m_dedupe_candidates_->inc(candidates);
-  m_dedupe_locations_->inc(work.size());
-  std::mutex merge_mutex;
-  auto decode_location = [&](std::size_t w) {
-    Location& loc = *work[w];
-    std::optional<ScopedTimer> timer;
-    if (Histogram* hist = m_agg_level_us_[agg_level_index(loc.level)]) {
-      timer.emplace(*hist);
-    }
-    const auto bits = decode_pdcch_soft_bits(
-        cell_.coreset, loc.level, loc.cce, loc.payload_bits, now, grid);
-    if (!bits) {
-      return;
-    }
-    for (std::size_t i : loc.watchers) {
-      const auto& ue = ues_[i];
-      if (!check_pdcch_crc(*bits, ue.rnti)) {
-        continue;
-      }
-      const DciFormat hint = ue.config.dl_format == DciFormat::kDl1_1
-                                 ? DciFormat::kDl1_1
-                                 : DciFormat::kDl1_0;
-      DecodedDci dci;
-      dci.slot = slot_index_;
-      dci.rnti = ue.rnti;
-      dci.dci = Dci::unpack(hint, cell_.n_prb,
-                            std::span(bits->data(), loc.payload_bits));
-      dci.grant = translate_dci(dci.dci, ue.rnti, cell_.n_prb, cell_.pdsch,
-                                ue.config.mcs_table,
-                                ue.config.max_mimo_layers);
-      dci.agg_level = loc.level;
-      dci.cce_start = loc.cce;
-      std::lock_guard lock(merge_mutex);
-      per_ue[i].push_back(dci);
-    }
-  };
-  if (dci_pool_ && work.size() > 1) {
-    dci_pool_->run_batch(work.size(), decode_location);
+  m_dedupe_candidates_->inc(cands.size());
+  m_dedupe_locations_->inc(n_locs);
+
+  if (dci_pool_ && n_locs > 1) {
+    dci_pool_->run_batch(n_locs, decode_location_fn_);
   } else {
-    for (std::size_t w = 0; w < work.size(); ++w) {
-      decode_location(w);
+    for (std::size_t w = 0; w < n_locs; ++w) {
+      decode_location_shard(w);
+    }
+  }
+
+  // Serial merge: fold the per-location results into per_ue.
+  for (std::size_t w = 0; w < n_locs; ++w) {
+    const auto& loc = scratch_.locations[w];
+    for (std::size_t r = 0; r < loc.results.size(); ++r) {
+      scratch_.per_ue[loc.result_ue[r]].push_back(loc.results[r]);
     }
   }
 }
 
-SlotResult NrScope::process_grid(const ResourceGrid& grid) {
-  SlotResult result;
+void NrScope::process_grid(const ResourceGrid& grid, SlotResult& result) {
+  // Reset the caller's result in place: clears keep the vectors'
+  // capacities, so a reused result stops allocating once warmed up.
   result.slot = slot_index_;
+  result.dcis.clear();
+  result.new_ues.clear();
+  result.mib.reset();
+  result.sib1_decoded = false;
+  result.processing_time_us = 0.0;
   const auto start = std::chrono::steady_clock::now();
   switch (state_) {
     case State::kSearching:
@@ -430,20 +489,30 @@ SlotResult NrScope::process_grid(const ResourceGrid& grid) {
   result.processing_time_us =
       std::chrono::duration<double, std::micro>(end - start).count();
   ++slot_index_;
+}
+
+SlotResult NrScope::process_grid(const ResourceGrid& grid) {
+  SlotResult result;
+  process_grid(grid, result);
   return result;
 }
 
-SlotResult NrScope::process_slot(std::span<const cf32> samples) {
+void NrScope::process_slot(std::span<const cf32> samples,
+                           SlotResult& result) {
   const auto start = std::chrono::steady_clock::now();
-  std::optional<ResourceGrid> grid;
   {
     ScopedTimer demod_timer(*m_demod_us_);
-    grid.emplace(demodulator_.demodulate(samples));
+    demodulator_.demodulate_into(samples, rx_grid_);
   }
-  SlotResult result = process_grid(*grid);
+  process_grid(rx_grid_, result);
   const auto end = std::chrono::steady_clock::now();
   result.processing_time_us =
       std::chrono::duration<double, std::micro>(end - start).count();
+}
+
+SlotResult NrScope::process_slot(std::span<const cf32> samples) {
+  SlotResult result;
+  process_slot(samples, result);
   return result;
 }
 

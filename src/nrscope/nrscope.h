@@ -82,6 +82,14 @@ class NrScope {
   /// pipeline workers which demodulate on their own threads).
   SlotResult process_grid(const ResourceGrid& grid);
 
+  /// Allocation-free variants reusing a caller-owned result (its vectors
+  /// are cleared, keeping their capacity): in the steady tracking state the
+  /// whole slot path — demodulation, blind decoding, telemetry — performs
+  /// zero heap allocations after warm-up (hot-path memory discipline,
+  /// DESIGN.md; verified by test_alloc_steady_state).
+  void process_slot(std::span<const cf32> samples, SlotResult& result);
+  void process_grid(const ResourceGrid& grid, SlotResult& result);
+
   [[nodiscard]] State state() const { return state_; }
   [[nodiscard]] std::uint16_t pci() const { return pci_; }
   [[nodiscard]] const std::optional<Mib>& mib() const { return mib_; }
@@ -117,14 +125,57 @@ class NrScope {
   }
 
  private:
+  /// Per-slot working set, reused across slots so the tracking path stays
+  /// allocation-free after warm-up.  Every vector is cleared (capacity
+  /// kept) or grown-only at the top of each slot.
+  struct SlotScratch {
+    /// One candidate a UE monitors this slot (dedupe mode).
+    struct CandidateRef {
+      unsigned level;
+      unsigned cce;
+      unsigned payload_bits;
+      std::size_t ue_index;
+    };
+    /// One distinct (level, cce, payload_bits) location with its watcher
+    /// range in `cands` and per-location decode results.  Workers own
+    /// disjoint locations, so no merge lock is needed; the results are
+    /// folded into `per_ue` serially after the batch.
+    struct LocationSlot {
+      unsigned level = 0;
+      unsigned cce = 0;
+      unsigned payload_bits = 0;
+      std::size_t first = 0;  ///< range into `cands`
+      std::size_t count = 0;
+      std::vector<DecodedDci> results;
+      std::vector<std::size_t> result_ue;  ///< watcher index per result
+    };
+
+    std::vector<std::vector<DecodedDci>> per_ue;
+    std::vector<DecodedDci> user_dcis;
+    std::vector<std::size_t> user_dci_index;  ///< into SlotResult::dcis
+    std::vector<CandidateRef> cands;
+    std::vector<LocationSlot> locations;  ///< grow-only; first n are live
+  };
+
   void search(const ResourceGrid& grid, SlotResult& result);
   void wait_sib1(const ResourceGrid& grid, SlotResult& result);
   void track(const ResourceGrid& grid, SlotResult& result);
-  void decode_dcis_deduped(const ResourceGrid& grid, const SlotPoint& now,
-                           std::vector<std::vector<DecodedDci>>& per_ue);
+  void decode_dcis_deduped(const ResourceGrid& grid, const SlotPoint& now);
   void cleanup_stale_ues();
   [[nodiscard]] SlotPoint slot_point() const;
   [[nodiscard]] unsigned data_res_total() const;
+
+  /// PDCCH scratch for the current thread during a DCI batch: slot 0 for
+  /// the caller thread, slot i+1 for DCI-pool worker i.  Workers of other
+  /// pools (e.g. the pipeline's demod workers) report -1 from
+  /// index_in_pool() and land on slot 0, which is safe because NrScope is
+  /// single-caller: only one external thread runs a slot at a time.
+  [[nodiscard]] PdcchScratch& worker_scratch() {
+    const int idx = dci_pool_ ? dci_pool_->index_in_pool() : -1;
+    return pdcch_scratch_[static_cast<std::size_t>(idx + 1)];
+  }
+  void decode_ue_shard(std::size_t i);
+  void decode_location_shard(std::size_t w);
 
   NrScopeConfig config_;
   MetricsRegistry metrics_registry_;  ///< before the members that cache into it
@@ -148,6 +199,19 @@ class NrScope {
   AggLevelHistograms m_agg_level_us_{};
   std::vector<UeSearchContext> ues_;
   std::vector<std::uint64_t> ue_last_seen_;
+  SlotScratch scratch_;
+  /// One PDCCH scratch per batch participant (see worker_scratch()).
+  std::vector<PdcchScratch> pdcch_scratch_;
+  /// Persistent demodulation target for process_slot.
+  ResourceGrid rx_grid_;
+  /// Context for the batch shard functions (set before each run_batch).
+  const ResourceGrid* batch_grid_ = nullptr;
+  SlotPoint batch_now_;
+  /// Shard trampolines built once in the constructor: they capture only
+  /// `this`, so neither std::function ever heap-allocates, and run_batch
+  /// takes them by reference slot after slot.
+  std::function<void(std::size_t)> decode_ue_fn_;
+  std::function<void(std::size_t)> decode_location_fn_;
   std::uint64_t slot_index_ = 0;
   /// Frame phase: slot-in-frame of feed index 0, learned from the SSB.
   std::int64_t frame_phase_ = 0;

@@ -1,6 +1,9 @@
 #include "nrscope/pipeline.h"
 
+#include <limits>
 #include <stdexcept>
+
+#include "common/alloc_hooks.h"
 
 namespace nrs {
 
@@ -8,8 +11,8 @@ NrScopePipeline::NrScopePipeline(const NrScopeConfig& config,
                                  unsigned n_demod_workers,
                                  std::size_t queue_depth)
     : engine_(std::make_unique<NrScope>(config)),
-      ofdm_config_(make_ofdm_config(config.n_prb)), input_(queue_depth),
-      output_(queue_depth) {
+      ofdm_config_(make_ofdm_config(config.n_prb)), n_prb_(config.n_prb),
+      input_(queue_depth), output_(queue_depth) {
   if (queue_depth == 0) {
     throw std::invalid_argument("NrScopePipeline: queue_depth must be > 0");
   }
@@ -25,14 +28,28 @@ NrScopePipeline::NrScopePipeline(const NrScopeConfig& config,
   m_collect_us_ = &registry.histogram("pipeline.collect_us");
   m_output_wait_us_ = &registry.histogram("pipeline.output_wait_us");
   m_sink_errors_ = &registry.counter("pipeline.sink_errors");
+  m_alloc_allocs_ = &registry.gauge("alloc.allocs");
+  m_alloc_frees_ = &registry.gauge("alloc.frees");
+  m_alloc_bytes_ = &registry.gauge("alloc.bytes");
+  m_alloc_per_slot_ = &registry.gauge("alloc.allocs_per_slot");
 
   active_demods_ = std::max(1u, n_demod_workers);
+  // Every in-flight slot (queued, being demodulated, or parked in the
+  // reorder ring) fits without two live indices sharing a cell.
+  reorder_slots_.resize(queue_depth + active_demods_ + 1);
   demod_workers_.reserve(active_demods_);
   m_worker_demod_us_.reserve(active_demods_);
   for (unsigned i = 0; i < active_demods_; ++i) {
     m_worker_demod_us_.push_back(&registry.histogram(
         "pipeline.demod_us.worker" + std::to_string(i)));
   }
+  // Pre-size the pools to the worst-case in-flight count so steady state
+  // never constructs: samples live in the input queue, in a worker's hands
+  // and in the caller's next acquire; grids live in workers' hands, the
+  // reorder ring and the collector's current slot.
+  sample_pool_.warm(queue_depth + active_demods_ + 2);
+  grid_pool_.warm(reorder_slots_.size() + active_demods_ + 1, n_prb_);
+
   for (unsigned i = 0; i < active_demods_; ++i) {
     demod_workers_.emplace_back([this, i] { demod_loop(i); });
   }
@@ -64,10 +81,15 @@ void NrScopePipeline::add_sink(std::shared_ptr<SlotSink> sink) {
   sinks_.push_back(std::move(sink));
 }
 
-bool NrScopePipeline::push_slot(IqBuffer samples) {
+BufferPool<IqBuffer>::Handle NrScopePipeline::acquire_samples() {
+  return sample_pool_.acquire();
+}
+
+bool NrScopePipeline::push_slot(BufferPool<IqBuffer>::Handle samples) {
   Job job;
   job.index = next_input_index_.load();
   job.samples = std::move(samples);
+  // A rejected job's handle dies right here, returning the buffer.
   switch (input_.try_push_result(std::move(job))) {
     case QueuePushResult::kOk:
       break;
@@ -86,6 +108,12 @@ bool NrScopePipeline::push_slot(IqBuffer samples) {
   return true;
 }
 
+bool NrScopePipeline::push_slot(IqBuffer samples) {
+  auto handle = sample_pool_.acquire();
+  *handle = std::move(samples);
+  return push_slot(std::move(handle));
+}
+
 void NrScopePipeline::finish() { input_.close(); }
 
 void NrScopePipeline::demod_loop(unsigned worker_index) {
@@ -93,16 +121,30 @@ void NrScopePipeline::demod_loop(unsigned worker_index) {
   Histogram& worker_us = *m_worker_demod_us_[worker_index];
   while (auto job = input_.pop()) {
     m_queue_depth_->set(static_cast<std::int64_t>(input_.size()));
-    std::optional<ResourceGrid> grid;
+    auto grid = grid_pool_.acquire(n_prb_);
     {
       ScopedTimer shared_timer(*m_demod_us_);
       ScopedTimer worker_timer(worker_us);
-      grid.emplace(demod.demodulate(job->samples));
+      demod.demodulate_into(*job->samples, *grid);
     }
+    // Return the sample buffer before (possibly) waiting on the ring.
+    job->samples.release();
+    const std::size_t cell = job->index % reorder_slots_.size();
     {
-      std::lock_guard lock(reorder_mutex_);
-      reorder_.emplace(job->index, std::move(*grid));
-      m_reorder_depth_->set(static_cast<std::int64_t>(reorder_.size()));
+      std::unique_lock lock(reorder_mutex_);
+      // Park only inside the collector's window: indexes there map to
+      // distinct cells, so the cell is guaranteed free and a fast worker
+      // cannot lap the ring past a slower worker's still-unparked slot.
+      // The worker holding the collector's next expected index never
+      // blocks here, so the pipeline always makes progress.
+      reorder_cv_.wait(lock, [&] {
+        return job->index < collect_upto_ + reorder_slots_.size() &&
+               !reorder_slots_[cell].grid;
+      });
+      reorder_slots_[cell].index = job->index;
+      reorder_slots_[cell].grid = std::move(grid);
+      ++reorder_count_;
+      m_reorder_depth_->set(static_cast<std::int64_t>(reorder_count_));
     }
     reorder_cv_.notify_all();
   }
@@ -115,12 +157,25 @@ void NrScopePipeline::demod_loop(unsigned worker_index) {
   reorder_cv_.notify_all();
 }
 
-void NrScopePipeline::deliver(SlotResult result) {
+void NrScopePipeline::deliver(const SlotResult& result) {
   std::unique_lock lock(sink_mutex_);
   if (sinks_.empty()) {
     lock.unlock();
     ScopedTimer wait_timer(*m_output_wait_us_);
-    output_.push(std::move(result));
+    // Pull mode copies into the queue; the allocation-free path is push
+    // mode, where sinks see the collector's reused result by reference.
+    // A full queue must never stall the collector (that back-pressure
+    // would propagate through the bounded ring all the way to
+    // push_slot()): older results drain first, the rest park in
+    // pull_overflow_ until the next slot or end of stream.
+    while (!pull_overflow_.empty() &&
+           output_.try_push(SlotResult(pull_overflow_.front()))) {
+      pull_overflow_.pop_front();
+    }
+    if (pull_overflow_.empty() && output_.try_push(SlotResult(result))) {
+      return;
+    }
+    pull_overflow_.emplace_back(result);
     return;
   }
   // A sink that throws is counted and detached; the pipeline (and the
@@ -138,42 +193,72 @@ void NrScopePipeline::deliver(SlotResult result) {
 
 void NrScopePipeline::collect_loop() {
   std::uint64_t expected = 0;
+  SlotResult result;  // reused every slot; the engine clears it in place
+  std::uint64_t last_allocs = 0;
   while (true) {
-    std::optional<ResourceGrid> grid;
+    BufferPool<ResourceGrid>::Handle grid;
     {
       std::unique_lock lock(reorder_mutex_);
+      ReorderSlot* cell = &reorder_slots_[expected % reorder_slots_.size()];
       {
         ScopedTimer wait_timer(*m_collector_wait_us_);
         reorder_cv_.wait(lock, [&] {
-          return reorder_.count(expected) > 0 || demod_done_;
+          return (cell->grid && cell->index == expected) || demod_done_;
         });
       }
-      const auto it = reorder_.find(expected);
-      if (it != reorder_.end()) {
-        grid = std::move(it->second);
-        reorder_.erase(it);
-        m_reorder_depth_->set(static_cast<std::int64_t>(reorder_.size()));
-      } else if (demod_done_ && reorder_.empty()) {
+      if (cell->grid && cell->index == expected) {
+        grid = std::move(cell->grid);
+        --reorder_count_;
+        collect_upto_ = expected + 1;
+        m_reorder_depth_->set(static_cast<std::int64_t>(reorder_count_));
+      } else if (demod_done_ && reorder_count_ == 0) {
         break;
       } else if (demod_done_) {
         // Shutdown with a gap (dropped mid-stream is impossible — indexes
         // are only assigned on successful enqueue — so this means the
-        // remaining entries are after `expected`; skip forward).
-        expected = reorder_.begin()->first;
+        // remaining entries are after `expected`; skip forward to the
+        // oldest one still parked in the ring).
+        std::uint64_t oldest = std::numeric_limits<std::uint64_t>::max();
+        for (const ReorderSlot& s : reorder_slots_) {
+          if (s.grid && s.index < oldest) {
+            oldest = s.index;
+          }
+        }
+        expected = oldest;
+        collect_upto_ = oldest;
         continue;
       }
     }
     if (grid) {
-      SlotResult result;
+      // Wake any worker waiting for the cell we just vacated.
+      reorder_cv_.notify_all();
       {
         ScopedTimer collect_timer(*m_collect_us_);
-        result = engine_->process_grid(*grid);
+        engine_->process_grid(*grid, result);
       }
+      grid.release();
       result.slot = expected;
-      deliver(std::move(result));
+      deliver(result);
       ++expected;
+      if (alloc::hooks_active()) {
+        const alloc::Totals t = alloc::totals();
+        m_alloc_allocs_->set(static_cast<std::int64_t>(t.allocs));
+        m_alloc_frees_->set(static_cast<std::int64_t>(t.frees));
+        m_alloc_bytes_->set(static_cast<std::int64_t>(t.bytes));
+        m_alloc_per_slot_->set(
+            static_cast<std::int64_t>(t.allocs - last_allocs));
+        last_allocs = t.allocs;
+      }
     }
   }
+  // Flush parked pull-mode results to a live consumer; a closed queue
+  // (stop() before everything was polled) discards them, matching the
+  // documented stop() semantics.
+  while (!pull_overflow_.empty() &&
+         output_.push(std::move(pull_overflow_.front()))) {
+    pull_overflow_.pop_front();
+  }
+  pull_overflow_.clear();
   {
     std::lock_guard lock(sink_mutex_);
     for (std::size_t i = 0; i < sinks_.size();) {

@@ -6,25 +6,36 @@
 // queue.  A full input queue drops slots, which is the paper's "on-demand
 // slot data processing" load-shedding behaviour.
 //
+// Hot-path memory discipline (DESIGN.md): sample buffers and resource
+// grids are pooled, the reorder stage is a fixed ring of pool handles, and
+// the collector reuses one SlotResult — in push mode the steady state
+// performs zero heap allocations per slot after warm-up.  Feeders that
+// care about this use acquire_samples() + push_slot(handle); the legacy
+// push_slot(IqBuffer) copy-in overload still works.
+//
 // Two output modes:
-//  - pull: poll_result() pops in-order SlotResults (the original API);
+//  - pull: poll_result() pops in-order SlotResults (the original API;
+//    each delivery copies the collector's result into the queue);
 //  - push: attach SlotSinks before feeding input and the collector thread
-//    delivers each result to every sink instead of the result queue,
-//    calling on_finish() once after the last slot.
+//    delivers each result to every sink by const reference instead of the
+//    result queue, calling on_finish() once after the last slot.
 // Every stage reports into a shared MetricsRegistry (the engine's):
 // queue depth/drop reasons, per-worker FFT time, reorder-buffer occupancy,
-// collector wait and back-pressure; metrics() snapshots all of it.
+// collector wait and back-pressure, and — when the allocation shim is
+// linked (common/alloc_shim.h) — process heap traffic as alloc.* gauges;
+// metrics() snapshots all of it.
 #pragma once
 
 #include <atomic>
 #include <condition_variable>
 #include <cstdint>
-#include <map>
+#include <deque>
 #include <memory>
 #include <optional>
 #include <thread>
 #include <vector>
 
+#include "common/buffer_pool.h"
 #include "common/metrics.h"
 #include "common/queue.h"
 #include "nrscope/nrscope.h"
@@ -54,9 +65,20 @@ class NrScopePipeline {
     return sinks_.size();
   }
 
-  /// Enqueue one slot of samples; returns false when the pipeline is
-  /// saturated (or already finished) and the slot was dropped.  The drop
-  /// reason is recorded in pipeline.slots_dropped.{queue_full,finished}.
+  /// Borrow a pooled sample buffer to fill and hand back to push_slot().
+  /// Recycled buffers keep their capacity, so a feeder that resizes to the
+  /// slot length and overwrites the contents allocates nothing in steady
+  /// state.  Dropping the handle (without pushing) returns the buffer.
+  [[nodiscard]] BufferPool<IqBuffer>::Handle acquire_samples();
+
+  /// Enqueue one slot of samples held in a pooled buffer (the
+  /// allocation-free feed path); returns false when the pipeline is
+  /// saturated (or already finished) and the slot was dropped — the buffer
+  /// goes straight back to the pool either way.  The drop reason is
+  /// recorded in pipeline.slots_dropped.{queue_full,finished}.
+  bool push_slot(BufferPool<IqBuffer>::Handle samples);
+
+  /// Copy-in convenience overload: moves `samples` into a pooled buffer.
   bool push_slot(IqBuffer samples);
 
   /// Next completed slot result, in slot order.  Blocks up to the queue;
@@ -92,16 +114,31 @@ class NrScopePipeline {
 
  private:
   struct Job {
-    std::uint64_t index;
-    IqBuffer samples;
+    std::uint64_t index = 0;
+    BufferPool<IqBuffer>::Handle samples;
+  };
+
+  /// One cell of the reorder ring between demod workers and the
+  /// collector; an engaged handle marks the cell occupied.
+  struct ReorderSlot {
+    std::uint64_t index = 0;
+    BufferPool<ResourceGrid>::Handle grid;
   };
 
   void demod_loop(unsigned worker_index);
   void collect_loop();
-  void deliver(SlotResult result);
+  void deliver(const SlotResult& result);
 
   std::unique_ptr<NrScope> engine_;
   OfdmConfig ofdm_config_;
+  unsigned n_prb_ = 0;
+
+  // Pools outlive every stage that borrows from them: they are declared
+  // before the queues / reorder ring that hold handles, and stop() joins
+  // all threads before any member is destroyed.
+  BufferPool<IqBuffer> sample_pool_;
+  BufferPool<ResourceGrid> grid_pool_;
+
   BoundedQueue<Job> input_;
   BoundedQueue<SlotResult> output_;
   std::vector<std::thread> demod_workers_;
@@ -110,10 +147,28 @@ class NrScopePipeline {
   mutable std::mutex sink_mutex_;
   std::vector<std::shared_ptr<SlotSink>> sinks_;
 
-  // Reorder buffer between demod workers and the collector.
+  // Pull-mode results that did not fit in output_ (nobody polling yet).
+  // The pre-refactor pipeline absorbed this back-pressure in an unbounded
+  // reorder map; the bounded ring cannot, so the collector parks finished
+  // results here instead of wedging the whole pipeline.  Collector-thread
+  // only; drained in order ahead of newer results and flushed (or
+  // discarded on stop()) at end of stream.  Unused in push mode.
+  std::deque<SlotResult> pull_overflow_;
+
+  // Reorder ring between demod workers and the collector.  Slot index i
+  // lives in cell i % size; the in-flight window (input queue + workers)
+  // is strictly smaller than the ring, so a worker whose cell is still
+  // occupied simply waits for the collector — bounded occupancy, no
+  // per-slot node allocation.
   std::mutex reorder_mutex_;
   std::condition_variable reorder_cv_;
-  std::map<std::uint64_t, ResourceGrid> reorder_;
+  std::vector<ReorderSlot> reorder_slots_;
+  std::size_t reorder_count_ = 0;
+  // The collector's next expected index.  Workers only park an index once
+  // it is inside [collect_upto_, collect_upto_ + ring size): every index in
+  // that window maps to a distinct cell, so a fast worker can never lap the
+  // ring and steal the cell of a slower worker's still-unparked slot.
+  std::uint64_t collect_upto_ = 0;
   bool demod_done_ = false;
   unsigned active_demods_ = 0;
 
@@ -132,6 +187,11 @@ class NrScopePipeline {
   Histogram* m_collect_us_ = nullptr;
   Histogram* m_output_wait_us_ = nullptr;
   Counter* m_sink_errors_ = nullptr;
+  // Heap-traffic gauges, published per slot when the shim is linked.
+  Gauge* m_alloc_allocs_ = nullptr;
+  Gauge* m_alloc_frees_ = nullptr;
+  Gauge* m_alloc_bytes_ = nullptr;
+  Gauge* m_alloc_per_slot_ = nullptr;
 };
 
 }  // namespace nrs

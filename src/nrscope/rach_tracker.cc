@@ -82,9 +82,21 @@ std::vector<NewUe> RachTracker::process_slot(const ResourceGrid& grid,
                                              const SlotPoint& slot,
                                              std::uint64_t slot_index,
                                              std::vector<DecodedDci>& decoded) {
+  thread_local PdcchScratch t_scratch;
   std::vector<NewUe> new_ues;
+  process_slot(grid, slot, slot_index, t_scratch, decoded, new_ues);
+  return new_ues;
+}
+
+void RachTracker::process_slot(const ResourceGrid& grid,
+                               const SlotPoint& slot,
+                               std::uint64_t slot_index,
+                               PdcchScratch& scratch,
+                               std::vector<DecodedDci>& decoded,
+                               std::vector<NewUe>& new_ues) {
+  const std::size_t new_ues_before = new_ues.size();
   if (cell_.coreset.n_prb == 0) {
-    return new_ues;
+    return;
   }
 
   // Prune TC-RNTIs whose MSG4 never showed up (failed RACHes); a stale
@@ -100,26 +112,27 @@ std::vector<NewUe> RachTracker::process_slot(const ResourceGrid& grid,
   // behind PDCCH capacity), so scan back a full PRACH period as well.
   const std::uint64_t lookback = std::max<std::uint64_t>(
       cell_.rach.ra_response_window, cell_.rach.prach_period_slots);
-  std::vector<Rnti> ra_rntis;
+  ra_rntis_.clear();
   for (std::uint64_t back = 0; back <= lookback; ++back) {
     if (slot_index < back) {
       break;
     }
     const std::uint64_t occasion = slot_index - back;
     if (is_prach_occasion(cell_.rach, occasion)) {
-      ra_rntis.push_back(ra_rnti_for_slot(cell_.rach, occasion));
+      ra_rntis_.push_back(ra_rnti_for_slot(cell_.rach, occasion));
     }
   }
 
   for (unsigned level : cell_.common_ss.agg_levels) {
-    for (unsigned cce :
-         pdcch_candidates(cell_.coreset, cell_.common_ss, level, slot, 0)) {
+    pdcch_candidates(cell_.coreset, cell_.common_ss, level, slot, 0,
+                     scratch.cand_cces);
+    for (unsigned cce : scratch.cand_cces) {
       // 1) MSG2: RA-RNTI-masked DCIs (computable without any secret).
       bool matched = false;
-      for (Rnti ra : ra_rntis) {
+      for (Rnti ra : ra_rntis_) {
         const auto result = decode_pdcch_candidate(
             cell_.coreset, level, cce, DciFormat::kDl1_0, cell_.n_prb, slot,
-            grid, ra);
+            grid, ra, scratch);
         if (!result) {
           continue;
         }
@@ -159,7 +172,7 @@ std::vector<NewUe> RachTracker::process_slot(const ResourceGrid& grid,
         for (auto it = pending_tc_.begin(); it != pending_tc_.end(); ++it) {
           const auto result = decode_pdcch_candidate(
               cell_.coreset, level, cce, DciFormat::kDl1_0, cell_.n_prb,
-              slot, grid, it->first);
+              slot, grid, it->first, scratch);
           if (!result) {
             continue;
           }
@@ -188,7 +201,7 @@ std::vector<NewUe> RachTracker::process_slot(const ResourceGrid& grid,
       if (config_.mode == RachTrackMode::kXorRecovery) {
         const auto rec = recover_rnti_from_candidate(
             cell_.coreset, level, cce, DciFormat::kDl1_0, cell_.n_prb, slot,
-            grid);
+            grid, scratch);
         if (!rec) {
           continue;
         }
@@ -214,10 +227,9 @@ std::vector<NewUe> RachTracker::process_slot(const ResourceGrid& grid,
       }
     }
   }
-  if (metric_crnti_ != nullptr && !new_ues.empty()) {
-    metric_crnti_->inc(new_ues.size());
+  if (metric_crnti_ != nullptr && new_ues.size() > new_ues_before) {
+    metric_crnti_->inc(new_ues.size() - new_ues_before);
   }
-  return new_ues;
 }
 
 }  // namespace nrs

@@ -71,6 +71,14 @@ class RachTracker {
                                   std::uint64_t slot_index,
                                   std::vector<DecodedDci>& decoded);
 
+  /// Allocation-free variant (the steady-state no-RACH path performs no
+  /// heap allocation): completed associations are appended to `new_ues`
+  /// and all intermediate buffers live in `scratch` or the tracker.
+  void process_slot(const ResourceGrid& grid, const SlotPoint& slot,
+                    std::uint64_t slot_index, PdcchScratch& scratch,
+                    std::vector<DecodedDci>& decoded,
+                    std::vector<NewUe>& new_ues);
+
   [[nodiscard]] const std::optional<RrcSetup>& cached_rrc() const {
     return cached_rrc_;
   }
@@ -98,6 +106,7 @@ class RachTracker {
   RachTrackerConfig config_;
   CellConfig cell_;
   std::map<Rnti, std::uint64_t> pending_tc_;  ///< TC-RNTI -> MSG2 slot
+  std::vector<Rnti> ra_rntis_;  ///< per-slot scratch, reused across slots
   std::optional<RrcSetup> cached_rrc_;
   std::uint64_t msg2_decoded_ = 0;
   std::uint64_t msg4_decoded_ = 0;

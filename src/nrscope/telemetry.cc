@@ -6,16 +6,30 @@ namespace nrs {
 
 void RateWindow::add(std::uint64_t slot, std::uint64_t bits) {
   // Evict relative to the newest sample so the const queries never have to
-  // mutate; the deque is bounded by the window regardless of query pattern.
+  // mutate; the ring is bounded by the window regardless of query pattern.
   const std::uint64_t begin =
       slot >= window_slots_ ? slot - window_slots_ : 0;
-  while (!samples_.empty() && samples_.front().first < begin) {
-    samples_.pop_front();
+  while (count_ > 0 && ring_[head_].first < begin) {
+    head_ = (head_ + 1) % ring_.size();
+    --count_;
     if (evictions_ != nullptr) {
       evictions_->inc();
     }
   }
-  samples_.emplace_back(slot, bits);
+  if (count_ == ring_.size()) {
+    // Grow-and-linearize; only happens while the ring is still warming up
+    // to the window's worst-case sample count.
+    std::vector<std::pair<std::uint64_t, std::uint64_t>> bigger;
+    bigger.reserve(std::max<std::size_t>(16, 2 * ring_.size()));
+    for (std::size_t i = 0; i < count_; ++i) {
+      bigger.push_back(ring_[(head_ + i) % ring_.size()]);
+    }
+    bigger.resize(bigger.capacity());
+    ring_ = std::move(bigger);
+    head_ = 0;
+  }
+  ring_[(head_ + count_) % ring_.size()] = {slot, bits};
+  ++count_;
   total_bits_ += bits;
 }
 
@@ -24,7 +38,8 @@ double RateWindow::rate_bps(std::uint64_t now_slot,
   const std::uint64_t begin =
       now_slot >= window_slots_ ? now_slot - window_slots_ : 0;
   std::uint64_t bits = 0;
-  for (const auto& [slot, b] : samples_) {
+  for (std::size_t i = 0; i < count_; ++i) {
+    const auto& [slot, b] = ring_[(head_ + i) % ring_.size()];
     if (slot >= begin && slot < now_slot) {
       bits += b;
     }
@@ -80,6 +95,7 @@ void CellTelemetry::add_ue(Rnti rnti, std::uint64_t slot) {
 }
 
 void CellTelemetry::remove_ue(Rnti rnti) {
+  last_spare_bps_.erase(rnti);
   if (ues_.erase(rnti) > 0 && ue_removed_ != nullptr) {
     ue_removed_->inc();
   }
@@ -98,28 +114,44 @@ const UeTelemetry* CellTelemetry::find(Rnti rnti) const {
 void CellTelemetry::observe_slot(std::uint64_t slot,
                                  std::vector<DecodedDci>& dcis,
                                  unsigned data_res_total, bool keep_history) {
-  SlotCapacity cap;
-  cap.slot = slot;
-  cap.data_res_total = data_res_total;
+  // The per-RNTI capacity maps only feed the history consumer; skip their
+  // node churn entirely when no history is kept (the steady-state sniffer
+  // path, which must stay allocation-free).
+  SlotCapacity* cap = nullptr;
+  if (keep_history) {
+    cap = &history_.emplace_back();
+    cap->slot = slot;
+    cap->data_res_total = data_res_total;
+  }
 
+  unsigned data_res_used = 0;
   for (auto& dci : dcis) {
     ensure_ue(dci.rnti, slot).observe(dci);
     if (is_downlink(dci.dci.format)) {
       const unsigned res =
           dci.grant.prb_len * kSubcarriersPerPrb * (dci.grant.n_symbols - 1);
-      cap.data_res_used += res;
-      cap.used_res[dci.rnti] += res;
+      data_res_used += res;
+      if (cap != nullptr) {
+        cap->used_res[dci.rnti] += res;
+      }
     }
+  }
+  if (cap != nullptr) {
+    cap->data_res_used = data_res_used;
   }
 
   // Fair-share spare capacity: unused REs split evenly across active UEs,
   // converted with each UE's own spectral efficiency (section 5.4.1: "the
   // calculated spare bit rates are different because two UEs have
-  // different modulation and coding rates in the same TTI").
-  last_spare_bps_.clear();
-  if (data_res_total > cap.data_res_used && !ues_.empty()) {
+  // different modulation and coding rates in the same TTI").  Stale
+  // entries are zeroed in place rather than erased, so the map's nodes
+  // are reused slot over slot (remove_ue erases for departed UEs).
+  for (auto& [rnti, bps] : last_spare_bps_) {
+    bps = 0.0;
+  }
+  if (data_res_total > data_res_used && !ues_.empty()) {
     const double spare =
-        static_cast<double>(data_res_total - cap.data_res_used);
+        static_cast<double>(data_res_total - data_res_used);
     const double share = spare / static_cast<double>(ues_.size());
     last_spare_res_per_ue_ = share;
     const double slot_s = slot_duration_s(scs_);
@@ -128,14 +160,12 @@ void CellTelemetry::observe_slot(std::uint64_t slot,
                                                     : 2.0 * 0.3;
       const double bps = share * eff / slot_s;
       last_spare_bps_[rnti] = bps;
-      cap.spare_bps[rnti] = bps;
+      if (cap != nullptr) {
+        cap->spare_bps[rnti] = bps;
+      }
     }
   } else {
     last_spare_res_per_ue_ = 0.0;
-  }
-
-  if (keep_history) {
-    history_.push_back(std::move(cap));
   }
 }
 

@@ -6,8 +6,8 @@
 #pragma once
 
 #include <cstdint>
-#include <deque>
 #include <map>
+#include <utility>
 #include <vector>
 
 #include "common/metrics.h"
@@ -34,6 +34,11 @@ struct DecodedDci {
 /// Sliding-window throughput estimator over (slot, bits) samples.
 /// Eviction happens on `add` (relative to the newest sample), so all the
 /// const queries are genuinely read-only.
+///
+/// Samples live in a grow-only ring buffer (hot-path memory discipline,
+/// DESIGN.md): once the ring has grown to the slot window's worst-case
+/// sample count, `add` is allocation-free — unlike the deque it replaces,
+/// which allocated a chunk every few hundred samples forever.
 class RateWindow {
  public:
   explicit RateWindow(std::uint64_t window_slots = 1000,
@@ -50,7 +55,9 @@ class RateWindow {
 
  private:
   std::uint64_t window_slots_;
-  std::deque<std::pair<std::uint64_t, std::uint64_t>> samples_;
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> ring_;
+  std::size_t head_ = 0;   ///< index of the oldest sample
+  std::size_t count_ = 0;  ///< live samples in the ring
   std::uint64_t total_bits_ = 0;
   Counter* evictions_;  ///< optional telemetry.window_evictions hookup
 };

@@ -30,65 +30,76 @@ unsigned bin_for_subcarrier(const OfdmConfig& cfg, unsigned sc) {
 }  // namespace
 
 OfdmModulator::OfdmModulator(OfdmConfig config)
-    : config_(config), fft_(config.fft_size) {
+    : config_(config), fft_(config.fft_size), freq_(config.fft_size) {
   if (config_.n_subcarriers() + 2 > config_.fft_size) {
     throw std::invalid_argument("OfdmModulator: FFT too small for PRBs");
   }
 }
 
-IqBuffer OfdmModulator::modulate(const ResourceGrid& grid) const {
+void OfdmModulator::modulate_into(const ResourceGrid& grid, IqBuffer& out) {
   if (grid.n_prb() != config_.n_prb) {
     throw std::invalid_argument("OfdmModulator: grid PRB mismatch");
   }
-  IqBuffer out(config_.samples_per_slot());
-  std::vector<cf32> freq(config_.fft_size);
+  out.resize(config_.samples_per_slot());
   for (unsigned sym = 0; sym < grid.n_symbols(); ++sym) {
-    std::fill(freq.begin(), freq.end(), cf32{});
+    std::fill(freq_.begin(), freq_.end(), cf32{});
     const auto row = grid.symbol(sym);
     for (unsigned sc = 0; sc < config_.n_subcarriers(); ++sc) {
-      freq[bin_for_subcarrier(config_, sc)] = row[sc];
+      freq_[bin_for_subcarrier(config_, sc)] = row[sc];
     }
-    fft_.inverse(freq);
+    fft_.inverse(freq_);
     cf32* dst = out.data() +
                 static_cast<std::size_t>(sym) * config_.samples_per_symbol();
     // Cyclic prefix: last cp_len time samples, then the symbol body.
     for (unsigned i = 0; i < config_.cp_len; ++i) {
-      dst[i] = freq[config_.fft_size - config_.cp_len + i];
+      dst[i] = freq_[config_.fft_size - config_.cp_len + i];
     }
     for (unsigned i = 0; i < config_.fft_size; ++i) {
-      dst[config_.cp_len + i] = freq[i];
+      dst[config_.cp_len + i] = freq_[i];
     }
   }
+}
+
+IqBuffer OfdmModulator::modulate(const ResourceGrid& grid) {
+  IqBuffer out;
+  modulate_into(grid, out);
   return out;
 }
 
 OfdmDemodulator::OfdmDemodulator(OfdmConfig config)
-    : config_(config), fft_(config.fft_size) {
+    : config_(config), fft_(config.fft_size), freq_(config.fft_size) {
   if (config_.n_subcarriers() + 2 > config_.fft_size) {
     throw std::invalid_argument("OfdmDemodulator: FFT too small for PRBs");
   }
 }
 
-ResourceGrid OfdmDemodulator::demodulate(std::span<const cf32> samples) const {
+void OfdmDemodulator::demodulate_into(std::span<const cf32> samples,
+                                      ResourceGrid& grid) {
   if (samples.size() < config_.samples_per_slot()) {
     throw std::invalid_argument("OfdmDemodulator: short slot buffer");
   }
-  ResourceGrid grid(config_.n_prb);
-  std::vector<cf32> freq(config_.fft_size);
+  if (grid.n_prb() != config_.n_prb) {
+    throw std::invalid_argument("OfdmDemodulator: grid PRB mismatch");
+  }
   for (unsigned sym = 0; sym < kSymbolsPerSlot; ++sym) {
     const cf32* src =
         samples.data() +
         static_cast<std::size_t>(sym) * config_.samples_per_symbol() +
         config_.cp_len;
-    std::copy(src, src + config_.fft_size, freq.begin());
-    fft_.forward(freq);
+    std::copy(src, src + config_.fft_size, freq_.begin());
+    fft_.forward(freq_);
     // IFFT/FFT round trip leaves a factor of 1 (inverse normalizes); copy
     // the occupied bins back out.
     auto row = grid.symbol(sym);
     for (unsigned sc = 0; sc < config_.n_subcarriers(); ++sc) {
-      row[sc] = freq[bin_for_subcarrier(config_, sc)];
+      row[sc] = freq_[bin_for_subcarrier(config_, sc)];
     }
   }
+}
+
+ResourceGrid OfdmDemodulator::demodulate(std::span<const cf32> samples) {
+  ResourceGrid grid(config_.n_prb);
+  demodulate_into(samples, grid);
   return grid;
 }
 

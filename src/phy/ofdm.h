@@ -33,33 +33,49 @@ OfdmConfig make_ofdm_config(unsigned n_prb);
 
 /// Grid -> time samples: subcarriers are centered around DC, IFFT per
 /// symbol, cyclic prefix prepended.
+///
+/// The per-symbol frequency-domain staging buffer is a persistent member
+/// sized at construction (hot-path memory discipline, DESIGN.md), so a
+/// modulator is NOT safe to share between threads; give each thread its
+/// own instance (the pipeline's demod workers already do).
 class OfdmModulator {
  public:
   explicit OfdmModulator(OfdmConfig config);
 
   /// Modulate a full slot; output has config().samples_per_slot() samples.
-  [[nodiscard]] IqBuffer modulate(const ResourceGrid& grid) const;
+  [[nodiscard]] IqBuffer modulate(const ResourceGrid& grid);
+
+  /// Allocation-free variant: `out` is resized to samples_per_slot()
+  /// (a no-op reuse when its capacity already covers a slot).
+  void modulate_into(const ResourceGrid& grid, IqBuffer& out);
 
   [[nodiscard]] const OfdmConfig& config() const { return config_; }
 
  private:
   OfdmConfig config_;
   Fft fft_;
+  std::vector<cf32> freq_;  ///< per-symbol staging, reused across slots
 };
 
-/// Time samples -> grid: CP removal and forward FFT per symbol.
+/// Time samples -> grid: CP removal and forward FFT per symbol.  Same
+/// threading rule as OfdmModulator: one instance per thread.
 class OfdmDemodulator {
  public:
   explicit OfdmDemodulator(OfdmConfig config);
 
   /// Demodulate one slot of samples into a grid.
-  [[nodiscard]] ResourceGrid demodulate(std::span<const cf32> samples) const;
+  [[nodiscard]] ResourceGrid demodulate(std::span<const cf32> samples);
+
+  /// Allocation-free variant reusing a caller grid (its PRB count must
+  /// match the configuration); every RE is overwritten.
+  void demodulate_into(std::span<const cf32> samples, ResourceGrid& grid);
 
   [[nodiscard]] const OfdmConfig& config() const { return config_; }
 
  private:
   OfdmConfig config_;
   Fft fft_;
+  std::vector<cf32> freq_;  ///< per-symbol staging, reused across slots
 };
 
 }  // namespace nrs

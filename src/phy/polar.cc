@@ -110,35 +110,35 @@ BitVector PolarCode::encode(std::span<const std::uint8_t> info) const {
   return out;
 }
 
+void PolarScratch::prepare(std::size_t n) {
+  // Grow-only: a scratch shared across (K, E) instances keeps the largest
+  // geometry's capacity.  The offsets depend on n, so recompute them into
+  // the retained vector (its capacity covers log2(kMaxN)+1 levels after
+  // the first call).
+  if (mother.size() < n) {
+    mother.resize(n);
+    u.resize(n);
+  }
+  if (llr.size() < 2 * n) {
+    llr.resize(2 * n);
+    x.resize(2 * n);
+  }
+  offset.clear();
+  std::size_t off = 0;
+  for (std::size_t len = n; len >= 1; len >>= 1) {
+    offset.push_back(off);
+    off += len;
+  }
+}
+
 namespace {
 
-/// Allocation-free successive-cancellation decoder workspace: level l of
-/// the decode tree uses a slice of size N >> l; slices for all levels fit
-/// in 2N entries.  Hot path — one decode per PDCCH candidate per UE per
-/// TTI (paper Fig. 12 profiles exactly this loop).
-struct ScWorkspace {
-  std::vector<float> llr;      // 2N floats, sliced per level
-  std::vector<std::uint8_t> x; // 2N partial-sum bits, sliced per level
-  std::vector<std::size_t> offset;
-
-  void resize(std::size_t n) {
-    llr.assign(2 * n, 0.0f);
-    x.assign(2 * n, 0);
-    offset.clear();
-    std::size_t off = 0;
-    for (std::size_t len = n; len >= 1; len >>= 1) {
-      offset.push_back(off);
-      off += len;
-    }
-  }
-};
-
-thread_local ScWorkspace t_workspace;
+thread_local PolarScratch t_scratch;
 
 /// Recursive SC over the flat workspace.  `level`'s LLR slice is already
 /// filled; decided codeword bits land in `level`'s x slice, input bits in
 /// `u` (indexed from `base`).
-void sc_decode(ScWorkspace& ws, std::size_t n, std::size_t level,
+void sc_decode(PolarScratch& ws, std::size_t n, std::size_t level,
                std::size_t base, std::span<std::uint8_t> u,
                const std::vector<std::uint8_t>& is_info) {
   float* llr = ws.llr.data() + ws.offset[level];
@@ -176,13 +176,19 @@ void sc_decode(ScWorkspace& ws, std::size_t n, std::size_t level,
 
 }  // namespace
 
-BitVector PolarCode::decode(std::span<const float> llrs) const {
+void PolarCode::decode(std::span<const float> llrs, PolarScratch& scratch,
+                       std::span<std::uint8_t> info_out) const {
   if (llrs.size() != e_) {
     throw std::invalid_argument("PolarCode::decode: wrong LLR length");
   }
+  if (info_out.size() != k_) {
+    throw std::invalid_argument("PolarCode::decode: wrong output length");
+  }
+  scratch.prepare(n_);
   // Rate dematching into mother-code LLRs.
-  std::vector<float> mother(n_, 0.0f);
+  float* mother = scratch.mother.data();
   if (e_ >= n_) {
+    std::fill(mother, mother + n_, 0.0f);
     for (unsigned i = 0; i < e_; ++i) {
       mother[i % n_] += llrs[i];  // combine repetitions
     }
@@ -194,25 +200,17 @@ BitVector PolarCode::decode(std::span<const float> llrs) const {
       mother[i] = kKnownZeroLlr;  // shortened bits are known zero
     }
   }
-  ScWorkspace& ws = t_workspace;
-  if (ws.llr.size() < 2 * n_) {
-    ws.resize(n_);
-  } else {
-    // Reuse the buffers; only the offsets depend on n.
-    ws.offset.clear();
-    std::size_t off = 0;
-    for (std::size_t len = n_; len >= 1; len >>= 1) {
-      ws.offset.push_back(off);
-      off += len;
-    }
-  }
-  std::copy(mother.begin(), mother.end(), ws.llr.begin());
-  std::vector<std::uint8_t> u(n_);
-  sc_decode(ws, n_, 0, 0, u, is_info_);
-  BitVector info(k_);
+  std::copy(mother, mother + n_, scratch.llr.begin());
+  const std::span<std::uint8_t> u(scratch.u.data(), n_);
+  sc_decode(scratch, n_, 0, 0, u, is_info_);
   for (unsigned i = 0; i < k_; ++i) {
-    info[i] = u[info_set_[i]];
+    info_out[i] = u[info_set_[i]];
   }
+}
+
+BitVector PolarCode::decode(std::span<const float> llrs) const {
+  BitVector info(k_);
+  decode(llrs, t_scratch, std::span(info.data(), info.size()));
   return info;
 }
 

@@ -22,6 +22,23 @@
 
 namespace nrs {
 
+/// Reusable successive-cancellation decoder workspace (hot-path memory
+/// discipline, DESIGN.md): level l of the decode tree uses a slice of size
+/// N >> l; slices for all levels fit in 2N entries.  One decode runs per
+/// PDCCH candidate per TTI (paper Fig. 12 profiles exactly this loop), so
+/// the buffers grow once to the largest mother code seen and are then
+/// reused allocation-free.  A scratch belongs to one thread at a time.
+struct PolarScratch {
+  std::vector<float> mother;    ///< N rate-dematched LLRs
+  std::vector<std::uint8_t> u;  ///< N decided input bits
+  std::vector<float> llr;       ///< 2N floats, sliced per tree level
+  std::vector<std::uint8_t> x;  ///< 2N partial-sum bits, sliced per level
+  std::vector<std::size_t> offset;  ///< per-level slice offsets
+
+  /// Size every buffer for mother code n (grow-only; recomputes offsets).
+  void prepare(std::size_t n);
+};
+
 /// A (K, E) polar code instance: K information bits (payload + CRC already
 /// attached by the caller) carried over E transmitted bits.
 class PolarCode {
@@ -38,6 +55,11 @@ class PolarCode {
   /// (positive = bit 0).  Always returns K bits; the caller validates them
   /// with the attached CRC — a failed CRC is a "DCI miss" upstream.
   [[nodiscard]] BitVector decode(std::span<const float> llrs) const;
+
+  /// Allocation-free decode: identical bits to the overload above, written
+  /// into `info_out` (size exactly K) using the caller's workspace.
+  void decode(std::span<const float> llrs, PolarScratch& scratch,
+              std::span<std::uint8_t> info_out) const;
 
   [[nodiscard]] unsigned k() const { return k_; }
   [[nodiscard]] unsigned e() const { return e_; }

@@ -17,20 +17,25 @@ VirtualRadio::VirtualRadio(const VirtualRadioConfig& config)
 }
 
 IqBuffer VirtualRadio::capture(const ResourceGrid& tx_grid) {
-  IqBuffer samples = modulator_.modulate(tx_grid);
-  channel_.apply(samples);
+  IqBuffer samples;
+  capture_into(tx_grid, samples);
+  return samples;
+}
+
+void VirtualRadio::capture_into(const ResourceGrid& tx_grid, IqBuffer& out) {
+  modulator_.modulate_into(tx_grid, out);
+  channel_.apply(out);
   if (upsampler_) {
     // Capture at the off-nominal rate, then resample back like the paper's
     // TwinRX path (section 4, footnote 5).
-    samples = downsampler_->process(upsampler_->process(samples));
+    out = downsampler_->process(upsampler_->process(out));
     // Pad the resampler's group-delay shortfall with trailing zeros so a
     // slot stays a slot.
-    samples.resize(modulator_.config().samples_per_slot(), cf32{});
+    out.resize(modulator_.config().samples_per_slot(), cf32{});
   }
   if (config_.enable_agc) {
-    agc_.process(samples);
+    agc_.process(out);
   }
-  return samples;
 }
 
 void IqRecorder::record(const IqBuffer& slot_samples) {

@@ -34,6 +34,13 @@ class VirtualRadio {
   /// One slot: grid -> IQ -> channel -> (resample) -> (AGC).
   IqBuffer capture(const ResourceGrid& tx_grid);
 
+  /// Same, writing into a caller-owned buffer (resized to one slot).  The
+  /// nominal-rate path reuses `out`'s capacity and allocates nothing in
+  /// steady state; the off-nominal resampling path still allocates inside
+  /// the resamplers.  Feeders pair this with
+  /// NrScopePipeline::acquire_samples() for the zero-allocation hot path.
+  void capture_into(const ResourceGrid& tx_grid, IqBuffer& out);
+
   /// Current sniffer-side channel (for SNR sweeps in the coverage bench).
   [[nodiscard]] ChannelModel& channel() { return channel_; }
   [[nodiscard]] const OfdmConfig& ofdm_config() const {

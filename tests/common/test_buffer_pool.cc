@@ -1,0 +1,125 @@
+// Tests of the BufferPool recycling behaviour underpinning the zero-
+// allocation slot path (DESIGN.md "Hot-path memory discipline").
+#include "common/buffer_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <utility>
+#include <vector>
+
+namespace nrs {
+namespace {
+
+struct Probe {
+  explicit Probe(int tag = 0) : tag(tag) { ++constructed; }
+  int tag;
+  static int constructed;
+};
+int Probe::constructed = 0;
+
+TEST(BufferPool, AcquireConstructsWhenDry) {
+  Probe::constructed = 0;
+  BufferPool<Probe> pool;
+  auto a = pool.acquire(7);
+  EXPECT_EQ(a->tag, 7);
+  EXPECT_EQ(Probe::constructed, 1);
+  EXPECT_EQ(pool.created(), 1u);
+  EXPECT_EQ(pool.available(), 0u);
+}
+
+TEST(BufferPool, ReleasedObjectIsRecycledNotReconstructed) {
+  Probe::constructed = 0;
+  BufferPool<Probe> pool;
+  Probe* first = nullptr;
+  {
+    auto handle = pool.acquire(1);
+    first = handle.get();
+  }  // handle destructor returns the object
+  EXPECT_EQ(pool.available(), 1u);
+  auto again = pool.acquire(2);
+  EXPECT_EQ(again.get(), first);
+  // Recycled objects keep their old state; constructor args are ignored.
+  EXPECT_EQ(again->tag, 1);
+  EXPECT_EQ(Probe::constructed, 1);
+}
+
+TEST(BufferPool, ExhaustionGrowsInsteadOfFailing) {
+  Probe::constructed = 0;
+  BufferPool<Probe> pool;
+  std::vector<BufferPool<Probe>::Handle> live;
+  for (int i = 0; i < 8; ++i) {
+    live.push_back(pool.acquire(i));
+    EXPECT_TRUE(live.back());
+  }
+  EXPECT_EQ(Probe::constructed, 8);
+  EXPECT_EQ(pool.created(), 8u);
+  EXPECT_EQ(pool.available(), 0u);
+  live.clear();
+  EXPECT_EQ(pool.available(), 8u);
+  // The high-water mark is sticky: re-acquiring everything constructs
+  // nothing new.
+  for (int i = 0; i < 8; ++i) {
+    live.push_back(pool.acquire(99));
+  }
+  EXPECT_EQ(Probe::constructed, 8);
+  EXPECT_EQ(pool.created(), 8u);
+}
+
+TEST(BufferPool, WarmPrecreates) {
+  Probe::constructed = 0;
+  BufferPool<Probe> pool;
+  pool.warm(5, 3);
+  EXPECT_EQ(Probe::constructed, 5);
+  EXPECT_EQ(pool.created(), 5u);
+  EXPECT_EQ(pool.available(), 5u);
+  auto h = pool.acquire(42);
+  EXPECT_EQ(Probe::constructed, 5);  // served from the warm set
+  EXPECT_EQ(h->tag, 3);
+}
+
+TEST(BufferPool, HandleMoveTransfersOwnership) {
+  BufferPool<Probe> pool;
+  auto a = pool.acquire(1);
+  Probe* object = a.get();
+  auto b = std::move(a);
+  EXPECT_FALSE(a);  // NOLINT(bugprone-use-after-move): moved-from is empty
+  EXPECT_EQ(b.get(), object);
+  EXPECT_EQ(pool.available(), 0u);
+  b.release();
+  EXPECT_FALSE(b);
+  EXPECT_EQ(pool.available(), 1u);
+}
+
+TEST(BufferPool, MoveAssignReleasesPreviousObject) {
+  BufferPool<Probe> pool;
+  auto a = pool.acquire(1);
+  auto b = pool.acquire(2);
+  EXPECT_EQ(pool.created(), 2u);
+  b = std::move(a);
+  EXPECT_EQ(b->tag, 1);
+  EXPECT_EQ(pool.available(), 1u);  // the old object of b went back
+}
+
+TEST(BufferPool, ConcurrentAcquireReleaseKeepsAccounting) {
+  BufferPool<std::vector<int>> pool;
+  pool.warm(8, 16, 0);
+  std::vector<std::thread> threads;
+  threads.reserve(4);
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&pool] {
+      for (int i = 0; i < 2000; ++i) {
+        auto h = pool.acquire(16, 0);
+        (*h)[i % 16] = i;
+      }
+    });
+  }
+  for (auto& t : threads) {
+    t.join();
+  }
+  EXPECT_EQ(pool.available(), pool.created());
+  EXPECT_GE(pool.created(), 8u);
+}
+
+}  // namespace
+}  // namespace nrs

@@ -1,0 +1,198 @@
+// Steady-state zero-allocation test (DESIGN.md "Hot-path memory
+// discipline"): after warm-up, the tracking slot path — engine and full
+// pipeline, 4 UEs, dedupe on — must not touch the heap at all.
+//
+// This test lives in its own binary because it includes the counting
+// operator new/delete shim, which may appear in exactly one translation
+// unit per executable.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "common/alloc_shim.h"
+#include "gnb/gnb_sim.h"
+#include "gnb/presets.h"
+#include "nrscope/pipeline.h"
+#include "radio/virtual_radio.h"
+#include "ue/traffic.h"
+
+namespace nrs {
+namespace {
+
+constexpr unsigned kUes = 4;
+// A short telemetry rate window keeps the warm-up (which must span at
+// least one full window so the per-UE sample rings stop growing) cheap.
+constexpr std::uint64_t kRateWindow = 256;
+constexpr unsigned kMeasuredSlots = 400;
+
+struct Feed {
+  CellConfig cell;
+  std::vector<IqBuffer> history;  ///< power-on through tracking, 4 UEs
+  std::vector<IqBuffer> replay;   ///< one frame of steady-state slots
+};
+
+const Feed& feed() {
+  static const Feed f = [] {
+    Feed feed;
+    GnbConfig gnb_cfg;
+    gnb_cfg.cell = amarisoft_cell();
+    gnb_cfg.seed = 5;
+    feed.cell = gnb_cfg.cell;
+    GnbSim gnb(std::move(gnb_cfg));
+    for (unsigned i = 0; i < kUes; ++i) {
+      UeConfig ue;
+      ue.channel.snr_db = 24.0;
+      ue.dl_traffic = std::make_unique<CbrSource>(2e6);
+      ue.seed = i + 1;
+      gnb.add_ue(std::move(ue));
+    }
+    VirtualRadioConfig radio_cfg;
+    radio_cfg.n_prb = feed.cell.n_prb;
+    radio_cfg.channel.snr_db = 28.0;
+    VirtualRadio radio(radio_cfg);
+
+    NrScopeConfig probe_cfg;
+    probe_cfg.n_prb = feed.cell.n_prb;
+    probe_cfg.scs = feed.cell.scs;
+    probe_cfg.rach.mode = RachTrackMode::kMsg2Assisted;
+    NrScope probe(probe_cfg);
+    const unsigned spf = slots_per_frame(feed.cell.scs);
+    for (unsigned i = 0; i < 4000; ++i) {
+      feed.history.push_back(radio.capture(gnb.step()));
+      (void)probe.process_slot(feed.history.back());
+      if (probe.state() == NrScope::State::kTracking &&
+          probe.known_ues().size() >= kUes &&
+          feed.history.size() % spf == 0) {
+        break;
+      }
+    }
+    EXPECT_EQ(probe.state(), NrScope::State::kTracking);
+    EXPECT_GE(probe.known_ues().size(), kUes);
+    // Frame-aligned cyclic window, so frame-phase-dependent sequences
+    // (DMRS, search-space hashing) line up on every replay pass.
+    for (unsigned i = 0; i < spf; ++i) {
+      feed.replay.push_back(radio.capture(gnb.step()));
+    }
+    return feed;
+  }();
+  return f;
+}
+
+NrScopeConfig scope_config(const CellConfig& cell) {
+  NrScopeConfig cfg;
+  cfg.n_prb = cell.n_prb;
+  cfg.scs = cell.scs;
+  cfg.dedupe_candidates = true;
+  cfg.rach.mode = RachTrackMode::kMsg2Assisted;
+  cfg.ue_inactivity_slots = 1u << 30;
+  cfg.rate_window_slots = kRateWindow;
+  return cfg;
+}
+
+// Warm-up long enough for every grow-only container to hit steady
+// capacity: one full telemetry rate window plus a few replay passes.
+std::uint64_t warm_extra_slots(std::size_t replay_len) {
+  return kRateWindow + 3 * replay_len;
+}
+
+TEST(AllocSteadyState, ShimIsCounting) {
+  nrs::alloc::reset();
+  {
+    auto p = std::make_unique<std::vector<int>>(512);
+    (*p)[0] = 1;
+  }
+  const auto totals = nrs::alloc::totals();
+  EXPECT_TRUE(nrs::alloc::hooks_active());
+  EXPECT_GE(totals.allocs, 1u);
+  EXPECT_GE(totals.frees, 1u);
+  EXPECT_GE(totals.bytes, 512u * sizeof(int));
+}
+
+TEST(AllocSteadyState, EngineSlotPathIsAllocationFree) {
+  const Feed& f = feed();
+  NrScope scope(scope_config(f.cell));
+  SlotResult result;
+  for (const auto& samples : f.history) {
+    scope.process_slot(samples, result);
+  }
+  const std::uint64_t warm = warm_extra_slots(f.replay.size());
+  for (std::uint64_t i = 0; i < warm; ++i) {
+    scope.process_slot(f.replay[i % f.replay.size()], result);
+  }
+  ASSERT_EQ(scope.state(), NrScope::State::kTracking);
+  ASSERT_GE(scope.known_ues().size(), kUes);
+
+  nrs::alloc::reset();
+  for (unsigned i = 0; i < kMeasuredSlots; ++i) {
+    scope.process_slot(f.replay[i % f.replay.size()], result);
+  }
+  const auto totals = nrs::alloc::totals();
+  EXPECT_TRUE(nrs::alloc::hooks_active());
+  EXPECT_EQ(totals.allocs, 0u)
+      << totals.bytes << " bytes over " << kMeasuredSlots << " slots";
+  EXPECT_EQ(totals.frees, 0u);
+}
+
+class CountingSink : public SlotSink {
+ public:
+  void on_slot(const SlotResult&) override {
+    delivered_.fetch_add(1, std::memory_order_release);
+  }
+  [[nodiscard]] std::uint64_t delivered() const {
+    return delivered_.load(std::memory_order_acquire);
+  }
+
+ private:
+  std::atomic<std::uint64_t> delivered_{0};
+};
+
+TEST(AllocSteadyState, PipelineSlotPathIsAllocationFree) {
+  const Feed& f = feed();
+  NrScopePipeline pipeline(scope_config(f.cell), /*n_demod_workers=*/2);
+  auto sink = std::make_shared<CountingSink>();
+  pipeline.add_sink(sink);
+
+  auto push_blocking = [&](const IqBuffer& samples) {
+    for (;;) {
+      auto handle = pipeline.acquire_samples();
+      handle->assign(samples.begin(), samples.end());
+      if (pipeline.push_slot(std::move(handle))) {
+        return;
+      }
+      std::this_thread::sleep_for(std::chrono::microseconds(50));
+    }
+  };
+  std::uint64_t fed = 0;
+  for (const auto& samples : f.history) {
+    push_blocking(samples);
+    ++fed;
+  }
+  const std::uint64_t warm = warm_extra_slots(f.replay.size());
+  for (std::uint64_t i = 0; i < warm; ++i) {
+    push_blocking(f.replay[i % f.replay.size()]);
+    ++fed;
+  }
+  while (sink->delivered() < fed) {
+    std::this_thread::sleep_for(std::chrono::microseconds(100));
+  }
+
+  nrs::alloc::reset();
+  for (unsigned i = 0; i < kMeasuredSlots; ++i) {
+    push_blocking(f.replay[i % f.replay.size()]);
+    ++fed;
+  }
+  while (sink->delivered() < fed) {
+    std::this_thread::sleep_for(std::chrono::microseconds(100));
+  }
+  const auto totals = nrs::alloc::totals();
+  EXPECT_TRUE(nrs::alloc::hooks_active());
+  EXPECT_EQ(totals.allocs, 0u)
+      << totals.bytes << " bytes over " << kMeasuredSlots << " slots";
+  EXPECT_EQ(totals.frees, 0u);
+}
+
+}  // namespace
+}  // namespace nrs

@@ -177,5 +177,59 @@ TEST(Polar, RepetitionGainIsReal) {
   EXPECT_LT(bler(1024, -2.0), bler(256, -2.0) + 0.01);
 }
 
+TEST(Polar, SpanOutDecodeMatchesAllocatingDecode) {
+  // The allocation-free overload must be bit-identical to the returning
+  // one, at clean and noisy SNR alike (including decodes that come out
+  // wrong — both paths must be wrong the same way).
+  Rng rng(77);
+  PolarScratch scratch;
+  for (const auto& [k, e] : {std::pair<unsigned, unsigned>{12, 48},
+                             {39, 108},
+                             {60, 216},
+                             {41, 300}}) {
+    const PolarCode code(k, e);
+    for (int trial = 0; trial < 20; ++trial) {
+      const BitVector info = random_bits(rng, k);
+      const BitVector coded = code.encode(info);
+      const double snr_db = (trial % 2 != 0) ? 1.0 : 8.0;
+      const auto llrs = to_noisy_llrs(coded, snr_db, rng);
+      const BitVector expected = code.decode(llrs);
+      BitVector out(k);
+      code.decode(llrs, scratch, out);
+      EXPECT_EQ(out, expected) << "k=" << k << " e=" << e << " t=" << trial;
+    }
+  }
+}
+
+TEST(Polar, SpanOutDecodeScratchSurvivesSizeChanges) {
+  // One scratch serves interleaved mother-code sizes (the per-worker
+  // PdcchScratch hops between aggregation levels exactly like this).
+  Rng rng(31);
+  PolarScratch scratch;
+  const PolarCode small(20, 56);
+  const PolarCode large(64, 432);
+  for (int trial = 0; trial < 10; ++trial) {
+    for (const PolarCode* code : {&small, &large, &small}) {
+      const BitVector info = random_bits(rng, code->k());
+      const BitVector coded = code->encode(info);
+      std::vector<float> llrs(coded.size());
+      for (std::size_t i = 0; i < coded.size(); ++i) {
+        llrs[i] = coded[i] ? -10.0f : 10.0f;
+      }
+      BitVector out(code->k());
+      code->decode(llrs, scratch, out);
+      EXPECT_EQ(out, info);
+    }
+  }
+}
+
+TEST(Polar, SpanOutDecodeWrongOutputLengthThrows) {
+  const PolarCode code(52, 108);
+  PolarScratch scratch;
+  std::vector<float> llrs(108, 1.0f);
+  BitVector out(51);
+  EXPECT_THROW(code.decode(llrs, scratch, out), std::invalid_argument);
+}
+
 }  // namespace
 }  // namespace nrs
