@@ -9,8 +9,16 @@
 // seconds, and a MetricsCsvSink leaves a per-stage timing record in
 // cell_monitor_metrics.csv.
 //
+// --fault injects one mid-run impairment and lets the sniffer heal in
+// place (DESIGN.md "Failure model and recovery"): outage and cfo script a
+// FaultSchedule into the virtual radio, restart rebuilds the gNB under a
+// new PCI.  The final line reports the sync-loss/resync statistics.
+//
 // Run:  ./build/examples/cell_monitor
+//       ./build/examples/cell_monitor --fault outage
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 #include <memory>
 #include <set>
 
@@ -85,26 +93,54 @@ class MonitorSink : public SlotSink {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  std::string fault;
+  constexpr std::uint64_t kFaultSlot = 20000;  // 10 s in: cell is warm
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--fault") == 0 && i + 1 < argc) {
+      fault = argv[++i];
+    } else {
+      std::fprintf(stderr,
+                   "usage: cell_monitor [--fault outage|cfo|restart]\n");
+      return std::strcmp(argv[i], "--help") == 0 ? 0 : 1;
+    }
+  }
+
   GnbConfig gnb_config;
   gnb_config.cell = tmobile_cell1();
   gnb_config.seed = 9;
-  GnbSim gnb(std::move(gnb_config));
+  auto gnb = std::make_unique<GnbSim>(std::move(gnb_config));
+  const CellConfig monitored_cell = gnb->cell();
 
   VirtualRadioConfig radio_config;
-  radio_config.n_prb = gnb.cell().n_prb;
+  radio_config.n_prb = monitored_cell.n_prb;
   radio_config.channel.snr_db = 21.0;
   radio_config.channel.profile = ChannelProfile::kPedestrian;
+  if (fault == "outage") {
+    radio_config.faults.events.push_back(
+        {FaultKind::kOutage, kFaultSlot, 150, 35.0});
+  } else if (fault == "cfo") {
+    radio_config.faults.events.push_back(
+        {FaultKind::kCfoStep, kFaultSlot, 200, 22500.0});
+  } else if (!fault.empty() && fault != "restart") {
+    std::fprintf(stderr, "unknown --fault '%s' (outage, cfo, restart)\n",
+                 fault.c_str());
+    return 1;
+  }
   VirtualRadio radio(radio_config);
+  if (!fault.empty()) {
+    std::printf("injecting a %s at slot %llu\n", fault.c_str(),
+                static_cast<unsigned long long>(kFaultSlot));
+  }
 
   NrScopeConfig scope_config;
-  scope_config.n_prb = gnb.cell().n_prb;
-  scope_config.scs = gnb.cell().scs;
+  scope_config.n_prb = monitored_cell.n_prb;
+  scope_config.scs = monitored_cell.scs;
   scope_config.n_dci_threads = 2;
   scope_config.ue_inactivity_slots = 1500;  // 1.5 s idle -> departed
   NrScopePipeline pipeline(scope_config, /*n_demod_workers=*/2);
 
-  const double slot_s = slot_duration_s(gnb.cell().scs);
+  const double slot_s = slot_duration_s(monitored_cell.scs);
   auto monitor = std::make_shared<MonitorSink>(pipeline, slot_s,
                                                /*report_every_slots=*/3000);
   pipeline.add_sink(monitor);
@@ -126,11 +162,25 @@ int main() {
   std::vector<std::pair<double, unsigned>> departures;
 
   std::printf("monitoring %s for %.0f s (compressed churn)\n",
-              gnb.cell().name.c_str(), churn.duration_s);
+              monitored_cell.name.c_str(), churn.duration_s);
   std::printf("%8s %9s %9s %12s %10s\n", "t (s)", "distinct", "active",
               "cell Mbps", "retx %");
   for (unsigned slot = 0; slot < n_slots; ++slot) {
     const double now = slot * slot_s;
+    if (fault == "restart" && slot == kFaultSlot) {
+      // The gNB restarts under a new PCI: the sniffer's sync collapses,
+      // it resyncs, notices the PCI change, flushes and re-locks — no
+      // process restart, no pipeline teardown.
+      GnbConfig restarted;
+      restarted.cell = monitored_cell;
+      restarted.cell.pci = static_cast<std::uint16_t>(
+          (monitored_cell.pci + 7) % 1008);
+      restarted.cell.coreset.shift = restarted.cell.pci;
+      restarted.cell.coreset.n_id = restarted.cell.pci;
+      restarted.seed = 10;
+      gnb = std::make_unique<GnbSim>(std::move(restarted));
+      departures.clear();  // old UE ids died with the old gNB
+    }
     while (next_arrival < sessions.size() &&
            sessions[next_arrival].arrival_s <= now) {
       UeConfig ue;
@@ -140,18 +190,18 @@ int main() {
       ue.dl_traffic = std::make_unique<PoissonSource>(
           60.0, 1200, 300 + next_arrival);
       ue.seed = next_arrival + 1;
-      const unsigned id = gnb.add_ue(std::move(ue));
+      const unsigned id = gnb->add_ue(std::move(ue));
       departures.emplace_back(sessions[next_arrival].departure_s, id);
       ++next_arrival;
     }
     for (auto& [t, id] : departures) {
       if (t > 0 && t <= now) {
-        gnb.remove_ue(id);
+        gnb->remove_ue(id);
         t = -1.0;
       }
     }
 
-    const ResourceGrid& grid = gnb.step();
+    const ResourceGrid& grid = gnb->step();
     // Feed the pipeline at the radio's pace; a saturated queue sheds the
     // slot, and the reason lands in the pipeline.slots_dropped.* metrics.
     (void)pipeline.push_slot(radio.capture(grid));
@@ -163,6 +213,15 @@ int main() {
 
   std::printf("saw %zu distinct UEs; churn truth started %zu sessions\n",
               monitor->distinct_ues(), next_arrival);
+  const SyncMonitor& sync = pipeline.engine().sync_monitor();
+  std::printf("sync health: state=%s losses=%llu resyncs=%llu "
+              "pci_changes=%llu degraded_slots=%llu\n",
+              to_string(pipeline.engine().state()),
+              static_cast<unsigned long long>(sync.sync_losses()),
+              static_cast<unsigned long long>(sync.resyncs()),
+              static_cast<unsigned long long>(sync.pci_changes()),
+              static_cast<unsigned long long>(pipeline.metrics().counter_value(
+                  "nrscope.degraded_slots")));
   std::printf("wrote per-stage metrics to cell_monitor_metrics.csv\n");
   return 0;
 }

@@ -2,12 +2,16 @@
 // radio + sniffer pipeline each) over one shared worker pool, with the
 // cross-cell aggregator printing a periodic fleet table — per-cell state,
 // throughput, retransmission health, utilization, restarts — plus the
-// spare-capacity ranking.  Optionally injects a crash or a stall into one
-// cell to demonstrate the supervisor tearing the cell down and restarting
-// it with exponential backoff while the rest of the fleet keeps producing.
+// spare-capacity ranking.  Optionally injects a fault into one cell:
+// crash/stall demonstrate the supervisor tearing the cell down and
+// restarting it with exponential backoff, while outage/cfo/restart script
+// a FaultSchedule the cell heals from *in place* — the engine drops to
+// kResync, re-acquires the cell and resumes without a teardown (watch the
+// resync column move while restarts stays put).
 //
 // Run:  ./build/examples/fleet_monitor --cells 8
 //       ./build/examples/fleet_monitor --cells 4 --fault crash --fault-cell 1
+//       ./build/examples/fleet_monitor --cells 4 --fault outage --fault-cell 1
 //       ./build/examples/fleet_monitor --cells 2 --stream-port 9100
 #include <cstdio>
 #include <cstdlib>
@@ -29,7 +33,7 @@ struct Options {
   std::uint64_t slots = 3000;  ///< per-cell feed-slot target
   std::uint64_t seed = 42;
   std::uint16_t stream_port = 0;  ///< 0 = no stream server
-  std::string fault;              ///< "", "crash", or "stall"
+  std::string fault;  ///< "", crash, stall, outage, cfo, restart
   unsigned fault_cell = 0;
   std::uint64_t fault_slot = 400;
   std::uint64_t report_every = 600;
@@ -79,8 +83,9 @@ Options parse_args(int argc, char** argv) {
       std::fprintf(stderr,
                    "usage: fleet_monitor [--cells N] [--preset NAME] "
                    "[--slots N] [--seed S] [--stream-port P]\n"
-                   "                     [--fault crash|stall "
-                   "[--fault-cell I] [--fault-slot S]] [--report-every N]\n");
+                   "                     [--fault crash|stall|outage|cfo|"
+                   "restart [--fault-cell I] [--fault-slot S]]\n"
+                   "                     [--report-every N]\n");
       std::exit(arg == "--help" || arg == "-h" ? 0 : 1);
     }
   }
@@ -93,19 +98,21 @@ Options parse_args(int argc, char** argv) {
 
 void print_table(const FleetOrchestrator& fleet) {
   const FleetRollup roll = fleet.rollup();
-  std::printf("%5s %-8s %-8s %9s %8s %5s %9s %8s %7s %6s %8s\n", "cell",
-              "name", "state", "slots", "dcis", "ues", "dl Mbps", "ul Mbps",
-              "retx%", "util%", "restarts");
+  std::printf("%5s %-8s %-8s %9s %8s %5s %9s %8s %7s %6s %8s %7s %7s\n",
+              "cell", "name", "state", "slots", "dcis", "ues", "dl Mbps",
+              "ul Mbps", "retx%", "util%", "restarts", "resync", "degr");
   for (const CellRollup& c : roll.cells) {
     std::printf("%5u %-8s %-8s %9llu %8llu %5u %9.2f %8.2f %7.2f %6.1f "
-                "%8llu\n",
+                "%8llu %7llu %7llu\n",
                 c.cell_index, c.name.c_str(),
                 to_string(fleet.cell_state(c.cell_index)),
                 static_cast<unsigned long long>(c.slots),
                 static_cast<unsigned long long>(c.dcis), c.active_ues,
                 c.dl_mbps, c.ul_mbps, 100.0 * c.retx_rate,
                 100.0 * c.utilization,
-                static_cast<unsigned long long>(c.restarts));
+                static_cast<unsigned long long>(c.restarts),
+                static_cast<unsigned long long>(c.resync_slots),
+                static_cast<unsigned long long>(c.degraded_slots));
   }
   std::printf("fleet: slot=%llu dcis=%llu dl=%.2f Mbps ul=%.2f Mbps "
               "retx=%.2f%% restarts=%llu  spare ranking:",
@@ -152,20 +159,39 @@ int main(int argc, char** argv) {
       std::fprintf(stderr, "--fault-cell out of range\n");
       return 1;
     }
-    const bool crash = opt.fault == "crash";
     const std::uint64_t fault_slot = opt.fault_slot;
-    config.cells[opt.fault_cell].fault_hook =
-        [crash, fault_slot](std::uint64_t slot, unsigned incarnation) {
-          if (incarnation == 0 && crash && slot == fault_slot) {
-            throw std::runtime_error("injected crash");
-          }
-          if (incarnation == 0 && !crash && slot >= fault_slot) {
-            return FaultAction::kMute;  // dark radio -> stall detector
-          }
-          return FaultAction::kNone;
-        };
-    std::printf("injecting a %s into cell %u at slot %llu "
-                "(incarnation 0 only)\n",
+    FleetCellSpec& victim = config.cells[opt.fault_cell];
+    if (opt.fault == "crash" || opt.fault == "stall") {
+      const bool crash = opt.fault == "crash";
+      victim.fault_hook =
+          [crash, fault_slot](std::uint64_t slot, unsigned incarnation) {
+            if (incarnation == 0 && crash && slot == fault_slot) {
+              throw std::runtime_error("injected crash");
+            }
+            if (incarnation == 0 && !crash && slot >= fault_slot) {
+              return FaultAction::kMute;  // dark radio -> stall detector
+            }
+            return FaultAction::kNone;
+          };
+    } else if (opt.fault == "outage") {
+      // 150-slot deep fade: sync collapses, the engine resyncs in place.
+      victim.faults.events.push_back(
+          {FaultKind::kOutage, fault_slot, 150, 35.0});
+    } else if (opt.fault == "cfo") {
+      // 22.5 kHz = 0.75 subcarrier spacings at 30 kHz SCS — enough ICI to
+      // wreck the SSB correlation for 200 slots.
+      victim.faults.events.push_back(
+          {FaultKind::kCfoStep, fault_slot, 200, 22500.0});
+    } else if (opt.fault == "restart") {
+      // gNB comes back under a new PCI; the sniffer flushes and re-locks.
+      victim.faults.events.push_back(
+          {FaultKind::kCellRestart, fault_slot, 1, 7.0});
+    } else {
+      std::fprintf(stderr, "unknown --fault '%s' (crash, stall, outage, "
+                           "cfo, restart)\n", opt.fault.c_str());
+      return 1;
+    }
+    std::printf("injecting a %s into cell %u at slot %llu\n",
                 opt.fault.c_str(), opt.fault_cell,
                 static_cast<unsigned long long>(fault_slot));
   }
@@ -189,13 +215,16 @@ int main(int argc, char** argv) {
   const MetricsSnapshot snap = registry.snapshot();
   const auto* latency = snap.find_histogram("fleet.slot_latency_us");
   std::printf("restarts=%llu crashes=%llu stalls=%llu "
-              "slot latency p50=%.0f us p99=%.0f us\n",
+              "resync_escalations=%llu slot latency p50=%.0f us "
+              "p99=%.0f us\n",
               static_cast<unsigned long long>(
                   snap.counter_value("fleet.cell.restarts")),
               static_cast<unsigned long long>(
                   snap.counter_value("fleet.crashes")),
               static_cast<unsigned long long>(
                   snap.counter_value("fleet.stalls")),
+              static_cast<unsigned long long>(
+                  snap.counter_value("fleet.resync_escalations")),
               latency != nullptr ? latency->p50() : 0.0,
               latency != nullptr ? latency->p99() : 0.0);
   return 0;

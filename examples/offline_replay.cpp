@@ -3,11 +3,16 @@
 // not needed).  Record 2 seconds of IQ from the virtual radio — like a
 // USRP capture to disk — then post-process it through the asynchronous
 // Fig. 4 pipeline (demodulation workers + in-order collector + result
-// queue) faster than real time.
+// queue) faster than real time.  The capture is fed to the recorder as a
+// raw sample stream (IqRecorder::append) and is cut short mid-slot — the
+// way a real SDR capture dies when the disk fills or the process is
+// killed — so finalize() demonstrates the truncated-tail handling: the
+// partial slot is dropped and counted instead of replaying garbage.
 //
 // Run:  ./build/examples/offline_replay
 #include <chrono>
 #include <cstdio>
+#include <span>
 
 #include "gnb/gnb_sim.h"
 #include "gnb/presets.h"
@@ -39,13 +44,23 @@ int main() {
 
   IqRecorder recorder;
   constexpr unsigned kSlots = 4000;  // 2 s at 0.5 ms TTI
+  const std::size_t slot_len = radio.ofdm_config().samples_per_slot();
   for (unsigned i = 0; i < kSlots; ++i) {
-    recorder.record(radio.capture(gnb.step()));
+    // Stream-style recording: the recorder cuts whole slots out of the
+    // raw sample flow (a real capture has no slot framing).
+    recorder.append(radio.capture(gnb.step()), slot_len);
   }
-  const double mb = kSlots *
-                    static_cast<double>(radio.ofdm_config().samples_per_slot()) *
-                    sizeof(cf32) / 1e6;
-  std::printf("recorded %u slots (%.0f MB of IQ)\n", kSlots, mb);
+  // The capture dies a third of the way into one more slot.
+  const IqBuffer interrupted = radio.capture(gnb.step());
+  recorder.append(std::span<const cf32>(interrupted).first(slot_len / 3),
+                  slot_len);
+  const std::size_t tail = recorder.finalize();
+  const double mb = kSlots * static_cast<double>(slot_len) * sizeof(cf32) /
+                    1e6;
+  std::printf("recorded %zu slots (%.0f MB of IQ); capture interrupted: "
+              "dropped a %zu-sample truncated tail (%llu partial slots)\n",
+              recorder.n_slots(), mb, tail,
+              static_cast<unsigned long long>(recorder.truncated_slots()));
 
   // ---- Phase 2: replay through the asynchronous pipeline.
   NrScopeConfig scope_config;

@@ -34,6 +34,8 @@ void FleetAggregator::add_cell(std::uint32_t cell_index,
   agg->m_dcis = &ns.counter("dcis");
   agg->m_retx = &ns.counter("retx_dcis");
   agg->m_restarts = &ns.counter("restarts");
+  agg->m_degraded = &ns.counter("degraded_slots");
+  agg->m_resync = &ns.counter("resync_slots");
   agg->m_active_ues = &ns.gauge("active_ues");
   cells_[cell_index] = std::move(agg);
 }
@@ -70,6 +72,14 @@ void FleetAggregator::on_cell_slot(std::uint32_t cell_index,
     }
   }
   agg.retx_dcis += slot_retx;
+  if (result.degraded) {
+    ++agg.degraded_slots;
+    agg.m_degraded->inc();
+  }
+  if (result.sync_state == SyncState::kResync) {
+    ++agg.resync_slots;
+    agg.m_resync->inc();
+  }
 
   agg.m_slots->inc();
   m_slots_total_->inc();
@@ -120,6 +130,8 @@ FleetRollup FleetAggregator::rollup() const {
     c.slots = agg.lifetime_slots;
     c.dcis = agg.dcis;
     c.restarts = agg.restarts;
+    c.degraded_slots = agg.degraded_slots;
+    c.resync_slots = agg.resync_slots;
     c.active_ues = active_ues_locked(agg);
     agg.m_active_ues->set(c.active_ues);
     const double slot_s = slot_duration_s(agg.cell.scs);

@@ -48,6 +48,10 @@ struct CellRollup {
   std::uint64_t slots = 0;  ///< lifetime slots delivered (across restarts)
   std::uint64_t dcis = 0;
   std::uint64_t restarts = 0;
+  /// Robustness accounting: slots the engine flagged degraded (marginal
+  /// sync health) and slots spent in kResync hunting for the cell.
+  std::uint64_t degraded_slots = 0;
+  std::uint64_t resync_slots = 0;
   std::uint32_t active_ues = 0;  ///< UEs with a DCI inside the rate window
   double dl_mbps = 0.0;
   double ul_mbps = 0.0;
@@ -114,6 +118,8 @@ class FleetAggregator {
     std::uint64_t dcis = 0;
     std::uint64_t retx_dcis = 0;
     std::uint64_t restarts = 0;
+    std::uint64_t degraded_slots = 0;
+    std::uint64_t resync_slots = 0;
     /// PRB-slot accounting for utilization: offered accumulates the cell's
     /// average DL capacity per slot (n_prb * n_dl / period — a fractional
     /// model so it stays correct across restart-induced TDD phase shifts),
@@ -128,6 +134,8 @@ class FleetAggregator {
     Counter* m_dcis = nullptr;
     Counter* m_retx = nullptr;
     Counter* m_restarts = nullptr;
+    Counter* m_degraded = nullptr;
+    Counter* m_resync = nullptr;
     Gauge* m_active_ues = nullptr;
   };
 

@@ -15,6 +15,11 @@ namespace {
 
 using Clock = std::chrono::steady_clock;
 
+/// Feed slots between a PCI-changing gNB restart and its UE population
+/// re-attaching (~0.3 s at 30 kHz SCS) — long enough for the sniffer to
+/// re-lock first.
+constexpr std::uint64_t kUeReattachDelaySlots = 600;
+
 std::int64_t steady_now_us() {
   return std::chrono::duration_cast<std::chrono::microseconds>(
              Clock::now().time_since_epoch())
@@ -69,6 +74,12 @@ struct FleetFeedState {
 
   std::atomic<std::uint64_t> slots_delivered{0};
   std::atomic<std::int64_t> last_progress_us{0};
+  // Sync health, mirrored from each delivered SlotResult so the
+  // supervisor can tell "resyncing in place" from "making no progress".
+  std::atomic<std::uint8_t> sync_state{0};
+  /// Wall-clock when the current resync spell began; 0 = not resyncing.
+  std::atomic<std::int64_t> resync_since_us{0};
+  std::atomic<std::uint64_t> degraded_slots{0};
   std::size_t ring_size;
   std::unique_ptr<std::atomic<std::int64_t>[]> push_us;
 };
@@ -97,6 +108,19 @@ class FleetCellSink : public SlotSink {
       cell_latency_->observe(latency);
     }
     aggregator_->on_cell_slot(cell_index_, result);
+    feed_->sync_state.store(static_cast<std::uint8_t>(result.sync_state),
+                            std::memory_order_release);
+    if (result.sync_state == SyncState::kResync) {
+      // Stamp only on entry, so the supervisor measures the whole spell.
+      std::int64_t expected = 0;
+      feed_->resync_since_us.compare_exchange_strong(
+          expected, now, std::memory_order_acq_rel);
+    } else {
+      feed_->resync_since_us.store(0, std::memory_order_release);
+    }
+    if (result.degraded) {
+      feed_->degraded_slots.fetch_add(1, std::memory_order_relaxed);
+    }
     feed_->slots_delivered.fetch_add(1, std::memory_order_release);
     feed_->last_progress_us.store(now, std::memory_order_release);
   }
@@ -118,7 +142,8 @@ FleetOrchestrator::FleetOrchestrator(FleetConfig config,
       pool_(config_.pool_threads),
       m_latency_(&registry.histogram("fleet.slot_latency_us")),
       m_crashes_(&registry.counter("fleet.crashes")),
-      m_stalls_(&registry.counter("fleet.stalls")) {
+      m_stalls_(&registry.counter("fleet.stalls")),
+      m_resync_escalations_(&registry.counter("fleet.resync_escalations")) {
   cells_.reserve(config_.cells.size());
   for (std::uint32_t i = 0; i < config_.cells.size(); ++i) {
     auto runner = std::make_unique<CellRunner>();
@@ -144,14 +169,18 @@ void FleetOrchestrator::set_state(CellRunner& runner, FleetCellState state) {
   runner.m_state->set(static_cast<std::int64_t>(state));
 }
 
-void FleetOrchestrator::start_cell(CellRunner& runner) {
-  const std::uint64_t seed =
-      cell_seed(config_.seed, runner.index, runner.incarnation);
-
+void FleetOrchestrator::build_gnb(CellRunner& runner, std::uint64_t seed,
+                                  bool with_ues) {
   GnbConfig gnb_config;
   gnb_config.cell = runner.spec.cell;
   gnb_config.seed = seed;
   runner.gnb = std::make_unique<GnbSim>(std::move(gnb_config));
+  if (with_ues) {
+    add_ues(runner, seed);
+  }
+}
+
+void FleetOrchestrator::add_ues(CellRunner& runner, std::uint64_t seed) {
   for (unsigned u = 0; u < runner.spec.n_ues; ++u) {
     UeConfig ue;
     ue.id = u;
@@ -163,11 +192,23 @@ void FleetOrchestrator::start_cell(CellRunner& runner) {
     ue.seed = derive_seed(seed, 2000 + u);
     runner.gnb->add_ue(std::move(ue));
   }
+}
+
+void FleetOrchestrator::start_cell(CellRunner& runner) {
+  const std::uint64_t seed =
+      cell_seed(config_.seed, runner.index, runner.incarnation);
+
+  build_gnb(runner, seed);
 
   VirtualRadioConfig radio_config;
   radio_config.n_prb = runner.spec.cell.n_prb;
   radio_config.channel.snr_db = runner.spec.sniffer_snr_db;
   radio_config.channel.seed = derive_seed(seed, 3000);
+  // IQ-level faults ride inside the radio; the feeder-level kinds in the
+  // same schedule are applied by advance_cell.  A restarted incarnation
+  // replays the schedule from slot 0 (feed_slot resets with it).
+  radio_config.faults = runner.spec.faults;
+  radio_config.fault_seed = derive_seed(seed, 4000);
   runner.radio = std::make_unique<VirtualRadio>(radio_config);
 
   NrScopeConfig scope;
@@ -187,13 +228,77 @@ void FleetOrchestrator::start_cell(CellRunner& runner) {
       runner.m_latency));
 
   runner.feed_slot = 0;
+  runner.readd_ues_at = 0;
   runner.accepted_pushes = 0;
   runner.slots_at_start = aggregator_.cell_slots(runner.index);
   set_state(runner, FleetCellState::kRunning);
 }
 
+void FleetOrchestrator::apply_feeder_event(CellRunner& runner,
+                                           const FaultEvent& event) {
+  switch (event.kind) {
+    case FaultKind::kTimingJump: {
+      // The gNB's air time runs ahead while the receiver misses it — and,
+      // unlike an SDR overflow report, never learns by how much.  No
+      // skip_slots() here: the sniffer's frame phase silently breaks and
+      // only the sync monitor can notice (expected SSBs measure noise).
+      const auto jump = static_cast<std::uint64_t>(
+          std::max(1.0, event.magnitude));
+      for (std::uint64_t j = 0; j < jump; ++j) {
+        runner.gnb->step();
+      }
+      break;
+    }
+    case FaultKind::kCellRestart:
+    case FaultKind::kSib1Change: {
+      if (event.kind == FaultKind::kCellRestart) {
+        // Same site, new identity: PCI moves by `magnitude` and the
+        // CORESET scrambling identities move with it.
+        const auto delta = std::max<std::uint16_t>(
+            1, static_cast<std::uint16_t>(event.magnitude));
+        runner.spec.cell.pci =
+            static_cast<std::uint16_t>((runner.spec.cell.pci + delta) % 1008);
+        runner.spec.cell.coreset.shift = runner.spec.cell.pci;
+        runner.spec.cell.coreset.n_id = runner.spec.cell.pci;
+      } else {
+        // Same PCI, different SIB1: flipping the CCE interleaver moves
+        // every PDCCH candidate, so tracked UEs decode garbage until the
+        // sniffer's blind-decode monitor forces a SIB1 re-read.
+        runner.spec.cell.coreset.interleaved =
+            !runner.spec.cell.coreset.interleaved;
+      }
+      const std::uint64_t seed =
+          derive_seed(cell_seed(config_.seed, runner.index,
+                                runner.incarnation),
+                      5000 + runner.feed_slot);
+      const bool new_pci = event.kind == FaultKind::kCellRestart;
+      build_gnb(runner, seed, /*with_ues=*/!new_pci);
+      if (new_pci) {
+        // Subscribers re-register over the seconds after a restart;
+        // holding their RACH until the sniffer has re-locked onto the new
+        // PCI keeps the attach observable (Msg2-assisted tracking has to
+        // see it to learn the new C-RNTIs).
+        runner.readd_ues_at = runner.feed_slot + kUeReattachDelaySlots;
+        runner.readd_seed = seed;
+      }
+      break;
+    }
+    default:
+      break;  // IQ-level kinds are the radio injector's business
+  }
+}
+
 void FleetOrchestrator::advance_cell(CellRunner& runner) {
   for (std::uint64_t k = 0; k < config_.slots_per_tick; ++k) {
+    if (const FaultEvent* event =
+            runner.spec.faults.feeder_event_at(runner.feed_slot)) {
+      apply_feeder_event(runner, *event);
+    }
+    if (runner.readd_ues_at != 0 &&
+        runner.feed_slot >= runner.readd_ues_at) {
+      add_ues(runner, runner.readd_seed);
+      runner.readd_ues_at = 0;
+    }
     const ResourceGrid& grid = runner.gnb->step();
     FaultAction action = FaultAction::kNone;
     if (runner.spec.fault_hook) {
@@ -279,6 +384,8 @@ void FleetOrchestrator::tick() {
   const std::int64_t now_us = steady_now_us();
   const auto stall_us =
       static_cast<std::int64_t>(config_.stall_timeout_s * 1e6);
+  const auto resync_deadline_us =
+      static_cast<std::int64_t>(config_.resync_deadline_s * 1e6);
   for (auto& cp : cells_) {
     CellRunner& runner = *cp;
     if (runner.state != FleetCellState::kRunning) {
@@ -287,6 +394,16 @@ void FleetOrchestrator::tick() {
     if (aggregator_.cell_slots(runner.index) - runner.slots_at_start >=
         config_.healthy_slots) {
       runner.backoff_s = 0.0;  // healthy again: backoff restarts from initial
+    }
+    // A resyncing engine still delivers slots, so it never looks stalled;
+    // in-place recovery is the preferred outcome and gets the whole
+    // deadline.  Escalate to teardown only once the deadline passes.
+    const std::int64_t resync_since =
+        runner.feed->resync_since_us.load(std::memory_order_acquire);
+    if (resync_since > 0 && now_us - resync_since > resync_deadline_us) {
+      m_resync_escalations_->inc();
+      fail_cell(runner, /*crashed=*/false);
+      continue;  // fail_cell released runner.feed
     }
     if (now_us - runner.feed->last_progress_us.load(
                      std::memory_order_acquire) >

@@ -16,6 +16,21 @@
 // so the restarted sniffer re-syncs and re-acquires C-RNTIs through the
 // RACH exactly like a restarted real deployment.  A cell that exceeds
 // max_restarts is declared failed and the rest of the fleet carries on.
+//
+// Sync loss is deliberately NOT a teardown trigger: a resyncing engine
+// still delivers (empty) slots, so the stall detector stays quiet and the
+// cell heals in place through the engine's kResync path, keeping its
+// tracked-UE state.  Only a cell stuck in kResync past resync_deadline_s
+// is escalated to the full teardown/backoff/rebuild cycle (counted in
+// fleet.resync_escalations).
+//
+// Fault injection: each cell can carry a FaultSchedule.  Its IQ-level
+// kinds (outage, sample gap, glitch, CFO) ride inside the cell's
+// VirtualRadio; the feeder-level kinds are applied here while feeding —
+// kTimingJump fast-forwards the gNB without telling the sniffer,
+// kCellRestart rebuilds the gNB with a shifted PCI, kSib1Change rebuilds
+// it with the same PCI but a flipped CORESET interleaver (every tracked
+// PDCCH candidate turns to garbage until SIB1 is re-read).
 #pragma once
 
 #include <chrono>
@@ -32,6 +47,7 @@
 #include "net/wire.h"
 #include "nr/cell_config.h"
 #include "nrscope/pipeline.h"
+#include "radio/impairments.h"
 #include "radio/virtual_radio.h"
 
 namespace nrs {
@@ -67,6 +83,11 @@ struct FleetCellSpec {
   unsigned n_dci_threads = 1;
   std::size_t queue_depth = 64;  ///< pipeline input queue bound
   FleetFaultHook fault_hook;     ///< optional injection (tests/demos)
+  /// Scripted impairments, indexed by the feed slot within the current
+  /// incarnation.  IQ-level kinds are wired into the cell's VirtualRadio;
+  /// feeder-level kinds (timing jump, gNB restart, SIB1 change) fire in
+  /// advance_cell at their start slot.  Validated at start_cell.
+  FaultSchedule faults;
 };
 
 struct FleetConfig {
@@ -88,6 +109,11 @@ struct FleetConfig {
   /// A cell that delivers this many slots in one incarnation is healthy
   /// again: its backoff resets to the initial value.
   std::uint64_t healthy_slots = 200;
+  /// Sync loss heals in place (the engine's kResync path) — but a cell
+  /// still resyncing after this much wall-clock is escalated to a full
+  /// teardown/rebuild.  Must be long enough for the engine's grace window
+  /// (resync_grace_slots) to play out at the fleet's feed rate.
+  double resync_deadline_s = 3.0;
 
   std::uint64_t rate_window_slots = 2000;
 
@@ -133,6 +159,10 @@ class FleetOrchestrator {
   [[nodiscard]] unsigned cell_restarts(std::uint32_t cell_index) const;
   /// Lifetime slots delivered by the cell's pipelines (across restarts).
   [[nodiscard]] std::uint64_t cell_slots(std::uint32_t cell_index) const;
+  /// Cells torn down because they were stuck in kResync past the deadline.
+  [[nodiscard]] std::uint64_t resync_escalations() const {
+    return m_resync_escalations_->value();
+  }
 
   [[nodiscard]] const FleetAggregator& aggregator() const {
     return aggregator_;
@@ -154,6 +184,8 @@ class FleetOrchestrator {
     std::uint64_t accepted_pushes = 0;  ///< pipeline accepts, incarnation
     std::uint64_t pushed_lifetime = 0;  ///< accepts across incarnations
     std::uint64_t slots_at_start = 0;   ///< aggregator slots at (re)start
+    std::uint64_t readd_ues_at = 0;  ///< feed slot to re-attach UEs (0=none)
+    std::uint64_t readd_seed = 0;    ///< seed base for the re-attach
     std::unique_ptr<GnbSim> gnb;
     std::unique_ptr<VirtualRadio> radio;
     std::unique_ptr<NrScopePipeline> pipeline;
@@ -163,9 +195,18 @@ class FleetOrchestrator {
   };
 
   void start_cell(CellRunner& runner);
+  /// (Re)build the cell's gNB from runner.spec.cell; `with_ues` attaches
+  /// the UE population immediately (a restarted cell defers it instead).
+  void build_gnb(CellRunner& runner, std::uint64_t seed,
+                 bool with_ues = true);
+  /// Attach the spec's UE population to the cell's current gNB.
+  void add_ues(CellRunner& runner, std::uint64_t seed);
   /// The per-tick pool task: step the gNB, consult the fault hook, capture
   /// and push slots_per_tick slots.  Exceptions propagate to tick().
   void advance_cell(CellRunner& runner);
+  /// Feeder-level fault (timing jump / gNB restart / SIB1 change) firing
+  /// at the current feed slot.  Runs on the advance task's pool thread.
+  void apply_feeder_event(CellRunner& runner, const FaultEvent& event);
   void fail_cell(CellRunner& runner, bool crashed);
   void set_state(CellRunner& runner, FleetCellState state);
 
@@ -180,6 +221,7 @@ class FleetOrchestrator {
   Histogram* m_latency_;  ///< fleet.slot_latency_us (push -> delivery)
   Counter* m_crashes_;
   Counter* m_stalls_;
+  Counter* m_resync_escalations_;
 };
 
 }  // namespace nrs

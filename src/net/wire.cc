@@ -332,6 +332,11 @@ void encode_slot(const SlotResult& result, WireWriter& w) {
   std::uint8_t flags = 0;
   flags |= result.mib.has_value() ? 0x1 : 0;
   flags |= result.sib1_decoded ? 0x2 : 0;
+  flags |= result.degraded ? 0x4 : 0;
+  // Sync state rides in bits 4-5 (kSearching is 0, so pre-robustness
+  // frames decode as a cold engine).
+  flags |= static_cast<std::uint8_t>(
+      (static_cast<std::uint8_t>(result.sync_state) & 0x3) << 4);
   w.u8(flags);
   if (result.mib) {
     w.u16(result.mib->sfn);
@@ -369,6 +374,8 @@ std::optional<SlotResult> decode_slot(
   result.processing_time_us = r.f64();
   const std::uint8_t flags = r.u8();
   result.sib1_decoded = (flags & 0x2) != 0;
+  result.degraded = (flags & 0x4) != 0;
+  result.sync_state = static_cast<SyncState>((flags >> 4) & 0x3);
   if ((flags & 0x1) != 0) {
     Mib mib;
     mib.sfn = r.u16();

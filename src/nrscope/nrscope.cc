@@ -41,6 +41,20 @@ const NrScopeConfig& validated(const NrScopeConfig& config) {
 
 }  // namespace
 
+const char* to_string(SyncState state) {
+  switch (state) {
+    case SyncState::kSearching:
+      return "searching";
+    case SyncState::kWaitSib1:
+      return "wait_sib1";
+    case SyncState::kTracking:
+      return "tracking";
+    case SyncState::kResync:
+      return "resync";
+  }
+  return "?";
+}
+
 std::optional<std::string> NrScopeConfig::validate() const {
   if (n_prb < SsbLocation::kNPrb || n_prb > 275) {
     return "n_prb must be in [12, 275], got " + std::to_string(n_prb);
@@ -60,6 +74,9 @@ std::optional<std::string> NrScopeConfig::validate() const {
   if (ue_inactivity_slots == 0) {
     return "ue_inactivity_slots must be > 0";
   }
+  if (auto error = sync.validate()) {
+    return error;
+  }
   return std::nullopt;
 }
 
@@ -67,7 +84,7 @@ NrScope::NrScope(const NrScopeConfig& config)
     : config_(validated(config)),
       demodulator_(make_ofdm_config(config.n_prb)), rach_(config.rach),
       telemetry_(config.scs, config.rate_window_slots, &metrics_registry_),
-      rx_grid_(config.n_prb) {
+      sync_(config.sync, metrics_registry_), rx_grid_(config.n_prb) {
   cell_.n_prb = config_.n_prb;
   cell_.scs = config_.scs;
   if (config_.n_dci_threads > 1) {
@@ -84,6 +101,10 @@ NrScope::NrScope(const NrScopeConfig& config)
   m_slots_searching_ = &metrics_registry_.counter("nrscope.slots_searching");
   m_slots_wait_sib1_ = &metrics_registry_.counter("nrscope.slots_wait_sib1");
   m_slots_tracking_ = &metrics_registry_.counter("nrscope.slots_tracking");
+  m_slots_resync_ = &metrics_registry_.counter("nrscope.slots_resync");
+  m_degraded_slots_ = &metrics_registry_.counter("nrscope.degraded_slots");
+  m_stream_gap_slots_ =
+      &metrics_registry_.counter("nrscope.stream_gap_slots");
   m_stale_evictions_ =
       &metrics_registry_.counter("nrscope.stale_ue_evictions");
   m_dedupe_candidates_ =
@@ -116,6 +137,20 @@ SlotPoint NrScope::slot_point() const {
   point.sfn = static_cast<std::uint32_t>(
       ((rel / spf) + (mib_ ? mib_->sfn : 0) + 1024) & 0x3FF);
   return point;
+}
+
+std::uint64_t NrScope::air_slot_index() const {
+  // Equals slot_index_ only while the sniffer has listened since the cell
+  // booted; a restarted cell rebases its clock, and the re-locked frame
+  // phase plus the new MIB's SFN recover where it actually is.
+  if (!phase_locked_ || !mib_) {
+    return slot_index_;
+  }
+  const unsigned spf = slots_per_frame(cell_.scs);
+  const std::int64_t rel =
+      static_cast<std::int64_t>(slot_index_) - frame_phase_;
+  return static_cast<std::uint64_t>(
+      rel + static_cast<std::int64_t>(mib_->sfn) * spf);
 }
 
 unsigned NrScope::data_res_total() const {
@@ -167,11 +202,12 @@ void NrScope::cleanup_stale_ues() {
   }
 }
 
-void NrScope::search(const ResourceGrid& grid, SlotResult& result) {
+std::optional<NrScope::Acquisition> NrScope::detect_cell(
+    const ResourceGrid& grid) const {
   // PSS on some symbol-0 subcarrier offset?
   const auto pss = detect_pss(grid.symbol(SsbLocation::kPssSymbol), 0.45f);
   if (!pss || pss->sc_offset < kSyncScOffset) {
-    return;
+    return std::nullopt;
   }
   const unsigned prb_start = (pss->sc_offset - kSyncScOffset) /
                              kSubcarriersPerPrb;
@@ -179,7 +215,7 @@ void NrScope::search(const ResourceGrid& grid, SlotResult& result) {
   const unsigned sss_sc =
       prb_start * kSubcarriersPerPrb + kSyncScOffset;
   if (sss_sc + kPssLength > grid.n_subcarriers()) {
-    return;
+    return std::nullopt;
   }
   std::vector<cf32> sss_res(kPssLength);
   for (unsigned n = 0; n < kPssLength; ++n) {
@@ -187,31 +223,42 @@ void NrScope::search(const ResourceGrid& grid, SlotResult& result) {
   }
   const auto sss = detect_sss(sss_res, pss->nid2, 0.3f);
   if (!sss) {
-    return;
+    return std::nullopt;
   }
-  const std::uint16_t pci =
-      static_cast<std::uint16_t>(3 * sss->nid1 + pss->nid2);
-
-  const SsbLocation ssb{prb_start};
-  const auto mib = decode_mib(pci, ssb, SlotPoint{cell_.scs, 0, 0}, grid);
+  Acquisition acq;
+  acq.pci = static_cast<std::uint16_t>(3 * sss->nid1 + pss->nid2);
+  acq.prb_start = prb_start;
+  const auto mib = decode_mib(acq.pci, SsbLocation{prb_start},
+                              SlotPoint{cell_.scs, 0, 0}, grid);
   if (!mib) {
-    return;
+    return std::nullopt;
   }
+  acq.mib = *mib;
+  return acq;
+}
+
+void NrScope::apply_acquisition(const Acquisition& acq, SlotResult& result) {
   // Synchronized: SSBs are sent in slot 0 of a frame.
-  pci_ = pci;
-  mib_ = *mib;
-  config_.ssb = ssb;
+  pci_ = acq.pci;
+  mib_ = acq.mib;
+  config_.ssb = SsbLocation{acq.prb_start};
   frame_phase_ = static_cast<std::int64_t>(slot_index_);
   phase_locked_ = true;
-  cell_.pci = pci;
-  cell_.coreset.rb_start = mib->coreset0_rb_start;
-  cell_.coreset.n_prb = mib->coreset0_n_prb6 * 6u;
-  cell_.coreset.duration = mib->coreset0_duration;
-  cell_.coreset.shift = pci;
-  cell_.coreset.n_id = pci;
-  cell_.scs = mib->scs_common;
-  result.mib = *mib;
-  state_ = State::kWaitSib1;
+  cell_.pci = acq.pci;
+  cell_.coreset.rb_start = acq.mib.coreset0_rb_start;
+  cell_.coreset.n_prb = acq.mib.coreset0_n_prb6 * 6u;
+  cell_.coreset.duration = acq.mib.coreset0_duration;
+  cell_.coreset.shift = acq.pci;
+  cell_.coreset.n_id = acq.pci;
+  cell_.scs = acq.mib.scs_common;
+  result.mib = acq.mib;
+}
+
+void NrScope::search(const ResourceGrid& grid, SlotResult& result) {
+  if (const auto acq = detect_cell(grid)) {
+    apply_acquisition(*acq, result);
+    state_ = State::kWaitSib1;
+  }
 }
 
 void NrScope::wait_sib1(const ResourceGrid& grid, SlotResult& result) {
@@ -241,7 +288,9 @@ void NrScope::wait_sib1(const ResourceGrid& grid, SlotResult& result) {
       sib->apply_to(cell_);
       rach_.set_cell(cell_);
       result.sib1_decoded = true;
+      sib1_seen_ = true;
       state_ = State::kTracking;
+      sync_.on_lock();
       DecodedDci out;
       out.slot = slot_index_;
       out.rnti = kSiRnti;
@@ -255,6 +304,98 @@ void NrScope::wait_sib1(const ResourceGrid& grid, SlotResult& result) {
   }
 }
 
+bool NrScope::ssb_expected(const SlotPoint& now) const {
+  return phase_locked_ && now.slot == 0 && cell_.ssb_period_frames > 0 &&
+         now.sfn % cell_.ssb_period_frames == 0;
+}
+
+float NrScope::measure_ssb_quality(const ResourceGrid& grid) const {
+  // PSS correlation at the locked SSB location — stack buffers only, so
+  // the per-SSB health check stays on the zero-allocation slot path.
+  const unsigned sc =
+      config_.ssb.prb_start * kSubcarriersPerPrb + kSyncScOffset;
+  if (sc + kPssLength > grid.n_subcarriers()) {
+    return 0.0f;
+  }
+  const std::array<float, kPssLength> seq = pss_sequence(pci_ % 3);
+  return partial_correlation(
+      grid.symbol(SsbLocation::kPssSymbol).subspan(sc, kPssLength), seq);
+}
+
+void NrScope::enter_resync() {
+  resync_cause_ = sync_.loss_cause();
+  resync_entered_slot_ = slot_index_;
+  phase_locked_ = false;
+  sync_.resync_started(slot_index_);
+  state_ = State::kResync;
+}
+
+void NrScope::force_resync() {
+  if (state_ == State::kTracking) {
+    enter_resync();
+  }
+}
+
+void NrScope::note_stream_gap(std::uint64_t missed) {
+  // A declared gap (SDR overflow): the missing slots still happened on
+  // air, so advancing the slot clock keeps the frame phase locked and no
+  // resync is needed.
+  slot_index_ += missed;
+  m_stream_gap_slots_->inc(missed);
+}
+
+void NrScope::flush_tracked_state() {
+  // The cell is gone (PCI change or grace expiry): per-UE telemetry must
+  // not bleed into whatever is acquired next.
+  for (const auto& ue : ues_) {
+    telemetry_.remove_ue(ue.rnti);
+  }
+  ues_.clear();
+  ue_last_seen_.clear();
+  rach_ = RachTracker(config_.rach);
+  rach_.bind_metrics(metrics_registry_);
+  cell_ = CellConfig{};
+  cell_.n_prb = config_.n_prb;
+  cell_.scs = config_.scs;
+  sib1_seen_ = false;
+  mib_.reset();
+  phase_locked_ = false;
+}
+
+void NrScope::resync(const ResourceGrid& grid, SlotResult& result) {
+  if (const auto acq = detect_cell(grid)) {
+    const bool pci_changed = acq->pci != pci_;
+    if (pci_changed) {
+      flush_tracked_state();
+    }
+    apply_acquisition(*acq, result);
+    sync_.resync_finished(slot_index_, pci_changed);
+    if (!pci_changed && sib1_seen_ &&
+        resync_cause_ == SyncLossCause::kSsbQuality) {
+      // Same cell, configuration intact (the fault was channel-level):
+      // resume full telemetry on the retained UE state immediately.
+      state_ = State::kTracking;
+      sync_.on_lock();
+    } else {
+      // New cell, or the old one stopped matching what we decode with:
+      // re-read SIB1 first.  On a same-PCI recovery the UE state stays
+      // (telemetry continuity); stale entries age out normally.
+      state_ = State::kWaitSib1;
+    }
+    resync_cause_ = SyncLossCause::kNone;
+    return;
+  }
+  if (slot_index_ - resync_entered_slot_ >=
+      config_.sync.resync_grace_slots) {
+    // Grace expired with no cell found: drop the retained state and fall
+    // back to a cold search.
+    flush_tracked_state();
+    sync_.resync_abandoned(slot_index_);
+    resync_cause_ = SyncLossCause::kNone;
+    state_ = State::kSearching;
+  }
+}
+
 void NrScope::decode_ue_shard(std::size_t i) {
   decode_ue_dcis(*batch_grid_, batch_now_, slot_index_, cell_, ues_[i],
                  worker_scratch(), scratch_.per_ue[i], &m_agg_level_us_);
@@ -263,9 +404,17 @@ void NrScope::decode_ue_shard(std::size_t i) {
 void NrScope::track(const ResourceGrid& grid, SlotResult& result) {
   const SlotPoint now = slot_point();
 
+  // Sync health, part 1: on the slots where the cell owes us an SSB,
+  // measure the PSS correlation at the locked location.  Fades, timing
+  // jumps and CFO all collapse it; a restarted cell moves its SSB away
+  // from the expected slots, which collapses it just the same.
+  if (ssb_expected(now)) {
+    sync_.observe_ssb(measure_ssb_quality(grid));
+  }
+
   // RACH thread's work: new-UE discovery in the common search space.
-  rach_.process_slot(grid, now, slot_index_, pdcch_scratch_[0], result.dcis,
-                     result.new_ues);
+  rach_.process_slot(grid, now, slot_index_, air_slot_index(),
+                     pdcch_scratch_[0], result.dcis, result.new_ues);
   for (const auto& ue : result.new_ues) {
     add_ue(ue.c_rnti, ue.config);
   }
@@ -338,6 +487,23 @@ void NrScope::track(const ResourceGrid& grid, SlotResult& result) {
   }
 
   cleanup_stale_ues();
+
+  // Sync health, part 2: blind-decode yield, then the verdict.  kLost
+  // falls back to kResync (tracked-UE state retained for the grace
+  // window); kDegraded keeps tracking but flags the slot so downstream
+  // consumers can tell "no traffic" from "going blind".
+  sync_.observe_slot(user_dcis.size(), !ues_.empty());
+  switch (sync_.health()) {
+    case SyncHealth::kHealthy:
+      break;
+    case SyncHealth::kDegraded:
+      result.degraded = true;
+      m_degraded_slots_->inc();
+      break;
+    case SyncHealth::kLost:
+      enter_resync();
+      break;
+  }
 }
 
 void NrScope::decode_location_shard(std::size_t w) {
@@ -379,7 +545,7 @@ void NrScope::decode_location_shard(std::size_t w) {
   }
 }
 
-void NrScope::decode_dcis_deduped(const ResourceGrid& grid,
+void NrScope::decode_dcis_deduped(const ResourceGrid& /*grid*/,
                                   const SlotPoint& now) {
   // Group candidate locations across UEs: the polar decode of a location
   // is RNTI-independent, so one channel decode serves every UE that
@@ -469,6 +635,7 @@ void NrScope::process_grid(const ResourceGrid& grid, SlotResult& result) {
   result.mib.reset();
   result.sib1_decoded = false;
   result.processing_time_us = 0.0;
+  result.degraded = false;
   const auto start = std::chrono::steady_clock::now();
   switch (state_) {
     case State::kSearching:
@@ -484,7 +651,12 @@ void NrScope::process_grid(const ResourceGrid& grid, SlotResult& result) {
       m_slots_tracking_->inc();
       track(grid, result);
       break;
+    case State::kResync:
+      m_slots_resync_->inc();
+      resync(grid, result);
+      break;
   }
+  result.sync_state = state_;
   const auto end = std::chrono::steady_clock::now();
   result.processing_time_us =
       std::chrono::duration<double, std::micro>(end - start).count();

@@ -20,10 +20,24 @@
 #include "nr/mib.h"
 #include "nrscope/dci_decoder.h"
 #include "nrscope/rach_tracker.h"
+#include "nrscope/sync_monitor.h"
 #include "nrscope/telemetry.h"
 #include "phy/ofdm.h"
 
 namespace nrs {
+
+/// Engine synchronization state.  The happy path is forward-only
+/// (kSearching -> kWaitSib1 -> kTracking); the SyncMonitor adds backward
+/// edges through kResync when tracking health collapses (DESIGN.md
+/// "Failure model and recovery").
+enum class SyncState : std::uint8_t {
+  kSearching,  ///< hunting for PSS/SSS + MIB
+  kWaitSib1,   ///< synchronized; waiting for the SIB1 broadcast
+  kTracking,   ///< full telemetry
+  kResync,     ///< sync lost; re-running PSS/SSS + MIB, UE state retained
+};
+
+const char* to_string(SyncState state);
 
 struct NrScopeConfig {
   unsigned n_prb = 51;        ///< carrier bandwidth to demodulate
@@ -40,6 +54,8 @@ struct NrScopeConfig {
   std::uint64_t rate_window_slots = 1000;
   bool keep_capacity_history = false;  ///< per-slot RE accounting (Fig. 14)
   SsbLocation ssb{0};
+  /// Sync-health thresholds and the resync grace window.
+  SyncMonitorConfig sync;
 
   /// Sanity-check the configuration; returns a descriptive error for the
   /// first violated constraint, or nullopt when everything is usable.  The
@@ -56,17 +72,20 @@ struct SlotResult {
   std::optional<Mib> mib;
   bool sib1_decoded = false;
   double processing_time_us = 0.0;  ///< signal processing + DCI decoding
+  /// Engine state after this slot: lets sinks and the fleet aggregator
+  /// distinguish "no traffic" (kTracking, empty dcis) from "blind"
+  /// (kResync / degraded).
+  SyncState sync_state = SyncState::kSearching;
+  /// Tracking continued but health is marginal (fading SSB quality or a
+  /// long blind-decode dry spell building up).
+  bool degraded = false;
 
   [[nodiscard]] bool operator==(const SlotResult&) const = default;
 };
 
 class NrScope {
  public:
-  enum class State : std::uint8_t {
-    kSearching,  ///< hunting for PSS/SSS + MIB
-    kWaitSib1,   ///< synchronized; waiting for the SIB1 broadcast
-    kTracking,   ///< full telemetry
-  };
+  using State = SyncState;
 
   explicit NrScope(const NrScopeConfig& config);
   ~NrScope();
@@ -118,6 +137,19 @@ class NrScope {
   /// cell info input.
   void add_ue(Rnti rnti, const RrcSetup& config);
 
+  /// Declare `missed` slots lost in the input stream (a known gap, e.g.
+  /// an SDR overflow report): the slot clock advances so the frame phase
+  /// stays locked across the gap — no resync needed.  Unknown timing
+  /// jumps, by contrast, surface as sync-health collapse and resync.
+  void note_stream_gap(std::uint64_t missed);
+
+  /// Force the tracking engine into kResync (e.g. an external front-end
+  /// event the monitor cannot see).  No-op unless currently kTracking.
+  void force_resync();
+
+  /// Sync-health monitor (quality score, loss/resync statistics).
+  [[nodiscard]] const SyncMonitor& sync_monitor() const { return sync_; }
+
   [[nodiscard]] std::uint64_t slots_processed() const { return slot_index_; }
   [[nodiscard]] const RachTracker& rach_tracker() const { return rach_; }
   [[nodiscard]] double slot_duration() const {
@@ -157,12 +189,32 @@ class NrScope {
     std::vector<LocationSlot> locations;  ///< grow-only; first n are live
   };
 
+  /// A successful PSS/SSS + MIB detection, before any state is mutated
+  /// (resync needs to compare the PCI against the tracked cell first).
+  struct Acquisition {
+    std::uint16_t pci = 0;
+    unsigned prb_start = 0;
+    Mib mib;
+  };
+
   void search(const ResourceGrid& grid, SlotResult& result);
   void wait_sib1(const ResourceGrid& grid, SlotResult& result);
   void track(const ResourceGrid& grid, SlotResult& result);
+  void resync(const ResourceGrid& grid, SlotResult& result);
+  [[nodiscard]] std::optional<Acquisition> detect_cell(
+      const ResourceGrid& grid) const;
+  void apply_acquisition(const Acquisition& acq, SlotResult& result);
+  void enter_resync();
+  void flush_tracked_state();
+  [[nodiscard]] float measure_ssb_quality(const ResourceGrid& grid) const;
+  [[nodiscard]] bool ssb_expected(const SlotPoint& now) const;
   void decode_dcis_deduped(const ResourceGrid& grid, const SlotPoint& now);
   void cleanup_stale_ues();
   [[nodiscard]] SlotPoint slot_point() const;
+  /// The cell's own slot clock, reconstructed from the locked frame phase
+  /// and the MIB SFN.  Diverges from slot_index_ after a resync onto a
+  /// restarted cell; PRACH-occasion math must follow this clock.
+  [[nodiscard]] std::uint64_t air_slot_index() const;
   [[nodiscard]] unsigned data_res_total() const;
 
   /// PDCCH scratch for the current thread during a DCI batch: slot 0 for
@@ -187,10 +239,17 @@ class NrScope {
   std::uint16_t pci_ = 0;
   RachTracker rach_;
   CellTelemetry telemetry_;
+  SyncMonitor sync_;
+  SyncLossCause resync_cause_ = SyncLossCause::kNone;
+  std::uint64_t resync_entered_slot_ = 0;
+  bool sib1_seen_ = false;  ///< cell_ carries a full SIB1 configuration
   // Hot-path metric handles, resolved once at construction.
   Counter* m_slots_searching_ = nullptr;
   Counter* m_slots_wait_sib1_ = nullptr;
   Counter* m_slots_tracking_ = nullptr;
+  Counter* m_slots_resync_ = nullptr;
+  Counter* m_degraded_slots_ = nullptr;
+  Counter* m_stream_gap_slots_ = nullptr;
   Counter* m_stale_evictions_ = nullptr;
   Counter* m_dedupe_candidates_ = nullptr;
   Counter* m_dedupe_locations_ = nullptr;

@@ -28,6 +28,8 @@ NrScopePipeline::NrScopePipeline(const NrScopeConfig& config,
   m_collect_us_ = &registry.histogram("pipeline.collect_us");
   m_output_wait_us_ = &registry.histogram("pipeline.output_wait_us");
   m_sink_errors_ = &registry.counter("pipeline.sink_errors");
+  m_stream_gaps_ = &registry.counter("pipeline.stream_gaps");
+  m_skipped_slots_ = &registry.counter("pipeline.slots_skipped");
   m_alloc_allocs_ = &registry.gauge("alloc.allocs");
   m_alloc_frees_ = &registry.gauge("alloc.frees");
   m_alloc_bytes_ = &registry.gauge("alloc.bytes");
@@ -116,6 +118,23 @@ bool NrScopePipeline::push_slot(IqBuffer samples) {
 
 void NrScopePipeline::finish() { input_.close(); }
 
+void NrScopePipeline::skip_slots(std::uint64_t n) {
+  if (n == 0) {
+    return;
+  }
+  // Same single-caller contract as push_slot, so the unguarded index
+  // bump cannot race another feeder.
+  const std::uint64_t from = next_input_index_.load();
+  next_input_index_ = from + n;
+  {
+    std::lock_guard lock(reorder_mutex_);
+    gaps_.push_back(Gap{from, from + n});
+  }
+  m_stream_gaps_->inc();
+  m_skipped_slots_->inc(n);
+  reorder_cv_.notify_all();
+}
+
 void NrScopePipeline::demod_loop(unsigned worker_index) {
   OfdmDemodulator demod(ofdm_config_);
   Histogram& worker_us = *m_worker_demod_us_[worker_index];
@@ -197,16 +216,27 @@ void NrScopePipeline::collect_loop() {
   std::uint64_t last_allocs = 0;
   while (true) {
     BufferPool<ResourceGrid>::Handle grid;
+    std::uint64_t gap_len = 0;
     {
       std::unique_lock lock(reorder_mutex_);
       ReorderSlot* cell = &reorder_slots_[expected % reorder_slots_.size()];
       {
         ScopedTimer wait_timer(*m_collector_wait_us_);
         reorder_cv_.wait(lock, [&] {
-          return (cell->grid && cell->index == expected) || demod_done_;
+          return (!gaps_.empty() && gaps_.front().from == expected) ||
+                 (cell->grid && cell->index == expected) || demod_done_;
         });
       }
-      if (cell->grid && cell->index == expected) {
+      if (!gaps_.empty() && gaps_.front().from == expected) {
+        // Every pre-gap index has been collected; jump the window over
+        // the declared discontinuity instead of parking on indices that
+        // will never arrive (the "stuck parking window" failure mode).
+        const Gap gap = gaps_.front();
+        gaps_.pop_front();
+        gap_len = gap.to - gap.from;
+        expected = gap.to;
+        collect_upto_ = gap.to;
+      } else if (cell->grid && cell->index == expected) {
         grid = std::move(cell->grid);
         --reorder_count_;
         collect_upto_ = expected + 1;
@@ -228,6 +258,13 @@ void NrScopePipeline::collect_loop() {
         collect_upto_ = oldest;
         continue;
       }
+    }
+    if (gap_len > 0) {
+      // Wake workers whose indices entered the jumped-forward window and
+      // keep the engine's slot clock aligned with the feed.
+      reorder_cv_.notify_all();
+      engine_->note_stream_gap(gap_len);
+      continue;
     }
     if (grid) {
       // Wake any worker waiting for the cell we just vacated.

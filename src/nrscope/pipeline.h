@@ -81,6 +81,15 @@ class NrScopePipeline {
   /// Copy-in convenience overload: moves `samples` into a pooled buffer.
   bool push_slot(IqBuffer samples);
 
+  /// Declare `n` input slots lost (a known stream discontinuity, e.g. an
+  /// SDR overflow report): the collector jumps its reorder window over
+  /// the missing indices instead of parking forever on slots that will
+  /// never arrive, and the engine's slot clock advances so its frame
+  /// phase stays locked across the gap.  Call from the feeder thread
+  /// (the same single-caller contract as push_slot); takes effect once
+  /// every slot pushed before the gap has been collected.
+  void skip_slots(std::uint64_t n);
+
   /// Next completed slot result, in slot order.  Blocks up to the queue;
   /// returns nullopt once finish() has been called and everything drained
   /// (immediately so when sinks consume the results instead).
@@ -110,6 +119,15 @@ class NrScopePipeline {
 
   [[nodiscard]] std::uint64_t dropped_slots() const {
     return dropped_.load();
+  }
+
+  /// Pooled buffers (sample + grid) currently checked out.  Once stop()
+  /// returns this must be zero regardless of what state the engine was in
+  /// when the feed ended: the drain hands every in-flight buffer back even
+  /// mid-resync.  Nonzero after stop() means a pooled handle leaked.
+  [[nodiscard]] std::size_t buffers_in_flight() const {
+    return (sample_pool_.created() - sample_pool_.available()) +
+           (grid_pool_.created() - grid_pool_.available());
   }
 
  private:
@@ -147,6 +165,13 @@ class NrScopePipeline {
   mutable std::mutex sink_mutex_;
   std::vector<std::shared_ptr<SlotSink>> sinks_;
 
+  /// A declared input-stream discontinuity: indices in [from, to) were
+  /// never pushed and must be jumped over by the collector.
+  struct Gap {
+    std::uint64_t from = 0;
+    std::uint64_t to = 0;
+  };
+
   // Pull-mode results that did not fit in output_ (nobody polling yet).
   // The pre-refactor pipeline absorbed this back-pressure in an unbounded
   // reorder map; the bounded ring cannot, so the collector parks finished
@@ -171,6 +196,11 @@ class NrScopePipeline {
   std::uint64_t collect_upto_ = 0;
   bool demod_done_ = false;
   unsigned active_demods_ = 0;
+  // Pending declared gaps, in feed order (guarded by reorder_mutex_).
+  // Indices are assigned only on accepted pushes, so every pre-gap index
+  // is guaranteed to arrive and the front gap begins exactly where the
+  // collector's expected index will land.
+  std::deque<Gap> gaps_;
 
   std::atomic<std::uint64_t> next_input_index_{0};
   std::atomic<std::uint64_t> dropped_{0};
@@ -187,6 +217,8 @@ class NrScopePipeline {
   Histogram* m_collect_us_ = nullptr;
   Histogram* m_output_wait_us_ = nullptr;
   Counter* m_sink_errors_ = nullptr;
+  Counter* m_stream_gaps_ = nullptr;
+  Counter* m_skipped_slots_ = nullptr;
   // Heap-traffic gauges, published per slot when the shim is linked.
   Gauge* m_alloc_allocs_ = nullptr;
   Gauge* m_alloc_frees_ = nullptr;

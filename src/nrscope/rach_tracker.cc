@@ -84,13 +84,15 @@ std::vector<NewUe> RachTracker::process_slot(const ResourceGrid& grid,
                                              std::vector<DecodedDci>& decoded) {
   thread_local PdcchScratch t_scratch;
   std::vector<NewUe> new_ues;
-  process_slot(grid, slot, slot_index, t_scratch, decoded, new_ues);
+  process_slot(grid, slot, slot_index, slot_index, t_scratch, decoded,
+               new_ues);
   return new_ues;
 }
 
 void RachTracker::process_slot(const ResourceGrid& grid,
                                const SlotPoint& slot,
                                std::uint64_t slot_index,
+                               std::uint64_t air_slot,
                                PdcchScratch& scratch,
                                std::vector<DecodedDci>& decoded,
                                std::vector<NewUe>& new_ues) {
@@ -114,10 +116,10 @@ void RachTracker::process_slot(const ResourceGrid& grid,
       cell_.rach.ra_response_window, cell_.rach.prach_period_slots);
   ra_rntis_.clear();
   for (std::uint64_t back = 0; back <= lookback; ++back) {
-    if (slot_index < back) {
+    if (air_slot < back) {
       break;
     }
-    const std::uint64_t occasion = slot_index - back;
+    const std::uint64_t occasion = air_slot - back;
     if (is_prach_occasion(cell_.rach, occasion)) {
       ra_rntis_.push_back(ra_rnti_for_slot(cell_.rach, occasion));
     }

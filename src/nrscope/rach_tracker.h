@@ -66,6 +66,8 @@ class RachTracker {
 
   /// Scan one slot's common search space.  Decoded MSG2/MSG4 DCIs are
   /// appended to `decoded`; returns the UEs that completed association.
+  /// Uses `slot_index` as the cell's air clock too — only right when the
+  /// sniffer has listened since the cell booted.
   std::vector<NewUe> process_slot(const ResourceGrid& grid,
                                   const SlotPoint& slot,
                                   std::uint64_t slot_index,
@@ -74,9 +76,14 @@ class RachTracker {
   /// Allocation-free variant (the steady-state no-RACH path performs no
   /// heap allocation): completed associations are appended to `new_ues`
   /// and all intermediate buffers live in `scratch` or the tracker.
+  /// `slot_index` is the sniffer's feed clock (stamps and bookkeeping);
+  /// `air_slot` is the cell's own slot clock, reconstructed from the MIB
+  /// SFN and the locked frame phase.  PRACH occasions and RA-RNTIs follow
+  /// `air_slot`: after a resync onto a restarted cell the two clocks
+  /// diverge, and the gNB derives RA-RNTIs from its own.
   void process_slot(const ResourceGrid& grid, const SlotPoint& slot,
-                    std::uint64_t slot_index, PdcchScratch& scratch,
-                    std::vector<DecodedDci>& decoded,
+                    std::uint64_t slot_index, std::uint64_t air_slot,
+                    PdcchScratch& scratch, std::vector<DecodedDci>& decoded,
                     std::vector<NewUe>& new_ues);
 
   [[nodiscard]] const std::optional<RrcSetup>& cached_rrc() const {

@@ -71,8 +71,36 @@ double profile_default_doppler_hz(ChannelProfile profile) {
   return 0.0;
 }
 
+std::optional<std::string> ChannelConfig::validate() const {
+  if (std::isnan(snr_db)) {
+    return "snr_db must not be NaN";
+  }
+  if (std::isnan(sample_rate) || sample_rate <= 0.0) {
+    return "sample_rate must be a positive number, got " +
+           std::to_string(sample_rate);
+  }
+  if (std::isnan(doppler_hz) || doppler_hz < 0.0) {
+    return "doppler_hz must be >= 0, got " + std::to_string(doppler_hz);
+  }
+  if (std::isnan(cfo_hz) || std::abs(cfo_hz) >= sample_rate / 2.0) {
+    return "cfo_hz must satisfy |cfo| < sample_rate / 2, got " +
+           std::to_string(cfo_hz);
+  }
+  if (fft_size == 0) {
+    return "fft_size must be > 0";
+  }
+  return std::nullopt;
+}
+
 ChannelModel::ChannelModel(const ChannelConfig& config)
-    : config_(config), rng_(config.seed) {
+    : config_(config), rng_(config.seed),
+      // Distinct stream so noise draws never perturb the fading walk:
+      // step_slot() (UE CQI path) and apply() (sniffer IQ path) must
+      // produce the same per-slot gain trajectory for the same seed.
+      noise_rng_(config.seed ^ 0x9E3779B97F4A7C15ULL) {
+  if (auto error = config_.validate()) {
+    throw std::invalid_argument("ChannelConfig: " + *error);
+  }
   const auto profile = profile_taps_ns_db(config_.profile);
   double total = 0.0;
   for (const auto& [delay_ns, power_db] : profile) {
@@ -179,8 +207,8 @@ void ChannelModel::apply(IqBuffer& samples) {
   const double nv = 1.0 / (static_cast<double>(config_.fft_size) * snr);
   const double s = std::sqrt(nv / 2.0);
   for (auto& v : samples) {
-    v += cf32(static_cast<float>(rng_.gaussian(0.0, s)),
-              static_cast<float>(rng_.gaussian(0.0, s)));
+    v += cf32(static_cast<float>(noise_rng_.gaussian(0.0, s)),
+              static_cast<float>(noise_rng_.gaussian(0.0, s)));
   }
 }
 

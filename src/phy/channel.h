@@ -12,6 +12,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -39,6 +40,12 @@ struct ChannelConfig {
   double sample_rate = 30.72e6;
   unsigned fft_size = 1024;
   std::uint64_t seed = 1;
+
+  /// First violated constraint as a descriptive message, or nullopt when
+  /// usable.  ChannelModel's constructor calls this and throws
+  /// std::invalid_argument — NaN SNRs and non-positive sample rates
+  /// otherwise propagate silently into every downstream statistic.
+  [[nodiscard]] std::optional<std::string> validate() const;
 };
 
 /// Stateful channel: call apply() on consecutive slot buffers; fading
@@ -53,6 +60,9 @@ class ChannelModel {
   /// Advance the fading state by one slot without touching samples.  UE
   /// emulators use this: their link quality evolves even though we never
   /// synthesize their IQ (only the sniffer's samples are materialized).
+  /// The fading and noise generators are independent streams, so for the
+  /// same seed step_slot() and apply() walk through identical per-slot
+  /// gain trajectories (the UE CQI path and the sniffer path agree).
   void step_slot();
 
   /// Instantaneous average tap power (linear); < 1 means the slot is in a
@@ -76,7 +86,8 @@ class ChannelModel {
   void evolve_taps();
 
   ChannelConfig config_;
-  Rng rng_;
+  Rng rng_;        ///< fading evolution only (keeps step_slot == apply)
+  Rng noise_rng_;  ///< AWGN draws, independent of the fading stream
   std::vector<Tap> taps_;
   double rho_ = 1.0;        // AR(1) fading coefficient per slot
   double phase_ = 0.0;      // CFO phase accumulator

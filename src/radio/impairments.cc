@@ -1,0 +1,310 @@
+#include "radio/impairments.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <numbers>
+
+namespace nrs {
+
+const char* to_string(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kOutage:
+      return "outage";
+    case FaultKind::kSampleGap:
+      return "sample_gap";
+    case FaultKind::kIqGlitch:
+      return "iq_glitch";
+    case FaultKind::kCfoStep:
+      return "cfo_step";
+    case FaultKind::kCfoDrift:
+      return "cfo_drift";
+    case FaultKind::kTimingJump:
+      return "timing_jump";
+    case FaultKind::kCellRestart:
+      return "cell_restart";
+    case FaultKind::kSib1Change:
+      return "sib1_change";
+  }
+  return "?";
+}
+
+bool is_iq_fault(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kOutage:
+    case FaultKind::kSampleGap:
+    case FaultKind::kIqGlitch:
+    case FaultKind::kCfoStep:
+    case FaultKind::kCfoDrift:
+      return true;
+    case FaultKind::kTimingJump:
+    case FaultKind::kCellRestart:
+    case FaultKind::kSib1Change:
+      return false;
+  }
+  return false;
+}
+
+std::optional<std::string> FaultSchedule::validate() const {
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    const FaultEvent& ev = events[i];
+    const std::string where =
+        std::string(to_string(ev.kind)) + " event at slot " +
+        std::to_string(ev.start_slot);
+    if (ev.duration_slots == 0) {
+      return where + ": zero-length window (duration_slots must be > 0)";
+    }
+    if (std::isnan(ev.magnitude)) {
+      return where + ": magnitude must not be NaN";
+    }
+    switch (ev.kind) {
+      case FaultKind::kOutage:
+        if (ev.magnitude <= 0.0) {
+          return where + ": outage depth (dB) must be > 0, got " +
+                 std::to_string(ev.magnitude);
+        }
+        break;
+      case FaultKind::kSampleGap:
+        if (ev.magnitude <= 0.0 || ev.magnitude > 1.0) {
+          return where + ": dropped fraction must be in (0, 1], got " +
+                 std::to_string(ev.magnitude);
+        }
+        break;
+      case FaultKind::kIqGlitch:
+        if (ev.magnitude <= 0.0) {
+          return where + ": glitch amplitude must be > 0, got " +
+                 std::to_string(ev.magnitude);
+        }
+        break;
+      case FaultKind::kCfoStep:
+      case FaultKind::kCfoDrift:
+        break;  // any finite Hz value (including negative) is meaningful
+      case FaultKind::kTimingJump:
+        if (ev.magnitude < 1.0) {
+          return where + ": timing jump must skip >= 1 slot, got " +
+                 std::to_string(ev.magnitude);
+        }
+        break;
+      case FaultKind::kCellRestart:
+      case FaultKind::kSib1Change:
+        break;
+    }
+    // Overlapping windows of the same kind make the magnitude ambiguous
+    // (which event wins?); reject them outright.
+    for (std::size_t j = i + 1; j < events.size(); ++j) {
+      const FaultEvent& other = events[j];
+      if (other.kind != ev.kind) {
+        continue;
+      }
+      if (ev.start_slot < other.end_slot() &&
+          other.start_slot < ev.end_slot()) {
+        return std::string("overlapping ") + to_string(ev.kind) +
+               " windows at slots " + std::to_string(ev.start_slot) +
+               " and " + std::to_string(other.start_slot);
+      }
+    }
+  }
+  return std::nullopt;
+}
+
+FaultSchedule FaultSchedule::random(std::uint64_t seed,
+                                    std::uint64_t first_slot,
+                                    std::uint64_t horizon_slots,
+                                    unsigned n_events) {
+  FaultSchedule schedule;
+  if (n_events == 0 || horizon_slots <= first_slot) {
+    return schedule;
+  }
+  Rng rng(seed);
+  // Slice the horizon into equal spans, one event per span, so windows
+  // never overlap regardless of the draws.
+  const std::uint64_t span = (horizon_slots - first_slot) / n_events;
+  for (unsigned i = 0; i < n_events; ++i) {
+    const std::uint64_t base = first_slot + i * span;
+    FaultEvent ev;
+    const auto max_dur =
+        static_cast<std::int64_t>(std::max<std::uint64_t>(1, span / 2));
+    ev.duration_slots =
+        static_cast<std::uint64_t>(rng.uniform_int(1, max_dur));
+    const auto slack = static_cast<std::int64_t>(
+        span > ev.duration_slots ? span - ev.duration_slots : 0);
+    ev.start_slot =
+        base + static_cast<std::uint64_t>(rng.uniform_int(0, slack));
+    switch (rng.uniform_int(0, 4)) {
+      case 0:
+        ev.kind = FaultKind::kOutage;
+        ev.magnitude = rng.uniform(25.0, 45.0);
+        break;
+      case 1:
+        ev.kind = FaultKind::kSampleGap;
+        ev.magnitude = rng.uniform(0.05, 0.5);
+        break;
+      case 2:
+        ev.kind = FaultKind::kIqGlitch;
+        ev.magnitude = rng.uniform(4.0, 12.0);
+        break;
+      case 3:
+        ev.kind = FaultKind::kCfoStep;
+        ev.magnitude = rng.uniform(200.0, 2200.0);
+        break;
+      default:
+        ev.kind = FaultKind::kCfoDrift;
+        ev.magnitude = rng.uniform(5.0, 55.0);
+        break;
+    }
+    schedule.events.push_back(ev);
+  }
+  return schedule;
+}
+
+const FaultEvent* FaultSchedule::find_active(FaultKind kind,
+                                             std::uint64_t slot) const {
+  for (const FaultEvent& ev : events) {
+    if (ev.kind == kind && ev.active_at(slot)) {
+      return &ev;
+    }
+  }
+  return nullptr;
+}
+
+bool FaultSchedule::any_iq_active(std::uint64_t slot) const {
+  for (const FaultEvent& ev : events) {
+    if (is_iq_fault(ev.kind) && ev.active_at(slot)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+const FaultEvent* FaultSchedule::feeder_event_at(std::uint64_t slot) const {
+  for (const FaultEvent& ev : events) {
+    if (!is_iq_fault(ev.kind) && ev.start_slot == slot) {
+      return &ev;
+    }
+  }
+  return nullptr;
+}
+
+ImpairmentInjector::ImpairmentInjector(FaultSchedule schedule,
+                                       double sample_rate,
+                                       std::uint64_t seed)
+    : schedule_(std::move(schedule)), sample_rate_(sample_rate),
+      rng_(seed) {}
+
+void ImpairmentInjector::bind_metrics(MetricsRegistry& registry) {
+  m_fault_slots_ = &registry.counter("radio.fault_slots");
+  m_fault_active_ = &registry.gauge("radio.fault_active");
+}
+
+void ImpairmentInjector::apply_outage(const FaultEvent& ev,
+                                      IqBuffer& samples) {
+  // SNR collapse: attenuate the received waveform (signal *and* its
+  // embedded channel noise) by `magnitude` dB and bury it under fresh
+  // noise at the pre-fade received power — a blocked path with the
+  // interference floor unchanged.  Post-fade SNR ~= -magnitude dB.
+  double power = 0.0;
+  for (const cf32& s : samples) {
+    power += std::norm(s);
+  }
+  power /= std::max<std::size_t>(1, samples.size());
+  const auto g = static_cast<float>(std::pow(10.0, -ev.magnitude / 20.0));
+  const double s = std::sqrt(power / 2.0);
+  for (cf32& v : samples) {
+    v = g * v + cf32(static_cast<float>(rng_.gaussian(0.0, s)),
+                     static_cast<float>(rng_.gaussian(0.0, s)));
+  }
+}
+
+void ImpairmentInjector::apply_sample_gap(const FaultEvent& ev,
+                                          IqBuffer& samples) {
+  // Drop a contiguous run of samples (an SDR overflow inside the slot):
+  // the remainder shifts earlier and the tail zero-pads, so every OFDM
+  // symbol after the gap lands misaligned.
+  const auto len = samples.size();
+  if (len == 0) {
+    return;
+  }
+  const auto dropped = std::min<std::size_t>(
+      len, std::max<std::size_t>(
+               1, static_cast<std::size_t>(ev.magnitude *
+                                           static_cast<double>(len))));
+  const auto at = static_cast<std::size_t>(
+      rng_.uniform_int(0, static_cast<std::int64_t>(len - dropped)));
+  std::memmove(samples.data() + at, samples.data() + at + dropped,
+               (len - at - dropped) * sizeof(cf32));
+  std::fill(samples.end() - static_cast<std::ptrdiff_t>(dropped),
+            samples.end(), cf32{});
+}
+
+void ImpairmentInjector::apply_glitch(const FaultEvent& ev,
+                                      IqBuffer& samples) {
+  // Impulsive interference: overwrite scattered samples with strong
+  // random-phase spikes (~1.5% of the slot).
+  const std::size_t len = samples.size();
+  if (len == 0) {
+    return;
+  }
+  const std::size_t n_spikes = std::max<std::size_t>(8, len / 64);
+  const auto amp = static_cast<float>(ev.magnitude);
+  for (std::size_t i = 0; i < n_spikes; ++i) {
+    const auto at = static_cast<std::size_t>(
+        rng_.uniform_int(0, static_cast<std::int64_t>(len - 1)));
+    const double phi = rng_.uniform(0.0, 2.0 * std::numbers::pi);
+    samples[at] = amp * cf32(static_cast<float>(std::cos(phi)),
+                             static_cast<float>(std::sin(phi)));
+  }
+}
+
+void ImpairmentInjector::apply_cfo(double cfo_hz, IqBuffer& samples) {
+  const double step = 2.0 * std::numbers::pi * cfo_hz / sample_rate_;
+  for (cf32& s : samples) {
+    s *= cf32(static_cast<float>(std::cos(cfo_phase_)),
+              static_cast<float>(std::sin(cfo_phase_)));
+    cfo_phase_ += step;
+    if (cfo_phase_ > 2.0 * std::numbers::pi) {
+      cfo_phase_ -= 2.0 * std::numbers::pi;
+    }
+  }
+}
+
+void ImpairmentInjector::apply(IqBuffer& samples) {
+  const std::uint64_t slot = slot_++;
+  const bool active = schedule_.any_iq_active(slot);
+  if (m_fault_active_ != nullptr) {
+    m_fault_active_->set(active ? 1 : 0);
+  }
+  if (!active) {
+    return;
+  }
+  if (m_fault_slots_ != nullptr) {
+    m_fault_slots_->inc();
+  }
+  if (const FaultEvent* ev =
+          schedule_.find_active(FaultKind::kSampleGap, slot)) {
+    apply_sample_gap(*ev, samples);
+  }
+  if (const FaultEvent* ev =
+          schedule_.find_active(FaultKind::kIqGlitch, slot)) {
+    apply_glitch(*ev, samples);
+  }
+  double cfo_hz = 0.0;
+  if (const FaultEvent* ev =
+          schedule_.find_active(FaultKind::kCfoStep, slot)) {
+    cfo_hz += ev->magnitude;
+  }
+  if (const FaultEvent* ev =
+          schedule_.find_active(FaultKind::kCfoDrift, slot)) {
+    cfo_hz += ev->magnitude *
+              static_cast<double>(slot - ev->start_slot + 1);
+  }
+  if (cfo_hz != 0.0) {
+    apply_cfo(cfo_hz, samples);
+  }
+  // Outage last: it must bury whatever the other impairments left.
+  if (const FaultEvent* ev =
+          schedule_.find_active(FaultKind::kOutage, slot)) {
+    apply_outage(*ev, samples);
+  }
+}
+
+}  // namespace nrs

@@ -1,5 +1,8 @@
 #include "radio/virtual_radio.h"
 
+#include <algorithm>
+#include <stdexcept>
+
 namespace nrs {
 
 VirtualRadio::VirtualRadio(const VirtualRadioConfig& config)
@@ -9,7 +12,12 @@ VirtualRadio::VirtualRadio(const VirtualRadioConfig& config)
         ch.fft_size = make_ofdm_config(config.n_prb).fft_size;
         return ch;
       }()),
+      injector_(config.faults, config.channel.sample_rate,
+                config.fault_seed),
       agc_(1.0f, 0.25f) {
+  if (auto error = config_.faults.validate()) {
+    throw std::invalid_argument("FaultSchedule: " + *error);
+  }
   if (config_.capture_rate_ratio != 1.0) {
     upsampler_.emplace(config_.capture_rate_ratio);
     downsampler_.emplace(1.0 / config_.capture_rate_ratio);
@@ -25,6 +33,9 @@ IqBuffer VirtualRadio::capture(const ResourceGrid& tx_grid) {
 void VirtualRadio::capture_into(const ResourceGrid& tx_grid, IqBuffer& out) {
   modulator_.modulate_into(tx_grid, out);
   channel_.apply(out);
+  // Impairments hit the antenna-side waveform, before the front end's
+  // resampling and AGC (which then reacts to them, like real hardware).
+  injector_.apply(out);
   if (upsampler_) {
     // Capture at the off-nominal rate, then resample back like the paper's
     // TwinRX path (section 4, footnote 5).
@@ -40,6 +51,53 @@ void VirtualRadio::capture_into(const ResourceGrid& tx_grid, IqBuffer& out) {
 
 void IqRecorder::record(const IqBuffer& slot_samples) {
   slots_.push_back(slot_samples);
+}
+
+void IqRecorder::append(std::span<const cf32> samples,
+                        std::size_t slot_len) {
+  if (slot_len == 0) {
+    throw std::invalid_argument("IqRecorder::append: slot_len must be > 0");
+  }
+  std::size_t offset = 0;
+  // Complete a buffered partial slot first.
+  if (!partial_.empty()) {
+    const std::size_t need =
+        std::min(samples.size(), slot_len - partial_.size());
+    partial_.insert(partial_.end(), samples.begin(),
+                    samples.begin() + static_cast<std::ptrdiff_t>(need));
+    offset = need;
+    if (partial_.size() == slot_len) {
+      slots_.push_back(std::move(partial_));
+      partial_.clear();
+    }
+  }
+  while (samples.size() - offset >= slot_len) {
+    slots_.emplace_back(
+        samples.begin() + static_cast<std::ptrdiff_t>(offset),
+        samples.begin() + static_cast<std::ptrdiff_t>(offset + slot_len));
+    offset += slot_len;
+  }
+  partial_.insert(partial_.end(),
+                  samples.begin() + static_cast<std::ptrdiff_t>(offset),
+                  samples.end());
+}
+
+std::size_t IqRecorder::finalize() {
+  const std::size_t dropped = partial_.size();
+  if (dropped > 0) {
+    // A partial slot cannot be demodulated; skip it rather than feeding
+    // the pipeline a short buffer, and make the loss visible.
+    ++truncated_;
+    if (m_truncated_ != nullptr) {
+      m_truncated_->inc();
+    }
+    partial_.clear();
+  }
+  return dropped;
+}
+
+void IqRecorder::bind_metrics(MetricsRegistry& registry) {
+  m_truncated_ = &registry.counter("radio.replay_truncated");
 }
 
 }  // namespace nrs

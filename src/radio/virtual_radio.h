@@ -8,13 +8,16 @@
 
 #include <memory>
 #include <optional>
+#include <span>
 #include <vector>
 
+#include "common/metrics.h"
 #include "phy/agc.h"
 #include "phy/channel.h"
 #include "phy/ofdm.h"
 #include "phy/resampler.h"
 #include "phy/resource_grid.h"
+#include "radio/impairments.h"
 
 namespace nrs {
 
@@ -25,6 +28,10 @@ struct VirtualRadioConfig {
   /// When != 1.0, samples are produced at ratio * nominal rate and the
   /// radio resamples back — exercising the TwinRX-style resampling path.
   double capture_rate_ratio = 1.0;
+  /// Scripted transient impairments (outages, gaps, glitches, CFO) applied
+  /// to every capture after the channel.  Empty = transparent.
+  FaultSchedule faults;
+  std::uint64_t fault_seed = 1;
 };
 
 class VirtualRadio {
@@ -43,6 +50,8 @@ class VirtualRadio {
 
   /// Current sniffer-side channel (for SNR sweeps in the coverage bench).
   [[nodiscard]] ChannelModel& channel() { return channel_; }
+  /// The fault injector (transparent when the schedule is empty).
+  [[nodiscard]] ImpairmentInjector& injector() { return injector_; }
   [[nodiscard]] const OfdmConfig& ofdm_config() const {
     return modulator_.config();
   }
@@ -51,23 +60,46 @@ class VirtualRadio {
   VirtualRadioConfig config_;
   OfdmModulator modulator_;
   ChannelModel channel_;
+  ImpairmentInjector injector_;
   std::optional<Resampler> upsampler_;    ///< to the capture rate
   std::optional<Resampler> downsampler_;  ///< back to the nominal rate
   Agc agc_;
 };
 
 /// Simple IQ recorder: keeps captured slots for replay (the "file
-/// system" sink of Fig. 4 on the raw-sample side).
+/// system" sink of Fig. 4 on the raw-sample side).  Besides exact
+/// slot-sized record() calls it accepts a raw sample stream via append(),
+/// cutting complete slots out of it — an interrupted capture then leaves a
+/// truncated tail which finalize() skips and counts instead of replaying
+/// a partial (undecodable) slot.
 class IqRecorder {
  public:
   void record(const IqBuffer& slot_samples);
+  /// Append raw stream samples; every complete `slot_len`-sample slot is
+  /// cut into the replay list, the remainder is buffered for the next
+  /// append.  `slot_len` must stay constant across a recording.
+  void append(std::span<const cf32> samples, std::size_t slot_len);
+  /// End of capture: drop (and count) a buffered partial slot.  Returns
+  /// the number of samples discarded.
+  std::size_t finalize();
+  /// Mirror truncation into `radio.replay_truncated` of `registry`.
+  void bind_metrics(MetricsRegistry& registry);
+
   [[nodiscard]] std::size_t n_slots() const { return slots_.size(); }
   [[nodiscard]] const IqBuffer& slot(std::size_t index) const {
     return slots_.at(index);
   }
+  /// Partial final slots dropped by finalize() so far.
+  [[nodiscard]] std::uint64_t truncated_slots() const { return truncated_; }
+  [[nodiscard]] std::size_t pending_samples() const {
+    return partial_.size();
+  }
 
  private:
   std::vector<IqBuffer> slots_;
+  IqBuffer partial_;  ///< tail of append() not yet a whole slot
+  std::uint64_t truncated_ = 0;
+  Counter* m_truncated_ = nullptr;
 };
 
 }  // namespace nrs

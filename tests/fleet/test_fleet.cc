@@ -184,6 +184,75 @@ TEST(Fleet, CellExceedingRestartBudgetIsMarkedFailed) {
   EXPECT_EQ(snap.counter_value("fleet.cell.restarts"), 3u);
 }
 
+TEST(Fleet, SyncLossHealsInPlaceWithoutRestart) {
+  MetricsRegistry registry;
+  FleetConfig config = make_config(1);
+  // A deep IQ outage long enough to trip the sync monitor (several SSB
+  // periods) but bounded, so the engine can re-find the same cell in
+  // place.  The default resync_deadline_s is far beyond the outage.
+  config.cells[0].faults.events.push_back(
+      {FaultKind::kOutage, 500, 160, 35.0});
+  FleetOrchestrator fleet(std::move(config), registry);
+
+  fleet.run_until(1200);
+  fleet.stop();
+
+  // The supervisor never tore the cell down: sync loss healed through the
+  // engine's kResync path, not the restart machinery.
+  EXPECT_EQ(fleet.cell_restarts(0), 0u);
+  EXPECT_EQ(fleet.resync_escalations(), 0u);
+  EXPECT_EQ(fleet.cell_state(0), FleetCellState::kRunning);
+  EXPECT_GE(fleet.cell_slots(0), 1200u);
+
+  const FleetRollup roll = fleet.rollup();
+  ASSERT_EQ(roll.cells.size(), 1u);
+  EXPECT_GT(roll.cells[0].resync_slots, 0u) << "the outage must trip sync";
+  EXPECT_EQ(roll.cells[0].restarts, 0u);
+  EXPECT_GT(roll.cells[0].dcis, 0u) << "telemetry resumed after recovery";
+  EXPECT_GT(roll.cells[0].active_ues, 0u) << "tracked UEs survived in place";
+
+  const MetricsSnapshot snap = registry.snapshot();
+  EXPECT_EQ(snap.counter_value("fleet.resync_escalations"), 0u);
+  EXPECT_EQ(snap.counter_value("fleet.cell.restarts"), 0u);
+  EXPECT_EQ(snap.counter_value("fleet.cell0.resync_slots"),
+            roll.cells[0].resync_slots);
+}
+
+TEST(Fleet, ResyncPastDeadlineEscalatesToTeardown) {
+  MetricsRegistry registry;
+  FleetConfig config = make_config(1);
+  // An effectively endless outage: the engine enters kResync and can
+  // never re-find the cell, so the only way out is the supervisor's
+  // escalation.  A tiny deadline makes it fire on the next tick; the
+  // restarted incarnation replays the schedule and re-syncs cleanly
+  // until its own outage at slot 500.
+  config.resync_deadline_s = 0.01;
+  config.backoff_initial_s = 0.002;
+  config.cells[0].faults.events.push_back(
+      {FaultKind::kOutage, 500, 1000000, 40.0});
+  FleetOrchestrator fleet(std::move(config), registry);
+
+  fleet.run_until(1200);
+  fleet.stop();
+
+  EXPECT_GE(fleet.resync_escalations(), 1u);
+  EXPECT_GE(fleet.cell_restarts(0), 1u);
+  EXPECT_NE(fleet.cell_state(0), FleetCellState::kFailed);
+  EXPECT_GE(fleet.cell_slots(0), 1200u) << "restarts kept the cell feeding";
+
+  const FleetRollup roll = fleet.rollup();
+  ASSERT_EQ(roll.cells.size(), 1u);
+  EXPECT_GT(roll.cells[0].dcis, 0u) << "each incarnation tracks until 500";
+  EXPECT_GT(roll.cells[0].resync_slots, 0u);
+
+  const MetricsSnapshot snap = registry.snapshot();
+  EXPECT_GE(snap.counter_value("fleet.resync_escalations"), 1u);
+  EXPECT_EQ(snap.counter_value("fleet.resync_escalations"),
+            fleet.resync_escalations());
+  EXPECT_GE(snap.counter_value("fleet.cell.restarts"), 1u);
+  EXPECT_EQ(snap.counter_value("fleet.crashes"), 0u);
+}
+
 TEST(Fleet, SameSeedReproducesIdenticalTelemetry) {
   auto run_once = [] {
     MetricsRegistry registry;

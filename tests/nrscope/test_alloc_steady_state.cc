@@ -93,9 +93,15 @@ NrScopeConfig scope_config(const CellConfig& cell) {
 }
 
 // Warm-up long enough for every grow-only container to hit steady
-// capacity: one full telemetry rate window plus a few replay passes.
+// capacity: one full telemetry rate window plus a few replay passes —
+// rounded to whole passes, because the measured loop restarts at
+// replay[0] and a partial pass would hand the engine a frame-phase
+// discontinuity that the sync monitor (correctly) treats as a timing
+// fault, taking the run off the steady-state path into a resync.
 std::uint64_t warm_extra_slots(std::size_t replay_len) {
-  return kRateWindow + 3 * replay_len;
+  const std::uint64_t passes =
+      (kRateWindow + replay_len - 1) / replay_len + 3;
+  return passes * replay_len;
 }
 
 TEST(AllocSteadyState, ShimIsCounting) {

@@ -422,6 +422,110 @@ TEST(Pipeline, StopThenRestartOnSameSimReacquiresCleanly) {
   second->stop();
 }
 
+TEST(Pipeline, SkipSlotsJumpsGapAndKeepsFrameLock) {
+  // A declared input discontinuity (an SDR overflow report): 37 slots of
+  // air time are never pushed.  The collector must jump its reorder
+  // window over the hole instead of parking forever, and the engine's
+  // frame phase must survive the gap without a resync.
+  GnbConfig gnb_cfg;
+  gnb_cfg.cell = srsran_cell();
+  gnb_cfg.seed = 78;
+  GnbSim gnb(std::move(gnb_cfg));
+  UeConfig ue;
+  ue.channel.snr_db = 24.0;
+  ue.dl_traffic = std::make_unique<CbrSource>(2e6);
+  ue.seed = 1;
+  gnb.add_ue(std::move(ue));
+  VirtualRadioConfig radio_cfg;
+  radio_cfg.n_prb = gnb.cell().n_prb;
+  radio_cfg.channel.snr_db = 26.0;
+  VirtualRadio radio(radio_cfg);
+
+  NrScopePipeline pipeline(scope_config(gnb.cell()), 2);
+  feed_live(gnb, radio, pipeline, 400);
+  const std::uint64_t missed = 37;  // not a frame multiple
+  for (std::uint64_t j = 0; j < missed; ++j) {
+    (void)gnb.step();  // air time the feeder lost
+  }
+  pipeline.skip_slots(missed);
+  feed_live(gnb, radio, pipeline, 300);
+  pipeline.finish();
+
+  std::vector<std::uint64_t> seen;
+  while (auto result = pipeline.poll_result()) {
+    seen.push_back(result->slot);
+  }
+  ASSERT_EQ(seen.size(), 700u);
+  // In order throughout, with the engine clock jumping the declared gap.
+  EXPECT_TRUE(std::is_sorted(seen.begin(), seen.end()));
+  EXPECT_EQ(seen[399], 399u);
+  EXPECT_EQ(seen[400], 399u + 1 + missed);
+  EXPECT_EQ(seen.back(), 699u + missed);
+  // The gap was declared, so the frame phase stayed locked: tracking
+  // continued with no sync loss and the UE still known.
+  EXPECT_EQ(pipeline.engine().state(), NrScope::State::kTracking);
+  EXPECT_EQ(pipeline.engine().sync_monitor().sync_losses(), 0u);
+  EXPECT_EQ(pipeline.engine().known_ues().size(), 1u);
+  const MetricsSnapshot snap = pipeline.metrics();
+  EXPECT_EQ(snap.counter_value("pipeline.stream_gaps"), 1u);
+  EXPECT_EQ(snap.counter_value("pipeline.slots_skipped"), missed);
+  EXPECT_EQ(snap.counter_value("nrscope.stream_gap_slots"), missed);
+}
+
+TEST(Pipeline, StopDuringResyncDrainReleasesEveryPooledBuffer) {
+  // Teardown racing the recovery path: the engine is mid-resync (an
+  // outage collapsed sync health) with slots still queued when stop() is
+  // called.  stop() must come back (no deadlock against the resync
+  // drain), leave the engine inspectable, and hand every pooled sample
+  // and grid buffer home.
+  GnbConfig gnb_cfg;
+  gnb_cfg.cell = srsran_cell();
+  gnb_cfg.seed = 79;
+  GnbSim gnb(std::move(gnb_cfg));
+  UeConfig ue;
+  ue.channel.snr_db = 24.0;
+  ue.dl_traffic = std::make_unique<CbrSource>(2e6);
+  ue.seed = 1;
+  gnb.add_ue(std::move(ue));
+  VirtualRadioConfig clean_cfg;
+  clean_cfg.n_prb = gnb.cell().n_prb;
+  clean_cfg.channel.snr_db = 26.0;
+  VirtualRadio clean_radio(clean_cfg);
+
+  NrScopeConfig cfg = scope_config(gnb.cell());
+  NrScopePipeline pipeline(cfg, 2);
+  feed_live(gnb, clean_radio, pipeline, 400);  // warm to tracking
+
+  // Outage from its first slot on: the monitor declares sync lost after
+  // a few weak SSBs, and every slot after that drains through the
+  // kResync path.
+  VirtualRadioConfig faulty_cfg = clean_cfg;
+  faulty_cfg.faults.events.push_back({FaultKind::kOutage, 0, 100000, 35.0});
+  VirtualRadio faulty_radio(faulty_cfg);
+  feed_live(gnb, faulty_radio, pipeline, 120);
+  // A final unpolled burst so slots are still in flight at stop().
+  for (unsigned i = 0; i < 32; ++i) {
+    (void)pipeline.push_slot(faulty_radio.capture(gnb.step()));
+  }
+  pipeline.stop();
+
+  EXPECT_EQ(pipeline.engine().state(), NrScope::State::kResync);
+  EXPECT_GE(pipeline.engine().sync_monitor().sync_losses(), 1u);
+  EXPECT_EQ(pipeline.buffers_in_flight(), 0u)
+      << "stop() during resync leaked pooled buffers";
+  // stop() stays idempotent in this state too.
+  pipeline.stop();
+  EXPECT_EQ(pipeline.buffers_in_flight(), 0u);
+
+  // The supervisor's next move — a fresh pipeline on the now-recovered
+  // feed — must come up cleanly after the aborted resync.
+  NrScopePipeline second(cfg, 2);
+  feed_live(gnb, clean_radio, second, 400);
+  second.stop();
+  EXPECT_NE(second.engine().state(), NrScope::State::kSearching);
+  EXPECT_EQ(second.buffers_in_flight(), 0u);
+}
+
 TEST(Pipeline, FinishWithoutInputTerminates) {
   const CapturedRun& run = captured_run();
   NrScopePipeline pipeline(scope_config(run.cell), 2);

@@ -128,6 +128,66 @@ TEST(Channel, DeterministicForSameSeed) {
   }
 }
 
+TEST(Channel, StepSlotMatchesApplyGainTrajectory) {
+  // The UE CQI path advances fading with step_slot() while the sniffer
+  // path runs apply(); with the same seed both must walk through the
+  // identical per-slot gain trajectory — the noise draws live on an
+  // independent RNG stream precisely so they cannot perturb the fading
+  // walk.
+  for (auto p : {ChannelProfile::kPedestrian, ChannelProfile::kVehicle,
+                 ChannelProfile::kUrban}) {
+    ChannelConfig cfg;
+    cfg.profile = p;
+    cfg.snr_db = 15.0;
+    cfg.seed = 77;
+    ChannelModel via_apply(cfg);
+    ChannelModel via_step(cfg);
+    IqBuffer block = constant_block(256, cf32(1.0f, 0.0f));
+    for (int slot = 0; slot < 200; ++slot) {
+      IqBuffer b = block;
+      via_apply.apply(b);
+      via_step.step_slot();
+      ASSERT_DOUBLE_EQ(via_apply.current_gain(), via_step.current_gain())
+          << to_string(p) << " slot " << slot;
+      ASSERT_DOUBLE_EQ(via_apply.effective_snr_db(),
+                       via_step.effective_snr_db())
+          << to_string(p) << " slot " << slot;
+    }
+  }
+}
+
+TEST(Channel, ValidateRejectsUnusableConfigs) {
+  ChannelConfig good;
+  EXPECT_EQ(good.validate(), std::nullopt);
+
+  auto broken = [](auto&& mutate) {
+    ChannelConfig cfg;
+    mutate(cfg);
+    return cfg;
+  };
+  EXPECT_NE(broken([](ChannelConfig& c) { c.snr_db = NAN; }).validate(),
+            std::nullopt);
+  EXPECT_NE(broken([](ChannelConfig& c) { c.sample_rate = 0.0; }).validate(),
+            std::nullopt);
+  EXPECT_NE(broken([](ChannelConfig& c) { c.sample_rate = -1e6; }).validate(),
+            std::nullopt);
+  EXPECT_NE(broken([](ChannelConfig& c) { c.sample_rate = NAN; }).validate(),
+            std::nullopt);
+  EXPECT_NE(broken([](ChannelConfig& c) { c.doppler_hz = -5.0; }).validate(),
+            std::nullopt);
+  EXPECT_NE(broken([](ChannelConfig& c) {
+              c.cfo_hz = c.sample_rate;  // beyond +/- fs/2: aliases
+            }).validate(),
+            std::nullopt);
+  EXPECT_NE(broken([](ChannelConfig& c) { c.fft_size = 0; }).validate(),
+            std::nullopt);
+
+  // The model refuses to be built on a config validate() rejects.
+  ChannelConfig bad;
+  bad.sample_rate = -1.0;
+  EXPECT_THROW(ChannelModel{bad}, std::invalid_argument);
+}
+
 TEST(Channel, MultipathSpreadsEnergyInTime) {
   ChannelConfig cfg;
   cfg.profile = ChannelProfile::kUrban;  // up to 5 us excess delay

@@ -83,6 +83,95 @@ TEST(Pss, ShortBufferRejected) {
   EXPECT_FALSE(detect_pss(res).has_value());
 }
 
+// Sweep the detector across falling per-RE SNR and characterize where the
+// correlation statistic lands.  This anchors the sync monitor's
+// ssb_weak_threshold default (0.25): a healthy channel scores far above
+// it, and a deep fade / outage scores below it, so consecutive weak SSBs
+// are a trustworthy loss signal rather than threshold noise.
+TEST(Pss, CorrelationSweepSeparatesHealthyFromOutage) {
+  constexpr float kWeakThreshold = 0.25f;  // SyncMonitorConfig default
+  constexpr int kTrials = 20;
+  constexpr unsigned kNid2 = 2;
+  const auto seq = pss_sequence(kNid2);
+  Rng rng(71);
+
+  const double snrs_db[] = {20.0, 10.0, 0.0, -10.0, -20.0};
+  double avg_corr[std::size(snrs_db)] = {};
+  int hits_at_threshold[std::size(snrs_db)] = {};
+  for (std::size_t s = 0; s < std::size(snrs_db); ++s) {
+    const double sigma =
+        std::sqrt(std::pow(10.0, -snrs_db[s] / 10.0) / 2.0);
+    for (int t = 0; t < kTrials; ++t) {
+      std::vector<cf32> res(kPssLength + 12, cf32{});
+      for (unsigned n = 0; n < res.size(); ++n) {
+        res[n] = cf32(static_cast<float>(rng.gaussian(0.0, sigma)),
+                      static_cast<float>(rng.gaussian(0.0, sigma)));
+      }
+      for (unsigned n = 0; n < kPssLength; ++n) {
+        res[4 + n] += cf32(seq[n], 0.0f);
+      }
+      // Threshold 0 keeps the best candidate so the statistic itself is
+      // observable even when it would be rejected in production.
+      const auto det = detect_pss(res, 0.0f);
+      ASSERT_TRUE(det.has_value());
+      avg_corr[s] += det->correlation / kTrials;
+      if (det->correlation >= kWeakThreshold && det->nid2 == kNid2 &&
+          det->sc_offset == 4u) {
+        ++hits_at_threshold[s];
+      }
+    }
+  }
+
+  // Monotone degradation (small tolerance for trial noise).
+  for (std::size_t s = 1; s < std::size(snrs_db); ++s) {
+    EXPECT_LE(avg_corr[s], avg_corr[s - 1] + 0.05)
+        << "correlation must fall with SNR (step " << s << ")";
+  }
+  // The operating points the sync monitor cares about: clearly healthy at
+  // >= 10 dB, clearly below the weak threshold in an outage-deep fade.
+  EXPECT_GT(avg_corr[0], 0.9);
+  EXPECT_GT(avg_corr[1], 0.8);
+  EXPECT_LT(avg_corr[4], kWeakThreshold);
+  EXPECT_EQ(hits_at_threshold[0], kTrials);
+  EXPECT_EQ(hits_at_threshold[1], kTrials);
+  EXPECT_LE(hits_at_threshold[4], kTrials / 5)
+      << "a -20 dB slot must not masquerade as a healthy SSB";
+}
+
+TEST(Sss, CorrelationSweepDegradesWithSnr) {
+  constexpr int kTrials = 20;
+  constexpr unsigned kNid1 = 210;
+  constexpr unsigned kNid2 = 1;
+  const auto seq = sss_sequence(kNid1, kNid2);
+  Rng rng(72);
+
+  const double snrs_db[] = {20.0, 0.0, -20.0};
+  double avg_corr[std::size(snrs_db)] = {};
+  int correct_nid1[std::size(snrs_db)] = {};
+  for (std::size_t s = 0; s < std::size(snrs_db); ++s) {
+    const double sigma =
+        std::sqrt(std::pow(10.0, -snrs_db[s] / 10.0) / 2.0);
+    for (int t = 0; t < kTrials; ++t) {
+      std::vector<cf32> res(kPssLength);
+      for (unsigned n = 0; n < kPssLength; ++n) {
+        res[n] = cf32(seq[n] + static_cast<float>(rng.gaussian(0.0, sigma)),
+                      static_cast<float>(rng.gaussian(0.0, sigma)));
+      }
+      const auto det = detect_sss(res, kNid2, 0.0f);
+      ASSERT_TRUE(det.has_value());
+      avg_corr[s] += det->correlation / kTrials;
+      if (det->nid1 == kNid1) {
+        ++correct_nid1[s];
+      }
+    }
+  }
+
+  EXPECT_GT(avg_corr[0], 0.9);
+  EXPECT_GT(avg_corr[1], avg_corr[2]);
+  EXPECT_EQ(correct_nid1[0], kTrials);
+  EXPECT_GE(correct_nid1[1], kTrials - 2) << "0 dB should still resolve NID1";
+}
+
 TEST(Sss, DetectsNid1) {
   for (unsigned nid1 : {0u, 41u, 167u, 335u}) {
     const auto seq = sss_sequence(nid1, 2);

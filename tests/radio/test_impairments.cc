@@ -1,0 +1,301 @@
+#include "radio/impairments.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <numbers>
+
+#include "common/metrics.h"
+#include "radio/virtual_radio.h"
+
+namespace nrs {
+namespace {
+
+IqBuffer tone(std::size_t n, float amplitude = 1.0f) {
+  IqBuffer buf(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    buf[i] = cf32(amplitude, 0.0f);
+  }
+  return buf;
+}
+
+double mean_power(const IqBuffer& buf) {
+  double p = 0.0;
+  for (const cf32& s : buf) {
+    p += std::norm(s);
+  }
+  return p / static_cast<double>(buf.size());
+}
+
+// ---------------------------------------------------------------- schedule
+
+TEST(FaultSchedule, EmptyScheduleIsValid) {
+  EXPECT_FALSE(FaultSchedule{}.validate().has_value());
+}
+
+TEST(FaultSchedule, RejectsZeroLengthWindow) {
+  FaultSchedule s;
+  s.events.push_back({FaultKind::kOutage, 10, 0, 30.0});
+  const auto error = s.validate();
+  ASSERT_TRUE(error.has_value());
+  EXPECT_NE(error->find("zero-length"), std::string::npos);
+}
+
+TEST(FaultSchedule, RejectsNanMagnitude) {
+  FaultSchedule s;
+  s.events.push_back({FaultKind::kCfoStep, 0, 10,
+                      std::numeric_limits<double>::quiet_NaN()});
+  ASSERT_TRUE(s.validate().has_value());
+}
+
+TEST(FaultSchedule, RejectsOutOfRangeMagnitudes) {
+  FaultSchedule outage;
+  outage.events.push_back({FaultKind::kOutage, 0, 10, -3.0});
+  EXPECT_TRUE(outage.validate().has_value());
+
+  FaultSchedule gap;
+  gap.events.push_back({FaultKind::kSampleGap, 0, 10, 1.5});
+  EXPECT_TRUE(gap.validate().has_value());
+
+  FaultSchedule glitch;
+  glitch.events.push_back({FaultKind::kIqGlitch, 0, 10, 0.0});
+  EXPECT_TRUE(glitch.validate().has_value());
+
+  FaultSchedule jump;
+  jump.events.push_back({FaultKind::kTimingJump, 0, 1, 0.2});
+  EXPECT_TRUE(jump.validate().has_value());
+}
+
+TEST(FaultSchedule, RejectsOverlappingSameKindWindows) {
+  FaultSchedule s;
+  s.events.push_back({FaultKind::kOutage, 100, 50, 30.0});
+  s.events.push_back({FaultKind::kOutage, 120, 50, 20.0});
+  const auto error = s.validate();
+  ASSERT_TRUE(error.has_value());
+  EXPECT_NE(error->find("overlapping"), std::string::npos);
+}
+
+TEST(FaultSchedule, AllowsOverlappingDifferentKinds) {
+  FaultSchedule s;
+  s.events.push_back({FaultKind::kOutage, 100, 50, 30.0});
+  s.events.push_back({FaultKind::kCfoStep, 120, 50, 800.0});
+  EXPECT_FALSE(s.validate().has_value());
+}
+
+TEST(FaultSchedule, FindActiveRespectsWindow) {
+  FaultSchedule s;
+  s.events.push_back({FaultKind::kOutage, 10, 5, 30.0});
+  EXPECT_EQ(s.find_active(FaultKind::kOutage, 9), nullptr);
+  EXPECT_NE(s.find_active(FaultKind::kOutage, 10), nullptr);
+  EXPECT_NE(s.find_active(FaultKind::kOutage, 14), nullptr);
+  EXPECT_EQ(s.find_active(FaultKind::kOutage, 15), nullptr);
+  EXPECT_TRUE(s.any_iq_active(12));
+  EXPECT_FALSE(s.any_iq_active(20));
+}
+
+TEST(FaultSchedule, FeederEventsFireAtStartSlotOnly) {
+  FaultSchedule s;
+  s.events.push_back({FaultKind::kCellRestart, 500, 1, 7.0});
+  s.events.push_back({FaultKind::kOutage, 500, 10, 30.0});
+  ASSERT_NE(s.feeder_event_at(500), nullptr);
+  EXPECT_EQ(s.feeder_event_at(500)->kind, FaultKind::kCellRestart);
+  EXPECT_EQ(s.feeder_event_at(501), nullptr);
+  // The co-located IQ event is not a feeder event.
+  EXPECT_FALSE(is_iq_fault(FaultKind::kCellRestart));
+  EXPECT_TRUE(is_iq_fault(FaultKind::kOutage));
+}
+
+TEST(FaultSchedule, RandomIsDeterministicAndValid) {
+  const FaultSchedule a = FaultSchedule::random(42, 100, 10000, 8);
+  const FaultSchedule b = FaultSchedule::random(42, 100, 10000, 8);
+  ASSERT_EQ(a.events.size(), 8u);
+  EXPECT_FALSE(a.validate().has_value());
+  ASSERT_EQ(b.events.size(), a.events.size());
+  for (std::size_t i = 0; i < a.events.size(); ++i) {
+    EXPECT_EQ(a.events[i].kind, b.events[i].kind);
+    EXPECT_EQ(a.events[i].start_slot, b.events[i].start_slot);
+    EXPECT_EQ(a.events[i].duration_slots, b.events[i].duration_slots);
+    EXPECT_EQ(a.events[i].magnitude, b.events[i].magnitude);
+    EXPECT_GE(a.events[i].start_slot, 100u);
+    EXPECT_LT(a.events[i].end_slot(), 10000u + 1);
+    EXPECT_TRUE(is_iq_fault(a.events[i].kind));
+  }
+  // A different seed draws a different storm.
+  const FaultSchedule c = FaultSchedule::random(43, 100, 10000, 8);
+  bool any_diff = false;
+  for (std::size_t i = 0; i < a.events.size(); ++i) {
+    any_diff = any_diff || a.events[i].start_slot != c.events[i].start_slot ||
+               a.events[i].magnitude != c.events[i].magnitude;
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+// ---------------------------------------------------------------- injector
+
+TEST(ImpairmentInjector, TransparentOnCleanSlots) {
+  FaultSchedule s;
+  s.events.push_back({FaultKind::kOutage, 5, 1, 30.0});
+  ImpairmentInjector injector(s, 30.72e6, 1);
+  const IqBuffer original = tone(2048);
+  IqBuffer samples = original;
+  injector.apply(samples);  // slot 0: no fault
+  EXPECT_EQ(samples, original);
+  EXPECT_EQ(injector.current_slot(), 1u);
+}
+
+TEST(ImpairmentInjector, OutageBuriesTheSignal) {
+  FaultSchedule s;
+  s.events.push_back({FaultKind::kOutage, 0, 1, 35.0});
+  ImpairmentInjector injector(s, 30.72e6, 2);
+  const IqBuffer original = tone(4096);
+  IqBuffer samples = original;
+  injector.apply(samples);
+  // Received power stays near the pre-fade level (the floor replaces the
+  // signal)...
+  EXPECT_NEAR(mean_power(samples), mean_power(original), 0.25);
+  // ...but the waveform no longer correlates with what was sent.
+  cf32 corr{};
+  for (std::size_t i = 0; i < samples.size(); ++i) {
+    corr += samples[i] * std::conj(original[i]);
+  }
+  const double rho = std::abs(corr) /
+                     (std::sqrt(mean_power(samples) * mean_power(original)) *
+                      static_cast<double>(samples.size()));
+  EXPECT_LT(rho, 0.2);
+}
+
+TEST(ImpairmentInjector, SampleGapZeroPadsTheTail) {
+  FaultSchedule s;
+  s.events.push_back({FaultKind::kSampleGap, 0, 1, 0.25});
+  ImpairmentInjector injector(s, 30.72e6, 3);
+  IqBuffer samples = tone(4000);
+  injector.apply(samples);
+  std::size_t zeros = 0;
+  for (const cf32& v : samples) {
+    if (v == cf32{}) {
+      ++zeros;
+    }
+  }
+  EXPECT_EQ(zeros, 1000u);  // exactly the dropped run, shifted to the end
+  EXPECT_EQ(samples.size(), 4000u);
+}
+
+TEST(ImpairmentInjector, CfoRotatesAtTheRequestedRate) {
+  constexpr double kRate = 30.72e6;
+  constexpr double kCfo = 1000.0;
+  FaultSchedule s;
+  s.events.push_back({FaultKind::kCfoStep, 0, 2, kCfo});
+  ImpairmentInjector injector(s, kRate, 4);
+  IqBuffer slot1 = tone(1024);
+  injector.apply(slot1);
+  const double expected_step = 2.0 * std::numbers::pi * kCfo / kRate;
+  const double measured =
+      std::arg(slot1[100] * std::conj(slot1[99]));
+  EXPECT_NEAR(measured, expected_step, 1e-6);
+  // Phase is continuous across slot boundaries within a window.
+  IqBuffer slot2 = tone(1024);
+  injector.apply(slot2);
+  const double boundary = std::arg(slot2[0] * std::conj(slot1[1023]));
+  EXPECT_NEAR(boundary, expected_step, 1e-5);
+}
+
+TEST(ImpairmentInjector, ReplayIsBitIdentical) {
+  const FaultSchedule s = FaultSchedule::random(7, 0, 32, 4);
+  ImpairmentInjector a(s, 30.72e6, 9);
+  ImpairmentInjector b(s, 30.72e6, 9);
+  for (unsigned slot = 0; slot < 32; ++slot) {
+    IqBuffer x = tone(2048);
+    IqBuffer y = tone(2048);
+    a.apply(x);
+    b.apply(y);
+    ASSERT_EQ(x, y) << "diverged at slot " << slot;
+  }
+}
+
+TEST(ImpairmentInjector, CountsFaultSlots) {
+  FaultSchedule s;
+  s.events.push_back({FaultKind::kIqGlitch, 3, 5, 8.0});
+  ImpairmentInjector injector(s, 30.72e6, 5);
+  MetricsRegistry registry;
+  injector.bind_metrics(registry);
+  for (unsigned slot = 0; slot < 16; ++slot) {
+    IqBuffer samples = tone(512);
+    injector.apply(samples);
+  }
+  EXPECT_EQ(registry.snapshot().counter_value("radio.fault_slots"), 5u);
+}
+
+TEST(ImpairmentInjector, FeederKindsDoNotTouchIq) {
+  FaultSchedule s;
+  s.events.push_back({FaultKind::kCellRestart, 0, 1, 7.0});
+  s.events.push_back({FaultKind::kTimingJump, 1, 1, 40.0});
+  ImpairmentInjector injector(s, 30.72e6, 6);
+  const IqBuffer original = tone(1024);
+  for (unsigned slot = 0; slot < 2; ++slot) {
+    IqBuffer samples = original;
+    injector.apply(samples);
+    EXPECT_EQ(samples, original);
+  }
+}
+
+TEST(VirtualRadioFaults, ConstructorRejectsInvalidSchedule) {
+  VirtualRadioConfig cfg;
+  cfg.n_prb = 51;
+  cfg.faults.events.push_back({FaultKind::kOutage, 0, 0, 30.0});
+  EXPECT_THROW(VirtualRadio{cfg}, std::invalid_argument);
+}
+
+// ---------------------------------------------------------------- recorder
+
+TEST(IqRecorder, AppendCutsSlotsFromAnUnframedStream) {
+  IqRecorder recorder;
+  IqBuffer stream(10 * 7 + 3);  // 10 whole 7-sample slots + a 3-sample tail
+  for (std::size_t i = 0; i < stream.size(); ++i) {
+    stream[i] = cf32(static_cast<float>(i), 0.0f);
+  }
+  // Feed in awkward chunk sizes so slot boundaries never align with
+  // append boundaries.
+  std::size_t offset = 0;
+  for (const std::size_t chunk : {5u, 13u, 1u, 29u, 11u, 14u}) {
+    recorder.append(std::span<const cf32>(stream).subspan(offset, chunk), 7);
+    offset += chunk;
+  }
+  recorder.append(std::span<const cf32>(stream).subspan(offset), 7);
+  ASSERT_EQ(recorder.n_slots(), 10u);
+  for (std::size_t slot = 0; slot < 10; ++slot) {
+    for (std::size_t i = 0; i < 7; ++i) {
+      ASSERT_EQ(recorder.slot(slot)[i],
+                cf32(static_cast<float>(slot * 7 + i), 0.0f));
+    }
+  }
+  EXPECT_EQ(recorder.pending_samples(), 3u);
+
+  MetricsRegistry registry;
+  recorder.bind_metrics(registry);
+  EXPECT_EQ(recorder.finalize(), 3u);
+  EXPECT_EQ(recorder.truncated_slots(), 1u);
+  EXPECT_EQ(recorder.pending_samples(), 0u);
+  EXPECT_EQ(registry.snapshot().counter_value("radio.replay_truncated"), 1u);
+  // A clean finalize is free.
+  EXPECT_EQ(recorder.finalize(), 0u);
+  EXPECT_EQ(recorder.truncated_slots(), 1u);
+}
+
+TEST(IqRecorder, AppendRejectsZeroSlotLength) {
+  IqRecorder recorder;
+  const IqBuffer stream(16);
+  EXPECT_THROW(recorder.append(stream, 0), std::invalid_argument);
+}
+
+TEST(IqRecorder, ExactSlotAppendLeavesNoTail) {
+  IqRecorder recorder;
+  recorder.append(IqBuffer(64, cf32(1.0f, 0.0f)), 32);
+  EXPECT_EQ(recorder.n_slots(), 2u);
+  EXPECT_EQ(recorder.pending_samples(), 0u);
+  EXPECT_EQ(recorder.finalize(), 0u);
+  EXPECT_EQ(recorder.truncated_slots(), 0u);
+}
+
+}  // namespace
+}  // namespace nrs
