@@ -143,8 +143,8 @@ int main(int argc, char** argv) {
   const double slot_s = slot_duration_s(monitored_cell.scs);
   auto monitor = std::make_shared<MonitorSink>(pipeline, slot_s,
                                                /*report_every_slots=*/3000);
-  pipeline.add_sink(monitor);
-  pipeline.add_sink(std::make_shared<MetricsCsvSink>(
+  pipeline.add_sink("monitor", monitor);
+  pipeline.add_sink("metrics_csv", std::make_shared<MetricsCsvSink>(
       "cell_monitor_metrics.csv", pipeline.metrics_registry(),
       /*period_slots=*/3000));
 

@@ -22,6 +22,9 @@
 #include "fleet/fleet.h"
 #include "gnb/presets.h"
 #include "net/stream_server.h"
+#include "store/history_store.h"
+#include "store/query.h"
+#include "store/store_sink.h"
 
 namespace {
 
@@ -132,13 +135,21 @@ int main(int argc, char** argv) {
   const Options opt = parse_args(argc, argv);
 
   MetricsRegistry registry;
+  // Fleet-wide telemetry history: every cell's store sink writes into the
+  // same store (distinct cell indices), so cross-cell top-K queries see
+  // the whole fleet.
+  HistoryStore store({}, &registry);
   std::unique_ptr<TelemetryStreamServer> server;
   if (opt.stream_port != 0) {
     StreamServerConfig server_config;
     server_config.port = opt.stream_port;
+    server_config.query_handler = history_query_handler(store);
     server = std::make_unique<TelemetryStreamServer>(server_config,
                                                      &registry);
-    std::printf("streaming fleet aggregates on port %u\n", server->port());
+    std::printf("streaming fleet aggregates on port %u "
+                "(query with: telemetry_client --query 127.0.0.1 %u "
+                "cell_spare_prbs --topk %u)\n",
+                server->port(), server->port(), opt.cells);
   }
 
   FleetConfig config;
@@ -201,6 +212,14 @@ int main(int argc, char** argv) {
               static_cast<unsigned long long>(opt.slots),
               static_cast<unsigned long long>(opt.seed));
   FleetOrchestrator fleet(std::move(config), registry);
+  // Per-cell history ingest, re-attached automatically on every restart.
+  const unsigned n_prb = preset_cell(opt.preset).n_prb;
+  fleet.add_sink("store", [&store, n_prb](std::uint32_t cell_index) {
+    StoreSinkConfig sink_config;
+    sink_config.cell_index = cell_index;
+    sink_config.n_prb = n_prb;
+    return std::make_shared<HistoryStoreSink>(store, sink_config);
+  });
 
   for (std::uint64_t target = opt.report_every; target < opt.slots;
        target += opt.report_every) {
@@ -227,5 +246,27 @@ int main(int argc, char** argv) {
                   snap.counter_value("fleet.resync_escalations")),
               latency != nullptr ? latency->p50() : 0.0,
               latency != nullptr ? latency->p99() : 0.0);
+
+  // Spare-capacity ranking straight out of the history store: the same
+  // query a remote client would send as a kQuery frame.
+  QueryRequest request;
+  request.kind = QueryKind::kTopK;
+  request.cell = kStoreAnyCell;
+  request.metric = static_cast<std::uint8_t>(StoreMetric::kCellSparePrbs);
+  request.slot_from = 0;
+  request.slot_to = opt.slots;
+  request.k = opt.cells;
+  const QueryResponse response = run_query(store, request);
+  if (response.status == QueryStatus::kOk) {
+    std::printf("history top-K spare capacity (mean spare PRBs/slot):");
+    for (const TopKEntry& entry : response.ranking) {
+      std::printf("  cell%u=%.1f", entry.cell, entry.score);
+    }
+    std::printf("\n");
+  }
+  std::printf("history: %llu rows ingested across %zu series\n",
+              static_cast<unsigned long long>(
+                  snap.counter_value("store.rows_ingested")),
+              store.series_count());
   return 0;
 }

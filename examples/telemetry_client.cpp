@@ -14,10 +14,17 @@
 //   ./build/examples/telemetry_client --connect HOST PORT [--csv PATH]
 //       Pure remote consumer: subscribe to a live server, print a per-UE
 //       report as frames arrive, optionally append DCI rows to PATH.
+//   ./build/examples/telemetry_client --query HOST PORT METRIC [options]
+//       One-shot history query against a server with an attached
+//       HistoryStore: range scan by default, --bucket N for downsampled
+//       aggregates, --topk K for the spare-capacity / per-UE ranking.
 #include <chrono>
+#include <cinttypes>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
+#include <limits>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -32,6 +39,9 @@
 #include "nrscope/log_writer.h"
 #include "nrscope/pipeline.h"
 #include "radio/virtual_radio.h"
+#include "store/history_store.h"
+#include "store/query.h"
+#include "store/store_sink.h"
 
 namespace {
 
@@ -130,14 +140,29 @@ int run_demo() {
   scope_config.scs = gnb.cell().scs;
   NrScopePipeline pipeline(scope_config, /*n_demod_workers=*/2);
 
+  // Telemetry history lives beside the stream: the same server answers
+  // kQuery frames out of this store while fanning out live slots.
+  HistoryStore store({}, &pipeline.metrics_registry());
+
   StreamServerConfig server_config;
   server_config.metrics_period_slots = 1000;
+  server_config.query_handler = history_query_handler(store);
   auto server = std::make_shared<TelemetryStreamServer>(
       server_config, &pipeline.metrics_registry());
-  pipeline.add_sink(std::make_shared<TelemetryLogWriter>(local_path));
-  pipeline.add_sink(server);
-  std::printf("streaming server listening on 127.0.0.1:%u\n",
+  StoreSinkConfig store_sink_config;
+  store_sink_config.n_prb = gnb.cell().n_prb;
+  pipeline.add_sink("csv",
+                    std::make_shared<TelemetryLogWriter>(local_path));
+  pipeline.add_sink("store",
+                    std::make_shared<HistoryStoreSink>(store,
+                                                       store_sink_config));
+  pipeline.add_sink("stream", server);
+  std::printf("streaming server listening on 127.0.0.1:%u (sinks:",
               server->port());
+  for (const std::string& name : pipeline.sink_names()) {
+    std::printf(" %s", name.c_str());
+  }
+  std::printf(")\n");
 
   RemoteTelemetry remote;
   std::ofstream remote_csv(remote_path);
@@ -227,6 +252,56 @@ int run_demo() {
       }
     }
   }
+  // Query the history over the same connection while the stream is still
+  // live: range / aggregate / top-K all answered from the embedded store.
+  if (!wait_remote_slot(n_slots - 1)) {
+    std::fprintf(stderr, "remote consumer fell behind\n");
+    return 1;
+  }
+  {
+    QueryRequest agg;
+    agg.kind = QueryKind::kAggregate;
+    agg.rnti = kStoreCellRnti;
+    agg.metric = static_cast<std::uint8_t>(StoreMetric::kCellSparePrbs);
+    agg.slot_from = 0;
+    agg.slot_to = n_slots;
+    agg.bucket_slots = 500;
+    agg.op = AggregateOp::kAvg;
+    if (const auto response = client.query(agg, 5.0);
+        response && response->status == QueryStatus::kOk) {
+      std::printf("\n[query] avg spare PRBs per 500-slot bucket:\n");
+      for (const QueryBucket& bucket : response->buckets) {
+        std::printf("  slots %6" PRIu64 "..%-6" PRIu64 "  %6.2f\n",
+                    bucket.slot_start, bucket.slot_start + 499,
+                    bucket.avg);
+      }
+    } else {
+      std::fprintf(stderr, "aggregate query failed: %s\n",
+                   response ? response->error.c_str() : "timeout");
+      return 1;
+    }
+
+    QueryRequest top;
+    top.kind = QueryKind::kTopK;
+    top.cell = 0;
+    top.metric = static_cast<std::uint8_t>(StoreMetric::kDlBits);
+    top.slot_from = 0;
+    top.slot_to = n_slots;
+    top.k = 4;
+    if (const auto response = client.query(top, 5.0);
+        response && response->status == QueryStatus::kOk) {
+      std::printf("[query] top UEs by mean DL TBS per grant:\n");
+      for (const TopKEntry& entry : response->ranking) {
+        std::printf("  0x%04x  %10.0f bits (%" PRIu64 " grants)\n",
+                    entry.rnti, entry.score, entry.rows);
+      }
+    } else {
+      std::fprintf(stderr, "top-K query failed: %s\n",
+                   response ? response->error.c_str() : "timeout");
+      return 1;
+    }
+  }
+
   pipeline.finish();
   while (pipeline.poll_result()) {
   }
@@ -319,6 +394,91 @@ int run_connect(const std::string& host, std::uint16_t port,
   return 0;
 }
 
+int run_query_mode(const std::string& host, std::uint16_t port, int argc,
+                   char** argv) {
+  const auto metric = store_metric_from_string(argv[4]);
+  if (!metric) {
+    std::fprintf(stderr,
+                 "unknown metric '%s' (dl_bits ul_bits mcs retx prbs "
+                 "cell_dcis cell_used_prbs cell_spare_prbs)\n",
+                 argv[4]);
+    return 2;
+  }
+  QueryRequest request;
+  request.kind = QueryKind::kRange;
+  request.metric = static_cast<std::uint8_t>(*metric);
+  request.rnti = kStoreCellRnti;  // cell-level series by default
+  request.slot_from = 0;
+  request.slot_to = std::numeric_limits<std::uint64_t>::max();
+  for (int i = 5; i + 1 < argc; i += 2) {
+    const std::string flag = argv[i];
+    const char* value = argv[i + 1];
+    if (flag == "--cell") {
+      request.cell = static_cast<std::uint32_t>(std::strtoul(value, nullptr, 0));
+    } else if (flag == "--rnti") {
+      request.rnti = static_cast<std::uint16_t>(std::strtoul(value, nullptr, 0));
+    } else if (flag == "--from") {
+      request.slot_from = std::strtoull(value, nullptr, 0);
+    } else if (flag == "--to") {
+      request.slot_to = std::strtoull(value, nullptr, 0);
+    } else if (flag == "--bucket") {
+      request.kind = QueryKind::kAggregate;
+      request.bucket_slots = std::strtoull(value, nullptr, 0);
+    } else if (flag == "--topk") {
+      request.kind = QueryKind::kTopK;
+      request.cell = kStoreAnyCell;  // rank across the whole fleet
+      request.k = static_cast<std::uint32_t>(std::strtoul(value, nullptr, 0));
+    } else {
+      std::fprintf(stderr, "unknown option %s\n", flag.c_str());
+      return 2;
+    }
+  }
+
+  StreamClientConfig config;
+  config.host = host;
+  config.port = port;
+  config.stop_on_end_of_stream = false;
+  TelemetryStreamClient client(config, {});
+  if (!client.wait_connected(5.0)) {
+    std::fprintf(stderr, "cannot connect to %s:%u\n", host.c_str(), port);
+    return 1;
+  }
+  const auto response = client.query(request, 5.0);
+  if (!response) {
+    std::fprintf(stderr, "query timed out / not sent\n");
+    return 1;
+  }
+  if (response->status != QueryStatus::kOk) {
+    std::fprintf(stderr, "query failed (%s): %s\n",
+                 to_string(response->status), response->error.c_str());
+    return 1;
+  }
+  switch (response->kind) {
+    case QueryKind::kRange:
+      std::printf("slot,value\n");
+      for (const QueryRowWire& row : response->rows) {
+        std::printf("%" PRIu64 ",%g\n", row.slot, row.value);
+      }
+      break;
+    case QueryKind::kAggregate:
+      std::printf("slot_start,count,sum,avg,max\n");
+      for (const QueryBucket& bucket : response->buckets) {
+        std::printf("%" PRIu64 ",%" PRIu64 ",%g,%g,%g\n",
+                    bucket.slot_start, bucket.count, bucket.sum,
+                    bucket.avg, bucket.max);
+      }
+      break;
+    case QueryKind::kTopK:
+      std::printf("cell,rnti,score,rows\n");
+      for (const TopKEntry& entry : response->ranking) {
+        std::printf("%u,0x%04x,%g,%" PRIu64 "\n", entry.cell, entry.rnti,
+                    entry.score, entry.rows);
+      }
+      break;
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -334,9 +494,17 @@ int main(int argc, char** argv) {
     }
     return run_connect(host, port, csv_path);
   }
+  if (std::strcmp(argv[1], "--query") == 0 && argc >= 5) {
+    const std::string host = argv[2];
+    const auto port = static_cast<std::uint16_t>(std::atoi(argv[3]));
+    return run_query_mode(host, port, argc, argv);
+  }
   std::fprintf(stderr,
                "usage: %s                       # loopback demo\n"
-               "       %s --connect HOST PORT [--csv PATH]\n",
-               argv[0], argv[0]);
+               "       %s --connect HOST PORT [--csv PATH]\n"
+               "       %s --query HOST PORT METRIC [--cell N] [--rnti R]\n"
+               "          [--from SLOT] [--to SLOT] [--bucket SLOTS] "
+               "[--topk K]\n",
+               argv[0], argv[0], argv[0]);
   return 2;
 }

@@ -93,33 +93,62 @@ double HistogramSnapshot::percentile(double p) const {
   return max;
 }
 
-const CounterSnapshot* MetricsSnapshot::find_counter(
-    std::string_view name) const {
-  for (const auto& c : counters) {
-    if (c.name == name) {
-      return &c;
+namespace {
+
+/// Exact-name lookup: binary search on sorted snapshots, linear fallback
+/// on hand-built ones.
+template <typename T>
+const T* find_by_name(const std::vector<T>& items, std::string_view name,
+                      bool sorted) {
+  if (sorted) {
+    const auto it = std::lower_bound(
+        items.begin(), items.end(), name,
+        [](const T& item, std::string_view n) { return item.name < n; });
+    return (it != items.end() && it->name == name) ? &*it : nullptr;
+  }
+  for (const auto& item : items) {
+    if (item.name == name) {
+      return &item;
     }
   }
   return nullptr;
 }
 
-const GaugeSnapshot* MetricsSnapshot::find_gauge(std::string_view name) const {
-  for (const auto& g : gauges) {
-    if (g.name == name) {
-      return &g;
+/// Prefix slice: every name starting with `prefix` is contiguous in a
+/// sorted vector, so one lower_bound finds the run's start.
+template <typename T>
+void filter_by_prefix(const std::vector<T>& items, std::string_view prefix,
+                      bool sorted, std::vector<T>& out) {
+  if (sorted) {
+    auto it = std::lower_bound(
+        items.begin(), items.end(), prefix,
+        [](const T& item, std::string_view p) { return item.name < p; });
+    for (; it != items.end() && it->name.starts_with(prefix); ++it) {
+      out.push_back(*it);
+    }
+    return;
+  }
+  for (const auto& item : items) {
+    if (item.name.starts_with(prefix)) {
+      out.push_back(item);
     }
   }
-  return nullptr;
+}
+
+}  // namespace
+
+const CounterSnapshot* MetricsSnapshot::find_counter(
+    std::string_view name) const {
+  return find_by_name(counters, name, sorted_by_name);
+}
+
+const GaugeSnapshot* MetricsSnapshot::find_gauge(std::string_view name) const {
+  return find_by_name(gauges, name, sorted_by_name);
 }
 
 const HistogramSnapshot* MetricsSnapshot::find_histogram(
     std::string_view name) const {
-  for (const auto& h : histograms) {
-    if (h.name == name) {
-      return &h;
-    }
-  }
-  return nullptr;
+  return find_by_name(histograms, name, sorted_by_name);
 }
 
 std::uint64_t MetricsSnapshot::counter_value(std::string_view name) const {
@@ -129,21 +158,10 @@ std::uint64_t MetricsSnapshot::counter_value(std::string_view name) const {
 
 MetricsSnapshot MetricsSnapshot::filter(std::string_view prefix) const {
   MetricsSnapshot out;
-  for (const auto& c : counters) {
-    if (c.name.starts_with(prefix)) {
-      out.counters.push_back(c);
-    }
-  }
-  for (const auto& g : gauges) {
-    if (g.name.starts_with(prefix)) {
-      out.gauges.push_back(g);
-    }
-  }
-  for (const auto& h : histograms) {
-    if (h.name.starts_with(prefix)) {
-      out.histograms.push_back(h);
-    }
-  }
+  out.sorted_by_name = sorted_by_name;
+  filter_by_prefix(counters, prefix, sorted_by_name, out.counters);
+  filter_by_prefix(gauges, prefix, sorted_by_name, out.gauges);
+  filter_by_prefix(histograms, prefix, sorted_by_name, out.histograms);
   return out;
 }
 
@@ -239,6 +257,7 @@ Histogram& MetricsRegistry::histogram(const std::string& name,
 MetricsSnapshot MetricsRegistry::snapshot() const {
   std::shared_lock lock(mutex_);
   MetricsSnapshot snap;
+  snap.sorted_by_name = true;  // std::map iteration is name-ordered
   snap.counters.reserve(counters_.size());
   for (const auto& [name, c] : counters_) {
     snap.counters.push_back({name, c->value()});

@@ -146,6 +146,15 @@ struct MetricsSnapshot {
   std::vector<GaugeSnapshot> gauges;
   std::vector<HistogramSnapshot> histograms;
 
+  /// True when each of the three vectors is sorted by name.  Registry
+  /// snapshots always are (the registry is name-ordered), filter()
+  /// preserves the flag (a contiguous slice of a sorted range), and the
+  /// wire decoder re-derives it.  Sorted snapshots answer find_*() by
+  /// binary search and filter() by one lower_bound + contiguous copy
+  /// instead of scanning every metric; hand-built unsorted snapshots
+  /// keep the linear fallback.
+  bool sorted_by_name = false;
+
   [[nodiscard]] const CounterSnapshot* find_counter(
       std::string_view name) const;
   [[nodiscard]] const GaugeSnapshot* find_gauge(std::string_view name) const;

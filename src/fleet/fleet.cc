@@ -223,9 +223,19 @@ void FleetOrchestrator::start_cell(CellRunner& runner) {
   runner.feed = std::make_shared<FleetFeedState>(ring);
   runner.feed->last_progress_us.store(steady_now_us(),
                                       std::memory_order_release);
-  runner.pipeline->add_sink(std::make_shared<FleetCellSink>(
-      runner.index, runner.feed, &aggregator_, m_latency_,
-      runner.m_latency));
+  // The orchestrator's own aggregator/heartbeat sink rides the same named
+  // SinkChain surface as user sinks; a throwing user sink can never take
+  // the supervision heartbeat down with it.
+  runner.pipeline->add_sink("fleet", std::make_shared<FleetCellSink>(
+                                         runner.index, runner.feed,
+                                         &aggregator_, m_latency_,
+                                         runner.m_latency));
+  for (const SinkSpec& spec : sink_specs_) {
+    if (auto sink = spec.factory(runner.index)) {
+      runner.pipeline->add_sink(spec.name, std::move(sink),
+                                spec.error_limit);
+    }
+  }
 
   runner.feed_slot = 0;
   runner.readd_ues_at = 0;
@@ -443,6 +453,44 @@ void FleetOrchestrator::run_until(std::uint64_t target_slots) {
     }
     tick();
   }
+}
+
+void FleetOrchestrator::add_sink(const std::string& name,
+                                 SinkFactory factory,
+                                 std::uint64_t error_limit) {
+  if (!factory) {
+    return;
+  }
+  sink_specs_.push_back(SinkSpec{name, std::move(factory), error_limit});
+  const SinkSpec& spec = sink_specs_.back();
+  for (auto& cp : cells_) {
+    if (cp->state == FleetCellState::kRunning && cp->pipeline != nullptr) {
+      if (auto sink = spec.factory(cp->index)) {
+        cp->pipeline->add_sink(spec.name, std::move(sink),
+                               spec.error_limit);
+      }
+    }
+  }
+}
+
+bool FleetOrchestrator::detach_sink(const std::string& name) {
+  bool found = false;
+  for (auto it = sink_specs_.begin(); it != sink_specs_.end();) {
+    if (it->name == name) {
+      it = sink_specs_.erase(it);
+      found = true;
+    } else {
+      ++it;
+    }
+  }
+  if (found) {
+    for (auto& cp : cells_) {
+      if (cp->pipeline != nullptr) {
+        cp->pipeline->detach_sink(name);
+      }
+    }
+  }
+  return found;
 }
 
 void FleetOrchestrator::stop() {

@@ -154,6 +154,24 @@ class FleetOrchestrator {
   /// aggregator and all threads join.  Idempotent; the destructor calls it.
   void stop();
 
+  /// Builds one cell's sink — called once per (cell, incarnation), so a
+  /// restarted cell gets a fresh sink from the same factory.
+  using SinkFactory =
+      std::function<std::shared_ptr<SlotSink>(std::uint32_t cell_index)>;
+
+  /// Fleet-wide counterpart of NrScopePipeline::add_sink: register a named
+  /// sink factory, applied to every live cell pipeline now and re-applied
+  /// on every restart.  Fault isolation is per cell via the pipeline's
+  /// SinkChain (same name, same error_limit semantics).  The orchestrator's
+  /// own aggregator sink goes through this path too (name "fleet").
+  /// Not thread-safe with tick(); call from the supervising thread.
+  void add_sink(const std::string& name, SinkFactory factory,
+                std::uint64_t error_limit = 1);
+
+  /// Unregister the factory and detach the sink from every live cell.
+  /// False when no factory of that name was registered.
+  bool detach_sink(const std::string& name);
+
   [[nodiscard]] std::size_t n_cells() const { return cells_.size(); }
   [[nodiscard]] FleetCellState cell_state(std::uint32_t cell_index) const;
   [[nodiscard]] unsigned cell_restarts(std::uint32_t cell_index) const;
@@ -210,11 +228,18 @@ class FleetOrchestrator {
   void fail_cell(CellRunner& runner, bool crashed);
   void set_state(CellRunner& runner, FleetCellState state);
 
+  struct SinkSpec {
+    std::string name;
+    SinkFactory factory;
+    std::uint64_t error_limit = 1;
+  };
+
   FleetConfig config_;
   MetricsRegistry* registry_;
   FleetAggregator aggregator_;
   WorkerPool pool_;
   std::vector<std::unique_ptr<CellRunner>> cells_;
+  std::vector<SinkSpec> sink_specs_;
   std::uint64_t tick_count_ = 0;
   bool stopped_ = false;
 

@@ -15,6 +15,24 @@ namespace nrs {
 
 namespace {
 using Clock = std::chrono::steady_clock;
+
+/// write() the whole buffer, riding out EINTR and partial sends (the
+/// request path's counterpart of the server's helper).
+bool send_all(int fd, const std::uint8_t* data, std::size_t size) {
+  std::size_t sent = 0;
+  while (sent < size) {
+    const ssize_t n = ::send(fd, data + sent, size - sent, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) {
+        continue;
+      }
+      return false;
+    }
+    sent += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
 }  // namespace
 
 TelemetryStreamClient::TelemetryStreamClient(
@@ -32,6 +50,9 @@ TelemetryStreamClient::TelemetryStreamClient(
   m_frames_rx_ = &registry->counter("net.client.frames_received");
   m_bytes_rx_ = &registry->counter("net.client.bytes_received");
   m_decode_errors_ = &registry->counter("net.client.decode_errors");
+  m_queries_sent_ = &registry->counter("net.client.queries_sent");
+  m_query_responses_ = &registry->counter("net.client.query_responses");
+  m_query_timeouts_ = &registry->counter("net.client.query_timeouts");
   reader_ = std::thread([this] { run(); });
 }
 
@@ -47,6 +68,55 @@ void TelemetryStreamClient::stop() {
   if (reader_.joinable()) {
     reader_.join();
   }
+  fail_pending_queries("client stopped");
+}
+
+std::optional<QueryResponse> TelemetryStreamClient::query(
+    QueryRequest request, double timeout_s) {
+  const std::uint64_t id = next_correlation_.fetch_add(1) + 1;
+  request.correlation_id = id;
+  std::future<QueryResponse> future;
+  {
+    std::lock_guard lock(pending_mutex_);
+    future = pending_[id].get_future();
+  }
+  const std::vector<std::uint8_t> frame = query_frame(request);
+  bool sent = false;
+  {
+    std::lock_guard lock(send_mutex_);
+    const int fd = live_fd_.load();
+    if (fd >= 0 && connected_.load()) {
+      sent = send_all(fd, frame.data(), frame.size());
+    }
+  }
+  if (!sent) {
+    std::lock_guard lock(pending_mutex_);
+    pending_.erase(id);
+    return std::nullopt;
+  }
+  m_queries_sent_->inc();
+  if (future.wait_for(std::chrono::duration<double>(timeout_s)) !=
+      std::future_status::ready) {
+    m_query_timeouts_->inc();
+    // Abandon the waiter; a late response finds no pending entry and is
+    // dropped by the reader.
+    std::lock_guard lock(pending_mutex_);
+    pending_.erase(id);
+    return std::nullopt;
+  }
+  return future.get();
+}
+
+void TelemetryStreamClient::fail_pending_queries(const char* reason) {
+  std::lock_guard lock(pending_mutex_);
+  for (auto& [id, promise] : pending_) {
+    QueryResponse response;
+    response.correlation_id = id;
+    response.status = QueryStatus::kUnavailable;
+    response.error = reason;
+    promise.set_value(std::move(response));
+  }
+  pending_.clear();
 }
 
 void TelemetryStreamClient::note_state_change() {
@@ -126,8 +196,14 @@ void TelemetryStreamClient::run() {
     const bool done = serve_connection(fd);
 
     connected_.store(false);
-    live_fd_.store(-1);
+    {
+      // No query() may still hold this fd once it is closed (the fd
+      // number could be reused); senders take the same lock.
+      std::lock_guard lock(send_mutex_);
+      live_fd_.store(-1);
+    }
     ::close(fd);
+    fail_pending_queries("disconnected");
     m_disconnects_->inc();
     if (handlers_.on_disconnected && !stopping_.load() && !done) {
       handlers_.on_disconnected();
@@ -162,55 +238,8 @@ bool TelemetryStreamClient::serve_connection(int fd) {
       while (auto frame = parser.next()) {
         last_frame = Clock::now();
         m_frames_rx_->inc();
-        switch (frame->type) {
-          case FrameType::kHello:
-            if (auto hello = decode_hello(frame->payload)) {
-              if (handlers_.on_connected) {
-                handlers_.on_connected(*hello);
-              }
-            } else {
-              m_decode_errors_->inc();
-            }
-            break;
-          case FrameType::kSlot:
-            if (auto slot = decode_slot(frame->payload)) {
-              if (handlers_.on_slot) {
-                handlers_.on_slot(*slot);
-              }
-            } else {
-              m_decode_errors_->inc();
-            }
-            break;
-          case FrameType::kMetrics:
-            if (auto metrics = decode_metrics(frame->payload)) {
-              if (handlers_.on_metrics) {
-                handlers_.on_metrics(*metrics);
-              }
-            } else {
-              m_decode_errors_->inc();
-            }
-            break;
-          case FrameType::kFleet:
-            if (auto fleet = decode_fleet(frame->payload)) {
-              if (handlers_.on_fleet) {
-                handlers_.on_fleet(*fleet);
-              }
-            } else {
-              m_decode_errors_->inc();
-            }
-            break;
-          case FrameType::kHeartbeat:
-            break;  // liveness only
-          case FrameType::kEnd:
-            saw_end_.store(true);
-            note_state_change();
-            if (handlers_.on_end_of_stream) {
-              handlers_.on_end_of_stream();
-            }
-            if (config_.stop_on_end_of_stream) {
-              return true;
-            }
-            break;
+        if (dispatch_frame(*frame)) {
+          return true;
         }
       }
       if (parser.error()) {
@@ -223,6 +252,107 @@ bool TelemetryStreamClient::serve_connection(int fd) {
     }
   }
   return true;
+}
+
+bool TelemetryStreamClient::dispatch_frame(const Frame& frame) {
+  using Handler = bool (TelemetryStreamClient::*)(const Frame&);
+  // One row per inbound frame type; the heartbeat is the trivial liveness
+  // row (the read-timeout clock was already reset by the caller).  An
+  // unknown-but-well-framed type is skipped: newer servers may speak
+  // frame types this client does not know.
+  static constexpr struct {
+    FrameType type;
+    Handler handler;
+  } kTable[] = {
+      {FrameType::kHello, &TelemetryStreamClient::handle_hello},
+      {FrameType::kSlot, &TelemetryStreamClient::handle_slot},
+      {FrameType::kMetrics, &TelemetryStreamClient::handle_metrics},
+      {FrameType::kFleet, &TelemetryStreamClient::handle_fleet},
+      {FrameType::kHeartbeat, &TelemetryStreamClient::handle_heartbeat},
+      {FrameType::kEnd, &TelemetryStreamClient::handle_end},
+      {FrameType::kQueryResult,
+       &TelemetryStreamClient::handle_query_result},
+  };
+  for (const auto& row : kTable) {
+    if (row.type == frame.type) {
+      return (this->*row.handler)(frame);
+    }
+  }
+  return false;
+}
+
+bool TelemetryStreamClient::handle_hello(const Frame& frame) {
+  if (auto hello = decode_hello(frame.payload)) {
+    if (handlers_.on_connected) {
+      handlers_.on_connected(*hello);
+    }
+  } else {
+    m_decode_errors_->inc();
+  }
+  return false;
+}
+
+bool TelemetryStreamClient::handle_slot(const Frame& frame) {
+  if (auto slot = decode_slot(frame.payload)) {
+    if (handlers_.on_slot) {
+      handlers_.on_slot(*slot);
+    }
+  } else {
+    m_decode_errors_->inc();
+  }
+  return false;
+}
+
+bool TelemetryStreamClient::handle_metrics(const Frame& frame) {
+  if (auto metrics = decode_metrics(frame.payload)) {
+    if (handlers_.on_metrics) {
+      handlers_.on_metrics(*metrics);
+    }
+  } else {
+    m_decode_errors_->inc();
+  }
+  return false;
+}
+
+bool TelemetryStreamClient::handle_fleet(const Frame& frame) {
+  if (auto fleet = decode_fleet(frame.payload)) {
+    if (handlers_.on_fleet) {
+      handlers_.on_fleet(*fleet);
+    }
+  } else {
+    m_decode_errors_->inc();
+  }
+  return false;
+}
+
+bool TelemetryStreamClient::handle_heartbeat(const Frame&) {
+  return false;  // liveness only
+}
+
+bool TelemetryStreamClient::handle_end(const Frame&) {
+  saw_end_.store(true);
+  note_state_change();
+  if (handlers_.on_end_of_stream) {
+    handlers_.on_end_of_stream();
+  }
+  return config_.stop_on_end_of_stream;
+}
+
+bool TelemetryStreamClient::handle_query_result(const Frame& frame) {
+  auto response = decode_query_result(frame.payload);
+  if (!response) {
+    m_decode_errors_->inc();
+    return false;
+  }
+  std::lock_guard lock(pending_mutex_);
+  const auto it = pending_.find(response->correlation_id);
+  if (it != pending_.end()) {
+    it->second.set_value(std::move(*response));
+    pending_.erase(it);
+    m_query_responses_->inc();
+  }
+  // No waiter: the caller already timed out; drop the stale response.
+  return false;
 }
 
 }  // namespace nrs

@@ -6,16 +6,29 @@
 // forever (or up to a configured attempt budget) with exponential backoff,
 // which makes the client survive mid-stream server restarts: it simply
 // resubscribes and resumes with the server's hello frame.
+//
+// The connection is also request/response-capable: query() sends a kQuery
+// frame tagged with a fresh correlation ID and blocks the *calling* thread
+// until the matching kQueryResult arrives (the reader thread pairs
+// responses to waiters by ID), the per-request timeout expires, or the
+// connection drops.  Because responses are correlated, any number of
+// threads can query concurrently over the one socket, interleaved with the
+// live slot stream.  Inbound frames are routed through a single dispatch
+// table — the streaming callbacks, the heartbeat and the query responses
+// are all just rows in it.
 #pragma once
 
 #include <atomic>
 #include <condition_variable>
 #include <cstdint>
 #include <functional>
+#include <future>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <string>
 #include <thread>
+#include <unordered_map>
 
 #include "common/metrics.h"
 #include "net/wire.h"
@@ -65,6 +78,17 @@ class TelemetryStreamClient {
   /// Ask the reader thread to exit and join it.  Idempotent.
   void stop();
 
+  /// Send one query over the live connection and wait for its response.
+  /// The request's correlation_id is assigned here (any caller-set value
+  /// is overwritten).  Returns nullopt when not connected, when the send
+  /// fails, or when no response arrives within timeout_s (counted in
+  /// net.client.query_timeouts; a response that limps in later is
+  /// discarded).  A connection drop while waiting yields a response with
+  /// status kUnavailable rather than a silent hang.  Thread-safe: any
+  /// number of callers may have queries in flight concurrently.
+  std::optional<QueryResponse> query(QueryRequest request,
+                                     double timeout_s = 2.0);
+
   [[nodiscard]] bool connected() const { return connected_.load(); }
   /// True once an end-of-stream frame has been received.
   [[nodiscard]] bool end_of_stream() const { return saw_end_.load(); }
@@ -84,6 +108,21 @@ class TelemetryStreamClient {
   [[nodiscard]] int connect_once() const;
   void note_state_change();
 
+  /// Route one well-framed inbound frame through the dispatch table;
+  /// returns true when the client should stop (end-of-stream row).
+  bool dispatch_frame(const Frame& frame);
+  bool handle_hello(const Frame& frame);
+  bool handle_slot(const Frame& frame);
+  bool handle_metrics(const Frame& frame);
+  bool handle_fleet(const Frame& frame);
+  bool handle_heartbeat(const Frame& frame);
+  bool handle_end(const Frame& frame);
+  bool handle_query_result(const Frame& frame);
+
+  /// Resolve every in-flight query with status kUnavailable (connection
+  /// dropped / client stopping) so no caller blocks out its full timeout.
+  void fail_pending_queries(const char* reason);
+
   StreamClientConfig config_;
   StreamClientHandlers handlers_;
   std::unique_ptr<MetricsRegistry> own_registry_;
@@ -97,6 +136,13 @@ class TelemetryStreamClient {
   std::mutex state_mutex_;
   std::condition_variable state_cv_;
 
+  // Request path: one writer at a time on the socket, and the reader
+  // thread pairs kQueryResult frames to waiting callers by correlation ID.
+  std::mutex send_mutex_;
+  std::mutex pending_mutex_;
+  std::unordered_map<std::uint64_t, std::promise<QueryResponse>> pending_;
+  std::atomic<std::uint64_t> next_correlation_{0};
+
   std::thread reader_;
 
   Counter* m_connects_ = nullptr;
@@ -105,6 +151,9 @@ class TelemetryStreamClient {
   Counter* m_frames_rx_ = nullptr;
   Counter* m_bytes_rx_ = nullptr;
   Counter* m_decode_errors_ = nullptr;
+  Counter* m_queries_sent_ = nullptr;
+  Counter* m_query_responses_ = nullptr;
+  Counter* m_query_timeouts_ = nullptr;
 };
 
 }  // namespace nrs

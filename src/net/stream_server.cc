@@ -7,6 +7,7 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
 #include <chrono>
 #include <cstring>
@@ -69,6 +70,15 @@ TelemetryStreamServer::TelemetryStreamServer(
   m_disconnects_ = &registry_->counter("net.client_disconnects");
   m_send_errors_ = &registry_->counter("net.send_errors");
   m_clients_ = &registry_->gauge("net.clients");
+  m_query_requests_ = &registry_->counter("query.requests");
+  m_query_errors_ = &registry_->counter("query.errors");
+  m_query_rejected_ = &registry_->counter("query.rejected");
+  m_query_latency_us_ = &registry_->histogram("query.latency_us");
+  m_query_inflight_ = &registry_->gauge("query.inflight");
+  if (config_.query_handler) {
+    query_pool_ =
+        std::make_unique<WorkerPool>(std::max(1u, config_.query_threads));
+  }
 
   listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
   if (listen_fd_ < 0) {
@@ -114,6 +124,9 @@ void TelemetryStreamServer::stop() {
   if (acceptor_.joinable()) {
     acceptor_.join();
   }
+  // Drain the query pool before tearing clients down: in-flight responses
+  // either land on a still-open queue or hit a closed one and vanish.
+  query_pool_.reset();
   if (listen_fd_ >= 0) {
     ::close(listen_fd_);
     listen_fd_ = -1;
@@ -153,14 +166,34 @@ void TelemetryStreamServer::kick_all_clients() {
 }
 
 void TelemetryStreamServer::accept_loop() {
+  std::vector<pollfd> pfds;
+  std::vector<std::shared_ptr<Client>> polled;
   while (!stopping_.load()) {
-    pollfd pfd{listen_fd_, POLLIN, 0};
-    const int ready = ::poll(&pfd, 1, /*timeout_ms=*/50);
+    pfds.clear();
+    polled.clear();
+    pfds.push_back(pollfd{listen_fd_, POLLIN, 0});
     {
       std::lock_guard lock(clients_mutex_);
       reap_dead_clients_locked();
+      for (const auto& client : clients_) {
+        if (!client->dead.load()) {
+          pfds.push_back(pollfd{client->fd, POLLIN, 0});
+          polled.push_back(client);
+        }
+      }
     }
+    const int ready =
+        ::poll(pfds.data(), pfds.size(), /*timeout_ms=*/50);
     if (ready <= 0) {
+      continue;
+    }
+    // Client sockets first: inbound queries and half-closed peers.
+    for (std::size_t i = 1; i < pfds.size(); ++i) {
+      if (pfds[i].revents != 0) {
+        read_client(polled[i - 1]);
+      }
+    }
+    if ((pfds[0].revents & POLLIN) == 0) {
       continue;
     }
     const int fd = ::accept(listen_fd_, nullptr, nullptr);
@@ -175,7 +208,7 @@ void TelemetryStreamServer::accept_loop() {
       ::close(fd);
       continue;
     }
-    auto client = std::make_unique<Client>(config_.client_queue_frames);
+    auto client = std::make_shared<Client>(config_.client_queue_frames);
     client->fd = fd;
     // Greeting first, before the client is visible to broadcast(), so the
     // hello frame is always the first thing on the wire.
@@ -209,6 +242,92 @@ void TelemetryStreamServer::reap_dead_clients_locked() {
     m_disconnects_->inc();
   }
   m_clients_->set(static_cast<std::int64_t>(clients_.size()));
+}
+
+void TelemetryStreamServer::read_client(
+    const std::shared_ptr<Client>& client) {
+  std::uint8_t buf[4096];
+  const ssize_t n = ::recv(client->fd, buf, sizeof(buf), 0);
+  if (n <= 0) {
+    if (n < 0 && (errno == EINTR || errno == EAGAIN ||
+                  errno == EWOULDBLOCK)) {
+      return;
+    }
+    client->dead.store(true);  // peer closed (or hard error); reap next round
+    client->queue.close();
+    return;
+  }
+  client->parser.feed({buf, static_cast<std::size_t>(n)});
+  while (auto frame = client->parser.next()) {
+    if (frame->type != FrameType::kQuery) {
+      continue;  // clients only speak queries upstream; ignore the rest
+    }
+    if (auto request = decode_query(frame->payload)) {
+      dispatch_query(client, *request);
+    } else {
+      m_query_errors_->inc();
+    }
+  }
+  if (client->parser.error()) {
+    // Garbage on the request stream: the framing is unrecoverable, so
+    // drop the connection rather than guess at resync.
+    m_query_errors_->inc();
+    client->dead.store(true);
+    client->queue.close();
+  }
+}
+
+void TelemetryStreamServer::dispatch_query(
+    const std::shared_ptr<Client>& client, const QueryRequest& request) {
+  m_query_requests_->inc();
+  if (!config_.query_handler || query_pool_ == nullptr) {
+    m_query_rejected_->inc();
+    QueryResponse response;
+    response.correlation_id = request.correlation_id;
+    response.kind = request.kind;
+    response.status = QueryStatus::kUnavailable;
+    response.error = "no query handler attached";
+    const auto frame = std::make_shared<const std::vector<std::uint8_t>>(
+        query_result_frame(response));
+    std::lock_guard lock(clients_mutex_);
+    if (!client->dead.load()) {
+      enqueue(*client, frame);
+    }
+    return;
+  }
+  m_query_inflight_->add(1);
+  query_pool_->submit([this, client, request] {
+    QueryResponse response;
+    {
+      ScopedTimer timer(*m_query_latency_us_);
+      try {
+        response = config_.query_handler(request);
+      } catch (const std::exception& e) {
+        m_query_errors_->inc();
+        response = QueryResponse{};
+        response.status = QueryStatus::kUnavailable;
+        response.error = e.what();
+      } catch (...) {
+        m_query_errors_->inc();
+        response = QueryResponse{};
+        response.status = QueryStatus::kUnavailable;
+        response.error = "query handler threw";
+      }
+    }
+    response.correlation_id = request.correlation_id;
+    response.kind = request.kind;
+    const auto frame = std::make_shared<const std::vector<std::uint8_t>>(
+        query_result_frame(response));
+    {
+      // Same lock as broadcast(): the client object outlives a reap via
+      // the shared_ptr, and `dead` gates enqueueing onto a closed queue.
+      std::lock_guard lock(clients_mutex_);
+      if (!client->dead.load()) {
+        enqueue(*client, frame);
+      }
+    }
+    m_query_inflight_->add(-1);
+  });
 }
 
 void TelemetryStreamServer::sender_loop(Client& client) {

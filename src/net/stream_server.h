@@ -6,13 +6,23 @@
 // BackpressurePolicy, and every shed frame is counted in the metrics
 // registry (net.frames_dropped.*).
 //
-// Threads: one accept/housekeeping thread (also reaps dead clients and
-// schedules idle heartbeats) plus one sender thread per client, all owned
-// by this object and joined in stop()/the destructor.
+// The stream is also request/response-capable: clients may send kQuery
+// frames, which the accept/housekeeping thread parses and hands to a
+// dedicated query thread pool; the configured query_handler (typically
+// history_query_handler() over a HistoryStore) produces the
+// QueryResponse, and the result frame rides the client's ordinary send
+// queue.  Queries therefore never touch the collector thread and never
+// block the fan-out path; latency and volume land in the query.* metrics.
+//
+// Threads: one accept/housekeeping thread (also reads client sockets,
+// reaps dead clients and schedules idle heartbeats), one sender thread per
+// client, and the query pool — all owned by this object and joined in
+// stop()/the destructor.
 #pragma once
 
 #include <atomic>
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -21,6 +31,7 @@
 
 #include "common/metrics.h"
 #include "common/queue.h"
+#include "common/worker_pool.h"
 #include "net/wire.h"
 #include "nrscope/slot_sink.h"
 
@@ -48,6 +59,13 @@ struct StreamServerConfig {
   /// long, so clients can tell "quiet cell" from "dead server".
   double heartbeat_period_s = 0.5;
   std::size_t max_clients = 64;
+
+  /// Answers kQuery frames (see src/store's history_query_handler).  Runs
+  /// on the query pool threads; must be thread-safe.  When unset, queries
+  /// are answered with status kUnavailable.
+  std::function<QueryResponse(const QueryRequest&)> query_handler;
+  /// Query pool size (only spawned when query_handler is set).
+  unsigned query_threads = 2;
 };
 
 class TelemetryStreamServer : public SlotSink {
@@ -94,6 +112,9 @@ class TelemetryStreamServer : public SlotSink {
     BoundedQueue<FramePtr> queue;
     std::thread sender;
     std::atomic<bool> dead{false};
+    /// Inbound request parser; touched only by the accept/housekeeping
+    /// thread.
+    FrameParser parser;
   };
 
   void accept_loop();
@@ -101,6 +122,13 @@ class TelemetryStreamServer : public SlotSink {
   void enqueue(Client& client, const FramePtr& frame);
   void broadcast(const FramePtr& frame);
   void reap_dead_clients_locked();
+  /// Drain readable bytes from one client socket and dispatch any
+  /// complete request frames (accept/housekeeping thread only).
+  void read_client(const std::shared_ptr<Client>& client);
+  /// Hand one decoded query to the pool; the response frame is enqueued
+  /// on the client's send queue when the handler returns.
+  void dispatch_query(const std::shared_ptr<Client>& client,
+                      const QueryRequest& request);
 
   StreamServerConfig config_;
   std::unique_ptr<MetricsRegistry> own_registry_;
@@ -113,7 +141,13 @@ class TelemetryStreamServer : public SlotSink {
   std::thread acceptor_;
 
   mutable std::mutex clients_mutex_;
-  std::vector<std::unique_ptr<Client>> clients_;
+  // shared_ptr: in-flight query tasks keep their client alive across a
+  // reap, so a response for a vanished consumer is dropped, not a crash.
+  std::vector<std::shared_ptr<Client>> clients_;
+
+  /// Lazily spawned on the first constructor that carries a
+  /// query_handler; destroyed (joined) in stop() before the clients.
+  std::unique_ptr<WorkerPool> query_pool_;
 
   std::atomic<std::uint64_t> next_slot_{0};  ///< for HelloInfo on accept
   std::uint64_t slots_seen_ = 0;             ///< collector thread only
@@ -128,6 +162,11 @@ class TelemetryStreamServer : public SlotSink {
   Counter* m_disconnects_ = nullptr;
   Counter* m_send_errors_ = nullptr;
   Gauge* m_clients_ = nullptr;
+  Counter* m_query_requests_ = nullptr;
+  Counter* m_query_errors_ = nullptr;
+  Counter* m_query_rejected_ = nullptr;
+  Histogram* m_query_latency_us_ = nullptr;
+  Gauge* m_query_inflight_ = nullptr;
 };
 
 }  // namespace nrs

@@ -1,5 +1,6 @@
 #include "net/wire.h"
 
+#include <algorithm>
 #include <bit>
 #include <cstring>
 
@@ -13,6 +14,27 @@ const char* to_string(FrameType type) {
     case FrameType::kHeartbeat: return "heartbeat";
     case FrameType::kEnd: return "end";
     case FrameType::kFleet: return "fleet";
+    case FrameType::kQuery: return "query";
+    case FrameType::kQueryResult: return "query_result";
+  }
+  return "unknown";
+}
+
+const char* to_string(QueryKind kind) {
+  switch (kind) {
+    case QueryKind::kRange: return "range";
+    case QueryKind::kAggregate: return "aggregate";
+    case QueryKind::kTopK: return "topk";
+  }
+  return "unknown";
+}
+
+const char* to_string(QueryStatus status) {
+  switch (status) {
+    case QueryStatus::kOk: return "ok";
+    case QueryStatus::kBadRequest: return "bad-request";
+    case QueryStatus::kNotFound: return "not-found";
+    case QueryStatus::kUnavailable: return "unavailable";
   }
   return "unknown";
 }
@@ -513,6 +535,19 @@ std::optional<MetricsSnapshot> decode_metrics(
   if (!r.done()) {
     return std::nullopt;
   }
+  // Re-derive the fast-lookup flag rather than trusting the wire: the
+  // peer's snapshot is registry-sorted in practice, but a hand-built one
+  // must not get binary-searched.
+  const auto by_name = [](const auto& a, const auto& b) {
+    return a.name < b.name;
+  };
+  snapshot.sorted_by_name =
+      std::is_sorted(snapshot.counters.begin(), snapshot.counters.end(),
+                     by_name) &&
+      std::is_sorted(snapshot.gauges.begin(), snapshot.gauges.end(),
+                     by_name) &&
+      std::is_sorted(snapshot.histograms.begin(), snapshot.histograms.end(),
+                     by_name);
   return snapshot;
 }
 
@@ -603,6 +638,145 @@ std::optional<FleetSummary> decode_fleet(
     return std::nullopt;
   }
   return summary;
+}
+
+void encode_query(const QueryRequest& request, WireWriter& w) {
+  w.u64(request.correlation_id);
+  w.u8(static_cast<std::uint8_t>(request.kind));
+  w.u32(request.cell);
+  w.u16(request.rnti);
+  w.u8(request.metric);
+  w.u64(request.slot_from);
+  w.u64(request.slot_to);
+  w.u64(request.bucket_slots);
+  w.u32(request.k);
+  w.u8(static_cast<std::uint8_t>(request.op));
+}
+
+std::optional<QueryRequest> decode_query(
+    std::span<const std::uint8_t> payload) {
+  WireReader r(payload);
+  QueryRequest request;
+  request.correlation_id = r.u64();
+  const std::uint8_t kind = r.u8();
+  if (!r.ok() || kind > static_cast<std::uint8_t>(QueryKind::kTopK)) {
+    return std::nullopt;
+  }
+  request.kind = static_cast<QueryKind>(kind);
+  request.cell = r.u32();
+  request.rnti = r.u16();
+  request.metric = r.u8();
+  request.slot_from = r.u64();
+  request.slot_to = r.u64();
+  request.bucket_slots = r.u64();
+  request.k = r.u32();
+  const std::uint8_t op = r.u8();
+  if (!r.ok() || op > static_cast<std::uint8_t>(AggregateOp::kMax)) {
+    return std::nullopt;
+  }
+  request.op = static_cast<AggregateOp>(op);
+  if (!r.done()) {
+    return std::nullopt;
+  }
+  return request;
+}
+
+void encode_query_result(const QueryResponse& response, WireWriter& w) {
+  w.u64(response.correlation_id);
+  w.u8(static_cast<std::uint8_t>(response.status));
+  w.u8(static_cast<std::uint8_t>(response.kind));
+  w.str(response.error);
+  w.u32(static_cast<std::uint32_t>(response.rows.size()));
+  for (const QueryRowWire& row : response.rows) {
+    w.u64(row.slot);
+    w.f64(row.value);
+  }
+  w.u32(static_cast<std::uint32_t>(response.buckets.size()));
+  for (const QueryBucket& bucket : response.buckets) {
+    w.u64(bucket.slot_start);
+    w.u64(bucket.count);
+    w.f64(bucket.sum);
+    w.f64(bucket.avg);
+    w.f64(bucket.max);
+  }
+  w.u32(static_cast<std::uint32_t>(response.ranking.size()));
+  for (const TopKEntry& entry : response.ranking) {
+    w.u32(entry.cell);
+    w.u16(entry.rnti);
+    w.f64(entry.score);
+    w.u64(entry.rows);
+  }
+}
+
+std::optional<QueryResponse> decode_query_result(
+    std::span<const std::uint8_t> payload) {
+  WireReader r(payload);
+  QueryResponse response;
+  response.correlation_id = r.u64();
+  const std::uint8_t status = r.u8();
+  const std::uint8_t kind = r.u8();
+  if (!r.ok() ||
+      status > static_cast<std::uint8_t>(QueryStatus::kUnavailable) ||
+      kind > static_cast<std::uint8_t>(QueryKind::kTopK)) {
+    return std::nullopt;
+  }
+  response.status = static_cast<QueryStatus>(status);
+  response.kind = static_cast<QueryKind>(kind);
+  response.error = r.str();
+  const std::uint32_t n_rows = r.u32();
+  if (!r.ok() || n_rows > r.remaining()) {
+    return std::nullopt;
+  }
+  response.rows.reserve(n_rows);
+  for (std::uint32_t i = 0; i < n_rows; ++i) {
+    QueryRowWire row;
+    row.slot = r.u64();
+    row.value = r.f64();
+    response.rows.push_back(row);
+  }
+  const std::uint32_t n_buckets = r.u32();
+  if (!r.ok() || n_buckets > r.remaining()) {
+    return std::nullopt;
+  }
+  response.buckets.reserve(n_buckets);
+  for (std::uint32_t i = 0; i < n_buckets; ++i) {
+    QueryBucket bucket;
+    bucket.slot_start = r.u64();
+    bucket.count = r.u64();
+    bucket.sum = r.f64();
+    bucket.avg = r.f64();
+    bucket.max = r.f64();
+    response.buckets.push_back(bucket);
+  }
+  const std::uint32_t n_ranked = r.u32();
+  if (!r.ok() || n_ranked > r.remaining()) {
+    return std::nullopt;
+  }
+  response.ranking.reserve(n_ranked);
+  for (std::uint32_t i = 0; i < n_ranked; ++i) {
+    TopKEntry entry;
+    entry.cell = r.u32();
+    entry.rnti = r.u16();
+    entry.score = r.f64();
+    entry.rows = r.u64();
+    response.ranking.push_back(entry);
+  }
+  if (!r.done()) {
+    return std::nullopt;
+  }
+  return response;
+}
+
+std::vector<std::uint8_t> query_frame(const QueryRequest& request) {
+  WireWriter w;
+  encode_query(request, w);
+  return encode_frame(FrameType::kQuery, w.data());
+}
+
+std::vector<std::uint8_t> query_result_frame(const QueryResponse& response) {
+  WireWriter w;
+  encode_query_result(response, w);
+  return encode_frame(FrameType::kQueryResult, w.data());
 }
 
 std::vector<std::uint8_t> fleet_frame(const FleetSummary& summary) {

@@ -28,7 +28,8 @@
 namespace nrs {
 
 inline constexpr std::uint32_t kWireMagic = 0x4E525357;  // "NRSW"
-inline constexpr std::uint16_t kWireVersion = 1;
+/// v2 added the request/response query frames (kQuery / kQueryResult).
+inline constexpr std::uint16_t kWireVersion = 2;
 /// Upper bound on a sane payload; a bigger announced length means the
 /// stream is corrupt (or hostile) and the connection should be dropped.
 inline constexpr std::uint32_t kWireMaxPayload = 64u * 1024u * 1024u;
@@ -42,6 +43,8 @@ enum class FrameType : std::uint16_t {
   kHeartbeat = 4,  ///< keep-alive when the stream is idle (empty payload)
   kEnd = 5,        ///< end of stream: the run finished (empty payload)
   kFleet = 6,      ///< one serialized FleetSummary (cross-cell rollup)
+  kQuery = 7,        ///< client -> server: one QueryRequest
+  kQueryResult = 8,  ///< server -> client: the matching QueryResponse
 };
 
 const char* to_string(FrameType type);
@@ -86,6 +89,93 @@ struct FleetSummary {
   std::vector<std::uint32_t> spare_ranking;
   std::vector<CellSummary> cells;
   [[nodiscard]] bool operator==(const FleetSummary&) const = default;
+};
+
+// ---- Query request/response ------------------------------------------
+//
+// The wire layer defines the query *shapes* only; executing them against a
+// history store lives in src/store (run_query), wired into the server as
+// an opaque handler so nrs_net never depends on the store.
+
+enum class QueryKind : std::uint8_t {
+  kRange = 0,      ///< raw (slot, value) rows of one series in [from, to)
+  kAggregate = 1,  ///< per-bucket count/sum/avg/max downsampling
+  kTopK = 2,       ///< series ranked by mean value over [from, to)
+};
+
+const char* to_string(QueryKind kind);
+
+/// Which per-bucket statistic the caller cares about (the response carries
+/// all of them; this records intent for display layers).
+enum class AggregateOp : std::uint8_t {
+  kSum = 0,
+  kAvg = 1,
+  kMax = 2,
+};
+
+/// One telemetry history query.  `cell`/`rnti`/`metric` select the series
+/// (raw StoreMetric value; the wire layer does not depend on src/store).
+/// kTopK treats `cell` == 0xFFFFFFFF as "every cell" and ignores `rnti`,
+/// ranking all series of `metric` — e.g. metric = cell_spare_prbs over all
+/// cells is the fleet-wide spare-capacity ranking.
+struct QueryRequest {
+  std::uint64_t correlation_id = 0;  ///< echoed verbatim in the response
+  QueryKind kind = QueryKind::kRange;
+  std::uint32_t cell = 0;
+  std::uint16_t rnti = 0;
+  std::uint8_t metric = 0;
+  std::uint64_t slot_from = 0;
+  std::uint64_t slot_to = 0;        ///< exclusive
+  std::uint64_t bucket_slots = 0;   ///< kAggregate: bucket width in slots
+  std::uint32_t k = 0;              ///< kTopK: ranking size
+  AggregateOp op = AggregateOp::kAvg;
+  [[nodiscard]] bool operator==(const QueryRequest&) const = default;
+};
+
+/// One raw row of a range scan.
+struct QueryRowWire {
+  std::uint64_t slot = 0;
+  double value = 0.0;
+  [[nodiscard]] bool operator==(const QueryRowWire&) const = default;
+};
+
+/// One downsampling bucket [start, start + width).
+struct QueryBucket {
+  std::uint64_t slot_start = 0;
+  std::uint64_t count = 0;
+  double sum = 0.0;
+  double avg = 0.0;
+  double max = 0.0;
+  [[nodiscard]] bool operator==(const QueryBucket&) const = default;
+};
+
+/// One ranked series in a top-K response, best first.
+struct TopKEntry {
+  std::uint32_t cell = 0;
+  std::uint16_t rnti = 0;
+  double score = 0.0;       ///< mean value over the queried range
+  std::uint64_t rows = 0;   ///< rows the score was computed from
+  [[nodiscard]] bool operator==(const TopKEntry&) const = default;
+};
+
+enum class QueryStatus : std::uint8_t {
+  kOk = 0,
+  kBadRequest = 1,    ///< malformed parameters (bad metric, empty range)
+  kNotFound = 2,      ///< no such series
+  kUnavailable = 3,   ///< server has no query handler attached
+};
+
+const char* to_string(QueryStatus status);
+
+struct QueryResponse {
+  std::uint64_t correlation_id = 0;
+  QueryStatus status = QueryStatus::kOk;
+  QueryKind kind = QueryKind::kRange;
+  std::string error;  ///< human-readable detail when status != kOk
+  std::vector<QueryRowWire> rows;       ///< kRange
+  std::vector<QueryBucket> buckets;     ///< kAggregate
+  std::vector<TopKEntry> ranking;       ///< kTopK
+  [[nodiscard]] bool operator==(const QueryResponse&) const = default;
 };
 
 // ---- Byte-level primitives -------------------------------------------
@@ -187,11 +277,21 @@ void encode_fleet(const FleetSummary& summary, WireWriter& w);
 std::optional<FleetSummary> decode_fleet(
     std::span<const std::uint8_t> payload);
 
-/// Convenience: payload codec + framing in one call.
+void encode_query(const QueryRequest& request, WireWriter& w);
+std::optional<QueryRequest> decode_query(
+    std::span<const std::uint8_t> payload);
+
+void encode_query_result(const QueryResponse& response, WireWriter& w);
+std::optional<QueryResponse> decode_query_result(
+    std::span<const std::uint8_t> payload);
+
+//// Convenience: payload codec + framing in one call.
 std::vector<std::uint8_t> hello_frame(const HelloInfo& hello);
 std::vector<std::uint8_t> slot_frame(const SlotResult& result);
 std::vector<std::uint8_t> metrics_frame(const MetricsSnapshot& snapshot);
 std::vector<std::uint8_t> fleet_frame(const FleetSummary& summary);
+std::vector<std::uint8_t> query_frame(const QueryRequest& request);
+std::vector<std::uint8_t> query_result_frame(const QueryResponse& response);
 std::vector<std::uint8_t> heartbeat_frame();
 std::vector<std::uint8_t> end_frame();
 

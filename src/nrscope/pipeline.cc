@@ -12,7 +12,8 @@ NrScopePipeline::NrScopePipeline(const NrScopeConfig& config,
                                  std::size_t queue_depth)
     : engine_(std::make_unique<NrScope>(config)),
       ofdm_config_(make_ofdm_config(config.n_prb)), n_prb_(config.n_prb),
-      input_(queue_depth), output_(queue_depth) {
+      input_(queue_depth), output_(queue_depth),
+      sinks_(&engine_->metrics_registry(), "pipeline.") {
   if (queue_depth == 0) {
     throw std::invalid_argument("NrScopePipeline: queue_depth must be > 0");
   }
@@ -27,7 +28,6 @@ NrScopePipeline::NrScopePipeline(const NrScopeConfig& config,
   m_collector_wait_us_ = &registry.histogram("pipeline.collector_wait_us");
   m_collect_us_ = &registry.histogram("pipeline.collect_us");
   m_output_wait_us_ = &registry.histogram("pipeline.output_wait_us");
-  m_sink_errors_ = &registry.counter("pipeline.sink_errors");
   m_stream_gaps_ = &registry.counter("pipeline.stream_gaps");
   m_skipped_slots_ = &registry.counter("pipeline.slots_skipped");
   m_alloc_allocs_ = &registry.gauge("alloc.allocs");
@@ -75,12 +75,10 @@ void NrScopePipeline::stop() {
   }
 }
 
-void NrScopePipeline::add_sink(std::shared_ptr<SlotSink> sink) {
-  if (!sink) {
-    return;
-  }
-  std::lock_guard lock(sink_mutex_);
-  sinks_.push_back(std::move(sink));
+std::string NrScopePipeline::add_sink(std::string name,
+                                      std::shared_ptr<SlotSink> sink,
+                                      std::uint64_t error_limit) {
+  return sinks_.add(std::move(name), std::move(sink), error_limit);
 }
 
 BufferPool<IqBuffer>::Handle NrScopePipeline::acquire_samples() {
@@ -177,9 +175,7 @@ void NrScopePipeline::demod_loop(unsigned worker_index) {
 }
 
 void NrScopePipeline::deliver(const SlotResult& result) {
-  std::unique_lock lock(sink_mutex_);
   if (sinks_.empty()) {
-    lock.unlock();
     ScopedTimer wait_timer(*m_output_wait_us_);
     // Pull mode copies into the queue; the allocation-free path is push
     // mode, where sinks see the collector's reused result by reference.
@@ -197,17 +193,9 @@ void NrScopePipeline::deliver(const SlotResult& result) {
     pull_overflow_.emplace_back(result);
     return;
   }
-  // A sink that throws is counted and detached; the pipeline (and the
-  // other sinks) keep running.  erase-by-index so the loop stays valid.
-  for (std::size_t i = 0; i < sinks_.size();) {
-    try {
-      sinks_[i]->on_slot(result);
-      ++i;
-    } catch (...) {
-      m_sink_errors_->inc();
-      sinks_.erase(sinks_.begin() + static_cast<std::ptrdiff_t>(i));
-    }
-  }
+  // Fault isolation is the chain's: a throwing sink is counted and (once
+  // its error budget is spent) detached, and the run continues.
+  sinks_.deliver_slot(result);
 }
 
 void NrScopePipeline::collect_loop() {
@@ -296,18 +284,7 @@ void NrScopePipeline::collect_loop() {
     pull_overflow_.pop_front();
   }
   pull_overflow_.clear();
-  {
-    std::lock_guard lock(sink_mutex_);
-    for (std::size_t i = 0; i < sinks_.size();) {
-      try {
-        sinks_[i]->on_finish();
-        ++i;
-      } catch (...) {
-        m_sink_errors_->inc();
-        sinks_.erase(sinks_.begin() + static_cast<std::ptrdiff_t>(i));
-      }
-    }
-  }
+  sinks_.deliver_finish();
   output_.close();
 }
 

@@ -52,17 +52,29 @@ class NrScopePipeline {
   NrScopePipeline(const NrScopePipeline&) = delete;
   NrScopePipeline& operator=(const NrScopePipeline&) = delete;
 
-  /// Attach a push-mode result consumer.  Attach sinks before the first
-  /// push_slot(): once any sink is attached, completed slots go to the
-  /// sinks (in slot order, on the collector thread) instead of the
-  /// poll_result() queue.  A sink whose on_slot()/on_finish() throws is
-  /// detached (counted in pipeline.sink_errors) and the run continues.
-  void add_sink(std::shared_ptr<SlotSink> sink);
+  /// Attach a push-mode result consumer under `name`.  Attach sinks before
+  /// the first push_slot(): once any sink is attached, completed slots go
+  /// to the sinks (in slot order, on the collector thread) instead of the
+  /// poll_result() queue.  Fault isolation is the SinkChain's: a sink
+  /// whose on_slot()/on_finish() throws is counted (pipeline.sink_errors
+  /// and pipeline.sink.<name>.errors) and detached once its error budget
+  /// — `error_limit` throws, default 1 — is spent, and the run continues.
+  /// Returns the registered name (uniquified when `name` collides).
+  std::string add_sink(std::string name, std::shared_ptr<SlotSink> sink,
+                       std::uint64_t error_limit = 1);
+
+  /// Anonymous attach: auto-names the sink ("sink0", "sink1", ...).
+  std::string add_sink(std::shared_ptr<SlotSink> sink) {
+    return add_sink({}, std::move(sink));
+  }
+
+  /// Detach by registered name; false when no such sink is attached.
+  bool detach_sink(std::string_view name) { return sinks_.detach(name); }
 
   /// Currently attached sinks (faulty sinks shrink this).
-  [[nodiscard]] std::size_t sink_count() const {
-    std::lock_guard lock(sink_mutex_);
-    return sinks_.size();
+  [[nodiscard]] std::size_t sink_count() const { return sinks_.size(); }
+  [[nodiscard]] std::vector<std::string> sink_names() const {
+    return sinks_.names();
   }
 
   /// Borrow a pooled sample buffer to fill and hand back to push_slot().
@@ -162,8 +174,7 @@ class NrScopePipeline {
   std::vector<std::thread> demod_workers_;
   std::thread collector_;
 
-  mutable std::mutex sink_mutex_;
-  std::vector<std::shared_ptr<SlotSink>> sinks_;
+  SinkChain sinks_;
 
   /// A declared input-stream discontinuity: indices in [from, to) were
   /// never pushed and must be jumped over by the collector.
@@ -216,7 +227,6 @@ class NrScopePipeline {
   Histogram* m_collector_wait_us_ = nullptr;
   Histogram* m_collect_us_ = nullptr;
   Histogram* m_output_wait_us_ = nullptr;
-  Counter* m_sink_errors_ = nullptr;
   Counter* m_stream_gaps_ = nullptr;
   Counter* m_skipped_slots_ = nullptr;
   // Heap-traffic gauges, published per slot when the shim is linked.

@@ -5,6 +5,126 @@
 
 namespace nrs {
 
+// ---- SinkChain -------------------------------------------------------
+
+SinkChain::SinkChain(MetricsRegistry* registry, std::string metric_prefix)
+    : registry_(registry), prefix_(std::move(metric_prefix)) {
+  if (registry_ != nullptr) {
+    total_errors_ = &registry_->counter(prefix_ + "sink_errors");
+  }
+}
+
+std::string SinkChain::add(std::string name, std::shared_ptr<SlotSink> sink,
+                           std::uint64_t error_limit) {
+  if (!sink) {
+    return {};
+  }
+  std::lock_guard lock(mutex_);
+  if (name.empty()) {
+    name = "sink" + std::to_string(auto_names_++);
+  }
+  // Duplicate names would alias the per-sink error counter; suffix them.
+  auto taken = [this](const std::string& candidate) {
+    for (const Entry& entry : entries_) {
+      if (entry.name == candidate) {
+        return true;
+      }
+    }
+    return false;
+  };
+  std::string unique = name;
+  for (unsigned suffix = 2; taken(unique); ++suffix) {
+    unique = name + "#" + std::to_string(suffix);
+  }
+  Entry entry;
+  entry.name = unique;
+  entry.sink = std::move(sink);
+  entry.error_limit = error_limit;
+  if (registry_ != nullptr) {
+    entry.errors = &registry_->counter(prefix_ + "sink." + unique +
+                                       ".errors");
+  }
+  entries_.push_back(std::move(entry));
+  return unique;
+}
+
+bool SinkChain::detach(std::string_view name) {
+  std::lock_guard lock(mutex_);
+  for (auto it = entries_.begin(); it != entries_.end(); ++it) {
+    if (it->name == name) {
+      entries_.erase(it);
+      return true;
+    }
+  }
+  return false;
+}
+
+std::size_t SinkChain::size() const {
+  std::lock_guard lock(mutex_);
+  return entries_.size();
+}
+
+bool SinkChain::empty() const {
+  std::lock_guard lock(mutex_);
+  return entries_.empty();
+}
+
+std::vector<std::string> SinkChain::names() const {
+  std::lock_guard lock(mutex_);
+  std::vector<std::string> out;
+  out.reserve(entries_.size());
+  for (const Entry& entry : entries_) {
+    out.push_back(entry.name);
+  }
+  return out;
+}
+
+bool SinkChain::note_error_locked(std::size_t i) {
+  Entry& entry = entries_[i];
+  ++entry.error_count;
+  if (total_errors_ != nullptr) {
+    total_errors_->inc();
+  }
+  if (entry.errors != nullptr) {
+    entry.errors->inc();
+  }
+  return entry.error_limit > 0 && entry.error_count >= entry.error_limit;
+}
+
+void SinkChain::deliver_slot(const SlotResult& result) {
+  std::lock_guard lock(mutex_);
+  for (std::size_t i = 0; i < entries_.size();) {
+    try {
+      entries_[i].sink->on_slot(result);
+      ++i;
+    } catch (...) {
+      if (note_error_locked(i)) {
+        entries_.erase(entries_.begin() + static_cast<std::ptrdiff_t>(i));
+      } else {
+        ++i;
+      }
+    }
+  }
+}
+
+void SinkChain::deliver_finish() {
+  std::lock_guard lock(mutex_);
+  for (std::size_t i = 0; i < entries_.size();) {
+    try {
+      entries_[i].sink->on_finish();
+      ++i;
+    } catch (...) {
+      if (note_error_locked(i)) {
+        entries_.erase(entries_.begin() + static_cast<std::ptrdiff_t>(i));
+      } else {
+        ++i;
+      }
+    }
+  }
+}
+
+// ---- MetricsCsvSink --------------------------------------------------
+
 MetricsCsvSink::MetricsCsvSink(const std::string& path,
                                const MetricsRegistry& registry,
                                std::uint64_t period_slots)

@@ -9,7 +9,11 @@
 
 #include <cstdint>
 #include <fstream>
+#include <memory>
+#include <mutex>
 #include <string>
+#include <string_view>
+#include <vector>
 
 #include "common/metrics.h"
 #include "nrscope/nrscope.h"
@@ -25,6 +29,62 @@ class SlotSink {
 
   /// Called exactly once after the final slot, before pipeline shutdown.
   virtual void on_finish() {}
+};
+
+/// The one sink-attachment surface shared by NrScopePipeline and the fleet
+/// orchestrator: named sinks with uniform fault isolation.  A sink whose
+/// on_slot()/on_finish() throws has the error counted — in the chain-wide
+/// total (`<prefix>sink_errors`) and in its own per-sink counter
+/// (`<prefix>sink.<name>.errors`) — and is detached once its error budget
+/// (default 1) is spent; the run and the other sinks continue.
+///
+/// deliver_slot()/deliver_finish() are called by exactly one thread (the
+/// pipeline collector); add()/detach() are safe from any thread.
+class SinkChain {
+ public:
+  /// `registry` receives the error counters; nullptr skips per-sink
+  /// metrics (errors are still counted internally for detachment).
+  explicit SinkChain(MetricsRegistry* registry = nullptr,
+                     std::string metric_prefix = "pipeline.");
+
+  /// Attach a sink under `name` (replaces nothing: duplicate names get a
+  /// numeric suffix so per-sink metrics stay distinct).  `error_limit` is
+  /// the number of throws tolerated before auto-detach; 0 means detach is
+  /// disabled (errors are only counted).  Returns the registered name.
+  std::string add(std::string name, std::shared_ptr<SlotSink> sink,
+                  std::uint64_t error_limit = 1);
+
+  /// Detach by name; false when no such sink is attached.
+  bool detach(std::string_view name);
+
+  [[nodiscard]] std::size_t size() const;
+  [[nodiscard]] bool empty() const;
+  [[nodiscard]] std::vector<std::string> names() const;
+
+  /// Fan one slot out to every attached sink (fault-isolated).
+  void deliver_slot(const SlotResult& result);
+  /// Fan on_finish() out to every attached sink (fault-isolated).
+  void deliver_finish();
+
+ private:
+  struct Entry {
+    std::string name;
+    std::shared_ptr<SlotSink> sink;
+    Counter* errors = nullptr;  ///< per-sink counter (may be null)
+    std::uint64_t error_count = 0;
+    std::uint64_t error_limit = 1;
+  };
+
+  /// Count one error against entries_[i]; returns true when the sink must
+  /// be detached.  Caller holds mutex_.
+  bool note_error_locked(std::size_t i);
+
+  MetricsRegistry* registry_;
+  std::string prefix_;
+  Counter* total_errors_ = nullptr;
+  mutable std::mutex mutex_;
+  std::vector<Entry> entries_;
+  std::uint64_t auto_names_ = 0;
 };
 
 /// Appends a MetricsSnapshot to a CSV file every `period_slots` slots (and

@@ -1,0 +1,276 @@
+#include "store/history_store.h"
+
+#include <algorithm>
+#include <bit>
+#include <mutex>
+#include <stdexcept>
+
+namespace nrs {
+
+const char* to_string(StoreMetric metric) {
+  switch (metric) {
+    case StoreMetric::kDlBits: return "dl_bits";
+    case StoreMetric::kUlBits: return "ul_bits";
+    case StoreMetric::kMcs: return "mcs";
+    case StoreMetric::kRetx: return "retx";
+    case StoreMetric::kPrbs: return "prbs";
+    case StoreMetric::kCellDcis: return "cell_dcis";
+    case StoreMetric::kCellUsedPrbs: return "cell_used_prbs";
+    case StoreMetric::kCellSparePrbs: return "cell_spare_prbs";
+  }
+  return "unknown";
+}
+
+bool store_metric_valid(std::uint8_t raw) {
+  return raw < kStoreMetricCount;
+}
+
+std::optional<StoreMetric> store_metric_from_string(std::string_view name) {
+  for (std::uint8_t raw = 0; raw < kStoreMetricCount; ++raw) {
+    const auto metric = static_cast<StoreMetric>(raw);
+    if (name == to_string(metric)) {
+      return metric;
+    }
+  }
+  return std::nullopt;
+}
+
+std::optional<std::string> HistoryStoreConfig::validate() const {
+  if (rows_per_segment == 0) {
+    return "rows_per_segment must be > 0";
+  }
+  if (segments_per_series < 2) {
+    return "segments_per_series must be >= 2 (the ring needs a spare "
+           "segment to recycle into)";
+  }
+  if (max_series == 0) {
+    return "max_series must be > 0";
+  }
+  return std::nullopt;
+}
+
+// ---- StoreSeries -----------------------------------------------------
+
+StoreSeries::StoreSeries(const SeriesKey& key,
+                         const HistoryStoreConfig& config,
+                         Counter* rows_evicted, Counter* segment_evictions)
+    : key_(key), rows_per_segment_(config.rows_per_segment),
+      n_segments_(config.segments_per_series),
+      segments_(std::make_unique<SegmentState[]>(n_segments_)),
+      slots_(std::make_unique<std::atomic<std::uint64_t>[]>(
+          n_segments_ * rows_per_segment_)),
+      values_(std::make_unique<std::atomic<std::uint64_t>[]>(
+          n_segments_ * rows_per_segment_)),
+      rows_evicted_(rows_evicted), segment_evictions_(segment_evictions) {}
+
+void StoreSeries::append(std::uint64_t slot, double value) {
+  SegmentState* st = &segments_[head_];
+  std::uint32_t n = st->count.load(std::memory_order_relaxed);
+  if (n == rows_per_segment_) {
+    // Rotate: recycle the oldest segment in place.  The odd generation
+    // makes concurrent readers discard anything they copied from it.
+    head_ = (head_ + 1) % n_segments_;
+    st = &segments_[head_];
+    const std::uint32_t old = st->count.load(std::memory_order_relaxed);
+    st->generation.fetch_add(1, std::memory_order_release);  // odd
+    st->count.store(0, std::memory_order_release);
+    st->generation.fetch_add(1, std::memory_order_release);  // even epoch
+    if (old > 0) {
+      rows_evicted_->inc(old);
+      segment_evictions_->inc();
+    }
+    n = 0;
+  }
+  const std::size_t at = head_ * rows_per_segment_ + n;
+  slots_[at].store(slot, std::memory_order_relaxed);
+  values_[at].store(std::bit_cast<std::uint64_t>(value),
+                    std::memory_order_relaxed);
+  // Publish: a reader that acquires the new count sees both row stores.
+  st->count.store(n + 1, std::memory_order_release);
+  rows_appended_.fetch_add(1, std::memory_order_relaxed);
+}
+
+template <typename RowFn>
+bool StoreSeries::scan_segment(std::size_t seg, std::uint64_t from,
+                               std::uint64_t to, RowFn&& fn) const {
+  const SegmentState& st = segments_[seg];
+  const std::uint64_t g1 = st.generation.load(std::memory_order_acquire);
+  if ((g1 & 1) != 0) {
+    return true;  // mid-recycle: the segment's rows are evicted
+  }
+  const std::uint32_t n = st.count.load(std::memory_order_acquire);
+  const std::size_t base = seg * rows_per_segment_;
+  for (std::uint32_t i = 0; i < n; ++i) {
+    const std::uint64_t slot = slots_[base + i].load(std::memory_order_relaxed);
+    if (slot >= from && slot < to) {
+      fn(slot, std::bit_cast<double>(
+                   values_[base + i].load(std::memory_order_relaxed)));
+    }
+  }
+  // Seqlock re-check: a changed generation means the ring recycled this
+  // segment underneath us, so whatever fn() saw must be discarded.
+  std::atomic_thread_fence(std::memory_order_acquire);
+  return st.generation.load(std::memory_order_relaxed) == g1;
+}
+
+std::size_t StoreSeries::read_range(std::uint64_t from, std::uint64_t to,
+                                    std::vector<StoreRow>& out) const {
+  const std::size_t start = out.size();
+  for (std::size_t seg = 0; seg < n_segments_; ++seg) {
+    const std::size_t seg_start = out.size();
+    const bool stable = scan_segment(
+        seg, from, to,
+        [&](std::uint64_t slot, double value) {
+          out.push_back(StoreRow{slot, value});
+        });
+    if (!stable) {
+      out.resize(seg_start);  // recycled mid-read: those rows are gone
+    }
+  }
+  // Segments are visited in ring-array order, not age order; one sort
+  // restores global slot order (each segment is internally sorted).
+  std::sort(out.begin() + static_cast<std::ptrdiff_t>(start), out.end(),
+            [](const StoreRow& a, const StoreRow& b) {
+              return a.slot < b.slot;
+            });
+  return out.size() - start;
+}
+
+StoreSeries::Fold StoreSeries::fold_range(std::uint64_t from,
+                                          std::uint64_t to) const {
+  Fold total;
+  bool any = false;
+  for (std::size_t seg = 0; seg < n_segments_; ++seg) {
+    Fold part;
+    bool part_any = false;
+    const bool stable = scan_segment(
+        seg, from, to,
+        [&](std::uint64_t slot, double value) {
+          ++part.count;
+          part.sum += value;
+          if (!part_any || value > part.max) {
+            part.max = value;
+          }
+          if (!part_any || slot < part.first_slot) {
+            part.first_slot = slot;
+          }
+          if (!part_any || slot > part.last_slot) {
+            part.last_slot = slot;
+          }
+          part_any = true;
+        });
+    if (!stable || !part_any) {
+      continue;
+    }
+    total.count += part.count;
+    total.sum += part.sum;
+    if (!any || part.max > total.max) {
+      total.max = part.max;
+    }
+    if (!any || part.first_slot < total.first_slot) {
+      total.first_slot = part.first_slot;
+    }
+    if (!any || part.last_slot > total.last_slot) {
+      total.last_slot = part.last_slot;
+    }
+    any = true;
+  }
+  return total;
+}
+
+std::size_t StoreSeries::row_count() const {
+  std::size_t total = 0;
+  for (std::size_t seg = 0; seg < n_segments_; ++seg) {
+    const SegmentState& st = segments_[seg];
+    if ((st.generation.load(std::memory_order_acquire) & 1) != 0) {
+      continue;
+    }
+    total += st.count.load(std::memory_order_acquire);
+  }
+  return total;
+}
+
+// ---- HistoryStore ----------------------------------------------------
+
+HistoryStore::HistoryStore(HistoryStoreConfig config,
+                           MetricsRegistry* registry)
+    : config_(config) {
+  if (const auto error = config_.validate()) {
+    throw std::invalid_argument("HistoryStore: " + *error);
+  }
+  if (registry == nullptr) {
+    own_registry_ = std::make_unique<MetricsRegistry>();
+    registry = own_registry_.get();
+  }
+  m_rows_ingested_ = &registry->counter("store.rows_ingested");
+  m_rows_evicted_ = &registry->counter("store.rows_evicted");
+  m_segment_evictions_ = &registry->counter("store.segment_evictions");
+  m_series_rejected_ = &registry->counter("store.series_rejected");
+  m_series_ = &registry->gauge("store.series");
+  m_segments_ = &registry->gauge("store.segments");
+}
+
+StoreSeries* HistoryStore::series(const SeriesKey& key) {
+  const std::uint64_t packed = key.packed();
+  {
+    std::shared_lock lock(mutex_);
+    const auto it = series_.find(packed);
+    if (it != series_.end()) {
+      return it->second.get();
+    }
+  }
+  std::unique_lock lock(mutex_);
+  auto& slot = series_[packed];
+  if (!slot) {
+    if (series_.size() > config_.max_series) {
+      series_.erase(packed);
+      m_series_rejected_->inc();
+      return nullptr;
+    }
+    slot = std::make_unique<StoreSeries>(key, config_, m_rows_evicted_,
+                                         m_segment_evictions_);
+    m_series_->set(static_cast<std::int64_t>(series_.size()));
+    m_segments_->set(static_cast<std::int64_t>(series_.size() *
+                                               config_.segments_per_series));
+  }
+  return slot.get();
+}
+
+const StoreSeries* HistoryStore::find_series(const SeriesKey& key) const {
+  std::shared_lock lock(mutex_);
+  const auto it = series_.find(key.packed());
+  return it != series_.end() ? it->second.get() : nullptr;
+}
+
+std::vector<SeriesKey> HistoryStore::keys() const {
+  std::shared_lock lock(mutex_);
+  std::vector<SeriesKey> out;
+  out.reserve(series_.size());
+  for (const auto& [packed, s] : series_) {
+    out.push_back(s->key());
+  }
+  return out;
+}
+
+void HistoryStore::for_each_series(
+    std::uint32_t cell, StoreMetric metric,
+    const std::function<void(const StoreSeries&)>& fn) const {
+  std::shared_lock lock(mutex_);
+  for (const auto& [packed, s] : series_) {
+    const SeriesKey& key = s->key();
+    if (key.metric != metric) {
+      continue;
+    }
+    if (cell != kStoreAnyCell && key.cell != cell) {
+      continue;
+    }
+    fn(*s);
+  }
+}
+
+std::size_t HistoryStore::series_count() const {
+  std::shared_lock lock(mutex_);
+  return series_.size();
+}
+
+}  // namespace nrs

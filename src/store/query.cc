@@ -1,0 +1,146 @@
+#include "store/query.h"
+
+#include <algorithm>
+#include <vector>
+
+namespace nrs {
+
+namespace {
+
+QueryResponse bad_request(const QueryRequest& request, std::string why) {
+  QueryResponse response;
+  response.correlation_id = request.correlation_id;
+  response.kind = request.kind;
+  response.status = QueryStatus::kBadRequest;
+  response.error = std::move(why);
+  return response;
+}
+
+QueryResponse run_range(const HistoryStore& store,
+                        const QueryRequest& request,
+                        QueryResponse response) {
+  const SeriesKey key{request.cell, request.rnti,
+                      static_cast<StoreMetric>(request.metric)};
+  const StoreSeries* series = store.find_series(key);
+  if (series == nullptr) {
+    response.status = QueryStatus::kNotFound;
+    response.error = "no such series";
+    return response;
+  }
+  std::vector<StoreRow> rows;
+  series->read_range(request.slot_from, request.slot_to, rows);
+  response.rows.reserve(rows.size());
+  for (const StoreRow& row : rows) {
+    response.rows.push_back(QueryRowWire{row.slot, row.value});
+  }
+  return response;
+}
+
+QueryResponse run_aggregate(const HistoryStore& store,
+                            const QueryRequest& request,
+                            QueryResponse response) {
+  const SeriesKey key{request.cell, request.rnti,
+                      static_cast<StoreMetric>(request.metric)};
+  const StoreSeries* series = store.find_series(key);
+  if (series == nullptr) {
+    response.status = QueryStatus::kNotFound;
+    response.error = "no such series";
+    return response;
+  }
+  std::vector<StoreRow> rows;
+  series->read_range(request.slot_from, request.slot_to, rows);
+  // Rows arrive slot-sorted, so buckets come out in order and only
+  // non-empty ones are emitted (the response is sparse by construction).
+  for (const StoreRow& row : rows) {
+    const std::uint64_t start =
+        request.slot_from +
+        (row.slot - request.slot_from) / request.bucket_slots *
+            request.bucket_slots;
+    if (response.buckets.empty() ||
+        response.buckets.back().slot_start != start) {
+      QueryBucket bucket;
+      bucket.slot_start = start;
+      response.buckets.push_back(bucket);
+    }
+    QueryBucket& bucket = response.buckets.back();
+    bucket.sum += row.value;
+    if (bucket.count == 0 || row.value > bucket.max) {
+      bucket.max = row.value;
+    }
+    ++bucket.count;
+  }
+  for (QueryBucket& bucket : response.buckets) {
+    bucket.avg = bucket.sum / static_cast<double>(bucket.count);
+  }
+  return response;
+}
+
+QueryResponse run_top_k(const HistoryStore& store,
+                        const QueryRequest& request,
+                        QueryResponse response) {
+  store.for_each_series(
+      request.cell, static_cast<StoreMetric>(request.metric),
+      [&](const StoreSeries& series) {
+        const StoreSeries::Fold fold =
+            series.fold_range(request.slot_from, request.slot_to);
+        if (fold.count == 0) {
+          return;
+        }
+        TopKEntry entry;
+        entry.cell = series.key().cell;
+        entry.rnti = series.key().rnti;
+        entry.score = fold.sum / static_cast<double>(fold.count);
+        entry.rows = fold.count;
+        response.ranking.push_back(entry);
+      });
+  std::sort(response.ranking.begin(), response.ranking.end(),
+            [](const TopKEntry& a, const TopKEntry& b) {
+              if (a.score != b.score) {
+                return a.score > b.score;
+              }
+              return a.cell != b.cell ? a.cell < b.cell : a.rnti < b.rnti;
+            });
+  if (response.ranking.size() > request.k) {
+    response.ranking.resize(request.k);
+  }
+  return response;
+}
+
+}  // namespace
+
+QueryResponse run_query(const HistoryStore& store,
+                        const QueryRequest& request) {
+  if (!store_metric_valid(request.metric)) {
+    return bad_request(request, "unknown metric");
+  }
+  if (request.slot_from >= request.slot_to) {
+    return bad_request(request, "empty slot range");
+  }
+  if (request.kind == QueryKind::kAggregate && request.bucket_slots == 0) {
+    return bad_request(request, "bucket_slots must be > 0");
+  }
+  if (request.kind == QueryKind::kTopK && request.k == 0) {
+    return bad_request(request, "k must be > 0");
+  }
+  QueryResponse response;
+  response.correlation_id = request.correlation_id;
+  response.kind = request.kind;
+  switch (request.kind) {
+    case QueryKind::kRange:
+      return run_range(store, request, std::move(response));
+    case QueryKind::kAggregate:
+      return run_aggregate(store, request, std::move(response));
+    case QueryKind::kTopK:
+      return run_top_k(store, request, std::move(response));
+  }
+  return bad_request(request, "unknown query kind");
+}
+
+std::function<QueryResponse(const QueryRequest&)> history_query_handler(
+    const HistoryStore& store) {
+  return [&store](const QueryRequest& request) {
+    return run_query(store, request);
+  };
+}
+
+}  // namespace nrs

@@ -1,0 +1,30 @@
+// Query execution against a HistoryStore: the server side of the wire
+// protocol's kQuery/kQueryResult frames.  run_query() is a pure function
+// of (store, request) — range scans copy rows out of the seqlock segments,
+// aggregates downsample them into fixed-width slot buckets, and top-K
+// ranks matching series by mean value (metric = cell_spare_prbs over all
+// cells is the paper's spare-capacity ranking lifted to the fleet).
+// history_query_handler() packages it as the std::function the
+// TelemetryStreamServer's query thread pool invokes, keeping nrs_net free
+// of any dependency on the store.
+#pragma once
+
+#include <functional>
+
+#include "net/wire.h"
+#include "store/history_store.h"
+
+namespace nrs {
+
+/// Execute one query.  Never throws; malformed requests come back with
+/// status kBadRequest and a human-readable error.
+[[nodiscard]] QueryResponse run_query(const HistoryStore& store,
+                                      const QueryRequest& request);
+
+/// Bind a store into the server's query-handler slot
+/// (StreamServerConfig::query_handler).  The store must outlive the
+/// server.
+[[nodiscard]] std::function<QueryResponse(const QueryRequest&)>
+history_query_handler(const HistoryStore& store);
+
+}  // namespace nrs

@@ -1,0 +1,87 @@
+#include "store/store_sink.h"
+
+#include <algorithm>
+
+#include "nr/dci.h"
+
+namespace nrs {
+
+HistoryStoreSink::HistoryStoreSink(HistoryStore& store,
+                                   const StoreSinkConfig& config)
+    : store_(&store), config_(config) {
+  ues_.reserve(config_.reserve_ues);
+  cell_dcis_ = store_->series(
+      {config_.cell_index, kStoreCellRnti, StoreMetric::kCellDcis});
+  cell_used_ = store_->series(
+      {config_.cell_index, kStoreCellRnti, StoreMetric::kCellUsedPrbs});
+  cell_spare_ = store_->series(
+      {config_.cell_index, kStoreCellRnti, StoreMetric::kCellSparePrbs});
+}
+
+HistoryStoreSink::UeSeries* HistoryStoreSink::ue_series(Rnti rnti) {
+  for (UeSeries& ue : ues_) {
+    if (ue.rnti == rnti) {
+      return &ue;  // steady state: cache hit, no allocation
+    }
+  }
+  // First DCI from this RNTI: resolve (and possibly create) its series.
+  // This is warm-up work — a map lookup/insert under the store lock plus
+  // the ring preallocation — and never recurs for the same RNTI.
+  UeSeries ue;
+  ue.rnti = rnti;
+  const std::uint32_t cell = config_.cell_index;
+  ue.dl_bits = store_->series({cell, rnti, StoreMetric::kDlBits});
+  ue.ul_bits = store_->series({cell, rnti, StoreMetric::kUlBits});
+  ue.mcs = store_->series({cell, rnti, StoreMetric::kMcs});
+  ue.retx = store_->series({cell, rnti, StoreMetric::kRetx});
+  ue.prbs = store_->series({cell, rnti, StoreMetric::kPrbs});
+  if (ue.dl_bits == nullptr || ue.ul_bits == nullptr || ue.mcs == nullptr ||
+      ue.retx == nullptr || ue.prbs == nullptr) {
+    return nullptr;  // store at max_series: shed this UE, keep ingesting
+  }
+  ues_.push_back(ue);
+  return &ues_.back();
+}
+
+void HistoryStoreSink::on_slot(const SlotResult& result) {
+  std::uint64_t rows = 0;
+  unsigned used_prbs = 0;
+  for (const DecodedDci& dci : result.dcis) {
+    UeSeries* ue = ue_series(dci.rnti);
+    if (ue == nullptr) {
+      continue;
+    }
+    const bool dl = is_downlink(dci.grant.format);
+    if (dl) {
+      used_prbs += dci.grant.prb_len;
+      if (!dci.is_retx) {
+        ue->dl_bits->append(result.slot,
+                            static_cast<double>(dci.grant.tbs));
+        ++rows;
+      }
+    } else if (!dci.is_retx) {
+      ue->ul_bits->append(result.slot, static_cast<double>(dci.grant.tbs));
+      ++rows;
+    }
+    ue->mcs->append(result.slot, static_cast<double>(dci.grant.mcs));
+    ue->retx->append(result.slot, dci.is_retx ? 1.0 : 0.0);
+    ue->prbs->append(result.slot, static_cast<double>(dci.grant.prb_len));
+    rows += 3;
+  }
+  const bool cell_rows = !config_.cell_rows_only_when_tracking ||
+                         result.sync_state == SyncState::kTracking;
+  if (cell_rows) {
+    const double spare = static_cast<double>(
+        config_.n_prb > used_prbs ? config_.n_prb - used_prbs : 0);
+    cell_dcis_->append(result.slot,
+                       static_cast<double>(result.dcis.size()));
+    cell_used_->append(result.slot, static_cast<double>(
+                                        std::min(used_prbs, config_.n_prb)));
+    cell_spare_->append(result.slot, spare);
+    rows += 3;
+  }
+  rows_written_ += rows;
+  store_->note_rows_ingested(rows);
+}
+
+}  // namespace nrs

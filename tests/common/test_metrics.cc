@@ -254,5 +254,70 @@ TEST(MetricsSnapshot, FilterKeepsOnlyPrefixedMetrics) {
   EXPECT_EQ(fleet.counter_value("pipeline.slots_pushed"), 0u);
 }
 
+TEST(MetricsSnapshot, RegistrySnapshotsAreSortedAndFilterPreservesIt) {
+  MetricsRegistry reg;
+  reg.counter("zeta.hits").inc(1);
+  reg.counter("alpha.hits").inc(2);
+  reg.counter("mid.hits").inc(3);
+  reg.gauge("zeta.depth").set(1);
+  reg.gauge("alpha.depth").set(2);
+  const MetricsSnapshot snap = reg.snapshot();
+  EXPECT_TRUE(snap.sorted_by_name);
+  ASSERT_EQ(snap.counters.size(), 3u);
+  EXPECT_EQ(snap.counters.front().name, "alpha.hits");
+  EXPECT_EQ(snap.counters.back().name, "zeta.hits");
+
+  const MetricsSnapshot filtered = snap.filter("alpha.");
+  EXPECT_TRUE(filtered.sorted_by_name)
+      << "filtering a sorted snapshot keeps the fast-lookup flag";
+  EXPECT_EQ(filtered.counter_value("alpha.hits"), 2u);
+  ASSERT_NE(filtered.find_gauge("alpha.depth"), nullptr);
+}
+
+TEST(MetricsSnapshot, BinarySearchLookupsMatchLinearSemantics) {
+  MetricsRegistry reg;
+  // Enough names, in scrambled insertion order, that a broken lower_bound
+  // would land on the wrong element somewhere.
+  const char* names[] = {"net.bytes", "a.first", "z.last", "net.frames",
+                         "net.bytes2", "pipeline.slots", "net",
+                         "query.latency", "net.a", "netx"};
+  for (const char* name : names) {
+    reg.counter(name).inc();
+  }
+  const MetricsSnapshot snap = reg.snapshot();
+  ASSERT_TRUE(snap.sorted_by_name);
+  for (const char* name : names) {
+    ASSERT_NE(snap.find_counter(name), nullptr) << name;
+    EXPECT_EQ(snap.find_counter(name)->name, name);
+  }
+  // Absent names, including ones adjacent to real entries in sort order.
+  EXPECT_EQ(snap.find_counter("net."), nullptr);
+  EXPECT_EQ(snap.find_counter("net.bytes3"), nullptr);
+  EXPECT_EQ(snap.find_counter(""), nullptr);
+  EXPECT_EQ(snap.find_counter("zz"), nullptr);
+  // Prefix filtering must take the contiguous run only: "net." matches
+  // net.a/net.bytes/net.bytes2/net.frames but not "net" or "netx".
+  const MetricsSnapshot net = snap.filter("net.");
+  EXPECT_EQ(net.counters.size(), 4u);
+  EXPECT_EQ(net.find_counter("netx"), nullptr);
+  EXPECT_EQ(net.find_counter("net"), nullptr);
+}
+
+TEST(MetricsSnapshot, HandBuiltUnsortedSnapshotStillWorksViaLinearScan) {
+  // Snapshots decoded from an old peer (or built by hand) may be unsorted;
+  // the flag defaults to false and lookups must still be correct.
+  MetricsSnapshot snap;
+  EXPECT_FALSE(snap.sorted_by_name);
+  snap.counters.push_back({"zeta", 1});
+  snap.counters.push_back({"alpha", 2});
+  ASSERT_NE(snap.find_counter("alpha"), nullptr);
+  EXPECT_EQ(snap.counter_value("alpha"), 2u);
+  EXPECT_EQ(snap.counter_value("zeta"), 1u);
+  EXPECT_EQ(snap.find_counter("mid"), nullptr);
+  const MetricsSnapshot filtered = snap.filter("z");
+  EXPECT_FALSE(filtered.sorted_by_name);
+  EXPECT_EQ(filtered.counters.size(), 1u);
+}
+
 }  // namespace
 }  // namespace nrs

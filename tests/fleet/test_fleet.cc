@@ -14,6 +14,9 @@
 #include "gnb/presets.h"
 #include "net/stream_client.h"
 #include "net/stream_server.h"
+#include "store/history_store.h"
+#include "store/query.h"
+#include "store/store_sink.h"
 
 namespace nrs {
 namespace {
@@ -342,6 +345,84 @@ TEST(Fleet, AggregateFramesReachAStreamClient) {
               static_cast<std::uint8_t>(FleetCellState::kRunning));
   }
   client.stop();
+}
+
+TEST(Fleet, SinkFactoryFeedsAStorePerCellAndSupportsDetach) {
+  MetricsRegistry registry;
+  HistoryStore store({}, &registry);
+  FleetOrchestrator fleet(make_config(2), registry);
+
+  std::atomic<unsigned> factory_calls{0};
+  fleet.add_sink("store", [&store, &factory_calls](std::uint32_t cell) {
+    factory_calls.fetch_add(1);
+    StoreSinkConfig config;
+    config.cell_index = cell;
+    config.n_prb = srsran_cell().n_prb;
+    return std::make_shared<HistoryStoreSink>(store, config);
+  });
+  EXPECT_EQ(factory_calls.load(), 2u) << "applied to every live cell";
+
+  fleet.run_until(400);
+  fleet.stop();
+
+  // Every cell produced rows under its own cell index, so the fleet-wide
+  // top-K ranks both.
+  QueryRequest request;
+  request.kind = QueryKind::kTopK;
+  request.cell = kStoreAnyCell;
+  request.metric = static_cast<std::uint8_t>(StoreMetric::kCellSparePrbs);
+  request.slot_from = 0;
+  request.slot_to = 1000;
+  request.k = 8;
+  const QueryResponse response = run_query(store, request);
+  ASSERT_EQ(response.status, QueryStatus::kOk);
+  ASSERT_EQ(response.ranking.size(), 2u);
+  EXPECT_NE(response.ranking[0].cell, response.ranking[1].cell);
+  EXPECT_GT(registry.snapshot().counter_value("store.rows_ingested"), 0u);
+
+  EXPECT_TRUE(fleet.detach_sink("store"));
+  EXPECT_FALSE(fleet.detach_sink("store")) << "factory already removed";
+}
+
+TEST(Fleet, SinkFactoryIsReappliedAfterRestart) {
+  MetricsRegistry registry;
+  HistoryStore store({}, &registry);
+  FleetConfig config = make_config(1);
+  config.backoff_initial_s = 0.002;
+  config.cells[0].fault_hook = [](std::uint64_t slot, unsigned incarnation) {
+    if (incarnation == 0 && slot == 100) {
+      throw std::runtime_error("injected cell crash");
+    }
+    return FaultAction::kNone;
+  };
+  FleetOrchestrator fleet(std::move(config), registry);
+
+  std::atomic<unsigned> factory_calls{0};
+  fleet.add_sink("store", [&store, &factory_calls](std::uint32_t cell) {
+    factory_calls.fetch_add(1);
+    StoreSinkConfig sink_config;
+    sink_config.cell_index = cell;
+    sink_config.n_prb = srsran_cell().n_prb;
+    return std::make_shared<HistoryStoreSink>(store, sink_config);
+  });
+  EXPECT_EQ(factory_calls.load(), 1u);
+
+  fleet.run_until(300);
+  fleet.stop();
+
+  EXPECT_EQ(fleet.cell_restarts(0), 1u);
+  EXPECT_EQ(factory_calls.load(), 2u)
+      << "a restarted cell must get a fresh sink from the same factory";
+  // History spans both incarnations: rows exist before and after the
+  // crash slot.
+  const StoreSeries* series = store.find_series(
+      SeriesKey{0, kStoreCellRnti, StoreMetric::kCellDcis});
+  ASSERT_NE(series, nullptr);
+  std::vector<StoreRow> rows;
+  series->read_range(0, 1u << 20, rows);
+  ASSERT_FALSE(rows.empty());
+  EXPECT_LT(rows.front().slot, 100u);
+  EXPECT_GT(rows.back().slot, 100u);
 }
 
 }  // namespace

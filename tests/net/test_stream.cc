@@ -27,6 +27,9 @@
 #include "nrscope/log_writer.h"
 #include "nrscope/pipeline.h"
 #include "radio/virtual_radio.h"
+#include "store/history_store.h"
+#include "store/query.h"
+#include "store/store_sink.h"
 
 namespace nrs {
 namespace {
@@ -319,6 +322,147 @@ TEST(Stream, SlowClientTriggersDisconnectPolicy) {
   ASSERT_TRUE(wait_until([&] { return server.client_count() == 0; }));
 }
 
+// ---- Request/response queries over the wire ---------------------------
+
+TEST(StreamQuery, AnswersMatchDirectExecution) {
+  // A store with known content: one cell series plus two UE series.
+  HistoryStore store;
+  StoreSeries* spare = store.series(
+      SeriesKey{0, kStoreCellRnti, StoreMetric::kCellSparePrbs});
+  StoreSeries* ue_a =
+      store.series(SeriesKey{0, 0x4601, StoreMetric::kDlBits});
+  StoreSeries* ue_b =
+      store.series(SeriesKey{0, 0x4602, StoreMetric::kDlBits});
+  ASSERT_NE(spare, nullptr);
+  for (std::uint64_t slot = 0; slot < 200; ++slot) {
+    spare->append(slot, 50.0 - static_cast<double>(slot % 10));
+    ue_a->append(slot, 4096.0);
+    ue_b->append(slot, 8192.0);
+  }
+
+  MetricsRegistry registry;
+  StreamServerConfig server_cfg;
+  server_cfg.query_handler = history_query_handler(store);
+  server_cfg.query_threads = 2;
+  TelemetryStreamServer server(server_cfg, &registry);
+
+  Collector collector;
+  TelemetryStreamClient client(client_config(server.port()),
+                               collector.handlers());
+  ASSERT_TRUE(wait_until([&] { return collector.hello_count() >= 1; }));
+
+  QueryRequest range;
+  range.kind = QueryKind::kRange;
+  range.rnti = 0x4601;
+  range.metric = static_cast<std::uint8_t>(StoreMetric::kDlBits);
+  range.slot_from = 50;
+  range.slot_to = 60;
+  const auto remote_range = client.query(range, 5.0);
+  ASSERT_TRUE(remote_range.has_value());
+  EXPECT_EQ(remote_range->status, QueryStatus::kOk);
+  // The wire answer must equal local execution bar the correlation id,
+  // which the client assigns.
+  QueryResponse local = run_query(store, range);
+  local.correlation_id = remote_range->correlation_id;
+  EXPECT_EQ(*remote_range, local);
+  ASSERT_EQ(remote_range->rows.size(), 10u);
+  EXPECT_EQ(remote_range->rows.front().slot, 50u);
+
+  QueryRequest agg;
+  agg.kind = QueryKind::kAggregate;
+  agg.rnti = kStoreCellRnti;
+  agg.metric = static_cast<std::uint8_t>(StoreMetric::kCellSparePrbs);
+  agg.slot_from = 0;
+  agg.slot_to = 200;
+  agg.bucket_slots = 50;
+  const auto remote_agg = client.query(agg, 5.0);
+  ASSERT_TRUE(remote_agg.has_value());
+  ASSERT_EQ(remote_agg->buckets.size(), 4u);
+  EXPECT_DOUBLE_EQ(remote_agg->buckets[0].avg, 45.5);
+  EXPECT_DOUBLE_EQ(remote_agg->buckets[0].max, 50.0);
+
+  QueryRequest top;
+  top.kind = QueryKind::kTopK;
+  top.cell = kStoreAnyCell;
+  top.metric = static_cast<std::uint8_t>(StoreMetric::kDlBits);
+  top.slot_from = 0;
+  top.slot_to = 200;
+  top.k = 2;
+  const auto remote_top = client.query(top, 5.0);
+  ASSERT_TRUE(remote_top.has_value());
+  ASSERT_EQ(remote_top->ranking.size(), 2u);
+  EXPECT_EQ(remote_top->ranking[0].rnti, 0x4602);
+  EXPECT_DOUBLE_EQ(remote_top->ranking[0].score, 8192.0);
+
+  // Errors travel as statuses, not dead connections.
+  QueryRequest bad = range;
+  bad.slot_to = bad.slot_from;
+  const auto remote_bad = client.query(bad, 5.0);
+  ASSERT_TRUE(remote_bad.has_value());
+  EXPECT_EQ(remote_bad->status, QueryStatus::kBadRequest);
+  QueryRequest missing = range;
+  missing.rnti = 0x1234;
+  const auto remote_missing = client.query(missing, 5.0);
+  ASSERT_TRUE(remote_missing.has_value());
+  EXPECT_EQ(remote_missing->status, QueryStatus::kNotFound);
+  EXPECT_TRUE(client.connected());
+
+  const MetricsSnapshot snap = registry.snapshot();
+  EXPECT_EQ(snap.counter_value("query.requests"), 5u);
+  EXPECT_EQ(snap.counter_value("query.rejected"), 0u);
+}
+
+TEST(StreamQuery, NoHandlerMeansUnavailableNotSilence) {
+  TelemetryStreamServer server(StreamServerConfig{});
+  Collector collector;
+  TelemetryStreamClient client(client_config(server.port()),
+                               collector.handlers());
+  ASSERT_TRUE(wait_until([&] { return collector.hello_count() >= 1; }));
+
+  QueryRequest request;
+  request.kind = QueryKind::kRange;
+  request.metric = static_cast<std::uint8_t>(StoreMetric::kDlBits);
+  request.slot_from = 0;
+  request.slot_to = 10;
+  const auto response = client.query(request, 5.0);
+  ASSERT_TRUE(response.has_value());
+  EXPECT_EQ(response->status, QueryStatus::kUnavailable);
+  EXPECT_TRUE(client.connected()) << "a rejected query must not kill "
+                                     "the telemetry subscription";
+}
+
+TEST(StreamQuery, SlowHandlerHitsClientTimeout) {
+  HistoryStore store;
+  StreamServerConfig server_cfg;
+  server_cfg.query_handler = [&store](const QueryRequest& request) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(300));
+    return run_query(store, request);
+  };
+  TelemetryStreamServer server(server_cfg);
+
+  Collector collector;
+  MetricsRegistry client_registry;
+  TelemetryStreamClient client(client_config(server.port()),
+                               collector.handlers(), &client_registry);
+  ASSERT_TRUE(wait_until([&] { return collector.hello_count() >= 1; }));
+
+  QueryRequest request;
+  request.kind = QueryKind::kRange;
+  request.metric = static_cast<std::uint8_t>(StoreMetric::kDlBits);
+  request.slot_from = 0;
+  request.slot_to = 10;
+  EXPECT_FALSE(client.query(request, 0.05).has_value());
+  EXPECT_EQ(client_registry.snapshot().counter_value(
+                "net.client.query_timeouts"),
+            1u);
+  // The late response is dropped silently; the connection stays healthy
+  // and later queries still pair up by correlation id.
+  const auto again = client.query(request, 5.0);
+  ASSERT_TRUE(again.has_value());
+  EXPECT_EQ(again->status, QueryStatus::kNotFound);
+  EXPECT_TRUE(client.connected());
+}
+
 // ---- The acceptance bar: remote == local, across a reconnect ---------
 
 struct CapturedRun {
@@ -442,6 +586,117 @@ TEST(Stream, RemoteReconstructionRowIdenticalAcrossReconnect) {
   EXPECT_GE(snap.counter_value("net.client_connects"), 2u);
   std::remove(local_path.c_str());
   std::remove(remote_path.c_str());
+}
+
+// The ISSUE's concurrency bar: a pipeline ingesting into the store at
+// full slot rate while 8 wire clients hammer queries.  Every response
+// must be well-formed and internally consistent; fan-out must still
+// deliver every slot.
+TEST(StreamQuery, EightClientsQueryWhilePipelineIngests) {
+  const CapturedRun& run = captured_run();
+  HistoryStoreConfig store_cfg;
+  store_cfg.rows_per_segment = 64;  // constant recycling under the readers
+  store_cfg.segments_per_series = 4;
+  // Declared before the pipeline: the collector thread appends into the
+  // store until the pipeline is stopped, so the store must outlive it.
+  MetricsRegistry store_registry;
+  HistoryStore store(store_cfg, &store_registry);
+
+  NrScopeConfig scope_cfg;
+  scope_cfg.n_prb = run.cell.n_prb;
+  scope_cfg.scs = run.cell.scs;
+  NrScopePipeline pipeline(scope_cfg, /*n_demod_workers=*/2);
+  StoreSinkConfig sink_cfg;
+  sink_cfg.n_prb = run.cell.n_prb;
+
+  StreamServerConfig server_cfg;
+  server_cfg.query_handler = history_query_handler(store);
+  server_cfg.query_threads = 4;
+  auto server = std::make_shared<TelemetryStreamServer>(
+      server_cfg, &pipeline.metrics_registry());
+  pipeline.add_sink("store",
+                    std::make_shared<HistoryStoreSink>(store, sink_cfg));
+  pipeline.add_sink("stream", server);
+
+  std::atomic<bool> done{false};
+  std::atomic<std::uint64_t> answered{0};
+  std::atomic<std::uint64_t> malformed{0};
+  std::vector<std::thread> clients;
+  for (unsigned c = 0; c < 8; ++c) {
+    clients.emplace_back([&, c] {
+      Collector collector;
+      TelemetryStreamClient client(client_config(server->port()),
+                                   collector.handlers());
+      if (!wait_until([&] { return collector.hello_count() >= 1; })) {
+        malformed.fetch_add(1);
+        return;
+      }
+      std::uint64_t from = 0;
+      while (!done.load()) {
+        QueryRequest request;
+        if (c % 2 == 0) {
+          request.kind = QueryKind::kAggregate;
+          request.rnti = kStoreCellRnti;
+          request.metric =
+              static_cast<std::uint8_t>(StoreMetric::kCellSparePrbs);
+          request.bucket_slots = 32;
+        } else {
+          request.kind = QueryKind::kTopK;
+          request.cell = kStoreAnyCell;
+          request.metric = static_cast<std::uint8_t>(StoreMetric::kDlBits);
+          request.k = 4;
+        }
+        request.slot_from = from;
+        request.slot_to = from + 256;
+        const auto response = client.query(request, 5.0);
+        if (!response.has_value()) {
+          continue;  // timed out against a busy pool: retry
+        }
+        if (response->status == QueryStatus::kOk) {
+          for (const QueryBucket& bucket : response->buckets) {
+            if (bucket.count == 0 || bucket.max > 300.0 ||
+                bucket.avg > bucket.max) {
+              malformed.fetch_add(1);
+            }
+          }
+          for (const TopKEntry& entry : response->ranking) {
+            if (entry.rows == 0) {
+              malformed.fetch_add(1);
+            }
+          }
+          answered.fetch_add(1);
+        } else if (response->status != QueryStatus::kNotFound) {
+          malformed.fetch_add(1);
+        }
+        from += 64;
+        if (from > 300) {
+          from = 0;
+        }
+      }
+    });
+  }
+
+  for (const IqBuffer& samples : run.slots) {
+    while (!pipeline.push_slot(samples)) {
+      std::this_thread::yield();
+    }
+  }
+  // Keep querying after ingest stops (the store stays hot), then stop the
+  // clients before finish() — end-of-stream ends their subscriptions.
+  ASSERT_TRUE(wait_until([&] { return answered.load() >= 50; }, 20.0));
+  done.store(true);
+  for (auto& t : clients) {
+    t.join();
+  }
+  // Join the collector before the store can go out of scope.
+  pipeline.stop();
+
+  EXPECT_EQ(malformed.load(), 0u);
+  const MetricsSnapshot snap = pipeline.metrics();
+  EXPECT_GT(store_registry.snapshot().counter_value("store.rows_ingested"),
+            0u);
+  EXPECT_GE(snap.counter_value("query.requests"), answered.load());
+  EXPECT_EQ(snap.counter_value("query.errors"), 0u);
 }
 
 }  // namespace

@@ -341,6 +341,128 @@ TEST(Wire, FleetSummaryRejectsTrailingGarbage) {
   EXPECT_FALSE(decode_fleet(bytes).has_value());
 }
 
+QueryRequest sample_query_request() {
+  QueryRequest request;
+  request.correlation_id = 0x1122334455667788ull;
+  request.kind = QueryKind::kAggregate;
+  request.cell = 3;
+  request.rnti = 0x4601;
+  request.metric = 7;
+  request.slot_from = 1000;
+  request.slot_to = 9000;
+  request.bucket_slots = 500;
+  request.k = 4;
+  request.op = AggregateOp::kMax;
+  return request;
+}
+
+QueryResponse sample_query_response() {
+  QueryResponse response;
+  response.correlation_id = 0xCAFEBABEull;
+  response.status = QueryStatus::kOk;
+  response.kind = QueryKind::kTopK;
+  response.error = "";
+  response.rows = {{100, 1.5}, {101, -2.25}, {105, 0.0}};
+  response.buckets = {{0, 10, 55.0, 5.5, 9.0}, {500, 2, 3.0, 1.5, 2.0}};
+  response.ranking = {{0, 0xFFFD, 44.5, 4000}, {2, 0xFFFD, 12.25, 3999}};
+  return response;
+}
+
+TEST(Wire, QueryRequestRoundTrip) {
+  const QueryRequest request = sample_query_request();
+  WireWriter w;
+  encode_query(request, w);
+  const auto decoded = decode_query(w.data());
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(*decoded, request);
+}
+
+TEST(Wire, QueryResponseRoundTrip) {
+  QueryResponse response = sample_query_response();
+  response.error = "bucket too small";
+  response.status = QueryStatus::kBadRequest;
+  WireWriter w;
+  encode_query_result(response, w);
+  const auto decoded = decode_query_result(w.data());
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(*decoded, response);
+}
+
+TEST(Wire, QueryFramesRoundTripThroughParser) {
+  FrameParser parser;
+  parser.feed(query_frame(sample_query_request()));
+  parser.feed(query_result_frame(sample_query_response()));
+  auto frame = parser.next();
+  ASSERT_TRUE(frame.has_value());
+  EXPECT_EQ(frame->type, FrameType::kQuery);
+  const auto request = decode_query(frame->payload);
+  ASSERT_TRUE(request.has_value());
+  EXPECT_EQ(*request, sample_query_request());
+  frame = parser.next();
+  ASSERT_TRUE(frame.has_value());
+  EXPECT_EQ(frame->type, FrameType::kQueryResult);
+  const auto response = decode_query_result(frame->payload);
+  ASSERT_TRUE(response.has_value());
+  EXPECT_EQ(*response, sample_query_response());
+  EXPECT_FALSE(parser.next().has_value());
+  EXPECT_FALSE(parser.error());
+}
+
+TEST(Wire, QueryRequestEveryTruncationFailsCleanly) {
+  WireWriter w;
+  encode_query(sample_query_request(), w);
+  const std::vector<std::uint8_t> full = w.take();
+  for (std::size_t len = 0; len < full.size(); ++len) {
+    EXPECT_FALSE(
+        decode_query(std::span<const std::uint8_t>(full.data(), len))
+            .has_value())
+        << "prefix length " << len;
+  }
+}
+
+TEST(Wire, QueryResponseEveryTruncationFailsCleanly) {
+  WireWriter w;
+  encode_query_result(sample_query_response(), w);
+  const std::vector<std::uint8_t> full = w.take();
+  for (std::size_t len = 0; len < full.size(); ++len) {
+    EXPECT_FALSE(
+        decode_query_result(std::span<const std::uint8_t>(full.data(), len))
+            .has_value())
+        << "prefix length " << len;
+  }
+}
+
+TEST(Wire, QueryRejectsCorruptEnumsAndTrailingGarbage) {
+  {
+    WireWriter w;
+    encode_query(sample_query_request(), w);
+    auto bytes = w.take();
+    bytes[8] = 0x66;  // kind follows the 8-byte correlation id
+    EXPECT_FALSE(decode_query(bytes).has_value());
+  }
+  {
+    WireWriter w;
+    encode_query(sample_query_request(), w);
+    auto bytes = w.take();
+    bytes.push_back(0x00);
+    EXPECT_FALSE(decode_query(bytes).has_value());
+  }
+  {
+    WireWriter w;
+    encode_query_result(sample_query_response(), w);
+    auto bytes = w.take();
+    bytes[8] = 0x66;  // status byte
+    EXPECT_FALSE(decode_query_result(bytes).has_value());
+  }
+  {
+    WireWriter w;
+    encode_query_result(sample_query_response(), w);
+    auto bytes = w.take();
+    bytes.push_back(0xAB);
+    EXPECT_FALSE(decode_query_result(bytes).has_value());
+  }
+}
+
 // ---- Framing ---------------------------------------------------------
 
 TEST(Wire, FrameParserReassemblesAcrossArbitraryChunks) {

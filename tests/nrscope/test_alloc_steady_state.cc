@@ -17,6 +17,8 @@
 #include "gnb/presets.h"
 #include "nrscope/pipeline.h"
 #include "radio/virtual_radio.h"
+#include "store/history_store.h"
+#include "store/store_sink.h"
 #include "ue/traffic.h"
 
 namespace nrs {
@@ -195,6 +197,65 @@ TEST(AllocSteadyState, PipelineSlotPathIsAllocationFree) {
   }
   const auto totals = nrs::alloc::totals();
   EXPECT_TRUE(nrs::alloc::hooks_active());
+  EXPECT_EQ(totals.allocs, 0u)
+      << totals.bytes << " bytes over " << kMeasuredSlots << " slots";
+  EXPECT_EQ(totals.frees, 0u);
+}
+
+// The history-store ingest path rides the same collector thread; with the
+// sink attached and every series created during warm-up, steady-state
+// appends (segment-ring writes + seqlock publishes) must stay off the
+// heap — the ISSUE's "ingest within 5% AND still 0 allocs/slot" bar.
+TEST(AllocSteadyState, PipelineWithHistoryStoreIsAllocationFree) {
+  const Feed& f = feed();
+  // The store outlives the pipeline whose collector appends into it.
+  HistoryStore store;
+  NrScopePipeline pipeline(scope_config(f.cell), /*n_demod_workers=*/2);
+  StoreSinkConfig store_cfg;
+  store_cfg.n_prb = f.cell.n_prb;
+  auto store_sink = std::make_shared<HistoryStoreSink>(store, store_cfg);
+  auto sink = std::make_shared<CountingSink>();
+  pipeline.add_sink("store", store_sink);
+  pipeline.add_sink("counter", sink);
+
+  auto push_blocking = [&](const IqBuffer& samples) {
+    for (;;) {
+      auto handle = pipeline.acquire_samples();
+      handle->assign(samples.begin(), samples.end());
+      if (pipeline.push_slot(std::move(handle))) {
+        return;
+      }
+      std::this_thread::sleep_for(std::chrono::microseconds(50));
+    }
+  };
+  std::uint64_t fed = 0;
+  for (const auto& samples : f.history) {
+    push_blocking(samples);
+    ++fed;
+  }
+  const std::uint64_t warm = warm_extra_slots(f.replay.size());
+  for (std::uint64_t i = 0; i < warm; ++i) {
+    push_blocking(f.replay[i % f.replay.size()]);
+    ++fed;
+  }
+  while (sink->delivered() < fed) {
+    std::this_thread::sleep_for(std::chrono::microseconds(100));
+  }
+  ASSERT_GT(store_sink->rows_written(), 0u);
+
+  nrs::alloc::reset();
+  const std::uint64_t rows_before = store_sink->rows_written();
+  for (unsigned i = 0; i < kMeasuredSlots; ++i) {
+    push_blocking(f.replay[i % f.replay.size()]);
+    ++fed;
+  }
+  while (sink->delivered() < fed) {
+    std::this_thread::sleep_for(std::chrono::microseconds(100));
+  }
+  const auto totals = nrs::alloc::totals();
+  EXPECT_TRUE(nrs::alloc::hooks_active());
+  EXPECT_GT(store_sink->rows_written(), rows_before)
+      << "the measured window must actually ingest rows";
   EXPECT_EQ(totals.allocs, 0u)
       << totals.bytes << " bytes over " << kMeasuredSlots << " slots";
   EXPECT_EQ(totals.frees, 0u);

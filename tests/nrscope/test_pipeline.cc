@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <atomic>
 #include <cstdio>
 #include <fstream>
 #include <memory>
@@ -151,7 +152,9 @@ class CountingSink : public SlotSink {
   }
   void on_finish() override { ++finished_; }
 
-  std::uint64_t slots_ = 0;
+  // Atomic: some tests poll the count from the feeding thread while the
+  // collector is still delivering.
+  std::atomic<std::uint64_t> slots_{0};
   std::uint64_t dcis_ = 0;
   int finished_ = 0;
   bool in_order_ = true;
@@ -289,6 +292,103 @@ TEST(Pipeline, SinkThrowingInOnFinishIsCountedAndOthersStillFinish) {
   EXPECT_EQ(healthy->finished_, 1);
   EXPECT_EQ(pipeline.sink_count(), 1u);
   EXPECT_EQ(pipeline.metrics().counter_value("pipeline.sink_errors"), 1u);
+}
+
+TEST(Pipeline, NamedSinksGetStableUniqueNames) {
+  const CapturedRun& run = captured_run();
+  NrScopePipeline pipeline(scope_config(run.cell), 1);
+  EXPECT_EQ(pipeline.add_sink("csv", std::make_shared<CountingSink>()),
+            "csv");
+  // Unnamed sinks get generated names; duplicates get a numeric suffix so
+  // per-sink error counters never alias.
+  EXPECT_EQ(pipeline.add_sink(std::make_shared<CountingSink>()), "sink0");
+  EXPECT_EQ(pipeline.add_sink(std::make_shared<CountingSink>()), "sink1");
+  EXPECT_EQ(pipeline.add_sink("csv", std::make_shared<CountingSink>()),
+            "csv#2");
+  const std::vector<std::string> names = pipeline.sink_names();
+  ASSERT_EQ(names.size(), 4u);
+  EXPECT_EQ(names[0], "csv");
+  EXPECT_EQ(names[3], "csv#2");
+  // Attaching a null sink is a no-op, not a crash.
+  EXPECT_EQ(pipeline.add_sink("null", nullptr), "");
+  EXPECT_EQ(pipeline.sink_count(), 4u);
+}
+
+TEST(Pipeline, DetachSinkByNameStopsDelivery) {
+  const CapturedRun& run = captured_run();
+  NrScopePipeline pipeline(scope_config(run.cell), 1);
+  auto keep = std::make_shared<CountingSink>();
+  auto drop = std::make_shared<CountingSink>();
+  pipeline.add_sink("keep", keep);
+  pipeline.add_sink("drop", drop);
+  for (int i = 0; i < 5; ++i) {
+    while (!pipeline.push_slot(run.slots[static_cast<std::size_t>(i)])) {
+      std::this_thread::yield();
+    }
+  }
+  // Let both sinks see the first half before detaching one.
+  while (keep->slots_ < 5 || drop->slots_ < 5) {
+    std::this_thread::yield();
+  }
+  ASSERT_TRUE(pipeline.detach_sink("drop"));
+  EXPECT_FALSE(pipeline.detach_sink("drop")) << "already gone";
+  EXPECT_FALSE(pipeline.detach_sink("never-existed"));
+  for (int i = 5; i < 10; ++i) {
+    while (!pipeline.push_slot(run.slots[static_cast<std::size_t>(i)])) {
+      std::this_thread::yield();
+    }
+  }
+  pipeline.finish();
+  while (pipeline.poll_result()) {
+  }
+  EXPECT_EQ(keep->slots_, 10u);
+  EXPECT_EQ(keep->finished_, 1);
+  EXPECT_EQ(drop->slots_, 5u);
+  EXPECT_EQ(drop->finished_, 0) << "detached sinks see no on_finish";
+}
+
+TEST(Pipeline, PerSinkErrorCountersNameTheFailingSink) {
+  const CapturedRun& run = captured_run();
+  NrScopePipeline pipeline(scope_config(run.cell), 1);
+  auto healthy = std::make_shared<CountingSink>();
+  pipeline.add_sink("flaky", std::make_shared<ThrowingSink>(3));
+  pipeline.add_sink("healthy", healthy);
+  for (const auto& slot : run.slots) {
+    while (!pipeline.push_slot(slot)) {
+      std::this_thread::yield();
+    }
+  }
+  pipeline.finish();
+  while (pipeline.poll_result()) {
+  }
+  const MetricsSnapshot snap = pipeline.metrics();
+  EXPECT_EQ(snap.counter_value("pipeline.sink.flaky.errors"), 1u);
+  EXPECT_EQ(snap.counter_value("pipeline.sink.healthy.errors"), 0u);
+  EXPECT_EQ(snap.counter_value("pipeline.sink_errors"), 1u);
+  EXPECT_EQ(pipeline.sink_names(),
+            std::vector<std::string>{"healthy"});
+}
+
+TEST(Pipeline, ErrorLimitZeroCountsButNeverDetaches) {
+  const CapturedRun& run = captured_run();
+  NrScopePipeline pipeline(scope_config(run.cell), 1);
+  // error_limit 0: the sink stays attached no matter how often it throws.
+  pipeline.add_sink("hopeless", std::make_shared<ThrowingSink>(0),
+                    /*error_limit=*/0);
+  for (int i = 0; i < 10; ++i) {
+    while (!pipeline.push_slot(run.slots[static_cast<std::size_t>(i)])) {
+      std::this_thread::yield();
+    }
+  }
+  pipeline.finish();
+  while (pipeline.poll_result()) {
+  }
+  EXPECT_EQ(pipeline.sink_count(), 1u);
+  const MetricsSnapshot snap = pipeline.metrics();
+  // Every delivered slot threw, plus the throwing on_finish.
+  EXPECT_GE(snap.counter_value("pipeline.sink.hopeless.errors"), 10u);
+  EXPECT_EQ(snap.counter_value("pipeline.sink.hopeless.errors"),
+            snap.counter_value("pipeline.sink_errors"));
 }
 
 TEST(Pipeline, MetricsSnapshotCoversEveryStage) {
