@@ -13,6 +13,7 @@
 //       ./build/examples/fleet_monitor --cells 4 --fault crash --fault-cell 1
 //       ./build/examples/fleet_monitor --cells 4 --fault outage --fault-cell 1
 //       ./build/examples/fleet_monitor --cells 2 --stream-port 9100
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <memory>
@@ -21,6 +22,7 @@
 
 #include "fleet/fleet.h"
 #include "gnb/presets.h"
+#include "graceful.h"
 #include "net/stream_server.h"
 #include "store/history_store.h"
 #include "store/query.h"
@@ -133,6 +135,7 @@ void print_table(const FleetOrchestrator& fleet) {
 
 int main(int argc, char** argv) {
   const Options opt = parse_args(argc, argv);
+  nrs_examples::install_signal_handlers();
 
   MetricsRegistry registry;
   // Fleet-wide telemetry history: every cell's store sink writes into the
@@ -221,12 +224,26 @@ int main(int argc, char** argv) {
     return std::make_shared<HistoryStoreSink>(store, sink_config);
   });
 
-  for (std::uint64_t target = opt.report_every; target < opt.slots;
-       target += opt.report_every) {
+  // Advance in short chunks so SIGINT/SIGTERM can interrupt between them:
+  // the fleet then drains its pipelines (sinks flush into the aggregator
+  // and the history store) instead of dying mid-slot.
+  const std::uint64_t chunk = std::min<std::uint64_t>(opt.report_every, 100);
+  std::uint64_t next_report = opt.report_every;
+  for (std::uint64_t target = chunk;
+       target < opt.slots && !nrs_examples::stop_requested();
+       target += chunk) {
     fleet.run_until(target);
-    print_table(fleet);
+    if (target >= next_report) {
+      print_table(fleet);
+      next_report += opt.report_every;
+    }
   }
-  fleet.run_until(opt.slots);
+  if (!nrs_examples::stop_requested()) {
+    fleet.run_until(opt.slots);
+  } else {
+    std::printf("signal received: draining pipelines and flushing the "
+                "history store\n");
+  }
   fleet.stop();
   std::printf("final state:\n");
   print_table(fleet);

@@ -1,0 +1,26 @@
+// Shared SIGINT/SIGTERM handling for the long-running example binaries:
+// first signal flips a flag the main loop polls, so servers drain their
+// sinks and flush their history stores instead of dying mid-write; a
+// second signal falls through to the default handler (hard exit).
+#pragma once
+
+#include <csignal>
+
+namespace nrs_examples {
+
+inline volatile std::sig_atomic_t g_stop = 0;
+
+extern "C" inline void nrs_handle_signal(int sig) {
+  g_stop = 1;
+  // A second Ctrl-C should always work: restore the default disposition.
+  std::signal(sig, SIG_DFL);
+}
+
+inline void install_signal_handlers() {
+  std::signal(SIGINT, nrs_handle_signal);
+  std::signal(SIGTERM, nrs_handle_signal);
+}
+
+inline bool stop_requested() { return g_stop != 0; }
+
+}  // namespace nrs_examples

@@ -1,0 +1,92 @@
+#include "dist/catalog.h"
+
+#include <utility>
+
+namespace nrs {
+
+std::uint64_t WorkerCatalog::add(std::string name, std::uint32_t capacity,
+                                 std::uint32_t pool_threads, int fd,
+                                 TimePoint now) {
+  const std::uint64_t id = ++next_id_;
+  WorkerEntry entry;
+  entry.id = id;
+  entry.name = std::move(name);
+  entry.capacity = capacity;
+  entry.pool_threads = pool_threads;
+  entry.fd = fd;
+  entry.alive = true;
+  entry.last_seen = now;
+  workers_.emplace(id, std::move(entry));
+  return id;
+}
+
+WorkerEntry* WorkerCatalog::find(std::uint64_t id) {
+  const auto it = workers_.find(id);
+  return it == workers_.end() ? nullptr : &it->second;
+}
+
+const WorkerEntry* WorkerCatalog::find(std::uint64_t id) const {
+  const auto it = workers_.find(id);
+  return it == workers_.end() ? nullptr : &it->second;
+}
+
+WorkerEntry* WorkerCatalog::find_by_fd(int fd) {
+  for (auto& [id, entry] : workers_) {
+    if (entry.fd == fd && entry.alive) {
+      return &entry;
+    }
+  }
+  return nullptr;
+}
+
+void WorkerCatalog::touch(std::uint64_t id, TimePoint now) {
+  if (WorkerEntry* entry = find(id)) {
+    entry->last_seen = now;
+  }
+}
+
+void WorkerCatalog::mark_dead(std::uint64_t id) {
+  if (WorkerEntry* entry = find(id)) {
+    entry->alive = false;
+  }
+}
+
+void WorkerCatalog::remove(std::uint64_t id) { workers_.erase(id); }
+
+std::optional<std::uint64_t> WorkerCatalog::pick_least_loaded() const {
+  std::optional<std::uint64_t> best;
+  std::size_t best_load = 0;
+  for (const auto& [id, entry] : workers_) {
+    if (!entry.has_capacity()) {
+      continue;
+    }
+    if (!best || entry.load() < best_load) {
+      best = id;
+      best_load = entry.load();
+    }
+  }
+  return best;
+}
+
+std::vector<std::uint64_t> WorkerCatalog::silent_since(
+    TimePoint now, double timeout_s) const {
+  const auto timeout = std::chrono::duration_cast<TimePoint::duration>(
+      std::chrono::duration<double>(timeout_s));
+  std::vector<std::uint64_t> silent;
+  for (const auto& [id, entry] : workers_) {
+    if (entry.alive && now - entry.last_seen > timeout) {
+      silent.push_back(id);
+    }
+  }
+  return silent;
+}
+
+std::size_t WorkerCatalog::alive_count() const {
+  std::size_t n = 0;
+  for (const auto& [id, entry] : workers_) {
+    n += entry.alive ? 1 : 0;
+  }
+  return n;
+}
+
+}  // namespace nrs

@@ -1,0 +1,669 @@
+#include "dist/coordinator.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/time.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <stdexcept>
+#include <utility>
+
+namespace nrs {
+
+namespace {
+
+/// write() the whole buffer, riding out EINTR and partial sends; the
+/// socket carries SO_SNDTIMEO, so a wedged worker fails the send instead
+/// of wedging the io thread.
+bool send_all(int fd, const std::uint8_t* data, std::size_t size) {
+  std::size_t sent = 0;
+  while (sent < size) {
+    const ssize_t n = ::send(fd, data + sent, size - sent, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) {
+        continue;
+      }
+      return false;
+    }
+    sent += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+std::uint64_t splitmix64(std::uint64_t x) {
+  x += 0x9E3779B97F4A7C15ull;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+FleetCoordinator::FleetCoordinator(CoordinatorConfig config,
+                                   MetricsRegistry* registry)
+    : config_(std::move(config)),
+      own_registry_(registry == nullptr ? std::make_unique<MetricsRegistry>()
+                                        : nullptr),
+      registry_(registry != nullptr ? registry : own_registry_.get()),
+      leases_(config_.cells.size(),
+              LeaseTable::Config{config_.lease_ttl_ms / 1000.0,
+                                 config_.backoff_initial_s,
+                                 config_.backoff_max_s,
+                                 config_.backoff_factor}),
+      store_(config_.store, registry_) {
+  if (config_.cells.empty()) {
+    throw std::invalid_argument("FleetCoordinator: no cells configured");
+  }
+  records_.reserve(config_.cells.size());
+  for (std::uint32_t i = 0; i < config_.cells.size(); ++i) {
+    CellRecord record;
+    record.spec = config_.cells[i];
+    if (record.spec.name.empty()) {
+      record.spec.name = "cell" + std::to_string(i);
+    }
+    record.seed_base = splitmix64(
+        config_.seed ^ splitmix64((static_cast<std::uint64_t>(i) << 32) |
+                                  0x5EEDull));
+    if (record.seed_base == 0) {
+      record.seed_base = 1;  // 0 would disable the worker-side override
+    }
+    records_.push_back(std::move(record));
+  }
+  m_leases_granted_ = &registry_->counter("dist.leases_granted");
+  m_leases_expired_ = &registry_->counter("dist.leases_expired");
+  m_lease_refusals_ = &registry_->counter("dist.lease_refusals");
+  m_reassignments_ = &registry_->counter("dist.reassignments");
+  m_workers_dead_ = &registry_->counter("dist.workers_dead");
+  m_stale_reports_ = &registry_->counter("dist.stale_reports");
+  m_version_rejects_ = &registry_->counter("dist.version_rejects");
+  m_revokes_ = &registry_->counter("dist.lease_revokes");
+  m_workers_alive_ = &registry_->gauge("dist.workers_alive");
+  m_cells_active_ = &registry_->gauge("dist.cells_active");
+
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) {
+    throw std::runtime_error("FleetCoordinator: socket() failed");
+  }
+  const int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(config_.port);
+  if (::inet_pton(AF_INET, config_.bind_address.c_str(), &addr.sin_addr) !=
+      1) {
+    ::close(listen_fd_);
+    throw std::runtime_error("FleetCoordinator: bad bind address " +
+                             config_.bind_address);
+  }
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr),
+             sizeof(addr)) != 0 ||
+      ::listen(listen_fd_, 16) != 0) {
+    ::close(listen_fd_);
+    throw std::runtime_error("FleetCoordinator: cannot listen on " +
+                             config_.bind_address + ":" +
+                             std::to_string(config_.port));
+  }
+  sockaddr_in bound{};
+  socklen_t len = sizeof(bound);
+  ::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound), &len);
+  port_ = ntohs(bound.sin_port);
+
+  io_ = std::thread([this] { io_loop(); });
+}
+
+FleetCoordinator::~FleetCoordinator() { stop(); }
+
+void FleetCoordinator::stop() {
+  if (stopping_.exchange(true)) {
+    if (io_.joinable()) {
+      io_.join();
+    }
+    return;
+  }
+  if (io_.joinable()) {
+    io_.join();
+  }
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+  std::lock_guard lock(state_mutex_);
+  for (auto& conn : connections_) {
+    if (conn->fd >= 0) {
+      ::close(conn->fd);
+      conn->fd = -1;
+    }
+  }
+  connections_.clear();
+}
+
+void FleetCoordinator::io_loop() {
+  std::vector<pollfd> pfds;
+  std::vector<Connection*> polled;
+  while (!stopping_.load()) {
+    pfds.clear();
+    polled.clear();
+    pfds.push_back(pollfd{listen_fd_, POLLIN, 0});
+    {
+      std::lock_guard lock(state_mutex_);
+      // Sweep connections closed in the previous round.
+      connections_.erase(
+          std::remove_if(connections_.begin(), connections_.end(),
+                         [](const std::unique_ptr<Connection>& c) {
+                           return c->fd < 0;
+                         }),
+          connections_.end());
+      for (auto& conn : connections_) {
+        pfds.push_back(pollfd{conn->fd, POLLIN, 0});
+        polled.push_back(conn.get());
+      }
+    }
+    const int ready = ::poll(pfds.data(), pfds.size(), /*timeout_ms=*/20);
+    const auto now = Clock::now();
+    std::lock_guard lock(state_mutex_);
+    if (ready > 0) {
+      for (std::size_t i = 1; i < pfds.size(); ++i) {
+        if (pfds[i].revents != 0 && polled[i - 1]->fd >= 0) {
+          read_connection(*polled[i - 1]);
+        }
+      }
+      if ((pfds[0].revents & POLLIN) != 0) {
+        handle_accept();
+      }
+    }
+    run_timers(now);
+  }
+}
+
+void FleetCoordinator::handle_accept() {
+  const int fd = ::accept(listen_fd_, nullptr, nullptr);
+  if (fd < 0) {
+    return;
+  }
+  if (connections_.size() >= config_.max_workers) {
+    ::close(fd);
+    return;
+  }
+  const int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  // Bound synchronous sends: a worker that stops draining its socket
+  // fails the send and is declared dead, instead of wedging the io thread.
+  timeval send_timeout{};
+  send_timeout.tv_sec = 2;
+  ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &send_timeout,
+               sizeof(send_timeout));
+  auto conn = std::make_unique<Connection>();
+  conn->fd = fd;
+  connections_.push_back(std::move(conn));
+}
+
+void FleetCoordinator::close_connection(Connection& conn) {
+  if (conn.fd >= 0) {
+    ::close(conn.fd);
+    conn.fd = -1;
+  }
+}
+
+void FleetCoordinator::read_connection(Connection& conn) {
+  std::uint8_t buf[65536];
+  const ssize_t n = ::recv(conn.fd, buf, sizeof(buf), 0);
+  if (n <= 0) {
+    if (n < 0 &&
+        (errno == EINTR || errno == EAGAIN || errno == EWOULDBLOCK)) {
+      return;
+    }
+    // EOF: the fast death-detection path — a kill -9'd worker's kernel
+    // closes the socket long before the heartbeat timeout fires.
+    const std::uint64_t worker = conn.worker_id;
+    close_connection(conn);
+    if (worker != 0) {
+      declare_worker_dead(worker, "socket closed");
+    }
+    return;
+  }
+  conn.parser.feed({buf, static_cast<std::size_t>(n)});
+  while (auto frame = conn.parser.next()) {
+    handle_frame(conn, *frame);
+    if (conn.fd < 0) {
+      return;  // the frame handler closed the connection
+    }
+  }
+  if (conn.parser.error()) {
+    if (const auto rejected = conn.parser.rejected_version()) {
+      m_version_rejects_->inc();
+      VersionReject reject;
+      reject.rejected = *rejected;
+      reject.message = conn.parser.error_message();
+      const std::vector<std::uint8_t> reply = version_reject_frame(reject);
+      send_all(conn.fd, reply.data(), reply.size());
+    }
+    const std::uint64_t worker = conn.worker_id;
+    close_connection(conn);
+    if (worker != 0) {
+      declare_worker_dead(worker, "protocol error");
+    }
+  }
+}
+
+void FleetCoordinator::handle_frame(Connection& conn, const Frame& frame) {
+  switch (frame.type) {
+    case FrameType::kWorkerHello: {
+      if (auto hello = decode_worker_hello(frame.payload)) {
+        handle_worker_hello(conn, *hello);
+      }
+      return;
+    }
+    case FrameType::kLeaseAck: {
+      if (auto ack = decode_lease_ack(frame.payload)) {
+        handle_lease_ack(conn, *ack);
+      }
+      return;
+    }
+    case FrameType::kWorkerHeartbeat: {
+      if (auto hb = decode_worker_heartbeat(frame.payload)) {
+        handle_heartbeat(conn, *hb);
+      }
+      return;
+    }
+    case FrameType::kCellReport: {
+      if (auto report = decode_cell_report(frame.payload)) {
+        handle_cell_report(conn, *report);
+      }
+      return;
+    }
+    default:
+      return;  // well-framed but not part of the coordination protocol
+  }
+}
+
+void FleetCoordinator::handle_worker_hello(Connection& conn,
+                                           const WorkerHello& hello) {
+  if (conn.worker_id != 0) {
+    return;  // duplicate hello; keep the first registration
+  }
+  const auto now = Clock::now();
+  conn.worker_id = catalog_.add(hello.name.empty() ? "worker" : hello.name,
+                                std::max<std::uint32_t>(1, hello.capacity),
+                                hello.pool_threads, conn.fd, now);
+  if (config_.rebalance_on_join) {
+    rebalance(now);
+  }
+}
+
+void FleetCoordinator::handle_lease_ack(Connection& conn,
+                                        const LeaseAck& ack) {
+  Lease* lease = leases_.by_id(ack.lease_id);
+  if (lease == nullptr || lease->worker_id != conn.worker_id) {
+    m_stale_reports_->inc();
+    return;
+  }
+  const auto now = Clock::now();
+  if (!ack.accepted) {
+    m_lease_refusals_->inc();
+    if (WorkerEntry* entry = catalog_.find(lease->worker_id)) {
+      entry->cells.erase(lease->cell_index);
+    }
+    end_lease(lease->cell_index, /*penalize=*/true, now);
+    return;
+  }
+  leases_.ack(ack.lease_id, true, now);
+}
+
+void FleetCoordinator::handle_heartbeat(Connection& conn,
+                                        const WorkerHeartbeat& hb) {
+  if (conn.worker_id == 0) {
+    return;  // heartbeat before hello: not a registered worker
+  }
+  const auto now = Clock::now();
+  catalog_.touch(conn.worker_id, now);
+  for (const LeaseStatus& status : hb.leases) {
+    Lease* lease = leases_.by_id(status.lease_id);
+    if (lease == nullptr || lease->worker_id != conn.worker_id) {
+      continue;  // stale lease (already reassigned); the worker will learn
+    }
+    leases_.renew(status.lease_id, now);
+    // Renewal grant: restart the worker-side TTL clock.  Same lease id,
+    // same spec by construction.
+    send_to_worker(conn.worker_id,
+                   lease_frame(LeaseGrant{
+                       status.lease_id, config_.lease_ttl_ms,
+                       records_[lease->cell_index].lease_base_slot,
+                       wire_spec(lease->cell_index, lease->handoffs)}));
+  }
+}
+
+void FleetCoordinator::handle_cell_report(Connection& conn,
+                                          const CellReport& report) {
+  Lease* lease = leases_.by_id(report.lease_id);
+  if (lease == nullptr || lease->worker_id != conn.worker_id ||
+      lease->cell_index != report.cell_index ||
+      report.cell_index >= records_.size()) {
+    m_stale_reports_->inc();
+    return;
+  }
+  CellRecord& record = records_[report.cell_index];
+  if (record.has_report && report.slots > record.last.slots) {
+    leases_.note_progress(report.cell_index);
+  }
+  record.last = report;
+  record.has_report = true;
+  ingest_rows(report.cell_index, record, report);
+}
+
+void FleetCoordinator::ingest_rows(std::uint32_t cell_index,
+                                   CellRecord& record,
+                                   const CellReport& report) {
+  std::uint64_t ingested = 0;
+  for (const StoreRowUpdate& row : report.rows) {
+    if (!store_metric_valid(row.metric)) {
+      continue;
+    }
+    SeriesKey key;
+    key.cell = cell_index;
+    key.rnti = row.rnti;
+    key.metric = static_cast<StoreMetric>(row.metric);
+    auto& cursor = record.cursors[key.packed()];
+    if (cursor.series == nullptr) {
+      cursor.series = store_.series(key);
+      if (cursor.series == nullptr) {
+        continue;  // max_series shedding
+      }
+    }
+    // Rebase the lease-local slot onto the cell's lifetime axis; clamp
+    // non-decreasing across handoffs (the store's single-writer append
+    // contract).
+    std::uint64_t slot = record.lease_base_slot + row.slot;
+    if (cursor.started && slot < cursor.last_slot) {
+      slot = cursor.last_slot;
+    }
+    cursor.series->append(slot, row.value);
+    cursor.last_slot = slot;
+    cursor.started = true;
+    ++ingested;
+  }
+  if (ingested > 0) {
+    store_.note_rows_ingested(ingested);
+  }
+}
+
+void FleetCoordinator::run_timers(Clock::time_point now) {
+  // Dead-worker scan: heartbeat silence past the timeout.
+  for (const std::uint64_t id :
+       catalog_.silent_since(now, config_.heartbeat_timeout_s)) {
+    declare_worker_dead(id, "heartbeat timeout");
+  }
+  // Lease-expiry scan: a worker that is alive but stopped listing (or
+  // renewing) a lease loses the cell.
+  for (const std::uint32_t cell : leases_.expired(now)) {
+    const std::uint64_t lease_id = leases_.cell(cell).lease_id;
+    const std::uint64_t holder = leases_.cell(cell).worker_id;
+    m_leases_expired_->inc();
+    if (WorkerEntry* entry = catalog_.find(holder)) {
+      entry->cells.erase(cell);
+    }
+    end_lease(cell, /*penalize=*/true, now);
+    m_reassignments_->inc();
+    send_to_worker(holder, lease_revoke_frame(
+                               LeaseRevoke{lease_id, cell, "lease expired"}));
+  }
+  // Assignment scan: place unassigned cells whose backoff has elapsed.
+  for (const std::uint32_t cell : leases_.assignable(now)) {
+    try_assign(cell, now);
+  }
+  m_workers_alive_->set(static_cast<std::int64_t>(catalog_.alive_count()));
+  m_cells_active_->set(static_cast<std::int64_t>(leases_.active_count()));
+}
+
+void FleetCoordinator::declare_worker_dead(std::uint64_t worker_id,
+                                           const char* /*why*/) {
+  WorkerEntry* entry = catalog_.find(worker_id);
+  if (entry == nullptr || !entry->alive) {
+    return;
+  }
+  catalog_.mark_dead(worker_id);
+  m_workers_dead_->inc();
+  for (auto& conn : connections_) {
+    if (conn->worker_id == worker_id) {
+      close_connection(*conn);
+    }
+  }
+  const auto now = Clock::now();
+  const std::set<std::uint32_t> cells = entry->cells;
+  for (const std::uint32_t cell : cells) {
+    end_lease(cell, /*penalize=*/true, now);
+    m_reassignments_->inc();
+  }
+  catalog_.remove(worker_id);
+}
+
+void FleetCoordinator::end_lease(std::uint32_t cell_index, bool penalize,
+                                 Clock::time_point now) {
+  CellRecord& record = records_[cell_index];
+  if (record.has_report) {
+    // Fold the lease's final report into the committed totals: this is
+    // what keeps the lifetime view monotonic across the handoff.
+    record.committed_slots += record.last.slots;
+    record.committed_dcis += record.last.dcis;
+    record.committed_retx += record.last.retx_dcis;
+    record.committed_restarts += record.last.restarts;
+  }
+  record.last = CellReport{};
+  record.has_report = false;
+  leases_.release(cell_index, penalize, now);
+}
+
+void FleetCoordinator::try_assign(std::uint32_t cell_index,
+                                  Clock::time_point now) {
+  const auto worker_id = catalog_.pick_least_loaded();
+  if (!worker_id) {
+    return;  // fleet saturated or empty; retry next timer pass
+  }
+  WorkerEntry* entry = catalog_.find(*worker_id);
+  Lease& lease = leases_.cell(cell_index);
+  const unsigned incarnation = lease.handoffs;
+  CellRecord& record = records_[cell_index];
+  record.lease_base_slot = record.committed_slots;
+  const std::uint64_t lease_id =
+      leases_.grant(cell_index, *worker_id, now);
+  entry->cells.insert(cell_index);
+  m_leases_granted_->inc();
+  send_to_worker(*worker_id,
+                 lease_frame(LeaseGrant{lease_id, config_.lease_ttl_ms,
+                                        record.lease_base_slot,
+                                        wire_spec(cell_index, incarnation)}));
+}
+
+void FleetCoordinator::rebalance(Clock::time_point now) {
+  const std::size_t alive = catalog_.alive_count();
+  if (alive == 0) {
+    return;
+  }
+  const std::size_t target =
+      (leases_.n_cells() + alive - 1) / alive;  // ceil
+  // Snapshot ids first: send_to_worker can declare a worker dead, which
+  // erases it from the map we would otherwise be iterating.
+  std::vector<std::uint64_t> ids;
+  ids.reserve(catalog_.size());
+  for (const auto& [id, entry] : catalog_.workers()) {
+    if (entry.alive) {
+      ids.push_back(id);
+    }
+  }
+  for (const std::uint64_t id : ids) {
+    WorkerEntry* entry = catalog_.find(id);
+    if (entry == nullptr || !entry->alive || entry->load() <= target) {
+      continue;
+    }
+    // Shed highest-index cells first (deterministic choice).
+    std::vector<std::uint32_t> shed(entry->cells.rbegin(),
+                                    entry->cells.rend());
+    shed.resize(entry->load() - target);
+    for (const std::uint32_t cell : shed) {
+      const std::uint64_t lease_id = leases_.cell(cell).lease_id;
+      m_revokes_->inc();
+      if (WorkerEntry* holder = catalog_.find(id)) {
+        holder->cells.erase(cell);
+      }
+      end_lease(cell, /*penalize=*/false, now);
+      if (!send_to_worker(id, lease_revoke_frame(LeaseRevoke{
+                                  lease_id, cell, "rebalance"}))) {
+        break;  // worker died mid-shed; its leases are already released
+      }
+    }
+  }
+}
+
+bool FleetCoordinator::send_to_worker(
+    std::uint64_t worker_id, const std::vector<std::uint8_t>& frame) {
+  WorkerEntry* entry = catalog_.find(worker_id);
+  if (entry == nullptr || !entry->alive || entry->fd < 0) {
+    return false;
+  }
+  if (send_all(entry->fd, frame.data(), frame.size())) {
+    return true;
+  }
+  declare_worker_dead(worker_id, "send failed");
+  return false;
+}
+
+WireCellSpec FleetCoordinator::wire_spec(std::uint32_t cell_index,
+                                         unsigned incarnation) const {
+  const CellRecord& record = records_[cell_index];
+  WireCellSpec spec;
+  spec.cell_index = cell_index;
+  spec.name = record.spec.name;
+  spec.preset = record.spec.preset;
+  spec.pci = record.spec.pci;
+  spec.n_ues = record.spec.n_ues;
+  spec.ue_rate_bps = record.spec.ue_rate_bps;
+  spec.ue_snr_db = record.spec.ue_snr_db;
+  spec.sniffer_snr_db = record.spec.sniffer_snr_db;
+  spec.seed = record.seed_base;
+  spec.incarnation = incarnation;
+  return spec;
+}
+
+// ---- Snapshots -------------------------------------------------------
+
+std::size_t FleetCoordinator::worker_count() const {
+  std::lock_guard lock(state_mutex_);
+  return catalog_.alive_count();
+}
+
+std::vector<DistWorkerStatus> FleetCoordinator::workers() const {
+  std::lock_guard lock(state_mutex_);
+  std::vector<DistWorkerStatus> out;
+  out.reserve(catalog_.size());
+  for (const auto& [id, entry] : catalog_.workers()) {
+    DistWorkerStatus status;
+    status.id = id;
+    status.name = entry.name;
+    status.capacity = entry.capacity;
+    status.alive = entry.alive;
+    status.cells.assign(entry.cells.begin(), entry.cells.end());
+    out.push_back(std::move(status));
+  }
+  return out;
+}
+
+std::vector<DistCellStatus> FleetCoordinator::cells() const {
+  std::lock_guard lock(state_mutex_);
+  std::vector<DistCellStatus> out;
+  out.reserve(records_.size());
+  for (std::uint32_t i = 0; i < records_.size(); ++i) {
+    const CellRecord& record = records_[i];
+    const Lease& lease = leases_.cell(i);
+    DistCellStatus status;
+    status.cell_index = i;
+    status.name = record.spec.name;
+    status.lease_state = lease.state;
+    status.lease_id = lease.lease_id;
+    status.worker_id = lease.worker_id;
+    status.handoffs = lease.handoffs;
+    status.slots = record.committed_slots +
+                   (record.has_report ? record.last.slots : 0);
+    status.dcis =
+        record.committed_dcis + (record.has_report ? record.last.dcis : 0);
+    status.cell_state = record.has_report ? record.last.cell_state : 1;
+    out.push_back(std::move(status));
+  }
+  return out;
+}
+
+FleetSummary FleetCoordinator::summary() const {
+  std::lock_guard lock(state_mutex_);
+  FleetSummary s;
+  std::vector<std::pair<double, std::uint32_t>> spare;
+  spare.reserve(records_.size());
+  s.cells.reserve(records_.size());
+  for (std::uint32_t i = 0; i < records_.size(); ++i) {
+    const CellRecord& record = records_[i];
+    const Lease& lease = leases_.cell(i);
+    const bool live =
+        lease.state == LeaseState::kActive && record.has_report;
+    CellSummary cs;
+    cs.cell_index = i;
+    cs.name = record.spec.name;
+    // kBackoff is the honest description of an unassigned cell: down now,
+    // the supervisor (here: the lease table) intends to bring it back.
+    cs.state = live ? record.last.cell_state : 1;
+    cs.slots = record.committed_slots +
+               (record.has_report ? record.last.slots : 0);
+    cs.dcis =
+        record.committed_dcis + (record.has_report ? record.last.dcis : 0);
+    cs.restarts = record.committed_restarts + lease.handoffs +
+                  (record.has_report ? record.last.restarts : 0);
+    cs.active_ues = live ? record.last.active_ues : 0;
+    cs.dl_mbps = live ? record.last.dl_mbps : 0.0;
+    cs.ul_mbps = live ? record.last.ul_mbps : 0.0;
+    cs.retx_rate = live ? record.last.retx_rate : 0.0;
+    cs.utilization = live ? record.last.utilization : 0.0;
+    s.slot = std::max(s.slot, cs.slots);
+    s.dcis_total += cs.dcis;
+    s.restarts_total += cs.restarts;
+    s.dl_mbps_total += cs.dl_mbps;
+    s.ul_mbps_total += cs.ul_mbps;
+    spare.emplace_back(live ? record.last.spare_prb_rate : 0.0, i);
+    s.cells.push_back(std::move(cs));
+  }
+  double retx_sum = 0.0;
+  std::uint64_t dcis = 0;
+  for (const CellSummary& cs : s.cells) {
+    retx_sum += cs.retx_rate * static_cast<double>(cs.dcis);
+    dcis += cs.dcis;
+  }
+  s.retx_rate = dcis > 0 ? retx_sum / static_cast<double>(dcis) : 0.0;
+  std::stable_sort(spare.begin(), spare.end(),
+                   [](const auto& a, const auto& b) {
+                     return a.first > b.first;
+                   });
+  s.spare_ranking.reserve(spare.size());
+  for (const auto& [rate, index] : spare) {
+    s.spare_ranking.push_back(index);
+  }
+  return s;
+}
+
+std::uint64_t FleetCoordinator::reassignments() const {
+  return m_reassignments_->value();
+}
+
+bool FleetCoordinator::all_cells_active() const {
+  std::lock_guard lock(state_mutex_);
+  for (std::uint32_t i = 0; i < records_.size(); ++i) {
+    if (leases_.cell(i).state != LeaseState::kActive) {
+      return false;
+    }
+    if (!records_[i].has_report || records_[i].last.cell_state != 0) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace nrs

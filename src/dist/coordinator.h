@@ -1,0 +1,233 @@
+// FleetCoordinator: the process-level master of the distributed sniffer
+// fleet (ROADMAP "coordinator/worker split", Work-Queue style).  It owns a
+// listening socket; FleetWorker processes connect, announce capacity with
+// kWorkerHello, and are granted per-cell leases (kLease) with TTLs.
+// Workers renew their leases with kWorkerHeartbeat, stream telemetry back
+// as kCellReport frames, and can be told to drop a cell with kLeaseRevoke
+// (rebalancing toward a newly joined worker).
+//
+// Failure model: a worker that disappears (socket EOF, send failure) or
+// goes silent past heartbeat_timeout_s is declared dead; its leases are
+// released with the lease table's bounded exponential backoff and
+// reassigned to surviving workers with free capacity — the same
+// backoff/incarnation discipline the in-process fleet supervisor applies
+// to crashed cells, lifted to the process level.  A worker speaking an
+// incompatible wire version receives a structured kUnsupportedVersion
+// frame before the drop.
+//
+// Continuity: the coordinator keeps per-cell COMMITTED totals (the sum of
+// all ended leases) plus the live report of the current lease; the totals
+// exposed in summary() only ever grow, so the fleet view stays monotonic
+// across a reassignment.  Forwarded store rows are rebased onto each
+// cell's lifetime slot axis and ingested into an embedded HistoryStore —
+// post-kill queries return rows from before and after the handoff.
+//
+// Threads: ONE io thread owns every socket and all coordination state;
+// public accessors copy snapshots out under a mutex.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/metrics.h"
+#include "dist/catalog.h"
+#include "dist/lease.h"
+#include "net/wire.h"
+#include "store/history_store.h"
+
+namespace nrs {
+
+/// One cell the coordinator wants running somewhere: a preset name plus
+/// overrides (the same shape the wire-level WireCellSpec carries).
+struct CoordinatorCellSpec {
+  std::string name;
+  std::string preset = "srsran";
+  std::uint16_t pci = 0;  ///< 0 = keep the preset's PCI
+  unsigned n_ues = 2;
+  double ue_rate_bps = 2e6;
+  double ue_snr_db = 18.0;
+  double sniffer_snr_db = 28.0;
+};
+
+struct CoordinatorConfig {
+  std::string bind_address = "127.0.0.1";
+  std::uint16_t port = 0;  ///< 0 = ephemeral (see port())
+  std::vector<CoordinatorCellSpec> cells;
+  std::uint64_t seed = 1;  ///< per-cell seed bases derive from it
+
+  std::uint32_t lease_ttl_ms = 1500;
+  /// A worker silent for this long is dead (heartbeats are expected every
+  /// worker heartbeat_period_s, typically 100 ms).
+  double heartbeat_timeout_s = 1.0;
+  // Reassignment backoff (per cell, escalating on repeated failures).
+  double backoff_initial_s = 0.05;
+  double backoff_max_s = 1.0;
+  double backoff_factor = 2.0;
+  /// When a worker joins, revoke leases from overloaded workers so the
+  /// fleet converges toward an even split.
+  bool rebalance_on_join = true;
+
+  std::size_t max_workers = 64;
+  HistoryStoreConfig store;  ///< retention of the embedded history store
+};
+
+/// Point-in-time view of one cell's distribution state.
+struct DistCellStatus {
+  std::uint32_t cell_index = 0;
+  std::string name;
+  LeaseState lease_state = LeaseState::kUnassigned;
+  std::uint64_t lease_id = 0;
+  std::uint64_t worker_id = 0;  ///< holder's catalog id (0 = none)
+  unsigned handoffs = 0;        ///< completed lease handoffs
+  std::uint64_t slots = 0;      ///< lifetime (committed + current lease)
+  std::uint64_t dcis = 0;
+  std::uint8_t cell_state = 0;  ///< raw FleetCellState from the last report
+};
+
+/// Point-in-time view of one catalog entry.
+struct DistWorkerStatus {
+  std::uint64_t id = 0;
+  std::string name;
+  std::uint32_t capacity = 0;
+  bool alive = false;
+  std::vector<std::uint32_t> cells;
+};
+
+class FleetCoordinator {
+ public:
+  /// Binds, listens, and starts the io thread immediately (throws
+  /// std::runtime_error when the socket cannot be bound).  `registry`
+  /// (optional) receives the dist.* metrics and the embedded store's
+  /// store.* metrics.
+  explicit FleetCoordinator(CoordinatorConfig config,
+                            MetricsRegistry* registry = nullptr);
+  ~FleetCoordinator();
+
+  FleetCoordinator(const FleetCoordinator&) = delete;
+  FleetCoordinator& operator=(const FleetCoordinator&) = delete;
+
+  /// Stop the io thread, close every socket.  Idempotent.
+  void stop();
+
+  [[nodiscard]] std::uint16_t port() const { return port_; }
+
+  // ---- Snapshots (any thread) ----
+  [[nodiscard]] std::size_t worker_count() const;
+  [[nodiscard]] std::vector<DistWorkerStatus> workers() const;
+  [[nodiscard]] std::vector<DistCellStatus> cells() const;
+  /// Wire-ready aggregate built from committed + live per-cell totals;
+  /// monotonic across reassignments.  cells[i].state carries the worker's
+  /// FleetCellState byte; an unassigned cell reports kBackoff.
+  [[nodiscard]] FleetSummary summary() const;
+  /// Leases released due to worker death or expiry (not rebalancing).
+  [[nodiscard]] std::uint64_t reassignments() const;
+  /// True when every cell's lease is kActive and its last report shows a
+  /// running cell.
+  [[nodiscard]] bool all_cells_active() const;
+
+  /// The embedded history store (fleet-lifetime slot axis).  Readers are
+  /// lock-free; the io thread is the single writer.  Outlives queries made
+  /// through it as long as the coordinator is alive.
+  [[nodiscard]] const HistoryStore& store() const { return store_; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+
+  /// One accepted connection (worker or not-yet-greeted peer).
+  struct Connection {
+    int fd = -1;
+    FrameParser parser;
+    std::uint64_t worker_id = 0;  ///< 0 until kWorkerHello registers it
+  };
+
+  /// Per-cell aggregation state: committed totals from ended leases plus
+  /// the live report of the current lease.
+  struct CellRecord {
+    CoordinatorCellSpec spec;
+    std::uint64_t seed_base = 0;  ///< per-cell seed base (derived once)
+    // Committed (ended leases only; grows monotonically).
+    std::uint64_t committed_slots = 0;
+    std::uint64_t committed_dcis = 0;
+    std::uint64_t committed_retx = 0;
+    std::uint64_t committed_restarts = 0;
+    /// Store-axis base of the current lease (= committed_slots at grant).
+    std::uint64_t lease_base_slot = 0;
+    CellReport last;  ///< latest report under the current lease
+    bool has_report = false;
+    /// Per-series ingest cursor: cached series pointer + last global slot,
+    /// clamped non-decreasing across lease handoffs.
+    struct SeriesCursor {
+      StoreSeries* series = nullptr;
+      std::uint64_t last_slot = 0;
+      bool started = false;
+    };
+    std::map<std::uint64_t, SeriesCursor> cursors;  ///< by SeriesKey::packed
+  };
+
+  void io_loop();
+  void handle_accept();
+  void read_connection(Connection& conn);
+  void handle_frame(Connection& conn, const Frame& frame);
+  void handle_worker_hello(Connection& conn, const WorkerHello& hello);
+  void handle_lease_ack(Connection& conn, const LeaseAck& ack);
+  void handle_heartbeat(Connection& conn, const WorkerHeartbeat& hb);
+  void handle_cell_report(Connection& conn, const CellReport& report);
+  /// Timers: dead-worker scan, lease expiry, assignment of unassigned
+  /// cells, rebalancing.
+  void run_timers(Clock::time_point now);
+  void declare_worker_dead(std::uint64_t worker_id, const char* why);
+  /// Release the cell's lease, folding its last report into the committed
+  /// totals so the lifetime view never rewinds.
+  void end_lease(std::uint32_t cell_index, bool penalize,
+                 Clock::time_point now);
+  void try_assign(std::uint32_t cell_index, Clock::time_point now);
+  void rebalance(Clock::time_point now);
+  void ingest_rows(std::uint32_t cell_index, CellRecord& record,
+                   const CellReport& report);
+  /// Synchronous best-effort send on the io thread (SO_SNDTIMEO-bounded);
+  /// a failure declares the worker dead.
+  bool send_to_worker(std::uint64_t worker_id,
+                      const std::vector<std::uint8_t>& frame);
+  void close_connection(Connection& conn);
+  [[nodiscard]] WireCellSpec wire_spec(std::uint32_t cell_index,
+                                       unsigned incarnation) const;
+
+  CoordinatorConfig config_;
+  std::unique_ptr<MetricsRegistry> own_registry_;
+  MetricsRegistry* registry_ = nullptr;
+
+  int listen_fd_ = -1;
+  std::uint16_t port_ = 0;
+  std::atomic<bool> stopping_{false};
+  std::thread io_;
+
+  // Coordination state: mutated only on the io thread, read by accessors
+  // under the mutex.
+  mutable std::mutex state_mutex_;
+  WorkerCatalog catalog_;
+  LeaseTable leases_;
+  std::vector<CellRecord> records_;
+  std::vector<std::unique_ptr<Connection>> connections_;
+
+  HistoryStore store_;
+
+  Counter* m_leases_granted_ = nullptr;
+  Counter* m_leases_expired_ = nullptr;
+  Counter* m_lease_refusals_ = nullptr;
+  Counter* m_reassignments_ = nullptr;
+  Counter* m_workers_dead_ = nullptr;
+  Counter* m_stale_reports_ = nullptr;
+  Counter* m_version_rejects_ = nullptr;
+  Counter* m_revokes_ = nullptr;
+  Gauge* m_workers_alive_ = nullptr;
+  Gauge* m_cells_active_ = nullptr;
+};
+
+}  // namespace nrs

@@ -1,0 +1,132 @@
+#include "dist/lease.h"
+
+#include <algorithm>
+
+namespace nrs {
+
+namespace {
+
+LeaseTable::TimePoint after(LeaseTable::TimePoint now, double seconds) {
+  return now + std::chrono::duration_cast<LeaseTable::TimePoint::duration>(
+                   std::chrono::duration<double>(seconds));
+}
+
+}  // namespace
+
+const char* to_string(LeaseState state) {
+  switch (state) {
+    case LeaseState::kUnassigned: return "unassigned";
+    case LeaseState::kPending: return "pending";
+    case LeaseState::kActive: return "active";
+  }
+  return "unknown";
+}
+
+LeaseTable::LeaseTable(std::size_t n_cells, Config config)
+    : config_(config), leases_(n_cells) {
+  for (std::size_t i = 0; i < leases_.size(); ++i) {
+    leases_[i].cell_index = static_cast<std::uint32_t>(i);
+  }
+}
+
+std::uint64_t LeaseTable::grant(std::uint32_t cell_index,
+                                std::uint64_t worker_id, TimePoint now) {
+  Lease& lease = leases_[cell_index];
+  lease.lease_id = ++next_lease_id_;
+  lease.worker_id = worker_id;
+  lease.state = LeaseState::kPending;
+  lease.expires_at = after(now, config_.ttl_s);
+  return lease.lease_id;
+}
+
+Lease* LeaseTable::by_id(std::uint64_t lease_id) {
+  if (lease_id == 0) {
+    return nullptr;
+  }
+  for (Lease& lease : leases_) {
+    if (lease.lease_id == lease_id &&
+        lease.state != LeaseState::kUnassigned) {
+      return &lease;
+    }
+  }
+  return nullptr;
+}
+
+bool LeaseTable::ack(std::uint64_t lease_id, bool accepted, TimePoint now) {
+  Lease* lease = by_id(lease_id);
+  if (lease == nullptr) {
+    return false;
+  }
+  if (!accepted) {
+    release(lease->cell_index, /*penalize=*/true, now);
+    return true;
+  }
+  lease->state = LeaseState::kActive;
+  lease->expires_at = after(now, config_.ttl_s);
+  return true;
+}
+
+bool LeaseTable::renew(std::uint64_t lease_id, TimePoint now) {
+  Lease* lease = by_id(lease_id);
+  if (lease == nullptr) {
+    return false;
+  }
+  lease->expires_at = after(now, config_.ttl_s);
+  return true;
+}
+
+void LeaseTable::release(std::uint32_t cell_index, bool penalize,
+                         TimePoint now) {
+  Lease& lease = leases_[cell_index];
+  if (lease.state == LeaseState::kUnassigned) {
+    return;
+  }
+  lease.state = LeaseState::kUnassigned;
+  lease.lease_id = 0;
+  lease.worker_id = 0;
+  ++lease.handoffs;
+  if (penalize) {
+    lease.backoff_s = lease.backoff_s <= 0.0
+                          ? config_.backoff_initial_s
+                          : std::min(config_.backoff_max_s,
+                                     lease.backoff_s *
+                                         config_.backoff_factor);
+    lease.retry_at = after(now, lease.backoff_s);
+  } else {
+    lease.retry_at = now;
+  }
+}
+
+void LeaseTable::note_progress(std::uint32_t cell_index) {
+  leases_[cell_index].backoff_s = 0.0;
+}
+
+std::vector<std::uint32_t> LeaseTable::expired(TimePoint now) const {
+  std::vector<std::uint32_t> out;
+  for (const Lease& lease : leases_) {
+    if (lease.state != LeaseState::kUnassigned && now >= lease.expires_at) {
+      out.push_back(lease.cell_index);
+    }
+  }
+  return out;
+}
+
+std::vector<std::uint32_t> LeaseTable::assignable(TimePoint now) const {
+  std::vector<std::uint32_t> out;
+  for (const Lease& lease : leases_) {
+    if (lease.state == LeaseState::kUnassigned && now >= lease.retry_at) {
+      out.push_back(lease.cell_index);
+    }
+  }
+  return out;
+}
+
+std::size_t LeaseTable::active_count() const {
+  std::size_t n = 0;
+  for (const Lease& lease : leases_) {
+    n += lease.state == LeaseState::kActive ? 1 : 0;
+  }
+  return n;
+}
+
+}  // namespace nrs

@@ -1,0 +1,101 @@
+// Lease table for the distributed fleet: one lease per cell, granted to
+// one worker at a time with a TTL.  Heartbeats renew a lease; a lease that
+// expires (or whose worker dies) is released back to the unassigned pool
+// with the supervisor-style bounded exponential backoff, and its handoff
+// counter bumps — the next grant carries a higher incarnation, so the
+// receiving worker draws a fresh but reproducible stream for the cell.
+// Like the catalog, this is a plain data structure mutated only on the
+// coordinator's io thread.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <vector>
+
+namespace nrs {
+
+enum class LeaseState : std::uint8_t {
+  kUnassigned = 0,  ///< nobody runs this cell (waiting for capacity/backoff)
+  kPending = 1,     ///< granted, kLeaseAck not yet received
+  kActive = 2,      ///< acked; renewed by worker heartbeats
+};
+
+const char* to_string(LeaseState state);
+
+struct Lease {
+  std::uint32_t cell_index = 0;
+  LeaseState state = LeaseState::kUnassigned;
+  std::uint64_t lease_id = 0;    ///< 0 = never granted
+  std::uint64_t worker_id = 0;   ///< catalog id of the holder
+  /// Times this cell's lease has been released (worker death, expiry,
+  /// revoke).  Used as the incarnation of the next grant.
+  unsigned handoffs = 0;
+  std::chrono::steady_clock::time_point expires_at{};
+  std::chrono::steady_clock::time_point retry_at{};
+  double backoff_s = 0.0;  ///< 0 = healthy; next release starts at initial
+};
+
+class LeaseTable {
+ public:
+  using TimePoint = std::chrono::steady_clock::time_point;
+
+  struct Config {
+    double ttl_s = 1.5;
+    double backoff_initial_s = 0.05;
+    double backoff_max_s = 1.0;
+    double backoff_factor = 2.0;
+  };
+
+  LeaseTable(std::size_t n_cells, Config config);
+
+  /// Grant cell `cell_index` to `worker_id`: a fresh lease id, state
+  /// kPending, TTL clock running.  The grant's incarnation is the cell's
+  /// current handoff count.
+  std::uint64_t grant(std::uint32_t cell_index, std::uint64_t worker_id,
+                      TimePoint now);
+
+  /// Apply a worker's kLeaseAck.  A refusal releases the lease with
+  /// backoff (the worker is over capacity or cannot build the cell).
+  /// False when the lease id no longer matches any live lease.
+  bool ack(std::uint64_t lease_id, bool accepted, TimePoint now);
+
+  /// Extend the lease's TTL (a heartbeat listed it).  False when the id
+  /// does not match a live lease.
+  bool renew(std::uint64_t lease_id, TimePoint now);
+
+  /// Release the cell's current lease back to kUnassigned and bump its
+  /// handoff counter.  `penalize` applies (and escalates) the backoff
+  /// before the cell becomes assignable; a deliberate release (rebalance)
+  /// passes false and reassigns immediately.
+  void release(std::uint32_t cell_index, bool penalize, TimePoint now);
+
+  /// The cell made real progress under its current lease: reset the
+  /// backoff escalation, like the fleet supervisor's healthy_slots rule.
+  void note_progress(std::uint32_t cell_index);
+
+  /// Live lease lookup by id (nullptr when no cell currently holds it).
+  [[nodiscard]] Lease* by_id(std::uint64_t lease_id);
+
+  [[nodiscard]] Lease& cell(std::uint32_t cell_index) {
+    return leases_[cell_index];
+  }
+  [[nodiscard]] const Lease& cell(std::uint32_t cell_index) const {
+    return leases_[cell_index];
+  }
+  [[nodiscard]] std::size_t n_cells() const { return leases_.size(); }
+
+  /// Cells whose granted lease (pending or active) has outlived its TTL.
+  [[nodiscard]] std::vector<std::uint32_t> expired(TimePoint now) const;
+  /// Unassigned cells whose backoff has elapsed.
+  [[nodiscard]] std::vector<std::uint32_t> assignable(TimePoint now) const;
+  [[nodiscard]] std::size_t active_count() const;
+
+  [[nodiscard]] const Config& config() const { return config_; }
+
+ private:
+  Config config_;
+  std::vector<Lease> leases_;  ///< indexed by cell_index
+  std::uint64_t next_lease_id_ = 0;
+};
+
+}  // namespace nrs

@@ -1,0 +1,512 @@
+#include "dist/worker.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/time.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cmath>
+#include <utility>
+
+#include "gnb/presets.h"
+#include "nr/dci.h"
+#include "store/history_store.h"
+
+namespace nrs {
+
+namespace {
+
+bool send_all(int fd, const std::uint8_t* data, std::size_t size) {
+  std::size_t sent = 0;
+  while (sent < size) {
+    const ssize_t n = ::send(fd, data + sent, size - sent, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) {
+        continue;
+      }
+      return false;
+    }
+    sent += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+/// Resolve a coordinator-chosen preset name to its CellConfig.  Returns
+/// false (and leaves `out` untouched) for a name this build does not know
+/// — the lease is refused with a structured reason instead of crashing.
+bool find_cell_preset(const std::string& name, CellConfig& out) {
+  if (name == "srsran") {
+    out = srsran_cell();
+  } else if (name == "mosolab") {
+    out = mosolab_cell();
+  } else if (name == "amarisoft") {
+    out = amarisoft_cell();
+  } else if (name == "tmobile1") {
+    out = tmobile_cell1();
+  } else if (name == "tmobile2") {
+    out = tmobile_cell2();
+  } else {
+    return false;
+  }
+  return true;
+}
+
+std::chrono::steady_clock::duration secs(double s) {
+  return std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+      std::chrono::duration<double>(s));
+}
+
+}  // namespace
+
+// Buffers the three cell-level store rows per tracking slot for the next
+// kCellReport.  The slot counter counts EVERY delivered slot (tracking or
+// not), mirroring the aggregator's lifetime slot axis, and survives the
+// cell's pipeline incarnations (worker-local restarts) because the
+// collector itself is owned by the lease, not the pipeline.
+class FleetWorker::RowCollector : public SlotSink {
+ public:
+  explicit RowCollector(unsigned n_prb) : n_prb_(n_prb) {}
+
+  void on_slot(const SlotResult& result) override {
+    std::lock_guard lock(mutex_);
+    const std::uint64_t slot = slot_counter_++;
+    if (result.sync_state != SyncState::kTracking) {
+      return;
+    }
+    unsigned used = 0;
+    for (const DecodedDci& dci : result.dcis) {
+      if (is_downlink(dci.grant.format)) {
+        used += dci.grant.prb_len;
+      }
+    }
+    used = std::min(used, n_prb_);
+    rows_.push_back({kStoreCellRnti,
+                     static_cast<std::uint8_t>(StoreMetric::kCellDcis), slot,
+                     static_cast<double>(result.dcis.size())});
+    rows_.push_back({kStoreCellRnti,
+                     static_cast<std::uint8_t>(StoreMetric::kCellUsedPrbs),
+                     slot, static_cast<double>(used)});
+    rows_.push_back({kStoreCellRnti,
+                     static_cast<std::uint8_t>(StoreMetric::kCellSparePrbs),
+                     slot, static_cast<double>(n_prb_ - used)});
+  }
+
+  /// Move out up to `max_rows` buffered rows (oldest dropped beyond the
+  /// cap — under backlog the freshest telemetry wins).
+  [[nodiscard]] std::vector<StoreRowUpdate> drain(std::size_t max_rows) {
+    std::lock_guard lock(mutex_);
+    std::vector<StoreRowUpdate> out;
+    if (rows_.size() > max_rows) {
+      out.assign(rows_.end() - static_cast<std::ptrdiff_t>(max_rows),
+                 rows_.end());
+    } else {
+      out = std::move(rows_);
+    }
+    rows_.clear();
+    return out;
+  }
+
+ private:
+  const unsigned n_prb_;
+  std::mutex mutex_;
+  std::uint64_t slot_counter_ = 0;
+  std::vector<StoreRowUpdate> rows_;
+};
+
+FleetWorker::FleetWorker(WorkerConfig config, MetricsRegistry* registry)
+    : config_(std::move(config)),
+      own_registry_(registry == nullptr ? std::make_unique<MetricsRegistry>()
+                                        : nullptr),
+      registry_(registry != nullptr ? registry : own_registry_.get()) {
+  m_leases_accepted_ = &registry_->counter("dist.worker.leases_accepted");
+  m_leases_refused_ = &registry_->counter("dist.worker.leases_refused");
+  m_revokes_ = &registry_->counter("dist.worker.revokes");
+  m_expiries_ = &registry_->counter("dist.worker.lease_expiries");
+  m_reconnects_ = &registry_->counter("dist.worker.reconnects");
+  m_heartbeats_ = &registry_->counter("dist.worker.heartbeats");
+  m_reports_ = &registry_->counter("dist.worker.reports");
+  m_cells_ = &registry_->gauge("dist.worker.cells");
+  thread_ = std::thread([this] { run(); });
+}
+
+FleetWorker::~FleetWorker() { stop(); }
+
+void FleetWorker::stop() {
+  stop_.store(true);
+  std::lock_guard lock(join_mutex_);
+  if (thread_.joinable()) {
+    thread_.join();
+  }
+}
+
+void FleetWorker::kill() {
+  killed_.store(true);
+  stop_.store(true);
+  const int fd = fd_.load();
+  if (fd >= 0) {
+    ::shutdown(fd, SHUT_RDWR);
+  }
+  std::lock_guard lock(join_mutex_);
+  if (thread_.joinable()) {
+    thread_.join();
+  }
+}
+
+std::string FleetWorker::protocol_error() const {
+  std::lock_guard lock(protocol_error_mutex_);
+  return protocol_error_;
+}
+
+bool FleetWorker::connect_once() {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    return false;
+  }
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(config_.port);
+  if (::inet_pton(AF_INET, config_.host.c_str(), &addr.sin_addr) != 1 ||
+      ::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd);
+    return false;
+  }
+  const int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  timeval send_timeout{};
+  send_timeout.tv_sec = 2;
+  ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &send_timeout,
+               sizeof(send_timeout));
+
+  fd_.store(fd);
+  parser_ = std::make_unique<FrameParser>();
+  FleetConfig fleet;
+  fleet.pool_threads = config_.pool_threads;
+  fleet.slots_per_tick = config_.slots_per_tick;
+  orch_ = std::make_unique<FleetOrchestrator>(std::move(fleet), *registry_);
+  // Register the row-collector factory before any lease adds a cell, so
+  // every incarnation of every leased cell feeds its collector.
+  orch_->add_sink("dist-rows", [this](std::uint32_t local_index)
+                                   -> std::shared_ptr<SlotSink> {
+    const auto it = collectors_.find(local_index);
+    return it == collectors_.end() ? nullptr : it->second;
+  });
+
+  WorkerHello hello;
+  hello.name = config_.name;
+  hello.capacity = config_.capacity;
+  hello.pool_threads = config_.pool_threads;
+  if (!send_frame(worker_hello_frame(hello))) {
+    disconnect();
+    return false;
+  }
+  connected_.store(true);
+  return true;
+}
+
+void FleetWorker::disconnect() {
+  const int fd = fd_.exchange(-1);
+  if (fd >= 0) {
+    ::close(fd);
+  }
+  connected_.store(false);
+  if (orch_ != nullptr) {
+    for (const auto& [id, lease] : leases_) {
+      dropped_slots_ += orch_->cell_slots(lease.local_index);
+    }
+  }
+  // Tearing the orchestrator down drains every cell; a fresh one is built
+  // on reconnect (the coordinator re-leases from scratch anyway).
+  orch_.reset();
+  parser_.reset();
+  leases_.clear();
+  collectors_.clear();
+  n_cells_.store(0);
+  m_cells_->set(0);
+}
+
+bool FleetWorker::send_frame(const std::vector<std::uint8_t>& frame) {
+  const int fd = fd_.load();
+  if (fd < 0) {
+    return false;
+  }
+  return send_all(fd, frame.data(), frame.size());
+}
+
+void FleetWorker::drain_socket() {
+  const int fd = fd_.load();
+  if (fd < 0) {
+    return;
+  }
+  std::uint8_t buf[65536];
+  for (;;) {
+    const ssize_t n = ::recv(fd, buf, sizeof(buf), MSG_DONTWAIT);
+    if (n > 0) {
+      parser_->feed({buf, static_cast<std::size_t>(n)});
+      while (auto frame = parser_->next()) {
+        handle_frame(*frame);
+        if (fd_.load() < 0) {
+          return;
+        }
+      }
+      if (parser_->error()) {
+        disconnect();
+        return;
+      }
+      continue;
+    }
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      return;
+    }
+    if (n < 0 && errno == EINTR) {
+      continue;
+    }
+    disconnect();  // EOF or hard error: coordinator is gone
+    return;
+  }
+}
+
+void FleetWorker::handle_frame(const Frame& frame) {
+  switch (frame.type) {
+    case FrameType::kLease: {
+      if (auto grant = decode_lease(frame.payload)) {
+        handle_lease(*grant);
+      }
+      return;
+    }
+    case FrameType::kLeaseRevoke: {
+      if (auto revoke = decode_lease_revoke(frame.payload)) {
+        handle_revoke(*revoke);
+      }
+      return;
+    }
+    case FrameType::kUnsupportedVersion: {
+      std::string message = "coordinator rejected our protocol version";
+      if (auto reject = decode_version_reject(frame.payload)) {
+        message = "coordinator rejected protocol version " +
+                  std::to_string(reject->rejected) + " (supports " +
+                  std::to_string(reject->min_version) + ".." +
+                  std::to_string(reject->max_version) + ")";
+      }
+      {
+        std::lock_guard lock(protocol_error_mutex_);
+        protocol_error_ = std::move(message);
+      }
+      stop_.store(true);  // reconnecting cannot fix a version mismatch
+      return;
+    }
+    default:
+      return;  // tolerate anything else well-framed
+  }
+}
+
+void FleetWorker::handle_lease(const LeaseGrant& grant) {
+  const auto now = Clock::now();
+  const auto it = leases_.find(grant.lease_id);
+  if (it != leases_.end()) {
+    // Renewal: same lease id, restart the local TTL clock.
+    it->second.expires_at = now + secs(grant.ttl_ms / 1000.0);
+    return;
+  }
+  LeaseAck ack;
+  ack.lease_id = grant.lease_id;
+  ack.cell_index = grant.spec.cell_index;
+  if (leases_.size() >= config_.capacity) {
+    ack.accepted = false;
+    ack.message = "over capacity";
+    m_leases_refused_->inc();
+    send_frame(lease_ack_frame(ack));
+    return;
+  }
+  FleetCellSpec spec;
+  if (!find_cell_preset(grant.spec.preset, spec.cell)) {
+    ack.accepted = false;
+    ack.message = "unknown preset '" + grant.spec.preset + "'";
+    m_leases_refused_->inc();
+    send_frame(lease_ack_frame(ack));
+    return;
+  }
+  if (grant.spec.pci != 0) {
+    spec.cell.pci = grant.spec.pci;
+  }
+  spec.n_ues = grant.spec.n_ues;
+  spec.ue_rate_bps = grant.spec.ue_rate_bps;
+  spec.ue_snr_db = grant.spec.ue_snr_db;
+  spec.sniffer_snr_db = grant.spec.sniffer_snr_db;
+  spec.n_demod_workers = config_.n_demod_workers;
+  spec.n_dci_threads = config_.n_dci_threads;
+  spec.seed = grant.spec.seed;
+
+  HeldLease lease;
+  lease.lease_id = grant.lease_id;
+  lease.cell_index = grant.spec.cell_index;
+  lease.expires_at = now + secs(grant.ttl_ms / 1000.0);
+  lease.collector = std::make_shared<RowCollector>(spec.cell.n_prb);
+  // The collector must be findable by the sink factory before add_cell
+  // builds the cell's pipeline; new cells land at index n_cells().
+  const std::uint32_t local =
+      static_cast<std::uint32_t>(orch_->n_cells());
+  collectors_[local] = lease.collector;
+  lease.local_index = orch_->add_cell(std::move(spec),
+                                      grant.spec.incarnation);
+  leases_[grant.lease_id] = std::move(lease);
+  n_cells_.store(leases_.size());
+  m_cells_->set(static_cast<std::int64_t>(leases_.size()));
+  m_leases_accepted_->inc();
+
+  ack.accepted = true;
+  send_frame(lease_ack_frame(ack));
+}
+
+void FleetWorker::handle_revoke(const LeaseRevoke& revoke) {
+  m_revokes_->inc();
+  drop_lease(revoke.lease_id);
+}
+
+void FleetWorker::drop_lease(std::uint64_t lease_id) {
+  const auto it = leases_.find(lease_id);
+  if (it == leases_.end()) {
+    return;
+  }
+  dropped_slots_ += orch_->cell_slots(it->second.local_index);
+  orch_->remove_cell(it->second.local_index);
+  collectors_.erase(it->second.local_index);
+  leases_.erase(it);
+  n_cells_.store(leases_.size());
+  m_cells_->set(static_cast<std::int64_t>(leases_.size()));
+}
+
+void FleetWorker::expire_leases(Clock::time_point now) {
+  std::vector<std::uint64_t> expired;
+  for (const auto& [id, lease] : leases_) {
+    if (now >= lease.expires_at) {
+      expired.push_back(id);
+    }
+  }
+  for (const std::uint64_t id : expired) {
+    // The coordinator stopped renewing: it may have reassigned the cell.
+    // Stop running it rather than risk two workers feeding one cell.
+    m_expiries_->inc();
+    drop_lease(id);
+  }
+}
+
+void FleetWorker::send_heartbeat() {
+  WorkerHeartbeat hb;
+  hb.seq = ++heartbeat_seq_;
+  hb.leases.reserve(leases_.size());
+  for (const auto& [id, lease] : leases_) {
+    LeaseStatus status;
+    status.lease_id = id;
+    status.cell_index = lease.cell_index;
+    status.slots = orch_->cell_slots(lease.local_index);
+    status.cell_state =
+        static_cast<std::uint8_t>(orch_->cell_state(lease.local_index));
+    hb.leases.push_back(status);
+  }
+  if (send_frame(worker_heartbeat_frame(hb))) {
+    m_heartbeats_->inc();
+  } else {
+    disconnect();
+  }
+}
+
+void FleetWorker::send_reports() {
+  if (leases_.empty()) {
+    return;
+  }
+  const FleetRollup rollup = orch_->rollup();
+  for (const auto& [id, lease] : leases_) {
+    if (lease.local_index >= rollup.cells.size()) {
+      continue;
+    }
+    const CellRollup& cell = rollup.cells[lease.local_index];
+    CellReport report;
+    report.lease_id = id;
+    report.cell_index = lease.cell_index;
+    report.cell_state =
+        static_cast<std::uint8_t>(orch_->cell_state(lease.local_index));
+    report.slots = cell.slots;
+    report.dcis = cell.dcis;
+    report.retx_dcis = static_cast<std::uint64_t>(
+        std::llround(cell.retx_rate * static_cast<double>(cell.dcis)));
+    report.restarts = cell.restarts;
+    report.active_ues = cell.active_ues;
+    report.dl_mbps = cell.dl_mbps;
+    report.ul_mbps = cell.ul_mbps;
+    report.retx_rate = cell.retx_rate;
+    report.utilization = cell.utilization;
+    report.spare_prb_rate = cell.spare_prb_rate;
+    report.rows = lease.collector->drain(config_.max_rows_per_report);
+    if (!send_frame(cell_report_frame(report))) {
+      disconnect();
+      return;
+    }
+    m_reports_->inc();
+  }
+}
+
+void FleetWorker::run() {
+  int failed_connects = 0;
+  auto next_heartbeat = Clock::now();
+  auto next_report = Clock::now();
+  while (!stop_.load()) {
+    if (fd_.load() < 0) {
+      if (config_.max_reconnect_attempts >= 0 &&
+          failed_connects > config_.max_reconnect_attempts) {
+        break;
+      }
+      if (!connect_once()) {
+        ++failed_connects;
+        const auto deadline = Clock::now() +
+                              secs(config_.reconnect_backoff_s);
+        while (!stop_.load() && Clock::now() < deadline) {
+          std::this_thread::sleep_for(std::chrono::milliseconds(5));
+        }
+        continue;
+      }
+      failed_connects = 0;
+      m_reconnects_->inc();
+      next_heartbeat = Clock::now();
+      next_report = Clock::now() + secs(config_.report_period_s);
+    }
+
+    drain_socket();
+    if (stop_.load() || fd_.load() < 0) {
+      continue;
+    }
+
+    const auto now = Clock::now();
+    expire_leases(now);
+    if (now >= next_heartbeat) {
+      send_heartbeat();
+      next_heartbeat = now + secs(config_.heartbeat_period_s);
+    }
+    if (fd_.load() >= 0 && now >= next_report) {
+      send_reports();
+      next_report = now + secs(config_.report_period_s);
+    }
+
+    if (orch_ != nullptr && !leases_.empty()) {
+      orch_->tick();  // advances every running cell by slots_per_tick
+    } else {
+      std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    }
+    std::uint64_t live = 0;
+    for (const auto& [id, lease] : leases_) {
+      live += orch_->cell_slots(lease.local_index);
+    }
+    slots_total_.store(dropped_slots_ + live);
+  }
+  // Graceful path: drain cells so their final telemetry lands in the
+  // aggregator; kill() skips nothing here either — the socket is already
+  // dead, which is all the coordinator observes.
+  disconnect();
+  done_.store(true);
+}
+
+}  // namespace nrs

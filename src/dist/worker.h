@@ -1,0 +1,166 @@
+// FleetWorker: one process of the distributed sniffer fleet.  It dials
+// the coordinator, announces its capacity (kWorkerHello), and runs the
+// cells it is leased (kLease) on an embedded FleetOrchestrator — the same
+// supervised multi-cell runtime the single-host fleet_monitor uses, grown
+// and shrunk at runtime as leases arrive and go.  For every held lease it
+// sends kWorkerHeartbeat (liveness + lease renewal) and kCellReport
+// (lease-local telemetry totals plus forwarded history-store rows).
+//
+// Lease discipline: a lease the coordinator stops renewing expires
+// locally too — the worker tears the cell down rather than keep running a
+// cell the coordinator may have reassigned elsewhere (split-brain
+// avoidance).  A kLeaseRevoke tears it down immediately.
+//
+// Failure/termination paths:
+//   stop()  — graceful leave: drain the orchestrator, close the socket
+//             (the coordinator sees EOF and reassigns).
+//   kill()  — test hook simulating `kill -9`: slam the socket shut from
+//             the caller's thread; no draining, no goodbye.
+//   kUnsupportedVersion from the coordinator — fatal; the worker records
+//             protocol_error() and exits its run loop (reconnecting
+//             cannot fix a version mismatch).
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/metrics.h"
+#include "fleet/fleet.h"
+#include "net/wire.h"
+#include "nrscope/slot_sink.h"
+
+namespace nrs {
+
+struct WorkerConfig {
+  std::string name = "worker";
+  std::string host = "127.0.0.1";
+  std::uint16_t port = 0;
+
+  std::uint32_t capacity = 4;  ///< max concurrent cell leases
+  unsigned pool_threads = 2;   ///< orchestrator advance pool
+  std::uint64_t slots_per_tick = 20;
+  unsigned n_demod_workers = 1;
+  unsigned n_dci_threads = 1;
+
+  double heartbeat_period_s = 0.1;
+  double report_period_s = 0.25;
+  /// Wait between reconnect attempts after the connection drops.
+  double reconnect_backoff_s = 0.2;
+  /// Consecutive failed connect attempts before giving up (-1 = retry
+  /// forever).
+  int max_reconnect_attempts = -1;
+  /// Cap on forwarded store rows per cell report (excess rows are dropped
+  /// oldest-first; the cap bounds frame size under backlog).
+  std::size_t max_rows_per_report = 4096;
+};
+
+class FleetWorker {
+ public:
+  /// Starts the run thread immediately (connects with retries).
+  /// `registry` (optional) receives the worker's fleet.* and
+  /// dist.worker.* metrics.
+  explicit FleetWorker(WorkerConfig config,
+                       MetricsRegistry* registry = nullptr);
+  ~FleetWorker();
+
+  FleetWorker(const FleetWorker&) = delete;
+  FleetWorker& operator=(const FleetWorker&) = delete;
+
+  /// Graceful leave: drain cells, close the socket, join the run thread.
+  /// Idempotent.
+  void stop();
+
+  /// Abrupt-death test hook (the in-process stand-in for `kill -9`): shut
+  /// the socket down right now from the caller's thread and stop without
+  /// draining.  The coordinator sees EOF immediately.
+  void kill();
+
+  [[nodiscard]] bool running() const { return !done_.load(); }
+  [[nodiscard]] bool connected() const { return connected_.load(); }
+  /// Leases currently held (== cells currently running here).
+  [[nodiscard]] std::size_t n_cells() const { return n_cells_.load(); }
+  /// Lifetime slots delivered across all cells ever leased to this worker.
+  [[nodiscard]] std::uint64_t slots_total() const {
+    return slots_total_.load();
+  }
+  /// Non-empty after the coordinator rejected our wire version.
+  [[nodiscard]] std::string protocol_error() const;
+
+  [[nodiscard]] const WorkerConfig& config() const { return config_; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+
+  /// SlotSink that buffers cell-level store rows (kCellDcis /
+  /// kCellUsedPrbs / kCellSparePrbs, tracking slots only) for the next
+  /// kCellReport.  One per leased cell; it outlives the cell's pipeline
+  /// incarnations, so its slot counter is monotonic across worker-local
+  /// restarts.  Defined in worker.cc.
+  class RowCollector;
+
+  struct HeldLease {
+    std::uint64_t lease_id = 0;
+    std::uint32_t cell_index = 0;  ///< fleet-global index
+    std::uint32_t local_index = 0; ///< index inside the orchestrator
+    Clock::time_point expires_at{};
+    std::shared_ptr<RowCollector> collector;
+  };
+
+  void run();
+  bool connect_once();
+  void disconnect();
+  void drain_socket();
+  void handle_frame(const Frame& frame);
+  void handle_lease(const LeaseGrant& grant);
+  void handle_revoke(const LeaseRevoke& revoke);
+  void drop_lease(std::uint64_t lease_id);
+  void expire_leases(Clock::time_point now);
+  void send_heartbeat();
+  void send_reports();
+  bool send_frame(const std::vector<std::uint8_t>& frame);
+
+  WorkerConfig config_;
+  std::unique_ptr<MetricsRegistry> own_registry_;
+  MetricsRegistry* registry_ = nullptr;
+
+  std::atomic<int> fd_{-1};
+  std::atomic<bool> stop_{false};
+  std::atomic<bool> killed_{false};
+  std::atomic<bool> done_{false};
+  std::atomic<bool> connected_{false};
+  std::atomic<std::size_t> n_cells_{0};
+  std::atomic<std::uint64_t> slots_total_{0};
+  std::thread thread_;
+
+  // Run-thread state (no locking needed beyond the atomics above).
+  std::unique_ptr<FleetOrchestrator> orch_;
+  std::unique_ptr<FrameParser> parser_;
+  std::map<std::uint64_t, HeldLease> leases_;  ///< by lease_id
+  std::map<std::uint32_t, std::shared_ptr<RowCollector>>
+      collectors_;  ///< by orchestrator-local index
+  std::uint64_t heartbeat_seq_ = 0;
+  std::uint64_t dropped_slots_ = 0;  ///< slots from already-dropped leases
+
+  std::mutex join_mutex_;  ///< serializes stop()/kill() joining the thread
+
+  mutable std::mutex protocol_error_mutex_;
+  std::string protocol_error_;
+
+  Counter* m_leases_accepted_ = nullptr;
+  Counter* m_leases_refused_ = nullptr;
+  Counter* m_revokes_ = nullptr;
+  Counter* m_expiries_ = nullptr;
+  Counter* m_reconnects_ = nullptr;
+  Counter* m_heartbeats_ = nullptr;
+  Counter* m_reports_ = nullptr;
+  Gauge* m_cells_ = nullptr;
+};
+
+}  // namespace nrs

@@ -54,6 +54,7 @@ const char* to_string(FleetCellState state) {
     case FleetCellState::kRunning: return "running";
     case FleetCellState::kBackoff: return "backoff";
     case FleetCellState::kFailed: return "failed";
+    case FleetCellState::kDetached: return "detached";
   }
   return "unknown";
 }
@@ -144,22 +145,48 @@ FleetOrchestrator::FleetOrchestrator(FleetConfig config,
       m_crashes_(&registry.counter("fleet.crashes")),
       m_stalls_(&registry.counter("fleet.stalls")),
       m_resync_escalations_(&registry.counter("fleet.resync_escalations")) {
-  cells_.reserve(config_.cells.size());
-  for (std::uint32_t i = 0; i < config_.cells.size(); ++i) {
-    auto runner = std::make_unique<CellRunner>();
-    runner->spec = std::move(config_.cells[i]);
-    runner->index = i;
-    aggregator_.add_cell(i, runner->spec.cell);
-    MetricsNamespace ns =
-        registry.with_prefix("fleet.cell" + std::to_string(i) + ".");
-    runner->m_latency = &ns.histogram("slot_latency_us");
-    runner->m_state = &ns.gauge("state");
-    cells_.push_back(std::move(runner));
-  }
+  std::vector<FleetCellSpec> specs = std::move(config_.cells);
   config_.cells.clear();
-  for (auto& runner : cells_) {
-    start_cell(*runner);
+  cells_.reserve(specs.size());
+  for (FleetCellSpec& spec : specs) {
+    add_cell(std::move(spec));
   }
+}
+
+std::uint32_t FleetOrchestrator::add_cell(FleetCellSpec spec,
+                                          unsigned initial_incarnation) {
+  const auto index = static_cast<std::uint32_t>(cells_.size());
+  auto runner = std::make_unique<CellRunner>();
+  runner->spec = std::move(spec);
+  runner->index = index;
+  runner->incarnation = initial_incarnation;
+  aggregator_.add_cell(index, runner->spec.cell);
+  MetricsNamespace ns =
+      registry_->with_prefix("fleet.cell" + std::to_string(index) + ".");
+  runner->m_latency = &ns.histogram("slot_latency_us");
+  runner->m_state = &ns.gauge("state");
+  cells_.push_back(std::move(runner));
+  start_cell(*cells_.back());
+  return index;
+}
+
+bool FleetOrchestrator::remove_cell(std::uint32_t cell_index) {
+  if (cell_index >= cells_.size()) {
+    return false;
+  }
+  CellRunner& runner = *cells_[cell_index];
+  if (runner.state == FleetCellState::kDetached) {
+    return false;
+  }
+  if (runner.pipeline != nullptr) {
+    runner.pipeline->stop();  // drains accepted slots into the aggregator
+  }
+  runner.pipeline.reset();
+  runner.radio.reset();
+  runner.gnb.reset();
+  runner.feed.reset();
+  set_state(runner, FleetCellState::kDetached);
+  return true;
 }
 
 FleetOrchestrator::~FleetOrchestrator() { stop(); }
@@ -195,8 +222,12 @@ void FleetOrchestrator::add_ues(CellRunner& runner, std::uint64_t seed) {
 }
 
 void FleetOrchestrator::start_cell(CellRunner& runner) {
+  // A per-spec seed base replaces (fleet seed, cell index): leased cells
+  // stay deterministic across workers regardless of local index.
   const std::uint64_t seed =
-      cell_seed(config_.seed, runner.index, runner.incarnation);
+      runner.spec.seed != 0
+          ? cell_seed(runner.spec.seed, 0, runner.incarnation)
+          : cell_seed(config_.seed, runner.index, runner.incarnation);
 
   build_gnb(runner, seed);
 
@@ -440,7 +471,8 @@ void FleetOrchestrator::run_until(std::uint64_t target_slots) {
     bool any_live = false;
     bool all_done = true;
     for (const auto& cp : cells_) {
-      if (cp->state == FleetCellState::kFailed) {
+      if (cp->state == FleetCellState::kFailed ||
+          cp->state == FleetCellState::kDetached) {
         continue;
       }
       any_live = true;

@@ -54,8 +54,9 @@ namespace nrs {
 
 enum class FleetCellState : std::uint8_t {
   kRunning = 0,
-  kBackoff = 1,  ///< torn down, waiting for the restart deadline
-  kFailed = 2,   ///< exceeded max_restarts; permanently down
+  kBackoff = 1,   ///< torn down, waiting for the restart deadline
+  kFailed = 2,    ///< exceeded max_restarts; permanently down
+  kDetached = 3,  ///< removed at runtime (remove_cell); never restarted
 };
 
 const char* to_string(FleetCellState state);
@@ -88,6 +89,13 @@ struct FleetCellSpec {
   /// feeder-level kinds (timing jump, gNB restart, SIB1 change) fire in
   /// advance_cell at their start slot.  Validated at start_cell.
   FaultSchedule faults;
+  /// Per-cell seed base override.  0 (default) derives the cell's seeds
+  /// from (fleet seed, cell index, incarnation); non-zero replaces the
+  /// (fleet seed, cell index) part, which is what a distributed worker
+  /// needs — the coordinator picks one base per *global* cell, so the same
+  /// cell draws the same stream no matter which worker (and at which local
+  /// index) it lands on.
+  std::uint64_t seed = 0;
 };
 
 struct FleetConfig {
@@ -171,6 +179,22 @@ class FleetOrchestrator {
   /// Unregister the factory and detach the sink from every live cell.
   /// False when no factory of that name was registered.
   bool detach_sink(const std::string& name);
+
+  /// Append and start one cell at runtime (the lease-driven grow path of a
+  /// distributed worker).  `initial_incarnation` seeds the supervisor's
+  /// incarnation counter, so a cell handed off from a dead worker resumes
+  /// with a fresh deterministic stream instead of replaying its old one.
+  /// Returns the new cell's index.  Not thread-safe with tick(); call from
+  /// the supervising thread.
+  std::uint32_t add_cell(FleetCellSpec spec,
+                         unsigned initial_incarnation = 0);
+
+  /// Tear the cell down (pipeline drains into the aggregator) and mark it
+  /// kDetached: the supervisor never restarts it, ticks skip it, and its
+  /// aggregator totals freeze in place.  Indices of other cells do not
+  /// shift.  False when the index is out of range or the cell is already
+  /// detached.  Not thread-safe with tick().
+  bool remove_cell(std::uint32_t cell_index);
 
   [[nodiscard]] std::size_t n_cells() const { return cells_.size(); }
   [[nodiscard]] FleetCellState cell_state(std::uint32_t cell_index) const;

@@ -53,6 +53,7 @@ TelemetryStreamClient::TelemetryStreamClient(
   m_queries_sent_ = &registry->counter("net.client.queries_sent");
   m_query_responses_ = &registry->counter("net.client.query_responses");
   m_query_timeouts_ = &registry->counter("net.client.query_timeouts");
+  m_version_rejected_ = &registry->counter("net.client.version_rejected");
   reader_ = std::thread([this] { run(); });
 }
 
@@ -105,6 +106,11 @@ std::optional<QueryResponse> TelemetryStreamClient::query(
     return std::nullopt;
   }
   return future.get();
+}
+
+std::string TelemetryStreamClient::protocol_error() const {
+  std::lock_guard lock(protocol_error_mutex_);
+  return protocol_error_;
 }
 
 void TelemetryStreamClient::fail_pending_queries(const char* reason) {
@@ -272,6 +278,8 @@ bool TelemetryStreamClient::dispatch_frame(const Frame& frame) {
       {FrameType::kEnd, &TelemetryStreamClient::handle_end},
       {FrameType::kQueryResult,
        &TelemetryStreamClient::handle_query_result},
+      {FrameType::kUnsupportedVersion,
+       &TelemetryStreamClient::handle_version_reject},
   };
   for (const auto& row : kTable) {
     if (row.type == frame.type) {
@@ -336,6 +344,32 @@ bool TelemetryStreamClient::handle_end(const Frame&) {
     handlers_.on_end_of_stream();
   }
   return config_.stop_on_end_of_stream;
+}
+
+bool TelemetryStreamClient::handle_version_reject(const Frame& frame) {
+  VersionReject reject;
+  if (auto decoded = decode_version_reject(frame.payload)) {
+    reject = std::move(*decoded);
+  } else {
+    m_decode_errors_->inc();
+    reject.message = "server rejected protocol version (unreadable detail)";
+  }
+  m_version_rejected_->inc();
+  {
+    std::lock_guard lock(protocol_error_mutex_);
+    protocol_error_ = "server rejected protocol version " +
+                      std::to_string(reject.rejected) + " (supports " +
+                      std::to_string(reject.min_version) + ".." +
+                      std::to_string(reject.max_version) + ")";
+    if (!reject.message.empty()) {
+      protocol_error_ += ": " + reject.message;
+    }
+  }
+  if (handlers_.on_protocol_error) {
+    handlers_.on_protocol_error(reject);
+  }
+  // Reconnecting cannot fix a version mismatch: stop the reader for good.
+  return true;
 }
 
 bool TelemetryStreamClient::handle_query_result(const Frame& frame) {

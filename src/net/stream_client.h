@@ -60,6 +60,11 @@ struct StreamClientHandlers {
   std::function<void(const FleetSummary&)> on_fleet;
   std::function<void()> on_disconnected;
   std::function<void()> on_end_of_stream;
+  /// The server rejected this client's protocol version (a structured
+  /// kUnsupportedVersion frame arrived).  The client records the reject
+  /// (see protocol_error()) and stops — reconnecting cannot help, the two
+  /// binaries disagree about the protocol.
+  std::function<void(const VersionReject&)> on_protocol_error;
 };
 
 class TelemetryStreamClient {
@@ -92,6 +97,11 @@ class TelemetryStreamClient {
   [[nodiscard]] bool connected() const { return connected_.load(); }
   /// True once an end-of-stream frame has been received.
   [[nodiscard]] bool end_of_stream() const { return saw_end_.load(); }
+  /// Set when the server answered with kUnsupportedVersion: a
+  /// human-readable description of the version mismatch.  Empty when no
+  /// protocol error has occurred.  The reader thread has stopped (no
+  /// reconnect) once this is non-empty.
+  [[nodiscard]] std::string protocol_error() const;
   /// True when the reader thread has exited (end of stream, stop(), or
   /// the reconnect budget ran out).
   [[nodiscard]] bool finished() const { return finished_.load(); }
@@ -118,6 +128,7 @@ class TelemetryStreamClient {
   bool handle_heartbeat(const Frame& frame);
   bool handle_end(const Frame& frame);
   bool handle_query_result(const Frame& frame);
+  bool handle_version_reject(const Frame& frame);
 
   /// Resolve every in-flight query with status kUnavailable (connection
   /// dropped / client stopping) so no caller blocks out its full timeout.
@@ -135,6 +146,8 @@ class TelemetryStreamClient {
 
   std::mutex state_mutex_;
   std::condition_variable state_cv_;
+  mutable std::mutex protocol_error_mutex_;
+  std::string protocol_error_;
 
   // Request path: one writer at a time on the socket, and the reader
   // thread pairs kQueryResult frames to waiting callers by correlation ID.
@@ -154,6 +167,7 @@ class TelemetryStreamClient {
   Counter* m_queries_sent_ = nullptr;
   Counter* m_query_responses_ = nullptr;
   Counter* m_query_timeouts_ = nullptr;
+  Counter* m_version_rejected_ = nullptr;
 };
 
 }  // namespace nrs

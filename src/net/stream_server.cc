@@ -69,6 +69,7 @@ TelemetryStreamServer::TelemetryStreamServer(
   m_connects_ = &registry_->counter("net.client_connects");
   m_disconnects_ = &registry_->counter("net.client_disconnects");
   m_send_errors_ = &registry_->counter("net.send_errors");
+  m_version_rejects_ = &registry_->counter("net.version_rejects");
   m_clients_ = &registry_->gauge("net.clients");
   m_query_requests_ = &registry_->counter("query.requests");
   m_query_errors_ = &registry_->counter("query.errors");
@@ -269,9 +270,24 @@ void TelemetryStreamServer::read_client(
     }
   }
   if (client->parser.error()) {
-    // Garbage on the request stream: the framing is unrecoverable, so
-    // drop the connection rather than guess at resync.
-    m_query_errors_->inc();
+    if (const auto rejected = client->parser.rejected_version()) {
+      // The peer speaks a protocol version outside our window.  Tell it so
+      // with a structured reject frame (best effort, synchronous — the
+      // send mutex keeps the sender thread from interleaving a frame)
+      // before dropping the connection, so old clients see a clear error
+      // instead of a silent disconnect.
+      m_version_rejects_->inc();
+      VersionReject reject;
+      reject.rejected = *rejected;
+      reject.message = client->parser.error_message();
+      const std::vector<std::uint8_t> frame = version_reject_frame(reject);
+      std::lock_guard lock(client->send_mutex);
+      send_all(client->fd, frame.data(), frame.size());
+    } else {
+      // Garbage on the request stream: the framing is unrecoverable, so
+      // drop the connection rather than guess at resync.
+      m_query_errors_->inc();
+    }
     client->dead.store(true);
     client->queue.close();
   }
@@ -341,7 +357,12 @@ void TelemetryStreamServer::sender_loop(Client& client) {
       }
       // Idle: keep the connection observably alive.
       const std::vector<std::uint8_t> beat = heartbeat_frame();
-      if (!send_all(client.fd, beat.data(), beat.size())) {
+      bool sent = false;
+      {
+        std::lock_guard lock(client.send_mutex);
+        sent = send_all(client.fd, beat.data(), beat.size());
+      }
+      if (!sent) {
         m_send_errors_->inc();
         break;
       }
@@ -349,7 +370,12 @@ void TelemetryStreamServer::sender_loop(Client& client) {
       m_bytes_sent_->inc(beat.size());
       continue;
     }
-    if (!send_all(client.fd, (*frame)->data(), (*frame)->size())) {
+    bool sent = false;
+    {
+      std::lock_guard lock(client.send_mutex);
+      sent = send_all(client.fd, (*frame)->data(), (*frame)->size());
+    }
+    if (!sent) {
       m_send_errors_->inc();
       break;
     }

@@ -115,6 +115,10 @@ class TelemetryStreamServer : public SlotSink {
     /// Inbound request parser; touched only by the accept/housekeeping
     /// thread.
     FrameParser parser;
+    /// Serializes writes to `fd`: the sender thread holds it per frame, and
+    /// the housekeeping thread takes it to inject a synchronous
+    /// kUnsupportedVersion reply without tearing a frame in half.
+    std::mutex send_mutex;
   };
 
   void accept_loop();
@@ -161,6 +165,7 @@ class TelemetryStreamServer : public SlotSink {
   Counter* m_connects_ = nullptr;
   Counter* m_disconnects_ = nullptr;
   Counter* m_send_errors_ = nullptr;
+  Counter* m_version_rejects_ = nullptr;
   Gauge* m_clients_ = nullptr;
   Counter* m_query_requests_ = nullptr;
   Counter* m_query_errors_ = nullptr;

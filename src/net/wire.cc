@@ -16,6 +16,13 @@ const char* to_string(FrameType type) {
     case FrameType::kFleet: return "fleet";
     case FrameType::kQuery: return "query";
     case FrameType::kQueryResult: return "query_result";
+    case FrameType::kWorkerHello: return "worker_hello";
+    case FrameType::kLease: return "lease";
+    case FrameType::kLeaseAck: return "lease_ack";
+    case FrameType::kWorkerHeartbeat: return "worker_heartbeat";
+    case FrameType::kCellReport: return "cell_report";
+    case FrameType::kLeaseRevoke: return "lease_revoke";
+    case FrameType::kUnsupportedVersion: return "unsupported_version";
   }
   return "unknown";
 }
@@ -137,9 +144,15 @@ std::string WireReader::str() {
 
 std::vector<std::uint8_t> encode_frame(
     FrameType type, std::span<const std::uint8_t> payload) {
+  return encode_frame_with_version(kWireVersion, type, payload);
+}
+
+std::vector<std::uint8_t> encode_frame_with_version(
+    std::uint16_t version, FrameType type,
+    std::span<const std::uint8_t> payload) {
   WireWriter w;
   w.u32(kWireMagic);
-  w.u16(kWireVersion);
+  w.u16(version);
   w.u16(static_cast<std::uint16_t>(type));
   w.u32(static_cast<std::uint32_t>(payload.size()));
   w.bytes(payload);
@@ -177,8 +190,11 @@ std::optional<Frame> FrameParser::next() {
     error_ = "bad magic";
     return std::nullopt;
   }
-  if (version != kWireVersion) {
-    error_ = "unsupported protocol version " + std::to_string(version);
+  if (version < kWireMinVersion || version > kWireVersion) {
+    error_ = "unsupported protocol version " + std::to_string(version) +
+             " (supported " + std::to_string(kWireMinVersion) + ".." +
+             std::to_string(kWireVersion) + ")";
+    rejected_version_ = version;
     return std::nullopt;
   }
   if (len > kWireMaxPayload) {
@@ -783,6 +799,277 @@ std::vector<std::uint8_t> fleet_frame(const FleetSummary& summary) {
   WireWriter w;
   encode_fleet(summary, w);
   return encode_frame(FrameType::kFleet, w.data());
+}
+
+// ---- Distributed fleet codecs ----------------------------------------
+
+void encode_version_reject(const VersionReject& reject, WireWriter& w) {
+  w.u16(reject.rejected);
+  w.u16(reject.min_version);
+  w.u16(reject.max_version);
+  w.str(reject.message);
+}
+
+std::optional<VersionReject> decode_version_reject(
+    std::span<const std::uint8_t> payload) {
+  WireReader r(payload);
+  VersionReject reject;
+  reject.rejected = r.u16();
+  reject.min_version = r.u16();
+  reject.max_version = r.u16();
+  reject.message = r.str();
+  if (!r.done()) {
+    return std::nullopt;
+  }
+  return reject;
+}
+
+void encode_worker_hello(const WorkerHello& hello, WireWriter& w) {
+  w.str(hello.name);
+  w.u32(hello.capacity);
+  w.u16(hello.version);
+  w.u32(hello.pool_threads);
+}
+
+std::optional<WorkerHello> decode_worker_hello(
+    std::span<const std::uint8_t> payload) {
+  WireReader r(payload);
+  WorkerHello hello;
+  hello.name = r.str();
+  hello.capacity = r.u32();
+  hello.version = r.u16();
+  hello.pool_threads = r.u32();
+  if (!r.done()) {
+    return std::nullopt;
+  }
+  return hello;
+}
+
+namespace {
+
+void encode_cell_spec(const WireCellSpec& spec, WireWriter& w) {
+  w.u32(spec.cell_index);
+  w.str(spec.name);
+  w.str(spec.preset);
+  w.u16(spec.pci);
+  w.u32(spec.n_ues);
+  w.f64(spec.ue_rate_bps);
+  w.f64(spec.ue_snr_db);
+  w.f64(spec.sniffer_snr_db);
+  w.u64(spec.seed);
+  w.u32(spec.incarnation);
+}
+
+bool decode_cell_spec(WireReader& r, WireCellSpec& spec) {
+  spec.cell_index = r.u32();
+  spec.name = r.str();
+  spec.preset = r.str();
+  spec.pci = r.u16();
+  spec.n_ues = r.u32();
+  spec.ue_rate_bps = r.f64();
+  spec.ue_snr_db = r.f64();
+  spec.sniffer_snr_db = r.f64();
+  spec.seed = r.u64();
+  spec.incarnation = r.u32();
+  return r.ok();
+}
+
+}  // namespace
+
+void encode_lease(const LeaseGrant& lease, WireWriter& w) {
+  w.u64(lease.lease_id);
+  w.u32(lease.ttl_ms);
+  w.u64(lease.base_slot);
+  encode_cell_spec(lease.spec, w);
+}
+
+std::optional<LeaseGrant> decode_lease(
+    std::span<const std::uint8_t> payload) {
+  WireReader r(payload);
+  LeaseGrant lease;
+  lease.lease_id = r.u64();
+  lease.ttl_ms = r.u32();
+  lease.base_slot = r.u64();
+  if (!decode_cell_spec(r, lease.spec) || !r.done()) {
+    return std::nullopt;
+  }
+  return lease;
+}
+
+void encode_lease_ack(const LeaseAck& ack, WireWriter& w) {
+  w.u64(ack.lease_id);
+  w.u32(ack.cell_index);
+  w.u8(ack.accepted ? 1 : 0);
+  w.str(ack.message);
+}
+
+std::optional<LeaseAck> decode_lease_ack(
+    std::span<const std::uint8_t> payload) {
+  WireReader r(payload);
+  LeaseAck ack;
+  ack.lease_id = r.u64();
+  ack.cell_index = r.u32();
+  ack.accepted = r.u8() != 0;
+  ack.message = r.str();
+  if (!r.done()) {
+    return std::nullopt;
+  }
+  return ack;
+}
+
+void encode_worker_heartbeat(const WorkerHeartbeat& hb, WireWriter& w) {
+  w.u64(hb.seq);
+  w.u32(static_cast<std::uint32_t>(hb.leases.size()));
+  for (const LeaseStatus& lease : hb.leases) {
+    w.u64(lease.lease_id);
+    w.u32(lease.cell_index);
+    w.u64(lease.slots);
+    w.u8(lease.cell_state);
+  }
+}
+
+std::optional<WorkerHeartbeat> decode_worker_heartbeat(
+    std::span<const std::uint8_t> payload) {
+  WireReader r(payload);
+  WorkerHeartbeat hb;
+  hb.seq = r.u64();
+  const std::uint32_t n_leases = r.u32();
+  if (!r.ok() || n_leases > r.remaining()) {
+    return std::nullopt;
+  }
+  hb.leases.reserve(n_leases);
+  for (std::uint32_t i = 0; i < n_leases; ++i) {
+    LeaseStatus lease;
+    lease.lease_id = r.u64();
+    lease.cell_index = r.u32();
+    lease.slots = r.u64();
+    lease.cell_state = r.u8();
+    hb.leases.push_back(lease);
+  }
+  if (!r.done()) {
+    return std::nullopt;
+  }
+  return hb;
+}
+
+void encode_cell_report(const CellReport& report, WireWriter& w) {
+  w.u64(report.lease_id);
+  w.u32(report.cell_index);
+  w.u8(report.cell_state);
+  w.u64(report.slots);
+  w.u64(report.dcis);
+  w.u64(report.retx_dcis);
+  w.u64(report.restarts);
+  w.u32(report.active_ues);
+  w.f64(report.dl_mbps);
+  w.f64(report.ul_mbps);
+  w.f64(report.retx_rate);
+  w.f64(report.utilization);
+  w.f64(report.spare_prb_rate);
+  w.u32(static_cast<std::uint32_t>(report.rows.size()));
+  for (const StoreRowUpdate& row : report.rows) {
+    w.u16(row.rnti);
+    w.u8(row.metric);
+    w.u64(row.slot);
+    w.f64(row.value);
+  }
+}
+
+std::optional<CellReport> decode_cell_report(
+    std::span<const std::uint8_t> payload) {
+  WireReader r(payload);
+  CellReport report;
+  report.lease_id = r.u64();
+  report.cell_index = r.u32();
+  report.cell_state = r.u8();
+  report.slots = r.u64();
+  report.dcis = r.u64();
+  report.retx_dcis = r.u64();
+  report.restarts = r.u64();
+  report.active_ues = r.u32();
+  report.dl_mbps = r.f64();
+  report.ul_mbps = r.f64();
+  report.retx_rate = r.f64();
+  report.utilization = r.f64();
+  report.spare_prb_rate = r.f64();
+  const std::uint32_t n_rows = r.u32();
+  if (!r.ok() || n_rows > r.remaining()) {
+    return std::nullopt;
+  }
+  report.rows.reserve(n_rows);
+  for (std::uint32_t i = 0; i < n_rows; ++i) {
+    StoreRowUpdate row;
+    row.rnti = r.u16();
+    row.metric = r.u8();
+    row.slot = r.u64();
+    row.value = r.f64();
+    report.rows.push_back(row);
+  }
+  if (!r.done()) {
+    return std::nullopt;
+  }
+  return report;
+}
+
+void encode_lease_revoke(const LeaseRevoke& revoke, WireWriter& w) {
+  w.u64(revoke.lease_id);
+  w.u32(revoke.cell_index);
+  w.str(revoke.reason);
+}
+
+std::optional<LeaseRevoke> decode_lease_revoke(
+    std::span<const std::uint8_t> payload) {
+  WireReader r(payload);
+  LeaseRevoke revoke;
+  revoke.lease_id = r.u64();
+  revoke.cell_index = r.u32();
+  revoke.reason = r.str();
+  if (!r.done()) {
+    return std::nullopt;
+  }
+  return revoke;
+}
+
+std::vector<std::uint8_t> version_reject_frame(const VersionReject& reject) {
+  WireWriter w;
+  encode_version_reject(reject, w);
+  return encode_frame(FrameType::kUnsupportedVersion, w.data());
+}
+
+std::vector<std::uint8_t> worker_hello_frame(const WorkerHello& hello) {
+  WireWriter w;
+  encode_worker_hello(hello, w);
+  return encode_frame(FrameType::kWorkerHello, w.data());
+}
+
+std::vector<std::uint8_t> lease_frame(const LeaseGrant& lease) {
+  WireWriter w;
+  encode_lease(lease, w);
+  return encode_frame(FrameType::kLease, w.data());
+}
+
+std::vector<std::uint8_t> lease_ack_frame(const LeaseAck& ack) {
+  WireWriter w;
+  encode_lease_ack(ack, w);
+  return encode_frame(FrameType::kLeaseAck, w.data());
+}
+
+std::vector<std::uint8_t> worker_heartbeat_frame(const WorkerHeartbeat& hb) {
+  WireWriter w;
+  encode_worker_heartbeat(hb, w);
+  return encode_frame(FrameType::kWorkerHeartbeat, w.data());
+}
+
+std::vector<std::uint8_t> cell_report_frame(const CellReport& report) {
+  WireWriter w;
+  encode_cell_report(report, w);
+  return encode_frame(FrameType::kCellReport, w.data());
+}
+
+std::vector<std::uint8_t> lease_revoke_frame(const LeaseRevoke& revoke) {
+  WireWriter w;
+  encode_lease_revoke(revoke, w);
+  return encode_frame(FrameType::kLeaseRevoke, w.data());
 }
 
 std::vector<std::uint8_t> heartbeat_frame() {

@@ -28,8 +28,15 @@
 namespace nrs {
 
 inline constexpr std::uint32_t kWireMagic = 0x4E525357;  // "NRSW"
-/// v2 added the request/response query frames (kQuery / kQueryResult).
-inline constexpr std::uint16_t kWireVersion = 2;
+/// v2 added the request/response query frames (kQuery / kQueryResult);
+/// v3 added the distributed-fleet work-assignment frames (worker hello,
+/// leases, heartbeats, cell reports) and the structured version-reject
+/// frame.
+inline constexpr std::uint16_t kWireVersion = 3;
+/// Oldest peer version still accepted.  v1 predates the query frames and
+/// the correlation-ID discipline, so it is no longer interoperable; a v1
+/// peer is answered with a kUnsupportedVersion frame and disconnected.
+inline constexpr std::uint16_t kWireMinVersion = 2;
 /// Upper bound on a sane payload; a bigger announced length means the
 /// stream is corrupt (or hostile) and the connection should be dropped.
 inline constexpr std::uint32_t kWireMaxPayload = 64u * 1024u * 1024u;
@@ -45,6 +52,18 @@ enum class FrameType : std::uint16_t {
   kFleet = 6,      ///< one serialized FleetSummary (cross-cell rollup)
   kQuery = 7,        ///< client -> server: one QueryRequest
   kQueryResult = 8,  ///< server -> client: the matching QueryResponse
+  // Distributed fleet (coordinator/worker work assignment), v3.
+  kWorkerHello = 9,       ///< worker -> coordinator: join the fleet
+  kLease = 10,            ///< coordinator -> worker: grant/renew one cell
+  kLeaseAck = 11,         ///< worker -> coordinator: accept/refuse a lease
+  kWorkerHeartbeat = 12,  ///< worker -> coordinator: liveness + lease state
+  kCellReport = 13,       ///< worker -> coordinator: per-cell telemetry
+  kLeaseRevoke = 14,      ///< coordinator -> worker: stop running a cell
+  /// Structured protocol-mismatch error: sent (best effort) to a peer whose
+  /// frames carry a version outside [kWireMinVersion, kWireVersion] right
+  /// before the connection is dropped, so old clients see a clear error
+  /// instead of a silent disconnect.
+  kUnsupportedVersion = 15,
 };
 
 const char* to_string(FrameType type);
@@ -178,6 +197,134 @@ struct QueryResponse {
   [[nodiscard]] bool operator==(const QueryResponse&) const = default;
 };
 
+// ---- Distributed fleet (coordinator/worker) --------------------------
+//
+// The wire layer defines the work-assignment *shapes* only; granting,
+// renewing and revoking leases is src/dist's business.  Cell specs travel
+// as (preset name + overrides) rather than a full CellConfig dump: both
+// ends of the protocol link the preset table, and an unknown preset is a
+// lease refusal, not a decode error.
+
+/// Payload of FrameType::kUnsupportedVersion.
+struct VersionReject {
+  std::uint16_t rejected = 0;  ///< the version the peer spoke
+  std::uint16_t min_version = kWireMinVersion;
+  std::uint16_t max_version = kWireVersion;
+  std::string message;
+  [[nodiscard]] bool operator==(const VersionReject&) const = default;
+};
+
+/// Worker -> coordinator greeting: who I am and how many cells I can run.
+struct WorkerHello {
+  std::string name;
+  std::uint32_t capacity = 1;  ///< max concurrent cell leases
+  std::uint16_t version = kWireVersion;
+  std::uint32_t pool_threads = 0;  ///< informational (capacity planning)
+  [[nodiscard]] bool operator==(const WorkerHello&) const = default;
+};
+
+/// Everything a worker needs to run one cell: a preset name plus the
+/// overrides the coordinator chose.  `incarnation` is the cell's handoff
+/// count — seeds derive from (seed, incarnation), so a reassigned cell
+/// draws a fresh but reproducible stream on its new worker.
+struct WireCellSpec {
+  std::uint32_t cell_index = 0;  ///< fleet-global index
+  std::string name;
+  std::string preset;
+  std::uint16_t pci = 0;  ///< 0 = keep the preset's PCI
+  std::uint32_t n_ues = 2;
+  double ue_rate_bps = 2e6;
+  double ue_snr_db = 18.0;
+  double sniffer_snr_db = 28.0;
+  std::uint64_t seed = 1;
+  std::uint32_t incarnation = 0;
+  [[nodiscard]] bool operator==(const WireCellSpec&) const = default;
+};
+
+/// Coordinator -> worker: run `spec` under lease `lease_id` for `ttl_ms`.
+/// A grant for a lease_id the worker already holds is a renewal (the TTL
+/// clock restarts); the spec is identical by construction.
+struct LeaseGrant {
+  std::uint64_t lease_id = 0;
+  std::uint32_t ttl_ms = 0;
+  /// Coordinator-side lifetime slots already credited to this cell by
+  /// earlier leases (informational: lets a worker log global positions).
+  std::uint64_t base_slot = 0;
+  WireCellSpec spec;
+  [[nodiscard]] bool operator==(const LeaseGrant&) const = default;
+};
+
+/// Worker -> coordinator: lease accepted (cell is starting) or refused
+/// (unknown preset, over capacity) with a reason.
+struct LeaseAck {
+  std::uint64_t lease_id = 0;
+  std::uint32_t cell_index = 0;
+  bool accepted = false;
+  std::string message;
+  [[nodiscard]] bool operator==(const LeaseAck&) const = default;
+};
+
+/// One held lease's state inside a worker heartbeat.
+struct LeaseStatus {
+  std::uint64_t lease_id = 0;
+  std::uint32_t cell_index = 0;
+  std::uint64_t slots = 0;      ///< slots delivered within this lease
+  std::uint8_t cell_state = 0;  ///< raw FleetCellState
+  [[nodiscard]] bool operator==(const LeaseStatus&) const = default;
+};
+
+/// Worker -> coordinator liveness.  Receiving one renews every listed
+/// lease; a worker that goes silent past the heartbeat timeout is declared
+/// dead and its cells are reassigned.
+struct WorkerHeartbeat {
+  std::uint64_t seq = 0;
+  std::vector<LeaseStatus> leases;
+  [[nodiscard]] bool operator==(const WorkerHeartbeat&) const = default;
+};
+
+/// One history-store row forwarded inside a cell report.  `slot` is
+/// lease-local; the coordinator rebases it onto the cell's lifetime slot
+/// axis before ingest.
+struct StoreRowUpdate {
+  std::uint16_t rnti = 0;
+  std::uint8_t metric = 0;  ///< raw StoreMetric
+  std::uint64_t slot = 0;
+  double value = 0.0;
+  [[nodiscard]] bool operator==(const StoreRowUpdate&) const = default;
+};
+
+/// Worker -> coordinator: one cell's telemetry under one lease.  Counters
+/// are lease-local lifetime totals (monotonic within the lease); the
+/// coordinator adds them to the totals committed by earlier leases, which
+/// is what keeps the fleet view monotonic across a reassignment.
+struct CellReport {
+  std::uint64_t lease_id = 0;
+  std::uint32_t cell_index = 0;
+  std::uint8_t cell_state = 0;  ///< raw FleetCellState
+  std::uint64_t slots = 0;
+  std::uint64_t dcis = 0;
+  std::uint64_t retx_dcis = 0;
+  std::uint64_t restarts = 0;  ///< worker-supervisor restarts, this lease
+  std::uint32_t active_ues = 0;
+  double dl_mbps = 0.0;
+  double ul_mbps = 0.0;
+  double retx_rate = 0.0;
+  double utilization = 0.0;
+  double spare_prb_rate = 0.0;
+  std::vector<StoreRowUpdate> rows;
+  [[nodiscard]] bool operator==(const CellReport&) const = default;
+};
+
+/// Coordinator -> worker: stop running this cell (rebalance toward a
+/// newly joined worker, or an operator decision).  The worker tears the
+/// cell down and stops reporting under this lease.
+struct LeaseRevoke {
+  std::uint64_t lease_id = 0;
+  std::uint32_t cell_index = 0;
+  std::string reason;
+  [[nodiscard]] bool operator==(const LeaseRevoke&) const = default;
+};
+
 // ---- Byte-level primitives -------------------------------------------
 
 /// Appends little-endian fields to a byte buffer.
@@ -242,11 +389,21 @@ struct Frame {
 std::vector<std::uint8_t> encode_frame(FrameType type,
                                        std::span<const std::uint8_t> payload);
 
+/// Like encode_frame but stamping an explicit protocol version into the
+/// header.  Exists for mixed-version interop tests (impersonating an old
+/// peer); production senders always use encode_frame.
+std::vector<std::uint8_t> encode_frame_with_version(
+    std::uint16_t version, FrameType type,
+    std::span<const std::uint8_t> payload);
+
 /// Incremental frame parser for a TCP byte stream: feed() arbitrary chunks,
-/// pop complete frames with next().  A malformed header (bad magic, wrong
-/// version, oversized payload) puts the parser in a sticky error state —
-/// on a reliable transport that means protocol mismatch, and the right
-/// response is to drop the connection.
+/// pop complete frames with next().  A malformed header (bad magic, a
+/// version outside [kWireMinVersion, kWireVersion], oversized payload) puts
+/// the parser in a sticky error state — on a reliable transport that means
+/// protocol mismatch, and the right response is to drop the connection.
+/// When the failure was specifically a version mismatch, the offending
+/// version is recorded so the owner can answer with a structured
+/// kUnsupportedVersion frame before disconnecting.
 class FrameParser {
  public:
   void feed(std::span<const std::uint8_t> data);
@@ -254,11 +411,17 @@ class FrameParser {
 
   [[nodiscard]] bool error() const { return !error_.empty(); }
   [[nodiscard]] const std::string& error_message() const { return error_; }
+  /// Set iff the sticky error is a protocol-version mismatch: the version
+  /// the peer's header announced.
+  [[nodiscard]] std::optional<std::uint16_t> rejected_version() const {
+    return rejected_version_;
+  }
 
  private:
   std::vector<std::uint8_t> buffer_;
   std::size_t consumed_ = 0;
   std::string error_;
+  std::optional<std::uint16_t> rejected_version_;
 };
 
 // ---- Payload codecs --------------------------------------------------
@@ -285,6 +448,33 @@ void encode_query_result(const QueryResponse& response, WireWriter& w);
 std::optional<QueryResponse> decode_query_result(
     std::span<const std::uint8_t> payload);
 
+void encode_version_reject(const VersionReject& reject, WireWriter& w);
+std::optional<VersionReject> decode_version_reject(
+    std::span<const std::uint8_t> payload);
+
+void encode_worker_hello(const WorkerHello& hello, WireWriter& w);
+std::optional<WorkerHello> decode_worker_hello(
+    std::span<const std::uint8_t> payload);
+
+void encode_lease(const LeaseGrant& lease, WireWriter& w);
+std::optional<LeaseGrant> decode_lease(std::span<const std::uint8_t> payload);
+
+void encode_lease_ack(const LeaseAck& ack, WireWriter& w);
+std::optional<LeaseAck> decode_lease_ack(
+    std::span<const std::uint8_t> payload);
+
+void encode_worker_heartbeat(const WorkerHeartbeat& hb, WireWriter& w);
+std::optional<WorkerHeartbeat> decode_worker_heartbeat(
+    std::span<const std::uint8_t> payload);
+
+void encode_cell_report(const CellReport& report, WireWriter& w);
+std::optional<CellReport> decode_cell_report(
+    std::span<const std::uint8_t> payload);
+
+void encode_lease_revoke(const LeaseRevoke& revoke, WireWriter& w);
+std::optional<LeaseRevoke> decode_lease_revoke(
+    std::span<const std::uint8_t> payload);
+
 //// Convenience: payload codec + framing in one call.
 std::vector<std::uint8_t> hello_frame(const HelloInfo& hello);
 std::vector<std::uint8_t> slot_frame(const SlotResult& result);
@@ -292,6 +482,13 @@ std::vector<std::uint8_t> metrics_frame(const MetricsSnapshot& snapshot);
 std::vector<std::uint8_t> fleet_frame(const FleetSummary& summary);
 std::vector<std::uint8_t> query_frame(const QueryRequest& request);
 std::vector<std::uint8_t> query_result_frame(const QueryResponse& response);
+std::vector<std::uint8_t> version_reject_frame(const VersionReject& reject);
+std::vector<std::uint8_t> worker_hello_frame(const WorkerHello& hello);
+std::vector<std::uint8_t> lease_frame(const LeaseGrant& lease);
+std::vector<std::uint8_t> lease_ack_frame(const LeaseAck& ack);
+std::vector<std::uint8_t> worker_heartbeat_frame(const WorkerHeartbeat& hb);
+std::vector<std::uint8_t> cell_report_frame(const CellReport& report);
+std::vector<std::uint8_t> lease_revoke_frame(const LeaseRevoke& revoke);
 std::vector<std::uint8_t> heartbeat_frame();
 std::vector<std::uint8_t> end_frame();
 

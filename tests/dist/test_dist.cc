@@ -1,0 +1,376 @@
+// Distributed-fleet tests in three tiers:
+//
+//   WorkerCatalog / LeaseTable — pure data-structure unit tests (the
+//   coordinator mutates both only on its io thread, so they are testable
+//   without sockets): deterministic placement, refusal penalties, the
+//   bounded-exponential backoff escalation and its reset on progress.
+//
+//   DistE2E — a real FleetCoordinator plus real FleetWorker objects over
+//   loopback TCP in one process.  Covers the acceptance bar end to end:
+//   leases converge, per-cell lifetime totals stay monotonic across an
+//   abrupt worker death (kill(), the in-process `kill -9`), the survivor
+//   absorbs the orphaned cells, a graceful leave releases leases, and a
+//   worker that stops heartbeating while its socket stays open is caught
+//   by the silence scan (not just the EOF fast path).
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "dist/catalog.h"
+#include "dist/coordinator.h"
+#include "dist/lease.h"
+#include "dist/worker.h"
+
+namespace nrs {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+bool wait_until(const std::function<bool()>& pred, double timeout_s = 20.0) {
+  const auto deadline =
+      Clock::now() + std::chrono::duration_cast<Clock::duration>(
+                         std::chrono::duration<double>(timeout_s));
+  while (Clock::now() < deadline) {
+    if (pred()) {
+      return true;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  return pred();
+}
+
+// ---- WorkerCatalog ---------------------------------------------------
+
+TEST(WorkerCatalog, AddAssignsUniqueIdsAndFindWorks) {
+  WorkerCatalog catalog;
+  const auto now = Clock::now();
+  const std::uint64_t a = catalog.add("a", 4, 2, 10, now);
+  const std::uint64_t b = catalog.add("b", 2, 1, 11, now);
+  ASSERT_NE(a, 0u);
+  ASSERT_NE(b, 0u);
+  EXPECT_NE(a, b);
+  ASSERT_NE(catalog.find(a), nullptr);
+  EXPECT_EQ(catalog.find(a)->name, "a");
+  EXPECT_EQ(catalog.find(a)->capacity, 4u);
+  ASSERT_NE(catalog.find_by_fd(11), nullptr);
+  EXPECT_EQ(catalog.find_by_fd(11)->id, b);
+  EXPECT_EQ(catalog.find(9999), nullptr);
+  EXPECT_EQ(catalog.alive_count(), 2u);
+}
+
+TEST(WorkerCatalog, PickLeastLoadedPrefersFewestCellsThenLowestId) {
+  WorkerCatalog catalog;
+  const auto now = Clock::now();
+  const std::uint64_t a = catalog.add("a", 4, 2, 10, now);
+  const std::uint64_t b = catalog.add("b", 4, 2, 11, now);
+  // Tie at zero cells: deterministic lowest id.
+  ASSERT_EQ(catalog.pick_least_loaded(), std::optional<std::uint64_t>(a));
+  catalog.find(a)->cells = {0, 1};
+  ASSERT_EQ(catalog.pick_least_loaded(), std::optional<std::uint64_t>(b));
+  // Saturate both: nothing to pick.
+  catalog.find(a)->cells = {0, 1, 2, 3};
+  catalog.find(b)->cells = {4, 5, 6, 7};
+  EXPECT_FALSE(catalog.pick_least_loaded().has_value());
+}
+
+TEST(WorkerCatalog, DeadWorkersAreNeverPickedAndSilenceIsDetected) {
+  WorkerCatalog catalog;
+  const auto t0 = Clock::now();
+  const std::uint64_t a = catalog.add("a", 4, 2, 10, t0);
+  const std::uint64_t b = catalog.add("b", 4, 2, 11, t0);
+  catalog.mark_dead(a);
+  EXPECT_EQ(catalog.pick_least_loaded(), std::optional<std::uint64_t>(b));
+  EXPECT_EQ(catalog.alive_count(), 1u);
+
+  // b heartbeats at t0 + 1s; a's silence does not matter (already dead).
+  catalog.touch(b, t0 + std::chrono::seconds(1));
+  const auto silent =
+      catalog.silent_since(t0 + std::chrono::milliseconds(1300), 0.4);
+  EXPECT_TRUE(silent.empty());
+  const auto silent2 =
+      catalog.silent_since(t0 + std::chrono::milliseconds(2500), 0.4);
+  ASSERT_EQ(silent2.size(), 1u);
+  EXPECT_EQ(silent2[0], b);
+
+  catalog.remove(a);
+  EXPECT_EQ(catalog.size(), 1u);
+  EXPECT_EQ(catalog.find(a), nullptr);
+}
+
+// ---- LeaseTable ------------------------------------------------------
+
+LeaseTable::Config lease_config() {
+  LeaseTable::Config cfg;
+  cfg.ttl_s = 1.0;
+  cfg.backoff_initial_s = 0.05;
+  cfg.backoff_max_s = 0.4;
+  cfg.backoff_factor = 2.0;
+  return cfg;
+}
+
+TEST(LeaseTable, GrantAckRenewLifecycle) {
+  LeaseTable table(2, lease_config());
+  const auto t0 = Clock::now();
+  const std::uint64_t id = table.grant(0, /*worker_id=*/7, t0);
+  ASSERT_NE(id, 0u);
+  EXPECT_EQ(table.cell(0).state, LeaseState::kPending);
+  EXPECT_EQ(table.cell(0).worker_id, 7u);
+  EXPECT_EQ(table.cell(0).handoffs, 0u);
+  ASSERT_NE(table.by_id(id), nullptr);
+
+  ASSERT_TRUE(table.ack(id, /*accepted=*/true, t0));
+  EXPECT_EQ(table.cell(0).state, LeaseState::kActive);
+  EXPECT_EQ(table.active_count(), 1u);
+
+  // Renewal pushes the expiry past the original TTL.
+  const auto later = t0 + std::chrono::milliseconds(800);
+  ASSERT_TRUE(table.renew(id, later));
+  EXPECT_TRUE(table.expired(t0 + std::chrono::milliseconds(1500)).empty());
+  const auto expired = table.expired(later + std::chrono::milliseconds(1100));
+  ASSERT_EQ(expired.size(), 1u);
+  EXPECT_EQ(expired[0], 0u);
+
+  // Unknown ids are rejected cleanly.
+  EXPECT_FALSE(table.renew(id + 999, later));
+  EXPECT_EQ(table.by_id(id + 999), nullptr);
+}
+
+TEST(LeaseTable, RefusalReleasesWithPenaltyAndBumpsHandoffs) {
+  LeaseTable table(1, lease_config());
+  const auto t0 = Clock::now();
+  const std::uint64_t id = table.grant(0, 7, t0);
+  ASSERT_TRUE(table.ack(id, /*accepted=*/false, t0));
+  EXPECT_EQ(table.cell(0).state, LeaseState::kUnassigned);
+  EXPECT_EQ(table.cell(0).handoffs, 1u);
+  EXPECT_EQ(table.by_id(id), nullptr);
+  // Backoff holds the cell out of the assignable pool until retry_at.
+  EXPECT_TRUE(table.assignable(t0).empty());
+  EXPECT_EQ(table.assignable(t0 + std::chrono::milliseconds(60)).size(), 1u);
+  // The next grant carries the bumped incarnation via handoffs.
+  table.grant(0, 7, t0 + std::chrono::milliseconds(60));
+  EXPECT_EQ(table.cell(0).handoffs, 1u);
+}
+
+TEST(LeaseTable, BackoffEscalatesToCapAndProgressResetsIt) {
+  LeaseTable table(1, lease_config());
+  auto now = Clock::now();
+  // 0.05 -> 0.1 -> 0.2 -> 0.4 (cap) -> 0.4.
+  const double expected[] = {0.05, 0.1, 0.2, 0.4, 0.4};
+  for (const double backoff : expected) {
+    table.grant(0, 7, now);
+    table.release(0, /*penalize=*/true, now);
+    EXPECT_DOUBLE_EQ(table.cell(0).backoff_s, backoff);
+    now += std::chrono::seconds(1);
+  }
+  // Real progress under a fresh lease resets the escalation.
+  table.grant(0, 7, now);
+  table.note_progress(0);
+  table.release(0, /*penalize=*/true, now);
+  EXPECT_DOUBLE_EQ(table.cell(0).backoff_s, 0.05);
+}
+
+TEST(LeaseTable, DeliberateReleaseIsImmediatelyAssignable) {
+  LeaseTable table(1, lease_config());
+  const auto t0 = Clock::now();
+  table.grant(0, 7, t0);
+  table.release(0, /*penalize=*/false, t0);
+  EXPECT_EQ(table.cell(0).handoffs, 1u);
+  ASSERT_EQ(table.assignable(t0).size(), 1u);
+  EXPECT_EQ(table.assignable(t0)[0], 0u);
+}
+
+// ---- End-to-end over loopback ----------------------------------------
+
+CoordinatorConfig coordinator_config(unsigned n_cells) {
+  CoordinatorConfig config;
+  config.seed = 11;
+  for (unsigned i = 0; i < n_cells; ++i) {
+    CoordinatorCellSpec cell;
+    cell.name = "cell" + std::to_string(i);
+    config.cells.push_back(std::move(cell));
+  }
+  return config;
+}
+
+WorkerConfig worker_config(std::uint16_t port, const std::string& name,
+                           std::uint32_t capacity) {
+  WorkerConfig config;
+  config.name = name;
+  config.port = port;
+  config.capacity = capacity;
+  config.heartbeat_period_s = 0.05;
+  config.report_period_s = 0.1;
+  return config;
+}
+
+TEST(DistE2E, KillReassignsLeasesAndTotalsStayMonotonic) {
+  constexpr unsigned kCells = 4;
+  FleetCoordinator coordinator(coordinator_config(kCells));
+  ASSERT_GT(coordinator.port(), 0);
+
+  // Either worker alone can absorb the whole fleet after the kill.
+  auto w0 = std::make_unique<FleetWorker>(
+      worker_config(coordinator.port(), "w0", kCells));
+  auto w1 = std::make_unique<FleetWorker>(
+      worker_config(coordinator.port(), "w1", kCells));
+
+  ASSERT_TRUE(wait_until([&] { return coordinator.all_cells_active(); }, 30.0))
+      << "fleet never converged";
+  EXPECT_EQ(coordinator.worker_count(), 2u);
+
+  // Both workers should carry cells (rebalance-on-join splits the fleet).
+  {
+    const auto workers = coordinator.workers();
+    ASSERT_EQ(workers.size(), 2u);
+    EXPECT_FALSE(workers[0].cells.empty());
+    EXPECT_FALSE(workers[1].cells.empty());
+  }
+
+  // Sample lifetime totals continuously; they must never rewind, not even
+  // across the handoff below.
+  std::map<std::uint32_t, std::uint64_t> high_water;
+  bool monotonic = true;
+  const auto sample = [&] {
+    for (const DistCellStatus& cell : coordinator.cells()) {
+      auto [it, inserted] = high_water.emplace(cell.cell_index, cell.slots);
+      if (!inserted) {
+        if (cell.slots < it->second) {
+          monotonic = false;
+        }
+        it->second = std::max(it->second, cell.slots);
+      }
+    }
+  };
+  ASSERT_TRUE(wait_until([&] {
+    sample();
+    std::uint64_t total = 0;
+    for (const auto& [cell, slots] : high_water) {
+      total += slots;
+    }
+    return total > 200;
+  }, 30.0)) << "fleet made no progress";
+
+  const std::uint64_t reassignments_before = coordinator.reassignments();
+  w0->kill();  // abrupt: socket slams shut, no goodbye
+  ASSERT_TRUE(wait_until([&] {
+    sample();
+    return coordinator.worker_count() == 1;
+  }, 10.0)) << "coordinator never noticed the death";
+  ASSERT_TRUE(wait_until([&] {
+    sample();
+    return coordinator.all_cells_active();
+  }, 30.0)) << "orphaned cells were never reassigned";
+  EXPECT_GT(coordinator.reassignments(), reassignments_before);
+
+  // The survivor now carries every cell, under bumped incarnations.
+  {
+    const auto workers = coordinator.workers();
+    ASSERT_EQ(workers.size(), 1u);
+    EXPECT_EQ(workers[0].name, "w1");
+    EXPECT_EQ(workers[0].cells.size(), kCells);
+    unsigned handoffs = 0;
+    for (const DistCellStatus& cell : coordinator.cells()) {
+      handoffs += cell.handoffs;
+      EXPECT_EQ(cell.worker_id, workers[0].id) << "cell " << cell.cell_index;
+    }
+    EXPECT_GT(handoffs, 0u);
+  }
+
+  // Keep sampling across post-handoff progress.
+  std::map<std::uint32_t, std::uint64_t> at_handoff = high_water;
+  ASSERT_TRUE(wait_until([&] {
+    sample();
+    for (const auto& [cell, slots] : high_water) {
+      if (slots <= at_handoff[cell]) {
+        return false;
+      }
+    }
+    return true;
+  }, 30.0)) << "cells made no progress after the handoff";
+  EXPECT_TRUE(monotonic) << "a per-cell lifetime total rewound";
+
+  // summary() agrees with cells() on monotonic lifetime totals.
+  const FleetSummary summary = coordinator.summary();
+  ASSERT_EQ(summary.cells.size(), kCells);
+
+  // Graceful leave: the survivor drains and says goodbye via EOF; every
+  // lease is released (deliberately, not as a failure).
+  w1->stop();
+  ASSERT_TRUE(wait_until([&] { return coordinator.worker_count() == 0; },
+                         10.0));
+  for (const DistCellStatus& cell : coordinator.cells()) {
+    EXPECT_EQ(cell.lease_state, LeaseState::kUnassigned);
+    EXPECT_EQ(cell.worker_id, 0u);
+  }
+  sample();
+  EXPECT_TRUE(monotonic);
+
+  w0->stop();  // idempotent after kill()
+  coordinator.stop();
+}
+
+TEST(DistE2E, SilentWorkerIsDeclaredDeadWithoutEof) {
+  // The worker keeps its socket open but never heartbeats (the stalled-
+  // process case): only the silence scan can catch it.
+  CoordinatorConfig config = coordinator_config(2);
+  config.lease_ttl_ms = 10000;  // lease expiry must not fire first
+  config.heartbeat_timeout_s = 0.4;
+  FleetCoordinator coordinator(config);
+
+  WorkerConfig wc = worker_config(coordinator.port(), "stalled", 2);
+  wc.heartbeat_period_s = 30.0;
+  wc.report_period_s = 30.0;
+  wc.reconnect_backoff_s = 30.0;  // do not rejoin within the test window
+  FleetWorker worker(wc);
+
+  ASSERT_TRUE(wait_until([&] { return coordinator.worker_count() == 1; },
+                         10.0));
+  ASSERT_TRUE(wait_until([&] { return coordinator.worker_count() == 0; },
+                         10.0))
+      << "silence scan never declared the worker dead";
+  for (const DistCellStatus& cell : coordinator.cells()) {
+    EXPECT_EQ(cell.worker_id, 0u);
+  }
+  worker.stop();
+  coordinator.stop();
+}
+
+TEST(DistE2E, OverCapacityGrantsAreRefusedAndLandElsewhere) {
+  // 3 cells, one worker with capacity 2: one cell stays unassigned (with
+  // refusal-driven backoff) until a second worker joins.
+  CoordinatorConfig config = coordinator_config(3);
+  config.rebalance_on_join = false;  // isolate the refusal path
+  FleetCoordinator coordinator(config);
+
+  auto w0 = std::make_unique<FleetWorker>(
+      worker_config(coordinator.port(), "small", 2));
+  ASSERT_TRUE(wait_until([&] {
+    std::size_t active = 0;
+    for (const DistCellStatus& cell : coordinator.cells()) {
+      if (cell.lease_state == LeaseState::kActive) {
+        ++active;
+      }
+    }
+    return active == 2;
+  }, 30.0));
+  EXPECT_FALSE(coordinator.all_cells_active());
+
+  auto w1 = std::make_unique<FleetWorker>(
+      worker_config(coordinator.port(), "extra", 2));
+  ASSERT_TRUE(wait_until([&] { return coordinator.all_cells_active(); }, 30.0))
+      << "third cell never landed on the new worker";
+
+  w0->stop();
+  w1->stop();
+  coordinator.stop();
+}
+
+}  // namespace
+}  // namespace nrs

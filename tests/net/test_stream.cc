@@ -11,6 +11,7 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <atomic>
 #include <chrono>
 #include <cstdio>
 #include <fstream>
@@ -697,6 +698,210 @@ TEST(StreamQuery, EightClientsQueryWhilePipelineIngests) {
             0u);
   EXPECT_GE(snap.counter_value("query.requests"), answered.load());
   EXPECT_EQ(snap.counter_value("query.errors"), 0u);
+}
+
+// ---- Version negotiation ---------------------------------------------
+
+/// Raw loopback socket speaking an explicit wire version.
+class RawPeer {
+ public:
+  explicit RawPeer(std::uint16_t port) {
+    fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(port);
+    ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+    connected_ = ::connect(fd_, reinterpret_cast<sockaddr*>(&addr),
+                           sizeof(addr)) == 0;
+  }
+  ~RawPeer() {
+    if (fd_ >= 0) {
+      ::close(fd_);
+    }
+  }
+
+  [[nodiscard]] bool connected() const { return connected_; }
+
+  void send_frame(const std::vector<std::uint8_t>& frame) const {
+    ASSERT_EQ(::send(fd_, frame.data(), frame.size(), 0),
+              static_cast<ssize_t>(frame.size()));
+  }
+
+  /// Read frames until `type` arrives (true), EOF, or the deadline.
+  bool read_until(FrameType type, Frame& out, double timeout_s = 5.0) {
+    const auto deadline =
+        std::chrono::steady_clock::now() +
+        std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+            std::chrono::duration<double>(timeout_s));
+    std::uint8_t buf[4096];
+    while (std::chrono::steady_clock::now() < deadline) {
+      while (auto frame = parser_.next()) {
+        if (frame->type == type) {
+          out = *frame;
+          return true;
+        }
+      }
+      timeval tv{0, 100000};  // 100 ms
+      ::setsockopt(fd_, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+      const ssize_t n = ::recv(fd_, buf, sizeof(buf), 0);
+      if (n == 0) {
+        return false;  // server closed on us
+      }
+      if (n > 0) {
+        parser_.feed({buf, static_cast<std::size_t>(n)});
+      }
+    }
+    return false;
+  }
+
+  /// True when the server has closed the connection (recv returns 0).
+  bool wait_eof(double timeout_s = 5.0) {
+    const auto deadline =
+        std::chrono::steady_clock::now() +
+        std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+            std::chrono::duration<double>(timeout_s));
+    std::uint8_t buf[4096];
+    while (std::chrono::steady_clock::now() < deadline) {
+      timeval tv{0, 100000};
+      ::setsockopt(fd_, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+      const ssize_t n = ::recv(fd_, buf, sizeof(buf), 0);
+      if (n == 0) {
+        return true;
+      }
+      if (n > 0) {
+        parser_.feed({buf, static_cast<std::size_t>(n)});
+      }
+    }
+    return false;
+  }
+
+ private:
+  int fd_ = -1;
+  bool connected_ = false;
+  FrameParser parser_;
+};
+
+TEST(StreamVersion, OlderClientWithinWindowIsServed) {
+  // A peer speaking the oldest still-supported version (v2) gets its query
+  // answered normally — the version window is backward-compatible.
+  StreamServerConfig cfg;
+  cfg.query_handler = [](const QueryRequest& request) {
+    QueryResponse response;
+    response.correlation_id = request.correlation_id;
+    response.status = QueryStatus::kOk;
+    response.kind = request.kind;
+    return response;
+  };
+  TelemetryStreamServer server(cfg);
+
+  RawPeer peer(server.port());
+  ASSERT_TRUE(peer.connected());
+  QueryRequest request;
+  request.correlation_id = 7777;
+  WireWriter w;
+  encode_query(request, w);
+  peer.send_frame(encode_frame_with_version(
+      kWireMinVersion, FrameType::kQuery,
+      std::span<const std::uint8_t>(w.data())));
+
+  Frame result;
+  ASSERT_TRUE(peer.read_until(FrameType::kQueryResult, result));
+  const auto response = decode_query_result(result.payload);
+  ASSERT_TRUE(response.has_value());
+  EXPECT_EQ(response->correlation_id, 7777u);
+  EXPECT_EQ(response->status, QueryStatus::kOk);
+}
+
+TEST(StreamVersion, TooOldClientGetsStructuredRejectThenDisconnect) {
+  MetricsRegistry registry;
+  TelemetryStreamServer server(StreamServerConfig{}, &registry);
+
+  RawPeer peer(server.port());
+  ASSERT_TRUE(peer.connected());
+  // Speak v1: one version below the supported window.
+  peer.send_frame(encode_frame_with_version(
+      static_cast<std::uint16_t>(kWireMinVersion - 1), FrameType::kHeartbeat,
+      {}));
+
+  Frame reject_frame;
+  ASSERT_TRUE(peer.read_until(FrameType::kUnsupportedVersion, reject_frame));
+  const auto reject = decode_version_reject(reject_frame.payload);
+  ASSERT_TRUE(reject.has_value());
+  EXPECT_EQ(reject->rejected, kWireMinVersion - 1);
+  EXPECT_EQ(reject->min_version, kWireMinVersion);
+  EXPECT_EQ(reject->max_version, kWireVersion);
+  EXPECT_FALSE(reject->message.empty());
+  // The reject is a goodbye, not a negotiation: the server hangs up.
+  EXPECT_TRUE(peer.wait_eof());
+  const MetricsSnapshot snap = registry.snapshot();
+  EXPECT_EQ(snap.counter_value("net.version_rejects"), 1u);
+}
+
+TEST(StreamVersion, ClientRecordsProtocolErrorAndStopsReconnecting) {
+  // Fake "future coordinator": a plain listener that answers any client
+  // with kUnsupportedVersion.  The client must surface a clear error and
+  // must NOT keep reconnecting (a version mismatch never heals).
+  const int listen_fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  ASSERT_GE(listen_fd, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = 0;
+  ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+  ASSERT_EQ(::bind(listen_fd, reinterpret_cast<sockaddr*>(&addr),
+                   sizeof(addr)),
+            0);
+  ASSERT_EQ(::listen(listen_fd, 4), 0);
+  sockaddr_in bound{};
+  socklen_t len = sizeof(bound);
+  ::getsockname(listen_fd, reinterpret_cast<sockaddr*>(&bound), &len);
+
+  std::atomic<int> accepts{0};
+  std::atomic<bool> stop{false};
+  std::thread fake_server([&] {
+    while (!stop.load()) {
+      timeval tv{0, 100000};
+      ::setsockopt(listen_fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+      fd_set readable;
+      FD_ZERO(&readable);
+      FD_SET(listen_fd, &readable);
+      if (::select(listen_fd + 1, &readable, nullptr, nullptr, &tv) <= 0) {
+        continue;
+      }
+      const int fd = ::accept(listen_fd, nullptr, nullptr);
+      if (fd < 0) {
+        continue;
+      }
+      ++accepts;
+      VersionReject reject;
+      reject.rejected = kWireVersion;
+      reject.message = "speak version 99";
+      const auto frame = version_reject_frame(reject);
+      (void)::send(fd, frame.data(), frame.size(), MSG_NOSIGNAL);
+      ::close(fd);
+    }
+  });
+
+  std::atomic<int> protocol_errors{0};
+  StreamClientHandlers handlers;
+  handlers.on_protocol_error = [&](const VersionReject&) {
+    ++protocol_errors;
+  };
+  TelemetryStreamClient client(client_config(ntohs(bound.sin_port)),
+                               handlers);
+  ASSERT_TRUE(wait_until([&] { return protocol_errors.load() >= 1; }));
+  EXPECT_FALSE(client.protocol_error().empty());
+  EXPECT_NE(client.protocol_error().find("rejected"), std::string::npos);
+
+  // No reconnect storm: the accept count stays where it was.
+  const int accepts_at_reject = accepts.load();
+  std::this_thread::sleep_for(std::chrono::milliseconds(300));
+  EXPECT_EQ(accepts.load(), accepts_at_reject);
+  EXPECT_EQ(protocol_errors.load(), 1);
+
+  client.stop();
+  stop.store(true);
+  fake_server.join();
+  ::close(listen_fd);
 }
 
 }  // namespace

@@ -561,5 +561,290 @@ TEST(Wire, FrameParserWaitsForPartialHeader) {
   EXPECT_EQ(parsed->type, FrameType::kHeartbeat);
 }
 
+// ---- Distributed fleet frames (protocol v3) --------------------------
+
+WireCellSpec sample_cell_spec() {
+  WireCellSpec spec;
+  spec.cell_index = 5;
+  spec.name = "cell5";
+  spec.preset = "mosolab";
+  spec.pci = 311;
+  spec.n_ues = 7;
+  spec.ue_rate_bps = 3.5e6;
+  spec.ue_snr_db = 14.5;
+  spec.sniffer_snr_db = 31.0;
+  spec.seed = 0xDEADBEEFCAFEull;
+  spec.incarnation = 3;
+  return spec;
+}
+
+CellReport sample_cell_report() {
+  CellReport report;
+  report.lease_id = 42;
+  report.cell_index = 2;
+  report.cell_state = 0;
+  report.slots = 12345;
+  report.dcis = 6789;
+  report.retx_dcis = 321;
+  report.restarts = 1;
+  report.active_ues = 4;
+  report.dl_mbps = 17.25;
+  report.ul_mbps = 4.5;
+  report.retx_rate = 0.0625;
+  report.utilization = 0.55;
+  report.spare_prb_rate = 22.5;
+  report.rows.push_back({0xFFFD, 5, 100, 3.0});
+  report.rows.push_back({0xFFFD, 6, 100, 40.0});
+  report.rows.push_back({0x4601, 0, 101, 8424.0});
+  return report;
+}
+
+TEST(Wire, VersionRejectRoundTrip) {
+  VersionReject reject;
+  reject.rejected = 1;
+  reject.message = "unsupported protocol version 1";
+  WireWriter w;
+  encode_version_reject(reject, w);
+  const auto decoded = decode_version_reject(w.data());
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(*decoded, reject);
+  EXPECT_EQ(decoded->min_version, kWireMinVersion);
+  EXPECT_EQ(decoded->max_version, kWireVersion);
+}
+
+TEST(Wire, WorkerHelloRoundTrip) {
+  WorkerHello hello;
+  hello.name = "rack3-sniffer";
+  hello.capacity = 12;
+  hello.pool_threads = 6;
+  WireWriter w;
+  encode_worker_hello(hello, w);
+  const auto decoded = decode_worker_hello(w.data());
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(*decoded, hello);
+}
+
+TEST(Wire, LeaseGrantRoundTrip) {
+  LeaseGrant grant;
+  grant.lease_id = 77;
+  grant.ttl_ms = 1500;
+  grant.base_slot = 98765;
+  grant.spec = sample_cell_spec();
+  WireWriter w;
+  encode_lease(grant, w);
+  const auto decoded = decode_lease(w.data());
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(*decoded, grant);
+}
+
+TEST(Wire, LeaseAckRoundTrip) {
+  LeaseAck ack;
+  ack.lease_id = 77;
+  ack.cell_index = 5;
+  ack.accepted = false;
+  ack.message = "unknown preset 'foo'";
+  WireWriter w;
+  encode_lease_ack(ack, w);
+  const auto decoded = decode_lease_ack(w.data());
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(*decoded, ack);
+}
+
+TEST(Wire, WorkerHeartbeatRoundTrip) {
+  WorkerHeartbeat hb;
+  hb.seq = 991;
+  hb.leases.push_back({11, 0, 4000, 0});
+  hb.leases.push_back({12, 3, 250, 1});
+  WireWriter w;
+  encode_worker_heartbeat(hb, w);
+  const auto decoded = decode_worker_heartbeat(w.data());
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(*decoded, hb);
+}
+
+TEST(Wire, CellReportRoundTrip) {
+  const CellReport report = sample_cell_report();
+  WireWriter w;
+  encode_cell_report(report, w);
+  const auto decoded = decode_cell_report(w.data());
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(*decoded, report);
+}
+
+TEST(Wire, LeaseRevokeRoundTrip) {
+  LeaseRevoke revoke;
+  revoke.lease_id = 13;
+  revoke.cell_index = 4;
+  revoke.reason = "rebalance";
+  WireWriter w;
+  encode_lease_revoke(revoke, w);
+  const auto decoded = decode_lease_revoke(w.data());
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(*decoded, revoke);
+}
+
+TEST(Wire, LeaseGrantEveryTruncationFailsCleanly) {
+  LeaseGrant grant;
+  grant.lease_id = 9;
+  grant.ttl_ms = 500;
+  grant.spec = sample_cell_spec();
+  WireWriter w;
+  encode_lease(grant, w);
+  const std::vector<std::uint8_t> full = w.take();
+  for (std::size_t len = 0; len < full.size(); ++len) {
+    const auto decoded =
+        decode_lease(std::span<const std::uint8_t>(full.data(), len));
+    EXPECT_FALSE(decoded.has_value()) << "prefix length " << len;
+  }
+}
+
+TEST(Wire, WorkerHeartbeatEveryTruncationFailsCleanly) {
+  WorkerHeartbeat hb;
+  hb.seq = 5;
+  hb.leases.push_back({11, 0, 4000, 0});
+  hb.leases.push_back({12, 3, 250, 2});
+  WireWriter w;
+  encode_worker_heartbeat(hb, w);
+  const std::vector<std::uint8_t> full = w.take();
+  for (std::size_t len = 0; len < full.size(); ++len) {
+    const auto decoded = decode_worker_heartbeat(
+        std::span<const std::uint8_t>(full.data(), len));
+    EXPECT_FALSE(decoded.has_value()) << "prefix length " << len;
+  }
+}
+
+TEST(Wire, CellReportEveryTruncationFailsCleanly) {
+  const CellReport report = sample_cell_report();
+  WireWriter w;
+  encode_cell_report(report, w);
+  const std::vector<std::uint8_t> full = w.take();
+  for (std::size_t len = 0; len < full.size(); ++len) {
+    const auto decoded =
+        decode_cell_report(std::span<const std::uint8_t>(full.data(), len));
+    EXPECT_FALSE(decoded.has_value()) << "prefix length " << len;
+  }
+}
+
+TEST(Wire, CellReportRejectsTrailingGarbage) {
+  const CellReport report = sample_cell_report();
+  WireWriter w;
+  encode_cell_report(report, w);
+  std::vector<std::uint8_t> bytes = w.take();
+  bytes.push_back(0x00);
+  EXPECT_FALSE(decode_cell_report(bytes).has_value());
+}
+
+TEST(Wire, DistFramesRoundTripThroughParser) {
+  std::vector<std::uint8_t> stream;
+  WorkerHello hello;
+  hello.name = "w1";
+  hello.capacity = 4;
+  const auto append = [&stream](const std::vector<std::uint8_t>& frame) {
+    stream.insert(stream.end(), frame.begin(), frame.end());
+  };
+  LeaseGrant grant;
+  grant.lease_id = 1;
+  grant.ttl_ms = 1500;
+  grant.spec = sample_cell_spec();
+  LeaseAck ack;
+  ack.lease_id = 1;
+  ack.accepted = true;
+  WorkerHeartbeat hb;
+  hb.seq = 1;
+  hb.leases.push_back({1, 5, 100, 0});
+  LeaseRevoke revoke;
+  revoke.lease_id = 1;
+  revoke.reason = "test";
+  append(worker_hello_frame(hello));
+  append(lease_frame(grant));
+  append(lease_ack_frame(ack));
+  append(worker_heartbeat_frame(hb));
+  append(cell_report_frame(sample_cell_report()));
+  append(lease_revoke_frame(revoke));
+  append(version_reject_frame(VersionReject{1, 2, 3, "nope"}));
+
+  FrameParser parser;
+  parser.feed(stream);
+  std::vector<FrameType> types;
+  while (auto frame = parser.next()) {
+    types.push_back(frame->type);
+    switch (frame->type) {
+      case FrameType::kWorkerHello:
+        EXPECT_EQ(decode_worker_hello(frame->payload), hello);
+        break;
+      case FrameType::kLease:
+        EXPECT_EQ(decode_lease(frame->payload), grant);
+        break;
+      case FrameType::kLeaseAck:
+        EXPECT_EQ(decode_lease_ack(frame->payload), ack);
+        break;
+      case FrameType::kWorkerHeartbeat:
+        EXPECT_EQ(decode_worker_heartbeat(frame->payload), hb);
+        break;
+      case FrameType::kCellReport:
+        EXPECT_EQ(decode_cell_report(frame->payload), sample_cell_report());
+        break;
+      case FrameType::kLeaseRevoke:
+        EXPECT_EQ(decode_lease_revoke(frame->payload), revoke);
+        break;
+      case FrameType::kUnsupportedVersion:
+        EXPECT_TRUE(decode_version_reject(frame->payload).has_value());
+        break;
+      default:
+        FAIL() << "unexpected frame type";
+    }
+  }
+  EXPECT_FALSE(parser.error());
+  EXPECT_EQ(types.size(), 7u);
+}
+
+// ---- Version window ---------------------------------------------------
+
+TEST(Wire, FrameParserAcceptsMinSupportedVersion) {
+  const auto frame =
+      encode_frame_with_version(kWireMinVersion, FrameType::kHeartbeat, {});
+  FrameParser parser;
+  parser.feed(frame);
+  const auto parsed = parser.next();
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->type, FrameType::kHeartbeat);
+  EXPECT_FALSE(parser.error());
+  EXPECT_FALSE(parser.rejected_version().has_value());
+}
+
+TEST(Wire, FrameParserReportsRejectedVersionBelowWindow) {
+  const auto frame = encode_frame_with_version(
+      static_cast<std::uint16_t>(kWireMinVersion - 1), FrameType::kHeartbeat,
+      {});
+  FrameParser parser;
+  parser.feed(frame);
+  EXPECT_FALSE(parser.next().has_value());
+  EXPECT_TRUE(parser.error());
+  ASSERT_TRUE(parser.rejected_version().has_value());
+  EXPECT_EQ(*parser.rejected_version(), kWireMinVersion - 1);
+}
+
+TEST(Wire, FrameParserReportsRejectedVersionAboveWindow) {
+  const auto frame = encode_frame_with_version(
+      static_cast<std::uint16_t>(kWireVersion + 1), FrameType::kHeartbeat,
+      {});
+  FrameParser parser;
+  parser.feed(frame);
+  EXPECT_FALSE(parser.next().has_value());
+  EXPECT_TRUE(parser.error());
+  ASSERT_TRUE(parser.rejected_version().has_value());
+  EXPECT_EQ(*parser.rejected_version(), kWireVersion + 1);
+}
+
+TEST(Wire, BadMagicIsNotAVersionReject) {
+  auto frame = heartbeat_frame();
+  frame[0] ^= 0xFF;
+  FrameParser parser;
+  parser.feed(frame);
+  EXPECT_FALSE(parser.next().has_value());
+  EXPECT_TRUE(parser.error());
+  EXPECT_FALSE(parser.rejected_version().has_value());
+}
+
 }  // namespace
 }  // namespace nrs
