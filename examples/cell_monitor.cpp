@@ -14,14 +14,22 @@
 // FaultSchedule into the virtual radio, restart rebuilds the gNB under a
 // new PCI.  The final line reports the sync-loss/resync statistics.
 //
+// --predict [--weights PATH] rides an online PredictionSink on the same
+// pipeline and adds predicted-vs-actual per-UE throughput columns to each
+// report (matured forecasts only; PATH defaults to the pinned
+// tools/weights/predictor_v1.txt, persistence baseline as fallback).
+//
 // Run:  ./build/examples/cell_monitor
 //       ./build/examples/cell_monitor --fault outage
+//       ./build/examples/cell_monitor --predict
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <memory>
 #include <set>
 
+#include "analysis/prediction_sink.h"
+#include "analysis/predictor.h"
 #include "gnb/gnb_sim.h"
 #include "gnb/presets.h"
 #include "nrscope/pipeline.h"
@@ -41,6 +49,14 @@ class MonitorSink : public SlotSink {
               unsigned report_every_slots)
       : pipeline_(&pipeline), slot_s_(slot_s),
         report_every_(report_every_slots) {}
+
+  /// Wire the predicted-vs-actual columns (--predict).  Both sinks run on
+  /// the collector thread, so reading the emitted set here is race-free.
+  void attach_predictions(const PredictionSink* sink,
+                          const PredictionSet* latest) {
+    prediction_sink_ = sink;
+    latest_set_ = latest;
+  }
 
   void on_slot(const SlotResult& result) override {
     if (result.slot == 0 || result.slot % report_every_ != 0) {
@@ -80,6 +96,28 @@ class MonitorSink : public SlotSink {
                 blind != nullptr ? blind->p95() : 0.0,
                 static_cast<unsigned long long>(
                     snap.counter_value("nrscope.stale_ue_evictions")));
+
+    if (prediction_sink_ == nullptr) {
+      return;
+    }
+    std::printf("         [predict] made=%llu matured=%llu MAE=%.2f Mbps "
+                "within20=%.0f%%\n",
+                static_cast<unsigned long long>(
+                    prediction_sink_->predictions_made()),
+                static_cast<unsigned long long>(
+                    prediction_sink_->predictions_matured()),
+                prediction_sink_->mae_mbps(),
+                100.0 * prediction_sink_->within20_rate());
+    for (const PredictionEntry& entry : latest_set_->entries) {
+      if (!entry.has_actual) {
+        continue;
+      }
+      std::printf("           0x%04x pred %8.2f Mbps  actual %8.2f Mbps  "
+                  "|err| %6.2f%s\n",
+                  entry.rnti, entry.predicted_bps / 1e6,
+                  entry.actual_bps / 1e6, entry.abs_error_bps / 1e6,
+                  entry.degraded ? "  (degraded)" : "");
+    }
   }
 
   [[nodiscard]] std::size_t distinct_ues() const { return distinct_.size(); }
@@ -89,19 +127,28 @@ class MonitorSink : public SlotSink {
   double slot_s_;
   unsigned report_every_;
   std::set<Rnti> distinct_;
+  const PredictionSink* prediction_sink_ = nullptr;
+  const PredictionSet* latest_set_ = nullptr;
 };
 
 }  // namespace
 
 int main(int argc, char** argv) {
   std::string fault;
+  bool predict = false;
+  std::string weights_path = "tools/weights/predictor_v1.txt";
   constexpr std::uint64_t kFaultSlot = 20000;  // 10 s in: cell is warm
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--fault") == 0 && i + 1 < argc) {
       fault = argv[++i];
+    } else if (std::strcmp(argv[i], "--predict") == 0) {
+      predict = true;
+    } else if (std::strcmp(argv[i], "--weights") == 0 && i + 1 < argc) {
+      weights_path = argv[++i];
     } else {
       std::fprintf(stderr,
-                   "usage: cell_monitor [--fault outage|cfo|restart]\n");
+                   "usage: cell_monitor [--fault outage|cfo|restart] "
+                   "[--predict] [--weights PATH]\n");
       return std::strcmp(argv[i], "--help") == 0 ? 0 : 1;
     }
   }
@@ -143,6 +190,32 @@ int main(int argc, char** argv) {
   const double slot_s = slot_duration_s(monitored_cell.scs);
   auto monitor = std::make_shared<MonitorSink>(pipeline, slot_s,
                                                /*report_every_slots=*/3000);
+
+  // --predict: forecast sink first, monitor second, so each report sees
+  // the forecast set emitted on the same slot.
+  std::shared_ptr<PredictionSink> prediction_sink;
+  auto latest_set = std::make_shared<PredictionSet>();
+  if (predict) {
+    PredictorWeights weights = PredictorWeights::baseline(200);
+    if (const auto loaded = PredictorWeights::load(weights_path)) {
+      weights = *loaded;
+      std::printf("predicting with %s (model v%u)\n", weights_path.c_str(),
+                  weights.model_version);
+    } else {
+      std::printf("cannot load '%s'; predicting with the persistence "
+                  "baseline\n", weights_path.c_str());
+    }
+    PredictionSinkConfig sink_config;
+    sink_config.features.scs = monitored_cell.scs;
+    sink_config.features.n_prb = monitored_cell.n_prb;
+    sink_config.period_slots = 40;
+    prediction_sink = std::make_shared<PredictionSink>(
+        std::make_shared<ThroughputPredictor>(weights), sink_config,
+        &pipeline.metrics_registry(),
+        [latest_set](const PredictionSet& set) { *latest_set = set; });
+    pipeline.add_sink("predict", prediction_sink);
+    monitor->attach_predictions(prediction_sink.get(), latest_set.get());
+  }
   pipeline.add_sink("monitor", monitor);
   pipeline.add_sink("metrics_csv", std::make_shared<MetricsCsvSink>(
       "cell_monitor_metrics.csv", pipeline.metrics_registry(),

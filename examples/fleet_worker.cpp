@@ -43,6 +43,10 @@ WorkerConfig parse_args(int argc, char** argv) {
       config.slots_per_tick = std::stoull(value());
     } else if (arg == "--max-reconnects") {
       config.max_reconnect_attempts = std::stoi(value());
+    } else if (arg == "--predict") {
+      config.enable_prediction = true;
+    } else if (arg == "--weights") {
+      config.predictor_weights_path = value();
     } else if (arg == "--quiet") {
       quiet = true;
     } else {
@@ -50,7 +54,8 @@ WorkerConfig parse_args(int argc, char** argv) {
                    "usage: fleet_worker --port P [--host H] [--name NAME] "
                    "[--capacity N]\n"
                    "                    [--threads N] [--slots-per-tick N] "
-                   "[--max-reconnects N] [--quiet]\n");
+                   "[--max-reconnects N] [--predict] [--weights PATH] "
+                   "[--quiet]\n");
       std::exit(arg == "--help" || arg == "-h" ? 0 : 1);
     }
   }

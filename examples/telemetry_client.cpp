@@ -18,6 +18,13 @@
 //       One-shot history query against a server with an attached
 //       HistoryStore: range scan by default, --bucket N for downsampled
 //       aggregates, --topk K for the spare-capacity / per-UE ranking.
+//   ./build/examples/telemetry_client --predictions [--weights PATH]
+//       Online-prediction demo: the in-process pipeline carries a
+//       PredictionSink whose per-period forecast sets stream to the
+//       client as kPrediction frames; the client prints predicted vs.
+//       realized per-UE throughput as forecasts mature.  PATH defaults
+//       to the pinned tools/weights/predictor_v1.txt (falls back to the
+//       persistence baseline when it cannot be loaded).
 #include <chrono>
 #include <cinttypes>
 #include <cstdio>
@@ -32,6 +39,8 @@
 #include <string>
 #include <thread>
 
+#include "analysis/prediction_sink.h"
+#include "analysis/predictor.h"
 #include "gnb/gnb_sim.h"
 #include "gnb/presets.h"
 #include "net/stream_client.h"
@@ -340,6 +349,136 @@ int run_demo() {
   return identical ? 0 : 1;
 }
 
+int run_predictions_demo(const std::string& weights_path) {
+  GnbConfig gnb_config;
+  gnb_config.cell = amarisoft_cell();  // the pinned model's training cell
+  gnb_config.seed = 9;
+  GnbSim gnb(std::move(gnb_config));
+  // The same app mix the pinned model was trained against: steady CBR,
+  // bursty video, heavy CBR, and a saturating full-buffer UE.
+  for (unsigned u = 0; u < 4; ++u) {
+    UeConfig ue;
+    ue.channel.snr_db = 14.0 + 4.0 * u;
+    ue.seed = u + 1;
+    switch (u) {
+      case 0: ue.dl_traffic = std::make_unique<CbrSource>(1e6); break;
+      case 1:
+        ue.dl_traffic = std::make_unique<VideoSource>(3e6, ue.seed);
+        break;
+      case 2: ue.dl_traffic = std::make_unique<CbrSource>(6e6); break;
+      default: ue.dl_traffic = std::make_unique<FullBufferSource>(); break;
+    }
+    gnb.add_ue(std::move(ue));
+  }
+  VirtualRadioConfig radio_config;
+  radio_config.n_prb = gnb.cell().n_prb;
+  radio_config.channel.snr_db = 26.0;
+  VirtualRadio radio(radio_config);
+
+  NrScopeConfig scope_config;
+  scope_config.n_prb = gnb.cell().n_prb;
+  scope_config.scs = gnb.cell().scs;
+  NrScopePipeline pipeline(scope_config, /*n_demod_workers=*/2);
+
+  PredictorWeights weights = PredictorWeights::baseline(200);
+  if (const auto loaded = PredictorWeights::load(weights_path)) {
+    weights = *loaded;
+    std::printf("loaded %s (model v%u, horizon %llu slots)\n",
+                weights_path.c_str(), weights.model_version,
+                static_cast<unsigned long long>(weights.horizon_slots));
+  } else {
+    std::printf("cannot load '%s'; using the persistence baseline\n",
+                weights_path.c_str());
+  }
+  auto predictor = std::make_shared<ThroughputPredictor>(weights);
+
+  StreamServerConfig server_config;
+  auto server = std::make_shared<TelemetryStreamServer>(
+      server_config, &pipeline.metrics_registry());
+
+  PredictionSinkConfig sink_config;
+  sink_config.features.scs = gnb.cell().scs;
+  sink_config.features.n_prb = gnb.cell().n_prb;
+  sink_config.period_slots = 40;
+  auto sink = std::make_shared<PredictionSink>(
+      predictor, sink_config, &pipeline.metrics_registry(),
+      [server](const PredictionSet& set) {
+        server->broadcast_frame(prediction_frame(set));
+      });
+  pipeline.add_sink("predict", sink);
+  pipeline.add_sink("stream", server);
+
+  // Remote consumer: keep the freshest matured entry per UE and print a
+  // predicted-vs-actual table every 10 received sets.
+  std::mutex mutex;
+  std::map<Rnti, PredictionEntry> matured;
+  std::uint64_t sets_received = 0;
+  std::uint64_t matured_received = 0;
+
+  StreamClientHandlers handlers;
+  handlers.on_prediction = [&](const PredictionSet& set) {
+    std::lock_guard lock(mutex);
+    ++sets_received;
+    for (const PredictionEntry& entry : set.entries) {
+      if (entry.has_actual) {
+        matured[entry.rnti] = entry;
+        ++matured_received;
+      }
+    }
+    if (sets_received % 10 != 0 || matured.empty()) {
+      return;
+    }
+    std::printf("\n[slot %llu] matured forecasts (horizon %u slots):\n",
+                static_cast<unsigned long long>(set.slot),
+                set.horizon_slots);
+    std::printf("  %-8s %12s %12s %10s %s\n", "rnti", "pred Mbps",
+                "actual Mbps", "|err|", "flag");
+    for (const auto& [rnti, entry] : matured) {
+      std::printf("  0x%04x   %12.3f %12.3f %10.3f %s\n", rnti,
+                  entry.predicted_bps / 1e6, entry.actual_bps / 1e6,
+                  entry.abs_error_bps / 1e6,
+                  entry.degraded ? "degraded" : "");
+    }
+  };
+
+  StreamClientConfig client_config;
+  client_config.port = server->port();
+  TelemetryStreamClient client(client_config, handlers);
+  if (!client.wait_connected(5.0)) {
+    std::fprintf(stderr, "client failed to connect\n");
+    return 1;
+  }
+
+  const unsigned n_slots = 8000;  // 4 s at 30 kHz: plenty of maturations
+  for (unsigned slot = 0; slot < n_slots; ++slot) {
+    while (!pipeline.push_slot(radio.capture(gnb.step()))) {
+      std::this_thread::yield();
+    }
+  }
+  pipeline.finish();
+  while (pipeline.poll_result()) {
+  }
+  if (!client.wait_end_of_stream(10.0)) {
+    std::fprintf(stderr, "no end-of-stream frame\n");
+    return 1;
+  }
+
+  std::lock_guard lock(mutex);
+  std::printf("\nreceived %llu prediction sets (%llu matured entries)\n",
+              static_cast<unsigned long long>(sets_received),
+              static_cast<unsigned long long>(matured_received));
+  std::printf("sink: made=%llu matured=%llu MAE=%.3f Mbps within20=%.1f%% "
+              "inference=%.0f ns/forecast\n",
+              static_cast<unsigned long long>(sink->predictions_made()),
+              static_cast<unsigned long long>(sink->predictions_matured()),
+              sink->mae_mbps(), 100.0 * sink->within20_rate(),
+              sink->predictions_made() > 0
+                  ? static_cast<double>(sink->inference_ns()) /
+                        static_cast<double>(sink->predictions_made())
+                  : 0.0);
+  return sets_received > 0 && matured_received > 0 ? 0 : 1;
+}
+
 int run_connect(const std::string& host, std::uint16_t port,
                 const std::string& csv_path) {
   RemoteTelemetry remote;
@@ -499,12 +638,20 @@ int main(int argc, char** argv) {
     const auto port = static_cast<std::uint16_t>(std::atoi(argv[3]));
     return run_query_mode(host, port, argc, argv);
   }
+  if (std::strcmp(argv[1], "--predictions") == 0) {
+    std::string weights_path = "tools/weights/predictor_v1.txt";
+    if (argc >= 4 && std::strcmp(argv[2], "--weights") == 0) {
+      weights_path = argv[3];
+    }
+    return run_predictions_demo(weights_path);
+  }
   std::fprintf(stderr,
                "usage: %s                       # loopback demo\n"
                "       %s --connect HOST PORT [--csv PATH]\n"
                "       %s --query HOST PORT METRIC [--cell N] [--rnti R]\n"
                "          [--from SLOT] [--to SLOT] [--bucket SLOTS] "
-               "[--topk K]\n",
-               argv[0], argv[0], argv[0]);
+               "[--topk K]\n"
+               "       %s --predictions [--weights PATH]\n",
+               argv[0], argv[0], argv[0], argv[0]);
   return 2;
 }

@@ -1,0 +1,176 @@
+#include "analysis/predictor.h"
+
+#include <cmath>
+#include <fstream>
+#include <iomanip>
+#include <limits>
+#include <sstream>
+#include <stdexcept>
+
+namespace nrs {
+
+const char* to_string(PredictorModel model) {
+  switch (model) {
+    case PredictorModel::kRidge: return "ridge";
+    case PredictorModel::kRidgeGbt: return "ridge_gbt";
+  }
+  return "?";
+}
+
+std::optional<std::string> PredictorWeights::validate() const {
+  if (format_version != kFormatVersion) {
+    return "unsupported weights format version " +
+           std::to_string(format_version);
+  }
+  if (horizon_slots == 0) {
+    return "horizon_slots must be positive";
+  }
+  for (std::size_t i = 0; i < kPredictionFeatureCount; ++i) {
+    if (!(scale[i] > 0.0) || !std::isfinite(scale[i])) {
+      return std::string("scale must be finite and positive (feature ") +
+             feature_name(i) + ")";
+    }
+    if (!std::isfinite(mean[i]) || !std::isfinite(weights[i])) {
+      return std::string("non-finite mean/weight (feature ") +
+             feature_name(i) + ")";
+    }
+  }
+  if (!std::isfinite(bias)) {
+    return "non-finite bias";
+  }
+  if (model == PredictorModel::kRidge && !stumps.empty()) {
+    return "ridge model must not carry stumps";
+  }
+  for (const PredictorStump& s : stumps) {
+    if (s.feature >= kPredictionFeatureCount) {
+      return "stump references feature " + std::to_string(s.feature) +
+             " out of range";
+    }
+    if (!std::isfinite(s.threshold) || !std::isfinite(s.left) ||
+        !std::isfinite(s.right)) {
+      return "non-finite stump parameters";
+    }
+  }
+  return std::nullopt;
+}
+
+bool PredictorWeights::save(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) {
+    return false;
+  }
+  out << std::setprecision(17);
+  out << "nrs-predictor-weights v" << format_version << "\n";
+  out << "model " << to_string(model) << "\n";
+  out << "model_version " << model_version << "\n";
+  out << "horizon_slots " << horizon_slots << "\n";
+  out << "features " << kPredictionFeatureCount << "\n";
+  for (std::size_t i = 0; i < kPredictionFeatureCount; ++i) {
+    out << "feature " << i << " " << feature_name(i) << " " << mean[i] << " "
+        << scale[i] << " " << weights[i] << "\n";
+  }
+  out << "bias " << bias << "\n";
+  out << "stumps " << stumps.size() << "\n";
+  for (const PredictorStump& s : stumps) {
+    out << "stump " << s.feature << " " << s.threshold << " " << s.left
+        << " " << s.right << "\n";
+  }
+  out << "end\n";
+  return static_cast<bool>(out);
+}
+
+std::optional<PredictorWeights> PredictorWeights::load(
+    const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    return std::nullopt;
+  }
+  PredictorWeights w;
+  std::string tag;
+  std::string version_tag;
+  if (!(in >> tag >> version_tag) || tag != "nrs-predictor-weights" ||
+      version_tag != "v1") {
+    return std::nullopt;
+  }
+  std::string model_name;
+  if (!(in >> tag >> model_name) || tag != "model") {
+    return std::nullopt;
+  }
+  if (model_name == "ridge") {
+    w.model = PredictorModel::kRidge;
+  } else if (model_name == "ridge_gbt") {
+    w.model = PredictorModel::kRidgeGbt;
+  } else {
+    return std::nullopt;
+  }
+  std::size_t n_features = 0;
+  if (!(in >> tag >> w.model_version) || tag != "model_version" ||
+      !(in >> tag >> w.horizon_slots) || tag != "horizon_slots" ||
+      !(in >> tag >> n_features) || tag != "features" ||
+      n_features != kPredictionFeatureCount) {
+    return std::nullopt;
+  }
+  for (std::size_t i = 0; i < kPredictionFeatureCount; ++i) {
+    std::size_t index = 0;
+    std::string name;  // informational; layout is fixed by the version
+    if (!(in >> tag >> index >> name >> w.mean[i] >> w.scale[i] >>
+          w.weights[i]) ||
+        tag != "feature" || index != i) {
+      return std::nullopt;
+    }
+  }
+  std::size_t n_stumps = 0;
+  if (!(in >> tag >> w.bias) || tag != "bias" ||
+      !(in >> tag >> n_stumps) || tag != "stumps") {
+    return std::nullopt;
+  }
+  w.stumps.resize(n_stumps);
+  for (PredictorStump& s : w.stumps) {
+    if (!(in >> tag >> s.feature >> s.threshold >> s.left >> s.right) ||
+        tag != "stump") {
+      return std::nullopt;
+    }
+  }
+  if (!(in >> tag) || tag != "end") {
+    return std::nullopt;
+  }
+  if (w.validate()) {
+    return std::nullopt;
+  }
+  return w;
+}
+
+PredictorWeights PredictorWeights::baseline(std::uint64_t horizon_slots) {
+  PredictorWeights w;
+  w.model = PredictorModel::kRidge;
+  w.model_version = 0;
+  w.horizon_slots = horizon_slots;
+  w.mean.fill(0.0);
+  w.scale.fill(1.0);
+  w.weights.fill(0.0);
+  w.weights[5] = 1.0;  // dl_mbps_mid: persistence forecast
+  w.bias = 0.0;
+  return w;
+}
+
+ThroughputPredictor::ThroughputPredictor(PredictorWeights weights)
+    : weights_(std::move(weights)) {
+  if (auto err = weights_.validate()) {
+    throw std::invalid_argument("PredictorWeights: " + *err);
+  }
+}
+
+double ThroughputPredictor::predict_mbps(const FeatureVector& x) const {
+  double y = weights_.bias;
+  for (std::size_t i = 0; i < kPredictionFeatureCount; ++i) {
+    y += weights_.weights[i] * (x[i] - weights_.mean[i]) / weights_.scale[i];
+  }
+  for (const PredictorStump& s : weights_.stumps) {
+    const double z =
+        (x[s.feature] - weights_.mean[s.feature]) / weights_.scale[s.feature];
+    y += z <= s.threshold ? s.left : s.right;
+  }
+  return y > 0.0 ? y : 0.0;
+}
+
+}  // namespace nrs

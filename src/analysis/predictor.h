@@ -1,0 +1,86 @@
+// In-process throughput predictor: a ridge-regression linear model over
+// the FeatureVector, optionally refined by gradient-boosted decision
+// stumps fit on the residuals.  Weights are produced offline by
+// tools/train_predictor against simulator ground truth and shipped as a
+// small versioned text file; inference is a dot product plus at most a
+// few dozen threshold compares — allocation-free and well under a
+// microsecond, so it runs inline on the sniffer slot path.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "analysis/features.h"
+#include "common/timing.h"
+
+namespace nrs {
+
+enum class PredictorModel : std::uint8_t {
+  kRidge = 0,     ///< standardized linear model only
+  kRidgeGbt = 1,  ///< linear model + boosted stumps on the residual
+};
+
+const char* to_string(PredictorModel model);
+
+/// One boosted stump: adds `left` to the prediction when the
+/// standardized feature is <= threshold, else `right`.
+struct PredictorStump {
+  std::uint16_t feature = 0;
+  double threshold = 0.0;
+  double left = 0.0;
+  double right = 0.0;
+  [[nodiscard]] bool operator==(const PredictorStump&) const = default;
+};
+
+/// The full trained model: standardization (mean/scale per feature),
+/// linear weights + bias in Mbps, optional stumps, and the horizon the
+/// target was computed over.  `model_version` is a monotonically bumped
+/// stamp carried on the kPrediction wire frame so consumers can tell
+/// which training produced a number.
+struct PredictorWeights {
+  static constexpr std::uint32_t kFormatVersion = 1;
+
+  std::uint32_t format_version = kFormatVersion;
+  std::uint32_t model_version = 0;
+  PredictorModel model = PredictorModel::kRidge;
+  std::uint64_t horizon_slots = 200;
+  FeatureVector mean{};
+  FeatureVector scale{};  ///< every entry must be > 0
+  FeatureVector weights{};
+  double bias = 0.0;
+  std::vector<PredictorStump> stumps;
+
+  [[nodiscard]] bool operator==(const PredictorWeights&) const = default;
+
+  /// Error message when the weights are unusable, nullopt when fine.
+  [[nodiscard]] std::optional<std::string> validate() const;
+
+  /// Write/read the versioned text format ("nrs-predictor-weights v1",
+  /// see DESIGN.md).  load() returns nullopt on I/O error, a bad header,
+  /// a feature-count mismatch, or weights that fail validate().
+  [[nodiscard]] bool save(const std::string& path) const;
+  static std::optional<PredictorWeights> load(const std::string& path);
+
+  /// Untrained fallback: persistence — predict the mid-window throughput
+  /// forward over `horizon_slots`.  model_version 0 marks it on the wire.
+  static PredictorWeights baseline(std::uint64_t horizon_slots);
+};
+
+class ThroughputPredictor {
+ public:
+  /// Throws std::invalid_argument when `weights.validate()` fails.
+  explicit ThroughputPredictor(PredictorWeights weights);
+
+  /// Forecast downlink throughput in Mbps over the weights' horizon.
+  /// Allocation-free; clamped to >= 0.
+  [[nodiscard]] double predict_mbps(const FeatureVector& x) const;
+
+  [[nodiscard]] const PredictorWeights& weights() const { return weights_; }
+
+ private:
+  PredictorWeights weights_;
+};
+
+}  // namespace nrs

@@ -1,0 +1,239 @@
+#include "analysis/training.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace nrs {
+
+namespace {
+
+constexpr std::size_t kF = kPredictionFeatureCount;
+
+/// Solve A x = b for symmetric positive-definite A (the ridge normal
+/// matrix) by Gaussian elimination with partial pivoting.  A is
+/// (kF+1)^2 row-major with the bias as the last column/row.
+std::vector<double> solve_linear(std::vector<double> a,
+                                 std::vector<double> b) {
+  const std::size_t n = b.size();
+  for (std::size_t col = 0; col < n; ++col) {
+    std::size_t pivot = col;
+    for (std::size_t row = col + 1; row < n; ++row) {
+      if (std::fabs(a[row * n + col]) > std::fabs(a[pivot * n + col])) {
+        pivot = row;
+      }
+    }
+    if (std::fabs(a[pivot * n + col]) < 1e-12) {
+      continue;  // degenerate column (constant feature); weight stays 0
+    }
+    if (pivot != col) {
+      for (std::size_t k = 0; k < n; ++k) {
+        std::swap(a[col * n + k], a[pivot * n + k]);
+      }
+      std::swap(b[col], b[pivot]);
+    }
+    const double inv = 1.0 / a[col * n + col];
+    for (std::size_t row = col + 1; row < n; ++row) {
+      const double factor = a[row * n + col] * inv;
+      if (factor == 0.0) {
+        continue;
+      }
+      for (std::size_t k = col; k < n; ++k) {
+        a[row * n + k] -= factor * a[col * n + k];
+      }
+      b[row] -= factor * b[col];
+    }
+  }
+  std::vector<double> x(n, 0.0);
+  for (std::size_t i = n; i-- > 0;) {
+    double acc = b[i];
+    for (std::size_t k = i + 1; k < n; ++k) {
+      acc -= a[i * n + k] * x[k];
+    }
+    x[i] = std::fabs(a[i * n + i]) < 1e-12 ? 0.0 : acc / a[i * n + i];
+  }
+  return x;
+}
+
+}  // namespace
+
+PredictorWeights train_predictor(const TrainingSet& data,
+                                 const TrainOptions& options,
+                                 std::uint64_t horizon_slots,
+                                 std::uint32_t model_version) {
+  if (data.size() == 0 || data.x.size() != data.y_mbps.size()) {
+    throw std::invalid_argument(
+        "train_predictor: empty or inconsistent training set");
+  }
+  const std::size_t n = data.size();
+  const double inv_n = 1.0 / static_cast<double>(n);
+
+  PredictorWeights w;
+  w.model = options.stump_rounds > 0 ? PredictorModel::kRidgeGbt
+                                     : PredictorModel::kRidge;
+  w.model_version = model_version;
+  w.horizon_slots = horizon_slots;
+
+  // Standardization: per-feature mean and std (floored so constant
+  // features stay harmless instead of dividing by zero).
+  for (std::size_t j = 0; j < kF; ++j) {
+    double mean = 0.0;
+    for (const FeatureVector& x : data.x) {
+      mean += x[j];
+    }
+    mean *= inv_n;
+    double var = 0.0;
+    for (const FeatureVector& x : data.x) {
+      const double d = x[j] - mean;
+      var += d * d;
+    }
+    var *= inv_n;
+    w.mean[j] = mean;
+    w.scale[j] = var > 1e-12 ? std::sqrt(var) : 1.0;
+  }
+
+  // Standardized design matrix folded straight into the (kF+1)^2 normal
+  // matrix: A = Z^T Z + lambda I (bias unpenalized), b = Z^T y.
+  const std::size_t dim = kF + 1;
+  std::vector<double> a(dim * dim, 0.0);
+  std::vector<double> b(dim, 0.0);
+  std::vector<double> z(kF, 0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < kF; ++j) {
+      z[j] = (data.x[i][j] - w.mean[j]) / w.scale[j];
+    }
+    for (std::size_t r = 0; r < kF; ++r) {
+      for (std::size_t c = r; c < kF; ++c) {
+        a[r * dim + c] += z[r] * z[c];
+      }
+      a[r * dim + kF] += z[r];  // bias column
+      b[r] += z[r] * data.y_mbps[i];
+    }
+    b[kF] += data.y_mbps[i];
+  }
+  a[kF * dim + kF] = static_cast<double>(n);
+  for (std::size_t r = 0; r < kF; ++r) {
+    a[r * dim + r] += options.ridge_lambda * static_cast<double>(n);
+    for (std::size_t c = 0; c < r; ++c) {
+      a[r * dim + c] = a[c * dim + r];  // mirror the upper triangle
+    }
+    a[kF * dim + r] = a[r * dim + kF];
+  }
+  const std::vector<double> solution = solve_linear(std::move(a),
+                                                    std::move(b));
+  for (std::size_t j = 0; j < kF; ++j) {
+    w.weights[j] = solution[j];
+  }
+  w.bias = solution[kF];
+
+  if (options.stump_rounds == 0) {
+    return w;
+  }
+
+  // Gradient boosting on the residual with depth-1 trees: each round
+  // greedily picks the (feature, threshold) split minimizing squared
+  // residual, then shrinks the leaf values by the learning rate.
+  std::vector<double> residual(n, 0.0);
+  {
+    const ThroughputPredictor linear{[&] {
+      PredictorWeights base = w;
+      base.model = PredictorModel::kRidge;
+      base.stumps.clear();
+      return base;
+    }()};
+    for (std::size_t i = 0; i < n; ++i) {
+      residual[i] = data.y_mbps[i] - linear.predict_mbps(data.x[i]);
+    }
+  }
+  std::vector<double> sorted(n, 0.0);
+  for (unsigned round = 0; round < options.stump_rounds; ++round) {
+    double best_gain = 0.0;
+    PredictorStump best;
+    bool found = false;
+    for (std::size_t j = 0; j < kF; ++j) {
+      for (std::size_t i = 0; i < n; ++i) {
+        sorted[i] = (data.x[i][j] - w.mean[j]) / w.scale[j];
+      }
+      std::sort(sorted.begin(), sorted.end());
+      const unsigned n_thresholds =
+          std::max(1u, options.thresholds_per_feature);
+      for (unsigned t = 1; t <= n_thresholds; ++t) {
+        const std::size_t q =
+            std::min(n - 1, t * n / (n_thresholds + 1));
+        const double threshold = sorted[q];
+        double sum_l = 0.0;
+        double sum_r = 0.0;
+        std::size_t n_l = 0;
+        for (std::size_t i = 0; i < n; ++i) {
+          const double zi = (data.x[i][j] - w.mean[j]) / w.scale[j];
+          if (zi <= threshold) {
+            sum_l += residual[i];
+            ++n_l;
+          } else {
+            sum_r += residual[i];
+          }
+        }
+        const std::size_t n_r = n - n_l;
+        if (n_l == 0 || n_r == 0) {
+          continue;
+        }
+        const double gain =
+            sum_l * sum_l / static_cast<double>(n_l) +
+            sum_r * sum_r / static_cast<double>(n_r);
+        if (gain > best_gain) {
+          best_gain = gain;
+          best.feature = static_cast<std::uint16_t>(j);
+          best.threshold = threshold;
+          best.left =
+              options.learning_rate * sum_l / static_cast<double>(n_l);
+          best.right =
+              options.learning_rate * sum_r / static_cast<double>(n_r);
+          found = true;
+        }
+      }
+    }
+    if (!found) {
+      break;
+    }
+    w.stumps.push_back(best);
+    for (std::size_t i = 0; i < n; ++i) {
+      const double zi =
+          (data.x[i][best.feature] - w.mean[best.feature]) /
+          w.scale[best.feature];
+      residual[i] -= zi <= best.threshold ? best.left : best.right;
+    }
+  }
+  if (w.stumps.empty()) {
+    w.model = PredictorModel::kRidge;
+  }
+  return w;
+}
+
+PredictionEval evaluate_predictor(const ThroughputPredictor& predictor,
+                                  const TrainingSet& data) {
+  PredictionEval eval;
+  if (data.size() == 0) {
+    return eval;
+  }
+  double abs_sum = 0.0;
+  double actual_sum = 0.0;
+  std::uint64_t within = 0;
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    const double predicted = predictor.predict_mbps(data.x[i]);
+    const double actual = data.y_mbps[i];
+    const double err = std::fabs(predicted - actual);
+    abs_sum += err;
+    actual_sum += actual;
+    if (err <= std::max(0.2 * actual, 0.25)) {
+      ++within;
+    }
+  }
+  eval.n = data.size();
+  const double inv_n = 1.0 / static_cast<double>(data.size());
+  eval.mae_mbps = abs_sum * inv_n;
+  eval.within20_rate = static_cast<double>(within) * inv_n;
+  eval.mean_actual_mbps = actual_sum * inv_n;
+  return eval;
+}
+
+}  // namespace nrs

@@ -1,0 +1,55 @@
+// Offline training for the throughput predictor: standardize features,
+// solve the ridge normal equations, and optionally boost decision stumps
+// on the residuals.  Lives in the analysis library so the unit tests and
+// tools/train_predictor share one implementation; nothing here runs on
+// the sniffer hot path.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "analysis/predictor.h"
+
+namespace nrs {
+
+/// Training examples: x[i] is the feature vector observed at some slot,
+/// y_mbps[i] the ground-truth downlink throughput realized over the
+/// following horizon.
+struct TrainingSet {
+  std::vector<FeatureVector> x;
+  std::vector<double> y_mbps;
+
+  [[nodiscard]] std::size_t size() const { return x.size(); }
+};
+
+struct TrainOptions {
+  double ridge_lambda = 1e-3;  ///< L2 penalty on the standardized weights
+  /// Boosted stumps fitted on the ridge residual (0 = plain ridge).
+  unsigned stump_rounds = 0;
+  double learning_rate = 0.25;
+  /// Candidate split thresholds per feature (evenly spaced quantiles).
+  unsigned thresholds_per_feature = 8;
+};
+
+/// Fit weights on `data`.  `model_version` stamps the output (carried on
+/// the kPrediction wire frame); `horizon_slots` records what the targets
+/// were computed over.  Requires a non-empty training set.
+PredictorWeights train_predictor(const TrainingSet& data,
+                                 const TrainOptions& options,
+                                 std::uint64_t horizon_slots,
+                                 std::uint32_t model_version = 1);
+
+/// Accuracy of `predictor` over `data`.
+struct PredictionEval {
+  std::uint64_t n = 0;
+  double mae_mbps = 0.0;
+  /// Fraction of samples with |error| <= max(20% of actual, 0.25 Mbps);
+  /// the floor keeps idle UEs from dominating the percentage metric.
+  double within20_rate = 0.0;
+  double mean_actual_mbps = 0.0;
+};
+
+PredictionEval evaluate_predictor(const ThroughputPredictor& predictor,
+                                  const TrainingSet& data);
+
+}  // namespace nrs

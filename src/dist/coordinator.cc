@@ -80,6 +80,7 @@ FleetCoordinator::FleetCoordinator(CoordinatorConfig config,
   m_reassignments_ = &registry_->counter("dist.reassignments");
   m_workers_dead_ = &registry_->counter("dist.workers_dead");
   m_stale_reports_ = &registry_->counter("dist.stale_reports");
+  m_predictions_rx_ = &registry_->counter("dist.predictions_received");
   m_version_rejects_ = &registry_->counter("dist.version_rejects");
   m_revokes_ = &registry_->counter("dist.lease_revokes");
   m_workers_alive_ = &registry_->gauge("dist.workers_alive");
@@ -276,6 +277,22 @@ void FleetCoordinator::handle_frame(Connection& conn, const Frame& frame) {
       }
       return;
     }
+    case FrameType::kCellReportBatch: {
+      // v4 workers fold all their leases' reports into one frame; each
+      // element goes through the same per-report path.
+      if (auto batch = decode_cell_report_batch(frame.payload)) {
+        for (const CellReport& report : batch->reports) {
+          handle_cell_report(conn, report);
+        }
+      }
+      return;
+    }
+    case FrameType::kPrediction: {
+      if (auto set = decode_prediction(frame.payload)) {
+        handle_prediction(conn, *set);
+      }
+      return;
+    }
     default:
       return;  // well-framed but not part of the coordination protocol
   }
@@ -353,6 +370,21 @@ void FleetCoordinator::handle_cell_report(Connection& conn,
   record.last = report;
   record.has_report = true;
   ingest_rows(report.cell_index, record, report);
+}
+
+void FleetCoordinator::handle_prediction(Connection& conn,
+                                         const PredictionSet& set) {
+  if (conn.worker_id == 0 || set.cell_index >= records_.size()) {
+    m_stale_reports_->inc();
+    return;  // never greeted, or a cell this fleet does not run
+  }
+  predictions_[set.cell_index] = set;
+  m_predictions_rx_->inc();
+}
+
+std::map<std::uint32_t, PredictionSet> FleetCoordinator::predictions() const {
+  std::lock_guard lock(state_mutex_);
+  return predictions_;
 }
 
 void FleetCoordinator::ingest_rows(std::uint32_t cell_index,

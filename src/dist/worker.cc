@@ -13,6 +13,7 @@
 #include <cmath>
 #include <utility>
 
+#include "analysis/prediction_sink.h"
 #include "gnb/presets.h"
 #include "nr/dci.h"
 #include "store/history_store.h"
@@ -118,6 +119,15 @@ class FleetWorker::RowCollector : public SlotSink {
   std::vector<StoreRowUpdate> rows_;
 };
 
+// The PredictionSink's emitter copies each emitted set here (collector
+// thread); send_reports() forwards the freshest one per report interval
+// (run thread) — latest-wins, like the heartbeat's lease status.
+struct FleetWorker::PredictionBuffer {
+  std::mutex mutex;
+  PredictionSet latest;
+  bool fresh = false;
+};
+
 FleetWorker::FleetWorker(WorkerConfig config, MetricsRegistry* registry)
     : config_(std::move(config)),
       own_registry_(registry == nullptr ? std::make_unique<MetricsRegistry>()
@@ -130,7 +140,20 @@ FleetWorker::FleetWorker(WorkerConfig config, MetricsRegistry* registry)
   m_reconnects_ = &registry_->counter("dist.worker.reconnects");
   m_heartbeats_ = &registry_->counter("dist.worker.heartbeats");
   m_reports_ = &registry_->counter("dist.worker.reports");
+  m_report_batches_ = &registry_->counter("dist.worker.report_batches");
+  m_predictions_sent_ = &registry_->counter("dist.worker.predictions_sent");
   m_cells_ = &registry_->gauge("dist.worker.cells");
+  if (config_.enable_prediction) {
+    PredictorWeights weights =
+        PredictorWeights::baseline(config_.prediction_horizon_slots);
+    if (!config_.predictor_weights_path.empty()) {
+      if (auto loaded =
+              PredictorWeights::load(config_.predictor_weights_path)) {
+        weights = std::move(*loaded);
+      }
+    }
+    predictor_ = std::make_shared<const ThroughputPredictor>(weights);
+  }
   thread_ = std::thread([this] { run(); });
 }
 
@@ -195,6 +218,13 @@ bool FleetWorker::connect_once() {
     const auto it = collectors_.find(local_index);
     return it == collectors_.end() ? nullptr : it->second;
   });
+  if (config_.enable_prediction) {
+    orch_->add_sink("dist-predict", [this](std::uint32_t local_index)
+                                        -> std::shared_ptr<SlotSink> {
+      const auto it = prediction_sinks_.find(local_index);
+      return it == prediction_sinks_.end() ? nullptr : it->second;
+    });
+  }
 
   WorkerHello hello;
   hello.name = config_.name;
@@ -351,6 +381,23 @@ void FleetWorker::handle_lease(const LeaseGrant& grant) {
   const std::uint32_t local =
       static_cast<std::uint32_t>(orch_->n_cells());
   collectors_[local] = lease.collector;
+  if (config_.enable_prediction && predictor_ != nullptr) {
+    auto buffer = std::make_shared<PredictionBuffer>();
+    PredictionSinkConfig pcfg;
+    pcfg.cell_index = grant.spec.cell_index;
+    pcfg.features.scs = spec.cell.scs;
+    pcfg.features.n_prb = spec.cell.n_prb;
+    pcfg.period_slots = config_.prediction_period_slots;
+    lease.prediction_sink = std::make_shared<PredictionSink>(
+        predictor_, pcfg, registry_,
+        [buffer](const PredictionSet& set) {
+          std::lock_guard lock(buffer->mutex);
+          buffer->latest = set;
+          buffer->fresh = true;
+        });
+    lease.prediction_buffer = std::move(buffer);
+    prediction_sinks_[local] = lease.prediction_sink;
+  }
   lease.local_index = orch_->add_cell(std::move(spec),
                                       grant.spec.incarnation);
   leases_[grant.lease_id] = std::move(lease);
@@ -375,6 +422,7 @@ void FleetWorker::drop_lease(std::uint64_t lease_id) {
   dropped_slots_ += orch_->cell_slots(it->second.local_index);
   orch_->remove_cell(it->second.local_index);
   collectors_.erase(it->second.local_index);
+  prediction_sinks_.erase(it->second.local_index);
   leases_.erase(it);
   n_cells_.store(leases_.size());
   m_cells_->set(static_cast<std::int64_t>(leases_.size()));
@@ -419,7 +467,11 @@ void FleetWorker::send_reports() {
   if (leases_.empty()) {
     return;
   }
+  // All leases' reports ride in ONE kCellReportBatch frame per interval:
+  // a worker running N cells costs one send on the WAN link, not N.
   const FleetRollup rollup = orch_->rollup();
+  CellReportBatch batch;
+  batch.reports.reserve(leases_.size());
   for (const auto& [id, lease] : leases_) {
     if (lease.local_index >= rollup.cells.size()) {
       continue;
@@ -442,11 +494,39 @@ void FleetWorker::send_reports() {
     report.utilization = cell.utilization;
     report.spare_prb_rate = cell.spare_prb_rate;
     report.rows = lease.collector->drain(config_.max_rows_per_report);
-    if (!send_frame(cell_report_frame(report))) {
+    batch.reports.push_back(std::move(report));
+  }
+  if (batch.reports.empty()) {
+    return;
+  }
+  const std::size_t n_reports = batch.reports.size();
+  if (!send_frame(cell_report_batch_frame(batch))) {
+    disconnect();
+    return;
+  }
+  m_report_batches_->inc();
+  m_reports_->inc(n_reports);
+
+  // Forward each cell's freshest prediction set (when the sink produced
+  // one since the last interval).
+  for (const auto& [id, lease] : leases_) {
+    if (lease.prediction_buffer == nullptr) {
+      continue;
+    }
+    PredictionSet set;
+    {
+      std::lock_guard lock(lease.prediction_buffer->mutex);
+      if (!lease.prediction_buffer->fresh) {
+        continue;
+      }
+      set = lease.prediction_buffer->latest;
+      lease.prediction_buffer->fresh = false;
+    }
+    if (!send_frame(prediction_frame(set))) {
       disconnect();
       return;
     }
-    m_reports_->inc();
+    m_predictions_sent_->inc();
   }
 }
 

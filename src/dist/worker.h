@@ -31,6 +31,7 @@
 #include <thread>
 #include <vector>
 
+#include "analysis/predictor.h"
 #include "common/metrics.h"
 #include "fleet/fleet.h"
 #include "net/wire.h"
@@ -59,6 +60,19 @@ struct WorkerConfig {
   /// Cap on forwarded store rows per cell report (excess rows are dropped
   /// oldest-first; the cap bounds frame size under backlog).
   std::size_t max_rows_per_report = 4096;
+
+  /// Run the online throughput predictor on every leased cell and forward
+  /// each cell's latest PredictionSet (kPrediction) alongside the reports,
+  /// so the coordinator holds the fleet-wide prediction view.
+  bool enable_prediction = false;
+  /// Trained weights file for the predictor; empty (or unloadable) falls
+  /// back to the built-in persistence baseline (model_version 0).
+  std::string predictor_weights_path;
+  /// Forecast cadence inside each cell's PredictionSink.
+  std::uint64_t prediction_period_slots = 40;
+  /// Horizon for the baseline predictor when no weights file is given (a
+  /// loaded weights file carries its own horizon).
+  std::uint64_t prediction_horizon_slots = 200;
 };
 
 class FleetWorker {
@@ -105,12 +119,19 @@ class FleetWorker {
   /// restarts.  Defined in worker.cc.
   class RowCollector;
 
+  /// Latest PredictionSet produced by one leased cell's PredictionSink
+  /// (written on the cell's collector thread, drained by the run thread
+  /// with the next report batch).  Defined in worker.cc.
+  struct PredictionBuffer;
+
   struct HeldLease {
     std::uint64_t lease_id = 0;
     std::uint32_t cell_index = 0;  ///< fleet-global index
     std::uint32_t local_index = 0; ///< index inside the orchestrator
     Clock::time_point expires_at{};
     std::shared_ptr<RowCollector> collector;
+    std::shared_ptr<SlotSink> prediction_sink;  ///< null unless enabled
+    std::shared_ptr<PredictionBuffer> prediction_buffer;
   };
 
   void run();
@@ -145,6 +166,11 @@ class FleetWorker {
   std::map<std::uint64_t, HeldLease> leases_;  ///< by lease_id
   std::map<std::uint32_t, std::shared_ptr<RowCollector>>
       collectors_;  ///< by orchestrator-local index
+  std::map<std::uint32_t, std::shared_ptr<SlotSink>>
+      prediction_sinks_;  ///< by orchestrator-local index
+  /// One predictor shared by every leased cell's sink (weights are
+  /// immutable after load).
+  std::shared_ptr<const ThroughputPredictor> predictor_;
   std::uint64_t heartbeat_seq_ = 0;
   std::uint64_t dropped_slots_ = 0;  ///< slots from already-dropped leases
 
@@ -160,6 +186,8 @@ class FleetWorker {
   Counter* m_reconnects_ = nullptr;
   Counter* m_heartbeats_ = nullptr;
   Counter* m_reports_ = nullptr;
+  Counter* m_report_batches_ = nullptr;
+  Counter* m_predictions_sent_ = nullptr;
   Gauge* m_cells_ = nullptr;
 };
 

@@ -274,6 +274,7 @@ bool TelemetryStreamClient::dispatch_frame(const Frame& frame) {
       {FrameType::kSlot, &TelemetryStreamClient::handle_slot},
       {FrameType::kMetrics, &TelemetryStreamClient::handle_metrics},
       {FrameType::kFleet, &TelemetryStreamClient::handle_fleet},
+      {FrameType::kPrediction, &TelemetryStreamClient::handle_prediction},
       {FrameType::kHeartbeat, &TelemetryStreamClient::handle_heartbeat},
       {FrameType::kEnd, &TelemetryStreamClient::handle_end},
       {FrameType::kQueryResult,
@@ -326,6 +327,17 @@ bool TelemetryStreamClient::handle_fleet(const Frame& frame) {
   if (auto fleet = decode_fleet(frame.payload)) {
     if (handlers_.on_fleet) {
       handlers_.on_fleet(*fleet);
+    }
+  } else {
+    m_decode_errors_->inc();
+  }
+  return false;
+}
+
+bool TelemetryStreamClient::handle_prediction(const Frame& frame) {
+  if (auto set = decode_prediction(frame.payload)) {
+    if (handlers_.on_prediction) {
+      handlers_.on_prediction(*set);
     }
   } else {
     m_decode_errors_->inc();

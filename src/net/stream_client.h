@@ -58,6 +58,9 @@ struct StreamClientHandlers {
   std::function<void(const SlotResult&)> on_slot;
   std::function<void(const MetricsSnapshot&)> on_metrics;
   std::function<void(const FleetSummary&)> on_fleet;
+  /// One analysis PredictionSet (per-UE throughput forecasts and matured
+  /// predicted-vs-actual scores) arrived on the stream.
+  std::function<void(const PredictionSet&)> on_prediction;
   std::function<void()> on_disconnected;
   std::function<void()> on_end_of_stream;
   /// The server rejected this client's protocol version (a structured
@@ -125,6 +128,7 @@ class TelemetryStreamClient {
   bool handle_slot(const Frame& frame);
   bool handle_metrics(const Frame& frame);
   bool handle_fleet(const Frame& frame);
+  bool handle_prediction(const Frame& frame);
   bool handle_heartbeat(const Frame& frame);
   bool handle_end(const Frame& frame);
   bool handle_query_result(const Frame& frame);

@@ -23,6 +23,8 @@ const char* to_string(FrameType type) {
     case FrameType::kCellReport: return "cell_report";
     case FrameType::kLeaseRevoke: return "lease_revoke";
     case FrameType::kUnsupportedVersion: return "unsupported_version";
+    case FrameType::kPrediction: return "prediction";
+    case FrameType::kCellReportBatch: return "cell_report_batch";
   }
   return "unknown";
 }
@@ -975,10 +977,12 @@ void encode_cell_report(const CellReport& report, WireWriter& w) {
   }
 }
 
-std::optional<CellReport> decode_cell_report(
-    std::span<const std::uint8_t> payload) {
-  WireReader r(payload);
-  CellReport report;
+namespace {
+
+// Reads one CellReport's fields from `r` without requiring the reader to
+// be exhausted, so the same body serves both the single-report frame and
+// each element of a kCellReportBatch.
+bool read_cell_report_body(WireReader& r, CellReport& report) {
   report.lease_id = r.u64();
   report.cell_index = r.u32();
   report.cell_state = r.u8();
@@ -994,7 +998,7 @@ std::optional<CellReport> decode_cell_report(
   report.spare_prb_rate = r.f64();
   const std::uint32_t n_rows = r.u32();
   if (!r.ok() || n_rows > r.remaining()) {
-    return std::nullopt;
+    return false;
   }
   report.rows.reserve(n_rows);
   for (std::uint32_t i = 0; i < n_rows; ++i) {
@@ -1005,7 +1009,16 @@ std::optional<CellReport> decode_cell_report(
     row.value = r.f64();
     report.rows.push_back(row);
   }
-  if (!r.done()) {
+  return r.ok();
+}
+
+}  // namespace
+
+std::optional<CellReport> decode_cell_report(
+    std::span<const std::uint8_t> payload) {
+  WireReader r(payload);
+  CellReport report;
+  if (!read_cell_report_body(r, report) || !r.done()) {
     return std::nullopt;
   }
   return report;
@@ -1028,6 +1041,87 @@ std::optional<LeaseRevoke> decode_lease_revoke(
     return std::nullopt;
   }
   return revoke;
+}
+
+void encode_cell_report_batch(const CellReportBatch& batch, WireWriter& w) {
+  w.u32(static_cast<std::uint32_t>(batch.reports.size()));
+  for (const CellReport& report : batch.reports) {
+    encode_cell_report(report, w);
+  }
+}
+
+std::optional<CellReportBatch> decode_cell_report_batch(
+    std::span<const std::uint8_t> payload) {
+  WireReader r(payload);
+  CellReportBatch batch;
+  const std::uint32_t n_reports = r.u32();
+  if (!r.ok() || n_reports > r.remaining()) {
+    return std::nullopt;
+  }
+  batch.reports.reserve(n_reports);
+  for (std::uint32_t i = 0; i < n_reports; ++i) {
+    CellReport report;
+    if (!read_cell_report_body(r, report)) {
+      return std::nullopt;
+    }
+    batch.reports.push_back(std::move(report));
+  }
+  if (!r.done()) {
+    return std::nullopt;
+  }
+  return batch;
+}
+
+void encode_prediction(const PredictionSet& set, WireWriter& w) {
+  w.u32(set.cell_index);
+  w.u64(set.slot);
+  w.u32(set.horizon_slots);
+  w.u32(set.model_version);
+  w.u32(static_cast<std::uint32_t>(set.entries.size()));
+  for (const PredictionEntry& e : set.entries) {
+    w.u16(e.rnti);
+    std::uint8_t flags = 0;
+    if (e.has_actual) {
+      flags |= 0x01;
+    }
+    if (e.degraded) {
+      flags |= 0x02;
+    }
+    w.u8(flags);
+    w.f64(e.predicted_bps);
+    w.f64(e.actual_bps);
+    w.f64(e.abs_error_bps);
+  }
+}
+
+std::optional<PredictionSet> decode_prediction(
+    std::span<const std::uint8_t> payload) {
+  WireReader r(payload);
+  PredictionSet set;
+  set.cell_index = r.u32();
+  set.slot = r.u64();
+  set.horizon_slots = r.u32();
+  set.model_version = r.u32();
+  const std::uint32_t n_entries = r.u32();
+  if (!r.ok() || n_entries > r.remaining()) {
+    return std::nullopt;
+  }
+  set.entries.reserve(n_entries);
+  for (std::uint32_t i = 0; i < n_entries; ++i) {
+    PredictionEntry e;
+    e.rnti = r.u16();
+    const std::uint8_t flags = r.u8();
+    e.has_actual = (flags & 0x01) != 0;
+    e.degraded = (flags & 0x02) != 0;
+    e.predicted_bps = r.f64();
+    e.actual_bps = r.f64();
+    e.abs_error_bps = r.f64();
+    set.entries.push_back(e);
+  }
+  if (!r.done()) {
+    return std::nullopt;
+  }
+  return set;
 }
 
 std::vector<std::uint8_t> version_reject_frame(const VersionReject& reject) {
@@ -1070,6 +1164,19 @@ std::vector<std::uint8_t> lease_revoke_frame(const LeaseRevoke& revoke) {
   WireWriter w;
   encode_lease_revoke(revoke, w);
   return encode_frame(FrameType::kLeaseRevoke, w.data());
+}
+
+std::vector<std::uint8_t> cell_report_batch_frame(
+    const CellReportBatch& batch) {
+  WireWriter w;
+  encode_cell_report_batch(batch, w);
+  return encode_frame(FrameType::kCellReportBatch, w.data());
+}
+
+std::vector<std::uint8_t> prediction_frame(const PredictionSet& set) {
+  WireWriter w;
+  encode_prediction(set, w);
+  return encode_frame(FrameType::kPrediction, w.data());
 }
 
 std::vector<std::uint8_t> heartbeat_frame() {

@@ -31,8 +31,9 @@ inline constexpr std::uint32_t kWireMagic = 0x4E525357;  // "NRSW"
 /// v2 added the request/response query frames (kQuery / kQueryResult);
 /// v3 added the distributed-fleet work-assignment frames (worker hello,
 /// leases, heartbeats, cell reports) and the structured version-reject
-/// frame.
-inline constexpr std::uint16_t kWireVersion = 3;
+/// frame; v4 added the online-prediction frame (kPrediction) and the
+/// batched multi-cell report (kCellReportBatch).
+inline constexpr std::uint16_t kWireVersion = 4;
 /// Oldest peer version still accepted.  v1 predates the query frames and
 /// the correlation-ID discipline, so it is no longer interoperable; a v1
 /// peer is answered with a kUnsupportedVersion frame and disconnected.
@@ -64,6 +65,9 @@ enum class FrameType : std::uint16_t {
   /// before the connection is dropped, so old clients see a clear error
   /// instead of a silent disconnect.
   kUnsupportedVersion = 15,
+  // Online prediction + WAN batching, v4.
+  kPrediction = 16,       ///< one serialized PredictionSet (analysis sink)
+  kCellReportBatch = 17,  ///< worker -> coordinator: many CellReports at once
 };
 
 const char* to_string(FrameType type);
@@ -315,6 +319,45 @@ struct CellReport {
   [[nodiscard]] bool operator==(const CellReport&) const = default;
 };
 
+/// Worker -> coordinator: every live lease's CellReport folded into one
+/// frame per report interval (FrameType::kCellReportBatch), so a worker
+/// running N cells costs one send + one syscall per interval instead of N
+/// — the WAN-headroom batching noted against the PR 7 fleet.
+struct CellReportBatch {
+  std::vector<CellReport> reports;
+  [[nodiscard]] bool operator==(const CellReportBatch&) const = default;
+};
+
+/// One UE's row in a PredictionSet.  `predicted_bps` is the downlink
+/// throughput the analysis predictor forecast over `horizon_slots`;
+/// when `has_actual` is set the horizon has matured and `actual_bps` /
+/// `abs_error_bps` carry the realized value and |predicted - actual|.
+/// `degraded` marks forecasts made while the engine was resyncing
+/// (SlotResult::degraded) — consumers should trust them less.
+struct PredictionEntry {
+  std::uint16_t rnti = 0;
+  bool has_actual = false;
+  bool degraded = false;
+  double predicted_bps = 0.0;
+  double actual_bps = 0.0;
+  double abs_error_bps = 0.0;
+  [[nodiscard]] bool operator==(const PredictionEntry&) const = default;
+};
+
+/// Periodic output of the analysis PredictionSink
+/// (FrameType::kPrediction): fresh per-UE throughput forecasts plus the
+/// predicted-vs-actual scoring of forecasts whose horizon just matured.
+/// `model_version` stamps which trained weights produced the numbers so
+/// fleet-wide consumers can tell cells running stale models apart.
+struct PredictionSet {
+  std::uint32_t cell_index = 0;
+  std::uint64_t slot = 0;  ///< sink-local slot the set was emitted at
+  std::uint32_t horizon_slots = 0;
+  std::uint32_t model_version = 0;
+  std::vector<PredictionEntry> entries;
+  [[nodiscard]] bool operator==(const PredictionSet&) const = default;
+};
+
 /// Coordinator -> worker: stop running this cell (rebalance toward a
 /// newly joined worker, or an operator decision).  The worker tears the
 /// cell down and stops reporting under this lease.
@@ -475,6 +518,14 @@ void encode_lease_revoke(const LeaseRevoke& revoke, WireWriter& w);
 std::optional<LeaseRevoke> decode_lease_revoke(
     std::span<const std::uint8_t> payload);
 
+void encode_cell_report_batch(const CellReportBatch& batch, WireWriter& w);
+std::optional<CellReportBatch> decode_cell_report_batch(
+    std::span<const std::uint8_t> payload);
+
+void encode_prediction(const PredictionSet& set, WireWriter& w);
+std::optional<PredictionSet> decode_prediction(
+    std::span<const std::uint8_t> payload);
+
 //// Convenience: payload codec + framing in one call.
 std::vector<std::uint8_t> hello_frame(const HelloInfo& hello);
 std::vector<std::uint8_t> slot_frame(const SlotResult& result);
@@ -489,6 +540,8 @@ std::vector<std::uint8_t> lease_ack_frame(const LeaseAck& ack);
 std::vector<std::uint8_t> worker_heartbeat_frame(const WorkerHeartbeat& hb);
 std::vector<std::uint8_t> cell_report_frame(const CellReport& report);
 std::vector<std::uint8_t> lease_revoke_frame(const LeaseRevoke& revoke);
+std::vector<std::uint8_t> cell_report_batch_frame(const CellReportBatch& batch);
+std::vector<std::uint8_t> prediction_frame(const PredictionSet& set);
 std::vector<std::uint8_t> heartbeat_frame();
 std::vector<std::uint8_t> end_frame();
 

@@ -107,6 +107,7 @@ NrScope::NrScope(const NrScopeConfig& config)
       &metrics_registry_.counter("nrscope.stream_gap_slots");
   m_stale_evictions_ =
       &metrics_registry_.counter("nrscope.stale_ue_evictions");
+  m_rnti_evictions_ = &metrics_registry_.counter("nrscope.rnti_evictions");
   m_dedupe_candidates_ =
       &metrics_registry_.counter("nrscope.dedupe_candidates");
   m_dedupe_locations_ =
@@ -186,6 +187,21 @@ void NrScope::add_ue(Rnti rnti, const RrcSetup& config) {
   ues_.push_back(UeSearchContext{rnti, config});
   ue_last_seen_.push_back(slot_index_);
   telemetry_.add_ue(rnti, slot_index_);
+}
+
+void NrScope::bind_rach_ue(Rnti rnti, const RrcSetup& config) {
+  for (std::size_t i = 0; i < ues_.size(); ++i) {
+    if (ues_[i].rnti == rnti) {
+      // C-RNTI reuse: the RACH just granted a tracked value to a new UE,
+      // so the old binding is stale — rebind with fresh telemetry.
+      ues_[i].config = config;
+      ue_last_seen_[i] = slot_index_;
+      telemetry_.rebind_ue(rnti, slot_index_);
+      m_rnti_evictions_->inc();
+      return;
+    }
+  }
+  add_ue(rnti, config);
 }
 
 void NrScope::cleanup_stale_ues() {
@@ -416,7 +432,7 @@ void NrScope::track(const ResourceGrid& grid, SlotResult& result) {
   rach_.process_slot(grid, now, slot_index_, air_slot_index(),
                      pdcch_scratch_[0], result.dcis, result.new_ues);
   for (const auto& ue : result.new_ues) {
-    add_ue(ue.c_rnti, ue.config);
+    bind_rach_ue(ue.c_rnti, ue.config);
   }
 
   // DCI threads: the UE list is sharded across the pool (paper section 4).

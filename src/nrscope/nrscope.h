@@ -137,6 +137,13 @@ class NrScope {
   /// cell info input.
   void add_ue(Rnti rnti, const RrcSetup& config);
 
+  /// RACH-discovered UE: like add_ue, but when the C-RNTI is already
+  /// tracked this is the gNB *reusing* a released value for a newcomer —
+  /// the old context and its telemetry are dropped and rebound fresh
+  /// (counted in nrscope.rnti_evictions) instead of silently inheriting
+  /// the predecessor's HARQ/rate state.
+  void bind_rach_ue(Rnti rnti, const RrcSetup& config);
+
   /// Declare `missed` slots lost in the input stream (a known gap, e.g.
   /// an SDR overflow report): the slot clock advances so the frame phase
   /// stays locked across the gap — no resync needed.  Unknown timing
@@ -251,6 +258,7 @@ class NrScope {
   Counter* m_degraded_slots_ = nullptr;
   Counter* m_stream_gap_slots_ = nullptr;
   Counter* m_stale_evictions_ = nullptr;
+  Counter* m_rnti_evictions_ = nullptr;
   Counter* m_dedupe_candidates_ = nullptr;
   Counter* m_dedupe_locations_ = nullptr;
   Histogram* m_demod_us_ = nullptr;

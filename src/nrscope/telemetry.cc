@@ -101,6 +101,11 @@ void CellTelemetry::remove_ue(Rnti rnti) {
   }
 }
 
+void CellTelemetry::rebind_ue(Rnti rnti, std::uint64_t slot) {
+  remove_ue(rnti);
+  ensure_ue(rnti, slot);
+}
+
 UeTelemetry* CellTelemetry::find(Rnti rnti) {
   const auto it = ues_.find(rnti);
   return it == ues_.end() ? nullptr : &it->second;

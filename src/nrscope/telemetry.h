@@ -156,6 +156,11 @@ class CellTelemetry {
   /// first data DCI).
   void add_ue(Rnti rnti, std::uint64_t slot);
   void remove_ue(Rnti rnti);
+  /// The gNB released this C-RNTI and granted it to a *different* UE
+  /// (RACH-observed reuse under churn): drop the old UE's telemetry —
+  /// HARQ NDI state, rate window, MCS histogram — and start fresh, so the
+  /// newcomer's numbers are not polluted by its predecessor's.
+  void rebind_ue(Rnti rnti, std::uint64_t slot);
 
   [[nodiscard]] const std::vector<SlotCapacity>& history() const {
     return history_;

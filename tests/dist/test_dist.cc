@@ -23,6 +23,7 @@
 #include <thread>
 #include <vector>
 
+#include "common/metrics.h"
 #include "dist/catalog.h"
 #include "dist/coordinator.h"
 #include "dist/lease.h"
@@ -369,6 +370,71 @@ TEST(DistE2E, OverCapacityGrantsAreRefusedAndLandElsewhere) {
 
   w0->stop();
   w1->stop();
+  coordinator.stop();
+}
+
+TEST(DistE2E, PredictionSetsFlowToCoordinator) {
+  // A prediction-enabled worker forwards its per-cell forecast sets over
+  // the same socket as the batched reports; the coordinator keeps the
+  // freshest set per cell.  No weights file is given, so the worker falls
+  // back to the persistence baseline (model_version 0).
+  MetricsRegistry registry;
+  FleetCoordinator coordinator(coordinator_config(2), &registry);
+  ASSERT_GT(coordinator.port(), 0);
+
+  WorkerConfig wc = worker_config(coordinator.port(), "oracle", 2);
+  wc.enable_prediction = true;
+  wc.prediction_period_slots = 20;   // forecast often
+  wc.prediction_horizon_slots = 100;  // ...and mature quickly
+  auto worker = std::make_unique<FleetWorker>(wc);
+
+  ASSERT_TRUE(wait_until([&] { return coordinator.all_cells_active(); }, 30.0))
+      << "fleet never converged";
+  ASSERT_TRUE(wait_until([&] { return coordinator.predictions().size() == 2; },
+                         30.0))
+      << "prediction sets never reached the coordinator";
+
+  for (const auto& [cell_index, set] : coordinator.predictions()) {
+    EXPECT_LT(cell_index, 2u);
+    EXPECT_EQ(set.cell_index, cell_index);
+    EXPECT_EQ(set.horizon_slots, 100u);
+    EXPECT_EQ(set.model_version, 0u) << "baseline fallback expected";
+  }
+  EXPECT_GE(registry.snapshot().counter_value("dist.predictions_received"),
+            2u);
+
+  // The sim cells carry UEs, so entries show up once the trackers lock.
+  ASSERT_TRUE(wait_until([&] {
+    for (const auto& [cell_index, set] : coordinator.predictions()) {
+      if (!set.entries.empty()) {
+        return true;
+      }
+    }
+    return false;
+  }, 30.0)) << "no per-UE forecast entries ever arrived";
+
+  // Sets keep refreshing: the stamped slot advances across intervals.
+  std::map<std::uint32_t, std::uint64_t> first_slots;
+  for (const auto& [cell_index, set] : coordinator.predictions()) {
+    first_slots[cell_index] = set.slot;
+  }
+  ASSERT_TRUE(wait_until([&] {
+    for (const auto& [cell_index, set] : coordinator.predictions()) {
+      if (set.slot > first_slots[cell_index]) {
+        return true;
+      }
+    }
+    return false;
+  }, 30.0)) << "prediction sets went stale";
+
+  // Report flow rode along in batch frames the whole time.
+  std::uint64_t total_slots = 0;
+  for (const DistCellStatus& cell : coordinator.cells()) {
+    total_slots += cell.slots;
+  }
+  EXPECT_GT(total_slots, 0u) << "batched cell reports never landed";
+
+  worker->stop();
   coordinator.stop();
 }
 

@@ -154,6 +154,48 @@ TEST(Stream, DeliversSlotsMetricsAndEndOfStream) {
   EXPECT_EQ(snap.counter_value("net.client_connects"), 1u);
 }
 
+TEST(Stream, DeliversPredictionFrames) {
+  TelemetryStreamServer server(StreamServerConfig{});
+  std::mutex mutex;
+  std::vector<PredictionSet> received;
+  int hellos = 0;
+  StreamClientHandlers handlers;
+  handlers.on_connected = [&](const HelloInfo&) {
+    std::lock_guard lock(mutex);
+    ++hellos;
+  };
+  handlers.on_prediction = [&](const PredictionSet& set) {
+    std::lock_guard lock(mutex);
+    received.push_back(set);
+  };
+  TelemetryStreamClient client(client_config(server.port()), handlers);
+  ASSERT_TRUE(wait_until([&] {
+    std::lock_guard lock(mutex);
+    return hellos >= 1;
+  }));
+
+  PredictionSet set;
+  set.cell_index = 2;
+  set.slot = 4242;
+  set.horizon_slots = 200;
+  set.model_version = 1;
+  PredictionEntry entry;
+  entry.rnti = 0x4601;
+  entry.has_actual = true;
+  entry.predicted_bps = 3.5e6;
+  entry.actual_bps = 3.1e6;
+  entry.abs_error_bps = 0.4e6;
+  set.entries.push_back(entry);
+  server.broadcast_frame(prediction_frame(set));
+
+  ASSERT_TRUE(wait_until([&] {
+    std::lock_guard lock(mutex);
+    return !received.empty();
+  }));
+  std::lock_guard lock(mutex);
+  EXPECT_EQ(received.front(), set);
+}
+
 TEST(Stream, ClientSurvivesServerSideKick) {
   TelemetryStreamServer server(StreamServerConfig{});
   Collector collector;

@@ -798,7 +798,164 @@ TEST(Wire, DistFramesRoundTripThroughParser) {
   EXPECT_EQ(types.size(), 7u);
 }
 
+// ---- Prediction frames (protocol v4) ----------------------------------
+
+PredictionSet sample_prediction_set() {
+  PredictionSet set;
+  set.cell_index = 3;
+  set.slot = 123456;
+  set.horizon_slots = 200;
+  set.model_version = 7;
+  PredictionEntry fresh;
+  fresh.rnti = 0x4601;
+  fresh.has_actual = false;
+  fresh.degraded = false;
+  fresh.predicted_bps = 2.5e6;
+  set.entries.push_back(fresh);
+  PredictionEntry matured;
+  matured.rnti = 0x4602;
+  matured.has_actual = true;
+  matured.degraded = true;
+  matured.predicted_bps = 5.5e6;
+  matured.actual_bps = 4.75e6;
+  matured.abs_error_bps = 0.75e6;
+  set.entries.push_back(matured);
+  return set;
+}
+
+CellReportBatch sample_cell_report_batch() {
+  CellReportBatch batch;
+  batch.reports.push_back(sample_cell_report());
+  CellReport second = sample_cell_report();
+  second.lease_id = 43;
+  second.cell_index = 5;
+  second.rows.clear();
+  batch.reports.push_back(second);
+  return batch;
+}
+
+TEST(Wire, PredictionSetRoundTrip) {
+  const PredictionSet set = sample_prediction_set();
+  WireWriter w;
+  encode_prediction(set, w);
+  const auto decoded = decode_prediction(w.data());
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(*decoded, set);
+}
+
+TEST(Wire, PredictionSetFuzzRoundTrip) {
+  Rng rng(19);
+  for (int i = 0; i < 200; ++i) {
+    PredictionSet set;
+    set.cell_index = static_cast<std::uint32_t>(rng.uniform_int(0, 1000));
+    set.slot = static_cast<std::uint64_t>(rng.uniform_int(0, 1 << 30));
+    set.horizon_slots =
+        static_cast<std::uint32_t>(rng.uniform_int(1, 100000));
+    set.model_version = static_cast<std::uint32_t>(rng.uniform_int(0, 99));
+    const auto n = static_cast<std::size_t>(rng.uniform_int(0, 16));
+    for (std::size_t j = 0; j < n; ++j) {
+      PredictionEntry e;
+      e.rnti = static_cast<Rnti>(rng.uniform_int(1, 0xFFFF));
+      e.has_actual = rng.chance(0.5);
+      e.degraded = rng.chance(0.2);
+      e.predicted_bps = rng.uniform(0.0, 1e9);
+      if (e.has_actual) {
+        e.actual_bps = rng.uniform(0.0, 1e9);
+        e.abs_error_bps = rng.uniform(0.0, 1e8);
+      }
+      set.entries.push_back(e);
+    }
+    WireWriter w;
+    encode_prediction(set, w);
+    const auto decoded = decode_prediction(w.data());
+    ASSERT_TRUE(decoded.has_value()) << "iteration " << i;
+    EXPECT_EQ(*decoded, set) << "iteration " << i;
+  }
+}
+
+TEST(Wire, PredictionSetEveryTruncationFailsCleanly) {
+  WireWriter w;
+  encode_prediction(sample_prediction_set(), w);
+  const std::vector<std::uint8_t> full = w.take();
+  for (std::size_t len = 0; len < full.size(); ++len) {
+    const auto decoded =
+        decode_prediction(std::span<const std::uint8_t>(full.data(), len));
+    EXPECT_FALSE(decoded.has_value()) << "prefix length " << len;
+  }
+}
+
+TEST(Wire, PredictionSetRejectsTrailingGarbage) {
+  WireWriter w;
+  encode_prediction(sample_prediction_set(), w);
+  auto bytes = w.take();
+  bytes.push_back(0x01);
+  EXPECT_FALSE(decode_prediction(bytes).has_value());
+}
+
+TEST(Wire, CellReportBatchRoundTrip) {
+  const CellReportBatch batch = sample_cell_report_batch();
+  WireWriter w;
+  encode_cell_report_batch(batch, w);
+  const auto decoded = decode_cell_report_batch(w.data());
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(*decoded, batch);
+}
+
+TEST(Wire, CellReportBatchEmptyRoundTrip) {
+  const CellReportBatch batch;
+  WireWriter w;
+  encode_cell_report_batch(batch, w);
+  const auto decoded = decode_cell_report_batch(w.data());
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_TRUE(decoded->reports.empty());
+}
+
+TEST(Wire, CellReportBatchEveryTruncationFailsCleanly) {
+  WireWriter w;
+  encode_cell_report_batch(sample_cell_report_batch(), w);
+  const std::vector<std::uint8_t> full = w.take();
+  for (std::size_t len = 0; len < full.size(); ++len) {
+    const auto decoded = decode_cell_report_batch(
+        std::span<const std::uint8_t>(full.data(), len));
+    EXPECT_FALSE(decoded.has_value()) << "prefix length " << len;
+  }
+}
+
+TEST(Wire, PredictionFramesRoundTripThroughParser) {
+  FrameParser parser;
+  parser.feed(prediction_frame(sample_prediction_set()));
+  parser.feed(cell_report_batch_frame(sample_cell_report_batch()));
+  auto frame = parser.next();
+  ASSERT_TRUE(frame.has_value());
+  EXPECT_EQ(frame->type, FrameType::kPrediction);
+  EXPECT_EQ(decode_prediction(frame->payload), sample_prediction_set());
+  frame = parser.next();
+  ASSERT_TRUE(frame.has_value());
+  EXPECT_EQ(frame->type, FrameType::kCellReportBatch);
+  EXPECT_EQ(decode_cell_report_batch(frame->payload),
+            sample_cell_report_batch());
+  EXPECT_FALSE(parser.error());
+}
+
 // ---- Version window ---------------------------------------------------
+
+// A v3 peer (pre-prediction) is inside the accept window: its frames must
+// still parse, so old clients and workers interoperate with a v4 process.
+TEST(Wire, Version3FramesStillParse) {
+  ASSERT_GE(3, kWireMinVersion);
+  ASSERT_LE(3, kWireVersion);
+  WireWriter payload;
+  encode_cell_report(sample_cell_report(), payload);
+  const auto frame =
+      encode_frame_with_version(3, FrameType::kCellReport, payload.data());
+  FrameParser parser;
+  parser.feed(frame);
+  const auto parsed = parser.next();
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->type, FrameType::kCellReport);
+  EXPECT_EQ(decode_cell_report(parsed->payload), sample_cell_report());
+  EXPECT_FALSE(parser.error());
+}
 
 TEST(Wire, FrameParserAcceptsMinSupportedVersion) {
   const auto frame =

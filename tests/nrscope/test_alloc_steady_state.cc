@@ -12,6 +12,7 @@
 #include <thread>
 #include <vector>
 
+#include "analysis/prediction_sink.h"
 #include "common/alloc_shim.h"
 #include "gnb/gnb_sim.h"
 #include "gnb/presets.h"
@@ -256,6 +257,74 @@ TEST(AllocSteadyState, PipelineWithHistoryStoreIsAllocationFree) {
   EXPECT_TRUE(nrs::alloc::hooks_active());
   EXPECT_GT(store_sink->rows_written(), rows_before)
       << "the measured window must actually ingest rows";
+  EXPECT_EQ(totals.allocs, 0u)
+      << totals.bytes << " bytes over " << kMeasuredSlots << " slots";
+  EXPECT_EQ(totals.frees, 0u);
+}
+
+// The online-prediction path rides the collector thread too: feature
+// extractor windows roll, forecasts are made every period and matured a
+// horizon later, all inside on_slot().  With the sink attached (feature
+// rings and the pending-forecast ring sized during warm-up) the steady
+// state must stay allocation-free.
+TEST(AllocSteadyState, PipelineWithPredictionSinkIsAllocationFree) {
+  const Feed& f = feed();
+  NrScopePipeline pipeline(scope_config(f.cell), /*n_demod_workers=*/2);
+
+  auto predictor = std::make_shared<const ThroughputPredictor>(
+      PredictorWeights::baseline(/*horizon_slots=*/200));
+  PredictionSinkConfig pred_cfg;
+  pred_cfg.features.scs = f.cell.scs;
+  pred_cfg.features.n_prb = f.cell.n_prb;
+  pred_cfg.period_slots = 40;
+  auto pred_sink = std::make_shared<PredictionSink>(predictor, pred_cfg);
+  auto sink = std::make_shared<CountingSink>();
+  pipeline.add_sink("predict", pred_sink);
+  pipeline.add_sink("counter", sink);
+
+  auto push_blocking = [&](const IqBuffer& samples) {
+    for (;;) {
+      auto handle = pipeline.acquire_samples();
+      handle->assign(samples.begin(), samples.end());
+      if (pipeline.push_slot(std::move(handle))) {
+        return;
+      }
+      std::this_thread::sleep_for(std::chrono::microseconds(50));
+    }
+  };
+  std::uint64_t fed = 0;
+  for (const auto& samples : f.history) {
+    push_blocking(samples);
+    ++fed;
+  }
+  // Warm past the rate window AND one full forecast horizon, so the
+  // measured window exercises maturation (scoring) as well as forecasting.
+  const std::uint64_t warm =
+      warm_extra_slots(f.replay.size()) +
+      ((200 + f.replay.size() - 1) / f.replay.size()) * f.replay.size();
+  for (std::uint64_t i = 0; i < warm; ++i) {
+    push_blocking(f.replay[i % f.replay.size()]);
+    ++fed;
+  }
+  while (sink->delivered() < fed) {
+    std::this_thread::sleep_for(std::chrono::microseconds(100));
+  }
+  ASSERT_GT(pred_sink->predictions_made(), 0u);
+  ASSERT_GT(pred_sink->predictions_matured(), 0u);
+
+  nrs::alloc::reset();
+  const std::uint64_t matured_before = pred_sink->predictions_matured();
+  for (unsigned i = 0; i < kMeasuredSlots; ++i) {
+    push_blocking(f.replay[i % f.replay.size()]);
+    ++fed;
+  }
+  while (sink->delivered() < fed) {
+    std::this_thread::sleep_for(std::chrono::microseconds(100));
+  }
+  const auto totals = nrs::alloc::totals();
+  EXPECT_TRUE(nrs::alloc::hooks_active());
+  EXPECT_GT(pred_sink->predictions_matured(), matured_before)
+      << "the measured window must actually score forecasts";
   EXPECT_EQ(totals.allocs, 0u)
       << totals.bytes << " bytes over " << kMeasuredSlots << " slots";
   EXPECT_EQ(totals.frees, 0u);

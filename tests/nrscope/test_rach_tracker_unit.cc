@@ -8,6 +8,7 @@
 #include "nr/grant.h"
 #include "nr/pdsch.h"
 #include "nr/rach.h"
+#include "nrscope/nrscope.h"
 
 namespace nrs {
 namespace {
@@ -141,6 +142,41 @@ TEST(RachTrackerUnit, Msg2ModeIgnoresUnsolicitedMsg4) {
   encode_msg4(cell, 0x4601, setup, slot, grid);
   std::vector<DecodedDci> decoded;
   EXPECT_TRUE(tracker.process_slot(grid, slot, 5, decoded).empty());
+}
+
+TEST(RachTrackerUnit, CrntiReuseRebindsInsteadOfDuplicating) {
+  // A RACH handing out an already-tracked C-RNTI (the gNB recycled it
+  // after the old subscriber left without the sniffer noticing) must not
+  // create a duplicate UE or let the newcomer inherit the old telemetry.
+  NrScopeConfig cfg;
+  cfg.n_prb = 51;
+  cfg.scs = Scs::kHz30;
+  NrScope scope(cfg);
+
+  RrcSetup first;
+  scope.bind_rach_ue(0x4601, first);
+  ASSERT_EQ(scope.known_ues().size(), 1u);
+  EXPECT_EQ(scope.metrics_registry().snapshot().counter_value(
+                "nrscope.rnti_evictions"),
+            0u);
+
+  RrcSetup second;
+  second.dl_format = DciFormat::kDl1_0;  // the newcomer's config differs
+  scope.bind_rach_ue(0x4601, second);
+  EXPECT_EQ(scope.known_ues().size(), 1u) << "rebind, not duplicate";
+  EXPECT_EQ(scope.metrics_registry().snapshot().counter_value(
+                "nrscope.rnti_evictions"),
+            1u);
+  const UeTelemetry* ue = scope.telemetry().find(0x4601);
+  ASSERT_NE(ue, nullptr);
+  EXPECT_EQ(ue->dl_bits(), 0u) << "fresh telemetry after the rebind";
+
+  // A different C-RNTI is a plain add, no eviction counted.
+  scope.bind_rach_ue(0x4602, first);
+  EXPECT_EQ(scope.known_ues().size(), 2u);
+  EXPECT_EQ(scope.metrics_registry().snapshot().counter_value(
+                "nrscope.rnti_evictions"),
+            1u);
 }
 
 }  // namespace

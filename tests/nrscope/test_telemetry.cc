@@ -141,6 +141,35 @@ TEST(CellTelemetry, RemoveUe) {
   EXPECT_EQ(cell.find(0x4601), nullptr);
 }
 
+TEST(CellTelemetry, RebindUeResetsStateInPlace) {
+  CellTelemetry cell(Scs::kHz30);
+  std::vector<DecodedDci> dcis = {dl_dci(0, 0x4601, 4000)};
+  cell.observe_slot(0, dcis, 7344, false);
+  const UeTelemetry* before = cell.find(0x4601);
+  ASSERT_NE(before, nullptr);
+  EXPECT_EQ(before->dl_bits(), 4000u);
+
+  // The RACH handed 0x4601 to a different subscriber: the rebind must not
+  // let the newcomer inherit the old UE's byte counts or HARQ state.
+  cell.rebind_ue(0x4601, 100);
+  const UeTelemetry* after = cell.find(0x4601);
+  ASSERT_NE(after, nullptr);
+  EXPECT_EQ(after->dl_bits(), 0u);
+  EXPECT_EQ(after->dl_dcis(), 0u);
+
+  // And the rebound UE accumulates normally from scratch.
+  std::vector<DecodedDci> fresh = {dl_dci(101, 0x4601, 1000)};
+  cell.observe_slot(101, fresh, 7344, false);
+  EXPECT_EQ(cell.find(0x4601)->dl_bits(), 1000u);
+}
+
+TEST(CellTelemetry, RebindUnknownUeJustCreatesIt) {
+  CellTelemetry cell(Scs::kHz30);
+  cell.rebind_ue(0x4602, 5);
+  ASSERT_NE(cell.find(0x4602), nullptr);
+  EXPECT_EQ(cell.find(0x4602)->dl_bits(), 0u);
+}
+
 TEST(CellTelemetry, HistoryOnlyWhenRequested) {
   CellTelemetry cell(Scs::kHz30);
   std::vector<DecodedDci> dcis = {dl_dci(0, 0x4601, 100)};

@@ -1,0 +1,247 @@
+// Offline trainer for the online throughput predictor (DESIGN.md "Online
+// prediction").  Runs the simulator end to end — gNB + UE mix, virtual
+// radio, sniffer engine — across several channel profiles, collects
+// (FeatureVector at slot t, ground-truth delivered bits over [t, t+H))
+// pairs, fits ridge (+ optional boosted stumps) on a training split, and
+// writes the versioned weights file the PredictionSink loads at runtime.
+//
+//   train_predictor --out tools/weights/predictor_v1.txt --stumps 24
+//
+// The printed holdout MAE / within-20% numbers are the honest ones (the
+// holdout rows never touched the fit); the training-set numbers are what
+// the weights-round-trip unit test reproduces.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "analysis/features.h"
+#include "analysis/predictor.h"
+#include "analysis/training.h"
+#include "gnb/gnb_sim.h"
+#include "gnb/presets.h"
+#include "nrscope/nrscope.h"
+#include "phy/channel.h"
+#include "radio/virtual_radio.h"
+#include "ue/traffic.h"
+
+namespace nrs {
+namespace {
+
+struct Options {
+  std::string out = "predictor_weights.txt";
+  unsigned slots_per_profile = 4000;
+  std::uint64_t horizon_slots = 200;
+  std::uint64_t sample_period_slots = 20;
+  unsigned stump_rounds = 24;
+  double ridge_lambda = 1e-3;
+  std::uint32_t model_version = 1;
+  std::uint64_t seed = 7;
+  double holdout_fraction = 0.2;
+};
+
+/// One simulated capture: a mixed-traffic cell behind one sniffer channel
+/// profile, sampled into feature/target pairs on the fly.
+void collect_scenario(const Options& opt, ChannelProfile profile,
+                      std::uint64_t seed, TrainingSet& out) {
+  GnbConfig gnb_cfg;
+  gnb_cfg.cell = amarisoft_cell();
+  gnb_cfg.seed = seed;
+  const CellConfig cell = gnb_cfg.cell;
+  GnbSim gnb(std::move(gnb_cfg));
+
+  // Diverse app mix so the model sees bursty, saturated and idle UEs.
+  const double rates[] = {1e6, 3e6, 6e6, 0.0};
+  for (unsigned i = 0; i < 4; ++i) {
+    UeConfig ue;
+    ue.channel.snr_db = 14.0 + 4.0 * static_cast<double>(i);
+    ue.channel.profile = profile;
+    ue.seed = seed * 100 + i + 1;
+    switch (i) {
+      case 0: ue.dl_traffic = std::make_unique<CbrSource>(rates[0]); break;
+      case 1:
+        ue.dl_traffic = std::make_unique<VideoSource>(rates[1], ue.seed);
+        break;
+      case 2: ue.dl_traffic = std::make_unique<CbrSource>(rates[2]); break;
+      default:
+        ue.dl_traffic = std::make_unique<FullBufferSource>();
+        break;
+    }
+    gnb.add_ue(std::move(ue));
+  }
+
+  VirtualRadioConfig radio_cfg;
+  radio_cfg.n_prb = cell.n_prb;
+  radio_cfg.channel.snr_db = 26.0;
+  radio_cfg.channel.profile = profile;
+  VirtualRadio radio(radio_cfg);
+
+  NrScopeConfig scope_cfg;
+  scope_cfg.n_prb = cell.n_prb;
+  scope_cfg.scs = cell.scs;
+  scope_cfg.rach.mode = RachTrackMode::kMsg2Assisted;
+  scope_cfg.ue_inactivity_slots = 1u << 30;
+  NrScope scope(scope_cfg);
+
+  FeatureConfig feat_cfg;
+  feat_cfg.scs = cell.scs;
+  feat_cfg.n_prb = cell.n_prb;
+  FeatureExtractor extractor(feat_cfg);
+
+  struct PendingSample {
+    Rnti rnti = 0;
+    std::uint64_t slot = 0;
+    FeatureVector x{};
+  };
+  std::vector<PendingSample> pending;
+  const double horizon_s = static_cast<double>(opt.horizon_slots) *
+                           slot_duration_s(cell.scs);
+  const std::uint64_t warmup = extractor.window_slots()[1];
+
+  SlotResult result;
+  FeatureVector x{};
+  for (std::uint64_t slot = 0; slot < opt.slots_per_profile; ++slot) {
+    scope.process_slot(radio.capture(gnb.step()), result);
+    extractor.observe_slot(result);
+    if (scope.state() != NrScope::State::kTracking || slot < warmup) {
+      continue;
+    }
+    if (slot % opt.sample_period_slots != 0) {
+      continue;
+    }
+    for (std::size_t i = 0; i < extractor.n_ues(); ++i) {
+      extractor.features(i, x);
+      pending.push_back({extractor.rnti_at(i), slot, x});
+    }
+  }
+  // Score every sample whose horizon fits inside the run against the
+  // gNB's own log (delivered == ACKed first transmissions).
+  const GroundTruthLog& truth = gnb.truth();
+  for (const PendingSample& p : pending) {
+    if (p.slot + opt.horizon_slots > opt.slots_per_profile) {
+      continue;
+    }
+    const std::uint64_t bits =
+        truth.delivered_bits(p.rnti, p.slot, p.slot + opt.horizon_slots);
+    out.x.push_back(p.x);
+    out.y_mbps.push_back(static_cast<double>(bits) / horizon_s / 1e6);
+  }
+}
+
+int run(const Options& opt) {
+  const ChannelProfile profiles[] = {
+      ChannelProfile::kAwgn, ChannelProfile::kPedestrian,
+      ChannelProfile::kVehicle, ChannelProfile::kUrban};
+
+  TrainingSet all;
+  for (std::size_t i = 0; i < std::size(profiles); ++i) {
+    const std::size_t before = all.size();
+    collect_scenario(opt, profiles[i], opt.seed + i, all);
+    std::printf("profile %-10s : %zu samples\n", to_string(profiles[i]),
+                all.size() - before);
+  }
+  if (all.size() < 50) {
+    std::fprintf(stderr, "too few samples (%zu) — longer --slots needed\n",
+                 all.size());
+    return 1;
+  }
+
+  // Deterministic interleaved split: every k-th row is holdout.
+  TrainingSet train;
+  TrainingSet holdout;
+  const std::size_t k = opt.holdout_fraction > 0.0
+                            ? static_cast<std::size_t>(
+                                  1.0 / opt.holdout_fraction)
+                            : 0;
+  for (std::size_t i = 0; i < all.size(); ++i) {
+    TrainingSet& dst = (k != 0 && i % k == 0) ? holdout : train;
+    dst.x.push_back(all.x[i]);
+    dst.y_mbps.push_back(all.y_mbps[i]);
+  }
+
+  TrainOptions topt;
+  topt.ridge_lambda = opt.ridge_lambda;
+  topt.stump_rounds = opt.stump_rounds;
+  const PredictorWeights weights =
+      train_predictor(train, topt, opt.horizon_slots, opt.model_version);
+  const ThroughputPredictor predictor(weights);
+
+  const PredictionEval on_train = evaluate_predictor(predictor, train);
+  std::printf("train   : n=%llu MAE=%.3f Mbps within20=%.1f%% (mean %.2f)\n",
+              static_cast<unsigned long long>(on_train.n),
+              on_train.mae_mbps, 100.0 * on_train.within20_rate,
+              on_train.mean_actual_mbps);
+  if (holdout.size() > 0) {
+    const PredictionEval on_holdout = evaluate_predictor(predictor, holdout);
+    std::printf(
+        "holdout : n=%llu MAE=%.3f Mbps within20=%.1f%% (mean %.2f)\n",
+        static_cast<unsigned long long>(on_holdout.n), on_holdout.mae_mbps,
+        100.0 * on_holdout.within20_rate, on_holdout.mean_actual_mbps);
+  }
+
+  if (!weights.save(opt.out)) {
+    std::fprintf(stderr, "cannot write %s\n", opt.out.c_str());
+    return 1;
+  }
+  std::printf("wrote %s (model %s v%u, horizon %llu slots, %zu stumps)\n",
+              opt.out.c_str(), to_string(weights.model),
+              weights.model_version,
+              static_cast<unsigned long long>(weights.horizon_slots),
+              weights.stumps.size());
+  // Round-trip sanity: the file must reload to the numbers just printed.
+  auto reloaded = PredictorWeights::load(opt.out);
+  if (!reloaded) {
+    std::fprintf(stderr, "round-trip reload of %s failed\n",
+                 opt.out.c_str());
+    return 1;
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace nrs
+
+int main(int argc, char** argv) {
+  nrs::Options opt;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto value = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "%s needs a value\n", arg.c_str());
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--out") {
+      opt.out = value();
+    } else if (arg == "--slots") {
+      opt.slots_per_profile = static_cast<unsigned>(std::atoi(value()));
+    } else if (arg == "--horizon") {
+      opt.horizon_slots = static_cast<std::uint64_t>(std::atoll(value()));
+    } else if (arg == "--period") {
+      opt.sample_period_slots =
+          static_cast<std::uint64_t>(std::atoll(value()));
+    } else if (arg == "--stumps") {
+      opt.stump_rounds = static_cast<unsigned>(std::atoi(value()));
+    } else if (arg == "--lambda") {
+      opt.ridge_lambda = std::atof(value());
+    } else if (arg == "--model-version") {
+      opt.model_version = static_cast<std::uint32_t>(std::atoi(value()));
+    } else if (arg == "--seed") {
+      opt.seed = static_cast<std::uint64_t>(std::atoll(value()));
+    } else if (arg == "--help" || arg == "-h") {
+      std::printf(
+          "usage: train_predictor [--out FILE] [--slots N] [--horizon H]\n"
+          "                       [--period P] [--stumps N] [--lambda V]\n"
+          "                       [--model-version V] [--seed S]\n");
+      return 0;
+    } else {
+      std::fprintf(stderr, "unknown argument %s (see --help)\n",
+                   arg.c_str());
+      return 2;
+    }
+  }
+  return nrs::run(opt);
+}
