@@ -219,13 +219,18 @@ void print_phase(const char* name, const PhaseStats& s, bool latency) {
 int run(int argc, char** argv) {
   bool quick = false;
   bool json = false;
+  bool assert_zero_alloc = false;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--quick") == 0) {
       quick = true;
     } else if (std::strcmp(argv[i], "--json") == 0) {
       json = true;
+    } else if (std::strcmp(argv[i], "--assert-zero-alloc") == 0) {
+      assert_zero_alloc = true;
     } else {
-      std::fprintf(stderr, "usage: bench_hotpath [--quick] [--json]\n");
+      std::fprintf(stderr,
+                   "usage: bench_hotpath [--quick] [--json]"
+                   " [--assert-zero-alloc]\n");
       return 2;
     }
   }
@@ -257,6 +262,14 @@ int run(int argc, char** argv) {
         << "    \"bytes_per_slot\": " << pipeline.bytes_per_slot << "\n"
         << "  }\n}\n";
     std::printf("\nwrote BENCH_hotpath.json\n");
+  }
+  if (assert_zero_alloc &&
+      (engine.allocs_per_slot != 0.0 || pipeline.allocs_per_slot != 0.0)) {
+    std::fprintf(stderr,
+                 "FAIL: steady state touched the heap (engine %.2f, "
+                 "pipeline %.2f allocs/slot)\n",
+                 engine.allocs_per_slot, pipeline.allocs_per_slot);
+    return 1;
   }
   return 0;
 }

@@ -1,121 +1,258 @@
-// Microbenchmarks of the PHY substrate hot paths: the per-slot FFT the
-// paper names as the dominant signal-processing cost, the polar SC decode
-// behind every PDCCH candidate, the Viterbi decode behind SIB1/MSG4, and a
-// full PDCCH candidate decode.
-#include <benchmark/benchmark.h>
+// Per-kernel microbenchmarks of the SIMD kernel layer (src/phy/kernels).
+//
+// Every primitive in the KernelTable is timed against realistic per-slot
+// working sizes under each compiled-in backend, reporting ns/op and the
+// scalar-vs-SIMD speedup.  `--json` additionally writes BENCH_phy.json
+// (gitignored) for the experiment log.
+//
+// Usage: bench_micro_phy [--quick] [--json]
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <functional>
+#include <string>
+#include <vector>
 
-#include "common/crc.h"
 #include "common/rng.h"
-#include "nr/pdcch.h"
+#include "common/types.h"
 #include "phy/conv_code.h"
-#include "phy/fft.h"
-#include "phy/ofdm.h"
-#include "phy/polar.h"
+#include "phy/kernels/kernels.h"
 
 namespace nrs {
 namespace {
 
-void bm_fft(benchmark::State& state) {
-  const auto n = static_cast<std::size_t>(state.range(0));
-  Fft fft(n);
-  Rng rng(1);
-  std::vector<cf32> data(n);
-  for (auto& v : data) {
-    v = cf32(static_cast<float>(rng.gaussian()),
-             static_cast<float>(rng.gaussian()));
-  }
-  for (auto _ : state) {
-    fft.forward(data);
-    benchmark::DoNotOptimize(data.data());
-  }
+double now_s() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
 }
-BENCHMARK(bm_fft)->Arg(512)->Arg(1024)->Arg(2048);
 
-void bm_ofdm_slot(benchmark::State& state) {
-  const OfdmConfig cfg = make_ofdm_config(51);
-  OfdmModulator mod(cfg);
-  OfdmDemodulator demod(cfg);
-  ResourceGrid grid(51);
-  grid.at(3, 100) = cf32(1.0f, 0.0f);
-  const IqBuffer samples = mod.modulate(grid);
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(demod.demodulate(samples));
+/// Time `fn` (one call = one op over the kernel's working set): run
+/// batches until `budget_s` of wall clock is spent, return ns per op.
+double time_ns(const std::function<void()>& fn, double budget_s) {
+  // Calibrate the batch size to ~1 ms.
+  std::size_t batch = 1;
+  for (;;) {
+    const double t0 = now_s();
+    for (std::size_t i = 0; i < batch; ++i) {
+      fn();
+    }
+    const double dt = now_s() - t0;
+    if (dt > 1e-3 || batch > (1u << 24)) {
+      break;
+    }
+    batch *= 4;
   }
+  double best = 1e30;
+  const double deadline = now_s() + budget_s;
+  do {
+    const double t0 = now_s();
+    for (std::size_t i = 0; i < batch; ++i) {
+      fn();
+    }
+    const double per_op = (now_s() - t0) / static_cast<double>(batch);
+    best = std::min(best, per_op);
+  } while (now_s() < deadline);
+  return best * 1e9;
 }
-BENCHMARK(bm_ofdm_slot)->Unit(benchmark::kMicrosecond);
 
-void bm_polar_decode(benchmark::State& state) {
-  const auto e = static_cast<unsigned>(state.range(0));
-  const PolarCode code(64, e);
-  Rng rng(2);
-  BitVector info(64);
-  for (auto& b : info) {
-    b = rng.chance(0.5);
-  }
-  const BitVector coded = code.encode(info);
-  std::vector<float> llrs(coded.size());
-  for (std::size_t i = 0; i < coded.size(); ++i) {
-    llrs[i] = coded[i] ? -4.0f : 4.0f;
-  }
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(code.decode(llrs));
-  }
-}
-BENCHMARK(bm_polar_decode)->Arg(108)->Arg(216)->Arg(432)->Arg(864);
+struct Row {
+  std::string name;
+  std::size_t n = 0;
+  double scalar_ns = 0.0;
+  double simd_ns = 0.0;  ///< 0 when no SIMD backend is available
+};
 
-void bm_viterbi(benchmark::State& state) {
-  const auto bits = static_cast<std::size_t>(state.range(0));
-  Rng rng(3);
-  BitVector payload(bits);
-  for (auto& b : payload) {
-    b = rng.chance(0.5);
-  }
-  const BitVector coded = ConvolutionalCode::encode(payload);
-  std::vector<float> llrs(coded.size());
-  for (std::size_t i = 0; i < coded.size(); ++i) {
-    llrs[i] = coded[i] ? -3.0f : 3.0f;
-  }
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(ConvolutionalCode::decode(llrs, bits));
-  }
-}
-BENCHMARK(bm_viterbi)->Arg(100)->Arg(500)->Arg(2000)
-    ->Unit(benchmark::kMicrosecond);
+struct Workload {
+  Rng rng{42};
+  std::vector<cf32> a, b, c;
+  std::vector<float> fa, fb, fc;
+  std::vector<std::uint8_t> u8a, u8b;
+  std::vector<std::int32_t> i32;
 
-void bm_pdcch_candidate(benchmark::State& state) {
-  const auto level = static_cast<unsigned>(state.range(0));
-  CoresetConfig coreset;
-  coreset.rb_start = 0;
-  coreset.n_prb = 48;
-  coreset.n_id = 7;
-  coreset.shift = 7;
-  const SlotPoint slot{Scs::kHz30, 0, 3};
-  ResourceGrid grid(51);
-  Dci dci;
-  dci.format = DciFormat::kDl1_1;
-  dci.freq_alloc_riv = riv_encode(0, 20, 51);
-  encode_pdcch(coreset, {0x4601, level, 0}, dci, 51, slot, grid);
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(decode_pdcch_candidate(
-        coreset, level, 0, DciFormat::kDl1_1, 51, slot, grid, 0x4601));
+  cf32 rc() {
+    return {static_cast<float>(rng.gaussian()),
+            static_cast<float>(rng.gaussian())};
   }
-}
-BENCHMARK(bm_pdcch_candidate)->Arg(1)->Arg(2)->Arg(4)->Arg(8)
-    ->Unit(benchmark::kMicrosecond);
+  void resize(std::size_t n) {
+    a.resize(n);
+    b.resize(n);
+    c.resize(n);
+    fa.resize(2 * n);
+    fb.resize(2 * n);
+    fc.resize(2 * n);
+    u8a.resize(2 * n);
+    u8b.resize(2 * n);
+    i32.resize(2 * n);
+    for (std::size_t i = 0; i < n; ++i) {
+      a[i] = rc();
+      b[i] = rc();
+    }
+    for (std::size_t i = 0; i < 2 * n; ++i) {
+      fa[i] = static_cast<float>(rng.gaussian());
+      fb[i] = static_cast<float>(rng.gaussian());
+      u8a[i] = rng.chance(0.5) ? 1 : 0;
+    }
+  }
+};
 
-void bm_crc24(benchmark::State& state) {
-  Rng rng(4);
-  BitVector bits(4000);
-  for (auto& b : bits) {
-    b = rng.chance(0.5);
-  }
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(kCrc24A.compute(bits));
-  }
+using KernelFn =
+    std::function<void(const kernels::KernelTable&, Workload&)>;
+
+struct Case {
+  const char* name;
+  std::size_t n;
+  KernelFn fn;
+};
+
+std::vector<Case> make_cases() {
+  std::vector<Case> cases;
+  // Sizes mirror the real call sites: PSS correlation segments (127),
+  // one 1024-point FFT stage, a CORESET's worth of pilots/REs, an
+  // aggregation-level-4 candidate's LLRs, a polar node, one Viterbi step.
+  cases.push_back({"corr_energy_real", 127,
+                   [](const kernels::KernelTable& kt, Workload& w) {
+                     cf32 corr;
+                     float energy = 0.0f;
+                     kt.corr_energy_real(w.a.data(), w.fa.data(), 127,
+                                         &corr, &energy);
+                   }});
+  cases.push_back({"energy", 127,
+                   [](const kernels::KernelTable& kt, Workload& w) {
+                     volatile float e = kt.energy(w.a.data(), 127);
+                     (void)e;
+                   }});
+  cases.push_back({"cx_mul_conj_scale", 324,
+                   [](const kernels::KernelTable& kt, Workload& w) {
+                     kt.cx_mul_conj_scale(w.a.data(), w.b.data(), 1.0f,
+                                          w.c.data(), 324);
+                   }});
+  cases.push_back({"cx_scale", 1024,
+                   [](const kernels::KernelTable& kt, Workload& w) {
+                     kt.cx_scale(w.a.data(), 1.0f, 1024);
+                   }});
+  cases.push_back({"fft_stage", 1024,
+                   [](const kernels::KernelTable& kt, Workload& w) {
+                     kt.fft_stage(w.a.data(), w.b.data(), 1024, 512);
+                   }});
+  cases.push_back({"eq_qpsk_llr", 216,
+                   [](const kernels::KernelTable& kt, Workload& w) {
+                     kt.eq_qpsk_llr(w.a.data(), w.b.data(), 2.0f,
+                                    w.fc.data(), 216);
+                   }});
+  cases.push_back({"qam_llr_64qam", 512,
+                   [](const kernels::KernelTable& kt, Workload& w) {
+                     kt.qam_llr(w.a.data(), 512, 3, 0.1543f, 8.0f,
+                                w.fc.data());
+                   }});
+  cases.push_back({"descramble", 432,
+                   [](const kernels::KernelTable& kt, Workload& w) {
+                     kt.descramble(w.fa.data(), w.u8a.data(), 432);
+                   }});
+  cases.push_back({"polar_f", 256,
+                   [](const kernels::KernelTable& kt, Workload& w) {
+                     kt.polar_f(w.fa.data(), w.fa.data() + 256,
+                                w.fc.data(), 256);
+                   }});
+  cases.push_back({"polar_g", 256,
+                   [](const kernels::KernelTable& kt, Workload& w) {
+                     kt.polar_g(w.fa.data(), w.fa.data() + 256,
+                                w.u8a.data(), w.fc.data(), 256);
+                   }});
+  cases.push_back({"polar_combine", 256,
+                   [](const kernels::KernelTable& kt, Workload& w) {
+                     kt.polar_combine(w.u8a.data(), w.u8b.data(), 256);
+                   }});
+  cases.push_back({"viterbi_acs", kernels::kViterbiStates,
+                   [](const kernels::KernelTable& kt, Workload& w) {
+                     // Constant branch tables are fine for timing; the
+                     // real tables live in phy/conv_code.cc.
+                     kt.viterbi_acs(w.fa.data(), 1.0f, -0.5f, w.fb.data(),
+                                    w.fb.data() + 64, w.fb.data() + 128,
+                                    w.fb.data() + 192, w.i32.data(),
+                                    w.i32.data() + 64, false, w.fc.data(),
+                                    w.i32.data() + 128);
+                   }});
+  return cases;
 }
-BENCHMARK(bm_crc24);
+
+int run(int argc, char** argv) {
+  bool quick = false;
+  bool json = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--quick") == 0) {
+      quick = true;
+    } else if (std::strcmp(argv[i], "--json") == 0) {
+      json = true;
+    } else {
+      std::fprintf(stderr, "usage: %s [--quick] [--json]\n", argv[0]);
+      return 2;
+    }
+  }
+  const double budget_s = quick ? 0.02 : 0.2;
+
+  const kernels::KernelTable* scalar =
+      kernels::table_for(kernels::Isa::kScalar);
+  const kernels::KernelTable* simd = nullptr;
+  for (kernels::Isa isa : {kernels::Isa::kAvx2, kernels::Isa::kNeon}) {
+    if (kernels::available(isa)) {
+      simd = kernels::table_for(isa);
+      break;
+    }
+  }
+  const char* simd_name = simd ? to_string(simd->isa) : "none";
+
+  std::printf("== PHY kernel microbenchmarks ==\n");
+  std::printf("(SIMD backend: %s; active dispatch: %s)\n\n", simd_name,
+              to_string(kernels::active().isa));
+  std::printf("%-18s %6s %12s %12s %9s\n", "kernel", "n", "scalar ns",
+              simd ? "simd ns" : "-", "speedup");
+
+  Workload w;
+  w.resize(2048);
+  std::vector<Row> rows;
+  for (const auto& c : make_cases()) {
+    Row row;
+    row.name = c.name;
+    row.n = c.n;
+    row.scalar_ns = time_ns([&] { c.fn(*scalar, w); }, budget_s);
+    if (simd != nullptr) {
+      row.simd_ns = time_ns([&] { c.fn(*simd, w); }, budget_s);
+    }
+    const double speedup =
+        row.simd_ns > 0.0 ? row.scalar_ns / row.simd_ns : 1.0;
+    std::printf("%-18s %6zu %12.1f %12.1f %8.2fx\n", row.name.c_str(),
+                row.n, row.scalar_ns, row.simd_ns, speedup);
+    rows.push_back(row);
+  }
+
+  if (json) {
+    std::FILE* f = std::fopen("BENCH_phy.json", "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "cannot write BENCH_phy.json\n");
+      return 1;
+    }
+    std::fprintf(f, "{\n  \"simd_backend\": \"%s\",\n  \"kernels\": [\n",
+                 simd_name);
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+      const auto& r = rows[i];
+      const double speedup = r.simd_ns > 0.0 ? r.scalar_ns / r.simd_ns : 1.0;
+      std::fprintf(f,
+                   "    {\"name\": \"%s\", \"n\": %zu, \"scalar_ns\": %.1f,"
+                   " \"simd_ns\": %.1f, \"speedup\": %.2f}%s\n",
+                   r.name.c_str(), r.n, r.scalar_ns, r.simd_ns, speedup,
+                   i + 1 < rows.size() ? "," : "");
+    }
+    std::fprintf(f, "  ]\n}\n");
+    std::fclose(f);
+    std::printf("\nwrote BENCH_phy.json\n");
+  }
+  return 0;
+}
 
 }  // namespace
 }  // namespace nrs
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) { return nrs::run(argc, argv); }

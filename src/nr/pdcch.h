@@ -10,9 +10,11 @@
 // the 24 leading '1' filler bits before the CRC are omitted.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <map>
 #include <optional>
+#include <span>
 #include <utility>
 #include <vector>
 
@@ -32,6 +34,14 @@ inline constexpr unsigned kBitsPerCce = 108;
 /// 7.4.1.3.2): 3 of 12 REs.
 inline constexpr unsigned kPdcchDmrsPerReg = 3;
 
+/// One blind-decode location: an aggregation level and its starting CCE.
+/// The batched decoder (decode_pdcch_batch) takes a span of these, so one
+/// call can mix every aggregation level of a slot's search-space sweep.
+struct PdcchCandidateLoc {
+  unsigned agg_level = 1;
+  unsigned cce_start = 0;
+};
+
 /// Per-thread working state for PDCCH blind decoding (hot-path memory
 /// discipline, DESIGN.md).  A candidate decode touches DMRS generation,
 /// REG mapping, LLR extraction, descrambling and the polar decode; this
@@ -42,10 +52,17 @@ inline constexpr unsigned kPdcchDmrsPerReg = 3;
 /// time; callers that fan candidates out across a worker pool keep one
 /// scratch per worker.
 struct PdcchScratch {
-  // Memo: DMRS sequence per CORESET symbol over the CORESET's PRB span,
-  // keyed on (n_id, slot, CORESET geometry).
-  std::uint64_t dmrs_key = ~0ull;
-  std::vector<cf32> dmrs[2];
+  // Memo: DMRS sequences cached per slot-of-frame.  The PDCCH DMRS c_init
+  // depends only on (n_id, slot index within the frame, symbol), so after
+  // one frame period every slot's table is a key compare plus two row
+  // pointers — the Gold generator never runs again in steady state.
+  // Re-keyed (and reallocated) only when the CORESET geometry or the
+  // numerology changes.
+  std::uint64_t dmrs_geom_key = ~0ull;
+  std::size_t dmrs_row_stride = 0;           ///< cf32 per symbol row
+  std::vector<cf32> dmrs_table;              ///< [slot][symbol] rows, flat
+  std::vector<std::uint8_t> dmrs_slot_filled;
+  const cf32* dmrs_row[2] = {nullptr, nullptr};  ///< active slot's rows
 
   // Memo: scrambling-sequence prefix, keyed on n_id.
   std::uint32_t scramble_n_id = ~0u;
@@ -53,13 +70,39 @@ struct PdcchScratch {
 
   // Per-candidate working buffers (cleared/overwritten every decode).
   std::vector<RegLocation> regs;
-  std::vector<cf32> reg_h;
-  std::vector<float> llrs;
-  BitVector bits;  ///< last decode's payload+CRC bits
+  BitVector bits;  ///< last single-candidate decode's payload+CRC bits
+
+  // Memo: CCE-to-REG mapping per (agg_level, cce_start).  The interleaved
+  // mapping is pure CORESET structure — it never changes slot to slot —
+  // so the blind-decode sweep revisits the same few dozen entries forever.
+  // Cleared when the CORESET geometry changes.
+  std::uint64_t reg_geom_key = ~0ull;
+  std::map<std::uint32_t, std::vector<RegLocation>> reg_cache;
 
   // Candidate-CCE list for the caller's search-space sweep (see
-  // pdcch_candidates' allocation-free overload in nr/coreset.h).
+  // pdcch_candidates' allocation-free overload in nr/coreset.h), and the
+  // location list callers assemble for decode_pdcch_batch.
   std::vector<unsigned> cand_cces;
+  std::vector<PdcchCandidateLoc> cand_locs;
+
+  /// Structure-of-arrays state for decode_pdcch_batch.  REs of every
+  /// candidate in the batch are gathered into flat parallel arrays so each
+  /// processing stage is a straight kernel sweep instead of a per-RE
+  /// scalar loop.  All vectors are grow-only.
+  struct Batch {
+    std::vector<cf32> pilot_rx;   ///< gathered DMRS REs, 3 per REG
+    std::vector<cf32> pilot_ref;  ///< matching reference symbols
+    std::vector<cf32> pilot_ls;   ///< LS estimates (one kernel call)
+    std::vector<cf32> data_rx;    ///< gathered data REs, 9 per REG
+    std::vector<cf32> data_h;     ///< per-RE channel (REG mean, replicated)
+    std::vector<float> llrs;      ///< flat LLRs, 2 per data RE
+    std::vector<std::size_t> pilot_off;  ///< n+1 prefix offsets
+    std::vector<std::size_t> data_off;   ///< n+1 prefix offsets
+    std::vector<float> snr;              ///< per-candidate SNR (dB)
+    std::vector<std::uint8_t> ok;        ///< per-candidate channel verdict
+    std::vector<std::uint8_t> bits;      ///< payload+CRC bits, stride K
+  };
+  Batch batch;
 
   PolarScratch polar;
 
@@ -110,6 +153,24 @@ bool decode_pdcch_soft_bits(const CoresetConfig& coreset, unsigned agg_level,
                             unsigned cce_start, unsigned payload_bits,
                             const SlotPoint& slot, const ResourceGrid& grid,
                             PdcchScratch& scratch);
+
+/// Structure-of-arrays batched blind decode: channel-decode every location
+/// in `locs` (all aggregation levels mixed) for one payload size in one
+/// batched pass — pilot gather and LS estimation run over the whole batch
+/// in single kernel sweeps, then each candidate is equalized, demapped,
+/// descrambled and polar-decoded from the shared flat arrays.  Results are
+/// left in `scratch.batch`: `ok[i]` says candidate i channel-decoded,
+/// `snr[i]` holds its SNR estimate, and its payload+CRC bits live at
+/// `batch.bits.data() + i * (payload_bits + 24)`.  No CRC verdict is
+/// taken: callers test each RNTI of interest against the shared bits
+/// (check_pdcch_crc), which is what makes the batch shareable across every
+/// tracked UE.  Returns the number of candidates with `ok[i]` set.
+/// Allocation-free in steady state.
+std::size_t decode_pdcch_batch(const CoresetConfig& coreset,
+                               std::span<const PdcchCandidateLoc> locs,
+                               unsigned payload_bits, const SlotPoint& slot,
+                               const ResourceGrid& grid,
+                               PdcchScratch& scratch);
 
 /// CRC verdict for bits produced by decode_pdcch_soft_bits.
 bool check_pdcch_crc(std::span<const std::uint8_t> bits_with_crc, Rnti rnti);

@@ -15,6 +15,8 @@ void decode_ue_dcis(const ResourceGrid& grid, const SlotPoint& slot,
   const DciFormat hint = ue.config.dl_format == DciFormat::kDl1_1
                              ? DciFormat::kDl1_1
                              : DciFormat::kDl1_0;
+  const unsigned payload_bits = dci_payload_size(hint, cell.n_prb);
+  const unsigned k_bits = payload_bits + kCrc24C.length();
   for (unsigned level : ue.config.ue_ss.agg_levels) {
     std::optional<ScopedTimer> timer;
     if (level_us != nullptr &&
@@ -23,22 +25,36 @@ void decode_ue_dcis(const ResourceGrid& grid, const SlotPoint& slot,
     }
     pdcch_candidates(cell.coreset, ue.config.ue_ss, level, slot, ue.rnti,
                      scratch.cand_cces);
+    // One structure-of-arrays batch channel-decodes every candidate of
+    // this level; only the CRC test is per candidate.
+    auto& locs = scratch.cand_locs;
+    locs.clear();
     for (unsigned cce : scratch.cand_cces) {
-      const auto result =
-          decode_pdcch_candidate(cell.coreset, level, cce, hint, cell.n_prb,
-                                 slot, grid, ue.rnti, scratch);
-      if (!result) {
+      locs.push_back({level, cce});
+    }
+    if (decode_pdcch_batch(cell.coreset, locs, payload_bits, slot, grid,
+                           scratch) == 0) {
+      continue;
+    }
+    const auto& b = scratch.batch;
+    for (std::size_t j = 0; j < locs.size(); ++j) {
+      if (!b.ok[j]) {
+        continue;
+      }
+      const std::span<const std::uint8_t> bits(b.bits.data() + j * k_bits,
+                                               k_bits);
+      if (!check_pdcch_crc(bits, ue.rnti)) {
         continue;
       }
       DecodedDci dci;
       dci.slot = slot_index;
       dci.rnti = ue.rnti;
-      dci.dci = result->dci;
-      dci.grant = translate_dci(result->dci, ue.rnti, cell.n_prb, cell.pdsch,
+      dci.dci = Dci::unpack(hint, cell.n_prb, bits.first(payload_bits));
+      dci.grant = translate_dci(dci.dci, ue.rnti, cell.n_prb, cell.pdsch,
                                 ue.config.mcs_table,
                                 ue.config.max_mimo_layers);
       dci.agg_level = level;
-      dci.cce_start = cce;
+      dci.cce_start = locs[j].cce_start;
       out.push_back(dci);
     }
   }

@@ -586,11 +586,14 @@ void NrScope::decode_dcis_deduped(const ResourceGrid& /*grid*/,
       }
     }
   }
+  // Payload-major order keeps every location of one payload size
+  // contiguous, so the serial path below can hand each run to a single
+  // structure-of-arrays batch decode.
   std::sort(cands.begin(), cands.end(),
             [](const SlotScratch::CandidateRef& a,
                const SlotScratch::CandidateRef& b) {
-              return std::tie(a.level, a.cce, a.payload_bits, a.ue_index) <
-                     std::tie(b.level, b.cce, b.payload_bits, b.ue_index);
+              return std::tie(a.payload_bits, a.level, a.cce, a.ue_index) <
+                     std::tie(b.payload_bits, b.level, b.cce, b.ue_index);
             });
 
   // Carve the sorted list into per-location watcher ranges.  `locations`
@@ -628,8 +631,57 @@ void NrScope::decode_dcis_deduped(const ResourceGrid& /*grid*/,
   if (dci_pool_ && n_locs > 1) {
     dci_pool_->run_batch(n_locs, decode_location_fn_);
   } else {
-    for (std::size_t w = 0; w < n_locs; ++w) {
-      decode_location_shard(w);
+    // Serial path: the locations are payload-major, so each contiguous
+    // run shares a payload size and channel-decodes as one SoA batch —
+    // every aggregation level's candidates demapped and rate-recovered in
+    // a single batched pass, then each UE's CRC tested against the shared
+    // bits.
+    PdcchScratch& ps = pdcch_scratch_[0];
+    auto& locs = scratch_.batch_locs;
+    std::size_t w0 = 0;
+    while (w0 < n_locs) {
+      const unsigned payload_bits = locations[w0].payload_bits;
+      std::size_t w1 = w0;
+      locs.clear();
+      while (w1 < n_locs && locations[w1].payload_bits == payload_bits) {
+        locs.push_back({locations[w1].level, locations[w1].cce});
+        ++w1;
+      }
+      decode_pdcch_batch(cell_.coreset, locs, payload_bits, batch_now_,
+                         *batch_grid_, ps);
+      const auto& b = ps.batch;
+      const unsigned k_bits = payload_bits + kCrc24C.length();
+      for (std::size_t j = 0; j < locs.size(); ++j) {
+        if (!b.ok[j]) {
+          continue;
+        }
+        auto& loc = locations[w0 + j];
+        const std::span<const std::uint8_t> bits(
+            b.bits.data() + j * k_bits, k_bits);
+        for (std::size_t c = loc.first; c < loc.first + loc.count; ++c) {
+          const std::size_t i = scratch_.cands[c].ue_index;
+          const auto& ue = ues_[i];
+          if (!check_pdcch_crc(bits, ue.rnti)) {
+            continue;
+          }
+          const DciFormat hint = ue.config.dl_format == DciFormat::kDl1_1
+                                     ? DciFormat::kDl1_1
+                                     : DciFormat::kDl1_0;
+          DecodedDci dci;
+          dci.slot = slot_index_;
+          dci.rnti = ue.rnti;
+          dci.dci = Dci::unpack(hint, cell_.n_prb,
+                                bits.first(loc.payload_bits));
+          dci.grant = translate_dci(dci.dci, ue.rnti, cell_.n_prb,
+                                    cell_.pdsch, ue.config.mcs_table,
+                                    ue.config.max_mimo_layers);
+          dci.agg_level = loc.level;
+          dci.cce_start = loc.cce;
+          loc.results.push_back(dci);
+          loc.result_ue.push_back(i);
+        }
+      }
+      w0 = w1;
     }
   }
 

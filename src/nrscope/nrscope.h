@@ -194,6 +194,8 @@ class NrScope {
     std::vector<std::size_t> user_dci_index;  ///< into SlotResult::dcis
     std::vector<CandidateRef> cands;
     std::vector<LocationSlot> locations;  ///< grow-only; first n are live
+    /// Location list handed to decode_pdcch_batch (serial dedupe path).
+    std::vector<PdcchCandidateLoc> batch_locs;
   };
 
   /// A successful PSS/SSS + MIB detection, before any state is mutated

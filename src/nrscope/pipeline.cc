@@ -48,8 +48,13 @@ NrScopePipeline::NrScopePipeline(const NrScopeConfig& config,
   // Pre-size the pools to the worst-case in-flight count so steady state
   // never constructs: samples live in the input queue, in a worker's hands
   // and in the caller's next acquire; grids live in workers' hands, the
-  // reorder ring and the collector's current slot.
-  sample_pool_.warm(queue_depth + active_demods_ + 2);
+  // reorder ring and the collector's current slot.  Sample buffers are
+  // created at full slot length: steady-state rotation may not cycle
+  // through every warmed buffer for thousands of slots, and the first
+  // assign() into a cold (capacity-0) buffer would otherwise be a late
+  // surprise allocation.
+  sample_pool_.warm(queue_depth + active_demods_ + 2,
+                    ofdm_config_.samples_per_slot());
   grid_pool_.warm(reorder_slots_.size() + active_demods_ + 1, n_prb_);
 
   for (unsigned i = 0; i < active_demods_; ++i) {
@@ -82,7 +87,7 @@ std::string NrScopePipeline::add_sink(std::string name,
 }
 
 BufferPool<IqBuffer>::Handle NrScopePipeline::acquire_samples() {
-  return sample_pool_.acquire();
+  return sample_pool_.acquire(ofdm_config_.samples_per_slot());
 }
 
 bool NrScopePipeline::push_slot(BufferPool<IqBuffer>::Handle samples) {
@@ -109,7 +114,7 @@ bool NrScopePipeline::push_slot(BufferPool<IqBuffer>::Handle samples) {
 }
 
 bool NrScopePipeline::push_slot(IqBuffer samples) {
-  auto handle = sample_pool_.acquire();
+  auto handle = sample_pool_.acquire(ofdm_config_.samples_per_slot());
   *handle = std::move(samples);
   return push_slot(std::move(handle));
 }

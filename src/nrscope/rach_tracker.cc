@@ -125,107 +125,126 @@ void RachTracker::process_slot(const ResourceGrid& grid,
     }
   }
 
+  // One structure-of-arrays batch channel-decodes every common-SS
+  // candidate of every aggregation level (the polar decode is
+  // RNTI-independent); each RNTI hypothesis below is then only a CRC test
+  // against the shared payload+CRC bits instead of a fresh channel decode.
+  const unsigned payload_bits =
+      dci_payload_size(DciFormat::kDl1_0, cell_.n_prb);
+  const unsigned k_bits = payload_bits + kCrc24C.length();
+  auto& locs = scratch.cand_locs;
+  locs.clear();
   for (unsigned level : cell_.common_ss.agg_levels) {
     pdcch_candidates(cell_.coreset, cell_.common_ss, level, slot, 0,
                      scratch.cand_cces);
     for (unsigned cce : scratch.cand_cces) {
-      // 1) MSG2: RA-RNTI-masked DCIs (computable without any secret).
-      bool matched = false;
-      for (Rnti ra : ra_rntis_) {
-        const auto result = decode_pdcch_candidate(
-            cell_.coreset, level, cce, DciFormat::kDl1_0, cell_.n_prb, slot,
-            grid, ra, scratch);
-        if (!result) {
+      locs.push_back({level, cce});
+    }
+  }
+  decode_pdcch_batch(cell_.coreset, locs, payload_bits, slot, grid,
+                     scratch);
+  const auto& batch = scratch.batch;
+  for (std::size_t j = 0; j < locs.size(); ++j) {
+    if (!batch.ok[j]) {
+      continue;
+    }
+    const unsigned level = locs[j].agg_level;
+    const unsigned cce = locs[j].cce_start;
+    const std::span<const std::uint8_t> bits(
+        batch.bits.data() + j * k_bits, k_bits);
+    // 1) MSG2: RA-RNTI-masked DCIs (computable without any secret).
+    bool matched = false;
+    for (Rnti ra : ra_rntis_) {
+      if (!check_pdcch_crc(bits, ra)) {
+        continue;
+      }
+      matched = true;
+      DecodedDci out;
+      out.slot = slot_index;
+      out.rnti = ra;
+      out.dci =
+          Dci::unpack(DciFormat::kDl1_0, cell_.n_prb,
+                      bits.first(payload_bits));
+      out.grant = translate_dci(out.dci, ra, cell_);
+      out.agg_level = level;
+      out.cce_start = cce;
+      decoded.push_back(out);
+      if (config_.mode == RachTrackMode::kMsg2Assisted) {
+        // Decode the RAR to learn the TC-RNTI.
+        ++pdsch_decodes_;
+        count(metric_pdsch_);
+        const auto payload = decode_pdsch(
+            alloc_from_grant(out.grant, cell_.pci), slot, out.grant.tbs,
+            grid);
+        if (payload) {
+          const auto rar = Rar::unpack(*payload);
+          if (rar && is_plausible_crnti(rar->tc_rnti)) {
+            pending_tc_[rar->tc_rnti] = slot_index;
+            ++msg2_decoded_;
+            count(metric_msg2_);
+          }
+        }
+      }
+      break;
+    }
+    if (matched) {
+      continue;
+    }
+
+    // 2) MSG4 via pending TC-RNTIs (MSG2-assisted mode).
+    if (config_.mode == RachTrackMode::kMsg2Assisted) {
+      for (auto it = pending_tc_.begin(); it != pending_tc_.end(); ++it) {
+        if (!check_pdcch_crc(bits, it->first)) {
           continue;
         }
-        matched = true;
         DecodedDci out;
         out.slot = slot_index;
-        out.rnti = ra;
-        out.dci = result->dci;
-        out.grant = translate_dci(result->dci, ra, cell_);
+        out.rnti = it->first;
+        out.dci = Dci::unpack(DciFormat::kDl1_0, cell_.n_prb,
+                              bits.first(payload_bits));
+        out.grant = translate_dci(out.dci, it->first, cell_);
         out.agg_level = level;
         out.cce_start = cce;
         decoded.push_back(out);
-        if (config_.mode == RachTrackMode::kMsg2Assisted) {
-          // Decode the RAR to learn the TC-RNTI.
-          ++pdsch_decodes_;
-          count(metric_pdsch_);
-          const auto payload = decode_pdsch(
-              alloc_from_grant(out.grant, cell_.pci), slot, out.grant.tbs,
-              grid);
-          if (payload) {
-            const auto rar = Rar::unpack(*payload);
-            if (rar && is_plausible_crnti(rar->tc_rnti)) {
-              pending_tc_[rar->tc_rnti] = slot_index;
-              ++msg2_decoded_;
-              count(metric_msg2_);
-            }
-          }
+        if (auto ue = handle_msg4(it->first, out.dci, grid, slot,
+                                  slot_index)) {
+          new_ues.push_back(*ue);
         }
+        pending_tc_.erase(it);
+        matched = true;
         break;
       }
       if (matched) {
         continue;
       }
+    }
 
-      // 2) MSG4 via pending TC-RNTIs (MSG2-assisted mode).
-      if (config_.mode == RachTrackMode::kMsg2Assisted) {
-        for (auto it = pending_tc_.begin(); it != pending_tc_.end(); ++it) {
-          const auto result = decode_pdcch_candidate(
-              cell_.coreset, level, cce, DciFormat::kDl1_0, cell_.n_prb,
-              slot, grid, it->first, scratch);
-          if (!result) {
-            continue;
-          }
-          DecodedDci out;
-          out.slot = slot_index;
-          out.rnti = it->first;
-          out.dci = result->dci;
-          out.grant = translate_dci(result->dci, it->first, cell_);
-          out.agg_level = level;
-          out.cce_start = cce;
-          decoded.push_back(out);
-          if (auto ue = handle_msg4(it->first, result->dci, grid, slot,
-                                    slot_index)) {
-            new_ues.push_back(*ue);
-          }
-          pending_tc_.erase(it);
-          matched = true;
-          break;
-        }
-        if (matched) {
-          continue;
-        }
+    // 3) XOR recovery: recover the mask from the shared bits, validate.
+    if (config_.mode == RachTrackMode::kXorRecovery) {
+      const Rnti mask = kCrc24C.recover_mask(bits);
+      // With the mask applied the full 24-bit CRC must check out; the
+      // upper 8 CRC bits are unmasked, so this rejects 255/256 noise
+      // decodes.
+      if (!kCrc24C.check_masked(bits, mask)) {
+        continue;
       }
-
-      // 3) XOR recovery: decode blind, recover the mask, validate.
-      if (config_.mode == RachTrackMode::kXorRecovery) {
-        const auto rec = recover_rnti_from_candidate(
-            cell_.coreset, level, cce, DciFormat::kDl1_0, cell_.n_prb, slot,
-            grid, scratch);
-        if (!rec) {
-          continue;
-        }
-        if (!is_plausible_crnti(rec->recovered_rnti) ||
-            !is_downlink(rec->dci.format)) {
-          ++rejected_recoveries_;
-          count(metric_rejected_);
-          continue;
-        }
-        if (auto ue = handle_msg4(rec->recovered_rnti, rec->dci, grid, slot,
-                                  slot_index)) {
-          DecodedDci out;
-          out.slot = slot_index;
-          out.rnti = rec->recovered_rnti;
-          out.dci = rec->dci;
-          out.grant =
-              translate_dci(rec->dci, rec->recovered_rnti, cell_);
-          out.agg_level = level;
-          out.cce_start = cce;
-          decoded.push_back(out);
-          new_ues.push_back(*ue);
-        }
+      const Dci dci = Dci::unpack(DciFormat::kDl1_0, cell_.n_prb,
+                                  bits.first(payload_bits));
+      if (!is_plausible_crnti(mask) || !is_downlink(dci.format)) {
+        ++rejected_recoveries_;
+        count(metric_rejected_);
+        continue;
+      }
+      if (auto ue = handle_msg4(mask, dci, grid, slot, slot_index)) {
+        DecodedDci out;
+        out.slot = slot_index;
+        out.rnti = mask;
+        out.dci = dci;
+        out.grant = translate_dci(dci, mask, cell_);
+        out.agg_level = level;
+        out.cce_start = cce;
+        decoded.push_back(out);
+        new_ues.push_back(*ue);
       }
     }
   }

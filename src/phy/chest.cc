@@ -4,6 +4,8 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "phy/kernels/kernels.h"
+
 namespace nrs {
 
 ChannelEstimate estimate_channel(std::span<const Pilot> pilots,
@@ -18,10 +20,20 @@ ChannelEstimate estimate_channel(std::span<const Pilot> pilots,
               return a.subcarrier < b.subcarrier;
             });
   const std::size_t np = sorted.size();
+  // LS: rx * conj(ref) through the SIMD kernel over gathered arrays, then
+  // the per-pilot 1/|ref|^2 normalization (refs may differ in power).
+  std::vector<cf32> rx(np);
+  std::vector<cf32> ref(np);
+  for (std::size_t i = 0; i < np; ++i) {
+    rx[i] = sorted[i].rx;
+    ref[i] = sorted[i].ref;
+  }
   std::vector<cf32> ls(np);
+  kernels::active().cx_mul_conj_scale(rx.data(), ref.data(), 1.0f, ls.data(),
+                                      np);
   for (std::size_t i = 0; i < np; ++i) {
     const float denom = std::max(std::norm(sorted[i].ref), 1e-12f);
-    ls[i] = sorted[i].rx * std::conj(sorted[i].ref) / denom;
+    ls[i] /= denom;
   }
   // 3-tap smoothing reduces the noise on the estimate.
   std::vector<cf32> smooth(np);

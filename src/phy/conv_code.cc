@@ -1,15 +1,18 @@
 #include "phy/conv_code.h"
 
 #include <algorithm>
+#include <array>
 #include <bit>
 #include <limits>
 #include <stdexcept>
 #include <vector>
 
+#include "phy/kernels/kernels.h"
+
 namespace nrs {
 namespace {
 
-std::uint8_t parity7(unsigned v) {
+constexpr std::uint8_t parity7(unsigned v) {
   return static_cast<std::uint8_t>(std::popcount(v & 0x7Fu) & 1);
 }
 
@@ -19,11 +22,44 @@ struct Branch {
   std::uint8_t out_b;
 };
 
-Branch branch_outputs(unsigned prev_state, unsigned bit) {
+constexpr Branch branch_outputs(unsigned prev_state, unsigned bit) {
   const unsigned reg = ((prev_state << 1) | bit) & 0x7Fu;
   return {parity7(reg & ConvolutionalCode::kPolyA),
           parity7(reg & ConvolutionalCode::kPolyB)};
 }
+
+/// Precomputed ACS coefficients indexed by NEXT state ns (input bit =
+/// ns & 1).  The two predecessors of ns are ns>>1 and (ns>>1)+32; the
+/// 7-bit encoder register along those transitions is ns and ns|64, so the
+/// branch metric is ca*la + cb*lb with ca/cb = +1 for output bit 0 and -1
+/// for output bit 1 (positive LLR favors bit 0).  Survivor words pack
+/// (predecessor << 1) | bit, which collapses to ns and ns + 64.
+struct AcsTables {
+  alignas(32) std::array<float, ConvolutionalCode::kNumStates> ca0{};
+  alignas(32) std::array<float, ConvolutionalCode::kNumStates> cb0{};
+  alignas(32) std::array<float, ConvolutionalCode::kNumStates> ca1{};
+  alignas(32) std::array<float, ConvolutionalCode::kNumStates> cb1{};
+  alignas(32) std::array<std::int32_t, ConvolutionalCode::kNumStates> sv0{};
+  alignas(32) std::array<std::int32_t, ConvolutionalCode::kNumStates> sv1{};
+};
+
+constexpr AcsTables make_acs_tables() {
+  AcsTables t{};
+  for (unsigned ns = 0; ns < ConvolutionalCode::kNumStates; ++ns) {
+    const unsigned bit = ns & 1u;
+    const Branch b0 = branch_outputs(ns >> 1, bit);
+    const Branch b1 = branch_outputs((ns >> 1) + 32, bit);
+    t.ca0[ns] = b0.out_a ? -1.0f : 1.0f;
+    t.cb0[ns] = b0.out_b ? -1.0f : 1.0f;
+    t.ca1[ns] = b1.out_a ? -1.0f : 1.0f;
+    t.cb1[ns] = b1.out_b ? -1.0f : 1.0f;
+    t.sv0[ns] = static_cast<std::int32_t>(ns);
+    t.sv1[ns] = static_cast<std::int32_t>(ns + 64);
+  }
+  return t;
+}
+
+constexpr AcsTables kAcs = make_acs_tables();
 
 }  // namespace
 
@@ -46,56 +82,62 @@ BitVector ConvolutionalCode::encode(std::span<const std::uint8_t> bits) {
   return out;
 }
 
-BitVector ConvolutionalCode::decode(std::span<const float> llrs,
-                                    std::size_t payload_bits) {
+void ConvolutionalCode::decode(std::span<const float> llrs,
+                               std::size_t payload_bits,
+                               ConvDecodeScratch& scratch,
+                               std::span<std::uint8_t> out) {
   const std::size_t steps = payload_bits + kConstraintLength - 1;
   if (llrs.size() != 2 * steps) {
     throw std::invalid_argument("ConvolutionalCode::decode: LLR length");
   }
+  if (out.size() != payload_bits) {
+    throw std::invalid_argument("ConvolutionalCode::decode: output length");
+  }
   constexpr float kNegInf = -std::numeric_limits<float>::infinity();
-  std::vector<float> metric(kNumStates, kNegInf);
-  std::vector<float> next(kNumStates);
+  // Grow-only scratch.
+  if (scratch.metric.size() < kNumStates) {
+    scratch.metric.resize(kNumStates);
+    scratch.next.resize(kNumStates);
+  }
+  if (scratch.survivors.size() < steps * kNumStates) {
+    scratch.survivors.resize(steps * kNumStates);
+  }
+  float* metric = scratch.metric.data();
+  float* next = scratch.next.data();
+  std::fill(metric, metric + kNumStates, kNegInf);
   metric[0] = 0.0f;  // trellis starts in the zero state
-  // survivors[t][state] = input bit taken to reach `state` at step t+1,
-  // plus the predecessor state packed in the upper bits.
-  std::vector<std::vector<std::uint16_t>> survivors(
-      steps, std::vector<std::uint16_t>(kNumStates, 0));
 
+  const auto& kt = kernels::active();
   for (std::size_t t = 0; t < steps; ++t) {
-    std::fill(next.begin(), next.end(), kNegInf);
     const float la = llrs[2 * t];
     const float lb = llrs[2 * t + 1];
-    const unsigned max_bit = (t < payload_bits) ? 1u : 0u;  // tail forces 0
-    for (unsigned s = 0; s < kNumStates; ++s) {
-      if (metric[s] == kNegInf) {
-        continue;
-      }
-      for (unsigned b = 0; b <= max_bit; ++b) {
-        const Branch br = branch_outputs(s, b);
-        // Positive LLR favors bit 0: add +llr when output bit is 0.
-        const float m = metric[s] + (br.out_a ? -la : la) +
-                        (br.out_b ? -lb : lb);
-        const unsigned ns = ((s << 1) | b) & (kNumStates - 1);
-        if (m > next[ns]) {
-          next[ns] = m;
-          survivors[t][ns] = static_cast<std::uint16_t>((s << 1) | b);
-        }
-      }
-    }
-    metric.swap(next);
+    const bool tail = t >= payload_bits;  // tail forces input bit 0
+    kt.viterbi_acs(metric, la, lb, kAcs.ca0.data(), kAcs.cb0.data(),
+                   kAcs.ca1.data(), kAcs.cb1.data(), kAcs.sv0.data(),
+                   kAcs.sv1.data(), tail, next,
+                   scratch.survivors.data() + t * kNumStates);
+    std::swap(metric, next);
   }
 
-  // Terminated trellis: trace back from the zero state.
-  BitVector decoded(payload_bits);
+  // Terminated trellis: trace back from the zero state.  The survivor
+  // word packs (predecessor << 1) | input bit.
   unsigned state = 0;
   for (std::size_t t = steps; t-- > 0;) {
-    const std::uint16_t sv = survivors[t][state];
-    const unsigned bit = sv & 1u;
+    const std::int32_t sv = scratch.survivors[t * kNumStates + state];
+    const unsigned bit = static_cast<unsigned>(sv) & 1u;
     if (t < payload_bits) {
-      decoded[t] = static_cast<std::uint8_t>(bit);
+      out[t] = static_cast<std::uint8_t>(bit);
     }
-    state = sv >> 1;
+    state = static_cast<unsigned>(sv) >> 1;
   }
+}
+
+BitVector ConvolutionalCode::decode(std::span<const float> llrs,
+                                    std::size_t payload_bits) {
+  thread_local ConvDecodeScratch t_scratch;
+  BitVector decoded(payload_bits);
+  decode(llrs, payload_bits, t_scratch,
+         std::span(decoded.data(), decoded.size()));
   return decoded;
 }
 

@@ -11,10 +11,21 @@
 
 #include <cstdint>
 #include <span>
+#include <vector>
 
 #include "common/bit_io.h"
 
 namespace nrs {
+
+/// Reusable Viterbi workspace (hot-path memory discipline, DESIGN.md):
+/// path metrics plus the survivor matrix grow once to the largest
+/// transport block seen and are then reused allocation-free.  One decode
+/// runs per scheduled PDSCH, so a scratch belongs to one thread at a time.
+struct ConvDecodeScratch {
+  std::vector<float> metric;
+  std::vector<float> next;
+  std::vector<std::int32_t> survivors;  ///< steps x 64, flat
+};
 
 class ConvolutionalCode {
  public:
@@ -37,6 +48,14 @@ class ConvolutionalCode {
   /// zero state.
   [[nodiscard]] static BitVector decode(std::span<const float> llrs,
                                         std::size_t payload_bits);
+
+  /// Allocation-free variant: identical bits to the overload above,
+  /// written into `out` (size exactly `payload_bits`) using the caller's
+  /// workspace.  The add-compare-select inner loop dispatches through the
+  /// SIMD kernel layer.
+  static void decode(std::span<const float> llrs, std::size_t payload_bits,
+                     ConvDecodeScratch& scratch,
+                     std::span<std::uint8_t> out);
 };
 
 /// Rate matching for the simulated shared channel: repeat or puncture the

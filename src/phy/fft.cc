@@ -4,6 +4,8 @@
 #include <numbers>
 #include <stdexcept>
 
+#include "phy/kernels/kernels.h"
+
 namespace nrs {
 
 Fft::Fft(std::size_t size) : size_(size) {
@@ -23,14 +25,24 @@ Fft::Fft(std::size_t size) : size_(size) {
     }
     bit_reverse_[i] = rev;
   }
-  // Twiddle factors W_N^k = exp(-2*pi*i*k/N) for k in [0, N/2).
-  twiddles_.resize(size_ / 2);
-  for (std::size_t k = 0; k < size_ / 2; ++k) {
-    const double angle =
-        -2.0 * std::numbers::pi * static_cast<double>(k) /
-        static_cast<double>(size_);
-    twiddles_[k] = cf32(static_cast<float>(std::cos(angle)),
-                        static_cast<float>(std::sin(angle)));
+  // Per-stage contiguous twiddles (kernel-friendly layout): the stage with
+  // half-size h needs W_N^(k * N/(2h)) for k in [0, h); packing stages
+  // back-to-back puts stage h at offset h - 1 (= 1 + 2 + ... + h/2) and
+  // the whole table at N - 1 entries.  The inverse table holds the
+  // conjugates so the transform never branches per butterfly.
+  twiddles_.resize(size_ > 1 ? size_ - 1 : 0);
+  inv_twiddles_.resize(twiddles_.size());
+  for (std::size_t half = 1; half < size_; half <<= 1) {
+    const std::size_t stride = size_ / (2 * half);
+    for (std::size_t k = 0; k < half; ++k) {
+      const double angle = -2.0 * std::numbers::pi *
+                           static_cast<double>(k * stride) /
+                           static_cast<double>(size_);
+      const cf32 w(static_cast<float>(std::cos(angle)),
+                   static_cast<float>(std::sin(angle)));
+      twiddles_[half - 1 + k] = w;
+      inv_twiddles_[half - 1 + k] = std::conj(w);
+    }
   }
 }
 
@@ -45,28 +57,14 @@ void Fft::transform(std::span<cf32> data, bool inverse) const {
       std::swap(data[i], data[j]);
     }
   }
-  // Danielson-Lanczos butterflies.
-  for (std::size_t len = 2; len <= size_; len <<= 1) {
-    const std::size_t half = len >> 1;
-    const std::size_t stride = size_ / len;
-    for (std::size_t start = 0; start < size_; start += len) {
-      for (std::size_t k = 0; k < half; ++k) {
-        cf32 w = twiddles_[k * stride];
-        if (inverse) {
-          w = std::conj(w);
-        }
-        const cf32 even = data[start + k];
-        const cf32 odd = data[start + k + half] * w;
-        data[start + k] = even + odd;
-        data[start + k + half] = even - odd;
-      }
-    }
+  // Danielson-Lanczos butterflies, one kernel call per stage.
+  const auto& k = kernels::active();
+  const std::vector<cf32>& tw = inverse ? inv_twiddles_ : twiddles_;
+  for (std::size_t half = 1; half < size_; half <<= 1) {
+    k.fft_stage(data.data(), tw.data() + (half - 1), size_, half);
   }
   if (inverse) {
-    const float norm = 1.0f / static_cast<float>(size_);
-    for (auto& v : data) {
-      v *= norm;
-    }
+    k.cx_scale(data.data(), 1.0f / static_cast<float>(size_), size_);
   }
 }
 

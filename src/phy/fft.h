@@ -32,7 +32,8 @@ class Fft {
   std::size_t size_;
   std::size_t log2_size_;
   std::vector<std::size_t> bit_reverse_;
-  std::vector<cf32> twiddles_;          // forward twiddles per stage, packed
+  std::vector<cf32> twiddles_;      // forward twiddles, per-stage contiguous
+  std::vector<cf32> inv_twiddles_;  // conjugates, same layout
 };
 
 /// True when `n` is a power of two (and nonzero).

@@ -1,0 +1,93 @@
+// Kernel dispatch: pick the best available ISA once at startup, honoring
+// the NRS_SIMD environment override, with a select() hook for the
+// equivalence tests.
+#include "phy/kernels/kernels.h"
+
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
+
+namespace nrs::kernels {
+namespace {
+
+bool cpu_has_avx2() {
+#if defined(__x86_64__) || defined(__i386__)
+  return __builtin_cpu_supports("avx2") != 0;
+#else
+  return false;
+#endif
+}
+
+const KernelTable* resolve_startup() {
+  const char* env = std::getenv("NRS_SIMD");
+  if (env != nullptr && *env != '\0') {
+    if (std::strcmp(env, "off") == 0 || std::strcmp(env, "scalar") == 0) {
+      return scalar_table();
+    }
+    if (std::strcmp(env, "avx2") == 0 && available(Isa::kAvx2)) {
+      return avx2_table();
+    }
+    if (std::strcmp(env, "neon") == 0 && available(Isa::kNeon)) {
+      return neon_table();
+    }
+    if (std::strcmp(env, "auto") != 0) {
+      // Unknown or unavailable request: fall through to auto (the safe
+      // choice — auto never picks an ISA the CPU lacks).
+    }
+  }
+  if (available(Isa::kAvx2)) {
+    return avx2_table();
+  }
+  if (available(Isa::kNeon)) {
+    return neon_table();
+  }
+  return scalar_table();
+}
+
+std::atomic<const KernelTable*>& active_slot() {
+  static std::atomic<const KernelTable*> slot{resolve_startup()};
+  return slot;
+}
+
+}  // namespace
+
+const char* to_string(Isa isa) {
+  switch (isa) {
+    case Isa::kScalar:
+      return "scalar";
+    case Isa::kAvx2:
+      return "avx2";
+    case Isa::kNeon:
+      return "neon";
+  }
+  return "?";
+}
+
+const KernelTable* table_for(Isa isa) {
+  switch (isa) {
+    case Isa::kScalar:
+      return scalar_table();
+    case Isa::kAvx2:
+      return cpu_has_avx2() ? avx2_table() : nullptr;
+    case Isa::kNeon:
+      return neon_table();
+  }
+  return nullptr;
+}
+
+bool available(Isa isa) { return table_for(isa) != nullptr; }
+
+const KernelTable& active() {
+  return *active_slot().load(std::memory_order_relaxed);
+}
+
+bool select(Isa isa) {
+  const KernelTable* table = table_for(isa);
+  if (table == nullptr) {
+    return false;
+  }
+  active_slot().store(table, std::memory_order_relaxed);
+  return true;
+}
+
+}  // namespace nrs::kernels

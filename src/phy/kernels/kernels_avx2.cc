@@ -1,0 +1,336 @@
+// AVX2 backend.  Compiled only on x86 with NRS_ENABLE_SIMD; the TU gets
+// -mavx2 -ffp-contract=off.  Every kernel mirrors the scalar backend's
+// arithmetic exactly: complex products use the addsub lane order, no FMA
+// is emitted, reductions keep the 4-complex-lane blocked accumulation and
+// reduce through the shared fixed-order helpers, and all tails fall back
+// to the shared per-element code in kernels_detail.h.
+#if defined(__AVX2__)
+
+#include <immintrin.h>
+
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+
+#include "phy/kernels/kernels.h"
+#include "phy/kernels/kernels_detail.h"
+
+namespace nrs::kernels {
+namespace {
+
+namespace d = detail;
+
+const float* fp(const cf32* p) {
+  return reinterpret_cast<const float*>(p);
+}
+float* fp(cf32* p) { return reinterpret_cast<float*>(p); }
+
+/// [w0 w1 w2 w3] -> [w0 w0 w1 w1 w2 w2 w3 w3].
+__m256 dup_pairs(__m128 v) {
+  const __m256 vv = _mm256_set_m128(v, v);
+  const __m256i idx = _mm256_setr_epi32(0, 0, 1, 1, 2, 2, 3, 3);
+  return _mm256_permutevar8x32_ps(vv, idx);
+}
+
+const __m256 kSignMask =
+    _mm256_castsi256_ps(_mm256_set1_epi32(static_cast<int>(0x80000000u)));
+const __m256 kAbsMask =
+    _mm256_castsi256_ps(_mm256_set1_epi32(0x7FFFFFFF));
+
+/// a * b, four complex lanes (addsub order: re = ar*br - ai*bi,
+/// im = ai*br + ar*bi).
+__m256 mul_cplx4(__m256 a, __m256 b) {
+  const __m256 t1 = _mm256_mul_ps(a, _mm256_moveldup_ps(b));
+  const __m256 swapped = _mm256_permute_ps(a, 0xB1);
+  const __m256 t2 = _mm256_mul_ps(swapped, _mm256_movehdup_ps(b));
+  return _mm256_addsub_ps(t1, t2);
+}
+
+/// a * conj(b): re = ar*br + ai*bi, im = ai*br - ar*bi.
+__m256 mul_conj4(__m256 a, __m256 b) {
+  const __m256 t1 = _mm256_mul_ps(a, _mm256_moveldup_ps(b));
+  const __m256 swapped = _mm256_permute_ps(a, 0xB1);
+  const __m256 t2 = _mm256_mul_ps(swapped, _mm256_movehdup_ps(b));
+  return _mm256_addsub_ps(t1, _mm256_xor_ps(t2, kSignMask));
+}
+
+/// Sign-flip mask (0x80000000 where bits[i] != 0) from 8 scramble bytes.
+__m256 byte_sign_mask(const std::uint8_t* bits) {
+  const __m128i bytes =
+      _mm_loadl_epi64(reinterpret_cast<const __m128i*>(bits));
+  const __m256i wide = _mm256_cvtepu8_epi32(bytes);
+  const __m256i nonzero =
+      _mm256_cmpgt_epi32(wide, _mm256_setzero_si256());
+  return _mm256_and_ps(_mm256_castsi256_ps(nonzero), kSignMask);
+}
+
+void corr_energy_real_avx2(const cf32* a, const float* w, std::size_t n,
+                           cf32* corr, float* energy) {
+  __m256 accc = _mm256_setzero_ps();
+  __m256 acce = _mm256_setzero_ps();
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m256 v = _mm256_loadu_ps(fp(a + i));
+    const __m256 wd = dup_pairs(_mm_loadu_ps(w + i));
+    accc = _mm256_add_ps(accc, _mm256_mul_ps(v, wd));
+    acce = _mm256_add_ps(acce, _mm256_mul_ps(v, v));
+  }
+  d::CorrAcc acc;
+  _mm256_storeu_ps(acc.c, accc);
+  _mm256_storeu_ps(acc.e, acce);
+  for (; i < n; ++i) {
+    d::corr_acc_element(acc, a[i], w[i], i % 4);
+  }
+  *corr = d::reduce_lanes_cplx(acc.c);
+  *energy = d::reduce_lanes(acc.e);
+}
+
+float energy_avx2(const cf32* a, std::size_t n) {
+  __m256 acce = _mm256_setzero_ps();
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m256 v = _mm256_loadu_ps(fp(a + i));
+    acce = _mm256_add_ps(acce, _mm256_mul_ps(v, v));
+  }
+  float e[8];
+  _mm256_storeu_ps(e, acce);
+  for (; i < n; ++i) {
+    const std::size_t lane = i % 4;
+    e[2 * lane] += a[i].real() * a[i].real();
+    e[2 * lane + 1] += a[i].imag() * a[i].imag();
+  }
+  return d::reduce_lanes(e);
+}
+
+void cx_mul_conj_scale_avx2(const cf32* a, const cf32* b, float s, cf32* out,
+                            std::size_t n) {
+  const __m256 sv = _mm256_set1_ps(s);
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m256 va = _mm256_loadu_ps(fp(a + i));
+    const __m256 vb = _mm256_loadu_ps(fp(b + i));
+    _mm256_storeu_ps(fp(out + i), _mm256_mul_ps(mul_conj4(va, vb), sv));
+  }
+  for (; i < n; ++i) {
+    out[i] = d::mul_conj_scale(a[i], b[i], s);
+  }
+}
+
+void cx_scale_avx2(cf32* a, float s, std::size_t n) {
+  const __m256 sv = _mm256_set1_ps(s);
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    _mm256_storeu_ps(fp(a + i),
+                     _mm256_mul_ps(_mm256_loadu_ps(fp(a + i)), sv));
+  }
+  for (; i < n; ++i) {
+    a[i] = cf32(a[i].real() * s, a[i].imag() * s);
+  }
+}
+
+void fft_stage_avx2(cf32* data, const cf32* tw, std::size_t n,
+                    std::size_t half) {
+  const std::size_t len = 2 * half;
+  if (half < 4) {
+    for (std::size_t start = 0; start < n; start += len) {
+      cf32* even = data + start;
+      cf32* odd = data + start + half;
+      for (std::size_t k = 0; k < half; ++k) {
+        d::butterfly(even[k], odd[k], tw[k]);
+      }
+    }
+    return;
+  }
+  for (std::size_t start = 0; start < n; start += len) {
+    float* even = fp(data + start);
+    float* odd = fp(data + start + half);
+    for (std::size_t k = 0; k < half; k += 4) {
+      const __m256 vodd = _mm256_loadu_ps(odd + 2 * k);
+      const __m256 vtw = _mm256_loadu_ps(fp(tw + k));
+      const __m256 prod = mul_cplx4(vodd, vtw);
+      const __m256 veven = _mm256_loadu_ps(even + 2 * k);
+      _mm256_storeu_ps(even + 2 * k, _mm256_add_ps(veven, prod));
+      _mm256_storeu_ps(odd + 2 * k, _mm256_sub_ps(veven, prod));
+    }
+  }
+}
+
+void eq_qpsk_llr_avx2(const cf32* rx, const cf32* h, float k, float* out,
+                      std::size_t n) {
+  const __m256 kv = _mm256_set1_ps(k);
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m256 vrx = _mm256_loadu_ps(fp(rx + i));
+    const __m256 vh = _mm256_loadu_ps(fp(h + i));
+    _mm256_storeu_ps(out + 2 * i,
+                     _mm256_mul_ps(mul_conj4(vrx, vh), kv));
+  }
+  for (; i < n; ++i) {
+    d::eq_qpsk_llr_one(rx[i], h[i], k, out + 2 * i);
+  }
+}
+
+void qam_llr_avx2(const cf32* syms, std::size_t n, unsigned per_axis,
+                  float a, float scale, float* out) {
+  const unsigned qm = 2 * per_axis;
+  const __m256 sv = _mm256_set1_ps(scale);
+  std::size_t s = 0;
+  if (per_axis == 1) {
+    for (; s + 4 <= n; s += 4) {
+      const __m256 v = _mm256_loadu_ps(fp(syms + s));
+      _mm256_storeu_ps(out + 2 * s, _mm256_mul_ps(v, sv));
+    }
+  } else {
+    float tmp[4][8];
+    for (; s + 4 <= n; s += 4) {
+      __m256 m = _mm256_loadu_ps(fp(syms + s));
+      for (unsigned k = 0; k < per_axis; ++k) {
+        _mm256_storeu_ps(tmp[k], _mm256_mul_ps(m, sv));
+        const float level =
+            a * static_cast<float>(1u << (per_axis - 1 - k));
+        m = _mm256_sub_ps(_mm256_set1_ps(level),
+                          _mm256_and_ps(m, kAbsMask));
+      }
+      for (unsigned j = 0; j < 4; ++j) {
+        float* dst = out + (s + j) * qm;
+        for (unsigned k = 0; k < per_axis; ++k) {
+          dst[2 * k] = tmp[k][2 * j];
+          dst[2 * k + 1] = tmp[k][2 * j + 1];
+        }
+      }
+    }
+  }
+  for (; s < n; ++s) {
+    d::qam_llr_one(syms[s], per_axis, a, scale, out + s * qm);
+  }
+}
+
+void descramble_avx2(float* llrs, const std::uint8_t* bits, std::size_t n) {
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const __m256 mask = byte_sign_mask(bits + i);
+    const __m256 v = _mm256_loadu_ps(llrs + i);
+    _mm256_storeu_ps(llrs + i, _mm256_xor_ps(v, mask));
+  }
+  for (; i < n; ++i) {
+    llrs[i] = d::descramble_one(llrs[i], bits[i]);
+  }
+}
+
+void polar_f_avx2(const float* a, const float* b, float* out,
+                  std::size_t n) {
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const __m256 va = _mm256_loadu_ps(a + i);
+    const __m256 vb = _mm256_loadu_ps(b + i);
+    const __m256 sign =
+        _mm256_and_ps(_mm256_xor_ps(va, vb), kSignMask);
+    const __m256 m = _mm256_min_ps(_mm256_and_ps(va, kAbsMask),
+                                   _mm256_and_ps(vb, kAbsMask));
+    _mm256_storeu_ps(out + i, _mm256_or_ps(m, sign));
+  }
+  for (; i < n; ++i) {
+    out[i] = d::polar_f_one(a[i], b[i]);
+  }
+}
+
+void polar_g_avx2(const float* a, const float* b, const std::uint8_t* x,
+                  float* out, std::size_t n) {
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const __m256 mask = byte_sign_mask(x + i);
+    const __m256 va = _mm256_loadu_ps(a + i);
+    const __m256 vb = _mm256_loadu_ps(b + i);
+    _mm256_storeu_ps(out + i, _mm256_add_ps(vb, _mm256_xor_ps(va, mask)));
+  }
+  for (; i < n; ++i) {
+    out[i] = d::polar_g_one(a[i], b[i], x[i]);
+  }
+}
+
+void polar_combine_avx2(std::uint8_t* x, const std::uint8_t* c,
+                        std::size_t n) {
+  std::size_t i = 0;
+  for (; i + 32 <= n; i += 32) {
+    const __m256i vx = _mm256_loadu_si256(reinterpret_cast<__m256i*>(x + i));
+    const __m256i vc =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(c + i));
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(x + i),
+                        _mm256_xor_si256(vx, vc));
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(x + n + i), vc);
+  }
+  for (; i < n; ++i) {
+    x[i] = static_cast<std::uint8_t>(x[i] ^ c[i]);
+    x[n + i] = c[i];
+  }
+}
+
+void viterbi_acs_avx2(const float* metric, float la, float lb,
+                      const float* ca0, const float* cb0, const float* ca1,
+                      const float* cb1, const std::int32_t* sv0,
+                      const std::int32_t* sv1, bool tail, float* next,
+                      std::int32_t* surv) {
+  const __m256 la8 = _mm256_set1_ps(la);
+  const __m256 lb8 = _mm256_set1_ps(lb);
+  constexpr float kNegInf = -std::numeric_limits<float>::infinity();
+  const __m256 neginf = _mm256_set1_ps(kNegInf);
+  const __m256 oddmask = _mm256_castsi256_ps(
+      _mm256_setr_epi32(0, -1, 0, -1, 0, -1, 0, -1));
+  for (std::size_t base = 0; base < kViterbiStates; base += 8) {
+    const __m256 pred0 = dup_pairs(_mm_loadu_ps(metric + base / 2));
+    const __m256 pred1 = dup_pairs(_mm_loadu_ps(metric + 32 + base / 2));
+    const __m256 bm0 =
+        _mm256_add_ps(_mm256_mul_ps(_mm256_loadu_ps(ca0 + base), la8),
+                      _mm256_mul_ps(_mm256_loadu_ps(cb0 + base), lb8));
+    const __m256 bm1 =
+        _mm256_add_ps(_mm256_mul_ps(_mm256_loadu_ps(ca1 + base), la8),
+                      _mm256_mul_ps(_mm256_loadu_ps(cb1 + base), lb8));
+    const __m256 m0 = _mm256_add_ps(pred0, bm0);
+    const __m256 m1 = _mm256_add_ps(pred1, bm1);
+    const __m256 take1 = _mm256_cmp_ps(m1, m0, _CMP_GT_OQ);
+    __m256 vnext = _mm256_blendv_ps(m0, m1, take1);
+    if (tail) {
+      vnext = _mm256_blendv_ps(vnext, neginf, oddmask);
+    }
+    _mm256_storeu_ps(next + base, vnext);
+    const __m256 s0 = _mm256_castsi256_ps(_mm256_loadu_si256(
+        reinterpret_cast<const __m256i*>(sv0 + base)));
+    const __m256 s1 = _mm256_castsi256_ps(_mm256_loadu_si256(
+        reinterpret_cast<const __m256i*>(sv1 + base)));
+    const __m256 sel = _mm256_blendv_ps(s0, s1, take1);
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(surv + base),
+                        _mm256_castps_si256(sel));
+  }
+}
+
+const KernelTable kAvx2Table = {
+    .isa = Isa::kAvx2,
+    .corr_energy_real = corr_energy_real_avx2,
+    .energy = energy_avx2,
+    .cx_mul_conj_scale = cx_mul_conj_scale_avx2,
+    .cx_scale = cx_scale_avx2,
+    .fft_stage = fft_stage_avx2,
+    .eq_qpsk_llr = eq_qpsk_llr_avx2,
+    .qam_llr = qam_llr_avx2,
+    .descramble = descramble_avx2,
+    .polar_f = polar_f_avx2,
+    .polar_g = polar_g_avx2,
+    .polar_combine = polar_combine_avx2,
+    .viterbi_acs = viterbi_acs_avx2,
+};
+
+}  // namespace
+
+const KernelTable* avx2_table() { return &kAvx2Table; }
+
+}  // namespace nrs::kernels
+
+#else  // !defined(__AVX2__)
+
+#include "phy/kernels/kernels.h"
+
+namespace nrs::kernels {
+const KernelTable* avx2_table() { return nullptr; }
+}  // namespace nrs::kernels
+
+#endif

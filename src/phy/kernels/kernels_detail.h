@@ -1,0 +1,141 @@
+// Shared scalar building blocks for the kernel backends.
+//
+// Every backend (scalar, AVX2 tail loops, NEON tail loops) includes this
+// header so that the element-level arithmetic — operand order, sign-bit
+// handling, lane assignment of blocked reductions — is written exactly
+// once.  All functions are branch-light plain-float code; the backend TUs
+// are compiled with -ffp-contract=off so no FMA contraction can make one
+// backend differ from another.
+#pragma once
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <cstddef>
+#include <cstdint>
+
+#include "common/types.h"
+
+namespace nrs::kernels::detail {
+
+/// Accumulator state for the blocked (4 complex lane) reductions: 8 floats
+/// of interleaved re/im lane sums plus 8 floats of per-component energy
+/// sums.  Lane j holds elements j, j+4, j+8, ... — exactly the lanes of a
+/// 256-bit vector of 4 complex values.
+struct CorrAcc {
+  float c[8] = {0, 0, 0, 0, 0, 0, 0, 0};  ///< interleaved corr lanes
+  float e[8] = {0, 0, 0, 0, 0, 0, 0, 0};  ///< per-component |a|^2 lanes
+};
+
+/// Accumulate one element into lane `lane` (= global index % 4).
+inline void corr_acc_element(CorrAcc& acc, cf32 a, float w,
+                             std::size_t lane) {
+  const float ar = a.real();
+  const float ai = a.imag();
+  acc.c[2 * lane] += ar * w;
+  acc.c[2 * lane + 1] += ai * w;
+  acc.e[2 * lane] += ar * ar;
+  acc.e[2 * lane + 1] += ai * ai;
+}
+
+/// Fixed-order horizontal reduction of 4 interleaved complex lanes.
+inline cf32 reduce_lanes_cplx(const float c[8]) {
+  const float re = (c[0] + c[2]) + (c[4] + c[6]);
+  const float im = (c[1] + c[3]) + (c[5] + c[7]);
+  return {re, im};
+}
+
+/// Fixed-order horizontal reduction of 8 scalar lanes.
+inline float reduce_lanes(const float e[8]) {
+  return ((e[0] + e[1]) + (e[2] + e[3])) + ((e[4] + e[5]) + (e[6] + e[7]));
+}
+
+/// s * (a * conj(b)) with the operand order shared by the SIMD backends:
+/// re = ar*br + ai*bi, im = ai*br - ar*bi (addsub lane order).
+inline cf32 mul_conj_scale(cf32 a, cf32 b, float s) {
+  const float ar = a.real();
+  const float ai = a.imag();
+  const float br = b.real();
+  const float bi = b.imag();
+  return {s * (ar * br + ai * bi), s * (ai * br - ar * bi)};
+}
+
+/// a * b with the addsub lane order: re = ar*br - ai*bi,
+/// im = ai*br + ar*bi.
+inline cf32 mul_cplx(cf32 a, cf32 b) {
+  const float ar = a.real();
+  const float ai = a.imag();
+  const float br = b.real();
+  const float bi = b.imag();
+  return {ar * br - ai * bi, ai * br + ar * bi};
+}
+
+/// One radix-2 butterfly: (even, odd, twiddle) -> in place.
+inline void butterfly(cf32& even_ref, cf32& odd_ref, cf32 tw) {
+  const cf32 odd = mul_cplx(odd_ref, tw);
+  const cf32 even = even_ref;
+  even_ref = even + odd;
+  odd_ref = even - odd;
+}
+
+/// Min-sum f with IEEE sign-bit semantics (matches SIMD xor/andnot):
+/// out = (signbit(a) ^ signbit(b)) | min(|a|, |b|).
+inline float polar_f_one(float a, float b) {
+  const auto ua = std::bit_cast<std::uint32_t>(a);
+  const auto ub = std::bit_cast<std::uint32_t>(b);
+  const std::uint32_t sign = (ua ^ ub) & 0x80000000u;
+  const float m = std::min(std::fabs(a), std::fabs(b));
+  return std::bit_cast<float>(std::bit_cast<std::uint32_t>(m) | sign);
+}
+
+/// g node: b + (x ? -a : a), via sign-bit flip (exact for ±0 too).
+inline float polar_g_one(float a, float b, std::uint8_t x) {
+  const auto ua = std::bit_cast<std::uint32_t>(a);
+  const std::uint32_t flipped = ua ^ (x ? 0x80000000u : 0u);
+  return b + std::bit_cast<float>(flipped);
+}
+
+/// Descramble one LLR: flip the sign bit when the scramble bit is 1.
+inline float descramble_one(float llr, std::uint8_t bit) {
+  const auto u = std::bit_cast<std::uint32_t>(llr);
+  return std::bit_cast<float>(u ^ (bit ? 0x80000000u : 0u));
+}
+
+/// Fused ZF-equalize + QPSK demap for one RE (see KernelTable::eq_qpsk_llr).
+inline void eq_qpsk_llr_one(cf32 rx, cf32 h, float k, float* out) {
+  const cf32 mf = mul_conj_scale(rx, h, 1.0f);
+  out[0] = k * mf.real();
+  out[1] = k * mf.imag();
+}
+
+/// Max-log Gray PAM recursion for one symbol (per_axis >= 1); writes
+/// 2*per_axis LLRs at out[2k + axis].
+inline void qam_llr_one(cf32 sym, unsigned per_axis, float a, float scale,
+                        float* out) {
+  for (unsigned axis = 0; axis < 2; ++axis) {
+    float metric = axis == 0 ? sym.real() : sym.imag();
+    for (unsigned k = 0; k < per_axis; ++k) {
+      out[2 * k + axis] = scale * metric;
+      const float level = a * static_cast<float>(1u << (per_axis - 1 - k));
+      metric = level - std::fabs(metric);
+    }
+  }
+}
+
+/// One Viterbi ACS lane (see KernelTable::viterbi_acs).
+inline void viterbi_acs_one(const float* metric, float la, float lb,
+                            const float* ca0, const float* cb0,
+                            const float* ca1, const float* cb1,
+                            const std::int32_t* sv0, const std::int32_t* sv1,
+                            std::size_t ns, float* next,
+                            std::int32_t* surv) {
+  const float bm0 = ca0[ns] * la + cb0[ns] * lb;
+  const float bm1 = ca1[ns] * la + cb1[ns] * lb;
+  const float m0 = metric[ns >> 1] + bm0;
+  const float m1 = metric[(ns >> 1) + 32] + bm1;
+  const bool take1 = m1 > m0;
+  next[ns] = take1 ? m1 : m0;
+  surv[ns] = take1 ? sv1[ns] : sv0[ns];
+}
+
+}  // namespace nrs::kernels::detail

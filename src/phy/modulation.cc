@@ -4,6 +4,8 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "phy/kernels/kernels.h"
+
 namespace nrs {
 namespace {
 
@@ -102,20 +104,11 @@ std::vector<float> demodulate_llr(std::span<const cf32> symbols, Modulation m,
     return llrs;
   }
 
+  // Max-log LLR recursion for Gray-mapped PAM (positive LLR = bit 0),
+  // vectorized across symbols by the kernel layer.
   const unsigned per_axis = qm / 2;
-  for (std::size_t s = 0; s < symbols.size(); ++s) {
-    // Max-log LLR recursion for Gray-mapped PAM: the metric for magnitude
-    // bit k is (2^{m-k} * a) minus the absolute value of the previous
-    // metric; positive LLR means bit 0 throughout this codebase.
-    for (unsigned axis = 0; axis < 2; ++axis) {
-      float metric = axis == 0 ? symbols[s].real() : symbols[s].imag();
-      for (unsigned k = 0; k < per_axis; ++k) {
-        llrs[s * qm + 2 * k + axis] = scale * metric;
-        const float level = a * static_cast<float>(1u << (per_axis - 1 - k));
-        metric = level - std::abs(metric);
-      }
-    }
-  }
+  kernels::active().qam_llr(symbols.data(), symbols.size(), per_axis, a,
+                            scale, llrs.data());
   return llrs;
 }
 

@@ -5,16 +5,19 @@
 #include <numeric>
 #include <stdexcept>
 
+#include "phy/kernels/kernels.h"
+#include "phy/kernels/kernels_detail.h"
+
 namespace nrs {
 namespace {
 
 /// LLR value representing a bit known to be zero (shortened positions).
 constexpr float kKnownZeroLlr = 1e9f;
 
-float f_minsum(float a, float b) {
-  const float sign = ((a < 0.0f) != (b < 0.0f)) ? -1.0f : 1.0f;
-  return sign * std::min(std::abs(a), std::abs(b));
-}
+/// Below this node size the per-element helpers beat a kernel dispatch.
+/// The helpers are the exact code every backend's tail uses, so results
+/// are independent of the active ISA.
+constexpr std::size_t kKernelCutover = 8;
 
 }  // namespace
 
@@ -75,6 +78,10 @@ PolarCode::PolarCode(unsigned k, unsigned e) : k_(k), e_(e) {
   is_info_.assign(n_, 0);
   for (unsigned idx : info_set_) {
     is_info_[idx] = 1;
+  }
+  info_prefix_.assign(n_ + 1, 0);
+  for (unsigned i = 0; i < n_; ++i) {
+    info_prefix_[i + 1] = info_prefix_[i] + is_info_[i];
   }
 }
 
@@ -137,12 +144,26 @@ thread_local PolarScratch t_scratch;
 
 /// Recursive SC over the flat workspace.  `level`'s LLR slice is already
 /// filled; decided codeword bits land in `level`'s x slice, input bits in
-/// `u` (indexed from `base`).
-void sc_decode(PolarScratch& ws, std::size_t n, std::size_t level,
-               std::size_t base, std::span<std::uint8_t> u,
-               const std::vector<std::uint8_t>& is_info) {
+/// `u` (indexed from `base`).  Node operations dispatch through the SIMD
+/// kernel table above the cutover size.
+void sc_decode(PolarScratch& ws, const kernels::KernelTable& kt,
+               std::size_t n, std::size_t level, std::size_t base,
+               std::span<std::uint8_t> u,
+               const std::vector<std::uint8_t>& is_info,
+               const std::vector<unsigned>& info_prefix) {
   float* llr = ws.llr.data() + ws.offset[level];
   std::uint8_t* x = ws.x.data() + ws.offset[level];
+  // Rate-0 pruning: a subtree with no info bits decodes to all zeros no
+  // matter what its LLRs say (frozen leaves are 0, XOR-combines of zeros
+  // stay zero), so skip its f/g recursion entirely.  This touches no
+  // floats, so it cannot perturb scalar/SIMD equivalence.
+  if (info_prefix[base + n] == info_prefix[base]) {
+    std::fill(u.begin() + static_cast<std::ptrdiff_t>(base),
+              u.begin() + static_cast<std::ptrdiff_t>(base + n),
+              std::uint8_t{0});
+    std::fill(x, x + n, std::uint8_t{0});
+    return;
+  }
   if (n == 1) {
     const std::uint8_t bit =
         is_info[base] ? static_cast<std::uint8_t>(llr[0] < 0.0f) : 0;
@@ -153,24 +174,37 @@ void sc_decode(PolarScratch& ws, std::size_t n, std::size_t level,
   const std::size_t half = n / 2;
   float* child_llr = ws.llr.data() + ws.offset[level + 1];
   std::uint8_t* child_x = ws.x.data() + ws.offset[level + 1];
-  // Left child: LLRs of x_first XOR x_second.
-  for (std::size_t i = 0; i < half; ++i) {
-    child_llr[i] = f_minsum(llr[i], llr[i + half]);
+  // Left child: LLRs of x_first XOR x_second (min-sum f).
+  if (half >= kKernelCutover) {
+    kt.polar_f(llr, llr + half, child_llr, half);
+  } else {
+    for (std::size_t i = 0; i < half; ++i) {
+      child_llr[i] = kernels::detail::polar_f_one(llr[i], llr[i + half]);
+    }
   }
-  sc_decode(ws, half, level + 1, base, u, is_info);
+  sc_decode(ws, kt, half, level + 1, base, u, is_info, info_prefix);
   // Stash the left codeword in the left half of this level's x slice
   // before the right child overwrites the shared child slice.
   for (std::size_t i = 0; i < half; ++i) {
     x[i] = child_x[i];
   }
-  // Right child: combine with the left decision.
-  for (std::size_t i = 0; i < half; ++i) {
-    child_llr[i] = llr[i + half] + (x[i] ? -llr[i] : llr[i]);
+  // Right child: combine with the left decision (g node).
+  if (half >= kKernelCutover) {
+    kt.polar_g(llr, llr + half, x, child_llr, half);
+  } else {
+    for (std::size_t i = 0; i < half; ++i) {
+      child_llr[i] =
+          kernels::detail::polar_g_one(llr[i], llr[i + half], x[i]);
+    }
   }
-  sc_decode(ws, half, level + 1, base + half, u, is_info);
-  for (std::size_t i = 0; i < half; ++i) {
-    x[i + half] = child_x[i];
-    x[i] = static_cast<std::uint8_t>(x[i] ^ child_x[i]);
+  sc_decode(ws, kt, half, level + 1, base + half, u, is_info, info_prefix);
+  if (half >= kKernelCutover) {
+    kt.polar_combine(x, child_x, half);
+  } else {
+    for (std::size_t i = 0; i < half; ++i) {
+      x[i] = static_cast<std::uint8_t>(x[i] ^ child_x[i]);
+      x[i + half] = child_x[i];
+    }
   }
 }
 
@@ -202,7 +236,7 @@ void PolarCode::decode(std::span<const float> llrs, PolarScratch& scratch,
   }
   std::copy(mother, mother + n_, scratch.llr.begin());
   const std::span<std::uint8_t> u(scratch.u.data(), n_);
-  sc_decode(scratch, n_, 0, 0, u, is_info_);
+  sc_decode(scratch, kernels::active(), n_, 0, 0, u, is_info_, info_prefix_);
   for (unsigned i = 0; i < k_; ++i) {
     info_out[i] = u[info_set_[i]];
   }

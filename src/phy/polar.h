@@ -75,6 +75,9 @@ class PolarCode {
   unsigned n_;                       // mother code size (power of two)
   std::vector<unsigned> info_set_;   // input indices carrying info bits
   std::vector<std::uint8_t> is_info_;
+  // info_prefix_[i] = info bits among inputs [0, i); lets the SC decoder
+  // prune all-frozen (rate-0) subtrees in O(1) per node.
+  std::vector<unsigned> info_prefix_;
 
   [[nodiscard]] BitVector polar_transform(
       std::span<const std::uint8_t> u) const;

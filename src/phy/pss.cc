@@ -2,6 +2,8 @@
 
 #include <cmath>
 
+#include "phy/kernels/kernels.h"
+
 namespace nrs {
 
 std::array<float, kPssLength> pss_sequence(unsigned nid2) {
@@ -36,6 +38,7 @@ float partial_correlation(std::span<const cf32> res,
   // ~1/len_seg for noise.
   constexpr unsigned kSegments = 8;
   const unsigned len = static_cast<unsigned>(seq.size());
+  const auto& kt = kernels::active();
   float metric = 0.0f;
   unsigned used = 0;
   for (unsigned s = 0; s < kSegments; ++s) {
@@ -43,10 +46,8 @@ float partial_correlation(std::span<const cf32> res,
     const unsigned end = (s + 1) * len / kSegments;
     cf32 corr{};
     float energy = 0.0f;
-    for (unsigned n = begin; n < end; ++n) {
-      corr += res[n] * seq[n];
-      energy += std::norm(res[n]);
-    }
+    kt.corr_energy_real(res.data() + begin, seq.data() + begin, end - begin,
+                        &corr, &energy);
     if (energy > 1e-12f) {
       metric += std::norm(corr) /
                 (energy * static_cast<float>(end - begin));
@@ -65,13 +66,11 @@ std::optional<PssDetection> detect_pss(std::span<const cf32> res,
       pss_sequence(0), pss_sequence(1), pss_sequence(2)};
 
   PssDetection best;
+  const auto& kt = kernels::active();
   float best_metric = 0.0f;
   for (unsigned offset = 0; offset + kPssLength <= res.size(); ++offset) {
     // Quick energy gate so empty offsets are skipped cheaply.
-    float energy = 0.0f;
-    for (unsigned n = 0; n < kPssLength; ++n) {
-      energy += std::norm(res[offset + n]);
-    }
+    const float energy = kt.energy(res.data() + offset, kPssLength);
     if (energy < 1e-9f) {
       continue;
     }

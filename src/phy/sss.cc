@@ -2,6 +2,8 @@
 
 #include <cmath>
 
+#include "phy/kernels/kernels.h"
+
 namespace nrs {
 namespace {
 
@@ -47,10 +49,7 @@ std::optional<SssDetection> detect_sss(std::span<const cf32> res,
   if (res.size() < kPssLength) {
     return std::nullopt;
   }
-  float energy = 0.0f;
-  for (unsigned n = 0; n < kPssLength; ++n) {
-    energy += std::norm(res[n]);
-  }
+  const float energy = kernels::active().energy(res.data(), kPssLength);
   if (energy < 1e-9f) {
     return std::nullopt;
   }

@@ -158,6 +158,10 @@ class CountingSink : public SlotSink {
   std::atomic<std::uint64_t> delivered_{0};
 };
 
+// Stage overlap on: two demod workers race ahead of the collector, so
+// slots complete out of order and the reorder ring has to hold pooled
+// buffers across the gap.  Beyond 0 allocs/slot, the drain must hand
+// every pooled buffer back — buffers_in_flight() == 0 after stop().
 TEST(AllocSteadyState, PipelineSlotPathIsAllocationFree) {
   const Feed& f = feed();
   NrScopePipeline pipeline(scope_config(f.cell), /*n_demod_workers=*/2);
@@ -201,6 +205,9 @@ TEST(AllocSteadyState, PipelineSlotPathIsAllocationFree) {
   EXPECT_EQ(totals.allocs, 0u)
       << totals.bytes << " bytes over " << kMeasuredSlots << " slots";
   EXPECT_EQ(totals.frees, 0u);
+  pipeline.stop();
+  EXPECT_EQ(pipeline.buffers_in_flight(), 0u)
+      << "pooled sample/grid handles leaked across out-of-order completion";
 }
 
 // The history-store ingest path rides the same collector thread; with the
@@ -260,6 +267,9 @@ TEST(AllocSteadyState, PipelineWithHistoryStoreIsAllocationFree) {
   EXPECT_EQ(totals.allocs, 0u)
       << totals.bytes << " bytes over " << kMeasuredSlots << " slots";
   EXPECT_EQ(totals.frees, 0u);
+  pipeline.stop();
+  EXPECT_EQ(pipeline.buffers_in_flight(), 0u)
+      << "pooled sample/grid handles leaked across out-of-order completion";
 }
 
 // The online-prediction path rides the collector thread too: feature
@@ -328,6 +338,9 @@ TEST(AllocSteadyState, PipelineWithPredictionSinkIsAllocationFree) {
   EXPECT_EQ(totals.allocs, 0u)
       << totals.bytes << " bytes over " << kMeasuredSlots << " slots";
   EXPECT_EQ(totals.frees, 0u);
+  pipeline.stop();
+  EXPECT_EQ(pipeline.buffers_in_flight(), 0u)
+      << "pooled sample/grid handles leaked across out-of-order completion";
 }
 
 }  // namespace

@@ -1,0 +1,325 @@
+// Backend-equivalence property tests for the SIMD kernel layer: every
+// compiled-in backend must reproduce the scalar reference exactly (the
+// bit-exactness-by-construction contract in phy/kernels/kernels.h), with a
+// bounded-ULP allowance only for the float LLR kernels.  Inputs are
+// randomized across sizes that exercise both the vector body and the
+// scalar tail of each backend.
+#include "phy/kernels/kernels.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <cstring>
+#include <limits>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/types.h"
+
+namespace nrs {
+namespace {
+
+std::vector<const kernels::KernelTable*> simd_tables() {
+  std::vector<const kernels::KernelTable*> tables;
+  for (kernels::Isa isa : {kernels::Isa::kAvx2, kernels::Isa::kNeon}) {
+    if (kernels::available(isa)) {
+      tables.push_back(kernels::table_for(isa));
+    }
+  }
+  return tables;
+}
+
+const kernels::KernelTable& scalar() {
+  return *kernels::table_for(kernels::Isa::kScalar);
+}
+
+/// ULP distance between two floats of the same sign ordering; equal bit
+/// patterns return 0 (including -0 vs -0, inf vs inf).
+std::uint32_t ulp_distance(float a, float b) {
+  std::uint32_t ua = 0;
+  std::uint32_t ub = 0;
+  std::memcpy(&ua, &a, sizeof(ua));
+  std::memcpy(&ub, &b, sizeof(ub));
+  if (ua == ub) {
+    return 0;
+  }
+  // Map to a monotonic integer line.
+  const auto key = [](std::uint32_t u) {
+    return (u & 0x80000000u) ? 0x80000000u - (u & 0x7FFFFFFFu)
+                             : 0x80000000u + u;
+  };
+  const std::uint32_t ka = key(ua);
+  const std::uint32_t kb = key(ub);
+  return ka > kb ? ka - kb : kb - ka;
+}
+
+void expect_bits_equal(const float* a, const float* b, std::size_t n,
+                       const char* what) {
+  for (std::size_t i = 0; i < n; ++i) {
+    std::uint32_t ua = 0;
+    std::uint32_t ub = 0;
+    std::memcpy(&ua, a + i, sizeof(ua));
+    std::memcpy(&ub, b + i, sizeof(ub));
+    ASSERT_EQ(ua, ub) << what << " diverges at " << i << ": " << a[i]
+                      << " vs " << b[i];
+  }
+}
+
+void expect_ulp_close(const float* a, const float* b, std::size_t n,
+                      std::uint32_t max_ulp, const char* what) {
+  for (std::size_t i = 0; i < n; ++i) {
+    ASSERT_LE(ulp_distance(a[i], b[i]), max_ulp)
+        << what << " diverges at " << i << ": " << a[i] << " vs " << b[i];
+  }
+}
+
+cf32 random_cf32(Rng& rng) {
+  return {static_cast<float>(rng.gaussian()),
+          static_cast<float>(rng.gaussian())};
+}
+
+/// Sizes straddling the vector width: scalar-only, one vector, vector +
+/// tail, many vectors + tail.
+const std::size_t kSizes[] = {1, 3, 4, 7, 8, 9, 31, 64, 127, 129};
+
+TEST(Kernels, ScalarTableAlwaysAvailable) {
+  ASSERT_NE(kernels::table_for(kernels::Isa::kScalar), nullptr);
+  EXPECT_TRUE(kernels::available(kernels::Isa::kScalar));
+}
+
+TEST(Kernels, SelectRejectsUnavailable) {
+  const kernels::Isa before = kernels::active().isa;
+  if (!kernels::available(kernels::Isa::kNeon)) {
+    EXPECT_FALSE(kernels::select(kernels::Isa::kNeon));
+    EXPECT_EQ(kernels::active().isa, before);
+  }
+  if (!kernels::available(kernels::Isa::kAvx2)) {
+    EXPECT_FALSE(kernels::select(kernels::Isa::kAvx2));
+    EXPECT_EQ(kernels::active().isa, before);
+  }
+  EXPECT_TRUE(kernels::select(before));
+}
+
+TEST(Kernels, CorrEnergyRealBitExact) {
+  Rng rng(101);
+  for (const auto* simd : simd_tables()) {
+    for (std::size_t n : kSizes) {
+      for (int rep = 0; rep < 8; ++rep) {
+        std::vector<cf32> a(n);
+        std::vector<float> w(n);
+        for (std::size_t i = 0; i < n; ++i) {
+          a[i] = random_cf32(rng);
+          w[i] = rng.chance(0.5) ? 1.0f : -1.0f;
+        }
+        cf32 c0;
+        cf32 c1;
+        float e0 = 0.0f;
+        float e1 = 0.0f;
+        scalar().corr_energy_real(a.data(), w.data(), n, &c0, &e0);
+        simd->corr_energy_real(a.data(), w.data(), n, &c1, &e1);
+        const float s0[3] = {c0.real(), c0.imag(), e0};
+        const float s1[3] = {c1.real(), c1.imag(), e1};
+        expect_bits_equal(s0, s1, 3, "corr_energy_real");
+
+        const float g0 = scalar().energy(a.data(), n);
+        const float g1 = simd->energy(a.data(), n);
+        expect_bits_equal(&g0, &g1, 1, "energy");
+      }
+    }
+  }
+}
+
+TEST(Kernels, ComplexElementwiseBitExact) {
+  Rng rng(202);
+  for (const auto* simd : simd_tables()) {
+    for (std::size_t n : kSizes) {
+      std::vector<cf32> a(n);
+      std::vector<cf32> b(n);
+      for (std::size_t i = 0; i < n; ++i) {
+        a[i] = random_cf32(rng);
+        b[i] = random_cf32(rng);
+      }
+      std::vector<cf32> out0(n);
+      std::vector<cf32> out1(n);
+      scalar().cx_mul_conj_scale(a.data(), b.data(), 0.7f, out0.data(), n);
+      simd->cx_mul_conj_scale(a.data(), b.data(), 0.7f, out1.data(), n);
+      expect_bits_equal(reinterpret_cast<const float*>(out0.data()),
+                        reinterpret_cast<const float*>(out1.data()), 2 * n,
+                        "cx_mul_conj_scale");
+
+      std::vector<cf32> s0(a);
+      std::vector<cf32> s1(a);
+      scalar().cx_scale(s0.data(), 0.125f, n);
+      simd->cx_scale(s1.data(), 0.125f, n);
+      expect_bits_equal(reinterpret_cast<const float*>(s0.data()),
+                        reinterpret_cast<const float*>(s1.data()), 2 * n,
+                        "cx_scale");
+    }
+  }
+}
+
+TEST(Kernels, FftStageBitExact) {
+  Rng rng(303);
+  for (const auto* simd : simd_tables()) {
+    constexpr std::size_t kN = 64;
+    for (std::size_t half = 1; half <= kN / 2; half *= 2) {
+      std::vector<cf32> tw(half);
+      for (auto& t : tw) {
+        t = random_cf32(rng);
+      }
+      std::vector<cf32> d0(kN);
+      for (auto& v : d0) {
+        v = random_cf32(rng);
+      }
+      std::vector<cf32> d1(d0);
+      scalar().fft_stage(d0.data(), tw.data(), kN, half);
+      simd->fft_stage(d1.data(), tw.data(), kN, half);
+      expect_bits_equal(reinterpret_cast<const float*>(d0.data()),
+                        reinterpret_cast<const float*>(d1.data()), 2 * kN,
+                        "fft_stage");
+    }
+  }
+}
+
+TEST(Kernels, LlrKernelsBoundedUlp) {
+  Rng rng(404);
+  for (const auto* simd : simd_tables()) {
+    for (std::size_t n : kSizes) {
+      std::vector<cf32> rx(n);
+      std::vector<cf32> h(n);
+      for (std::size_t i = 0; i < n; ++i) {
+        rx[i] = random_cf32(rng);
+        h[i] = random_cf32(rng);
+      }
+      std::vector<float> out0(2 * n);
+      std::vector<float> out1(2 * n);
+      scalar().eq_qpsk_llr(rx.data(), h.data(), 3.5f, out0.data(), n);
+      simd->eq_qpsk_llr(rx.data(), h.data(), 3.5f, out1.data(), n);
+      expect_ulp_close(out0.data(), out1.data(), 2 * n, 1, "eq_qpsk_llr");
+
+      for (unsigned per_axis = 1; per_axis <= 4; ++per_axis) {
+        std::vector<float> q0(2 * per_axis * n);
+        std::vector<float> q1(2 * per_axis * n);
+        scalar().qam_llr(rx.data(), n, per_axis, 0.31f, 5.0f, q0.data());
+        simd->qam_llr(rx.data(), n, per_axis, 0.31f, 5.0f, q1.data());
+        expect_ulp_close(q0.data(), q1.data(), 2 * per_axis * n, 1,
+                         "qam_llr");
+      }
+    }
+  }
+}
+
+TEST(Kernels, DescrambleBitExact) {
+  Rng rng(505);
+  for (const auto* simd : simd_tables()) {
+    for (std::size_t n : kSizes) {
+      std::vector<float> llr(n);
+      std::vector<std::uint8_t> bits(n);
+      for (std::size_t i = 0; i < n; ++i) {
+        llr[i] = static_cast<float>(rng.gaussian());
+        bits[i] = rng.chance(0.5) ? 1 : 0;
+      }
+      // Signed zeros must flip like any other value.
+      if (n > 2) {
+        llr[0] = 0.0f;
+        llr[1] = -0.0f;
+      }
+      std::vector<float> l0(llr);
+      std::vector<float> l1(llr);
+      scalar().descramble(l0.data(), bits.data(), n);
+      simd->descramble(l1.data(), bits.data(), n);
+      expect_bits_equal(l0.data(), l1.data(), n, "descramble");
+    }
+  }
+}
+
+TEST(Kernels, PolarNodeOpsBitExact) {
+  Rng rng(606);
+  for (const auto* simd : simd_tables()) {
+    for (std::size_t n : kSizes) {
+      std::vector<float> a(n);
+      std::vector<float> b(n);
+      std::vector<std::uint8_t> x(n);
+      for (std::size_t i = 0; i < n; ++i) {
+        a[i] = static_cast<float>(rng.gaussian());
+        b[i] = static_cast<float>(rng.gaussian());
+        x[i] = rng.chance(0.5) ? 1 : 0;
+      }
+      if (n > 2) {
+        a[0] = -0.0f;  // sign-bit semantics must match
+        b[1] = 0.0f;
+      }
+      std::vector<float> f0(n);
+      std::vector<float> f1(n);
+      scalar().polar_f(a.data(), b.data(), f0.data(), n);
+      simd->polar_f(a.data(), b.data(), f1.data(), n);
+      expect_bits_equal(f0.data(), f1.data(), n, "polar_f");
+
+      std::vector<float> g0(n);
+      std::vector<float> g1(n);
+      scalar().polar_g(a.data(), b.data(), x.data(), g0.data(), n);
+      simd->polar_g(a.data(), b.data(), x.data(), g1.data(), n);
+      expect_bits_equal(g0.data(), g1.data(), n, "polar_g");
+
+      std::vector<std::uint8_t> x0(2 * n);
+      std::vector<std::uint8_t> x1(2 * n);
+      std::vector<std::uint8_t> c(n);
+      for (std::size_t i = 0; i < n; ++i) {
+        x0[i] = rng.chance(0.5) ? 1 : 0;
+        x1[i] = x0[i];
+        c[i] = rng.chance(0.5) ? 1 : 0;
+      }
+      scalar().polar_combine(x0.data(), c.data(), n);
+      simd->polar_combine(x1.data(), c.data(), n);
+      ASSERT_EQ(x0, x1) << "polar_combine";
+    }
+  }
+}
+
+TEST(Kernels, ViterbiAcsBitExact) {
+  Rng rng(707);
+  constexpr std::size_t kStates = kernels::kViterbiStates;
+  for (const auto* simd : simd_tables()) {
+    for (int rep = 0; rep < 32; ++rep) {
+      std::vector<float> metric(kStates);
+      std::vector<float> ca0(kStates);
+      std::vector<float> cb0(kStates);
+      std::vector<float> ca1(kStates);
+      std::vector<float> cb1(kStates);
+      std::vector<std::int32_t> sv0(kStates);
+      std::vector<std::int32_t> sv1(kStates);
+      for (std::size_t i = 0; i < kStates; ++i) {
+        // Include -inf metrics (unreached states early in the trellis).
+        metric[i] = rng.chance(0.25)
+                        ? -std::numeric_limits<float>::infinity()
+                        : static_cast<float>(rng.gaussian());
+        ca0[i] = rng.chance(0.5) ? 1.0f : -1.0f;
+        cb0[i] = rng.chance(0.5) ? 1.0f : -1.0f;
+        ca1[i] = rng.chance(0.5) ? 1.0f : -1.0f;
+        cb1[i] = rng.chance(0.5) ? 1.0f : -1.0f;
+        sv0[i] = static_cast<std::int32_t>(i);
+        sv1[i] = static_cast<std::int32_t>(i + kStates);
+      }
+      const float la = static_cast<float>(rng.gaussian());
+      const float lb = static_cast<float>(rng.gaussian());
+      for (bool tail : {false, true}) {
+        std::vector<float> n0(kStates);
+        std::vector<float> n1(kStates);
+        std::vector<std::int32_t> s0(kStates);
+        std::vector<std::int32_t> s1(kStates);
+        scalar().viterbi_acs(metric.data(), la, lb, ca0.data(), cb0.data(),
+                             ca1.data(), cb1.data(), sv0.data(), sv1.data(),
+                             tail, n0.data(), s0.data());
+        simd->viterbi_acs(metric.data(), la, lb, ca0.data(), cb0.data(),
+                          ca1.data(), cb1.data(), sv0.data(), sv1.data(),
+                          tail, n1.data(), s1.data());
+        expect_bits_equal(n0.data(), n1.data(), kStates, "viterbi metrics");
+        ASSERT_EQ(s0, s1) << "viterbi survivors";
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace nrs
