@@ -12,6 +12,13 @@
 //                   surviving worker again (lease reassigned, cell
 //                   restarted, first report in).
 //
+//   failover      — add a replicated standby coordinator, kill the
+//                   primary (stop(): every socket slams shut at once) and
+//                   measure promotion latency plus time-to-all-active on
+//                   the new primary, reporting how many leases were
+//                   RE-CONFIRMED in place vs reassigned (the HA bar is
+//                   all-reconfirmed, zero reassigned).
+//
 //   --quick   smaller cell counts and windows (CI smoke run)
 //   --json    additionally write BENCH_fleet_distributed.json
 #include <chrono>
@@ -150,6 +157,110 @@ ReassignPoint run_reassign(unsigned n_cells) {
   return point;
 }
 
+struct FailoverPoint {
+  unsigned cells = 0;
+  bool converged = false;
+  double promote_ms = 0.0;     ///< primary kill -> standby serves leases
+  double all_active_ms = 0.0;  ///< primary kill -> every cell re-confirmed
+  std::uint64_t reconfirmed = 0;
+  std::uint64_t reassigned = 0;
+};
+
+FailoverPoint run_failover(unsigned n_cells) {
+  FailoverPoint point;
+  point.cells = n_cells;
+
+  CoordinatorConfig primary_config;
+  primary_config.seed = 7;
+  // A TTL comfortably above the expected failover keeps "re-confirmed,
+  // not reassigned" honest: an expiring lease would churn the very cells
+  // the failover is supposed to leave untouched.
+  primary_config.lease_ttl_ms = 10000;
+  primary_config.heartbeat_timeout_s = 3.0;
+  for (unsigned i = 0; i < n_cells; ++i) {
+    CoordinatorCellSpec cell;
+    cell.name = "cell" + std::to_string(i);
+    primary_config.cells.push_back(std::move(cell));
+  }
+  auto primary = std::make_unique<FleetCoordinator>(std::move(primary_config));
+
+  CoordinatorConfig standby_config;
+  standby_config.standby_of = "127.0.0.1:" + std::to_string(primary->port());
+  standby_config.lease_ttl_ms = 10000;
+  standby_config.heartbeat_timeout_s = 3.0;
+  FleetCoordinator standby(std::move(standby_config));
+
+  std::vector<std::unique_ptr<FleetWorker>> workers;
+  for (unsigned i = 0; i < 2; ++i) {
+    WorkerConfig wc;
+    wc.name = "w" + std::to_string(i);
+    wc.coordinators = {"127.0.0.1:" + std::to_string(primary->port()),
+                       "127.0.0.1:" + std::to_string(standby.port())};
+    wc.capacity = n_cells;
+    wc.report_period_s = 0.1;
+    wc.reconnect_backoff_s = 0.05;
+    workers.push_back(std::make_unique<FleetWorker>(wc));
+  }
+
+  const auto teardown = [&] {
+    for (auto& worker : workers) {
+      worker->stop();
+    }
+    standby.stop();
+    if (primary != nullptr) {
+      primary->stop();
+    }
+  };
+
+  if (!wait_all_active(*primary, 30.0)) {
+    teardown();
+    return point;
+  }
+  // The standby must hold a synced mirror before the kill is meaningful.
+  {
+    const auto deadline = Clock::now() + std::chrono::seconds(10);
+    while (!standby.synced() && Clock::now() < deadline) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+    if (!standby.synced()) {
+      teardown();
+      return point;
+    }
+  }
+
+  const auto t0 = Clock::now();
+  primary->stop();  // every socket (workers + replication) dies at once
+  primary.reset();
+
+  while (standby.role() != CoordinatorRole::kPrimary &&
+         std::chrono::duration<double>(Clock::now() - t0).count() < 30.0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  point.promote_ms =
+      std::chrono::duration<double, std::milli>(Clock::now() - t0).count();
+
+  // The mirror keeps every cell "active" across the gap, so all-active
+  // alone is satisfied instantly; convergence means each lease has been
+  // RE-CONFIRMED by its worker under the new epoch.
+  {
+    const auto deadline = Clock::now() + std::chrono::seconds(30);
+    while ((standby.reconfirmations() < n_cells ||
+            !standby.all_cells_active()) &&
+           Clock::now() < deadline) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+  }
+  point.converged =
+      standby.reconfirmations() >= n_cells && standby.all_cells_active();
+  point.all_active_ms =
+      std::chrono::duration<double, std::milli>(Clock::now() - t0).count();
+  point.reconfirmed = standby.reconfirmations();
+  point.reassigned = standby.reassignments();
+
+  teardown();
+  return point;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -173,7 +284,8 @@ int main(int argc, char** argv) {
 
   bench::print_header("fleet-distributed",
                       "coordinator + 2 workers over loopback: aggregate "
-                      "slots/sec vs cells, reassignment latency");
+                      "slots/sec vs cells, reassignment latency, "
+                      "primary-failover latency");
 
   std::printf("%6s %12s %12s\n", "cells", "slots/sec", "converged");
   std::vector<ScalePoint> scale;
@@ -191,6 +303,15 @@ int main(int argc, char** argv) {
               static_cast<unsigned long long>(reassign.reassigned),
               reassign.latency_ms, reassign.converged ? "ok" : "TIMEOUT");
 
+  const FailoverPoint failover = run_failover(reassign_cells);
+  std::printf("\nprimary kill with %u cells: standby promoted after %.0f ms, "
+              "all cells active after %.0f ms, %llu leases re-confirmed, "
+              "%llu reassigned (%s)\n",
+              failover.cells, failover.promote_ms, failover.all_active_ms,
+              static_cast<unsigned long long>(failover.reconfirmed),
+              static_cast<unsigned long long>(failover.reassigned),
+              failover.converged ? "ok" : "TIMEOUT");
+
   if (json) {
     std::ofstream out("BENCH_fleet_distributed.json");
     out << "{\n  \"scale\": [\n";
@@ -205,8 +326,16 @@ int main(int argc, char** argv) {
         << "  \"reassign_latency_ms\": " << reassign.latency_ms << ",\n"
         << "  \"reassigned_leases\": " << reassign.reassigned << ",\n"
         << "  \"reassign_converged\": "
-        << (reassign.converged ? "true" : "false") << "\n}\n";
+        << (reassign.converged ? "true" : "false") << ",\n"
+        << "  \"failover_cells\": " << failover.cells << ",\n"
+        << "  \"failover_promote_ms\": " << failover.promote_ms << ",\n"
+        << "  \"failover_all_active_ms\": " << failover.all_active_ms << ",\n"
+        << "  \"failover_reconfirmed_leases\": " << failover.reconfirmed
+        << ",\n"
+        << "  \"failover_reassigned_leases\": " << failover.reassigned << ",\n"
+        << "  \"failover_converged\": "
+        << (failover.converged ? "true" : "false") << "\n}\n";
     std::printf("\nwrote BENCH_fleet_distributed.json\n");
   }
-  return reassign.converged ? 0 : 1;
+  return (reassign.converged && failover.converged) ? 0 : 1;
 }

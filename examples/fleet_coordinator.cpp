@@ -11,6 +11,13 @@
 //
 // Or demo everything in one process (workers spawned in-process):
 //   ./build/examples/fleet_coordinator --cells 8 --local 2 --duration 15
+//
+// High availability: run a second coordinator as a replicated standby and
+// point the workers at both.  SIGKILL the primary and the standby promotes
+// within one lease TTL, re-confirming the leases the workers still hold:
+//   ./build/examples/fleet_coordinator --port 9200 --cells 8
+//   ./build/examples/fleet_coordinator --port 9201 --standby-of 127.0.0.1:9200
+//   ./build/examples/fleet_worker --coordinators 127.0.0.1:9200,127.0.0.1:9201
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
@@ -41,6 +48,7 @@ struct Options {
   double report_every_s = 1.0;
   std::uint16_t stream_port = 0;  ///< 0 = no telemetry stream server
   std::uint64_t seed = 42;
+  std::string standby_of;  ///< non-empty = run as replicated standby
 };
 
 Options parse_args(int argc, char** argv) {
@@ -74,6 +82,8 @@ Options parse_args(int argc, char** argv) {
       opt.stream_port = static_cast<std::uint16_t>(std::stoul(value()));
     } else if (arg == "--seed") {
       opt.seed = std::stoull(value());
+    } else if (arg == "--standby-of") {
+      opt.standby_of = value();
     } else {
       std::fprintf(stderr,
                    "usage: fleet_coordinator [--port P] [--cells N] "
@@ -81,11 +91,12 @@ Options parse_args(int argc, char** argv) {
                    "                         [--heartbeat-timeout S] "
                    "[--local N] [--duration S]\n"
                    "                         [--report-every S] "
-                   "[--stream-port P] [--seed S]\n");
+                   "[--stream-port P] [--seed S]\n"
+                   "                         [--standby-of HOST:PORT]\n");
       std::exit(arg == "--help" || arg == "-h" ? 0 : 1);
     }
   }
-  if (opt.cells == 0) {
+  if (opt.cells == 0 && opt.standby_of.empty()) {
     std::fprintf(stderr, "--cells must be >= 1\n");
     std::exit(1);
   }
@@ -113,8 +124,10 @@ void print_table(const FleetCoordinator& coordinator) {
     std::printf("\n");
   }
   const FleetSummary s = coordinator.summary();
-  std::printf("fleet: slot=%llu dcis=%llu dl=%.2f Mbps ul=%.2f Mbps "
-              "reassignments=%llu  spare ranking:",
+  std::printf("fleet: role=%s epoch=%llu slot=%llu dcis=%llu dl=%.2f Mbps "
+              "ul=%.2f Mbps reassignments=%llu  spare ranking:",
+              to_string(coordinator.role()),
+              static_cast<unsigned long long>(coordinator.epoch()),
               static_cast<unsigned long long>(s.slot),
               static_cast<unsigned long long>(s.dcis_total), s.dl_mbps_total,
               s.ul_mbps_total,
@@ -137,17 +150,26 @@ int main(int argc, char** argv) {
   config.seed = opt.seed;
   config.lease_ttl_ms = opt.lease_ttl_ms;
   config.heartbeat_timeout_s = opt.heartbeat_timeout_s;
-  for (unsigned i = 0; i < opt.cells; ++i) {
-    CoordinatorCellSpec cell;
-    cell.name = "cell" + std::to_string(i);
-    cell.preset = opt.preset;
-    config.cells.push_back(std::move(cell));
+  config.standby_of = opt.standby_of;
+  if (opt.standby_of.empty()) {
+    // A standby's cell list arrives with the primary's snapshot.
+    for (unsigned i = 0; i < opt.cells; ++i) {
+      CoordinatorCellSpec cell;
+      cell.name = "cell" + std::to_string(i);
+      cell.preset = opt.preset;
+      config.cells.push_back(std::move(cell));
+    }
   }
   FleetCoordinator coordinator(std::move(config), &registry);
-  std::printf("coordinator listening on port %u (%u x %s cells, lease TTL "
-              "%u ms)\n",
-              coordinator.port(), opt.cells, opt.preset.c_str(),
-              opt.lease_ttl_ms);
+  if (opt.standby_of.empty()) {
+    std::printf("coordinator listening on port %u (%u x %s cells, lease TTL "
+                "%u ms)\n",
+                coordinator.port(), opt.cells, opt.preset.c_str(),
+                opt.lease_ttl_ms);
+  } else {
+    std::printf("standby coordinator on port %u, replicating from %s\n",
+                coordinator.port(), opt.standby_of.c_str());
+  }
 
   // Optional stream server: remote clients query the coordinator's
   // history store (kQuery) and receive the fleet aggregate (kFleet).

@@ -4,6 +4,11 @@
 // killed — the coordinator reassigns its cells either way).
 //
 // Run:  ./build/examples/fleet_worker --port 9200 --name w1 --capacity 8
+//
+// Against an HA coordinator pair (primary + standby), list every
+// coordinator; the worker fails over round-robin with jittered backoff,
+// keeping its cells running locally until the new primary re-confirms:
+//   ./build/examples/fleet_worker --coordinators 127.0.0.1:9200,127.0.0.1:9201
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
@@ -31,6 +36,23 @@ WorkerConfig parse_args(int argc, char** argv) {
     };
     if (arg == "--host") {
       config.host = value();
+    } else if (arg == "--coordinators") {
+      // Comma-separated host:port list, primary first.
+      std::string list = value();
+      std::size_t start = 0;
+      while (start <= list.size()) {
+        const std::size_t comma = list.find(',', start);
+        const std::string entry =
+            list.substr(start, comma == std::string::npos ? std::string::npos
+                                                          : comma - start);
+        if (!entry.empty()) {
+          config.coordinators.push_back(entry);
+        }
+        if (comma == std::string::npos) {
+          break;
+        }
+        start = comma + 1;
+      }
     } else if (arg == "--port") {
       config.port = static_cast<std::uint16_t>(std::stoul(value()));
     } else if (arg == "--name") {
@@ -53,14 +75,15 @@ WorkerConfig parse_args(int argc, char** argv) {
       std::fprintf(stderr,
                    "usage: fleet_worker --port P [--host H] [--name NAME] "
                    "[--capacity N]\n"
-                   "                    [--threads N] [--slots-per-tick N] "
-                   "[--max-reconnects N] [--predict] [--weights PATH] "
-                   "[--quiet]\n");
+                   "                    [--coordinators H:P,H:P,...] "
+                   "[--threads N] [--slots-per-tick N]\n"
+                   "                    [--max-reconnects N] [--predict] "
+                   "[--weights PATH] [--quiet]\n");
       std::exit(arg == "--help" || arg == "-h" ? 0 : 1);
     }
   }
-  if (config.port == 0) {
-    std::fprintf(stderr, "--port is required\n");
+  if (config.port == 0 && config.coordinators.empty()) {
+    std::fprintf(stderr, "--port or --coordinators is required\n");
     std::exit(1);
   }
   (void)quiet;
@@ -74,9 +97,20 @@ int main(int argc, char** argv) {
   nrs_examples::install_signal_handlers();
 
   FleetWorker worker(config);
-  std::printf("worker '%s' dialing %s:%u (capacity %u, %u pool threads)\n",
-              config.name.c_str(), config.host.c_str(), config.port,
-              config.capacity, config.pool_threads);
+  if (config.coordinators.empty()) {
+    std::printf("worker '%s' dialing %s:%u (capacity %u, %u pool threads)\n",
+                config.name.c_str(), config.host.c_str(), config.port,
+                config.capacity, config.pool_threads);
+  } else {
+    std::string joined;
+    for (const std::string& endpoint : config.coordinators) {
+      joined += joined.empty() ? endpoint : "," + endpoint;
+    }
+    std::printf("worker '%s' dialing coordinators %s (capacity %u, %u pool "
+                "threads)\n",
+                config.name.c_str(), joined.c_str(), config.capacity,
+                config.pool_threads);
+  }
 
   auto next_status = std::chrono::steady_clock::now();
   while (!nrs_examples::stop_requested() && worker.running()) {

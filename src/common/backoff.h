@@ -1,0 +1,50 @@
+// Jittered exponential backoff for reconnect paths.  Every client that
+// redials a server (TelemetryStreamClient, FleetWorker, a standby
+// coordinator tailing its primary) shares this policy so a mass failover
+// — e.g. a whole fleet of workers losing their coordinator at once —
+// spreads its reconnect attempts over a window instead of stampeding the
+// new primary on the same deterministic schedule.
+#pragma once
+
+#include <algorithm>
+
+#include "common/rng.h"
+
+namespace nrs {
+
+/// Exponential backoff schedule with multiplicative jitter.  Attempt 0
+/// waits `initial_s`; each further consecutive failure multiplies the
+/// base delay by `factor` up to `max_s`.  `jitter` in [0, 1] picks the
+/// actual delay uniformly from [base * (1 - jitter), base] — full base is
+/// the worst case, so existing timeout math stays valid.
+struct BackoffPolicy {
+  double initial_s = 0.05;
+  double max_s = 1.0;
+  double factor = 2.0;
+  double jitter = 0.5;
+};
+
+/// Deterministic (un-jittered) base delay for the given consecutive
+/// failure count: initial * factor^attempt, capped at max_s.
+inline double backoff_base_delay(const BackoffPolicy& policy,
+                                 unsigned attempt) {
+  double base = policy.initial_s;
+  for (unsigned i = 0; i < attempt && base < policy.max_s; ++i) {
+    base *= policy.factor;
+  }
+  return std::min(base, policy.max_s);
+}
+
+/// The actual delay to sleep before reconnect attempt `attempt`:
+/// uniformly drawn from [base * (1 - jitter), base].
+inline double jittered_backoff_delay(const BackoffPolicy& policy,
+                                     unsigned attempt, Rng& rng) {
+  const double base = backoff_base_delay(policy, attempt);
+  const double jitter = std::clamp(policy.jitter, 0.0, 1.0);
+  if (jitter <= 0.0) {
+    return base;
+  }
+  return rng.uniform(base * (1.0 - jitter), base);
+}
+
+}  // namespace nrs

@@ -1,5 +1,6 @@
 #include "dist/catalog.h"
 
+#include <algorithm>
 #include <utility>
 
 namespace nrs {
@@ -18,6 +19,27 @@ std::uint64_t WorkerCatalog::add(std::string name, std::uint32_t capacity,
   entry.last_seen = now;
   workers_.emplace(id, std::move(entry));
   return id;
+}
+
+void WorkerCatalog::restore(std::uint64_t id, std::string name,
+                            std::uint32_t capacity, TimePoint now) {
+  WorkerEntry entry;
+  entry.id = id;
+  entry.name = std::move(name);
+  entry.capacity = capacity;
+  entry.fd = -1;
+  entry.alive = true;
+  entry.last_seen = now;
+  workers_.insert_or_assign(id, std::move(entry));
+  next_id_ = std::max(next_id_, id);
+}
+
+void WorkerCatalog::clear() { workers_.clear(); }
+
+void WorkerCatalog::touch_all(TimePoint now) {
+  for (auto& [id, entry] : workers_) {
+    entry.last_seen = now;
+  }
 }
 
 WorkerEntry* WorkerCatalog::find(std::uint64_t id) {
@@ -57,7 +79,7 @@ std::optional<std::uint64_t> WorkerCatalog::pick_least_loaded() const {
   std::optional<std::uint64_t> best;
   std::size_t best_load = 0;
   for (const auto& [id, entry] : workers_) {
-    if (!entry.has_capacity()) {
+    if (!entry.has_capacity() || entry.fd < 0) {
       continue;
     }
     if (!best || entry.load() < best_load) {

@@ -39,6 +39,21 @@ class WorkerCatalog {
   std::uint64_t add(std::string name, std::uint32_t capacity,
                     std::uint32_t pool_threads, int fd, TimePoint now);
 
+  /// Mirror a replicated catalog entry under its original id (standby
+  /// apply path).  The entry has no socket (fd = -1) — after a promotion
+  /// it is a "ghost" that holds its cells until the real worker reconnects
+  /// and its leases are rebound, or the heartbeat timeout declares it
+  /// dead.  Ratchets next_id_ past `id` so fresh joins never collide.
+  void restore(std::uint64_t id, std::string name, std::uint32_t capacity,
+               TimePoint now);
+
+  /// Drop every entry (standby re-applying a fresh snapshot).
+  void clear();
+
+  /// Restart every entry's liveness clock (promotion grace: ghosts get a
+  /// full heartbeat timeout to re-appear before being declared dead).
+  void touch_all(TimePoint now);
+
   [[nodiscard]] WorkerEntry* find(std::uint64_t id);
   [[nodiscard]] const WorkerEntry* find(std::uint64_t id) const;
   [[nodiscard]] WorkerEntry* find_by_fd(int fd);
@@ -52,9 +67,11 @@ class WorkerCatalog {
   void mark_dead(std::uint64_t id);
   void remove(std::uint64_t id);
 
-  /// The alive worker with free capacity carrying the fewest cells (ties:
-  /// lowest id, so placement is deterministic).  nullopt when the fleet is
-  /// saturated or empty.
+  /// The alive *connected* worker with free capacity carrying the fewest
+  /// cells (ties: lowest id, so placement is deterministic).  Ghost
+  /// entries (fd < 0, mirrored from a dead primary) are skipped — there is
+  /// no socket to send a grant on.  nullopt when the fleet is saturated or
+  /// empty.
   [[nodiscard]] std::optional<std::uint64_t> pick_least_loaded() const;
 
   /// Workers that have been silent for longer than `timeout_s`.

@@ -22,6 +22,23 @@
 // cell's lifetime slot axis and ingested into an embedded HistoryStore —
 // post-kill queries return rows from before and after the handoff.
 //
+// High availability: a second FleetCoordinator started with
+// `standby_of = "host:port"` runs as a replicated STANDBY — it dials the
+// primary, attaches as a replication tail (kStandbyHello), mirrors the
+// full coordinator state (one kReplicaSnapshot, then incremental
+// kReplicaEvents: catalog joins/leaves, lease grants/renewals/releases,
+// committed per-cell totals, rebased history rows), and answers any
+// worker that dials it early with kNotPrimary.  When the primary dies
+// (EOF on the replication link, or replication silence), the standby
+// PROMOTES: it bumps the epoch (a monotonically increasing term carried
+// on every lease, heartbeat and report), restarts every mirrored lease's
+// TTL clock and waits for the healthy workers to reconnect — their
+// heartbeats list lease ids the standby already knows, so the leases are
+// RE-CONFIRMED (rebound to the new connection) rather than reassigned:
+// zero handoffs, zero cell restarts, totals and history continuous.  A
+// deposed primary that resurrects sees the higher epoch on worker hellos
+// and fences itself instead of competing for the fleet.
+//
 // Threads: ONE io thread owns every socket and all coordination state;
 // public accessors copy snapshots out under a mutex.
 #pragma once
@@ -37,6 +54,7 @@
 #include <vector>
 
 #include "common/metrics.h"
+#include "common/rng.h"
 #include "dist/catalog.h"
 #include "dist/lease.h"
 #include "net/wire.h"
@@ -56,11 +74,44 @@ struct CoordinatorCellSpec {
   double sniffer_snr_db = 28.0;
 };
 
+/// Whether a coordinator currently serves leases or tails a primary.
+enum class CoordinatorRole : std::uint8_t {
+  kPrimary = 0,
+  kStandby = 1,
+};
+
+const char* to_string(CoordinatorRole role);
+
+/// Split "host:port" (host may be empty for the default 127.0.0.1).
+/// False on a missing/invalid port.
+bool parse_host_port(const std::string& endpoint, std::string& host,
+                     std::uint16_t& port);
+
 struct CoordinatorConfig {
   std::string bind_address = "127.0.0.1";
   std::uint16_t port = 0;  ///< 0 = ephemeral (see port())
   std::vector<CoordinatorCellSpec> cells;
   std::uint64_t seed = 1;  ///< per-cell seed bases derive from it
+
+  /// Non-empty ("host:port") -> start as a replicated standby tailing
+  /// that primary.  A standby needs no `cells` of its own: the snapshot
+  /// replicates the specs (and seeds), so the promoted standby grants
+  /// byte-identical cell streams.
+  std::string standby_of;
+  /// First primary term.  A promoted standby uses replicated_epoch + 1.
+  std::uint64_t initial_epoch = 1;
+  /// Primary -> replica keepalive period (lets the standby tell a wedged
+  /// primary from an idle one).
+  double replication_heartbeat_s = 0.05;
+  /// Standby: no replication traffic for this long -> the link is dead.
+  double replication_timeout_s = 0.6;
+  /// Standby: how long the primary must stay unreachable (after a synced
+  /// tail) before promotion.  Guards against promoting on a transient
+  /// replication-link blip while the primary is still serving workers.
+  double promote_after_s = 0.3;
+  // Standby upstream redial backoff (jittered like every other path).
+  double standby_backoff_initial_s = 0.05;
+  double standby_backoff_max_s = 0.5;
 
   std::uint32_t lease_ttl_ms = 1500;
   /// A worker silent for this long is dead (heartbeats are expected every
@@ -132,6 +183,22 @@ class FleetCoordinator {
   /// running cell.
   [[nodiscard]] bool all_cells_active() const;
 
+  // ---- High availability (any thread) ----
+  /// Current role: a standby flips to kPrimary at promotion.
+  [[nodiscard]] CoordinatorRole role() const;
+  /// Current epoch (term).  0 on a standby that has not synced yet.
+  [[nodiscard]] std::uint64_t epoch() const;
+  /// Standby: true once the first snapshot has been applied (the mirror
+  /// is complete and promotion is possible).
+  [[nodiscard]] bool synced() const;
+  /// True once this (former) primary has seen a higher epoch and fenced
+  /// itself: it stops granting and answers worker hellos with kNotPrimary.
+  [[nodiscard]] bool deposed() const;
+  /// Standby -> primary promotions performed by this instance (0 or 1).
+  [[nodiscard]] std::uint64_t promotions() const;
+  /// Leases re-confirmed (rebound, not reassigned) after a promotion.
+  [[nodiscard]] std::uint64_t reconfirmations() const;
+
   /// The embedded history store (fleet-lifetime slot axis).  Readers are
   /// lock-free; the io thread is the single writer.  Outlives queries made
   /// through it as long as the coordinator is alive.
@@ -145,11 +212,13 @@ class FleetCoordinator {
  private:
   using Clock = std::chrono::steady_clock;
 
-  /// One accepted connection (worker or not-yet-greeted peer).
+  /// One accepted connection (worker, replica tail, or not-yet-greeted
+  /// peer).
   struct Connection {
     int fd = -1;
     FrameParser parser;
     std::uint64_t worker_id = 0;  ///< 0 until kWorkerHello registers it
+    bool is_replica = false;      ///< attached with kStandbyHello
   };
 
   /// Per-cell aggregation state: committed totals from ended leases plus
@@ -188,6 +257,38 @@ class FleetCoordinator {
   /// Timers: dead-worker scan, lease expiry, assignment of unassigned
   /// cells, rebalancing.
   void run_timers(Clock::time_point now);
+
+  // -- Replication: primary side --
+  void handle_standby_hello(Connection& conn, const StandbyHello& hello);
+  /// Fan one mutation event out to every attached replica tail (the
+  /// event's epoch is stamped here).  A failed send drops that tail; the
+  /// standby redials and re-snapshots.
+  void replicate(ReplicaEvent event);
+  [[nodiscard]] ReplicaSnapshot build_snapshot() const;
+  /// We saw a frame from a higher epoch: a promoted standby owns the
+  /// fleet now.  Stop granting, answer hellos with kNotPrimary.
+  void fence_self(std::uint64_t seen_epoch);
+
+  // -- Replication: standby side --
+  /// Dial the primary when the upstream link is down and the (jittered)
+  /// backoff has elapsed.  Called on the io thread with the state lock
+  /// NOT held — connect() blocks.
+  void maybe_connect_upstream();
+  void read_upstream();
+  void handle_replication_frame(const Frame& frame);
+  void apply_snapshot(const ReplicaSnapshot& snapshot,
+                      Clock::time_point now);
+  void apply_event(const ReplicaEvent& event, Clock::time_point now);
+  void apply_store_rows(std::uint32_t cell_index,
+                        const std::vector<StoreRowUpdate>& rows);
+  void drop_upstream(Clock::time_point now);
+  /// Standby timers: replication-silence detection and promotion.
+  void standby_timers(Clock::time_point now);
+  /// Take over the fleet: bump the epoch, restart lease TTL and catalog
+  /// liveness clocks, hold rebalancing for one TTL so reconnecting
+  /// workers re-confirm instead of getting shuffled.
+  void promote(Clock::time_point now);
+
   void declare_worker_dead(std::uint64_t worker_id, const char* why);
   /// Release the cell's lease, folding its last report into the committed
   /// totals so the lifetime view never rewinds.
@@ -195,8 +296,13 @@ class FleetCoordinator {
                  Clock::time_point now);
   void try_assign(std::uint32_t cell_index, Clock::time_point now);
   void rebalance(Clock::time_point now);
+  /// Ingest a report's rows into the embedded store.  When `replicated`
+  /// is non-null, the rows actually appended are copied there with their
+  /// slots rebased to the cell's global lifetime axis (kStoreRows feed).
   void ingest_rows(std::uint32_t cell_index, CellRecord& record,
-                   const CellReport& report);
+                   const CellReport& report,
+                   std::vector<StoreRowUpdate>* replicated);
+  [[nodiscard]] bool has_replica() const;
   /// Synchronous best-effort send on the io thread (SO_SNDTIMEO-bounded);
   /// a failure declares the worker dead.
   bool send_to_worker(std::uint64_t worker_id,
@@ -223,6 +329,27 @@ class FleetCoordinator {
   std::vector<std::unique_ptr<Connection>> connections_;
   std::map<std::uint32_t, PredictionSet> predictions_;  ///< by cell index
 
+  // -- High-availability state (same locking rules) --
+  CoordinatorRole role_ = CoordinatorRole::kPrimary;
+  std::uint64_t epoch_ = 0;       ///< current term (0 = unsynced standby)
+  bool deposed_ = false;          ///< fenced by a higher epoch
+  bool synced_ = false;           ///< standby: snapshot applied
+  std::uint64_t promotions_ = 0;
+  std::uint64_t reconfirmations_ = 0;
+  /// Replication link to the primary (standby only; io thread owns it).
+  int upstream_fd_ = -1;
+  FrameParser upstream_parser_;
+  Clock::time_point upstream_last_rx_{};
+  Clock::time_point upstream_retry_at_{};
+  unsigned upstream_attempts_ = 0;
+  std::string upstream_host_;
+  std::uint16_t upstream_port_ = 0;
+  Rng jitter_rng_{1};
+  /// Post-promotion grace: no join-triggered rebalancing until here, so
+  /// reconnecting workers re-confirm their leases undisturbed.
+  Clock::time_point rebalance_hold_until_{};
+  Clock::time_point next_replica_heartbeat_{};
+
   HistoryStore store_;
 
   Counter* m_leases_granted_ = nullptr;
@@ -234,8 +361,17 @@ class FleetCoordinator {
   Counter* m_predictions_rx_ = nullptr;
   Counter* m_version_rejects_ = nullptr;
   Counter* m_revokes_ = nullptr;
+  Counter* m_promotions_ctr_ = nullptr;
+  Counter* m_reconfirmed_ = nullptr;
+  Counter* m_deposed_ctr_ = nullptr;
+  Counter* m_not_primary_tx_ = nullptr;
+  Counter* m_replica_events_tx_ = nullptr;
+  Counter* m_replica_events_rx_ = nullptr;
+  Counter* m_replica_snapshots_tx_ = nullptr;
+  Counter* m_replica_snapshots_rx_ = nullptr;
   Gauge* m_workers_alive_ = nullptr;
   Gauge* m_cells_active_ = nullptr;
+  Gauge* m_epoch_gauge_ = nullptr;
 };
 
 }  // namespace nrs

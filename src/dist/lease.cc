@@ -101,6 +101,47 @@ void LeaseTable::note_progress(std::uint32_t cell_index) {
   leases_[cell_index].backoff_s = 0.0;
 }
 
+void LeaseTable::reset(std::size_t n_cells) {
+  leases_.assign(n_cells, Lease{});
+  for (std::size_t i = 0; i < leases_.size(); ++i) {
+    leases_[i].cell_index = static_cast<std::uint32_t>(i);
+  }
+}
+
+void LeaseTable::restore(std::uint32_t cell_index, LeaseState state,
+                         std::uint64_t lease_id, std::uint64_t worker_id,
+                         unsigned handoffs, TimePoint now) {
+  Lease& lease = leases_[cell_index];
+  lease.state = state;
+  lease.lease_id = lease_id;
+  lease.worker_id = worker_id;
+  lease.handoffs = handoffs;
+  lease.expires_at = after(now, config_.ttl_s);
+  lease.retry_at = now;
+}
+
+void LeaseTable::set_next_lease_id(std::uint64_t next) {
+  next_lease_id_ = std::max(next_lease_id_, next);
+}
+
+void LeaseTable::extend_all(TimePoint now) {
+  for (Lease& lease : leases_) {
+    if (lease.state != LeaseState::kUnassigned) {
+      lease.expires_at = after(now, config_.ttl_s);
+    }
+  }
+}
+
+bool LeaseTable::rebind(std::uint64_t lease_id,
+                        std::uint64_t new_worker_id) {
+  Lease* lease = by_id(lease_id);
+  if (lease == nullptr) {
+    return false;
+  }
+  lease->worker_id = new_worker_id;
+  return true;
+}
+
 std::vector<std::uint32_t> LeaseTable::expired(TimePoint now) const {
   std::vector<std::uint32_t> out;
   for (const Lease& lease : leases_) {

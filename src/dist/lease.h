@@ -73,6 +73,37 @@ class LeaseTable {
   /// backoff escalation, like the fleet supervisor's healthy_slots rule.
   void note_progress(std::uint32_t cell_index);
 
+  // -- Replication / failover support ----------------------------------
+
+  /// Rebuild the table for `n_cells` cells, dropping all state.  A standby
+  /// applying its first snapshot uses this: its config carried no cell
+  /// list, the snapshot is authoritative.
+  void reset(std::size_t n_cells);
+
+  /// Mirror one cell's replicated lease binding verbatim (standby apply
+  /// path).  Does not touch next_lease_id_ — see set_next_lease_id().
+  void restore(std::uint32_t cell_index, LeaseState state,
+               std::uint64_t lease_id, std::uint64_t worker_id,
+               unsigned handoffs, TimePoint now);
+
+  /// Ensure future grants use ids >= `next` (never reuse a replicated
+  /// live id).  Only ratchets forward.
+  void set_next_lease_id(std::uint64_t next);
+  [[nodiscard]] std::uint64_t next_lease_id() const {
+    return next_lease_id_;
+  }
+
+  /// Restart every granted lease's TTL clock.  A just-promoted standby
+  /// calls this so healthy workers get one full TTL to reconnect and
+  /// re-confirm before their mirrored leases are treated as expired.
+  void extend_all(TimePoint now);
+
+  /// Re-confirmation after failover: bind a live lease to the catalog id
+  /// its (reconnected) holder registered under with the new primary.  The
+  /// lease id, state and handoff count are untouched — this is the same
+  /// lease continuing, not a reassignment.  False when the id is unknown.
+  bool rebind(std::uint64_t lease_id, std::uint64_t new_worker_id);
+
   /// Live lease lookup by id (nullptr when no cell currently holds it).
   [[nodiscard]] Lease* by_id(std::uint64_t lease_id);
 

@@ -14,28 +14,16 @@
 #include <utility>
 
 #include "analysis/prediction_sink.h"
+#include "common/backoff.h"
+#include "dist/coordinator.h"  // parse_host_port
 #include "gnb/presets.h"
+#include "net/socket_io.h"
 #include "nr/dci.h"
 #include "store/history_store.h"
 
 namespace nrs {
 
 namespace {
-
-bool send_all(int fd, const std::uint8_t* data, std::size_t size) {
-  std::size_t sent = 0;
-  while (sent < size) {
-    const ssize_t n = ::send(fd, data + sent, size - sent, MSG_NOSIGNAL);
-    if (n < 0) {
-      if (errno == EINTR) {
-        continue;
-      }
-      return false;
-    }
-    sent += static_cast<std::size_t>(n);
-  }
-  return true;
-}
 
 /// Resolve a coordinator-chosen preset name to its CellConfig.  Returns
 /// false (and leaves `out` untouched) for a name this build does not know
@@ -60,6 +48,16 @@ bool find_cell_preset(const std::string& name, CellConfig& out) {
 std::chrono::steady_clock::duration secs(double s) {
   return std::chrono::duration_cast<std::chrono::steady_clock::duration>(
       std::chrono::duration<double>(s));
+}
+
+/// One StoreRowUpdate on the wire: rnti u16 + metric u8 + slot u64 +
+/// value f64.
+constexpr std::size_t kRowWireBytes = 2 + 1 + 8 + 8;
+
+std::uint64_t derive_jitter_seed(const void* self) {
+  return reinterpret_cast<std::uintptr_t>(self) ^
+         static_cast<std::uint64_t>(
+             std::chrono::steady_clock::now().time_since_epoch().count());
 }
 
 }  // namespace
@@ -142,7 +140,21 @@ FleetWorker::FleetWorker(WorkerConfig config, MetricsRegistry* registry)
   m_reports_ = &registry_->counter("dist.worker.reports");
   m_report_batches_ = &registry_->counter("dist.worker.report_batches");
   m_predictions_sent_ = &registry_->counter("dist.worker.predictions_sent");
+  m_report_bytes_ = &registry_->counter("dist.worker.report_bytes");
+  m_stale_epoch_ =
+      &registry_->counter("dist.worker.stale_epoch_rejected");
+  m_not_primary_rx_ = &registry_->counter("dist.worker.not_primary_rx");
   m_cells_ = &registry_->gauge("dist.worker.cells");
+  for (const std::string& endpoint : config_.coordinators) {
+    std::string host;
+    std::uint16_t port = 0;
+    if (parse_host_port(endpoint, host, port)) {
+      endpoints_.emplace_back(std::move(host), port);
+    }
+  }
+  if (endpoints_.empty()) {
+    endpoints_.emplace_back(config_.host, config_.port);
+  }
   if (config_.enable_prediction) {
     PredictorWeights weights =
         PredictorWeights::baseline(config_.prediction_horizon_slots);
@@ -185,28 +197,7 @@ std::string FleetWorker::protocol_error() const {
   return protocol_error_;
 }
 
-bool FleetWorker::connect_once() {
-  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
-  if (fd < 0) {
-    return false;
-  }
-  sockaddr_in addr{};
-  addr.sin_family = AF_INET;
-  addr.sin_port = htons(config_.port);
-  if (::inet_pton(AF_INET, config_.host.c_str(), &addr.sin_addr) != 1 ||
-      ::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
-    ::close(fd);
-    return false;
-  }
-  const int one = 1;
-  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
-  timeval send_timeout{};
-  send_timeout.tv_sec = 2;
-  ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &send_timeout,
-               sizeof(send_timeout));
-
-  fd_.store(fd);
-  parser_ = std::make_unique<FrameParser>();
+void FleetWorker::setup_orchestrator() {
   FleetConfig fleet;
   fleet.pool_threads = config_.pool_threads;
   fleet.slots_per_tick = config_.slots_per_tick;
@@ -225,11 +216,51 @@ bool FleetWorker::connect_once() {
       return it == prediction_sinks_.end() ? nullptr : it->second;
     });
   }
+}
 
+void FleetWorker::teardown_orchestrator() {
+  if (orch_ != nullptr) {
+    for (const auto& [id, lease] : leases_) {
+      dropped_slots_ += orch_->cell_slots(lease.local_index);
+    }
+  }
+  orch_.reset();
+  leases_.clear();
+  collectors_.clear();
+  prediction_sinks_.clear();
+  n_cells_.store(0);
+  m_cells_->set(0);
+}
+
+bool FleetWorker::connect_once() {
+  const auto& [host, port] = endpoints_[endpoint_index_];
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    return false;
+  }
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1 ||
+      ::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd);
+    rotate_coordinator();  // dead endpoint: try the next candidate
+    return false;
+  }
+  const int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  timeval send_timeout{};
+  send_timeout.tv_sec = 2;
+  ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &send_timeout,
+               sizeof(send_timeout));
+
+  fd_.store(fd);
+  parser_ = std::make_unique<FrameParser>();
   WorkerHello hello;
   hello.name = config_.name;
   hello.capacity = config_.capacity;
   hello.pool_threads = config_.pool_threads;
+  hello.epoch = epoch_.load();
   if (!send_frame(worker_hello_frame(hello))) {
     disconnect();
     return false;
@@ -238,25 +269,24 @@ bool FleetWorker::connect_once() {
   return true;
 }
 
+void FleetWorker::rotate_coordinator() {
+  endpoint_index_ = (endpoint_index_ + 1) % endpoints_.size();
+}
+
 void FleetWorker::disconnect() {
   const int fd = fd_.exchange(-1);
   if (fd >= 0) {
     ::close(fd);
   }
-  connected_.store(false);
-  if (orch_ != nullptr) {
-    for (const auto& [id, lease] : leases_) {
-      dropped_slots_ += orch_->cell_slots(lease.local_index);
-    }
-  }
-  // Tearing the orchestrator down drains every cell; a fresh one is built
-  // on reconnect (the coordinator re-leases from scratch anyway).
-  orch_.reset();
+  const bool was_connected = connected_.exchange(false);
   parser_.reset();
-  leases_.clear();
-  collectors_.clear();
-  n_cells_.store(0);
-  m_cells_->set(0);
+  if (was_connected) {
+    // The coordinator may have failed over: try the next candidate first.
+    // Leased cells KEEP RUNNING on their local lease TTLs — if we reach
+    // the new primary before they lapse, the leases are re-confirmed and
+    // the cells never notice the failover.
+    rotate_coordinator();
+  }
 }
 
 bool FleetWorker::send_frame(const std::vector<std::uint8_t>& frame) {
@@ -264,7 +294,9 @@ bool FleetWorker::send_frame(const std::vector<std::uint8_t>& frame) {
   if (fd < 0) {
     return false;
   }
-  return send_all(fd, frame.data(), frame.size());
+  // kPartial (short write on the SO_SNDTIMEO-bounded socket) leaves a
+  // torn frame: the stream is poisoned, treat it as a hard failure.
+  return send_exact(fd, frame.data(), frame.size()) == SendResult::kOk;
 }
 
 void FleetWorker::drain_socket() {
@@ -314,6 +346,12 @@ void FleetWorker::handle_frame(const Frame& frame) {
       }
       return;
     }
+    case FrameType::kNotPrimary: {
+      if (auto info = decode_not_primary(frame.payload)) {
+        handle_not_primary(*info);
+      }
+      return;
+    }
     case FrameType::kUnsupportedVersion: {
       std::string message = "coordinator rejected our protocol version";
       if (auto reject = decode_version_reject(frame.payload)) {
@@ -334,7 +372,33 @@ void FleetWorker::handle_frame(const Frame& frame) {
   }
 }
 
+void FleetWorker::handle_not_primary(const NotPrimary& info) {
+  m_not_primary_rx_->inc();
+  if (info.epoch > epoch_.load()) {
+    epoch_.store(info.epoch);
+  }
+  disconnect();  // this endpoint cannot serve leases; try the next one
+}
+
 void FleetWorker::handle_lease(const LeaseGrant& grant) {
+  if (grant.epoch < epoch_.load()) {
+    // A deposed primary (lower term than one we have already served)
+    // must not be allowed to re-grant cells the new primary owns.
+    stale_epoch_rejected_.fetch_add(1);
+    m_stale_epoch_->inc();
+    LeaseAck ack;
+    ack.lease_id = grant.lease_id;
+    ack.cell_index = grant.spec.cell_index;
+    ack.accepted = false;
+    ack.message = "stale epoch";
+    ack.epoch = epoch_.load();
+    send_frame(lease_ack_frame(ack));
+    disconnect();  // go find the real primary
+    return;
+  }
+  if (grant.epoch > epoch_.load()) {
+    epoch_.store(grant.epoch);
+  }
   const auto now = Clock::now();
   const auto it = leases_.find(grant.lease_id);
   if (it != leases_.end()) {
@@ -342,14 +406,26 @@ void FleetWorker::handle_lease(const LeaseGrant& grant) {
     it->second.expires_at = now + secs(grant.ttl_ms / 1000.0);
     return;
   }
+  // The same cell re-granted under a fresh lease id (the coordinator
+  // reassigned it back to us): drop the stale local lease first so the
+  // cell is not run twice.
+  for (const auto& [id, held] : leases_) {
+    if (held.cell_index == grant.spec.cell_index && id != grant.lease_id) {
+      drop_lease(id);
+      break;
+    }
+  }
   LeaseAck ack;
   ack.lease_id = grant.lease_id;
   ack.cell_index = grant.spec.cell_index;
+  ack.epoch = epoch_.load();
   if (leases_.size() >= config_.capacity) {
     ack.accepted = false;
     ack.message = "over capacity";
     m_leases_refused_->inc();
-    send_frame(lease_ack_frame(ack));
+    if (!send_frame(lease_ack_frame(ack))) {
+      disconnect();
+    }
     return;
   }
   FleetCellSpec spec;
@@ -357,7 +433,9 @@ void FleetWorker::handle_lease(const LeaseGrant& grant) {
     ack.accepted = false;
     ack.message = "unknown preset '" + grant.spec.preset + "'";
     m_leases_refused_->inc();
-    send_frame(lease_ack_frame(ack));
+    if (!send_frame(lease_ack_frame(ack))) {
+      disconnect();
+    }
     return;
   }
   if (grant.spec.pci != 0) {
@@ -406,10 +484,18 @@ void FleetWorker::handle_lease(const LeaseGrant& grant) {
   m_leases_accepted_->inc();
 
   ack.accepted = true;
-  send_frame(lease_ack_frame(ack));
+  if (!send_frame(lease_ack_frame(ack))) {
+    disconnect();
+  }
 }
 
 void FleetWorker::handle_revoke(const LeaseRevoke& revoke) {
+  if (revoke.epoch != 0 && revoke.epoch < epoch_.load()) {
+    // A deposed primary cannot tear down a cell the new primary leases.
+    stale_epoch_rejected_.fetch_add(1);
+    m_stale_epoch_->inc();
+    return;
+  }
   m_revokes_->inc();
   drop_lease(revoke.lease_id);
 }
@@ -436,7 +522,8 @@ void FleetWorker::expire_leases(Clock::time_point now) {
     }
   }
   for (const std::uint64_t id : expired) {
-    // The coordinator stopped renewing: it may have reassigned the cell.
+    // The coordinator stopped renewing (or we lost it and never reached
+    // a successor inside the TTL): it may have reassigned the cell.
     // Stop running it rather than risk two workers feeding one cell.
     m_expiries_->inc();
     drop_lease(id);
@@ -446,6 +533,7 @@ void FleetWorker::expire_leases(Clock::time_point now) {
 void FleetWorker::send_heartbeat() {
   WorkerHeartbeat hb;
   hb.seq = ++heartbeat_seq_;
+  hb.epoch = epoch_.load();
   hb.leases.reserve(leases_.size());
   for (const auto& [id, lease] : leases_) {
     LeaseStatus status;
@@ -479,6 +567,7 @@ void FleetWorker::send_reports() {
     const CellRollup& cell = rollup.cells[lease.local_index];
     CellReport report;
     report.lease_id = id;
+    report.epoch = epoch_.load();
     report.cell_index = lease.cell_index;
     report.cell_state =
         static_cast<std::uint8_t>(orch_->cell_state(lease.local_index));
@@ -499,13 +588,38 @@ void FleetWorker::send_reports() {
   if (batch.reports.empty()) {
     return;
   }
+  // WAN bound: shed oldest rows (largest report first) until the encoded
+  // frame fits max_report_bytes.  Fresh rows and the scalar telemetry
+  // always survive — only history backlog is thinned.
+  std::vector<std::uint8_t> frame = cell_report_batch_frame(batch);
+  while (frame.size() > config_.max_report_bytes) {
+    CellReport* largest = nullptr;
+    for (CellReport& report : batch.reports) {
+      if (!report.rows.empty() &&
+          (largest == nullptr || report.rows.size() > largest->rows.size())) {
+        largest = &report;
+      }
+    }
+    if (largest == nullptr) {
+      break;  // nothing left to shed; send the structural minimum
+    }
+    const std::size_t excess = frame.size() - config_.max_report_bytes;
+    const std::size_t drop = std::min(
+        largest->rows.size(), excess / kRowWireBytes + 1);
+    largest->rows.erase(largest->rows.begin(),
+                        largest->rows.begin() +
+                            static_cast<std::ptrdiff_t>(drop));
+    frame = cell_report_batch_frame(batch);
+  }
   const std::size_t n_reports = batch.reports.size();
-  if (!send_frame(cell_report_batch_frame(batch))) {
+  const std::size_t frame_bytes = frame.size();
+  if (!send_frame(frame)) {
     disconnect();
     return;
   }
   m_report_batches_->inc();
   m_reports_->inc(n_reports);
+  m_report_bytes_->inc(static_cast<std::uint64_t>(frame_bytes));
 
   // Forward each cell's freshest prediction set (when the sink produced
   // one since the last interval).
@@ -531,38 +645,52 @@ void FleetWorker::send_reports() {
 }
 
 void FleetWorker::run() {
+  setup_orchestrator();
+  const BackoffPolicy policy{config_.reconnect_backoff_s,
+                             std::max(config_.reconnect_backoff_max_s,
+                                      config_.reconnect_backoff_s),
+                             2.0, config_.backoff_jitter};
+  Rng jitter_rng(config_.backoff_seed != 0 ? config_.backoff_seed
+                                           : derive_jitter_seed(this));
   int failed_connects = 0;
+  unsigned consecutive_failures = 0;
+  auto next_connect = Clock::now();
   auto next_heartbeat = Clock::now();
   auto next_report = Clock::now();
   while (!stop_.load()) {
-    if (fd_.load() < 0) {
+    if (fd_.load() < 0 && Clock::now() >= next_connect) {
       if (config_.max_reconnect_attempts >= 0 &&
           failed_connects > config_.max_reconnect_attempts) {
         break;
       }
-      if (!connect_once()) {
+      if (connect_once()) {
+        failed_connects = 0;
+        consecutive_failures = 0;
+        m_reconnects_->inc();
+        next_heartbeat = Clock::now();
+        next_report = Clock::now() + secs(config_.report_period_s);
+      } else {
         ++failed_connects;
-        const auto deadline = Clock::now() +
-                              secs(config_.reconnect_backoff_s);
-        while (!stop_.load() && Clock::now() < deadline) {
-          std::this_thread::sleep_for(std::chrono::milliseconds(5));
-        }
-        continue;
+        const double delay =
+            jittered_backoff_delay(policy, consecutive_failures, jitter_rng);
+        ++consecutive_failures;
+        next_connect = Clock::now() + secs(delay);
       }
-      failed_connects = 0;
-      m_reconnects_->inc();
-      next_heartbeat = Clock::now();
-      next_report = Clock::now() + secs(config_.report_period_s);
     }
 
-    drain_socket();
-    if (stop_.load() || fd_.load() < 0) {
-      continue;
+    if (fd_.load() >= 0) {
+      drain_socket();
+    }
+    if (stop_.load()) {
+      break;
     }
 
     const auto now = Clock::now();
+    // Leases expire locally even while disconnected: if no successor
+    // coordinator re-confirms within the TTL, stop running the cell
+    // rather than risk two workers feeding it (split-brain guard).
     expire_leases(now);
-    if (now >= next_heartbeat) {
+    if (fd_.load() >= 0 && now >= next_heartbeat) {
       send_heartbeat();
       next_heartbeat = now + secs(config_.heartbeat_period_s);
     }
@@ -586,6 +714,7 @@ void FleetWorker::run() {
   // aggregator; kill() skips nothing here either — the socket is already
   // dead, which is all the coordinator observes.
   disconnect();
+  teardown_orchestrator();
   done_.store(true);
 }
 

@@ -11,6 +11,20 @@
 // cell the coordinator may have reassigned elsewhere (split-brain
 // avoidance).  A kLeaseRevoke tears it down immediately.
 //
+// Coordinator failover: `coordinators` lists every coordinator address
+// (primary first, standbys after).  When the link drops the worker keeps
+// its leased cells RUNNING locally for the remainder of their lease TTL
+// and redials the list round-robin with jittered exponential backoff; an
+// endpoint that answers kNotPrimary is skipped to the next.  On reaching
+// the promoted standby the worker's heartbeat lists the lease ids it
+// already holds, so the new primary re-confirms them (same leases, no
+// cell restarts) and the telemetry stream continues with monotonic
+// totals.  Epoch fencing: the worker tracks the highest coordinator term
+// it has seen (carried on every hello/heartbeat/report), adopts higher
+// terms from grants, and REFUSES grants or revokes from a lower term — a
+// deposed primary cannot reclaim or tear down cells the new primary owns
+// (`dist.worker.stale_epoch_rejected` counts the refusals).
+//
 // Failure/termination paths:
 //   stop()  — graceful leave: drain the orchestrator, close the socket
 //             (the coordinator sees EOF and reassigns).
@@ -29,6 +43,7 @@
 #include <mutex>
 #include <string>
 #include <thread>
+#include <utility>
 #include <vector>
 
 #include "analysis/predictor.h"
@@ -43,6 +58,11 @@ struct WorkerConfig {
   std::string name = "worker";
   std::string host = "127.0.0.1";
   std::uint16_t port = 0;
+  /// Coordinator address list ("host:port" each) for HA fleets: the
+  /// worker dials entries round-robin, skipping past dead endpoints and
+  /// kNotPrimary answers until it finds the acting primary.  Empty = use
+  /// host/port above as the single endpoint.
+  std::vector<std::string> coordinators;
 
   std::uint32_t capacity = 4;  ///< max concurrent cell leases
   unsigned pool_threads = 2;   ///< orchestrator advance pool
@@ -52,14 +72,29 @@ struct WorkerConfig {
 
   double heartbeat_period_s = 0.1;
   double report_period_s = 0.25;
-  /// Wait between reconnect attempts after the connection drops.
+  /// Initial wait between reconnect attempts after the connection drops;
+  /// consecutive failures escalate exponentially up to
+  /// reconnect_backoff_max_s, and every delay is jittered (see
+  /// backoff_jitter) so a fleet-wide failover does not stampede the new
+  /// primary.
   double reconnect_backoff_s = 0.2;
+  double reconnect_backoff_max_s = 2.0;
+  /// Jitter fraction in [0, 1]: each reconnect delay is drawn uniformly
+  /// from [base * (1 - jitter), base].
+  double backoff_jitter = 0.5;
+  /// Jitter RNG seed (0 = derive one per worker instance).
+  std::uint64_t backoff_seed = 0;
   /// Consecutive failed connect attempts before giving up (-1 = retry
   /// forever).
   int max_reconnect_attempts = -1;
   /// Cap on forwarded store rows per cell report (excess rows are dropped
   /// oldest-first; the cap bounds frame size under backlog).
   std::size_t max_rows_per_report = 4096;
+  /// Upper bound on one report interval's batched frame, in encoded wire
+  /// bytes.  Oldest rows are shed (freshest telemetry wins) until the
+  /// frame fits — the WAN-link knob; `dist.worker.report_bytes` counts
+  /// what is actually sent.
+  std::size_t max_report_bytes = 256 * 1024;
 
   /// Run the online throughput predictor on every leased cell and forward
   /// each cell's latest PredictionSet (kPrediction) alongside the reports,
@@ -104,6 +139,12 @@ class FleetWorker {
   [[nodiscard]] std::uint64_t slots_total() const {
     return slots_total_.load();
   }
+  /// Highest coordinator epoch (term) this worker has seen.
+  [[nodiscard]] std::uint64_t epoch() const { return epoch_.load(); }
+  /// Grants/revokes refused because they carried a stale epoch.
+  [[nodiscard]] std::uint64_t stale_epoch_rejected() const {
+    return stale_epoch_rejected_.load();
+  }
   /// Non-empty after the coordinator rejected our wire version.
   [[nodiscard]] std::string protocol_error() const;
 
@@ -135,12 +176,18 @@ class FleetWorker {
   };
 
   void run();
+  void setup_orchestrator();
+  void teardown_orchestrator();
   bool connect_once();
+  /// Close the link (keeping leased cells running on their TTLs) and
+  /// advance to the next coordinator candidate.
   void disconnect();
+  void rotate_coordinator();
   void drain_socket();
   void handle_frame(const Frame& frame);
   void handle_lease(const LeaseGrant& grant);
   void handle_revoke(const LeaseRevoke& revoke);
+  void handle_not_primary(const NotPrimary& info);
   void drop_lease(std::uint64_t lease_id);
   void expire_leases(Clock::time_point now);
   void send_heartbeat();
@@ -158,7 +205,13 @@ class FleetWorker {
   std::atomic<bool> connected_{false};
   std::atomic<std::size_t> n_cells_{0};
   std::atomic<std::uint64_t> slots_total_{0};
+  std::atomic<std::uint64_t> epoch_{0};
+  std::atomic<std::uint64_t> stale_epoch_rejected_{0};
   std::thread thread_;
+
+  /// Resolved coordinator candidates (host, port), dialed round-robin.
+  std::vector<std::pair<std::string, std::uint16_t>> endpoints_;
+  std::size_t endpoint_index_ = 0;  ///< run-thread only
 
   // Run-thread state (no locking needed beyond the atomics above).
   std::unique_ptr<FleetOrchestrator> orch_;
@@ -188,6 +241,9 @@ class FleetWorker {
   Counter* m_reports_ = nullptr;
   Counter* m_report_batches_ = nullptr;
   Counter* m_predictions_sent_ = nullptr;
+  Counter* m_report_bytes_ = nullptr;
+  Counter* m_stale_epoch_ = nullptr;
+  Counter* m_not_primary_rx_ = nullptr;
   Gauge* m_cells_ = nullptr;
 };
 

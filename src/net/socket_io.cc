@@ -1,0 +1,29 @@
+#include "net/socket_io.h"
+
+#include <cerrno>
+#include <sys/socket.h>
+#include <sys/types.h>
+
+namespace nrs {
+
+SendResult send_exact(int fd, const std::uint8_t* data, std::size_t size) {
+  std::size_t sent = 0;
+  while (sent < size) {
+    const ssize_t n = ::send(fd, data + sent, size - sent, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) {
+        continue;
+      }
+      return sent == 0 ? SendResult::kFailed : SendResult::kPartial;
+    }
+    if (n == 0) {
+      // A 0-byte send() on a stream socket should not happen, but treat
+      // it as failure rather than spinning forever.
+      return sent == 0 ? SendResult::kFailed : SendResult::kPartial;
+    }
+    sent += static_cast<std::size_t>(n);
+  }
+  return SendResult::kOk;
+}
+
+}  // namespace nrs

@@ -1,0 +1,36 @@
+// Shared blocking-socket send helper for every frame-writing path
+// (stream server/client, fleet coordinator/worker).  The crucial rule on
+// an SO_SNDTIMEO-bounded socket: a short write that cannot be completed
+// leaves HALF A FRAME in the peer's stream, so the connection must be
+// treated as broken — writing the next frame after a partial send would
+// land mid-frame and corrupt the protocol stream.  send_exact() reports
+// kPartial distinctly from kFailed so callers (and tests) can tell a torn
+// stream from a frame that never hit the wire at all; either way the only
+// safe follow-up is to close the connection.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace nrs {
+
+enum class SendResult : std::uint8_t {
+  kOk = 0,       ///< every byte written
+  kFailed = 1,   ///< nothing written (frame never reached the stream)
+  kPartial = 2,  ///< short write: the stream now carries a torn frame
+};
+
+/// write() the whole buffer, riding out EINTR and benign partial sends.
+/// Uses MSG_NOSIGNAL so a vanished peer surfaces as EPIPE, not SIGPIPE.
+/// On an SO_SNDTIMEO socket a wedged peer fails the send (EAGAIN) instead
+/// of wedging the calling thread; if that happens after some bytes went
+/// out the result is kPartial and the connection must be dropped.
+SendResult send_exact(int fd, const std::uint8_t* data, std::size_t size);
+
+/// Convenience: true iff the whole buffer was written.  Any false return
+/// means the connection is no longer usable for framed traffic.
+inline bool send_all(int fd, const std::uint8_t* data, std::size_t size) {
+  return send_exact(fd, data, size) == SendResult::kOk;
+}
+
+}  // namespace nrs

@@ -1,5 +1,8 @@
 #include "net/stream_client.h"
 
+#include "common/backoff.h"
+#include "net/socket_io.h"
+
 #include <arpa/inet.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
@@ -16,21 +19,13 @@ namespace nrs {
 namespace {
 using Clock = std::chrono::steady_clock;
 
-/// write() the whole buffer, riding out EINTR and partial sends (the
-/// request path's counterpart of the server's helper).
-bool send_all(int fd, const std::uint8_t* data, std::size_t size) {
-  std::size_t sent = 0;
-  while (sent < size) {
-    const ssize_t n = ::send(fd, data + sent, size - sent, MSG_NOSIGNAL);
-    if (n < 0) {
-      if (errno == EINTR) {
-        continue;
-      }
-      return false;
-    }
-    sent += static_cast<std::size_t>(n);
-  }
-  return true;
+/// Per-instance jitter seed when the config leaves it at 0: mix the
+/// object identity with the monotonic clock so identically configured
+/// clients still draw de-correlated backoff schedules.
+std::uint64_t derive_jitter_seed(const void* self) {
+  return reinterpret_cast<std::uintptr_t>(self) ^
+         static_cast<std::uint64_t>(
+             Clock::now().time_since_epoch().count());
 }
 
 }  // namespace
@@ -166,7 +161,12 @@ int TelemetryStreamClient::connect_once() const {
 }
 
 void TelemetryStreamClient::run() {
-  double backoff_s = config_.backoff_initial_s;
+  const BackoffPolicy policy{config_.backoff_initial_s,
+                             config_.backoff_max_s, 2.0,
+                             config_.backoff_jitter};
+  Rng jitter_rng(config_.backoff_seed != 0 ? config_.backoff_seed
+                                           : derive_jitter_seed(this));
+  unsigned consecutive_failures = 0;
   int failed_attempts = 0;
   bool first_attempt = true;
   while (!stopping_.load()) {
@@ -181,19 +181,21 @@ void TelemetryStreamClient::run() {
           failed_attempts > config_.max_reconnect_attempts) {
         break;
       }
-      // Exponential backoff, sliced so stop() stays responsive.
+      // Jittered exponential backoff, sliced so stop() stays responsive.
+      const double backoff_s =
+          jittered_backoff_delay(policy, consecutive_failures, jitter_rng);
       const auto deadline =
           Clock::now() + std::chrono::duration_cast<Clock::duration>(
                              std::chrono::duration<double>(backoff_s));
       while (!stopping_.load() && Clock::now() < deadline) {
         std::this_thread::sleep_for(std::chrono::milliseconds(10));
       }
-      backoff_s = std::min(backoff_s * 2.0, config_.backoff_max_s);
+      ++consecutive_failures;
       continue;
     }
     failed_attempts = 0;
     first_attempt = false;
-    backoff_s = config_.backoff_initial_s;
+    consecutive_failures = 0;
     live_fd_.store(fd);
     connected_.store(true);
     m_connects_->inc();

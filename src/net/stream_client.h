@@ -44,6 +44,13 @@ struct StreamClientConfig {
   double read_timeout_s = 2.0;
   double backoff_initial_s = 0.05;  ///< first reconnect delay
   double backoff_max_s = 1.0;       ///< exponential backoff ceiling
+  /// Multiplicative reconnect jitter in [0, 1]: each delay is drawn
+  /// uniformly from [base * (1 - jitter), base], so many clients losing
+  /// one server together do not redial it in lockstep.  0 disables.
+  double backoff_jitter = 0.5;
+  /// Seed for the jitter draws; 0 derives a per-instance seed so distinct
+  /// clients de-correlate even when configured identically.
+  std::uint64_t backoff_seed = 0;
   /// Give up after this many consecutive failed connects (-1 = never).
   int max_reconnect_attempts = -1;
   /// Stop the reader thread once an end-of-stream frame arrives (a

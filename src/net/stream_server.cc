@@ -1,5 +1,7 @@
 #include "net/stream_server.h"
 
+#include "net/socket_io.h"
+
 #include <arpa/inet.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
@@ -14,27 +16,6 @@
 #include <stdexcept>
 
 namespace nrs {
-
-namespace {
-
-/// write() the whole buffer, riding out EINTR and partial sends.  Uses
-/// MSG_NOSIGNAL so a vanished client surfaces as EPIPE, not SIGPIPE.
-bool send_all(int fd, const std::uint8_t* data, std::size_t size) {
-  std::size_t sent = 0;
-  while (sent < size) {
-    const ssize_t n = ::send(fd, data + sent, size - sent, MSG_NOSIGNAL);
-    if (n < 0) {
-      if (errno == EINTR) {
-        continue;
-      }
-      return false;
-    }
-    sent += static_cast<std::size_t>(n);
-  }
-  return true;
-}
-
-}  // namespace
 
 const char* to_string(BackpressurePolicy policy) {
   switch (policy) {

@@ -25,6 +25,23 @@ const char* to_string(FrameType type) {
     case FrameType::kUnsupportedVersion: return "unsupported_version";
     case FrameType::kPrediction: return "prediction";
     case FrameType::kCellReportBatch: return "cell_report_batch";
+    case FrameType::kStandbyHello: return "standby_hello";
+    case FrameType::kReplicaSnapshot: return "replica_snapshot";
+    case FrameType::kReplicaEvent: return "replica_event";
+    case FrameType::kNotPrimary: return "not_primary";
+  }
+  return "unknown";
+}
+
+const char* to_string(ReplicaEventKind kind) {
+  switch (kind) {
+    case ReplicaEventKind::kWorkerJoin: return "worker_join";
+    case ReplicaEventKind::kWorkerLeave: return "worker_leave";
+    case ReplicaEventKind::kLeaseGrant: return "lease_grant";
+    case ReplicaEventKind::kLeaseRenew: return "lease_renew";
+    case ReplicaEventKind::kLeaseRelease: return "lease_release";
+    case ReplicaEventKind::kCellTotals: return "cell_totals";
+    case ReplicaEventKind::kStoreRows: return "store_rows";
   }
   return "unknown";
 }
@@ -831,6 +848,7 @@ void encode_worker_hello(const WorkerHello& hello, WireWriter& w) {
   w.u32(hello.capacity);
   w.u16(hello.version);
   w.u32(hello.pool_threads);
+  w.u64(hello.epoch);
 }
 
 std::optional<WorkerHello> decode_worker_hello(
@@ -841,6 +859,7 @@ std::optional<WorkerHello> decode_worker_hello(
   hello.capacity = r.u32();
   hello.version = r.u16();
   hello.pool_threads = r.u32();
+  hello.epoch = r.u64();
   if (!r.done()) {
     return std::nullopt;
   }
@@ -882,6 +901,7 @@ void encode_lease(const LeaseGrant& lease, WireWriter& w) {
   w.u64(lease.lease_id);
   w.u32(lease.ttl_ms);
   w.u64(lease.base_slot);
+  w.u64(lease.epoch);
   encode_cell_spec(lease.spec, w);
 }
 
@@ -892,6 +912,7 @@ std::optional<LeaseGrant> decode_lease(
   lease.lease_id = r.u64();
   lease.ttl_ms = r.u32();
   lease.base_slot = r.u64();
+  lease.epoch = r.u64();
   if (!decode_cell_spec(r, lease.spec) || !r.done()) {
     return std::nullopt;
   }
@@ -903,6 +924,7 @@ void encode_lease_ack(const LeaseAck& ack, WireWriter& w) {
   w.u32(ack.cell_index);
   w.u8(ack.accepted ? 1 : 0);
   w.str(ack.message);
+  w.u64(ack.epoch);
 }
 
 std::optional<LeaseAck> decode_lease_ack(
@@ -913,6 +935,7 @@ std::optional<LeaseAck> decode_lease_ack(
   ack.cell_index = r.u32();
   ack.accepted = r.u8() != 0;
   ack.message = r.str();
+  ack.epoch = r.u64();
   if (!r.done()) {
     return std::nullopt;
   }
@@ -921,6 +944,7 @@ std::optional<LeaseAck> decode_lease_ack(
 
 void encode_worker_heartbeat(const WorkerHeartbeat& hb, WireWriter& w) {
   w.u64(hb.seq);
+  w.u64(hb.epoch);
   w.u32(static_cast<std::uint32_t>(hb.leases.size()));
   for (const LeaseStatus& lease : hb.leases) {
     w.u64(lease.lease_id);
@@ -935,6 +959,7 @@ std::optional<WorkerHeartbeat> decode_worker_heartbeat(
   WireReader r(payload);
   WorkerHeartbeat hb;
   hb.seq = r.u64();
+  hb.epoch = r.u64();
   const std::uint32_t n_leases = r.u32();
   if (!r.ok() || n_leases > r.remaining()) {
     return std::nullopt;
@@ -956,6 +981,7 @@ std::optional<WorkerHeartbeat> decode_worker_heartbeat(
 
 void encode_cell_report(const CellReport& report, WireWriter& w) {
   w.u64(report.lease_id);
+  w.u64(report.epoch);
   w.u32(report.cell_index);
   w.u8(report.cell_state);
   w.u64(report.slots);
@@ -984,6 +1010,7 @@ namespace {
 // each element of a kCellReportBatch.
 bool read_cell_report_body(WireReader& r, CellReport& report) {
   report.lease_id = r.u64();
+  report.epoch = r.u64();
   report.cell_index = r.u32();
   report.cell_state = r.u8();
   report.slots = r.u64();
@@ -1028,6 +1055,7 @@ void encode_lease_revoke(const LeaseRevoke& revoke, WireWriter& w) {
   w.u64(revoke.lease_id);
   w.u32(revoke.cell_index);
   w.str(revoke.reason);
+  w.u64(revoke.epoch);
 }
 
 std::optional<LeaseRevoke> decode_lease_revoke(
@@ -1037,6 +1065,7 @@ std::optional<LeaseRevoke> decode_lease_revoke(
   revoke.lease_id = r.u64();
   revoke.cell_index = r.u32();
   revoke.reason = r.str();
+  revoke.epoch = r.u64();
   if (!r.done()) {
     return std::nullopt;
   }
@@ -1124,6 +1153,200 @@ std::optional<PredictionSet> decode_prediction(
   return set;
 }
 
+// ---- Coordinator replication codecs (v5) -----------------------------
+
+void encode_standby_hello(const StandbyHello& hello, WireWriter& w) {
+  w.str(hello.name);
+  w.u16(hello.version);
+}
+
+std::optional<StandbyHello> decode_standby_hello(
+    std::span<const std::uint8_t> payload) {
+  WireReader r(payload);
+  StandbyHello hello;
+  hello.name = r.str();
+  hello.version = r.u16();
+  if (!r.done()) {
+    return std::nullopt;
+  }
+  return hello;
+}
+
+void encode_not_primary(const NotPrimary& info, WireWriter& w) {
+  w.u64(info.epoch);
+  w.str(info.message);
+}
+
+std::optional<NotPrimary> decode_not_primary(
+    std::span<const std::uint8_t> payload) {
+  WireReader r(payload);
+  NotPrimary info;
+  info.epoch = r.u64();
+  info.message = r.str();
+  if (!r.done()) {
+    return std::nullopt;
+  }
+  return info;
+}
+
+namespace {
+
+void write_replica_cell(const ReplicaCell& cell, WireWriter& w) {
+  encode_cell_spec(cell.spec, w);
+  w.u8(cell.lease_state);
+  w.u64(cell.lease_id);
+  w.u64(cell.worker_id);
+  w.u32(cell.handoffs);
+  w.u64(cell.committed_slots);
+  w.u64(cell.committed_dcis);
+  w.u64(cell.committed_retx);
+  w.u64(cell.committed_restarts);
+  w.u64(cell.lease_base_slot);
+  w.u8(cell.has_report ? 1 : 0);
+  encode_cell_report(cell.live, w);
+}
+
+bool read_replica_cell(WireReader& r, ReplicaCell& cell) {
+  if (!decode_cell_spec(r, cell.spec)) {
+    return false;
+  }
+  cell.lease_state = r.u8();
+  cell.lease_id = r.u64();
+  cell.worker_id = r.u64();
+  cell.handoffs = r.u32();
+  cell.committed_slots = r.u64();
+  cell.committed_dcis = r.u64();
+  cell.committed_retx = r.u64();
+  cell.committed_restarts = r.u64();
+  cell.lease_base_slot = r.u64();
+  cell.has_report = r.u8() != 0;
+  return read_cell_report_body(r, cell.live);
+}
+
+}  // namespace
+
+void encode_replica_snapshot(const ReplicaSnapshot& snapshot, WireWriter& w) {
+  w.u64(snapshot.epoch);
+  w.u64(snapshot.next_lease_id);
+  w.u32(static_cast<std::uint32_t>(snapshot.workers.size()));
+  for (const ReplicaWorker& worker : snapshot.workers) {
+    w.u64(worker.worker_id);
+    w.str(worker.name);
+    w.u32(worker.capacity);
+  }
+  w.u32(static_cast<std::uint32_t>(snapshot.cells.size()));
+  for (const ReplicaCell& cell : snapshot.cells) {
+    write_replica_cell(cell, w);
+  }
+}
+
+std::optional<ReplicaSnapshot> decode_replica_snapshot(
+    std::span<const std::uint8_t> payload) {
+  WireReader r(payload);
+  ReplicaSnapshot snapshot;
+  snapshot.epoch = r.u64();
+  snapshot.next_lease_id = r.u64();
+  const std::uint32_t n_workers = r.u32();
+  if (!r.ok() || n_workers > r.remaining()) {
+    return std::nullopt;
+  }
+  snapshot.workers.reserve(n_workers);
+  for (std::uint32_t i = 0; i < n_workers; ++i) {
+    ReplicaWorker worker;
+    worker.worker_id = r.u64();
+    worker.name = r.str();
+    worker.capacity = r.u32();
+    snapshot.workers.push_back(std::move(worker));
+  }
+  const std::uint32_t n_cells = r.u32();
+  if (!r.ok() || n_cells > r.remaining()) {
+    return std::nullopt;
+  }
+  snapshot.cells.reserve(n_cells);
+  for (std::uint32_t i = 0; i < n_cells; ++i) {
+    ReplicaCell cell;
+    if (!read_replica_cell(r, cell)) {
+      return std::nullopt;
+    }
+    snapshot.cells.push_back(std::move(cell));
+  }
+  if (!r.done()) {
+    return std::nullopt;
+  }
+  return snapshot;
+}
+
+void encode_replica_event(const ReplicaEvent& event, WireWriter& w) {
+  w.u8(static_cast<std::uint8_t>(event.kind));
+  w.u64(event.epoch);
+  w.u32(event.cell_index);
+  w.u64(event.lease_id);
+  w.u64(event.worker_id);
+  w.u8(event.lease_state);
+  w.u32(event.handoffs);
+  w.str(event.worker_name);
+  w.u32(event.capacity);
+  w.u64(event.committed_slots);
+  w.u64(event.committed_dcis);
+  w.u64(event.committed_retx);
+  w.u64(event.committed_restarts);
+  w.u64(event.lease_base_slot);
+  w.u8(event.has_report ? 1 : 0);
+  encode_cell_report(event.live, w);
+  w.u32(static_cast<std::uint32_t>(event.rows.size()));
+  for (const StoreRowUpdate& row : event.rows) {
+    w.u16(row.rnti);
+    w.u8(row.metric);
+    w.u64(row.slot);
+    w.f64(row.value);
+  }
+}
+
+std::optional<ReplicaEvent> decode_replica_event(
+    std::span<const std::uint8_t> payload) {
+  WireReader r(payload);
+  ReplicaEvent event;
+  const std::uint8_t kind = r.u8();
+  if (!r.ok() || kind > static_cast<std::uint8_t>(ReplicaEventKind::kStoreRows)) {
+    return std::nullopt;
+  }
+  event.kind = static_cast<ReplicaEventKind>(kind);
+  event.epoch = r.u64();
+  event.cell_index = r.u32();
+  event.lease_id = r.u64();
+  event.worker_id = r.u64();
+  event.lease_state = r.u8();
+  event.handoffs = r.u32();
+  event.worker_name = r.str();
+  event.capacity = r.u32();
+  event.committed_slots = r.u64();
+  event.committed_dcis = r.u64();
+  event.committed_retx = r.u64();
+  event.committed_restarts = r.u64();
+  event.lease_base_slot = r.u64();
+  event.has_report = r.u8() != 0;
+  if (!read_cell_report_body(r, event.live)) {
+    return std::nullopt;
+  }
+  const std::uint32_t n_rows = r.u32();
+  if (!r.ok() || n_rows > r.remaining()) {
+    return std::nullopt;
+  }
+  event.rows.reserve(n_rows);
+  for (std::uint32_t i = 0; i < n_rows; ++i) {
+    StoreRowUpdate row;
+    row.rnti = r.u16();
+    row.metric = r.u8();
+    row.slot = r.u64();
+    row.value = r.f64();
+    event.rows.push_back(row);
+  }
+  if (!r.done()) {
+    return std::nullopt;
+  }
+  return event;
+}
+
 std::vector<std::uint8_t> version_reject_frame(const VersionReject& reject) {
   WireWriter w;
   encode_version_reject(reject, w);
@@ -1177,6 +1400,31 @@ std::vector<std::uint8_t> prediction_frame(const PredictionSet& set) {
   WireWriter w;
   encode_prediction(set, w);
   return encode_frame(FrameType::kPrediction, w.data());
+}
+
+std::vector<std::uint8_t> standby_hello_frame(const StandbyHello& hello) {
+  WireWriter w;
+  encode_standby_hello(hello, w);
+  return encode_frame(FrameType::kStandbyHello, w.data());
+}
+
+std::vector<std::uint8_t> not_primary_frame(const NotPrimary& info) {
+  WireWriter w;
+  encode_not_primary(info, w);
+  return encode_frame(FrameType::kNotPrimary, w.data());
+}
+
+std::vector<std::uint8_t> replica_snapshot_frame(
+    const ReplicaSnapshot& snapshot) {
+  WireWriter w;
+  encode_replica_snapshot(snapshot, w);
+  return encode_frame(FrameType::kReplicaSnapshot, w.data());
+}
+
+std::vector<std::uint8_t> replica_event_frame(const ReplicaEvent& event) {
+  WireWriter w;
+  encode_replica_event(event, w);
+  return encode_frame(FrameType::kReplicaEvent, w.data());
 }
 
 std::vector<std::uint8_t> heartbeat_frame() {

@@ -32,8 +32,12 @@ inline constexpr std::uint32_t kWireMagic = 0x4E525357;  // "NRSW"
 /// v3 added the distributed-fleet work-assignment frames (worker hello,
 /// leases, heartbeats, cell reports) and the structured version-reject
 /// frame; v4 added the online-prediction frame (kPrediction) and the
-/// batched multi-cell report (kCellReportBatch).
-inline constexpr std::uint16_t kWireVersion = 4;
+/// batched multi-cell report (kCellReportBatch); v5 added coordinator
+/// high availability: replication frames (kStandbyHello /
+/// kReplicaSnapshot / kReplicaEvent / kNotPrimary) and a mandatory
+/// `epoch` term on every lease, heartbeat and report so a deposed
+/// primary is fenced after failover.
+inline constexpr std::uint16_t kWireVersion = 5;
 /// Oldest peer version still accepted.  v1 predates the query frames and
 /// the correlation-ID discipline, so it is no longer interoperable; a v1
 /// peer is answered with a kUnsupportedVersion frame and disconnected.
@@ -68,6 +72,11 @@ enum class FrameType : std::uint16_t {
   // Online prediction + WAN batching, v4.
   kPrediction = 16,       ///< one serialized PredictionSet (analysis sink)
   kCellReportBatch = 17,  ///< worker -> coordinator: many CellReports at once
+  // Coordinator high availability (replication + epoch fencing), v5.
+  kStandbyHello = 18,     ///< standby -> primary: attach as replication tail
+  kReplicaSnapshot = 19,  ///< primary -> standby: full coordinator state
+  kReplicaEvent = 20,     ///< primary -> standby: one incremental mutation
+  kNotPrimary = 21,       ///< standby -> worker: not serving leases here
 };
 
 const char* to_string(FrameType type);
@@ -219,11 +228,16 @@ struct VersionReject {
 };
 
 /// Worker -> coordinator greeting: who I am and how many cells I can run.
+/// `epoch` is the highest coordinator term the worker has seen (0 on a
+/// fresh worker); a coordinator receiving a hello from a *newer* epoch
+/// knows it has been deposed and fences itself instead of registering the
+/// worker.
 struct WorkerHello {
   std::string name;
   std::uint32_t capacity = 1;  ///< max concurrent cell leases
   std::uint16_t version = kWireVersion;
   std::uint32_t pool_threads = 0;  ///< informational (capacity planning)
+  std::uint64_t epoch = 0;         ///< highest coordinator term seen
   [[nodiscard]] bool operator==(const WorkerHello&) const = default;
 };
 
@@ -254,6 +268,9 @@ struct LeaseGrant {
   /// Coordinator-side lifetime slots already credited to this cell by
   /// earlier leases (informational: lets a worker log global positions).
   std::uint64_t base_slot = 0;
+  /// Coordinator term the grant was issued under.  Workers adopt higher
+  /// epochs and refuse grants from a lower one (deposed primary).
+  std::uint64_t epoch = 0;
   WireCellSpec spec;
   [[nodiscard]] bool operator==(const LeaseGrant&) const = default;
 };
@@ -265,6 +282,7 @@ struct LeaseAck {
   std::uint32_t cell_index = 0;
   bool accepted = false;
   std::string message;
+  std::uint64_t epoch = 0;  ///< the worker's current coordinator term
   [[nodiscard]] bool operator==(const LeaseAck&) const = default;
 };
 
@@ -282,6 +300,7 @@ struct LeaseStatus {
 /// dead and its cells are reassigned.
 struct WorkerHeartbeat {
   std::uint64_t seq = 0;
+  std::uint64_t epoch = 0;  ///< highest coordinator term the worker saw
   std::vector<LeaseStatus> leases;
   [[nodiscard]] bool operator==(const WorkerHeartbeat&) const = default;
 };
@@ -303,6 +322,7 @@ struct StoreRowUpdate {
 /// is what keeps the fleet view monotonic across a reassignment.
 struct CellReport {
   std::uint64_t lease_id = 0;
+  std::uint64_t epoch = 0;  ///< coordinator term the lease was granted under
   std::uint32_t cell_index = 0;
   std::uint8_t cell_state = 0;  ///< raw FleetCellState
   std::uint64_t slots = 0;
@@ -365,7 +385,112 @@ struct LeaseRevoke {
   std::uint64_t lease_id = 0;
   std::uint32_t cell_index = 0;
   std::string reason;
+  std::uint64_t epoch = 0;  ///< coordinator term; stale revokes are ignored
   [[nodiscard]] bool operator==(const LeaseRevoke&) const = default;
+};
+
+// ---- Coordinator replication (v5) ------------------------------------
+//
+// A standby coordinator attaches to the primary with kStandbyHello and
+// receives one kReplicaSnapshot (the full mirrored state) followed by a
+// stream of kReplicaEvent mutations.  On primary death the standby bumps
+// the epoch and takes over; a worker that dials the standby *before* the
+// promotion is answered with kNotPrimary and tries the next address.
+
+/// Standby -> primary: attach this connection as a replication tail.
+struct StandbyHello {
+  std::string name;
+  std::uint16_t version = kWireVersion;
+  [[nodiscard]] bool operator==(const StandbyHello&) const = default;
+};
+
+/// Coordinator -> worker (or to a second standby): this endpoint is not
+/// the acting primary.  `epoch` lets the caller learn how stale its view
+/// is; `message` is human-readable detail ("standby", "deposed").
+struct NotPrimary {
+  std::uint64_t epoch = 0;
+  std::string message;
+  [[nodiscard]] bool operator==(const NotPrimary&) const = default;
+};
+
+/// One mirrored catalog entry inside a ReplicaSnapshot.
+struct ReplicaWorker {
+  std::uint64_t worker_id = 0;
+  std::string name;
+  std::uint32_t capacity = 1;
+  [[nodiscard]] bool operator==(const ReplicaWorker&) const = default;
+};
+
+/// One cell's full replicated state: the spec (so a standby needs no cell
+/// list of its own), the lease binding, the committed lifetime totals and
+/// the live in-flight report.  `live` always has empty rows — history rows
+/// replicate separately (already rebased) via kStoreRows events.
+struct ReplicaCell {
+  WireCellSpec spec;
+  std::uint8_t lease_state = 0;  ///< raw dist LeaseState
+  std::uint64_t lease_id = 0;
+  std::uint64_t worker_id = 0;
+  std::uint32_t handoffs = 0;
+  std::uint64_t committed_slots = 0;
+  std::uint64_t committed_dcis = 0;
+  std::uint64_t committed_retx = 0;
+  std::uint64_t committed_restarts = 0;
+  std::uint64_t lease_base_slot = 0;
+  bool has_report = false;
+  CellReport live;  ///< rows always empty on the wire
+  [[nodiscard]] bool operator==(const ReplicaCell&) const = default;
+};
+
+/// Primary -> standby: the complete coordinator state, sent once right
+/// after kStandbyHello (and again after a replication reconnect).
+struct ReplicaSnapshot {
+  std::uint64_t epoch = 0;
+  /// Lease-id high-water mark (the highest id ever issued), so a promoted
+  /// standby never reuses a live lease id.
+  std::uint64_t next_lease_id = 0;
+  std::vector<ReplicaWorker> workers;
+  std::vector<ReplicaCell> cells;
+  [[nodiscard]] bool operator==(const ReplicaSnapshot&) const = default;
+};
+
+/// What one kReplicaEvent mutates.  The event payload is a fixed superset
+/// of every kind's fields (unused ones travel as zeros/empties) so the
+/// codec stays a flat read with no kind-dependent branching — the same
+/// every-truncation-fails discipline as the rest of the protocol.
+enum class ReplicaEventKind : std::uint8_t {
+  kWorkerJoin = 0,    ///< catalog add: worker_id, worker_name, capacity
+  kWorkerLeave = 1,   ///< catalog remove: worker_id
+  kLeaseGrant = 2,    ///< cell_index, lease_id, worker_id, lease_base_slot
+  kLeaseRenew = 3,    ///< heartbeat renewal / ack: cell_index, lease_state
+  kLeaseRelease = 4,  ///< lease ended: post-fold committed totals, handoffs
+  kCellTotals = 5,    ///< report ingested: committed totals + live report
+  kStoreRows = 6,     ///< history rows, already rebased to global slots
+};
+
+const char* to_string(ReplicaEventKind kind);
+
+/// Primary -> standby: one incremental state mutation.
+struct ReplicaEvent {
+  ReplicaEventKind kind = ReplicaEventKind::kLeaseRenew;
+  std::uint64_t epoch = 0;
+  std::uint32_t cell_index = 0;
+  std::uint64_t lease_id = 0;
+  std::uint64_t worker_id = 0;
+  std::uint8_t lease_state = 0;  ///< raw dist LeaseState
+  std::uint32_t handoffs = 0;
+  std::string worker_name;   ///< kWorkerJoin
+  std::uint32_t capacity = 0;  ///< kWorkerJoin
+  std::uint64_t committed_slots = 0;
+  std::uint64_t committed_dcis = 0;
+  std::uint64_t committed_retx = 0;
+  std::uint64_t committed_restarts = 0;
+  std::uint64_t lease_base_slot = 0;
+  bool has_report = false;
+  CellReport live;  ///< kCellTotals; rows always empty on the wire
+  /// kStoreRows: rows with `slot` already rebased to the cell's global
+  /// lifetime axis (unlike CellReport rows, which are lease-local).
+  std::vector<StoreRowUpdate> rows;
+  [[nodiscard]] bool operator==(const ReplicaEvent&) const = default;
 };
 
 // ---- Byte-level primitives -------------------------------------------
@@ -526,6 +651,22 @@ void encode_prediction(const PredictionSet& set, WireWriter& w);
 std::optional<PredictionSet> decode_prediction(
     std::span<const std::uint8_t> payload);
 
+void encode_standby_hello(const StandbyHello& hello, WireWriter& w);
+std::optional<StandbyHello> decode_standby_hello(
+    std::span<const std::uint8_t> payload);
+
+void encode_not_primary(const NotPrimary& info, WireWriter& w);
+std::optional<NotPrimary> decode_not_primary(
+    std::span<const std::uint8_t> payload);
+
+void encode_replica_snapshot(const ReplicaSnapshot& snapshot, WireWriter& w);
+std::optional<ReplicaSnapshot> decode_replica_snapshot(
+    std::span<const std::uint8_t> payload);
+
+void encode_replica_event(const ReplicaEvent& event, WireWriter& w);
+std::optional<ReplicaEvent> decode_replica_event(
+    std::span<const std::uint8_t> payload);
+
 //// Convenience: payload codec + framing in one call.
 std::vector<std::uint8_t> hello_frame(const HelloInfo& hello);
 std::vector<std::uint8_t> slot_frame(const SlotResult& result);
@@ -542,6 +683,11 @@ std::vector<std::uint8_t> cell_report_frame(const CellReport& report);
 std::vector<std::uint8_t> lease_revoke_frame(const LeaseRevoke& revoke);
 std::vector<std::uint8_t> cell_report_batch_frame(const CellReportBatch& batch);
 std::vector<std::uint8_t> prediction_frame(const PredictionSet& set);
+std::vector<std::uint8_t> standby_hello_frame(const StandbyHello& hello);
+std::vector<std::uint8_t> not_primary_frame(const NotPrimary& info);
+std::vector<std::uint8_t> replica_snapshot_frame(
+    const ReplicaSnapshot& snapshot);
+std::vector<std::uint8_t> replica_event_frame(const ReplicaEvent& event);
 std::vector<std::uint8_t> heartbeat_frame();
 std::vector<std::uint8_t> end_frame();
 

@@ -14,11 +14,17 @@
 //   by the silence scan (not just the EOF fast path).
 #include <gtest/gtest.h>
 
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
 #include <chrono>
 #include <cstdint>
 #include <functional>
 #include <map>
 #include <memory>
+#include <optional>
 #include <string>
 #include <thread>
 #include <vector>
@@ -28,6 +34,8 @@
 #include "dist/coordinator.h"
 #include "dist/lease.h"
 #include "dist/worker.h"
+#include "net/socket_io.h"
+#include "net/wire.h"
 
 namespace nrs {
 namespace {
@@ -436,6 +444,458 @@ TEST(DistE2E, PredictionSetsFlowToCoordinator) {
 
   worker->stop();
   coordinator.stop();
+}
+
+// ---- Replication / failover primitives -------------------------------
+
+TEST(LeaseTable, RestoreMirrorsBindingAndRebindKeepsIdentity) {
+  LeaseTable table(2, lease_config());
+  const auto t0 = Clock::now();
+  table.restore(0, LeaseState::kActive, /*lease_id=*/41, /*worker_id=*/7,
+                /*handoffs=*/2, t0);
+  EXPECT_EQ(table.cell(0).state, LeaseState::kActive);
+  EXPECT_EQ(table.cell(0).worker_id, 7u);
+  EXPECT_EQ(table.cell(0).handoffs, 2u);
+  ASSERT_NE(table.by_id(41), nullptr);
+
+  // Re-confirmation: the SAME lease moves to the holder's new catalog id
+  // — no handoff bump, no state change, no fresh lease id.
+  ASSERT_TRUE(table.rebind(41, /*new_worker_id=*/9));
+  EXPECT_EQ(table.cell(0).worker_id, 9u);
+  EXPECT_EQ(table.cell(0).handoffs, 2u);
+  EXPECT_EQ(table.cell(0).lease_id, 41u);
+  EXPECT_FALSE(table.rebind(999, 9));
+}
+
+TEST(LeaseTable, NextLeaseIdRatchetsAndNeverReusesReplicatedIds) {
+  LeaseTable table(2, lease_config());
+  table.set_next_lease_id(41);
+  EXPECT_EQ(table.next_lease_id(), 41u);
+  table.set_next_lease_id(10);  // backward: ignored
+  EXPECT_EQ(table.next_lease_id(), 41u);
+  const std::uint64_t fresh = table.grant(1, 5, Clock::now());
+  EXPECT_GT(fresh, 41u) << "a promoted standby must never reuse a live id";
+}
+
+TEST(LeaseTable, ExtendAllRestartsEveryTtlClock) {
+  LeaseTable table(2, lease_config());  // ttl 1s
+  const auto t0 = Clock::now();
+  table.restore(0, LeaseState::kActive, 41, 7, 0, t0);
+  table.restore(1, LeaseState::kPending, 42, 7, 0, t0);
+  const auto promoted = t0 + std::chrono::seconds(5);
+  table.extend_all(promoted);
+  EXPECT_TRUE(table.expired(promoted + std::chrono::milliseconds(900))
+                  .empty());
+  EXPECT_EQ(table.expired(promoted + std::chrono::milliseconds(1100)).size(),
+            2u);
+}
+
+TEST(LeaseTable, ResetDropsEverything) {
+  LeaseTable table(1, lease_config());
+  table.restore(0, LeaseState::kActive, 41, 7, 1, Clock::now());
+  table.reset(3);
+  EXPECT_EQ(table.n_cells(), 3u);
+  EXPECT_EQ(table.cell(0).state, LeaseState::kUnassigned);
+  EXPECT_EQ(table.by_id(41), nullptr);
+}
+
+TEST(WorkerCatalog, RestoredGhostsAreNeverPickedAndTouchAllDefersSilence) {
+  WorkerCatalog catalog;
+  const auto t0 = Clock::now();
+  // Mirrored entry: no socket yet (fd -1) — a ghost awaiting reconnect.
+  catalog.restore(7, "ghost", 8, t0);
+  ASSERT_NE(catalog.find(7), nullptr);
+  EXPECT_LT(catalog.find(7)->fd, 0);
+  EXPECT_TRUE(catalog.find(7)->alive);
+  EXPECT_FALSE(catalog.pick_least_loaded().has_value())
+      << "a ghost must never receive fresh leases";
+
+  const std::uint64_t live = catalog.add("live", 4, 2, 10, t0);
+  EXPECT_EQ(catalog.pick_least_loaded(), std::optional<std::uint64_t>(live));
+
+  // add() ids keep climbing past restored ids (no collision after resync).
+  EXPECT_GT(live, 7u);
+
+  // touch_all (promotion) gives the ghost a full heartbeat window.
+  catalog.touch_all(t0 + std::chrono::seconds(5));
+  EXPECT_TRUE(catalog
+                  .silent_since(t0 + std::chrono::milliseconds(5300), 0.4)
+                  .empty());
+  EXPECT_EQ(catalog.silent_since(t0 + std::chrono::seconds(6), 0.4).size(),
+            2u);
+
+  catalog.clear();
+  EXPECT_EQ(catalog.size(), 0u);
+}
+
+// ---- Coordinator HA over loopback ------------------------------------
+
+TEST(DistE2E, StandbyMirrorsStateAndPromotesWithoutReassignment) {
+  constexpr unsigned kCells = 3;
+  CoordinatorConfig primary_config = coordinator_config(kCells);
+  // Generous TTL: "re-confirmed within one TTL" must hold even on a
+  // loaded ASan runner, and a lease expiring mid-failover would turn a
+  // re-confirmation into the reassignment this test forbids.
+  primary_config.lease_ttl_ms = 15000;
+  primary_config.heartbeat_timeout_s = 5.0;
+  auto primary =
+      std::make_unique<FleetCoordinator>(std::move(primary_config));
+  ASSERT_GT(primary->port(), 0);
+  EXPECT_EQ(primary->role(), CoordinatorRole::kPrimary);
+  EXPECT_EQ(primary->epoch(), 1u);
+
+  CoordinatorConfig standby_config;  // cell list comes from the snapshot
+  standby_config.standby_of =
+      "127.0.0.1:" + std::to_string(primary->port());
+  standby_config.lease_ttl_ms = 15000;
+  standby_config.heartbeat_timeout_s = 5.0;
+  FleetCoordinator standby(std::move(standby_config));
+  EXPECT_EQ(standby.role(), CoordinatorRole::kStandby);
+
+  WorkerConfig wc0 = worker_config(0, "w0", kCells);
+  wc0.coordinators = {"127.0.0.1:" + std::to_string(primary->port()),
+                      "127.0.0.1:" + std::to_string(standby.port())};
+  WorkerConfig wc1 = wc0;
+  wc1.name = "w1";
+  FleetWorker w0(wc0);
+  FleetWorker w1(wc1);
+
+  ASSERT_TRUE(wait_until([&] { return primary->all_cells_active(); }, 30.0))
+      << "fleet never converged on the primary";
+  ASSERT_TRUE(wait_until([&] { return standby.synced(); }, 10.0))
+      << "standby never attached to the primary";
+
+  // The mirror converges: same cells, same lease bindings.
+  ASSERT_TRUE(wait_until([&] {
+    const auto mirrored = standby.cells();
+    if (mirrored.size() != kCells) {
+      return false;
+    }
+    for (const DistCellStatus& cell : mirrored) {
+      if (cell.lease_state != LeaseState::kActive) {
+        return false;
+      }
+    }
+    return true;
+  }, 10.0)) << "standby never mirrored the active leases";
+
+  // Mirrored totals flow too (committed via replicated reports).
+  ASSERT_TRUE(wait_until([&] {
+    std::uint64_t total = 0;
+    for (const DistCellStatus& cell : standby.cells()) {
+      total += cell.slots;
+    }
+    return total > 100;
+  }, 30.0)) << "replicated totals never advanced";
+
+  // Remember the bindings + high water the standby must preserve.
+  std::map<std::uint32_t, std::uint64_t> lease_ids;
+  std::map<std::uint32_t, unsigned> handoffs_before;
+  std::map<std::uint32_t, std::uint64_t> high_water;
+  for (const DistCellStatus& cell : standby.cells()) {
+    lease_ids[cell.cell_index] = cell.lease_id;
+    handoffs_before[cell.cell_index] = cell.handoffs;
+    high_water[cell.cell_index] = cell.slots;
+  }
+
+  // "Kill" the primary (in-process: stop() closes every socket at once).
+  const auto t_kill = Clock::now();
+  primary->stop();
+  primary.reset();
+
+  ASSERT_TRUE(wait_until(
+      [&] { return standby.role() == CoordinatorRole::kPrimary; }, 15.0))
+      << "standby never promoted";
+  EXPECT_EQ(standby.promotions(), 1u);
+  EXPECT_EQ(standby.epoch(), 2u) << "promotion must bump the epoch";
+
+  // Every lease is RE-CONFIRMED (same id, same handoff count) — never
+  // reassigned — and the whole failover fits inside one lease TTL.
+  ASSERT_TRUE(wait_until([&] {
+    return standby.reconfirmations() >= kCells &&
+           standby.all_cells_active();
+  }, 20.0)) << "leases were not re-confirmed on the new primary";
+  const double failover_ms =
+      std::chrono::duration<double, std::milli>(Clock::now() - t_kill)
+          .count();
+  EXPECT_LT(failover_ms, 15000.0) << "failover exceeded one lease TTL";
+  EXPECT_EQ(standby.reassignments(), 0u)
+      << "healthy workers' cells must not flap";
+  for (const DistCellStatus& cell : standby.cells()) {
+    EXPECT_EQ(cell.lease_id, lease_ids[cell.cell_index])
+        << "cell " << cell.cell_index << " got a fresh lease";
+    EXPECT_EQ(cell.handoffs, handoffs_before[cell.cell_index])
+        << "cell " << cell.cell_index << " was handed off";
+  }
+
+  // Workers adopted the new epoch and reports keep flowing with
+  // monotonic totals.
+  ASSERT_TRUE(wait_until([&] {
+    return w0.epoch() == 2 && w1.epoch() == 2;
+  }, 10.0)) << "workers never adopted the promoted epoch";
+  ASSERT_TRUE(wait_until([&] {
+    for (const DistCellStatus& cell : standby.cells()) {
+      if (cell.slots <= high_water[cell.cell_index]) {
+        return false;
+      }
+    }
+    return true;
+  }, 30.0)) << "no post-failover progress reached the new primary";
+  for (const DistCellStatus& cell : standby.cells()) {
+    EXPECT_GE(cell.slots, high_water[cell.cell_index])
+        << "cell " << cell.cell_index << " total rewound across failover";
+  }
+
+  w0.stop();
+  w1.stop();
+  standby.stop();
+}
+
+TEST(DistE2E, WorkerSkipsStandbyViaNotPrimary) {
+  // The worker's list names the standby FIRST: it must bounce off the
+  // kNotPrimary answer and land on the real primary.
+  constexpr unsigned kCells = 2;
+  MetricsRegistry registry;
+  FleetCoordinator primary(coordinator_config(kCells));
+  CoordinatorConfig standby_config;
+  standby_config.standby_of = "127.0.0.1:" + std::to_string(primary.port());
+  FleetCoordinator standby(std::move(standby_config));
+
+  WorkerConfig wc = worker_config(0, "bouncer", kCells);
+  wc.coordinators = {"127.0.0.1:" + std::to_string(standby.port()),
+                     "127.0.0.1:" + std::to_string(primary.port())};
+  wc.reconnect_backoff_s = 0.05;
+  FleetWorker worker(wc, &registry);
+
+  ASSERT_TRUE(wait_until([&] { return primary.all_cells_active(); }, 30.0))
+      << "worker never rotated past the standby";
+  EXPECT_GE(registry.snapshot().counter_value("dist.worker.not_primary_rx"),
+            1u);
+
+  worker.stop();
+  standby.stop();
+  primary.stop();
+}
+
+TEST(DistE2E, DeposedPrimaryFencesItselfOnHigherEpochHello) {
+  // A worker that has already served a higher term dials an old primary:
+  // the hello's epoch deposes it on the spot (double-primary guard).
+  FleetCoordinator coordinator(coordinator_config(1));
+  ASSERT_EQ(coordinator.epoch(), 1u);
+
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  ASSERT_GE(fd, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(coordinator.port());
+  ASSERT_EQ(::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr), 1);
+  ASSERT_EQ(::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)),
+            0);
+  WorkerHello hello;
+  hello.name = "from-the-future";
+  hello.epoch = 99;
+  const auto frame = worker_hello_frame(hello);
+  ASSERT_TRUE(send_all(fd, frame.data(), frame.size()));
+
+  ASSERT_TRUE(wait_until([&] { return coordinator.deposed(); }, 10.0))
+      << "higher-epoch hello never fenced the stale primary";
+
+  // The answer on the wire is kNotPrimary, then EOF.
+  FrameParser parser;
+  bool saw_not_primary = false;
+  std::uint8_t buf[4096];
+  const auto deadline = Clock::now() + std::chrono::seconds(10);
+  while (Clock::now() < deadline) {
+    const ssize_t n = ::recv(fd, buf, sizeof(buf), MSG_DONTWAIT);
+    if (n > 0) {
+      parser.feed({buf, static_cast<std::size_t>(n)});
+      if (const auto got = parser.next();
+          got.has_value() && got->type == FrameType::kNotPrimary) {
+        const auto info = decode_not_primary(got->payload);
+        ASSERT_TRUE(info.has_value());
+        EXPECT_EQ(info->message, "deposed");
+        saw_not_primary = true;
+        break;
+      }
+    } else if (n == 0) {
+      break;
+    } else {
+      std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    }
+  }
+  EXPECT_TRUE(saw_not_primary);
+  ::close(fd);
+  coordinator.stop();
+}
+
+// ---- Worker-side epoch fencing (manual fake coordinator) ---------------
+
+/// Minimal scripted coordinator: accepts one worker, hands out whatever
+/// frames the test says, and records the acks coming back.
+class FakeCoordinator {
+ public:
+  FakeCoordinator() {
+    listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    EXPECT_GE(listen_fd_, 0);
+    const int one = 1;
+    ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    EXPECT_EQ(::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr),
+                     sizeof(addr)),
+              0);
+    EXPECT_EQ(::listen(listen_fd_, 4), 0);
+    sockaddr_in bound{};
+    socklen_t len = sizeof(bound);
+    ::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound), &len);
+    port_ = ntohs(bound.sin_port);
+  }
+  ~FakeCoordinator() {
+    if (conn_fd_ >= 0) {
+      ::close(conn_fd_);
+    }
+    if (listen_fd_ >= 0) {
+      ::close(listen_fd_);
+    }
+  }
+
+  [[nodiscard]] std::uint16_t port() const { return port_; }
+
+  bool accept_worker() {
+    conn_fd_ = ::accept(listen_fd_, nullptr, nullptr);
+    return conn_fd_ >= 0;
+  }
+
+  bool send(const std::vector<std::uint8_t>& frame) {
+    return send_all(conn_fd_, frame.data(), frame.size());
+  }
+
+  /// Blocks (bounded) until one frame of `type` arrives; nullopt on
+  /// timeout/EOF.  Other frame types (heartbeats, reports) are skipped.
+  std::optional<Frame> read_frame(FrameType type, double timeout_s = 10.0) {
+    const auto deadline =
+        Clock::now() + std::chrono::duration_cast<Clock::duration>(
+                           std::chrono::duration<double>(timeout_s));
+    while (Clock::now() < deadline) {
+      while (auto frame = parser_.next()) {
+        if (frame->type == type) {
+          return frame;
+        }
+      }
+      std::uint8_t buf[4096];
+      const ssize_t n = ::recv(conn_fd_, buf, sizeof(buf), MSG_DONTWAIT);
+      if (n > 0) {
+        parser_.feed({buf, static_cast<std::size_t>(n)});
+      } else if (n == 0) {
+        return std::nullopt;
+      } else {
+        std::this_thread::sleep_for(std::chrono::milliseconds(2));
+      }
+    }
+    return std::nullopt;
+  }
+
+ private:
+  int listen_fd_ = -1;
+  int conn_fd_ = -1;
+  std::uint16_t port_ = 0;
+  FrameParser parser_;
+};
+
+TEST(DistE2E, StaleEpochLeaseGrantIsRejectedAndCounted) {
+  FakeCoordinator fake;
+  MetricsRegistry registry;
+  WorkerConfig wc = worker_config(fake.port(), "fenced", 4);
+  FleetWorker worker(wc, &registry);
+
+  ASSERT_TRUE(fake.accept_worker());
+  ASSERT_TRUE(fake.read_frame(FrameType::kWorkerHello).has_value());
+
+  // Epoch-5 grant: adopted and accepted.
+  LeaseGrant fresh;
+  fresh.lease_id = 1;
+  fresh.ttl_ms = 60000;
+  fresh.epoch = 5;
+  fresh.spec.cell_index = 0;
+  fresh.spec.name = "cell0";
+  fresh.spec.preset = "srsran";
+  fresh.spec.n_ues = 1;
+  ASSERT_TRUE(fake.send(lease_frame(fresh)));
+  {
+    const auto frame = fake.read_frame(FrameType::kLeaseAck);
+    ASSERT_TRUE(frame.has_value());
+    const auto ack = decode_lease_ack(frame->payload);
+    ASSERT_TRUE(ack.has_value());
+    EXPECT_TRUE(ack->accepted);
+    EXPECT_EQ(ack->epoch, 5u);
+  }
+  EXPECT_EQ(worker.epoch(), 5u);
+
+  // Epoch-3 grant (a deposed primary trying to reclaim): refused with a
+  // structured reason, counted, and the link is dropped.
+  LeaseGrant stale = fresh;
+  stale.lease_id = 2;
+  stale.epoch = 3;
+  stale.spec.cell_index = 1;
+  ASSERT_TRUE(fake.send(lease_frame(stale)));
+  {
+    const auto frame = fake.read_frame(FrameType::kLeaseAck);
+    ASSERT_TRUE(frame.has_value());
+    const auto ack = decode_lease_ack(frame->payload);
+    ASSERT_TRUE(ack.has_value());
+    EXPECT_FALSE(ack->accepted);
+    EXPECT_EQ(ack->message, "stale epoch");
+    EXPECT_EQ(ack->epoch, 5u) << "the refusal must teach the real term";
+  }
+  ASSERT_TRUE(wait_until([&] { return worker.stale_epoch_rejected() == 1; },
+                         10.0));
+  EXPECT_EQ(worker.epoch(), 5u) << "a stale grant must never lower the term";
+  EXPECT_EQ(registry.snapshot().counter_value(
+                "dist.worker.stale_epoch_rejected"),
+            1u);
+  // The cell leased under epoch 5 keeps running locally on its TTL.
+  EXPECT_EQ(worker.n_cells(), 1u);
+
+  worker.stop();
+}
+
+TEST(DistE2E, StaleEpochRevokeIsIgnored) {
+  FakeCoordinator fake;
+  WorkerConfig wc = worker_config(fake.port(), "unrevokable", 4);
+  FleetWorker worker(wc);
+
+  ASSERT_TRUE(fake.accept_worker());
+  ASSERT_TRUE(fake.read_frame(FrameType::kWorkerHello).has_value());
+
+  LeaseGrant grant;
+  grant.lease_id = 1;
+  grant.ttl_ms = 60000;
+  grant.epoch = 5;
+  grant.spec.cell_index = 0;
+  grant.spec.preset = "srsran";
+  grant.spec.n_ues = 1;
+  ASSERT_TRUE(fake.send(lease_frame(grant)));
+  ASSERT_TRUE(fake.read_frame(FrameType::kLeaseAck).has_value());
+  ASSERT_TRUE(wait_until([&] { return worker.n_cells() == 1; }, 10.0));
+
+  // A lower-term revoke must not tear the cell down...
+  LeaseRevoke stale;
+  stale.lease_id = 1;
+  stale.cell_index = 0;
+  stale.reason = "imposter";
+  stale.epoch = 3;
+  ASSERT_TRUE(fake.send(lease_revoke_frame(stale)));
+  ASSERT_TRUE(wait_until([&] { return worker.stale_epoch_rejected() == 1; },
+                         10.0));
+  EXPECT_EQ(worker.n_cells(), 1u);
+
+  // ...but the same revoke at the current term does.
+  stale.epoch = 5;
+  ASSERT_TRUE(fake.send(lease_revoke_frame(stale)));
+  ASSERT_TRUE(wait_until([&] { return worker.n_cells() == 0; }, 10.0));
+
+  worker.stop();
 }
 
 }  // namespace

@@ -1,0 +1,108 @@
+// send_exact() semantics on real sockets: complete sends report kOk, a
+// peer that vanished reports kFailed with nothing written, and — the case
+// that used to truncate frames silently — a wedged peer behind a full
+// send buffer and an SO_SNDTIMEO deadline reports kPartial/kFailed, never
+// kOk, so the caller knows the stream is torn and drops the connection.
+#include <gtest/gtest.h>
+
+#include <sys/socket.h>
+#include <sys/time.h>
+#include <unistd.h>
+
+#include <cstdint>
+#include <numeric>
+#include <vector>
+
+#include "net/socket_io.h"
+
+namespace nrs {
+namespace {
+
+struct SocketPair {
+  int a = -1;
+  int b = -1;
+  SocketPair() {
+    int fds[2] = {-1, -1};
+    EXPECT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+    a = fds[0];
+    b = fds[1];
+  }
+  ~SocketPair() {
+    if (a >= 0) {
+      ::close(a);
+    }
+    if (b >= 0) {
+      ::close(b);
+    }
+  }
+};
+
+TEST(SocketIo, CompleteSendReportsOkAndDeliversBytes) {
+  SocketPair pair;
+  std::vector<std::uint8_t> data(4096);
+  std::iota(data.begin(), data.end(), 0);
+  ASSERT_EQ(send_exact(pair.a, data.data(), data.size()), SendResult::kOk);
+  std::vector<std::uint8_t> received(data.size());
+  std::size_t got = 0;
+  while (got < received.size()) {
+    const ssize_t n =
+        ::recv(pair.b, received.data() + got, received.size() - got, 0);
+    ASSERT_GT(n, 0);
+    got += static_cast<std::size_t>(n);
+  }
+  EXPECT_EQ(received, data);
+}
+
+TEST(SocketIo, ClosedPeerReportsFailureNotOk) {
+  SocketPair pair;
+  ::close(pair.b);
+  pair.b = -1;
+  std::vector<std::uint8_t> data(1024, 0x5A);
+  // Depending on buffering the first send may land in the dead socket's
+  // buffer; keep writing and the failure must surface without SIGPIPE.
+  SendResult result = SendResult::kOk;
+  for (int i = 0; i < 64 && result == SendResult::kOk; ++i) {
+    result = send_exact(pair.a, data.data(), data.size());
+  }
+  EXPECT_NE(result, SendResult::kOk);
+}
+
+TEST(SocketIo, WedgedPeerWithSendTimeoutNeverReportsOk) {
+  // The coordinator's frame-writing regression: a tiny send buffer, a
+  // peer that never reads, and an SO_SNDTIMEO deadline.  Filling the pipe
+  // MUST eventually return kPartial (bytes went out, then the deadline
+  // hit mid-buffer) or kFailed — reporting kOk here is the silent
+  // mid-stream truncation this API exists to prevent.
+  SocketPair pair;
+  const int tiny = 4096;
+  ::setsockopt(pair.a, SOL_SOCKET, SO_SNDBUF, &tiny, sizeof(tiny));
+  timeval timeout{};
+  timeout.tv_usec = 50 * 1000;  // 50 ms
+  ASSERT_EQ(::setsockopt(pair.a, SOL_SOCKET, SO_SNDTIMEO, &timeout,
+                         sizeof(timeout)),
+            0);
+  // Larger than any plausible kernel buffering for the pair.
+  std::vector<std::uint8_t> frame(16 * 1024 * 1024, 0xA5);
+  const SendResult result = send_exact(pair.a, frame.data(), frame.size());
+  EXPECT_NE(result, SendResult::kOk);
+  // And specifically: some bytes DID go out before the deadline, so this
+  // is the torn-frame case, distinct from kFailed.
+  EXPECT_EQ(result, SendResult::kPartial);
+}
+
+TEST(SocketIo, SendAllMatchesSendExactOk) {
+  SocketPair pair;
+  const std::uint8_t byte = 0x42;
+  EXPECT_TRUE(send_all(pair.a, &byte, 1));
+  ::close(pair.b);
+  pair.b = -1;
+  bool ok = true;
+  std::vector<std::uint8_t> data(1024, 0);
+  for (int i = 0; i < 64 && ok; ++i) {
+    ok = send_all(pair.a, data.data(), data.size());
+  }
+  EXPECT_FALSE(ok);
+}
+
+}  // namespace
+}  // namespace nrs

@@ -937,6 +937,309 @@ TEST(Wire, PredictionFramesRoundTripThroughParser) {
   EXPECT_FALSE(parser.error());
 }
 
+// ---- Coordinator HA frames (protocol v5) ------------------------------
+
+ReplicaCell sample_replica_cell() {
+  ReplicaCell cell;
+  cell.spec = sample_cell_spec();
+  cell.lease_state = 2;  // kActive
+  cell.lease_id = 91;
+  cell.worker_id = 7;
+  cell.handoffs = 2;
+  cell.committed_slots = 40000;
+  cell.committed_dcis = 9000;
+  cell.committed_retx = 300;
+  cell.committed_restarts = 1;
+  cell.lease_base_slot = 32000;
+  cell.has_report = true;
+  cell.live = sample_cell_report();
+  cell.live.rows.clear();  // rows travel separately via kStoreRows
+  return cell;
+}
+
+ReplicaSnapshot sample_replica_snapshot() {
+  ReplicaSnapshot snapshot;
+  snapshot.epoch = 3;
+  snapshot.next_lease_id = 92;
+  snapshot.workers.push_back({7, "rack1", 8});
+  snapshot.workers.push_back({9, "rack2", 4});
+  snapshot.cells.push_back(sample_replica_cell());
+  ReplicaCell idle;
+  idle.spec = sample_cell_spec();
+  idle.spec.cell_index = 6;
+  snapshot.cells.push_back(std::move(idle));
+  return snapshot;
+}
+
+ReplicaEvent sample_replica_event() {
+  ReplicaEvent event;
+  event.kind = ReplicaEventKind::kCellTotals;
+  event.epoch = 3;
+  event.cell_index = 5;
+  event.lease_id = 91;
+  event.worker_id = 7;
+  event.lease_state = 2;
+  event.handoffs = 2;
+  event.worker_name = "rack1";
+  event.capacity = 8;
+  event.committed_slots = 41000;
+  event.committed_dcis = 9100;
+  event.committed_retx = 305;
+  event.committed_restarts = 1;
+  event.lease_base_slot = 32000;
+  event.has_report = true;
+  event.live = sample_cell_report();
+  event.live.rows.clear();
+  event.rows.push_back({0xFFFD, 5, 41000, 3.0});
+  event.rows.push_back({0x4601, 0, 41001, 8424.0});
+  return event;
+}
+
+TEST(Wire, StandbyHelloRoundTrip) {
+  StandbyHello hello;
+  hello.name = "standby:9201";
+  WireWriter w;
+  encode_standby_hello(hello, w);
+  const auto decoded = decode_standby_hello(w.data());
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(*decoded, hello);
+}
+
+TEST(Wire, NotPrimaryRoundTrip) {
+  NotPrimary info;
+  info.epoch = 4;
+  info.message = "standby";
+  WireWriter w;
+  encode_not_primary(info, w);
+  const auto decoded = decode_not_primary(w.data());
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(*decoded, info);
+}
+
+TEST(Wire, ReplicaSnapshotRoundTrip) {
+  const ReplicaSnapshot snapshot = sample_replica_snapshot();
+  WireWriter w;
+  encode_replica_snapshot(snapshot, w);
+  const auto decoded = decode_replica_snapshot(w.data());
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(*decoded, snapshot);
+}
+
+TEST(Wire, ReplicaEventRoundTripEveryKind) {
+  for (std::uint8_t kind = 0; kind <= 6; ++kind) {
+    ReplicaEvent event = sample_replica_event();
+    event.kind = static_cast<ReplicaEventKind>(kind);
+    WireWriter w;
+    encode_replica_event(event, w);
+    const auto decoded = decode_replica_event(w.data());
+    ASSERT_TRUE(decoded.has_value()) << "kind " << int(kind);
+    EXPECT_EQ(*decoded, event) << "kind " << int(kind);
+  }
+}
+
+TEST(Wire, ReplicaEventRejectsCorruptKind) {
+  WireWriter w;
+  encode_replica_event(sample_replica_event(), w);
+  auto bytes = w.take();
+  bytes[0] = 0x7F;  // kind is the first byte of the payload
+  EXPECT_FALSE(decode_replica_event(bytes).has_value());
+}
+
+TEST(Wire, StandbyHelloEveryTruncationFailsCleanly) {
+  StandbyHello hello;
+  hello.name = "standby:9201";
+  WireWriter w;
+  encode_standby_hello(hello, w);
+  const std::vector<std::uint8_t> full = w.take();
+  for (std::size_t len = 0; len < full.size(); ++len) {
+    EXPECT_FALSE(
+        decode_standby_hello(std::span<const std::uint8_t>(full.data(), len))
+            .has_value())
+        << "prefix length " << len;
+  }
+}
+
+TEST(Wire, NotPrimaryEveryTruncationFailsCleanly) {
+  NotPrimary info;
+  info.epoch = 9;
+  info.message = "deposed";
+  WireWriter w;
+  encode_not_primary(info, w);
+  const std::vector<std::uint8_t> full = w.take();
+  for (std::size_t len = 0; len < full.size(); ++len) {
+    EXPECT_FALSE(
+        decode_not_primary(std::span<const std::uint8_t>(full.data(), len))
+            .has_value())
+        << "prefix length " << len;
+  }
+}
+
+TEST(Wire, ReplicaSnapshotEveryTruncationFailsCleanly) {
+  WireWriter w;
+  encode_replica_snapshot(sample_replica_snapshot(), w);
+  const std::vector<std::uint8_t> full = w.take();
+  for (std::size_t len = 0; len < full.size(); ++len) {
+    EXPECT_FALSE(decode_replica_snapshot(
+                     std::span<const std::uint8_t>(full.data(), len))
+                     .has_value())
+        << "prefix length " << len;
+  }
+}
+
+TEST(Wire, ReplicaEventEveryTruncationFailsCleanly) {
+  WireWriter w;
+  encode_replica_event(sample_replica_event(), w);
+  const std::vector<std::uint8_t> full = w.take();
+  for (std::size_t len = 0; len < full.size(); ++len) {
+    EXPECT_FALSE(
+        decode_replica_event(std::span<const std::uint8_t>(full.data(), len))
+            .has_value())
+        << "prefix length " << len;
+  }
+}
+
+TEST(Wire, HaPayloadsRejectTrailingGarbage) {
+  {
+    WireWriter w;
+    encode_standby_hello(StandbyHello{"s", kWireVersion}, w);
+    auto bytes = w.take();
+    bytes.push_back(0x00);
+    EXPECT_FALSE(decode_standby_hello(bytes).has_value());
+  }
+  {
+    WireWriter w;
+    encode_not_primary(NotPrimary{1, "standby"}, w);
+    auto bytes = w.take();
+    bytes.push_back(0xAB);
+    EXPECT_FALSE(decode_not_primary(bytes).has_value());
+  }
+  {
+    WireWriter w;
+    encode_replica_snapshot(sample_replica_snapshot(), w);
+    auto bytes = w.take();
+    bytes.push_back(0x01);
+    EXPECT_FALSE(decode_replica_snapshot(bytes).has_value());
+  }
+  {
+    WireWriter w;
+    encode_replica_event(sample_replica_event(), w);
+    auto bytes = w.take();
+    bytes.push_back(0xFF);
+    EXPECT_FALSE(decode_replica_event(bytes).has_value());
+  }
+}
+
+TEST(Wire, ReplicaEventGarbageBytesNeverCrash) {
+  // Random byte strings must decode to nullopt (or a valid event), never
+  // crash or over-read — the standby feeds attacker-reachable bytes here.
+  Rng rng(77);
+  for (int i = 0; i < 500; ++i) {
+    std::vector<std::uint8_t> bytes(
+        static_cast<std::size_t>(rng.uniform_int(0, 200)));
+    for (auto& b : bytes) {
+      b = static_cast<std::uint8_t>(rng.uniform_int(0, 255));
+    }
+    (void)decode_replica_event(bytes);
+    (void)decode_replica_snapshot(bytes);
+    (void)decode_standby_hello(bytes);
+    (void)decode_not_primary(bytes);
+  }
+}
+
+TEST(Wire, EpochFieldsRoundTripOnLeaseAndReportPayloads) {
+  // v5 stamps the coordinator term on every lease-protocol payload so a
+  // deposed primary can be fenced; make sure none of the codecs drop it.
+  {
+    LeaseGrant grant;
+    grant.lease_id = 1;
+    grant.epoch = 42;
+    grant.spec = sample_cell_spec();
+    WireWriter w;
+    encode_lease(grant, w);
+    const auto decoded = decode_lease(w.data());
+    ASSERT_TRUE(decoded.has_value());
+    EXPECT_EQ(decoded->epoch, 42u);
+  }
+  {
+    LeaseAck ack;
+    ack.lease_id = 1;
+    ack.epoch = 42;
+    WireWriter w;
+    encode_lease_ack(ack, w);
+    const auto decoded = decode_lease_ack(w.data());
+    ASSERT_TRUE(decoded.has_value());
+    EXPECT_EQ(decoded->epoch, 42u);
+  }
+  {
+    WorkerHello hello;
+    hello.name = "w";
+    hello.epoch = 42;
+    WireWriter w;
+    encode_worker_hello(hello, w);
+    const auto decoded = decode_worker_hello(w.data());
+    ASSERT_TRUE(decoded.has_value());
+    EXPECT_EQ(decoded->epoch, 42u);
+  }
+  {
+    WorkerHeartbeat hb;
+    hb.seq = 1;
+    hb.epoch = 42;
+    WireWriter w;
+    encode_worker_heartbeat(hb, w);
+    const auto decoded = decode_worker_heartbeat(w.data());
+    ASSERT_TRUE(decoded.has_value());
+    EXPECT_EQ(decoded->epoch, 42u);
+  }
+  {
+    CellReport report = sample_cell_report();
+    report.epoch = 42;
+    WireWriter w;
+    encode_cell_report(report, w);
+    const auto decoded = decode_cell_report(w.data());
+    ASSERT_TRUE(decoded.has_value());
+    EXPECT_EQ(decoded->epoch, 42u);
+  }
+  {
+    LeaseRevoke revoke;
+    revoke.lease_id = 1;
+    revoke.epoch = 42;
+    WireWriter w;
+    encode_lease_revoke(revoke, w);
+    const auto decoded = decode_lease_revoke(w.data());
+    ASSERT_TRUE(decoded.has_value());
+    EXPECT_EQ(decoded->epoch, 42u);
+  }
+}
+
+TEST(Wire, HaFramesRoundTripThroughParser) {
+  FrameParser parser;
+  parser.feed(standby_hello_frame(StandbyHello{"standby:9201",
+                                               kWireVersion}));
+  parser.feed(replica_snapshot_frame(sample_replica_snapshot()));
+  parser.feed(replica_event_frame(sample_replica_event()));
+  parser.feed(not_primary_frame(NotPrimary{5, "deposed"}));
+  auto frame = parser.next();
+  ASSERT_TRUE(frame.has_value());
+  EXPECT_EQ(frame->type, FrameType::kStandbyHello);
+  EXPECT_TRUE(decode_standby_hello(frame->payload).has_value());
+  frame = parser.next();
+  ASSERT_TRUE(frame.has_value());
+  EXPECT_EQ(frame->type, FrameType::kReplicaSnapshot);
+  EXPECT_EQ(decode_replica_snapshot(frame->payload),
+            sample_replica_snapshot());
+  frame = parser.next();
+  ASSERT_TRUE(frame.has_value());
+  EXPECT_EQ(frame->type, FrameType::kReplicaEvent);
+  EXPECT_EQ(decode_replica_event(frame->payload), sample_replica_event());
+  frame = parser.next();
+  ASSERT_TRUE(frame.has_value());
+  EXPECT_EQ(frame->type, FrameType::kNotPrimary);
+  const auto info = decode_not_primary(frame->payload);
+  ASSERT_TRUE(info.has_value());
+  EXPECT_EQ(info->epoch, 5u);
+  EXPECT_FALSE(parser.error());
+}
+
 // ---- Version window ---------------------------------------------------
 
 // A v3 peer (pre-prediction) is inside the accept window: its frames must
